@@ -1,0 +1,43 @@
+//! Baseline coherence schemes the paper evaluates G-TSC against.
+//!
+//! * [`TcL1`]/[`TcL2`] — **Temporal Coherence** (Singh et al., HPCA'13;
+//!   Section II-D of the G-TSC paper): lease-based self-invalidation
+//!   driven by *globally synchronized physical counters*. Two variants:
+//!   - **TC-Strong** preserves write atomicity by stalling every write at
+//!     the L2 until all outstanding leases on the block have expired;
+//!   - **TC-Weak** completes writes immediately but returns a Global
+//!     Write Completion Time (GWCT); fences stall the warp until its
+//!     GWCT has passed.
+//!
+//!   TC requires an *inclusive* L2 (replacement stalls while a victim's
+//!   lease is live) — one of the drawbacks G-TSC removes.
+//! * [`BypassL1`] + [`PlainL2`] — the paper's baseline "BL": the private
+//!   L1 is disabled and every access is performed at the shared L2.
+//! * [`NonCoherentL1`] — "Baseline W/L1": a plain write-through L1 with no
+//!   coherence at all; only sound for workloads that need none (the right
+//!   cluster of Figure 12).
+//!
+//! All four plug into the same [`gtsc_protocol`] traits as G-TSC, so the
+//! surrounding GPU, NoC and DRAM models are held constant across
+//! protocols.
+
+pub mod bypass;
+pub mod noncoherent;
+pub mod plain_l2;
+pub mod tc_l1;
+pub mod tc_l2;
+
+pub use bypass::BypassL1;
+pub use noncoherent::NonCoherentL1;
+pub use plain_l2::{PlainL2, PlainL2Params};
+pub use tc_l1::{TcL1, TcL1Params};
+pub use tc_l2::{TcL2, TcL2Params};
+
+/// Which Temporal-Coherence variant a controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcMode {
+    /// Write-atomic TC: writes stall at the L2 until every lease expires.
+    Strong,
+    /// TC-Weak: writes complete immediately; fences consume GWCT.
+    Weak,
+}

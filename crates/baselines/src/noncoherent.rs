@@ -1,0 +1,273 @@
+//! "Baseline W/L1": a plain write-through private cache with **no
+//! coherence at all** — lines stay valid until evicted or flushed,
+//! regardless of remote writes. The paper reports this baseline only for
+//! workloads that do not need coherence (the right cluster of Figure 12);
+//! the simulator's checker will rightly flag it on sharing workloads.
+
+use std::collections::{HashMap, VecDeque};
+
+use gtsc_mem::{Mshr, MshrAlloc, TagArray};
+use gtsc_protocol::msg::{L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
+use gtsc_protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
+use gtsc_types::{BlockAddr, CacheGeometry, CacheStats, Cycle, Timestamp, Version, WarpId};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlainMeta {
+    version: Version,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    id: AccessId,
+    warp: WarpId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreWaiter {
+    id: AccessId,
+    warp: WarpId,
+    kind: AccessKind,
+    version: Version,
+}
+
+/// A non-coherent write-through private cache.
+#[derive(Debug)]
+pub struct NonCoherentL1 {
+    sm_index: usize,
+    tags: TagArray<PlainMeta>,
+    mshr: Mshr<Waiter>,
+    store_acks: HashMap<BlockAddr, VecDeque<StoreWaiter>>,
+    out: VecDeque<L1ToL2>,
+    version_ctr: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl NonCoherentL1 {
+    /// Creates an empty cache for SM `sm_index`.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry, sm_index: usize, mshr_entries: usize, mshr_merges: usize) -> Self {
+        NonCoherentL1 {
+            sm_index,
+            tags: TagArray::new(geometry),
+            mshr: Mshr::new(mshr_entries, mshr_merges),
+            store_acks: HashMap::new(),
+            out: VecDeque::new(),
+            version_ctr: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn mint_version(&mut self, warp: WarpId) -> Version {
+        let w = warp.0 as usize;
+        if self.version_ctr.len() <= w {
+            self.version_ctr.resize(w + 1, 0);
+        }
+        self.version_ctr[w] += 1;
+        Version(((self.sm_index as u64 + 1) << 40) | ((w as u64) << 28) | self.version_ctr[w])
+    }
+}
+
+impl L1Controller for NonCoherentL1 {
+    fn access(&mut self, acc: MemAccess, _now: Cycle) -> L1Outcome {
+        match acc.kind {
+            AccessKind::Load => {
+                if let Some(line) = self.tags.probe(acc.block) {
+                    self.stats.accesses += 1;
+                    self.stats.hits += 1;
+                    return L1Outcome::Hit(Completion {
+                        id: acc.id,
+                        warp: acc.warp,
+                        kind: AccessKind::Load,
+                        block: acc.block,
+                        version: line.meta.version,
+                        ts: None,
+                        epoch: 0,
+                        prev: None,
+                    });
+                }
+                let outcome = match self.mshr.register(acc.block, Waiter { id: acc.id, warp: acc.warp }) {
+                    MshrAlloc::Full => return L1Outcome::Reject,
+                    MshrAlloc::AllocatedNew => {
+                        self.out.push_back(L1ToL2::Read(ReadReq {
+                            block: acc.block,
+                            wts: Timestamp(0),
+                            warp_ts: Timestamp(0),
+                            epoch: 0,
+                        }));
+                        L1Outcome::Queued
+                    }
+                    MshrAlloc::Merged => {
+                        self.stats.mshr_merges += 1;
+                        L1Outcome::Queued
+                    }
+                };
+                self.stats.accesses += 1;
+                self.stats.cold_misses += 1;
+                outcome
+            }
+            AccessKind::Store | AccessKind::Atomic => {
+                self.stats.accesses += 1;
+                self.stats.stores += 1;
+                let version = self.mint_version(acc.warp);
+                if let Some(line) = self.tags.probe_mut(acc.block) {
+                    line.meta.version = version;
+                }
+                let req = WriteReq {
+                    block: acc.block,
+                    warp_ts: Timestamp(0),
+                    version,
+                    epoch: 0,
+                };
+                self.out.push_back(if acc.kind == AccessKind::Atomic {
+                    L1ToL2::Atomic(req)
+                } else {
+                    L1ToL2::Write(req)
+                });
+                self.store_acks.entry(acc.block).or_default().push_back(StoreWaiter {
+                    id: acc.id,
+                    warp: acc.warp,
+                    kind: acc.kind,
+                    version,
+                });
+                L1Outcome::Queued
+            }
+        }
+    }
+
+    fn on_response(&mut self, msg: L2ToL1, _now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        match msg {
+            L2ToL1::Fill(f) => {
+                debug_assert_eq!(f.lease, LeaseInfo::None, "plain L2 grants no leases");
+                if self.tags.fill(f.block, PlainMeta { version: f.version }).is_some() {
+                    self.stats.evictions += 1;
+                }
+                for w in self.mshr.take(f.block) {
+                    done.push(Completion {
+                        id: w.id,
+                        warp: w.warp,
+                        kind: AccessKind::Load,
+                        block: f.block,
+                        version: f.version,
+                        ts: None,
+                        epoch: 0,
+                        prev: None,
+                    });
+                }
+            }
+            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                if let Some(q) = self.store_acks.get_mut(&a.block) {
+                    if let Some(pos) = q.iter().position(|s| s.version == a.version) {
+                        let sw = q.remove(pos).expect("position valid");
+                        if q.is_empty() {
+                            self.store_acks.remove(&a.block);
+                        }
+                        done.push(Completion {
+                            id: sw.id,
+                            warp: sw.warp,
+                            kind: sw.kind,
+                            block: a.block,
+                            version: a.version,
+                            ts: None,
+                            epoch: 0,
+                            prev,
+                        });
+                    }
+                }
+            }
+            L2ToL1::Renew { .. } => {}
+            L2ToL1::Invalidate { block, .. } => {
+                self.tags.invalidate(block);
+            }
+        }
+        done
+    }
+
+    fn take_request(&mut self) -> Option<L1ToL2> {
+        self.out.pop_front()
+    }
+
+    fn tick(&mut self, _now: Cycle) -> Vec<Completion> {
+        Vec::new()
+    }
+
+    fn flush(&mut self) {
+        self.tags.flush();
+    }
+
+    fn is_idle(&self) -> bool {
+        self.mshr.is_empty() && self.store_acks.is_empty() && self.out.is_empty()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_protocol::msg::FillResp;
+
+    fn cache() -> NonCoherentL1 {
+        NonCoherentL1::new(CacheGeometry::new(2 * 1024, 2, 128), 0, 8, 4)
+    }
+
+    fn load(id: u64, block: u64) -> MemAccess {
+        MemAccess { id: AccessId(id), warp: WarpId(0), kind: AccessKind::Load, block: BlockAddr(block) }
+    }
+
+    #[test]
+    fn lines_never_expire() {
+        let mut c = cache();
+        c.access(load(1, 5), Cycle(0));
+        c.take_request();
+        c.on_response(
+            L2ToL1::Fill(FillResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::None,
+                version: Version(9),
+                epoch: 0,
+            }),
+            Cycle(10),
+        );
+        // Arbitrarily far in the future: still a hit (that is the point —
+        // and the incoherence).
+        assert!(matches!(c.access(load(2, 5), Cycle(1_000_000)), L1Outcome::Hit(_)));
+        assert_eq!(c.stats().expired_misses, 0);
+    }
+
+    #[test]
+    fn store_updates_local_copy_in_place() {
+        let mut c = cache();
+        c.access(load(1, 5), Cycle(0));
+        c.take_request();
+        c.on_response(
+            L2ToL1::Fill(FillResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::None,
+                version: Version(9),
+                epoch: 0,
+            }),
+            Cycle(10),
+        );
+        let st = MemAccess { id: AccessId(2), warp: WarpId(1), kind: AccessKind::Store, block: BlockAddr(5) };
+        c.access(st, Cycle(20));
+        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        match c.access(load(3, 5), Cycle(21)) {
+            L1Outcome::Hit(comp) => assert_eq!(comp.version, w.version),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merges_loads_in_mshr() {
+        let mut c = cache();
+        c.access(load(1, 5), Cycle(0));
+        c.access(load(2, 5), Cycle(0));
+        assert!(c.take_request().is_some());
+        assert!(c.take_request().is_none());
+        assert_eq!(c.stats().mshr_merges, 1);
+    }
+}

@@ -1,0 +1,414 @@
+//! Temporal-Coherence private cache (one per SM).
+//!
+//! Each line carries an absolute expiry time in *physical cycles*; the
+//! globally synchronized counter (the simulation clock) self-invalidates
+//! it — a tag match with `now >= expires` is a coherence miss
+//! (Section II-D). Stores are write-through:
+//!
+//! * **TC-Strong**: the local copy is invalidated at issue (the new value
+//!   may only be observed once globally performed) and the ack arrives
+//!   after the L2 write-stall completes.
+//! * **TC-Weak**: the local copy is updated in place (no write
+//!   atomicity); the ack carries the GWCT, accumulated per warp and
+//!   consumed by fences.
+
+use std::collections::{HashMap, VecDeque};
+
+use gtsc_mem::{Mshr, MshrAlloc, TagArray};
+use gtsc_protocol::msg::{L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
+use gtsc_protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
+use gtsc_types::{BlockAddr, CacheGeometry, CacheStats, Cycle, Timestamp, Version, WarpId};
+
+use crate::TcMode;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TcMeta {
+    expires: Cycle,
+    version: Version,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    id: AccessId,
+    warp: WarpId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreWaiter {
+    id: AccessId,
+    warp: WarpId,
+    kind: AccessKind,
+    version: Version,
+}
+
+/// Construction parameters for [`TcL1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcL1Params {
+    /// Cache geometry.
+    pub geometry: CacheGeometry,
+    /// Warp slots in the owning SM.
+    pub n_warps: usize,
+    /// Index of the owning SM (namespaces minted versions).
+    pub sm_index: usize,
+    /// MSHR entry count.
+    pub mshr_entries: usize,
+    /// Maximum merged waiters per entry.
+    pub mshr_merges: usize,
+    /// Strong or weak variant.
+    pub mode: TcMode,
+}
+
+impl Default for TcL1Params {
+    fn default() -> Self {
+        TcL1Params {
+            geometry: CacheGeometry::new(2 * 1024, 2, 128),
+            n_warps: 4,
+            sm_index: 0,
+            mshr_entries: 8,
+            mshr_merges: 4,
+            mode: TcMode::Strong,
+        }
+    }
+}
+
+/// The Temporal-Coherence private cache of one SM.
+#[derive(Debug)]
+pub struct TcL1 {
+    p: TcL1Params,
+    tags: TagArray<TcMeta>,
+    mshr: Mshr<Waiter>,
+    store_acks: HashMap<BlockAddr, VecDeque<StoreWaiter>>,
+    /// Global Write Completion Time per warp (TC-Weak fences).
+    gwct: Vec<Cycle>,
+    out: VecDeque<L1ToL2>,
+    version_ctr: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl TcL1 {
+    /// Creates an empty controller.
+    #[must_use]
+    pub fn new(p: TcL1Params) -> Self {
+        TcL1 {
+            tags: TagArray::new(p.geometry),
+            mshr: Mshr::new(p.mshr_entries, p.mshr_merges),
+            store_acks: HashMap::new(),
+            gwct: vec![Cycle(0); p.n_warps],
+            out: VecDeque::new(),
+            version_ctr: vec![0; p.n_warps],
+            stats: CacheStats::default(),
+            p,
+        }
+    }
+
+    /// The warp's current Global Write Completion Time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp` is out of range.
+    #[must_use]
+    pub fn gwct(&self, warp: WarpId) -> Cycle {
+        self.gwct[warp.0 as usize]
+    }
+
+    fn mint_version(&mut self, warp: WarpId) -> Version {
+        let w = warp.0 as usize;
+        self.version_ctr[w] += 1;
+        Version(((self.p.sm_index as u64 + 1) << 40) | ((w as u64) << 28) | self.version_ctr[w])
+    }
+
+    fn completion(&self, w: Waiter, block: BlockAddr, version: Version) -> Completion {
+        Completion {
+            id: w.id,
+            warp: w.warp,
+            kind: AccessKind::Load,
+            block,
+            version,
+            ts: None,
+            epoch: 0,
+            prev: None,
+        }
+    }
+}
+
+impl L1Controller for TcL1 {
+    fn access(&mut self, acc: MemAccess, now: Cycle) -> L1Outcome {
+        match acc.kind {
+            AccessKind::Load => {
+                let mut expired = false;
+                if let Some(line) = self.tags.probe(acc.block) {
+                    if now < line.meta.expires {
+                        self.stats.accesses += 1;
+                        self.stats.hits += 1;
+                        let w = Waiter { id: acc.id, warp: acc.warp };
+                        let version = line.meta.version;
+                        return L1Outcome::Hit(self.completion(w, acc.block, version));
+                    }
+                    // Tag match, expired lease: self-invalidated
+                    // (coherence miss).
+                    expired = true;
+                }
+                let waiter = Waiter { id: acc.id, warp: acc.warp };
+                let outcome = match self.mshr.register(acc.block, waiter) {
+                    MshrAlloc::Full => return L1Outcome::Reject,
+                    MshrAlloc::AllocatedNew => {
+                        self.out.push_back(L1ToL2::Read(ReadReq {
+                            block: acc.block,
+                            wts: Timestamp(0),
+                            warp_ts: Timestamp(0),
+                            epoch: 0,
+                        }));
+                        L1Outcome::Queued
+                    }
+                    MshrAlloc::Merged => {
+                        self.stats.mshr_merges += 1;
+                        L1Outcome::Queued
+                    }
+                };
+                self.stats.accesses += 1;
+                if expired {
+                    self.stats.expired_misses += 1;
+                } else {
+                    self.stats.cold_misses += 1;
+                }
+                outcome
+            }
+            AccessKind::Store | AccessKind::Atomic => {
+                self.stats.accesses += 1;
+                self.stats.stores += 1;
+                let version = self.mint_version(acc.warp);
+                match self.p.mode {
+                    TcMode::Strong => {
+                        // The new value must not be observable locally
+                        // before it is globally performed.
+                        self.tags.invalidate(acc.block);
+                    }
+                    TcMode::Weak if acc.kind == AccessKind::Atomic => {
+                        // Atomics are performed at the L2; the stale local
+                        // copy must not satisfy later reads of the result.
+                        self.tags.invalidate(acc.block);
+                    }
+                    TcMode::Weak => {
+                        if let Some(line) = self.tags.probe_mut(acc.block) {
+                            line.meta.version = version;
+                        }
+                    }
+                }
+                let req = WriteReq {
+                    block: acc.block,
+                    warp_ts: Timestamp(0),
+                    version,
+                    epoch: 0,
+                };
+                self.out.push_back(if acc.kind == AccessKind::Atomic {
+                    L1ToL2::Atomic(req)
+                } else {
+                    L1ToL2::Write(req)
+                });
+                self.store_acks.entry(acc.block).or_default().push_back(StoreWaiter {
+                    id: acc.id,
+                    warp: acc.warp,
+                    kind: acc.kind,
+                    version,
+                });
+                L1Outcome::Queued
+            }
+        }
+    }
+
+    fn on_response(&mut self, msg: L2ToL1, _now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        match msg {
+            L2ToL1::Fill(f) => {
+                let LeaseInfo::Physical { expires } = f.lease else {
+                    unreachable!("TC fills carry physical leases");
+                };
+                let meta = TcMeta { expires, version: f.version };
+                if self.tags.fill(f.block, meta).is_some() {
+                    self.stats.evictions += 1;
+                }
+                for w in self.mshr.take(f.block) {
+                    done.push(self.completion(w, f.block, f.version));
+                }
+            }
+            L2ToL1::Renew { .. } => unreachable!("TC has no renewal responses"),
+            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                if let Some(q) = self.store_acks.get_mut(&a.block) {
+                    if let Some(pos) = q.iter().position(|s| s.version == a.version) {
+                        let sw = q.remove(pos).expect("position valid");
+                        if q.is_empty() {
+                            self.store_acks.remove(&a.block);
+                        }
+                        if let LeaseInfo::Physical { expires } = a.lease {
+                            // TC-Weak: the ack carries the GWCT.
+                            let g = &mut self.gwct[sw.warp.0 as usize];
+                            *g = (*g).max(expires);
+                        }
+                        done.push(Completion {
+                            id: sw.id,
+                            warp: sw.warp,
+                            kind: sw.kind,
+                            block: a.block,
+                            version: a.version,
+                            ts: None,
+                            epoch: 0,
+                            prev,
+                        });
+                    }
+                }
+            }
+            L2ToL1::Invalidate { block, .. } => {
+                self.tags.invalidate(block);
+            }
+        }
+        done
+    }
+
+    fn take_request(&mut self) -> Option<L1ToL2> {
+        self.out.pop_front()
+    }
+
+    fn tick(&mut self, _now: Cycle) -> Vec<Completion> {
+        Vec::new()
+    }
+
+    fn fence_ready(&self, warp: WarpId, now: Cycle) -> bool {
+        match self.p.mode {
+            TcMode::Strong => true,
+            // The TC-Weak fence rule: stall until every prior write by the
+            // warp is globally visible.
+            TcMode::Weak => now >= self.gwct[warp.0 as usize],
+        }
+    }
+
+    fn flush(&mut self) {
+        self.tags.flush();
+        for g in &mut self.gwct {
+            *g = Cycle(0);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.mshr.is_empty() && self.store_acks.is_empty() && self.out.is_empty()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_protocol::msg::{FillResp, WriteAckResp};
+
+    fn load(id: u64, warp: u16, block: u64) -> MemAccess {
+        MemAccess { id: AccessId(id), warp: WarpId(warp), kind: AccessKind::Load, block: BlockAddr(block) }
+    }
+
+    fn store(id: u64, warp: u16, block: u64) -> MemAccess {
+        MemAccess { id: AccessId(id), warp: WarpId(warp), kind: AccessKind::Store, block: BlockAddr(block) }
+    }
+
+    fn fill(block: u64, expires: u64, version: Version) -> L2ToL1 {
+        L2ToL1::Fill(FillResp {
+            block: BlockAddr(block),
+            lease: LeaseInfo::Physical { expires: Cycle(expires) },
+            version,
+            epoch: 0,
+        })
+    }
+
+    #[test]
+    fn lease_expiry_self_invalidates() {
+        let mut c = TcL1::new(TcL1Params::default());
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        let done = c.on_response(fill(5, 100, Version(9)), Cycle(30));
+        assert_eq!(done.len(), 1);
+        // Before expiry: hit.
+        assert!(matches!(c.access(load(2, 0, 5), Cycle(99)), L1Outcome::Hit(_)));
+        // At expiry: coherence miss.
+        assert!(matches!(c.access(load(3, 0, 5), Cycle(100)), L1Outcome::Queued));
+        assert_eq!(c.stats().expired_misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn strong_store_invalidates_local_copy() {
+        let mut c = TcL1::new(TcL1Params { mode: TcMode::Strong, ..TcL1Params::default() });
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1000, Version(9)), Cycle(30));
+        c.access(store(2, 0, 5), Cycle(40));
+        // Local copy gone: a read now misses even though the lease was live.
+        assert!(matches!(c.access(load(3, 1, 5), Cycle(41)), L1Outcome::Queued));
+    }
+
+    #[test]
+    fn weak_store_updates_in_place_and_tracks_gwct() {
+        let mut c = TcL1::new(TcL1Params { mode: TcMode::Weak, ..TcL1Params::default() });
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1000, Version(9)), Cycle(30));
+        c.access(store(2, 0, 5), Cycle(40));
+        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        // Local read sees the new value immediately (no write atomicity).
+        match c.access(load(3, 1, 5), Cycle(41)) {
+            L1Outcome::Hit(comp) => assert_eq!(comp.version, w.version),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // Ack carries GWCT=500: the fence is not ready until then.
+        c.on_response(
+            L2ToL1::WriteAck(WriteAckResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Physical { expires: Cycle(500) },
+                version: w.version,
+                epoch: 0,
+            }),
+            Cycle(60),
+        );
+        assert_eq!(c.gwct(WarpId(0)), Cycle(500));
+        assert!(!c.fence_ready(WarpId(0), Cycle(499)));
+        assert!(c.fence_ready(WarpId(0), Cycle(500)));
+        // Other warps' fences are unaffected.
+        assert!(c.fence_ready(WarpId(1), Cycle(0)));
+    }
+
+    #[test]
+    fn strong_fence_is_always_ready() {
+        let c = TcL1::new(TcL1Params { mode: TcMode::Strong, ..TcL1Params::default() });
+        assert!(c.fence_ready(WarpId(0), Cycle(0)));
+    }
+
+    #[test]
+    fn merged_loads_complete_on_one_fill() {
+        let mut c = TcL1::new(TcL1Params::default());
+        c.access(load(1, 0, 5), Cycle(0));
+        c.access(load(2, 1, 5), Cycle(0));
+        assert!(c.take_request().is_some());
+        assert!(c.take_request().is_none());
+        let done = c.on_response(fill(5, 100, Version(9)), Cycle(30));
+        assert_eq!(done.len(), 2);
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn flush_resets_gwct() {
+        let mut c = TcL1::new(TcL1Params { mode: TcMode::Weak, ..TcL1Params::default() });
+        c.access(store(1, 0, 5), Cycle(0));
+        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        c.on_response(
+            L2ToL1::WriteAck(WriteAckResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Physical { expires: Cycle(900) },
+                version: w.version,
+                epoch: 0,
+            }),
+            Cycle(10),
+        );
+        c.flush();
+        assert!(c.fence_ready(WarpId(0), Cycle(0)));
+    }
+}

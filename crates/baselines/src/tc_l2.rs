@@ -1,0 +1,572 @@
+//! Temporal-Coherence shared-cache bank.
+//!
+//! The L2 tracks, per block, the latest expiry time of any lease it has
+//! granted (using the globally synchronized counter — the simulation
+//! clock). Reads extend the lease and return data; writes:
+//!
+//! * **TC-Strong**: may only be performed once `now >= expires`. A
+//!   pending write *blocks the block*: every later request to the same
+//!   block queues behind it (Section II-D3's lease-induced stalls).
+//! * **TC-Weak**: performed immediately; the ack returns the old expiry
+//!   as the Global Write Completion Time.
+//!
+//! TC forces an **inclusive** L2 (Section II-D2): a victim whose lease is
+//! still live cannot be evicted, stalling the fill until it expires.
+
+use std::collections::{HashMap, VecDeque};
+
+use gtsc_mem::{Mshr, MshrAlloc, TagArray};
+use gtsc_protocol::msg::{FillResp, L1ToL2, L2ToL1, LeaseInfo, WriteAckResp};
+use gtsc_protocol::L2Controller;
+use gtsc_types::{BlockAddr, CacheGeometry, CacheStats, Cycle, Version};
+
+use crate::TcMode;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TcL2Meta {
+    expires: Cycle,
+    version: Version,
+    dirty: bool,
+}
+
+/// Construction parameters for [`TcL2`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcL2Params {
+    /// Bank geometry.
+    pub geometry: CacheGeometry,
+    /// Lease length in physical cycles.
+    pub lease_cycles: u64,
+    /// Bank access latency in cycles.
+    pub latency: u64,
+    /// Requests processed per cycle.
+    pub ports: usize,
+    /// Outstanding DRAM fetches tracked.
+    pub mshr_entries: usize,
+    /// Requests merged per outstanding fetch.
+    pub mshr_merges: usize,
+    /// Strong or weak variant.
+    pub mode: TcMode,
+}
+
+impl Default for TcL2Params {
+    fn default() -> Self {
+        TcL2Params {
+            geometry: CacheGeometry::new(4 * 1024, 4, 128),
+            lease_cycles: 100,
+            latency: 10,
+            ports: 1,
+            mshr_entries: 16,
+            mshr_merges: 64,
+            mode: TcMode::Strong,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    src: usize,
+    msg: L1ToL2,
+}
+
+/// One Temporal-Coherence shared-cache bank.
+#[derive(Debug)]
+pub struct TcL2 {
+    p: TcL2Params,
+    tags: TagArray<TcL2Meta>,
+    backing: HashMap<BlockAddr, Version>,
+    pending: Mshr<PendingReq>,
+    in_queue: VecDeque<(Cycle, usize, L1ToL2)>,
+    /// Per-block queues headed by a stalled (strong) write; later requests
+    /// to the block wait behind it.
+    blocked: HashMap<BlockAddr, VecDeque<(usize, L1ToL2)>>,
+    /// Fills that could not install because every victim's lease is live
+    /// (the inclusive-L2 replacement stall).
+    install_wait: Vec<BlockAddr>,
+    out_resp: VecDeque<(usize, L2ToL1)>,
+    dram_out: VecDeque<(BlockAddr, bool)>,
+    stats: CacheStats,
+}
+
+impl TcL2 {
+    /// Creates an empty bank.
+    #[must_use]
+    pub fn new(p: TcL2Params) -> Self {
+        TcL2 {
+            tags: TagArray::new(p.geometry),
+            backing: HashMap::new(),
+            pending: Mshr::new(p.mshr_entries, p.mshr_merges),
+            in_queue: VecDeque::new(),
+            blocked: HashMap::new(),
+            install_wait: Vec::new(),
+            out_resp: VecDeque::new(),
+            dram_out: VecDeque::new(),
+            stats: CacheStats::default(),
+            p,
+        }
+    }
+
+    fn perform_read(&mut self, src: usize, block: BlockAddr, now: Cycle) {
+        let lease = self.p.lease_cycles;
+        let line = self.tags.probe_mut(block).expect("caller checked residency");
+        line.meta.expires = line.meta.expires.max(now + lease);
+        let (expires, version) = (line.meta.expires, line.meta.version);
+        self.out_resp.push_back((
+            src,
+            L2ToL1::Fill(FillResp {
+                block,
+                lease: LeaseInfo::Physical { expires },
+                version,
+                epoch: 0,
+            }),
+        ));
+    }
+
+    fn perform_write(
+        &mut self,
+        src: usize,
+        block: BlockAddr,
+        version: Version,
+        now: Cycle,
+        is_atomic: bool,
+    ) {
+        let line = self.tags.probe_mut(block).expect("caller checked residency");
+        let prev = line.meta.version;
+        let gwct = line.meta.expires.max(now);
+        line.meta.version = version;
+        line.meta.dirty = true;
+        self.stats.stores += 1;
+        let lease = match self.p.mode {
+            // Strong: the ack certifies global performance; nothing to carry.
+            TcMode::Strong => LeaseInfo::None,
+            // Weak: the ack carries the GWCT.
+            TcMode::Weak => LeaseInfo::Physical { expires: gwct },
+        };
+        let ack = WriteAckResp { block, lease, version, epoch: 0 };
+        let resp = if is_atomic { L2ToL1::AtomicAck { ack, prev } } else { L2ToL1::WriteAck(ack) };
+        self.out_resp.push_back((src, resp));
+    }
+
+    /// Whether a (strong) write to a resident `block` may be performed now.
+    fn write_may_proceed(&self, block: BlockAddr, now: Cycle) -> bool {
+        match self.p.mode {
+            TcMode::Weak => true,
+            TcMode::Strong => self
+                .tags
+                .peek(block)
+                .is_none_or(|line| now >= line.meta.expires),
+        }
+    }
+
+    fn handle(&mut self, src: usize, msg: L1ToL2, now: Cycle) {
+        let block = msg.block();
+        // A stalled write owns the block: queue behind it in order.
+        if let Some(q) = self.blocked.get_mut(&block) {
+            q.push_back((src, msg));
+            return;
+        }
+        self.stats.accesses += 1;
+        if self.tags.peek(block).is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.cold_misses += 1;
+            match self.pending.register(block, PendingReq { src, msg }) {
+                MshrAlloc::AllocatedNew => self.dram_out.push_back((block, false)),
+                MshrAlloc::Merged => self.stats.mshr_merges += 1,
+                MshrAlloc::Full => {
+                    unreachable!("tick() admits requests only when the MSHR can take them")
+                }
+            }
+            return;
+        }
+        match msg {
+            L1ToL2::Read(_) => self.perform_read(src, block, now),
+            L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
+                if self.write_may_proceed(block, now) {
+                    self.perform_write(src, block, w.version, now, matches!(msg, L1ToL2::Atomic(_)));
+                } else {
+                    // Lease-induced write stall: park, blocking the block.
+                    // Atomics stall too — the RMW cannot be performed
+                    // while private copies may still be read.
+                    self.blocked.entry(block).or_default().push_back((src, msg));
+                }
+            }
+        }
+    }
+
+    /// Tries to install a DRAM fill; under inclusion, only expired victims
+    /// may be evicted.
+    fn try_install(&mut self, block: BlockAddr, now: Cycle) -> bool {
+        let version = self.backing.get(&block).copied().unwrap_or(Version::ZERO);
+        let meta = TcL2Meta { expires: Cycle(0), version, dirty: false };
+        match self.tags.fill_if(block, meta, |l| now >= l.meta.expires) {
+            Ok(evicted) => {
+                if let Some(ev) = evicted {
+                    self.stats.evictions += 1;
+                    if ev.meta.dirty {
+                        self.backing.insert(ev.block, ev.meta.version);
+                        self.dram_out.push_back((ev.block, true));
+                    }
+                }
+                // Serve everything that waited for the fetch.
+                for w in self.pending.take(block) {
+                    self.handle_present(w.src, w.msg, now);
+                }
+                true
+            }
+            Err(_) => {
+                self.stats.eviction_stall_cycles += 1;
+                false
+            }
+        }
+    }
+
+    /// Like [`TcL2::handle`] but for requests already counted on arrival
+    /// (the block is now resident).
+    fn handle_present(&mut self, src: usize, msg: L1ToL2, now: Cycle) {
+        if let Some(q) = self.blocked.get_mut(&msg.block()) {
+            q.push_back((src, msg));
+            return;
+        }
+        match msg {
+            L1ToL2::Read(_) => self.perform_read(src, msg.block(), now),
+            L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
+                if self.write_may_proceed(msg.block(), now) {
+                    self.perform_write(src, msg.block(), w.version, now, matches!(msg, L1ToL2::Atomic(_)));
+                } else {
+                    self.blocked.entry(msg.block()).or_default().push_back((src, msg));
+                }
+            }
+        }
+    }
+
+    /// Head-of-line admission check: a miss that cannot get an MSHR slot
+    /// stalls the queue (younger same-block requests must not overtake).
+    /// Requests destined for a blocked-block queue are always admitted.
+    fn can_handle(&self, msg: &L1ToL2) -> bool {
+        let block = msg.block();
+        if self.blocked.contains_key(&block) || self.tags.peek(block).is_some() {
+            return true;
+        }
+        if self.pending.contains(block) {
+            return self.pending.waiters(block) < 256;
+        }
+        !self.pending.is_full()
+    }
+
+    /// Drains per-block stall queues whose head write has become
+    /// performable.
+    fn drain_blocked(&mut self, now: Cycle) {
+        let blocks: Vec<BlockAddr> = self.blocked.keys().copied().collect();
+        for block in blocks {
+            // If the line was evicted while its queue waited (possible
+            // once the lease expired — which also satisfies the parked
+            // write's wait condition), re-handle the whole queue through
+            // the normal miss path, preserving order.
+            if self.tags.peek(block).is_none() {
+                if let Some(q) = self.blocked.remove(&block) {
+                    for (src, msg) in q {
+                        self.in_queue.push_back((now, src, msg));
+                    }
+                }
+                continue;
+            }
+            #[allow(clippy::while_let_loop)] // two let-else exits; a while-let cannot express both
+            loop {
+                let Some(q) = self.blocked.get_mut(&block) else { break };
+                let Some((src, msg)) = q.front().copied() else {
+                    self.blocked.remove(&block);
+                    break;
+                };
+                let ok = match msg {
+                    L1ToL2::Read(_) => true,
+                    L1ToL2::Write(_) | L1ToL2::Atomic(_) => self.write_may_proceed(block, now),
+                };
+                if !ok {
+                    self.stats.write_stall_cycles += 1;
+                    break;
+                }
+                self.blocked
+                    .get_mut(&block)
+                    .expect("queue exists")
+                    .pop_front();
+                self.stats.accesses += 1;
+                match msg {
+                    L1ToL2::Read(_) => self.perform_read(src, block, now),
+                    L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
+                        self.perform_write(src, block, w.version, now, matches!(msg, L1ToL2::Atomic(_)));
+                    }
+                }
+            }
+            if self.blocked.get(&block).is_some_and(VecDeque::is_empty) {
+                self.blocked.remove(&block);
+            }
+        }
+    }
+}
+
+impl L2Controller for TcL2 {
+    fn on_request(&mut self, src: usize, msg: L1ToL2, now: Cycle) {
+        self.in_queue.push_back((now + self.p.latency, src, msg));
+    }
+
+    fn take_response(&mut self) -> Option<(usize, L2ToL1)> {
+        self.out_resp.pop_front()
+    }
+
+    fn take_dram_request(&mut self) -> Option<(BlockAddr, bool)> {
+        self.dram_out.pop_front()
+    }
+
+    fn on_dram_response(&mut self, block: BlockAddr, is_write: bool, now: Cycle) {
+        if is_write {
+            return;
+        }
+        if !self.try_install(block, now) {
+            self.install_wait.push(block);
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // Retry fills stalled on inclusive replacement.
+        if !self.install_wait.is_empty() {
+            let waiting = std::mem::take(&mut self.install_wait);
+            for block in waiting {
+                if !self.try_install(block, now) {
+                    self.install_wait.push(block);
+                }
+            }
+        }
+        self.drain_blocked(now);
+        for _ in 0..self.p.ports {
+            match self.in_queue.front() {
+                Some((ready, _, msg)) if *ready <= now => {
+                    if !self.can_handle(msg) {
+                        break; // head-of-line stall until an MSHR frees
+                    }
+                    let (_, src, msg) = self.in_queue.pop_front().expect("front exists");
+                    self.handle(src, msg, now);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.in_queue.is_empty()
+            && self.pending.is_empty()
+            && self.out_resp.is_empty()
+            && self.dram_out.is_empty()
+            && self.blocked.is_empty()
+            && self.install_wait.is_empty()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn memory_image(&self) -> Vec<(BlockAddr, Version)> {
+        let mut img: std::collections::HashMap<BlockAddr, Version> = self.backing.clone();
+        for line in self.tags.iter() {
+            img.insert(line.block, line.meta.version);
+        }
+        img.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_protocol::msg::{ReadReq, WriteReq};
+    use gtsc_types::Timestamp;
+
+    fn read(block: u64) -> L1ToL2 {
+        L1ToL2::Read(ReadReq {
+            block: BlockAddr(block),
+            wts: Timestamp(0),
+            warp_ts: Timestamp(0),
+            epoch: 0,
+        })
+    }
+
+    fn write(block: u64, version: u64) -> L1ToL2 {
+        L1ToL2::Write(WriteReq {
+            block: BlockAddr(block),
+            warp_ts: Timestamp(0),
+            version: Version(version),
+            epoch: 0,
+        })
+    }
+
+    /// Advances the bank, resolving DRAM instantly, until idle or horizon.
+    fn settle(l2: &mut TcL2, start: Cycle, horizon: u64) -> Vec<(u64, usize, L2ToL1)> {
+        let mut out = Vec::new();
+        for c in start.0..start.0 + horizon {
+            l2.tick(Cycle(c));
+            while let Some((b, w)) = l2.take_dram_request() {
+                l2.on_dram_response(b, w, Cycle(c));
+            }
+            while let Some((d, m)) = l2.take_response() {
+                out.push((c, d, m));
+            }
+            if l2.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn read_grants_physical_lease() {
+        let mut l2 = TcL2::new(TcL2Params::default());
+        l2.on_request(0, read(5), Cycle(0));
+        let resps = settle(&mut l2, Cycle(0), 100);
+        let (c, _, L2ToL1::Fill(f)) = &resps[0] else { panic!("expected fill") };
+        assert_eq!(f.lease, LeaseInfo::Physical { expires: Cycle(c + 100) });
+    }
+
+    #[test]
+    fn strong_write_stalls_until_lease_expiry() {
+        let mut l2 = TcL2::new(TcL2Params { latency: 0, ..TcL2Params::default() });
+        l2.on_request(0, read(5), Cycle(0));
+        let resps = settle(&mut l2, Cycle(0), 10);
+        let (granted_at, _, _) = resps[0];
+        let expiry = granted_at + 100;
+        // Write arrives at cycle 10: must wait until the lease expires.
+        l2.on_request(1, write(5, 77), Cycle(10));
+        let resps = settle(&mut l2, Cycle(10), 500);
+        let acks: Vec<_> = resps
+            .iter()
+            .filter(|(_, _, m)| matches!(m, L2ToL1::WriteAck(_)))
+            .collect();
+        assert_eq!(acks.len(), 1);
+        assert!(acks[0].0 >= expiry, "ack at {} before lease expiry {expiry}", acks[0].0);
+        assert!(l2.stats().write_stall_cycles > 0);
+    }
+
+    #[test]
+    fn reads_behind_stalled_write_wait_and_see_new_data() {
+        let mut l2 = TcL2::new(TcL2Params { latency: 0, ..TcL2Params::default() });
+        l2.on_request(0, read(5), Cycle(0));
+        settle(&mut l2, Cycle(0), 5);
+        l2.on_request(1, write(5, 77), Cycle(10));
+        l2.tick(Cycle(10));
+        // A read arriving behind the stalled write queues behind it.
+        l2.on_request(2, read(5), Cycle(11));
+        let resps = settle(&mut l2, Cycle(11), 500);
+        let fill_after = resps
+            .iter()
+            .find_map(|(c, d, m)| match m {
+                L2ToL1::Fill(f) if *d == 2 => Some((*c, f.version)),
+                _ => None,
+            })
+            .expect("queued read eventually served");
+        let ack_at = resps
+            .iter()
+            .find_map(|(c, _, m)| matches!(m, L2ToL1::WriteAck(_)).then_some(*c))
+            .expect("write acked");
+        assert!(fill_after.0 >= ack_at, "read served only after the write performs");
+        assert_eq!(fill_after.1, Version(77), "read observes the new value");
+    }
+
+    #[test]
+    fn weak_write_completes_immediately_with_gwct() {
+        let mut l2 = TcL2::new(TcL2Params { mode: TcMode::Weak, latency: 0, ..TcL2Params::default() });
+        l2.on_request(0, read(5), Cycle(0));
+        let resps = settle(&mut l2, Cycle(0), 10);
+        let (granted_at, _, _) = resps[0];
+        l2.on_request(1, write(5, 77), Cycle(10));
+        let resps = settle(&mut l2, Cycle(10), 50);
+        let (c, _, L2ToL1::WriteAck(a)) = &resps[0] else { panic!("expected ack") };
+        assert!(*c < granted_at + 100, "no stall in weak mode");
+        assert_eq!(a.lease, LeaseInfo::Physical { expires: Cycle(granted_at + 100) });
+        assert_eq!(l2.stats().write_stall_cycles, 0);
+    }
+
+    #[test]
+    fn inclusive_replacement_stalls_on_live_victims() {
+        // Direct-mapped, 2 sets: blocks 0 and 2 conflict.
+        let geometry = CacheGeometry::new(256, 1, 128);
+        let mut l2 = TcL2::new(TcL2Params { geometry, latency: 0, ..TcL2Params::default() });
+        l2.on_request(0, read(0), Cycle(0));
+        let resps = settle(&mut l2, Cycle(0), 5);
+        let lease_until = resps[0].0 + 100;
+        // Fetch block 2: its install must wait for block 0's lease.
+        l2.on_request(0, read(2), Cycle(5));
+        let resps = settle(&mut l2, Cycle(5), 500);
+        let fill2 = resps
+            .iter()
+            .find_map(|(c, _, m)| match m {
+                L2ToL1::Fill(f) if f.block == BlockAddr(2) => Some(*c),
+                _ => None,
+            })
+            .expect("block 2 eventually fills");
+        assert!(fill2 >= lease_until, "fill at {fill2} before victim lease expiry {lease_until}");
+        assert!(l2.stats().eviction_stall_cycles > 0);
+    }
+
+    #[test]
+    fn strong_atomic_stalls_until_lease_expiry() {
+        let mut l2 = TcL2::new(TcL2Params { latency: 0, ..TcL2Params::default() });
+        l2.on_request(0, read(5), Cycle(0));
+        let resps = settle(&mut l2, Cycle(0), 10);
+        let expiry = resps[0].0 + 100;
+        // The RMW cannot be performed while a private copy may be read:
+        // this is the per-atomic penalty TC pays on graph workloads.
+        l2.on_request(
+            1,
+            L1ToL2::Atomic(gtsc_protocol::msg::WriteReq {
+                block: BlockAddr(5),
+                warp_ts: Timestamp(0),
+                version: Version(9),
+                epoch: 0,
+            }),
+            Cycle(10),
+        );
+        let resps = settle(&mut l2, Cycle(10), 500);
+        let ack_at = resps
+            .iter()
+            .find_map(|(c, _, m)| matches!(m, L2ToL1::AtomicAck { .. }).then_some(*c))
+            .expect("atomic acked");
+        assert!(ack_at >= expiry, "atomic acked at {ack_at} before lease expiry {expiry}");
+    }
+
+    #[test]
+    fn weak_atomic_returns_prev_immediately() {
+        let mut l2 = TcL2::new(TcL2Params { latency: 0, mode: TcMode::Weak, ..TcL2Params::default() });
+        l2.on_request(0, write(5, 42), Cycle(0));
+        settle(&mut l2, Cycle(0), 50);
+        l2.on_request(
+            1,
+            L1ToL2::Atomic(gtsc_protocol::msg::WriteReq {
+                block: BlockAddr(5),
+                warp_ts: Timestamp(0),
+                version: Version(9),
+                epoch: 0,
+            }),
+            Cycle(60),
+        );
+        let resps = settle(&mut l2, Cycle(60), 50);
+        let (_, _, L2ToL1::AtomicAck { prev, .. }) = &resps[0] else { panic!("expected atomic ack") };
+        assert_eq!(*prev, Version(42));
+    }
+
+    #[test]
+    fn dirty_eviction_survives_via_backing_store() {
+        let geometry = CacheGeometry::new(256, 1, 128);
+        let mut l2 = TcL2::new(TcL2Params { geometry, latency: 0, mode: TcMode::Weak, ..TcL2Params::default() });
+        l2.on_request(0, write(0, 42), Cycle(0));
+        settle(&mut l2, Cycle(0), 200);
+        l2.on_request(0, read(2), Cycle(300)); // evicts block 0 (expired by then)
+        settle(&mut l2, Cycle(300), 200);
+        l2.on_request(0, read(0), Cycle(600));
+        let resps = settle(&mut l2, Cycle(600), 200);
+        let version = resps
+            .iter()
+            .find_map(|(_, _, m)| match m {
+                L2ToL1::Fill(f) if f.block == BlockAddr(0) => Some(f.version),
+                _ => None,
+            })
+            .expect("refetch");
+        assert_eq!(version, Version(42));
+    }
+}

@@ -1,0 +1,53 @@
+//! Whole-simulator throughput benchmarks: one small figure-style run per
+//! evaluated system, so `cargo bench` tracks the end-to-end cost of the
+//! experiment harness (and regressions in any layer show up here).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gtsc_sim::GpuSim;
+use gtsc_types::{ConsistencyModel, GpuConfig, ProtocolKind};
+use gtsc_workloads::{Benchmark, Scale};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fullsim_bh_tiny");
+    group.sample_size(10);
+    for (p, m, label) in [
+        (ProtocolKind::Gtsc, ConsistencyModel::Rc, "gtsc_rc"),
+        (ProtocolKind::Gtsc, ConsistencyModel::Sc, "gtsc_sc"),
+        (ProtocolKind::TcWeak, ConsistencyModel::Rc, "tc_rc"),
+        (ProtocolKind::Tc, ConsistencyModel::Sc, "tc_sc"),
+        (ProtocolKind::NoL1, ConsistencyModel::Rc, "bl"),
+    ] {
+        group.bench_function(label, |b| {
+            let kernel = Benchmark::Bh.build(Scale::Tiny);
+            let cfg = GpuConfig::test_small().with_protocol(p).with_consistency(m);
+            b.iter_batched(
+                || GpuSim::new(cfg.clone()),
+                |mut sim| sim.run_kernel(kernel.as_ref()).expect("completes"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fullsim_gtsc_rc_tiny");
+    group.sample_size(10);
+    for bench in Benchmark::all() {
+        group.bench_function(bench.name(), |b| {
+            let kernel = bench.build(Scale::Tiny);
+            let cfg = GpuConfig::test_small()
+                .with_protocol(ProtocolKind::Gtsc)
+                .with_consistency(ConsistencyModel::Rc);
+            b.iter_batched(
+                || GpuSim::new(cfg.clone()),
+                |mut sim| sim.run_kernel(kernel.as_ref()).expect("completes"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_benchmarks);
+criterion_main!(benches);

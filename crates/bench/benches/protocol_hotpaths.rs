@@ -1,0 +1,174 @@
+//! Microbenchmarks of the protocol hot paths: the L1 hit/miss checks and
+//! the L2 lease/store timestamp assignment that execute once per memory
+//! access in the simulator (and correspond to the paper's per-access
+//! hardware operations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gtsc_baselines::{TcL1, TcL1Params};
+use gtsc_core::rules::{extend_rts, lease_covers, load_ts, store_wts};
+use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
+use gtsc_protocol::msg::{FillResp, L1ToL2, LeaseInfo, ReadReq};
+use gtsc_protocol::{AccessId, AccessKind, L1Controller, L2Controller, MemAccess};
+use gtsc_types::{BlockAddr, Cycle, Lease, Timestamp, Version, WarpId};
+
+fn bench_rules(c: &mut Criterion) {
+    c.bench_function("rules/store_wts+extend_rts+load_ts", |b| {
+        b.iter(|| {
+            let wts = store_wts(black_box(Timestamp(1000)), black_box(Timestamp(37)));
+            let rts = extend_rts(wts + Lease(10), Timestamp(40), Lease(10));
+            let lt = load_ts(Timestamp(12), wts);
+            black_box((wts, rts, lt, lease_covers(rts, lt)))
+        })
+    });
+}
+
+fn bench_l1_hit(c: &mut Criterion) {
+    let mut l1 = GtscL1::new(L1Params::default());
+    // Warm one line with an effectively infinite lease.
+    let warm = MemAccess {
+        id: AccessId(0),
+        warp: WarpId(0),
+        kind: AccessKind::Load,
+        block: BlockAddr(5),
+    };
+    l1.access(warm, Cycle(0));
+    l1.take_request();
+    l1.on_response(
+        gtsc_protocol::msg::L2ToL1::Fill(FillResp {
+            block: BlockAddr(5),
+            lease: LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(u64::from(u32::MAX)) },
+            version: Version(9),
+            epoch: 0,
+        }),
+        Cycle(1),
+    );
+    let mut id = 1u64;
+    c.bench_function("gtsc_l1/load_hit", |b| {
+        b.iter(|| {
+            id += 1;
+            let acc = MemAccess {
+                id: AccessId(id),
+                warp: WarpId((id % 4) as u16),
+                kind: AccessKind::Load,
+                block: BlockAddr(5),
+            };
+            black_box(l1.access(acc, Cycle(id)))
+        })
+    });
+}
+
+fn bench_l1_miss_roundtrip(c: &mut Criterion) {
+    let mut id = 0u64;
+    c.bench_function("gtsc_l1/miss_fill_roundtrip", |b| {
+        let mut l1 = GtscL1::new(L1Params::default());
+        b.iter(|| {
+            id += 1;
+            let block = BlockAddr(id % 64);
+            let acc = MemAccess {
+                id: AccessId(id),
+                warp: WarpId((id % 4) as u16),
+                kind: AccessKind::Load,
+                block,
+            };
+            l1.access(acc, Cycle(id));
+            while l1.take_request().is_some() {}
+            let done = l1.on_response(
+                gtsc_protocol::msg::L2ToL1::Fill(FillResp {
+                    block,
+                    lease: LeaseInfo::Logical {
+                        wts: Timestamp(1),
+                        rts: Timestamp(u64::from(u32::MAX)),
+                    },
+                    version: Version(1),
+                    epoch: 0,
+                }),
+                Cycle(id),
+            );
+            black_box(done.len())
+        })
+    });
+}
+
+fn bench_l2_serve(c: &mut Criterion) {
+    let mut l2 = GtscL2::new(L2Params { ts_bits: 48, ..L2Params::default() });
+    // Warm a block.
+    l2.on_request(
+        0,
+        L1ToL2::Read(ReadReq {
+            block: BlockAddr(3),
+            wts: Timestamp(0),
+            warp_ts: Timestamp(1),
+            epoch: 0,
+        }),
+        Cycle(0),
+    );
+    for cyc in 0..64 {
+        l2.tick(Cycle(cyc));
+        while let Some((bl, w)) = l2.take_dram_request() {
+            l2.on_dram_response(bl, w, Cycle(cyc));
+        }
+        while l2.take_response().is_some() {}
+    }
+    let mut cyc = 100u64;
+    c.bench_function("gtsc_l2/renewal_serve", |b| {
+        b.iter(|| {
+            cyc += 20;
+            l2.on_request(
+                0,
+                L1ToL2::Read(ReadReq {
+                    block: BlockAddr(3),
+                    wts: Timestamp(1),
+                    warp_ts: Timestamp(cyc % 50_000),
+                    epoch: 0,
+                }),
+                Cycle(cyc),
+            );
+            l2.tick(Cycle(cyc + 15));
+            black_box(l2.take_response())
+        })
+    });
+}
+
+fn bench_tc_l1_hit(c: &mut Criterion) {
+    let mut l1 = TcL1::new(TcL1Params::default());
+    let warm = MemAccess {
+        id: AccessId(0),
+        warp: WarpId(0),
+        kind: AccessKind::Load,
+        block: BlockAddr(5),
+    };
+    l1.access(warm, Cycle(0));
+    l1.take_request();
+    l1.on_response(
+        gtsc_protocol::msg::L2ToL1::Fill(FillResp {
+            block: BlockAddr(5),
+            lease: LeaseInfo::Physical { expires: Cycle(u64::MAX) },
+            version: Version(9),
+            epoch: 0,
+        }),
+        Cycle(1),
+    );
+    let mut id = 1u64;
+    c.bench_function("tc_l1/load_hit", |b| {
+        b.iter(|| {
+            id += 1;
+            let acc = MemAccess {
+                id: AccessId(id),
+                warp: WarpId((id % 4) as u16),
+                kind: AccessKind::Load,
+                block: BlockAddr(5),
+            };
+            black_box(l1.access(acc, Cycle(id)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rules,
+    bench_l1_hit,
+    bench_l1_miss_roundtrip,
+    bench_l2_serve,
+    bench_tc_l1_hit
+);
+criterion_main!(benches);

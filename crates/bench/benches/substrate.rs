@@ -1,0 +1,71 @@
+//! Microbenchmarks of the memory-system substrate: tag array, MSHR,
+//! DRAM timing model, and NoC throughput — the per-cycle building blocks
+//! every protocol shares.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gtsc_mem::{Dram, DramRequest, Mshr, TagArray};
+use gtsc_noc::Network;
+use gtsc_types::{BlockAddr, CacheGeometry, Cycle, DramConfig, NocConfig};
+
+fn bench_tag_array(c: &mut Criterion) {
+    let geom = CacheGeometry::new(16 * 1024, 4, 128);
+    let mut tags: TagArray<u64> = TagArray::new(geom);
+    for b in 0..128 {
+        tags.fill(BlockAddr(b), b);
+    }
+    let mut i = 0u64;
+    c.bench_function("tag_array/probe_hit", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(tags.probe(BlockAddr(i % 128)).is_some())
+        })
+    });
+    c.bench_function("tag_array/fill_evict", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(tags.fill(BlockAddr(i % 4096), i))
+        })
+    });
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    let mut i = 0u64;
+    c.bench_function("mshr/register_take", |b| {
+        let mut m: Mshr<u64> = Mshr::new(32, 8);
+        b.iter(|| {
+            i += 1;
+            let block = BlockAddr(i % 16);
+            m.register(block, i);
+            if i.is_multiple_of(4) {
+                black_box(m.take(block).len());
+            }
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/enqueue_tick", |b| {
+        let mut d: Dram<u64> = Dram::new(DramConfig::default());
+        let mut cyc = 0u64;
+        b.iter(|| {
+            cyc += 1;
+            d.enqueue(DramRequest { block: BlockAddr(cyc % 512), is_write: cyc.is_multiple_of(5), payload: cyc });
+            black_box(d.tick(Cycle(cyc)).len())
+        })
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc/send_tick_16x8", |b| {
+        let mut n: Network<u64> = Network::new(16, 8, NocConfig::default());
+        let mut cyc = 0u64;
+        b.iter(|| {
+            cyc += 1;
+            n.send((cyc % 16) as usize, (cyc % 8) as usize, 136, cyc, Cycle(cyc));
+            black_box(n.tick(Cycle(cyc)).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_tag_array, bench_mshr, bench_dram, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation of Section V-C — non-inclusive vs inclusive L2 under G-TSC.
+//!
+//! G-TSC supports non-inclusion via the single `mem_ts` per bank
+//! (evictions fold their lease into it). An inclusive hierarchy would
+//! instead have to recall every private copy on eviction; this ablation
+//! runs G-TSC with such recalls to expose the traffic inclusion would
+//! cost. (TC has no choice: it must be inclusive, and additionally stalls
+//! replacement on live victims — measured by the TC rows.)
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin ablation_inclusion [-- --scale small]`
+
+use gtsc_bench::harness::scale_from_args;
+use gtsc_bench::{config_for, run_with_config, Table};
+use gtsc_types::{ConsistencyModel, InclusionPolicy, ProtocolKind};
+use gtsc_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = Table::new(
+        &format!(
+            "§V-C ablation: G-TSC-RC non-inclusive vs inclusive (recalls) [{scale:?}] \
+             (cycles millions; flits thousands; TC eviction-stall cycles)"
+        ),
+        &["cyc non-inc", "cyc inc", "flits non-inc", "flits inc", "TC evict-stall"],
+    )
+    .precision(3);
+    for b in Benchmark::all() {
+        let mut cyc = Vec::new();
+        let mut flits = Vec::new();
+        for inclusion in [InclusionPolicy::NonInclusive, InclusionPolicy::Inclusive] {
+            let mut cfg = config_for(ProtocolKind::Gtsc, ConsistencyModel::Rc);
+            cfg.inclusion = inclusion;
+            let out = run_with_config(b, cfg, scale);
+            assert_eq!(out.violations, 0, "{}", b.name());
+            cyc.push(out.stats.cycles.0 as f64 / 1e6);
+            flits.push(out.stats.noc.flits as f64 / 1e3);
+        }
+        let tc = run_with_config(
+            b,
+            config_for(ProtocolKind::Tc, ConsistencyModel::Sc),
+            scale,
+        );
+        table.row(
+            b.name(),
+            vec![cyc[0], cyc[1], flits[0], flits[1], tc.stats.l2.eviction_stall_cycles as f64],
+        );
+    }
+    println!("{table}");
+    println!(
+        "Non-inclusion is free for G-TSC (mem_ts); inclusion adds recall traffic.\n\
+         TC's inclusive L2 additionally stalls replacement while victims hold live leases."
+    );
+}

@@ -1,0 +1,35 @@
+//! Ablation — warp scheduling policy: greedy-then-oldest (GTO, the
+//! GPGPU-Sim default) vs loose round-robin, under G-TSC-RC.
+//!
+//! GTO improves intra-warp locality (a warp keeps its own lease-covered
+//! lines hot); round-robin interleaves warps finely, spreading accesses.
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin ablation_scheduler [-- --scale small]`
+
+use gtsc_bench::harness::scale_from_args;
+use gtsc_bench::{config_for, run_with_config, Table};
+use gtsc_types::{ConsistencyModel, ProtocolKind, WarpScheduler};
+use gtsc_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = Table::new(
+        &format!("scheduler ablation: G-TSC-RC cycles (millions), GTO vs round-robin [{scale:?}]"),
+        &["GTO", "RR", "RR/GTO", "L1 hit% GTO", "L1 hit% RR"],
+    )
+    .precision(3);
+    for b in Benchmark::all() {
+        let mut cyc = Vec::new();
+        let mut hit = Vec::new();
+        for sched in [WarpScheduler::Gto, WarpScheduler::RoundRobin] {
+            let mut cfg = config_for(ProtocolKind::Gtsc, ConsistencyModel::Rc);
+            cfg.scheduler = sched;
+            let out = run_with_config(b, cfg, scale);
+            assert_eq!(out.violations, 0, "{}", b.name());
+            cyc.push(out.stats.cycles.0 as f64 / 1e6);
+            hit.push(100.0 * out.stats.l1.hit_rate());
+        }
+        table.row(b.name(), vec![cyc[0], cyc[1], cyc[1] / cyc[0], hit[0], hit[1]]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,49 @@
+//! Ablation of Section V-D — hardware timestamp width and rollover cost.
+//!
+//! The paper uses 16-bit timestamps and argues wrap-around is rare enough
+//! for the reset protocol (flush L1s, rebase L2 leases) to be cheap. This
+//! ablation shrinks the width until rollovers become frequent, showing
+//! the protocol stays *correct* (checker-clean) and measuring the cost.
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin ablation_tsbits [-- --scale small]`
+
+use gtsc_bench::harness::scale_from_args;
+use gtsc_bench::{config_for, run_with_config, Table};
+use gtsc_types::{ConsistencyModel, ProtocolKind};
+use gtsc_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let widths = [8u32, 10, 12, 16];
+    let labels: Vec<String> = widths
+        .iter()
+        .flat_map(|w| [format!("cyc@{w}b"), format!("resets@{w}b")])
+        .collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        &format!("§V-D ablation: G-TSC-RC vs timestamp width (cycles in millions) [{scale:?}]"),
+        &label_refs,
+    )
+    .precision(4);
+    for b in Benchmark::group_a() {
+        let mut row = Vec::new();
+        for w in widths {
+            let mut cfg = config_for(ProtocolKind::Gtsc, ConsistencyModel::Rc);
+            cfg.ts_bits = w;
+            let out = run_with_config(b, cfg, scale);
+            assert_eq!(
+                out.violations, 0,
+                "{} must stay coherent across rollovers at {w} bits",
+                b.name()
+            );
+            row.push(out.stats.cycles.0 as f64 / 1e6);
+            row.push(out.stats.l2.ts_rollovers as f64);
+        }
+        table.row(b.name(), row);
+    }
+    println!("{table}");
+    println!(
+        "16-bit timestamps make rollover \"sufficiently rare\" (paper §V-D); the run\n\
+         stays coherent even when narrow counters force frequent resets."
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 12 — Performance of GPU coherence protocols with different
+//! memory models.
+//!
+//! Bars: `BL-W/L1` (group B only), `G-TSC-RC`, `G-TSC-SC`, `TC-RC`,
+//! `TC-SC`, each normalized to the coherent no-L1 baseline (`BL`):
+//! `normalized performance = BL cycles / config cycles` — higher is
+//! better, exactly as the paper plots it.
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin fig12 [-- --scale small]`
+
+use gtsc_bench::harness::scale_from_args;
+use gtsc_bench::{paper_configs, run_benchmark, Table};
+use gtsc_types::{ConsistencyModel, ProtocolKind};
+use gtsc_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = paper_configs();
+    let labels: Vec<&str> = configs.iter().map(|c| c.label).collect();
+    let mut table = Table::new(
+        &format!("Figure 12: performance normalized to BL (no-L1), higher is better [{scale:?}]"),
+        &labels,
+    );
+    let mut group_a_speedup_gtsc_over_tc = Vec::new();
+    for b in Benchmark::all() {
+        let bl = run_benchmark(b, ProtocolKind::NoL1, ConsistencyModel::Rc, scale);
+        let mut row = Vec::new();
+        let mut cycles = std::collections::HashMap::new();
+        for pc in configs {
+            if pc.protocol == ProtocolKind::L1NoCoherence && b.requires_coherence() {
+                // The paper reports BL-W/L1 only for benchmarks that do
+                // not require coherence.
+                row.push(f64::NAN);
+                continue;
+            }
+            let out = run_benchmark(b, pc.protocol, pc.consistency, scale);
+            cycles.insert(pc.label, out.stats.cycles.0);
+            row.push(bl.stats.cycles.0 as f64 / out.stats.cycles.0 as f64);
+        }
+        if b.requires_coherence() {
+            if let (Some(g), Some(t)) = (cycles.get("G-TSC-RC"), cycles.get("TC-RC")) {
+                group_a_speedup_gtsc_over_tc.push(*t as f64 / *g as f64);
+            }
+        }
+        table.row(b.name(), row);
+    }
+    table.geomean_row();
+    table.save_csv_if_requested();
+    println!("{table}");
+    if !group_a_speedup_gtsc_over_tc.is_empty() {
+        let n = group_a_speedup_gtsc_over_tc.len() as f64;
+        let geo: f64 =
+            (group_a_speedup_gtsc_over_tc.iter().map(|x| x.ln()).sum::<f64>() / n).exp();
+        println!(
+            "G-TSC-RC speedup over TC-RC on coherence benchmarks (geomean): {:.2}x \
+             (paper reports ~1.38x)",
+            geo
+        );
+    }
+}

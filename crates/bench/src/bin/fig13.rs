@@ -1,0 +1,59 @@
+//! Figure 13 — pipeline stalls due to memory delay, normalized to the
+//! no-L1 baseline (lower is better).
+//!
+//! "Stalls due to memory delay" counts warp-cycles waiting on
+//! outstanding memory operations *including fences* (a fence waiting on
+//! write acks or a GWCT is a memory-delay stall — it is where TC-Weak's
+//! write latency surfaces). The paper reports TC incurring ~45% more
+//! stalls than G-TSC on the coherence benchmarks.
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin fig13 [-- --scale small]`
+
+use gtsc_bench::harness::scale_from_args;
+use gtsc_bench::{paper_configs, run_benchmark, Table};
+use gtsc_types::{ConsistencyModel, ProtocolKind};
+use gtsc_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs: Vec<_> = paper_configs()
+        .into_iter()
+        .filter(|c| c.protocol != ProtocolKind::L1NoCoherence)
+        .collect();
+    let labels: Vec<&str> = configs.iter().map(|c| c.label).collect();
+    let mut table = Table::new(
+        &format!("Figure 13: memory-delay pipeline stalls normalized to BL, lower is better [{scale:?}]"),
+        &labels,
+    );
+    let mut ratio_tc_over_gtsc = Vec::new();
+    for b in Benchmark::all() {
+        let stalls = |o: &gtsc_bench::RunOutcome| {
+            o.stats.sm.memory_stall_cycles + o.stats.sm.fence_stall_cycles
+        };
+        let bl = run_benchmark(b, ProtocolKind::NoL1, ConsistencyModel::Rc, scale);
+        // Some compute-bound kernels stall the baseline (almost) never;
+        // a ratio against ~0 is meaningless, so report NaN there.
+        let base = stalls(&bl) as f64;
+        let mut row = Vec::new();
+        let mut by_label = std::collections::HashMap::new();
+        for pc in &configs {
+            let out = run_benchmark(b, pc.protocol, pc.consistency, scale);
+            let s = stalls(&out);
+            by_label.insert(pc.label, s);
+            row.push(if base >= 1000.0 { s as f64 / base } else { f64::NAN });
+        }
+        if let (Some(&g), Some(&t)) = (by_label.get("G-TSC-RC"), by_label.get("TC-RC")) {
+            ratio_tc_over_gtsc.push(t.max(1) as f64 / g.max(1) as f64);
+        }
+        table.row(b.name(), row);
+    }
+    table.save_csv_if_requested();
+    println!("{table}");
+    println!("(NaN rows: the baseline barely stalls there, so the ratio is undefined)");
+    let n = ratio_tc_over_gtsc.len() as f64;
+    let geo = (ratio_tc_over_gtsc.iter().map(|x| x.ln()).sum::<f64>() / n).exp();
+    println!(
+        "TC-RC memory stalls relative to G-TSC-RC (geomean): {geo:.2}x \
+         (paper: TC has ~1.45x the stalls of G-TSC)"
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 15 — NoC traffic (flits) normalized to the no-L1 baseline
+//! (lower is better).
+//!
+//! The paper reports G-TSC reducing traffic by ~20% vs TC with RC (and
+//! 15.7% with SC) on the coherence benchmarks, chiefly because renewal
+//! responses carry no data.
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin fig15 [-- --scale small]`
+
+use gtsc_bench::harness::scale_from_args;
+use gtsc_bench::{paper_configs, run_benchmark, Table};
+use gtsc_types::{ConsistencyModel, ProtocolKind};
+use gtsc_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs: Vec<_> = paper_configs()
+        .into_iter()
+        .filter(|c| c.protocol != ProtocolKind::L1NoCoherence)
+        .collect();
+    let labels: Vec<&str> = configs.iter().map(|c| c.label).collect();
+    let mut table = Table::new(
+        &format!("Figure 15: NoC flits normalized to BL, lower is better [{scale:?}]"),
+        &labels,
+    );
+    let mut saving_rc = Vec::new();
+    let mut saving_sc = Vec::new();
+    for b in Benchmark::all() {
+        let bl = run_benchmark(b, ProtocolKind::NoL1, ConsistencyModel::Rc, scale);
+        let base = bl.stats.noc.flits.max(1) as f64;
+        let mut row = Vec::new();
+        let mut flits = std::collections::HashMap::new();
+        for pc in &configs {
+            let out = run_benchmark(b, pc.protocol, pc.consistency, scale);
+            flits.insert(pc.label, out.stats.noc.flits);
+            row.push(out.stats.noc.flits as f64 / base);
+        }
+        if b.requires_coherence() {
+            if let (Some(&g), Some(&t)) = (flits.get("G-TSC-RC"), flits.get("TC-RC")) {
+                saving_rc.push(g as f64 / t as f64);
+            }
+            if let (Some(&g), Some(&t)) = (flits.get("G-TSC-SC"), flits.get("TC-SC")) {
+                saving_sc.push(g as f64 / t as f64);
+            }
+        }
+        table.row(b.name(), row);
+    }
+    table.geomean_row();
+    table.save_csv_if_requested();
+    println!("{table}");
+    let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "G-TSC traffic relative to TC on coherence benchmarks: RC {:.0}% (paper: -20%), SC {:.0}% (paper: -15.7%)",
+        (geo(&saving_rc) - 1.0) * 100.0,
+        (geo(&saving_sc) - 1.0) * 100.0,
+    );
+}

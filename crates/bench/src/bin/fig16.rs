@@ -1,0 +1,54 @@
+//! Figure 16 — total energy consumption, normalized to the no-L1
+//! baseline (lower is better).
+//!
+//! The paper reports G-TSC consuming ~11% less energy than TC with RC on
+//! the coherence benchmarks, and notes SC can consume *less* energy than
+//! RC on some benchmarks despite (or because of) its serialization —
+//! idle cores burn only static power.
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin fig16 [-- --scale small]`
+
+use gtsc_bench::harness::scale_from_args;
+use gtsc_bench::{paper_configs, run_benchmark, Table};
+use gtsc_types::{ConsistencyModel, ProtocolKind};
+use gtsc_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs: Vec<_> = paper_configs()
+        .into_iter()
+        .filter(|c| c.protocol != ProtocolKind::L1NoCoherence)
+        .collect();
+    let labels: Vec<&str> = configs.iter().map(|c| c.label).collect();
+    let mut table = Table::new(
+        &format!("Figure 16: total energy normalized to BL, lower is better [{scale:?}]"),
+        &labels,
+    );
+    let mut gtsc_vs_tc = Vec::new();
+    for b in Benchmark::all() {
+        let bl = run_benchmark(b, ProtocolKind::NoL1, ConsistencyModel::Rc, scale);
+        let base = bl.energy.total_nj();
+        let mut row = Vec::new();
+        let mut e = std::collections::HashMap::new();
+        for pc in &configs {
+            let out = run_benchmark(b, pc.protocol, pc.consistency, scale);
+            e.insert(pc.label, out.energy.total_nj());
+            row.push(out.energy.total_nj() / base);
+        }
+        if b.requires_coherence() {
+            if let (Some(&g), Some(&t)) = (e.get("G-TSC-RC"), e.get("TC-RC")) {
+                gtsc_vs_tc.push(g / t);
+            }
+        }
+        table.row(b.name(), row);
+    }
+    table.geomean_row();
+    table.save_csv_if_requested();
+    println!("{table}");
+    let n = gtsc_vs_tc.len() as f64;
+    let geo = (gtsc_vs_tc.iter().map(|x| x.ln()).sum::<f64>() / n).exp();
+    println!(
+        "G-TSC-RC energy relative to TC-RC on coherence benchmarks: {:.0}% (paper: -11%)",
+        (geo - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 17 — L1 cache energy, in (micro)joules, per benchmark and
+//! configuration (absolute values; the paper plots joules).
+//!
+//! The paper observes TC consumes slightly less L1 energy than G-TSC
+//! (G-TSC probes the L1 on renewals and keeps more accesses on-chip).
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin fig17 [-- --scale small]`
+
+use gtsc_bench::harness::scale_from_args;
+use gtsc_bench::{paper_configs, run_benchmark, Table};
+use gtsc_types::ProtocolKind;
+use gtsc_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    let configs: Vec<_> = paper_configs()
+        .into_iter()
+        .filter(|c| c.protocol != ProtocolKind::NoL1)
+        .collect();
+    let labels: Vec<&str> = configs.iter().map(|c| c.label).collect();
+    let mut table = Table::new(
+        &format!("Figure 17: L1 energy in microjoules [{scale:?}]"),
+        &labels,
+    )
+    .precision(4);
+    for b in Benchmark::all() {
+        let mut row = Vec::new();
+        for pc in &configs {
+            if pc.protocol == ProtocolKind::L1NoCoherence && b.requires_coherence() {
+                row.push(f64::NAN);
+                continue;
+            }
+            let out = run_benchmark(b, pc.protocol, pc.consistency, scale);
+            row.push(out.energy.l1_nj * 1e-3); // nJ -> µJ
+        }
+        table.row(b.name(), row);
+    }
+    table.save_csv_if_requested();
+    println!("{table}");
+    println!("(the no-L1 baseline has zero L1 energy by construction and is omitted)");
+}

@@ -1,0 +1,282 @@
+//! Shared experiment plumbing: configuration presets matching the paper's
+//! evaluated systems, the run loop, and text-table rendering.
+
+use gtsc_energy::{EnergyBreakdown, EnergyModel, EnergyParams};
+use gtsc_sim::GpuSim;
+use gtsc_types::{ConsistencyModel, GpuConfig, ProtocolKind, SimStats};
+use gtsc_workloads::{Benchmark, Scale};
+
+/// One evaluated system of Figure 12: a protocol/consistency pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperConfig {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Consistency model.
+    pub consistency: ConsistencyModel,
+    /// Figure label, e.g. `G-TSC-RC`.
+    pub label: &'static str,
+}
+
+/// The five systems the paper plots (plus the baseline divisor `BL`):
+/// `BL W/L1`, `G-TSC-RC`, `G-TSC-SC`, `TC-RC`, `TC-SC`.
+///
+/// `TC-RC` is TC-Weak (GWCT fences) and `TC-SC` is write-atomic TC with
+/// SC issue rules, as in the original TC paper's pairing.
+#[must_use]
+pub fn paper_configs() -> [PaperConfig; 5] {
+    [
+        PaperConfig {
+            protocol: ProtocolKind::L1NoCoherence,
+            consistency: ConsistencyModel::Rc,
+            label: "BL-W/L1",
+        },
+        PaperConfig {
+            protocol: ProtocolKind::Gtsc,
+            consistency: ConsistencyModel::Rc,
+            label: "G-TSC-RC",
+        },
+        PaperConfig {
+            protocol: ProtocolKind::Gtsc,
+            consistency: ConsistencyModel::Sc,
+            label: "G-TSC-SC",
+        },
+        PaperConfig {
+            protocol: ProtocolKind::TcWeak,
+            consistency: ConsistencyModel::Rc,
+            label: "TC-RC",
+        },
+        PaperConfig {
+            protocol: ProtocolKind::Tc,
+            consistency: ConsistencyModel::Sc,
+            label: "TC-SC",
+        },
+    ]
+}
+
+/// The paper-platform [`GpuConfig`] for a protocol/consistency pair.
+#[must_use]
+pub fn config_for(protocol: ProtocolKind, consistency: ConsistencyModel) -> GpuConfig {
+    GpuConfig::paper_default()
+        .with_protocol(protocol)
+        .with_consistency(consistency)
+}
+
+/// Everything measured from one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Hardware counters.
+    pub stats: SimStats,
+    /// Energy estimate.
+    pub energy: EnergyBreakdown,
+    /// Coherence violations (expected nonzero only for the non-coherent
+    /// baseline on group-A workloads).
+    pub violations: usize,
+}
+
+/// Runs `benchmark` under an explicit config.
+///
+/// # Panics
+///
+/// Panics if the simulation hits its cycle limit (a protocol deadlock —
+/// should never happen).
+#[must_use]
+pub fn run_with_config(benchmark: Benchmark, cfg: GpuConfig, scale: Scale) -> RunOutcome {
+    let kernel = benchmark.build(scale);
+    let mut sim = GpuSim::new(cfg);
+    let report = sim
+        .run_kernel(kernel.as_ref())
+        .unwrap_or_else(|e| panic!("{} deadlocked: {e}", benchmark.name()));
+    let energy = EnergyModel::new(EnergyParams::default()).estimate(&report.stats);
+    RunOutcome { stats: report.stats, energy, violations: report.violations.len() }
+}
+
+/// Runs `benchmark` under a protocol/consistency pair on the paper
+/// platform.
+#[must_use]
+pub fn run_benchmark(
+    benchmark: Benchmark,
+    protocol: ProtocolKind,
+    consistency: ConsistencyModel,
+    scale: Scale,
+) -> RunOutcome {
+    run_with_config(benchmark, config_for(protocol, consistency), scale)
+}
+
+/// Parses the common `--scale small|full|tiny` CLI argument
+/// (default [`Scale::Full`]).
+#[must_use]
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
+    }
+}
+
+/// A simple fixed-width text table (benchmarks × configurations),
+/// rendered like the paper's figure data.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    precision: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given column headers.
+    #[must_use]
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            precision: 3,
+        }
+    }
+
+    /// Sets the number of decimals (default 3).
+    #[must_use]
+    pub fn precision(mut self, p: usize) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, name: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((name.to_owned(), values));
+    }
+
+    /// Appends a geometric-mean row over all current rows.
+    pub fn geomean_row(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let n = self.rows.len() as f64;
+        let means: Vec<f64> = (0..self.columns.len())
+            .map(|c| {
+                let log_sum: f64 = self
+                    .rows
+                    .iter()
+                    .map(|(_, v)| v[c].max(f64::MIN_POSITIVE).ln())
+                    .sum();
+                (log_sum / n).exp()
+            })
+            .collect();
+        self.rows.push(("GEOMEAN".to_owned(), means));
+    }
+
+    /// Renders the table as CSV (header row, then one line per benchmark).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bench");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (name, vals) in &self.rows {
+            out.push_str(name);
+            for v in vals {
+                out.push(',');
+                if v.is_nan() {
+                    out.push_str("NA");
+                } else {
+                    out.push_str(&format!("{v:.6}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV next to the experiment outputs when the binary was
+    /// invoked with `--csv <path>`; quietly does nothing otherwise.
+    pub fn save_csv_if_requested(&self) {
+        let args: Vec<String> = std::env::args().collect();
+        if let Some(path) = args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)) {
+            if let Err(e) = std::fs::write(path, self.to_csv()) {
+                eprintln!("could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        out.push_str(&format!("{:<10}", "bench"));
+        for c in &self.columns {
+            out.push_str(&format!("{c:>12}"));
+        }
+        out.push('\n');
+        for (name, vals) in &self.rows {
+            out.push_str(&format!("{name:<10}"));
+            for v in vals {
+                out.push_str(&format!("{v:>12.prec$}", prec = self.precision));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_are_the_figure_bars() {
+        let labels: Vec<&str> = paper_configs().iter().map(|c| c.label).collect();
+        assert_eq!(labels, vec!["BL-W/L1", "G-TSC-RC", "G-TSC-SC", "TC-RC", "TC-SC"]);
+    }
+
+    #[test]
+    fn csv_round_trips_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row("x", vec![1.0, f64::NAN]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("bench,a,b\n"));
+        assert!(csv.contains("x,1.000000,NA"));
+    }
+
+    #[test]
+    fn table_renders_geomean() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row("x", vec![1.0, 4.0]);
+        t.row("y", vec![4.0, 1.0]);
+        t.geomean_row();
+        let s = t.render();
+        assert!(s.contains("GEOMEAN"));
+        assert!(s.contains("2.000"), "geomean of 1 and 4 is 2: {s}");
+    }
+
+    #[test]
+    fn small_run_produces_stats() {
+        let out = run_benchmark(
+            Benchmark::Hs,
+            ProtocolKind::Gtsc,
+            ConsistencyModel::Rc,
+            Scale::Tiny,
+        );
+        assert!(out.stats.cycles.0 > 0);
+        assert_eq!(out.violations, 0);
+        assert!(out.energy.total_nj() > 0.0);
+    }
+}

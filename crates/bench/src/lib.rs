@@ -1,0 +1,28 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section VI).
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table2` | Table II — absolute execution cycles (BL, TC) |
+//! | `fig12` | Figure 12 — performance of all protocol/model pairs |
+//! | `fig13` | Figure 13 — memory-delay pipeline stalls |
+//! | `fig14` | Figure 14 — G-TSC-RC lease sweep (8–20) |
+//! | `fig15` | Figure 15 — NoC traffic |
+//! | `fig16` | Figure 16 — total energy |
+//! | `fig17` | Figure 17 — L1 energy (joules) |
+//! | `stats_expiry` | §VI-E — lease-expiration misses, G-TSC vs TC |
+//! | `ablation_visibility` | §V-A — block-line vs dual-copy |
+//! | `ablation_combining` | §V-B — MSHR merging vs forward-all |
+//! | `ablation_inclusion` | §V-C — non-inclusive vs inclusive L2 |
+//! | `ablation_tsbits` | §V-D — timestamp width / rollover cost |
+//!
+//! Run any of them with `cargo run --release -p gtsc-bench --bin fig12`.
+//! Use `--scale small|full` (default `full`) to trade fidelity for time.
+
+pub mod harness;
+
+pub use harness::{
+    config_for, paper_configs, run_benchmark, run_with_config, PaperConfig, RunOutcome, Table,
+};

@@ -1,0 +1,23 @@
+//! End-to-end smoke: every benchmark completes under every evaluated
+//! system, and coherence holds wherever it must.
+
+use gtsc_bench::{paper_configs, run_benchmark};
+use gtsc_types::{ConsistencyModel, ProtocolKind};
+use gtsc_workloads::{Benchmark, Scale};
+
+#[test]
+fn all_benchmarks_all_systems_small() {
+    for b in Benchmark::all() {
+        for pc in paper_configs() {
+            if pc.protocol == ProtocolKind::L1NoCoherence && b.requires_coherence() {
+                continue; // the paper does not run the incoherent baseline on group A
+            }
+            let out = run_benchmark(b, pc.protocol, pc.consistency, Scale::Small);
+            assert!(out.stats.cycles.0 > 0, "{} {}", b.name(), pc.label);
+            assert_eq!(out.violations, 0, "{} under {} violated coherence", b.name(), pc.label);
+        }
+        // And the BL divisor.
+        let out = run_benchmark(b, ProtocolKind::NoL1, ConsistencyModel::Rc, Scale::Small);
+        assert_eq!(out.violations, 0, "{} under BL", b.name());
+    }
+}

@@ -1,0 +1,961 @@
+//! The G-TSC private-cache (L1) controller — one per SM.
+//!
+//! Implements Figures 2, 3, 7 and 8 of the paper plus the GPU-specific
+//! mechanisms of Section V:
+//!
+//! * **Update visibility** (§V-A): after a store, the line is locked until
+//!   the L2's acknowledgment assigns the new version its lease. Reads
+//!   arriving meanwhile wait in the MSHR (option 1, the paper's choice) or
+//!   are served from a retained old copy (option 2, modelled for the
+//!   ablation). Without this, a warp could observe a value at a logical
+//!   time *before* the value is produced — the Figure 10 violation.
+//! * **Request combining** (§V-B): replicated reads from different warps
+//!   merge into one MSHR entry and one `BusRd`; waiters whose `warp_ts`
+//!   the returned lease does not cover trigger a renewal. The
+//!   `ForwardAll` policy sends every request instead (ablation).
+//! * **Write-through, write-no-allocate** L1, as in GPGPU-Sim.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use gtsc_mem::{Mshr, MshrAlloc, TagArray};
+use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
+use gtsc_protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
+use gtsc_types::{
+    BlockAddr, CacheGeometry, CacheStats, CombinePolicy, Cycle, Timestamp, Version,
+    VisibilityPolicy, WarpId,
+};
+
+use crate::rules::{lease_covers, load_ts};
+
+/// A retained pre-store copy (the `DualCopy` visibility policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OldCopy {
+    wts: Timestamp,
+    rts: Timestamp,
+    version: Version,
+}
+
+/// Per-line L1 coherence state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct L1Meta {
+    wts: Timestamp,
+    rts: Timestamp,
+    version: Version,
+    /// Stores awaiting their `BusWrAck`; while nonzero the line is locked
+    /// (update visibility, Section V-A).
+    pending_stores: u32,
+    /// Old data kept readable under the `DualCopy` policy.
+    old: Option<OldCopy>,
+    /// Warps with stores pending on this line (they may not read even the
+    /// old copy — they must observe their own store).
+    writers: Vec<WarpId>,
+}
+
+impl L1Meta {
+    fn locked(&self) -> bool {
+        self.pending_stores > 0
+    }
+}
+
+/// A load waiting in the MSHR for a fill, renewal, or store ack.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    id: AccessId,
+    warp: WarpId,
+}
+
+/// A store or atomic waiting for its `BusWrAck`/`AtomicAck`.
+#[derive(Debug, Clone, Copy)]
+struct StoreWaiter {
+    id: AccessId,
+    warp: WarpId,
+    kind: AccessKind,
+    version: Version,
+    /// Whether this store found the block resident and locked the line
+    /// (update visibility). Only such stores may unlock it again: a store
+    /// issued while the block was absent must not decrement the lock
+    /// count of a line installed in between, or a newer pending store's
+    /// data would become readable under a stale lease.
+    locked_line: bool,
+}
+
+/// Construction parameters for [`GtscL1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Params {
+    /// Cache geometry.
+    pub geometry: CacheGeometry,
+    /// Warp slots in the owning SM.
+    pub n_warps: usize,
+    /// Index of the owning SM (namespaces the versions this L1 mints).
+    pub sm_index: usize,
+    /// MSHR entry count.
+    pub mshr_entries: usize,
+    /// Maximum merged waiters per MSHR entry.
+    pub mshr_merges: usize,
+    /// Request-combining policy (Section V-B).
+    pub combine: CombinePolicy,
+    /// Update-visibility policy (Section V-A).
+    pub visibility: VisibilityPolicy,
+}
+
+impl Default for L1Params {
+    /// A small configuration for unit tests and doc examples.
+    fn default() -> Self {
+        L1Params {
+            geometry: CacheGeometry::new(2 * 1024, 2, 128),
+            n_warps: 4,
+            sm_index: 0,
+            mshr_entries: 8,
+            mshr_merges: 4,
+            combine: CombinePolicy::MergeInMshr,
+            visibility: VisibilityPolicy::BlockLine,
+        }
+    }
+}
+
+/// The G-TSC private cache of one SM.
+///
+/// See the crate-level example for usage; the [`L1Controller`] trait
+/// documents the driving contract.
+#[derive(Debug)]
+pub struct GtscL1 {
+    p: L1Params,
+    tags: TagArray<L1Meta>,
+    /// The warp timestamp table of Section III-B.
+    warp_ts: Vec<Timestamp>,
+    mshr: Mshr<Waiter>,
+    /// Blocks with a `BusRd` currently in flight (an MSHR entry without
+    /// one is waiting on a store ack instead).
+    rd_inflight: HashSet<BlockAddr>,
+    store_acks: HashMap<BlockAddr, VecDeque<StoreWaiter>>,
+    out: VecDeque<L1ToL2>,
+    epoch: Epoch,
+    version_ctr: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl GtscL1 {
+    /// Creates an empty controller.
+    #[must_use]
+    pub fn new(p: L1Params) -> Self {
+        GtscL1 {
+            tags: TagArray::new(p.geometry),
+            warp_ts: vec![Timestamp::INIT; p.n_warps],
+            mshr: Mshr::new(p.mshr_entries, p.mshr_merges),
+            rd_inflight: HashSet::new(),
+            store_acks: HashMap::new(),
+            out: VecDeque::new(),
+            epoch: 0,
+            version_ctr: vec![0; p.n_warps],
+            stats: CacheStats::default(),
+            p,
+        }
+    }
+
+    /// Current timestamp of `warp` (exposed for tests and the checker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp` is out of range.
+    #[must_use]
+    pub fn warp_ts(&self, warp: WarpId) -> Timestamp {
+        self.warp_ts[warp.0 as usize]
+    }
+
+    /// The controller's current reset epoch.
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Mints a version id stable across protocols and timings: it encodes
+    /// (SM, warp slot, per-warp store index), so data-race-free workloads
+    /// produce identical memory images under every protocol.
+    fn mint_version(&mut self, warp: WarpId) -> Version {
+        let w = warp.0 as usize;
+        self.version_ctr[w] += 1;
+        Version(((self.p.sm_index as u64 + 1) << 40) | ((w as u64) << 28) | self.version_ctr[w])
+    }
+
+    fn complete_load(&mut self, w: Waiter, block: BlockAddr, wts: Timestamp, version: Version) -> Completion {
+        let slot = &mut self.warp_ts[w.warp.0 as usize];
+        *slot = load_ts(*slot, wts);
+        Completion {
+            id: w.id,
+            warp: w.warp,
+            kind: AccessKind::Load,
+            block,
+            version,
+            ts: Some(*slot),
+            epoch: self.epoch,
+            prev: None,
+        }
+    }
+
+    fn send_read(&mut self, block: BlockAddr, wts: Timestamp, warp: WarpId) {
+        if wts != Timestamp(0) {
+            self.stats.renewals += 1;
+        }
+        self.rd_inflight.insert(block);
+        self.out.push_back(L1ToL2::Read(ReadReq {
+            block,
+            wts,
+            warp_ts: self.warp_ts[warp.0 as usize],
+            epoch: self.epoch,
+        }));
+    }
+
+    /// Registers a missing/expired/locked load in the MSHR.
+    /// `request_wts` is `Some(wts)` when a `BusRd` should go out
+    /// (`None` for loads parked on a locked line, which the store ack will
+    /// serve).
+    fn queue_load(&mut self, acc: MemAccess, request_wts: Option<Timestamp>) -> L1Outcome {
+        let waiter = Waiter { id: acc.id, warp: acc.warp };
+        match self.mshr.register(acc.block, waiter) {
+            MshrAlloc::Full => L1Outcome::Reject,
+            MshrAlloc::AllocatedNew => {
+                if let Some(wts) = request_wts {
+                    self.send_read(acc.block, wts, acc.warp);
+                }
+                L1Outcome::Queued
+            }
+            MshrAlloc::Merged => {
+                self.stats.mshr_merges += 1;
+                if self.p.combine == CombinePolicy::ForwardAll {
+                    if let Some(wts) = request_wts {
+                        self.send_read(acc.block, wts, acc.warp);
+                    }
+                }
+                L1Outcome::Queued
+            }
+        }
+    }
+
+    /// Serves the MSHR waiters of `block` against lease `[wts, rts]`
+    /// supplying `version`. Waiters the lease does not cover are
+    /// re-queued, and — unless a read is already in flight — a renewal is
+    /// sent on behalf of the first of them (Section V-B).
+    fn serve_waiters(
+        &mut self,
+        block: BlockAddr,
+        wts: Timestamp,
+        rts: Timestamp,
+        version: Version,
+        done: &mut Vec<Completion>,
+    ) {
+        let waiters = self.mshr.take(block);
+        if waiters.is_empty() {
+            return;
+        }
+        let mut uncovered = Vec::new();
+        for w in waiters {
+            if lease_covers(rts, self.warp_ts[w.warp.0 as usize]) {
+                done.push(self.complete_load(w, block, wts, version));
+            } else {
+                uncovered.push(w);
+            }
+        }
+        if !uncovered.is_empty() {
+            // Renew on behalf of the waiter with the *largest* warp
+            // timestamp: the L2 extends the lease to cover it (Figure 4),
+            // which covers every other uncovered waiter in one trip.
+            let furthest = *uncovered
+                .iter()
+                .max_by_key(|w| self.warp_ts[w.warp.0 as usize])
+                .expect("nonempty");
+            self.mshr.requeue(block, uncovered);
+            if !self.rd_inflight.contains(&block) {
+                self.send_read(block, wts, furthest.warp);
+            }
+        }
+    }
+
+    /// Section V-D: a response from a newer epoch flushes the L1 and
+    /// resets every warp timestamp before it is consumed.
+    fn enter_epoch(&mut self, epoch: Epoch) {
+        self.tags.flush();
+        for ts in &mut self.warp_ts {
+            *ts = Timestamp::INIT;
+        }
+        self.epoch = epoch;
+        self.stats.ts_rollovers += 1;
+        // Parked loads (no BusRd in flight) will be re-driven by the store
+        // acks that still owe them service; in-flight reads will be
+        // answered in the new epoch by the (already reset) L2.
+    }
+
+    /// A response from an older epoch: its lease is in dead coordinates
+    /// *for this L1* (whose lines and warp timestamps were reset), but a
+    /// store ack still certifies a commit at `(old epoch, wts)` — that
+    /// key must reach the checker, or loads that observed the version
+    /// would be flagged. Loads are retried from scratch.
+    fn on_stale_response(&mut self, msg: L2ToL1, done: &mut Vec<Completion>) {
+        match msg {
+            L2ToL1::Fill(f) => self.retry_reads_fresh(f.block),
+            L2ToL1::Renew { block, .. } => self.retry_reads_fresh(block),
+            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                let stale_lease = match a.lease {
+                    LeaseInfo::Logical { wts, rts } => Some((wts, rts)),
+                    _ => None,
+                };
+                if let Some(c) =
+                    self.finish_store_at(a.block, a.version, stale_lease, a.epoch, prev, false)
+                {
+                    done.push(c);
+                }
+                self.retry_reads_fresh(a.block);
+            }
+            L2ToL1::Invalidate { .. } => {}
+        }
+    }
+
+    fn retry_reads_fresh(&mut self, block: BlockAddr) {
+        self.rd_inflight.remove(&block);
+        if self.mshr.contains(block) && !self.rd_inflight.contains(&block) {
+            let warp = WarpId(0);
+            self.send_read(block, Timestamp(0), warp);
+        }
+    }
+
+    /// Completes the matching pending store or atomic; `lease` installs
+    /// the acked version's lease when this was the line's newest store.
+    /// `prev` carries the read half of an atomic.
+    fn finish_store(
+        &mut self,
+        block: BlockAddr,
+        version: Version,
+        lease: Option<(Timestamp, Timestamp)>,
+        epoch: Epoch,
+        prev: Option<Version>,
+    ) -> Option<Completion> {
+        self.finish_store_at(block, version, lease, epoch, prev, true)
+    }
+
+    /// Like [`GtscL1::finish_store`]; `apply` controls whether the
+    /// warp-timestamp bump and line updates happen (they must not for a
+    /// stale-epoch ack, whose lease coordinates predate this L1's reset —
+    /// the lease still stamps the returned [`Completion`]).
+    fn finish_store_at(
+        &mut self,
+        block: BlockAddr,
+        version: Version,
+        lease: Option<(Timestamp, Timestamp)>,
+        epoch: Epoch,
+        prev: Option<Version>,
+        apply: bool,
+    ) -> Option<Completion> {
+        let q = self.store_acks.get_mut(&block)?;
+        let pos = q.iter().position(|s| s.version == version)?;
+        let sw = q.remove(pos).expect("position valid");
+        if q.is_empty() {
+            self.store_acks.remove(&block);
+        }
+        let mut completion_ts = None;
+        if let Some((wts, _)) = lease {
+            if apply {
+                let slot = &mut self.warp_ts[sw.warp.0 as usize];
+                *slot = (*slot).max(wts);
+            }
+            completion_ts = Some(wts);
+        }
+        if let Some(line) = self.tags.peek_mut(block).filter(|_| apply) {
+            if sw.locked_line {
+                line.meta.pending_stores = line.meta.pending_stores.saturating_sub(1);
+                if let Some(i) = line.meta.writers.iter().position(|w| *w == sw.warp) {
+                    line.meta.writers.swap_remove(i);
+                }
+            }
+            if let Some((wts, rts)) = lease {
+                if sw.locked_line && line.meta.version == version {
+                    // Newest local store: install its lease (Figure 7b).
+                    // (A non-locking store's data is not on the line — a
+                    // fill may have installed the same version with an
+                    // already-extended lease, which must not shrink.)
+                    line.meta.wts = wts;
+                    line.meta.rts = rts;
+                }
+            }
+            if !line.meta.locked() {
+                line.meta.old = None;
+            }
+        }
+        Some(Completion {
+            id: sw.id,
+            warp: sw.warp,
+            kind: sw.kind,
+            block,
+            version,
+            ts: completion_ts,
+            epoch,
+            prev,
+        })
+    }
+}
+
+impl L1Controller for GtscL1 {
+    fn access(&mut self, acc: MemAccess, _now: Cycle) -> L1Outcome {
+        // Counters are bumped only for *accepted* accesses: a rejected
+        // access is retried by the SM and would otherwise be counted on
+        // every retry cycle.
+        match acc.kind {
+            AccessKind::Load => {
+                let warp_now = self.warp_ts[acc.warp.0 as usize];
+                let Some(line) = self.tags.probe_mut(acc.block) else {
+                    // Tag miss (Figure 2): BusRd with wts = 0.
+                    let outcome = self.queue_load(acc, Some(Timestamp(0)));
+                    if !matches!(outcome, L1Outcome::Reject) {
+                        self.stats.accesses += 1;
+                        self.stats.cold_misses += 1;
+                    }
+                    return outcome;
+                };
+                if line.meta.locked() {
+                    // Update visibility (Section V-A).
+                    let meta = line.meta.clone();
+                    if self.p.visibility == VisibilityPolicy::DualCopy {
+                        if let Some(old) = meta.old {
+                            let is_writer = meta.writers.contains(&acc.warp);
+                            if !is_writer && lease_covers(old.rts, warp_now) {
+                                self.stats.accesses += 1;
+                                self.stats.hits += 1;
+                                let w = Waiter { id: acc.id, warp: acc.warp };
+                                let c = self.complete_load(w, acc.block, old.wts, old.version);
+                                return L1Outcome::Hit(c);
+                            }
+                        }
+                    }
+                    // Park in the MSHR; the store ack will serve it.
+                    let outcome = self.queue_load(acc, None);
+                    if !matches!(outcome, L1Outcome::Reject) {
+                        self.stats.accesses += 1;
+                        self.stats.blocked_on_pending_write += 1;
+                    }
+                    return outcome;
+                }
+                if lease_covers(line.meta.rts, warp_now) {
+                    self.stats.accesses += 1;
+                    self.stats.hits += 1;
+                    let (wts, version) = (line.meta.wts, line.meta.version);
+                    let w = Waiter { id: acc.id, warp: acc.warp };
+                    return L1Outcome::Hit(self.complete_load(w, acc.block, wts, version));
+                }
+                // Expired relative to this warp: coherence miss → renewal.
+                let wts = line.meta.wts;
+                let outcome = self.queue_load(acc, Some(wts));
+                if !matches!(outcome, L1Outcome::Reject) {
+                    self.stats.accesses += 1;
+                    self.stats.expired_misses += 1;
+                }
+                outcome
+            }
+            AccessKind::Store | AccessKind::Atomic => {
+                self.stats.accesses += 1;
+                self.stats.stores += 1;
+                let version = self.mint_version(acc.warp);
+                let mut locked_line = false;
+                if let Some(line) = self.tags.probe_mut(acc.block) {
+                    // Figure 3: update data, lock the line until the ack.
+                    if self.p.visibility == VisibilityPolicy::DualCopy && line.meta.old.is_none() {
+                        line.meta.old = Some(OldCopy {
+                            wts: line.meta.wts,
+                            rts: line.meta.rts,
+                            version: line.meta.version,
+                        });
+                    }
+                    line.meta.pending_stores += 1;
+                    line.meta.version = version;
+                    line.meta.writers.push(acc.warp);
+                    locked_line = true;
+                }
+                let req = WriteReq {
+                    block: acc.block,
+                    warp_ts: self.warp_ts[acc.warp.0 as usize],
+                    version,
+                    epoch: self.epoch,
+                };
+                self.out.push_back(if acc.kind == AccessKind::Atomic {
+                    L1ToL2::Atomic(req)
+                } else {
+                    L1ToL2::Write(req)
+                });
+                self.store_acks.entry(acc.block).or_default().push_back(StoreWaiter {
+                    id: acc.id,
+                    warp: acc.warp,
+                    kind: acc.kind,
+                    version,
+                    locked_line,
+                });
+                L1Outcome::Queued
+            }
+        }
+    }
+
+    fn on_response(&mut self, msg: L2ToL1, _now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        let e = msg.epoch();
+        if e > self.epoch {
+            self.enter_epoch(e);
+        } else if e < self.epoch {
+            self.on_stale_response(msg, &mut done);
+            return done;
+        }
+        match msg {
+            L2ToL1::Fill(f) => {
+                self.rd_inflight.remove(&f.block);
+                let LeaseInfo::Logical { wts, rts } = f.lease else {
+                    unreachable!("G-TSC fills carry logical leases");
+                };
+                let locked = self.tags.peek(f.block).is_some_and(|l| l.meta.locked());
+                if !locked {
+                    // Install (Figure 8); locked lines keep their pending
+                    // store data and waiters are served from the message.
+                    let meta = L1Meta {
+                        wts,
+                        rts,
+                        version: f.version,
+                        pending_stores: 0,
+                        old: None,
+                        writers: Vec::new(),
+                    };
+                    match self.tags.fill_if(f.block, meta, |l| !l.meta.locked()) {
+                        Ok(Some(_evicted)) => self.stats.evictions += 1,
+                        Ok(None) => {}
+                        Err(_) => { /* every victim locked: serve from message only */ }
+                    }
+                }
+                self.serve_waiters(f.block, wts, rts, f.version, &mut done);
+            }
+            L2ToL1::Renew { block, lease, .. } => {
+                self.rd_inflight.remove(&block);
+                let LeaseInfo::Logical { rts, .. } = lease else {
+                    unreachable!("G-TSC renewals carry logical leases");
+                };
+                // Extend the resident lease (Figure 7a), then serve
+                // waiters. A locked line keeps its pending-store data and
+                // lets the store ack serve the parked waiters instead; an
+                // evicted line needs a full refetch (renewals carry no
+                // data).
+                let state = self.tags.peek_mut(block).map(|line| {
+                    if !line.meta.locked() {
+                        line.meta.rts = line.meta.rts.max(rts);
+                    }
+                    (line.meta.locked(), line.meta.wts, line.meta.rts, line.meta.version)
+                });
+                match state {
+                    Some((false, wts, new_rts, version)) => {
+                        self.serve_waiters(block, wts, new_rts, version, &mut done);
+                    }
+                    Some((true, ..)) => {}
+                    None => {
+                        if self.mshr.contains(block) {
+                            self.send_read(block, Timestamp(0), WarpId(0));
+                        }
+                    }
+                }
+            }
+            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+                let LeaseInfo::Logical { wts, rts } = a.lease else {
+                    unreachable!("G-TSC write acks carry logical leases");
+                };
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                if let Some(c) = self.finish_store(a.block, a.version, Some((wts, rts)), a.epoch, prev) {
+                    done.push(c);
+                }
+                // The ack may unlock the line: serve parked readers.
+                let line_state = self.tags.peek(a.block).map(|l| {
+                    (l.meta.locked(), l.meta.wts, l.meta.rts, l.meta.version)
+                });
+                match line_state {
+                    Some((false, lwts, lrts, lver)) => {
+                        self.serve_waiters(a.block, lwts, lrts, lver, &mut done);
+                    }
+                    Some((true, ..)) => {} // still locked by another store
+                    None => {
+                        // Not resident (write-no-allocate / recalled):
+                        // parked readers must refetch.
+                        if self.mshr.contains(a.block) && !self.rd_inflight.contains(&a.block) {
+                            self.send_read(a.block, Timestamp(0), WarpId(0));
+                        }
+                    }
+                }
+            }
+            L2ToL1::Invalidate { block, .. } => {
+                self.tags.invalidate(block);
+                if self.mshr.contains(block) && !self.rd_inflight.contains(&block) {
+                    self.send_read(block, Timestamp(0), WarpId(0));
+                }
+            }
+        }
+        done
+    }
+
+    fn take_request(&mut self) -> Option<L1ToL2> {
+        self.out.pop_front()
+    }
+
+    fn tick(&mut self, _now: Cycle) -> Vec<Completion> {
+        Vec::new()
+    }
+
+    fn flush(&mut self) {
+        self.tags.flush();
+        for ts in &mut self.warp_ts {
+            *ts = Timestamp::INIT;
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.mshr.is_empty() && self.store_acks.is_empty() && self.out.is_empty()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_protocol::msg::{FillResp, WriteAckResp};
+
+    fn l1() -> GtscL1 {
+        GtscL1::new(L1Params::default())
+    }
+
+    fn load(id: u64, warp: u16, block: u64) -> MemAccess {
+        MemAccess {
+            id: AccessId(id),
+            warp: WarpId(warp),
+            kind: AccessKind::Load,
+            block: BlockAddr(block),
+        }
+    }
+
+    fn store(id: u64, warp: u16, block: u64) -> MemAccess {
+        MemAccess {
+            id: AccessId(id),
+            warp: WarpId(warp),
+            kind: AccessKind::Store,
+            block: BlockAddr(block),
+        }
+    }
+
+    fn fill(block: u64, wts: u64, rts: u64, version: Version) -> L2ToL1 {
+        L2ToL1::Fill(FillResp {
+            block: BlockAddr(block),
+            lease: LeaseInfo::Logical { wts: Timestamp(wts), rts: Timestamp(rts) },
+            version,
+            epoch: 0,
+        })
+    }
+
+    #[test]
+    fn cold_miss_sends_busrd_with_zero_wts() {
+        let mut c = l1();
+        assert!(matches!(c.access(load(1, 0, 5), Cycle(0)), L1Outcome::Queued));
+        let L1ToL2::Read(r) = c.take_request().unwrap() else { panic!() };
+        assert_eq!(r.wts, Timestamp(0));
+        assert_eq!(r.warp_ts, Timestamp::INIT);
+        assert_eq!(c.stats().cold_misses, 1);
+        assert!(!c.is_idle());
+    }
+
+    #[test]
+    fn fill_completes_waiter_and_bumps_warp_ts() {
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        let done = c.on_response(fill(5, 4, 14, Version(9)), Cycle(30));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].version, Version(9));
+        assert_eq!(done[0].ts, Some(Timestamp(4))); // max(1, wts=4)
+        assert_eq!(c.warp_ts(WarpId(0)), Timestamp(4));
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn subsequent_covered_load_hits_in_l1() {
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1, 11, Version(9)), Cycle(30));
+        match c.access(load(2, 1, 5), Cycle(40)) {
+            L1Outcome::Hit(comp) => {
+                assert_eq!(comp.version, Version(9));
+                assert_eq!(comp.ts, Some(Timestamp(1)));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn warp_beyond_lease_is_expired_miss_with_renewal() {
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1, 6, Version(9)), Cycle(30));
+        // Advance warp 1 logically past the lease via another block.
+        c.access(load(2, 1, 7), Cycle(40));
+        c.take_request();
+        c.on_response(fill(7, 20, 30, Version(3)), Cycle(70));
+        assert_eq!(c.warp_ts(WarpId(1)), Timestamp(20));
+        // Now warp 1 reads block 5: tag hit but warp_ts 20 > rts 6.
+        assert!(matches!(c.access(load(3, 1, 5), Cycle(80)), L1Outcome::Queued));
+        let L1ToL2::Read(r) = c.take_request().unwrap() else { panic!() };
+        assert_eq!(r.wts, Timestamp(1)); // renewal carries the held wts
+        assert_eq!(r.warp_ts, Timestamp(20));
+        assert_eq!(c.stats().expired_misses, 1);
+        assert_eq!(c.stats().renewals, 1);
+    }
+
+    #[test]
+    fn renewal_response_extends_lease_and_serves_waiter() {
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1, 6, Version(9)), Cycle(30));
+        c.access(load(2, 1, 7), Cycle(40));
+        c.take_request();
+        c.on_response(fill(7, 20, 30, Version(3)), Cycle(70));
+        c.access(load(3, 1, 5), Cycle(80));
+        c.take_request();
+        let done = c.on_response(
+            L2ToL1::Renew {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(30) },
+                epoch: 0,
+            },
+            Cycle(110),
+        );
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].version, Version(9));
+        // Lease on the line extended: next read by warp 1 hits.
+        assert!(matches!(c.access(load(4, 1, 5), Cycle(120)), L1Outcome::Hit(_)));
+    }
+
+    #[test]
+    fn store_locks_line_and_ack_unlocks() {
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1, 11, Version(9)), Cycle(30));
+        // Store by warp 0.
+        assert!(matches!(c.access(store(2, 0, 5), Cycle(40)), L1Outcome::Queued));
+        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        // Figure 10 scenario: read by warp 1 while the store is pending
+        // must NOT hit (BlockLine policy).
+        assert!(matches!(c.access(load(3, 1, 5), Cycle(41)), L1Outcome::Queued));
+        assert_eq!(c.stats().blocked_on_pending_write, 1);
+        assert!(c.take_request().is_none(), "parked reader sends no BusRd");
+        // Ack arrives with the assigned lease [12, 22].
+        let done = c.on_response(
+            L2ToL1::WriteAck(WriteAckResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Logical { wts: Timestamp(12), rts: Timestamp(22) },
+                version: w.version,
+                epoch: 0,
+            }),
+            Cycle(80),
+        );
+        // Both the store and the parked reader complete.
+        assert_eq!(done.len(), 2);
+        let st = done.iter().find(|d| d.kind == AccessKind::Store).unwrap();
+        assert_eq!(st.ts, Some(Timestamp(12)));
+        let ld = done.iter().find(|d| d.kind == AccessKind::Load).unwrap();
+        assert_eq!(ld.version, w.version);
+        assert!(ld.ts.unwrap() >= Timestamp(12), "reader sees the new version no earlier than its wts");
+        assert_eq!(c.warp_ts(WarpId(0)), Timestamp(12));
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn dual_copy_serves_old_version_to_other_warps() {
+        let mut c = GtscL1::new(L1Params {
+            visibility: VisibilityPolicy::DualCopy,
+            ..L1Params::default()
+        });
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1, 11, Version(9)), Cycle(30));
+        c.access(store(2, 0, 5), Cycle(40));
+        c.take_request();
+        // Warp 1 reads during the pending store: old copy served.
+        match c.access(load(3, 1, 5), Cycle(41)) {
+            L1Outcome::Hit(comp) => {
+                assert_eq!(comp.version, Version(9));
+                assert!(comp.ts.unwrap() <= Timestamp(11));
+            }
+            other => panic!("expected old-copy hit, got {other:?}"),
+        }
+        // The writing warp itself must wait.
+        assert!(matches!(c.access(load(4, 0, 5), Cycle(42)), L1Outcome::Queued));
+    }
+
+    #[test]
+    fn merged_waiters_without_coverage_trigger_renewal() {
+        let mut c = l1();
+        // Advance warp 2 far ahead.
+        c.access(load(1, 2, 7), Cycle(0));
+        c.take_request();
+        c.on_response(fill(7, 50, 60, Version(3)), Cycle(30));
+        // Warps 0 and 2 both miss on block 5; they merge (one BusRd).
+        c.access(load(2, 0, 5), Cycle(40));
+        c.access(load(3, 2, 5), Cycle(40));
+        assert!(c.take_request().is_some());
+        assert!(c.take_request().is_none(), "merged: single request");
+        assert_eq!(c.stats().mshr_merges, 1);
+        // Fill covers warp 0 (ts 1) but not warp 2 (ts 50).
+        let done = c.on_response(fill(5, 1, 11, Version(9)), Cycle(70));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].warp, WarpId(0));
+        // A renewal goes out for warp 2.
+        let L1ToL2::Read(r) = c.take_request().unwrap() else { panic!() };
+        assert_eq!(r.warp_ts, Timestamp(50));
+        assert_eq!(r.wts, Timestamp(1));
+        // Renewal response completes warp 2.
+        let done = c.on_response(
+            L2ToL1::Renew {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(60) },
+                epoch: 0,
+            },
+            Cycle(100),
+        );
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].warp, WarpId(2));
+    }
+
+    #[test]
+    fn forward_all_sends_one_request_per_waiter() {
+        let mut c = GtscL1::new(L1Params {
+            combine: CombinePolicy::ForwardAll,
+            ..L1Params::default()
+        });
+        c.access(load(1, 0, 5), Cycle(0));
+        c.access(load(2, 1, 5), Cycle(0));
+        c.access(load(3, 2, 5), Cycle(0));
+        let mut n = 0;
+        while c.take_request().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn mshr_full_rejects() {
+        let mut c = GtscL1::new(L1Params { mshr_entries: 1, ..L1Params::default() });
+        assert!(matches!(c.access(load(1, 0, 5), Cycle(0)), L1Outcome::Queued));
+        assert!(matches!(c.access(load(2, 0, 7), Cycle(0)), L1Outcome::Reject));
+    }
+
+    #[test]
+    fn epoch_bump_flushes_and_resets_warp_ts() {
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 40, 50, Version(9)), Cycle(30));
+        assert_eq!(c.warp_ts(WarpId(0)), Timestamp(40));
+        // A response arrives from epoch 1: reset protocol.
+        c.access(load(2, 1, 7), Cycle(40));
+        c.take_request();
+        let done = c.on_response(
+            L2ToL1::Fill(FillResp {
+                block: BlockAddr(7),
+                lease: LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(11) },
+                version: Version(3),
+                epoch: 1,
+            }),
+            Cycle(70),
+        );
+        assert_eq!(done.len(), 1);
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.warp_ts(WarpId(0)), Timestamp::INIT);
+        // Block 5 was flushed.
+        assert!(matches!(c.access(load(3, 0, 5), Cycle(80)), L1Outcome::Queued));
+        assert_eq!(c.stats().ts_rollovers, 1);
+    }
+
+    #[test]
+    fn store_to_missing_block_is_write_no_allocate() {
+        let mut c = l1();
+        c.access(store(1, 0, 5), Cycle(0));
+        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        let done = c.on_response(
+            L2ToL1::WriteAck(WriteAckResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Logical { wts: Timestamp(12), rts: Timestamp(22) },
+                version: w.version,
+                epoch: 0,
+            }),
+            Cycle(40),
+        );
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].kind, AccessKind::Store);
+        // Line was not allocated.
+        assert!(matches!(c.access(load(2, 0, 5), Cycle(50)), L1Outcome::Queued));
+        assert_eq!(c.stats().cold_misses, 1);
+    }
+
+    #[test]
+    fn flush_clears_lines_and_warp_ts() {
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 30, 40, Version(9)), Cycle(30));
+        c.flush();
+        assert_eq!(c.warp_ts(WarpId(0)), Timestamp::INIT);
+        assert!(matches!(c.access(load(2, 0, 5), Cycle(50)), L1Outcome::Queued));
+    }
+
+    #[test]
+    fn atomic_locks_line_and_ack_delivers_prev() {
+        use gtsc_protocol::msg::WriteAckResp;
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1, 11, Version(9)), Cycle(30));
+        // Atomic by warp 0: line locks, request goes out as Atomic.
+        let at = MemAccess {
+            id: AccessId(2),
+            warp: WarpId(0),
+            kind: AccessKind::Atomic,
+            block: BlockAddr(5),
+        };
+        assert!(matches!(c.access(at, Cycle(40)), L1Outcome::Queued));
+        let L1ToL2::Atomic(w) = c.take_request().unwrap() else { panic!("expected Atomic") };
+        // A read meanwhile is parked (update visibility applies to RMWs).
+        assert!(matches!(c.access(load(3, 1, 5), Cycle(41)), L1Outcome::Queued));
+        let done = c.on_response(
+            L2ToL1::AtomicAck {
+                ack: WriteAckResp {
+                    block: BlockAddr(5),
+                    lease: LeaseInfo::Logical { wts: Timestamp(12), rts: Timestamp(22) },
+                    version: w.version,
+                    epoch: 0,
+                },
+                prev: Version(9),
+            },
+            Cycle(80),
+        );
+        let at_done = done.iter().find(|d| d.kind == AccessKind::Atomic).unwrap();
+        assert_eq!(at_done.prev, Some(Version(9)), "read half observes the old value");
+        assert_eq!(at_done.ts, Some(Timestamp(12)));
+        let ld = done.iter().find(|d| d.kind == AccessKind::Load).unwrap();
+        assert_eq!(ld.version, w.version, "parked reader sees the RMW result");
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn versions_are_namespaced_by_sm() {
+        let mut a = GtscL1::new(L1Params { sm_index: 0, ..L1Params::default() });
+        let mut b = GtscL1::new(L1Params { sm_index: 1, ..L1Params::default() });
+        a.access(store(1, 0, 5), Cycle(0));
+        b.access(store(1, 0, 5), Cycle(0));
+        let L1ToL2::Write(wa) = a.take_request().unwrap() else { panic!() };
+        let L1ToL2::Write(wb) = b.take_request().unwrap() else { panic!() };
+        assert_ne!(wa.version, wb.version);
+        assert_ne!(wa.version, Version::ZERO);
+    }
+}

@@ -1,0 +1,68 @@
+//! G-TSC: timestamp-ordering cache coherence for GPUs — the primary
+//! contribution of *"G-TSC: Timestamp Based Coherence for GPUs"*
+//! (Tabbakh, Qian, Annavaram — HPCA 2018), reimplemented as a pair of
+//! cache controllers pluggable into the workspace's GPU model.
+//!
+//! # The protocol in one paragraph
+//!
+//! Every cache block carries a *write timestamp* `wts` (the logical time
+//! of the store that produced its data) and a *read timestamp* `rts` (the
+//! last logical instant at which that data may be read); `[wts, rts]` is a
+//! logical *lease*. Every warp carries `warp_ts`, the logical time of its
+//! last memory operation. A load hits in L1 iff the tag matches **and**
+//! `warp_ts ≤ rts`; it then advances `warp_ts` to at least `wts`. Stores
+//! are write-through: the L2 serializes them and assigns
+//! `wts = max(rts + 1, warp_ts)` — logically *after* every outstanding
+//! lease — so writes never stall waiting for readers, the fundamental
+//! advantage over Temporal Coherence (Section III). Physical time is used
+//! only to order operations with equal timestamps (the issuing order
+//! within a warp).
+//!
+//! # Crate layout
+//!
+//! * [`rules`] — the pure timestamp-assignment rules of Figures 4–6;
+//! * [`l2`] — [`GtscL2`]: a shared-cache bank controller (serialization
+//!   point, lease assignment, `mem_ts`, non-inclusion, rollover);
+//! * [`l1`] — [`GtscL1`]: the per-SM private cache (warp timestamp table,
+//!   update-visibility blocking, MSHR request combining, renewals).
+//!
+//! # Examples
+//!
+//! Driving the two controllers directly (the full simulator in `gtsc-sim`
+//! adds the NoC and DRAM in between):
+//!
+//! ```
+//! use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
+//! use gtsc_protocol::{AccessId, AccessKind, L1Controller, L1Outcome, L2Controller, MemAccess};
+//! use gtsc_types::{BlockAddr, Cycle, WarpId};
+//!
+//! let mut l1 = GtscL1::new(L1Params::default());
+//! let mut l2 = GtscL2::new(L2Params::default());
+//!
+//! // A load misses in L1 and produces a BusRd.
+//! let acc = MemAccess { id: AccessId(1), warp: WarpId(0), kind: AccessKind::Load, block: BlockAddr(5) };
+//! assert!(matches!(l1.access(acc, Cycle(0)), L1Outcome::Queued));
+//! let req = l1.take_request().expect("miss sends BusRd");
+//!
+//! // The L2 misses too, fetches from DRAM, then answers with a fill.
+//! l2.on_request(0, req, Cycle(0));
+//! l2.tick(Cycle(20));
+//! let (block, is_write) = l2.take_dram_request().expect("L2 miss goes to DRAM");
+//! assert!(!is_write);
+//! l2.on_dram_response(block, false, Cycle(200));
+//! l2.tick(Cycle(200));
+//! let (dst, resp) = l2.take_response().expect("fill response");
+//! assert_eq!(dst, 0);
+//!
+//! // The fill completes the queued load.
+//! let done = l1.on_response(resp, Cycle(220));
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(done[0].id, AccessId(1));
+//! ```
+
+pub mod l1;
+pub mod l2;
+pub mod rules;
+
+pub use l1::{GtscL1, L1Params};
+pub use l2::{GtscL2, L2Params};

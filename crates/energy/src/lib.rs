@@ -1,0 +1,199 @@
+//! Event-energy model standing in for GPUWattch (Section VI-A).
+//!
+//! GPUWattch couples GPGPU-Sim to McPAT; we use the standard
+//! event-energy approach instead: every architectural event (cache
+//! access, DRAM burst, NoC flit, issued instruction) costs a fixed
+//! energy, plus static leakage per cycle. The per-event constants are
+//! order-of-magnitude values from the CACTI/GPUWattch literature for a
+//! ~40 nm GPU (documented on [`EnergyParams`]); since the paper's energy
+//! results (Figures 16 and 17) are *relative* (normalized to the no-L1
+//! baseline), only the ratios between event classes matter for
+//! reproducing their shape.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtsc_energy::{EnergyModel, EnergyParams};
+//! use gtsc_types::{Cycle, SimStats};
+//!
+//! let model = EnergyModel::new(EnergyParams::default());
+//! let stats = SimStats { cycles: Cycle(1_000), ..SimStats::default() };
+//! let e = model.estimate(&stats);
+//! assert!(e.static_nj > 0.0);
+//! assert_eq!(e.l1_nj, 0.0);
+//! ```
+
+use gtsc_types::SimStats;
+
+/// Per-event energy constants, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// One L1 tag+data access (16 KiB SRAM): ~0.06 nJ.
+    pub l1_access_nj: f64,
+    /// One L1 tag-only probe (a miss detection, or a renewal's
+    /// lease-field update — no data array involved): ~0.015 nJ.
+    pub l1_tag_nj: f64,
+    /// One L1 data-array fill (writing a 128 B line): ~0.09 nJ.
+    pub l1_fill_nj: f64,
+    /// One L2 bank access (128 KiB SRAM): ~0.25 nJ.
+    pub l2_access_nj: f64,
+    /// One 128-byte DRAM burst (GDDR activate+IO amortized): ~16 nJ.
+    pub dram_burst_nj: f64,
+    /// One 32-byte flit traversing the crossbar: ~0.08 nJ.
+    pub noc_flit_nj: f64,
+    /// Dynamic energy per issued instruction (datapath + RF): ~0.3 nJ.
+    pub issue_nj: f64,
+    /// Dynamic energy per SM-active cycle (scheduler, pipeline clocks).
+    pub sm_active_nj: f64,
+    /// Chip-wide static power expressed as energy per cycle (~30 W at
+    /// 1 GHz ⇒ 30 nJ/cycle).
+    pub static_nj_per_cycle: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            l1_access_nj: 0.06,
+            l1_tag_nj: 0.015,
+            l1_fill_nj: 0.09,
+            l2_access_nj: 0.25,
+            dram_burst_nj: 16.0,
+            noc_flit_nj: 0.08,
+            issue_nj: 0.3,
+            sm_active_nj: 0.12,
+            static_nj_per_cycle: 30.0,
+        }
+    }
+}
+
+/// Energy totals per component, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Private-cache accesses (the Figure 17 metric).
+    pub l1_nj: f64,
+    /// Shared-cache accesses.
+    pub l2_nj: f64,
+    /// DRAM bursts.
+    pub dram_nj: f64,
+    /// Interconnect flits.
+    pub noc_nj: f64,
+    /// Core dynamic (issue + active cycles).
+    pub core_nj: f64,
+    /// Static leakage over the whole run.
+    pub static_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.l1_nj + self.l2_nj + self.dram_nj + self.noc_nj + self.core_nj + self.static_nj
+    }
+
+    /// Total energy in joules (Figure 17 reports joules).
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.total_nj() * 1e-9
+    }
+}
+
+/// Maps [`SimStats`] to an [`EnergyBreakdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyModel {
+    params: EnergyParams,
+}
+
+impl EnergyModel {
+    /// Creates a model with the given constants.
+    #[must_use]
+    pub fn new(params: EnergyParams) -> Self {
+        EnergyModel { params }
+    }
+
+    /// The constants in use.
+    #[must_use]
+    pub fn params(&self) -> EnergyParams {
+        self.params
+    }
+
+    /// Estimates the energy of a finished run.
+    ///
+    /// The L1 term separates hit accesses, miss tag-probes, data-array
+    /// fills, and renewal lease updates — this is what differentiates the
+    /// protocols in Figure 17: TC refills the data array on every expiry,
+    /// while a G-TSC renewal only rewrites the lease fields.
+    #[must_use]
+    pub fn estimate(&self, stats: &SimStats) -> EnergyBreakdown {
+        let p = self.params;
+        let misses = stats.l1.misses();
+        // Renewal responses update the tag/lease only; everything else
+        // that missed eventually writes a full line into the data array.
+        let renewal_updates = stats.l1.renewals.min(misses);
+        let data_fills = misses - renewal_updates;
+        let l1_nj = stats.l1.accesses as f64 * p.l1_access_nj
+            + misses as f64 * p.l1_tag_nj
+            + data_fills as f64 * p.l1_fill_nj
+            + renewal_updates as f64 * p.l1_tag_nj;
+        EnergyBreakdown {
+            l1_nj,
+            l2_nj: stats.l2.accesses as f64 * p.l2_access_nj,
+            dram_nj: (stats.dram.reads + stats.dram.writes) as f64 * p.dram_burst_nj,
+            noc_nj: stats.noc.flits as f64 * p.noc_flit_nj,
+            core_nj: stats.sm.issued as f64 * p.issue_nj
+                + stats.sm.active_cycles as f64 * p.sm_active_nj,
+            static_nj: stats.cycles.0 as f64 * p.static_nj_per_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_types::{CacheStats, Cycle, DramStats, NocStats, SmStats};
+
+    fn stats(l1: u64, l2: u64, dram: u64, flits: u64, issued: u64, cycles: u64) -> SimStats {
+        SimStats {
+            cycles: Cycle(cycles),
+            sm: SmStats { issued, active_cycles: cycles / 2, ..SmStats::default() },
+            l1: CacheStats { accesses: l1, ..CacheStats::default() },
+            l2: CacheStats { accesses: l2, ..CacheStats::default() },
+            noc: NocStats { flits, ..NocStats::default() },
+            dram: DramStats { reads: dram, ..DramStats::default() },
+        }
+    }
+
+    #[test]
+    fn empty_run_is_static_only() {
+        let m = EnergyModel::new(EnergyParams::default());
+        let e = m.estimate(&stats(0, 0, 0, 0, 0, 100));
+        assert_eq!(e.l1_nj + e.l2_nj + e.dram_nj + e.noc_nj, 0.0);
+        assert!((e.static_nj - 3000.0).abs() < 1e-9);
+        assert!(e.total_nj() > 0.0);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_events() {
+        let m = EnergyModel::new(EnergyParams::default());
+        let small = m.estimate(&stats(10, 10, 10, 10, 10, 100));
+        let large = m.estimate(&stats(100, 100, 100, 100, 100, 100));
+        assert!(large.total_nj() > small.total_nj());
+        assert!(large.dram_nj > large.l1_nj, "DRAM dominates per event");
+    }
+
+    #[test]
+    fn joule_conversion() {
+        let m = EnergyModel::new(EnergyParams::default());
+        let s = SimStats { cycles: Cycle(1_000_000_000), ..SimStats::default() };
+        let e = m.estimate(&s);
+        // 1e9 cycles × 30 nJ = 30 J.
+        assert!((e.total_j() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_heavy_runs_cost_more_than_cache_heavy() {
+        let m = EnergyModel::new(EnergyParams::default());
+        let cached = m.estimate(&stats(1000, 100, 0, 100, 100, 1000));
+        let uncached = m.estimate(&stats(0, 1000, 1000, 5000, 100, 1000));
+        assert!(uncached.total_nj() > cached.total_nj());
+    }
+}

@@ -1,0 +1,900 @@
+//! The Streaming Multiprocessor model: warp slots, a round-robin warp
+//! scheduler, the LDST path into the private cache, CTA barriers, and the
+//! consistency-model issue rules.
+
+use std::collections::{HashMap, VecDeque};
+
+use gtsc_protocol::{
+    AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess,
+};
+use gtsc_types::{
+    BlockAddr, ConsistencyModel, CtaId, Cycle, SmId, SmStats, StallKind, WarpId, WarpScheduler,
+};
+
+use crate::coalesce::coalesce;
+use crate::kernel::{WarpOp, WarpProgram};
+
+/// Construction parameters for [`Sm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmParams {
+    /// This SM's identifier.
+    pub id: SmId,
+    /// Warp slots (paper: 48).
+    pub n_warp_slots: usize,
+    /// `log2(block size)` used by the coalescer.
+    pub block_shift: u32,
+    /// SC or RC issue rules.
+    pub consistency: ConsistencyModel,
+    /// Outstanding-access window per warp under RC.
+    pub max_outstanding_per_warp: usize,
+    /// Maximum resident CTAs.
+    pub max_ctas: usize,
+    /// Scheduler issue slots per cycle.
+    pub issue_width: usize,
+    /// Warp scheduling policy.
+    pub scheduler: WarpScheduler,
+}
+
+impl Default for SmParams {
+    fn default() -> Self {
+        SmParams {
+            id: SmId(0),
+            n_warp_slots: 4,
+            block_shift: 7,
+            consistency: ConsistencyModel::Rc,
+            max_outstanding_per_warp: 8,
+            max_ctas: 4,
+            issue_width: 1,
+            scheduler: WarpScheduler::RoundRobin,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WarpSlot {
+    active: bool,
+    cta_slot: usize,
+    ops: VecDeque<WarpOp>,
+    /// Remaining coalesced accesses of the in-flight memory instruction.
+    mem_blocks: VecDeque<BlockAddr>,
+    mem_kind: AccessKind,
+    outstanding: u32,
+    /// Outstanding stores + atomics (release-fence gate).
+    outstanding_writes: u32,
+    /// Outstanding loads + atomics (acquire-fence gate).
+    outstanding_reads: u32,
+    compute_until: Cycle,
+    at_barrier: bool,
+    /// An atomic instruction is in flight: the warp blocks until its old
+    /// value returns (its result feeds dependent instructions).
+    atomic_pending: bool,
+    issued_at: Cycle,
+    /// Dispatch order (lower = older), used by the GTO scheduler.
+    age: u64,
+}
+
+impl WarpSlot {
+    fn empty() -> Self {
+        WarpSlot {
+            active: false,
+            cta_slot: 0,
+            ops: VecDeque::new(),
+            mem_blocks: VecDeque::new(),
+            mem_kind: AccessKind::Load,
+            outstanding: 0,
+            outstanding_writes: 0,
+            outstanding_reads: 0,
+            compute_until: Cycle(0),
+            at_barrier: false,
+            atomic_pending: false,
+            issued_at: Cycle(u64::MAX),
+            age: u64::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CtaSlot {
+    warps_total: usize,
+    warps_done: usize,
+    at_barrier: usize,
+    occupied: bool,
+}
+
+/// One Streaming Multiprocessor driving a pluggable L1 controller.
+///
+/// Per cycle the owning simulator calls [`Sm::cycle`] (issue), drains the
+/// L1's outgoing requests, and feeds L1 completions back through
+/// [`Sm::on_completion`]. CTAs are dispatched with [`Sm::assign_cta`] when
+/// [`Sm::can_accept_cta`] allows.
+pub struct Sm {
+    p: SmParams,
+    warps: Vec<WarpSlot>,
+    ctas: Vec<CtaSlot>,
+    l1: Box<dyn L1Controller>,
+    rr_cursor: usize,
+    /// Warp the GTO scheduler is currently greedy on.
+    greedy_warp: Option<usize>,
+    next_age: u64,
+    next_access: u64,
+    /// Issue time of each in-flight access (latency accounting).
+    issue_time: HashMap<AccessId, Cycle>,
+    stats: SmStats,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.p.id)
+            .field("resident_warps", &self.resident_warps())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sm {
+    /// Creates an SM with an empty pipeline in front of `l1`.
+    #[must_use]
+    pub fn new(p: SmParams, l1: Box<dyn L1Controller>) -> Self {
+        Sm {
+            warps: (0..p.n_warp_slots).map(|_| WarpSlot::empty()).collect(),
+            ctas: vec![
+                CtaSlot { warps_total: 0, warps_done: 0, at_barrier: 0, occupied: false };
+                p.max_ctas
+            ],
+            l1,
+            rr_cursor: 0,
+            greedy_warp: None,
+            next_age: 0,
+            next_access: 0,
+            issue_time: HashMap::new(),
+            stats: SmStats::default(),
+            p,
+        }
+    }
+
+    /// This SM's identifier.
+    #[must_use]
+    pub fn id(&self) -> SmId {
+        self.p.id
+    }
+
+    /// Shared access to the private cache controller.
+    #[must_use]
+    pub fn l1(&self) -> &dyn L1Controller {
+        self.l1.as_ref()
+    }
+
+    /// Exclusive access to the private cache controller (the simulator
+    /// drains requests and delivers responses through this).
+    pub fn l1_mut(&mut self) -> &mut dyn L1Controller {
+        self.l1.as_mut()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> SmStats {
+        self.stats
+    }
+
+    /// Number of currently resident (unretired) warps.
+    #[must_use]
+    pub fn resident_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.active).count()
+    }
+
+    /// Whether a CTA of `warps` warps can be dispatched here now.
+    #[must_use]
+    pub fn can_accept_cta(&self, warps: usize) -> bool {
+        let free_warps = self.warps.iter().filter(|w| !w.active).count();
+        let free_cta = self.ctas.iter().any(|c| !c.occupied);
+        free_warps >= warps && free_cta
+    }
+
+    /// Dispatches a CTA onto this SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is insufficient (check
+    /// [`Sm::can_accept_cta`] first).
+    pub fn assign_cta(&mut self, cta: CtaId, programs: Vec<WarpProgram>) {
+        assert!(self.can_accept_cta(programs.len()), "SM lacks capacity for CTA {cta}");
+        let cta_slot = self
+            .ctas
+            .iter()
+            .position(|c| !c.occupied)
+            .expect("capacity checked");
+        let _ = cta; // identity is only needed for the capacity panic message
+        self.ctas[cta_slot] = CtaSlot {
+            warps_total: programs.len(),
+            warps_done: 0,
+            at_barrier: 0,
+            occupied: true,
+        };
+        let mut programs = programs.into_iter();
+        for slot in self.warps.iter_mut() {
+            if !slot.active {
+                let Some(prog) = programs.next() else { break };
+                self.next_age += 1;
+                *slot = WarpSlot {
+                    active: true,
+                    cta_slot,
+                    ops: prog.0.into(),
+                    age: self.next_age,
+                    ..WarpSlot::empty()
+                };
+            }
+        }
+        assert!(programs.next().is_none(), "capacity checked");
+    }
+
+    /// Whether every dispatched warp has retired and the L1 is drained.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.resident_warps() == 0 && self.l1.is_idle()
+    }
+
+    /// Delivers a completed access (decrements the issuing warp's
+    /// outstanding count).
+    pub fn on_completion(&mut self, c: &Completion) {
+        self.on_completion_at(c, None);
+    }
+
+    /// Like [`Sm::on_completion`], additionally recording the access's
+    /// issue→completion latency in the stats histogram.
+    pub fn on_completion_at(&mut self, c: &Completion, now: Option<Cycle>) {
+        if let (Some(t0), Some(now)) = (self.issue_time.remove(&c.id), now) {
+            self.stats.mem_latency.record(now - t0);
+        } else {
+            self.issue_time.remove(&c.id);
+        }
+        let slot = &mut self.warps[c.warp.0 as usize];
+        slot.outstanding = slot.outstanding.saturating_sub(1);
+        match c.kind {
+            AccessKind::Load => slot.outstanding_reads = slot.outstanding_reads.saturating_sub(1),
+            AccessKind::Store => {
+                slot.outstanding_writes = slot.outstanding_writes.saturating_sub(1);
+            }
+            AccessKind::Atomic => {
+                slot.outstanding_reads = slot.outstanding_reads.saturating_sub(1);
+                slot.outstanding_writes = slot.outstanding_writes.saturating_sub(1);
+            }
+        }
+        if slot.outstanding == 0 {
+            slot.atomic_pending = false;
+        }
+    }
+
+    /// Runs one scheduler cycle; returns completions produced by L1 hits.
+    pub fn cycle(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        self.retire_finished();
+        let mut any_issued = false;
+        for _ in 0..self.p.issue_width {
+            if !self.issue_one(now, &mut done) {
+                break;
+            }
+            any_issued = true;
+        }
+        self.account_stalls(now);
+        if self.resident_warps() > 0 {
+            if any_issued {
+                self.stats.active_cycles += 1;
+            } else {
+                self.stats.idle_cycles += 1;
+            }
+        }
+        done
+    }
+
+    fn retire_finished(&mut self) {
+        for i in 0..self.warps.len() {
+            let w = &self.warps[i];
+            if w.active && w.ops.is_empty() && w.mem_blocks.is_empty() && w.outstanding == 0 {
+                let cta_slot = w.cta_slot;
+                self.warps[i].active = false;
+                let cta = &mut self.ctas[cta_slot];
+                cta.warps_done += 1;
+                if cta.warps_done == cta.warps_total {
+                    cta.occupied = false;
+                }
+            }
+        }
+    }
+
+    /// Finds one issuable warp per the scheduling policy and issues a
+    /// micro-op. Returns whether anything issued.
+    fn issue_one(&mut self, now: Cycle, done: &mut Vec<Completion>) -> bool {
+        match self.p.scheduler {
+            WarpScheduler::RoundRobin => {
+                let n = self.warps.len();
+                for k in 0..n {
+                    let i = (self.rr_cursor + k) % n;
+                    if self.try_issue_warp(i, now, done) {
+                        self.rr_cursor = (i + 1) % n;
+                        return true;
+                    }
+                }
+                false
+            }
+            WarpScheduler::Gto => {
+                // Greedy: stick with the current warp while it issues.
+                if let Some(i) = self.greedy_warp {
+                    if self.warps[i].active && self.try_issue_warp(i, now, done) {
+                        return true;
+                    }
+                }
+                // Then-oldest: fall back to the oldest ready warp.
+                let mut order: Vec<usize> = (0..self.warps.len())
+                    .filter(|&i| self.warps[i].active)
+                    .collect();
+                order.sort_by_key(|&i| self.warps[i].age);
+                for i in order {
+                    if Some(i) != self.greedy_warp && self.try_issue_warp(i, now, done) {
+                        self.greedy_warp = Some(i);
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn window_open(&self, slot: &WarpSlot) -> bool {
+        match self.p.consistency {
+            // SC: memory instructions are blocking.
+            ConsistencyModel::Sc => slot.outstanding == 0,
+            ConsistencyModel::Rc => (slot.outstanding as usize) < self.p.max_outstanding_per_warp,
+        }
+    }
+
+    fn try_issue_warp(&mut self, i: usize, now: Cycle, done: &mut Vec<Completion>) -> bool {
+        if !self.warps[i].active || self.warps[i].compute_until > now || self.warps[i].at_barrier {
+            return self.warps[i].at_barrier && self.try_release_barrier(i);
+        }
+        // Continue a partially issued memory instruction.
+        if !self.warps[i].mem_blocks.is_empty() {
+            return self.issue_mem_access(i, now, done);
+        }
+        // An in-flight atomic blocks the warp: its result is needed.
+        if self.warps[i].atomic_pending {
+            return false;
+        }
+        let front_is_mem = matches!(
+            self.warps[i].ops.front(),
+            Some(WarpOp::Load(_) | WarpOp::Store(_) | WarpOp::Atomic(_))
+        );
+        match self.warps[i].ops.front() {
+            None => false,
+            Some(WarpOp::Compute(c)) => {
+                if self.p.consistency == ConsistencyModel::Sc && self.warps[i].outstanding > 0 {
+                    return false; // SC: the warp is blocked on memory
+                }
+                let c = *c;
+                self.warps[i].ops.pop_front();
+                self.warps[i].compute_until = now + u64::from(c);
+                self.warps[i].issued_at = now;
+                self.stats.issued += 1;
+                true
+            }
+            Some(WarpOp::Load(_) | WarpOp::Store(_) | WarpOp::Atomic(_)) if front_is_mem => {
+                if !self.window_open(&self.warps[i]) {
+                    return false;
+                }
+                let op = self.warps[i].ops.pop_front().expect("front checked");
+                let (kind, addrs) = match op {
+                    WarpOp::Load(a) => (AccessKind::Load, a),
+                    WarpOp::Store(a) => (AccessKind::Store, a),
+                    WarpOp::Atomic(a) => (AccessKind::Atomic, a),
+                    _ => unreachable!("matched memory op"),
+                };
+                if kind == AccessKind::Atomic {
+                    self.warps[i].atomic_pending = true;
+                }
+                self.warps[i].mem_kind = kind;
+                self.warps[i].mem_blocks = coalesce(&addrs, self.p.block_shift).into();
+                self.warps[i].issued_at = now;
+                self.stats.issued += 1;
+                self.stats.mem_issued += 1;
+                if self.warps[i].mem_blocks.is_empty() {
+                    return true; // fully divergent-empty instruction
+                }
+                self.issue_mem_access(i, now, done);
+                true
+            }
+            Some(WarpOp::Fence)
+                if self.warps[i].outstanding == 0 && self.l1.fence_ready(WarpId(i as u16), now) => {
+                    self.warps[i].ops.pop_front();
+                    self.warps[i].issued_at = now;
+                    self.stats.issued += 1;
+                    true
+                }
+            Some(WarpOp::ReleaseFence)
+                // Only prior stores/atomics must be performed (and, for
+                // TC-Weak, globally visible per GWCT).
+                if self.warps[i].outstanding_writes == 0
+                    && self.l1.fence_ready(WarpId(i as u16), now)
+                => {
+                    self.warps[i].ops.pop_front();
+                    self.warps[i].issued_at = now;
+                    self.stats.issued += 1;
+                    true
+                }
+            Some(WarpOp::AcquireFence)
+                // Only prior loads/atomics must have returned.
+                if self.warps[i].outstanding_reads == 0 => {
+                    self.warps[i].ops.pop_front();
+                    self.warps[i].issued_at = now;
+                    self.stats.issued += 1;
+                    true
+                }
+            Some(WarpOp::Barrier) => {
+                if self.warps[i].outstanding > 0 {
+                    return false; // barrier implies memory visibility
+                }
+                self.warps[i].at_barrier = true;
+                self.warps[i].issued_at = now;
+                self.ctas[self.warps[i].cta_slot].at_barrier += 1;
+                self.stats.issued += 1;
+                self.try_release_barrier(i);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Releases the CTA barrier once every live warp of the CTA arrived.
+    fn try_release_barrier(&mut self, i: usize) -> bool {
+        let cta_slot = self.warps[i].cta_slot;
+        let cta = self.ctas[cta_slot];
+        let live = cta.warps_total - cta.warps_done;
+        if cta.at_barrier < live {
+            return false;
+        }
+        for w in self.warps.iter_mut() {
+            if w.active && w.cta_slot == cta_slot && w.at_barrier {
+                w.at_barrier = false;
+                w.ops.pop_front(); // consume the Barrier op
+            }
+        }
+        self.ctas[cta_slot].at_barrier = 0;
+        true
+    }
+
+    fn issue_mem_access(&mut self, i: usize, now: Cycle, done: &mut Vec<Completion>) -> bool {
+        if !self.warps[i].mem_blocks.is_empty()
+            && self.p.consistency == ConsistencyModel::Rc
+            && (self.warps[i].outstanding as usize) >= self.p.max_outstanding_per_warp
+        {
+            return false;
+        }
+        let Some(&block) = self.warps[i].mem_blocks.front() else { return false };
+        self.next_access += 1;
+        let acc = MemAccess {
+            id: AccessId(self.next_access),
+            warp: WarpId(i as u16),
+            kind: self.warps[i].mem_kind,
+            block,
+        };
+        match self.l1.access(acc, now) {
+            L1Outcome::Hit(c) => {
+                self.warps[i].mem_blocks.pop_front();
+                self.warps[i].issued_at = now;
+                self.stats.mem_latency.record(1); // L1 hit latency
+                done.push(c);
+                true
+            }
+            L1Outcome::Queued => {
+                self.warps[i].mem_blocks.pop_front();
+                self.issue_time.insert(acc.id, now);
+                self.warps[i].outstanding += 1;
+                match self.warps[i].mem_kind {
+                    AccessKind::Load => self.warps[i].outstanding_reads += 1,
+                    AccessKind::Store => self.warps[i].outstanding_writes += 1,
+                    AccessKind::Atomic => {
+                        self.warps[i].outstanding_reads += 1;
+                        self.warps[i].outstanding_writes += 1;
+                    }
+                }
+                self.warps[i].issued_at = now;
+                true
+            }
+            L1Outcome::Reject => {
+                self.stats.record_stall(StallKind::Structural);
+                false
+            }
+        }
+    }
+
+    /// Per-cycle warp-stall classification (the Figure 13 metric counts
+    /// `Memory` warp-cycles).
+    fn account_stalls(&mut self, now: Cycle) {
+        for i in 0..self.warps.len() {
+            let w = &self.warps[i];
+            if !w.active || w.issued_at == now || w.compute_until > now {
+                continue;
+            }
+            let kind = if w.at_barrier {
+                Some(StallKind::Barrier)
+            } else if !w.mem_blocks.is_empty() {
+                Some(StallKind::Memory)
+            } else {
+                match w.ops.front() {
+                    _ if w.atomic_pending => Some(StallKind::Memory),
+                    Some(WarpOp::Fence | WarpOp::ReleaseFence | WarpOp::AcquireFence) => {
+                        Some(StallKind::Fence)
+                    }
+                    Some(WarpOp::Load(_) | WarpOp::Store(_) | WarpOp::Atomic(_))
+                        if !self.window_open(w) =>
+                    {
+                        Some(StallKind::Memory)
+                    }
+                    Some(WarpOp::Compute(_))
+                        if self.p.consistency == ConsistencyModel::Sc && w.outstanding > 0 =>
+                    {
+                        Some(StallKind::Memory)
+                    }
+                    None if w.outstanding > 0 => Some(StallKind::Memory),
+                    _ => None,
+                }
+            };
+            if let Some(k) = kind {
+                self.stats.record_stall(k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_protocol::msg::{L1ToL2, L2ToL1};
+    use gtsc_types::{Addr, CacheStats, Version};
+    use std::cell::RefCell;
+    use std::collections::VecDeque as Dq;
+    use std::rc::Rc;
+
+    /// A scripted L1: queues every access; the test completes them by
+    /// calling `pump`.
+    struct TestL1 {
+        queued: Rc<RefCell<Dq<MemAccess>>>,
+        fence_ready_at: Cycle,
+    }
+
+    impl TestL1 {
+        fn new() -> (Self, Rc<RefCell<Dq<MemAccess>>>) {
+            let q = Rc::new(RefCell::new(Dq::new()));
+            (TestL1 { queued: q.clone(), fence_ready_at: Cycle(0) }, q)
+        }
+    }
+
+    impl L1Controller for TestL1 {
+        fn access(&mut self, acc: MemAccess, _now: Cycle) -> L1Outcome {
+            self.queued.borrow_mut().push_back(acc);
+            L1Outcome::Queued
+        }
+        fn on_response(&mut self, _msg: L2ToL1, _now: Cycle) -> Vec<Completion> {
+            Vec::new()
+        }
+        fn take_request(&mut self) -> Option<L1ToL2> {
+            None
+        }
+        fn tick(&mut self, _now: Cycle) -> Vec<Completion> {
+            Vec::new()
+        }
+        fn fence_ready(&self, _warp: WarpId, now: Cycle) -> bool {
+            now >= self.fence_ready_at
+        }
+        fn flush(&mut self) {}
+        fn is_idle(&self) -> bool {
+            true
+        }
+        fn stats(&self) -> CacheStats {
+            CacheStats::default()
+        }
+    }
+
+    fn completion_for(acc: &MemAccess) -> Completion {
+        Completion {
+            id: acc.id,
+            warp: acc.warp,
+            kind: acc.kind,
+            block: acc.block,
+            version: Version(1),
+            ts: None,
+            epoch: 0,
+            prev: None,
+        }
+    }
+
+    fn one_warp_kernel(ops: Vec<WarpOp>) -> Vec<WarpProgram> {
+        vec![WarpProgram(ops)]
+    }
+
+    #[test]
+    fn cta_dispatch_and_retirement() {
+        let (l1, _q) = TestL1::new();
+        let mut sm = Sm::new(SmParams::default(), Box::new(l1));
+        assert!(sm.can_accept_cta(2));
+        sm.assign_cta(
+            CtaId(0),
+            vec![WarpProgram(vec![WarpOp::Compute(1)]), WarpProgram(vec![WarpOp::Compute(1)])],
+        );
+        assert_eq!(sm.resident_warps(), 2);
+        for c in 0..10 {
+            sm.cycle(Cycle(c));
+        }
+        assert_eq!(sm.resident_warps(), 0);
+        assert!(sm.is_idle());
+        assert_eq!(sm.stats().issued, 2);
+    }
+
+    #[test]
+    fn sc_blocks_next_instruction_until_completion() {
+        let (l1, q) = TestL1::new();
+        let p = SmParams { consistency: ConsistencyModel::Sc, ..SmParams::default() };
+        let mut sm = Sm::new(p, Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            one_warp_kernel(vec![
+                WarpOp::load_coalesced(Addr(0), 32),
+                WarpOp::Compute(1),
+            ]),
+        );
+        sm.cycle(Cycle(0)); // issues the load
+        assert_eq!(q.borrow().len(), 1);
+        sm.cycle(Cycle(1)); // compute must NOT issue (outstanding load)
+        assert_eq!(sm.stats().issued, 1);
+        assert!(sm.stats().memory_stall_cycles > 0);
+        // Complete the load; compute proceeds.
+        let acc = q.borrow_mut().pop_front().unwrap();
+        sm.on_completion(&completion_for(&acc));
+        sm.cycle(Cycle(2));
+        assert_eq!(sm.stats().issued, 2);
+    }
+
+    #[test]
+    fn rc_overlaps_memory_and_compute() {
+        let (l1, q) = TestL1::new();
+        let p = SmParams { consistency: ConsistencyModel::Rc, ..SmParams::default() };
+        let mut sm = Sm::new(p, Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            one_warp_kernel(vec![WarpOp::load_coalesced(Addr(0), 32), WarpOp::Compute(1)]),
+        );
+        sm.cycle(Cycle(0)); // load
+        sm.cycle(Cycle(1)); // compute issues despite outstanding load
+        assert_eq!(sm.stats().issued, 2);
+        assert_eq!(q.borrow().len(), 1);
+    }
+
+    #[test]
+    fn rc_window_limits_outstanding() {
+        let (l1, q) = TestL1::new();
+        let p = SmParams {
+            consistency: ConsistencyModel::Rc,
+            max_outstanding_per_warp: 2,
+            ..SmParams::default()
+        };
+        let mut sm = Sm::new(p, Box::new(l1));
+        let loads: Vec<WarpOp> =
+            (0..4).map(|i| WarpOp::load_coalesced(Addr(i * 128), 32)).collect();
+        sm.assign_cta(CtaId(0), one_warp_kernel(loads));
+        for c in 0..10 {
+            sm.cycle(Cycle(c));
+        }
+        assert_eq!(q.borrow().len(), 2, "window of 2 outstanding accesses");
+    }
+
+    #[test]
+    fn fence_waits_for_outstanding_and_protocol() {
+        let (mut l1, q) = TestL1::new();
+        l1.fence_ready_at = Cycle(100); // protocol rule (e.g. GWCT)
+        let mut sm = Sm::new(SmParams::default(), Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            one_warp_kernel(vec![
+                WarpOp::store_coalesced(Addr(0), 32),
+                WarpOp::Fence,
+                WarpOp::Compute(1),
+            ]),
+        );
+        sm.cycle(Cycle(0)); // store
+        sm.cycle(Cycle(1)); // fence blocked: outstanding store
+        assert_eq!(sm.stats().issued, 1);
+        let acc = q.borrow_mut().pop_front().unwrap();
+        sm.on_completion(&completion_for(&acc));
+        sm.cycle(Cycle(2)); // fence still blocked: protocol says not ready
+        assert_eq!(sm.stats().issued, 1);
+        assert!(sm.stats().fence_stall_cycles >= 2);
+        sm.cycle(Cycle(100)); // ready now
+        assert_eq!(sm.stats().issued, 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_cta() {
+        let (l1, _q) = TestL1::new();
+        let mut sm = Sm::new(SmParams::default(), Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            vec![
+                WarpProgram(vec![WarpOp::Barrier, WarpOp::Compute(1)]),
+                WarpProgram(vec![WarpOp::Compute(3), WarpOp::Barrier, WarpOp::Compute(1)]),
+            ],
+        );
+        // Warp 0 reaches the barrier immediately; warp 1 is computing.
+        sm.cycle(Cycle(0));
+        sm.cycle(Cycle(1));
+        assert!(sm.stats().barrier_stall_cycles > 0 || sm.resident_warps() == 2);
+        // Run forward: both pass the barrier and retire.
+        for c in 2..20 {
+            sm.cycle(Cycle(c));
+        }
+        assert_eq!(sm.resident_warps(), 0);
+    }
+
+    #[test]
+    fn multi_block_instruction_issues_over_cycles() {
+        let (l1, q) = TestL1::new();
+        let mut sm = Sm::new(SmParams::default(), Box::new(l1));
+        // 4 lanes strided by 128B: 4 blocks.
+        let addrs: Vec<Addr> = (0..4).map(|i| Addr(i * 128)).collect();
+        sm.assign_cta(CtaId(0), one_warp_kernel(vec![WarpOp::Load(addrs)]));
+        sm.cycle(Cycle(0));
+        assert_eq!(q.borrow().len(), 1, "one access per issue slot");
+        sm.cycle(Cycle(1));
+        sm.cycle(Cycle(2));
+        sm.cycle(Cycle(3));
+        assert_eq!(q.borrow().len(), 4);
+        assert_eq!(sm.stats().mem_issued, 1, "one instruction");
+    }
+
+    #[test]
+    fn atomic_blocks_warp_until_completion() {
+        let (l1, q) = TestL1::new();
+        let p = SmParams { consistency: ConsistencyModel::Rc, ..SmParams::default() };
+        let mut sm = Sm::new(p, Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            one_warp_kernel(vec![
+                WarpOp::atomic_coalesced(Addr(0), 32),
+                WarpOp::Compute(1),
+            ]),
+        );
+        sm.cycle(Cycle(0)); // atomic issues
+        assert_eq!(q.borrow().len(), 1);
+        assert_eq!(q.borrow()[0].kind, AccessKind::Atomic);
+        // Even under RC, the compute may NOT issue: the atomic's result
+        // is pending.
+        sm.cycle(Cycle(1));
+        sm.cycle(Cycle(2));
+        assert_eq!(sm.stats().issued, 1);
+        assert!(sm.stats().memory_stall_cycles >= 2);
+        let acc = q.borrow_mut().pop_front().unwrap();
+        sm.on_completion(&completion_for(&acc));
+        sm.cycle(Cycle(3));
+        assert_eq!(sm.stats().issued, 2);
+    }
+
+    #[test]
+    fn gto_sticks_with_the_greedy_warp() {
+        let (l1, _q) = TestL1::new();
+        let p = SmParams {
+            scheduler: gtsc_types::WarpScheduler::Gto,
+            ..SmParams::default()
+        };
+        let mut sm = Sm::new(p, Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            vec![
+                WarpProgram(vec![WarpOp::Compute(1), WarpOp::Compute(1), WarpOp::Compute(1)]),
+                WarpProgram(vec![WarpOp::Compute(1), WarpOp::Compute(1), WarpOp::Compute(1)]),
+            ],
+        );
+        // With compute(1) ops a warp is ready again next cycle, so GTO
+        // should retire warp 0 completely before touching warp 1.
+        for c in 0..3 {
+            sm.cycle(Cycle(c));
+        }
+        // After 3 cycles, exactly 3 instructions issued — all from the
+        // greedy warp, which has now finished its program.
+        assert_eq!(sm.stats().issued, 3);
+        sm.cycle(Cycle(3));
+        assert_eq!(sm.resident_warps(), 1, "warp 0 retired first under GTO");
+    }
+
+    #[test]
+    fn round_robin_interleaves_warps() {
+        let (l1, _q) = TestL1::new();
+        let p = SmParams {
+            scheduler: gtsc_types::WarpScheduler::RoundRobin,
+            ..SmParams::default()
+        };
+        let mut sm = Sm::new(p, Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            vec![
+                WarpProgram(vec![WarpOp::Compute(1), WarpOp::Compute(1)]),
+                WarpProgram(vec![WarpOp::Compute(1), WarpOp::Compute(1)]),
+            ],
+        );
+        for c in 0..4 {
+            sm.cycle(Cycle(c));
+        }
+        // Both warps retire at (nearly) the same time under RR.
+        sm.cycle(Cycle(4));
+        assert_eq!(sm.resident_warps(), 0);
+    }
+
+    #[test]
+    fn release_fence_waits_only_for_stores() {
+        let (l1, q) = TestL1::new();
+        let p = SmParams { consistency: ConsistencyModel::Rc, ..SmParams::default() };
+        let mut sm = Sm::new(p, Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            one_warp_kernel(vec![
+                WarpOp::load_coalesced(Addr(0), 32),
+                WarpOp::store_coalesced(Addr(128), 32),
+                WarpOp::ReleaseFence,
+                WarpOp::Compute(1),
+            ]),
+        );
+        sm.cycle(Cycle(0)); // load
+        sm.cycle(Cycle(1)); // store
+        sm.cycle(Cycle(2)); // fence blocked: store outstanding
+        assert_eq!(sm.stats().issued, 2);
+        // Complete only the STORE; the load stays outstanding.
+        let store_acc = {
+            let mut qq = q.borrow_mut();
+            let pos = qq.iter().position(|a| a.kind == AccessKind::Store).unwrap();
+            qq.remove(pos).unwrap()
+        };
+        sm.on_completion(&completion_for(&store_acc));
+        sm.cycle(Cycle(3)); // release fence passes despite pending load
+        sm.cycle(Cycle(4)); // compute issues
+        assert_eq!(sm.stats().issued, 4);
+    }
+
+    #[test]
+    fn acquire_fence_waits_only_for_loads() {
+        let (l1, q) = TestL1::new();
+        let p = SmParams { consistency: ConsistencyModel::Rc, ..SmParams::default() };
+        let mut sm = Sm::new(p, Box::new(l1));
+        sm.assign_cta(
+            CtaId(0),
+            one_warp_kernel(vec![
+                WarpOp::store_coalesced(Addr(0), 32),
+                WarpOp::load_coalesced(Addr(128), 32),
+                WarpOp::AcquireFence,
+                WarpOp::Compute(1),
+            ]),
+        );
+        sm.cycle(Cycle(0));
+        sm.cycle(Cycle(1));
+        sm.cycle(Cycle(2)); // fence blocked: load outstanding
+        assert_eq!(sm.stats().issued, 2);
+        let load_acc = {
+            let mut qq = q.borrow_mut();
+            let pos = qq.iter().position(|a| a.kind == AccessKind::Load).unwrap();
+            qq.remove(pos).unwrap()
+        };
+        sm.on_completion(&completion_for(&load_acc));
+        sm.cycle(Cycle(3)); // acquire fence passes despite pending store
+        sm.cycle(Cycle(4));
+        assert_eq!(sm.stats().issued, 4);
+    }
+
+    #[test]
+    fn stall_classification_counts_memory_waits() {
+        let (l1, _q) = TestL1::new();
+        let p = SmParams { consistency: ConsistencyModel::Sc, ..SmParams::default() };
+        let mut sm = Sm::new(p, Box::new(l1));
+        sm.assign_cta(CtaId(0), one_warp_kernel(vec![WarpOp::load_coalesced(Addr(0), 32)]));
+        sm.cycle(Cycle(0));
+        for c in 1..11 {
+            sm.cycle(Cycle(c)); // waiting on the never-completing load
+        }
+        assert_eq!(sm.stats().memory_stall_cycles, 10);
+        assert_eq!(sm.stats().idle_cycles, 10);
+    }
+}

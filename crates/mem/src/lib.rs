@@ -1,0 +1,27 @@
+//! Memory-system substrate for the G-TSC reproduction: set-associative tag
+//! arrays with LRU replacement, miss-status holding registers (MSHRs), and
+//! a banked DRAM timing model.
+//!
+//! These structures are protocol-agnostic: the coherence protocols in
+//! `gtsc-core` and `gtsc-baselines` store their per-line state (timestamps,
+//! leases, pending-write locks) in the generic metadata parameter of
+//! [`TagArray`].
+//!
+//! # Examples
+//!
+//! ```
+//! use gtsc_mem::TagArray;
+//! use gtsc_types::{BlockAddr, CacheGeometry};
+//!
+//! let mut tags: TagArray<u32> = TagArray::new(CacheGeometry::new(1024, 2, 128));
+//! assert!(tags.fill(BlockAddr(7), 42).is_none()); // no eviction needed
+//! assert_eq!(tags.probe(BlockAddr(7)).unwrap().meta, 42);
+//! ```
+
+pub mod dram;
+pub mod mshr;
+pub mod tag_array;
+
+pub use dram::{Dram, DramRequest, DramResponse};
+pub use mshr::{Mshr, MshrAlloc};
+pub use tag_array::{EvictedLine, Line, TagArray};

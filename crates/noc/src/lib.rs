@@ -1,0 +1,334 @@
+//! Interconnection-network model for the G-TSC reproduction.
+//!
+//! GPUs connect SMs to L2 banks over a crossbar-like NoC whose bandwidth is
+//! a first-order performance bottleneck (Section II-A of the paper; the
+//! request-combining trade-off of Section V-B exists precisely because of
+//! it). This crate models one direction of traffic as a [`Network`]: per
+//! source port, packets are serialized into flits at a configurable
+//! injection bandwidth, then fly for a fixed pipeline latency. The
+//! simulator instantiates two networks — requests (SM→L2) and responses
+//! (L2→SM) — mirroring GPGPU-Sim's separate virtual networks.
+//!
+//! The model deliberately omits intermediate-hop contention (a crossbar has
+//! none) but does capture the quantities the paper reports: flit counts
+//! (Figure 15's "NoC traffic"), queueing under bandwidth pressure, and
+//! per-packet latency growth with load.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtsc_noc::Network;
+//! use gtsc_types::{Cycle, NocConfig};
+//!
+//! let mut net: Network<&str> = Network::new(2, 4, NocConfig::default());
+//! net.send(0, 3, 8, "hello", Cycle(0));
+//! let mut arrived = Vec::new();
+//! for c in 0..=30 {
+//!     arrived.extend(net.tick(Cycle(c)));
+//! }
+//! assert_eq!(arrived, vec![(3, "hello")]);
+//! ```
+
+use std::collections::VecDeque;
+
+use gtsc_types::{Cycle, NocConfig, NocStats, NocTopology};
+
+/// A queued or in-flight packet.
+#[derive(Debug, Clone)]
+struct Packet<T> {
+    dst: usize,
+    bytes: usize,
+    payload: T,
+    enqueued: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight<T> {
+    arrives: Cycle,
+    dst: usize,
+    payload: T,
+    enqueued: Cycle,
+}
+
+/// One direction of the SM ⇄ L2 interconnect.
+///
+/// `T` is the message type carried. Packets injected by the same source
+/// port share that port's injection bandwidth
+/// ([`NocConfig::flits_per_cycle`]); once injected they arrive after
+/// [`NocConfig::latency`] cycles.
+#[derive(Debug)]
+pub struct Network<T> {
+    cfg: NocConfig,
+    n_srcs: usize,
+    n_dsts: usize,
+    /// Per-source waiting packets.
+    queues: Vec<VecDeque<Packet<T>>>,
+    /// Cycle at which each source port finishes its current injection.
+    port_free: Vec<Cycle>,
+    inflight: Vec<InFlight<T>>,
+    stats: NocStats,
+}
+
+impl<T> Network<T> {
+    /// Creates a network with `n_srcs` source ports and `n_dsts`
+    /// destination ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port count is zero or `cfg.flit_bytes`/
+    /// `cfg.flits_per_cycle` is zero.
+    #[must_use]
+    pub fn new(n_srcs: usize, n_dsts: usize, cfg: NocConfig) -> Self {
+        assert!(n_srcs > 0 && n_dsts > 0, "port counts must be nonzero");
+        assert!(cfg.flit_bytes > 0 && cfg.flits_per_cycle > 0, "NoC bandwidth must be nonzero");
+        Network {
+            cfg,
+            n_srcs,
+            n_dsts,
+            queues: (0..n_srcs).map(|_| VecDeque::new()).collect(),
+            port_free: vec![Cycle(0); n_srcs],
+            inflight: Vec::new(),
+            stats: NocStats::default(),
+        }
+    }
+
+    /// Wire latency from source port `src` to destination port `dst`:
+    /// the pipeline latency, plus per-hop distance on a ring.
+    #[must_use]
+    pub fn wire_latency(&self, src: usize, dst: usize) -> u64 {
+        match self.cfg.topology {
+            NocTopology::Crossbar => self.cfg.latency,
+            NocTopology::Ring { hop_latency } => {
+                let ring = (self.n_srcs + self.n_dsts) as u64;
+                let from = src as u64;
+                let to = (self.n_srcs + dst) as u64;
+                let hops = (to + ring - from) % ring;
+                self.cfg.latency + hops * hop_latency
+            }
+        }
+    }
+
+    /// Number of flits a `bytes`-sized packet occupies.
+    #[must_use]
+    pub fn flits_for(&self, bytes: usize) -> u64 {
+        (bytes.max(1)).div_ceil(self.cfg.flit_bytes) as u64
+    }
+
+    /// Enqueues a packet of `bytes` from source port `src` to destination
+    /// port `dst` at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send(&mut self, src: usize, dst: usize, bytes: usize, payload: T, now: Cycle) {
+        assert!(dst < self.n_dsts, "destination {dst} out of range");
+        let flits = self.flits_for(bytes);
+        self.stats.packets += 1;
+        self.stats.flits += flits;
+        if bytes > self.cfg.control_bytes {
+            self.stats.data_packets += 1;
+        } else {
+            self.stats.control_packets += 1;
+        }
+        self.queues[src].push_back(Packet { dst, bytes, payload, enqueued: now });
+    }
+
+    /// Advances to cycle `now`: injects queued packets as port bandwidth
+    /// frees up and returns `(dst, payload)` for every packet arriving at
+    /// or before `now`.
+    pub fn tick(&mut self, now: Cycle) -> Vec<(usize, T)> {
+        let (cfg, n_srcs, n_dsts) = (self.cfg, self.n_srcs, self.n_dsts);
+        let wire = |src: usize, dst: usize| match cfg.topology {
+            NocTopology::Crossbar => cfg.latency,
+            NocTopology::Ring { hop_latency } => {
+                let ring = (n_srcs + n_dsts) as u64;
+                let hops = ((n_srcs + dst) as u64 + ring - src as u64) % ring;
+                cfg.latency + hops * hop_latency
+            }
+        };
+        // Injection: each source port serializes its queue head-of-line.
+        for (src, q) in self.queues.iter_mut().enumerate() {
+            while let Some(head) = q.front() {
+                let start = self.port_free[src].max(head.enqueued).max(now);
+                if start > now {
+                    break;
+                }
+                let flits = (head.bytes.max(1)).div_ceil(self.cfg.flit_bytes) as u64;
+                let inject_cycles = flits.div_ceil(self.cfg.flits_per_cycle as u64);
+                let pkt = q.pop_front().expect("front checked above");
+                self.stats.queue_cycles += start - pkt.enqueued;
+                let done = start + inject_cycles;
+                self.port_free[src] = done;
+                self.inflight.push(InFlight {
+                    arrives: done + wire(src, pkt.dst),
+                    dst: pkt.dst,
+                    payload: pkt.payload,
+                    enqueued: pkt.enqueued,
+                });
+            }
+        }
+        // Delivery.
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].arrives <= now {
+                let p = self.inflight.swap_remove(i);
+                self.stats.total_packet_latency += now - p.enqueued;
+                out.push((p.dst, p.payload));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Whether all queues and wires are drained.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty() && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn run<T>(net: &mut Network<T>, horizon: u64) -> Vec<(u64, usize, T)> {
+        let mut out = Vec::new();
+        for c in 0..horizon {
+            for (dst, p) in net.tick(Cycle(c)) {
+                out.push((c, dst, p));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn control_packet_latency_is_inject_plus_pipeline() {
+        let cfg = NocConfig::default(); // 20 cyc, 32B flits, 1 flit/cyc
+        let mut net: Network<u32> = Network::new(1, 1, cfg);
+        net.send(0, 0, 8, 42, Cycle(0));
+        let got = run(&mut net, 100);
+        // 8B = 1 flit = 1 cycle injection + 20 latency = arrives at 21.
+        assert_eq!(got, vec![(21, 0, 42)]);
+    }
+
+    fn one_flit_cfg() -> NocConfig {
+        NocConfig { flits_per_cycle: 1, ..NocConfig::default() }
+    }
+
+    #[test]
+    fn data_packets_take_more_flits() {
+        let cfg = one_flit_cfg();
+        let mut net: Network<u32> = Network::new(1, 1, cfg);
+        net.send(0, 0, 136, 1, Cycle(0)); // 136B -> 5 flits
+        assert_eq!(net.stats().flits, 5);
+        assert_eq!(net.stats().data_packets, 1);
+        let got = run(&mut net, 100);
+        assert_eq!(got[0].0, 25); // 5 cycles inject + 20 latency
+    }
+
+    #[test]
+    fn same_port_serializes_different_ports_overlap() {
+        let cfg = one_flit_cfg();
+        let mut a: Network<u32> = Network::new(2, 1, cfg);
+        a.send(0, 0, 136, 1, Cycle(0));
+        a.send(0, 0, 136, 2, Cycle(0));
+        let got_serial = run(&mut a, 200);
+        assert_eq!(got_serial[0].0, 25);
+        assert_eq!(got_serial[1].0, 30); // +5 cycles behind
+
+        let mut b: Network<u32> = Network::new(2, 1, cfg);
+        b.send(0, 0, 136, 1, Cycle(0));
+        b.send(1, 0, 136, 2, Cycle(0));
+        let got_par = run(&mut b, 200);
+        assert_eq!(got_par[0].0, 25);
+        assert_eq!(got_par[1].0, 25); // independent ports
+    }
+
+    #[test]
+    fn queue_cycles_accumulate_under_load() {
+        let cfg = one_flit_cfg();
+        let mut net: Network<u32> = Network::new(1, 1, cfg);
+        for i in 0..4 {
+            net.send(0, 0, 136, i, Cycle(0));
+        }
+        run(&mut net, 300);
+        assert!(net.stats().queue_cycles > 0);
+        assert!(net.stats().avg_latency() > 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_panics() {
+        let mut net: Network<u32> = Network::new(1, 1, NocConfig::default());
+        net.send(0, 5, 8, 0, Cycle(0));
+    }
+
+    #[test]
+    fn ring_latency_grows_with_distance() {
+        let cfg = NocConfig {
+            topology: gtsc_types::NocTopology::Ring { hop_latency: 3 },
+            ..NocConfig::default()
+        };
+        let net: Network<u32> = Network::new(4, 4, cfg);
+        // src 0 -> dst 0 is 4 hops (past srcs 1..3); src 3 -> dst 0 is 1.
+        assert_eq!(net.wire_latency(3, 0), cfg.latency + 3);
+        assert_eq!(net.wire_latency(0, 0), cfg.latency + 4 * 3);
+        assert_eq!(net.wire_latency(0, 3), cfg.latency + 7 * 3);
+        // Crossbar is distance-independent.
+        let xbar: Network<u32> = Network::new(4, 4, NocConfig::default());
+        assert_eq!(xbar.wire_latency(0, 0), xbar.wire_latency(3, 3));
+    }
+
+    #[test]
+    fn ring_packets_arrive_after_hop_delay() {
+        let cfg = NocConfig {
+            topology: gtsc_types::NocTopology::Ring { hop_latency: 10 },
+            flits_per_cycle: 1,
+            ..NocConfig::default()
+        };
+        let mut net: Network<u32> = Network::new(2, 2, cfg);
+        net.send(1, 0, 8, 42, Cycle(0)); // 1 hop
+        let got = run(&mut net, 200);
+        // 1 cycle inject + 20 base + 1*10 hops = 31.
+        assert_eq!(got, vec![(31, 0, 42)]);
+    }
+
+    proptest! {
+        /// Conservation: every packet sent arrives exactly once, at the
+        /// right destination, and never before `latency` has elapsed.
+        #[test]
+        fn conservation(
+            sends in proptest::collection::vec((0usize..4, 0usize..4, 1usize..200, 0u64..50), 1..80)
+        ) {
+            let cfg = NocConfig::default();
+            let mut net: Network<usize> = Network::new(4, 4, cfg);
+            let mut expected = Vec::new();
+            let mut got = Vec::new();
+            let mut cycle = 0u64;
+            for (i, (src, dst, bytes, delay)) in sends.iter().enumerate() {
+                cycle += delay;
+                for c in cycle - delay..cycle {
+                    for (d, p) in net.tick(Cycle(c)) { got.push((d, p)); }
+                }
+                net.send(*src, *dst, *bytes, i, Cycle(cycle));
+                expected.push((*dst, i));
+            }
+            for c in cycle..cycle + 100_000 {
+                for (d, p) in net.tick(Cycle(c)) { got.push((d, p)); }
+                if net.is_idle() { break; }
+            }
+            got.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(expected, got);
+        }
+    }
+}

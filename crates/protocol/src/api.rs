@@ -1,0 +1,263 @@
+//! Controller traits implemented by every coherence protocol.
+//!
+//! The GPU core model drives a per-SM [`L1Controller`]; the simulator
+//! routes the requests it emits over the NoC to per-bank
+//! [`L2Controller`]s, and DRAM responses back. Implementations:
+//!
+//! * `gtsc_core::{GtscL1, GtscL2}` — the paper's protocol;
+//! * `gtsc_baselines::{TcL1, TcL2}` — Temporal Coherence (strong and weak);
+//! * `gtsc_baselines::{BypassL1, PlainL2}` — the no-L1 baseline ("BL");
+//! * `gtsc_baselines::NonCoherentL1` — "Baseline W/L1".
+
+use gtsc_types::{BlockAddr, CacheStats, Cycle, Timestamp, Version, WarpId};
+
+use crate::msg::{Epoch, L1ToL2, L2ToL1};
+
+/// Unique token identifying one in-flight memory access, assigned by the
+/// SM and echoed back in the matching [`Completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AccessId(pub u64);
+
+/// Load, store, or read-modify-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A global-memory load.
+    Load,
+    /// A global-memory store.
+    Store,
+    /// A global-memory atomic (read-modify-write performed at the L2, as
+    /// on real GPUs). The issuing warp blocks until the old value
+    /// returns. Under G-TSC the RMW is timestamped like a store — it
+    /// never stalls; under TC-Strong it must wait for every outstanding
+    /// lease like any other write.
+    Atomic,
+}
+
+/// One block-granular memory access issued by an SM's LDST unit (already
+/// coalesced: one `MemAccess` per distinct block touched by the warp
+/// instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Completion-matching token.
+    pub id: AccessId,
+    /// Issuing warp (within the SM).
+    pub warp: WarpId,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Block touched.
+    pub block: BlockAddr,
+}
+
+/// A finished memory access, reported by the L1 controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Token from the originating [`MemAccess`].
+    pub id: AccessId,
+    /// Issuing warp.
+    pub warp: WarpId,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Block touched.
+    pub block: BlockAddr,
+    /// Data version observed (loads) or published (stores).
+    pub version: Version,
+    /// Logical time of the operation, for timestamp-ordering protocols:
+    /// the load's effective timestamp, or the store's assigned `wts`.
+    /// `None` for physical-time and plain protocols.
+    pub ts: Option<Timestamp>,
+    /// Timestamp-reset epoch the operation executed in.
+    pub epoch: Epoch,
+    /// For atomics only: the version the read-modify-write *observed*
+    /// (its read half). `None` for plain loads and stores.
+    pub prev: Option<Version>,
+}
+
+/// Immediate result of presenting an access to the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Outcome {
+    /// Hit: completes after the L1 hit latency.
+    Hit(Completion),
+    /// Miss or write-through: a [`Completion`] will be produced later by
+    /// [`L1Controller::on_response`] or [`L1Controller::tick`].
+    Queued,
+    /// Structural hazard (MSHR full, line locked and policy forbids
+    /// queueing): the SM must retry the access on a later cycle.
+    Reject,
+}
+
+/// A private (per-SM) cache controller.
+///
+/// The contract with the SM pipeline:
+///
+/// 1. The SM calls [`access`](L1Controller::access) once per coalesced
+///    block access. `Hit` completes immediately (the SM applies the L1 hit
+///    latency); `Queued` completes later; `Reject` must be retried.
+/// 2. Each cycle, the simulator drains
+///    [`take_request`](L1Controller::take_request) into the request NoC,
+///    feeds arriving responses to
+///    [`on_response`](L1Controller::on_response), and calls
+///    [`tick`](L1Controller::tick); both of the latter may yield
+///    completions.
+/// 3. Fences additionally gate on
+///    [`fence_ready`](L1Controller::fence_ready) (TC-Weak's GWCT rule).
+/// 4. [`flush`](L1Controller::flush) is invoked at kernel boundaries
+///    (GPU caches are flushed between kernels; Section V-D).
+pub trait L1Controller {
+    /// Presents a coalesced access; may complete, queue, or reject it.
+    fn access(&mut self, acc: MemAccess, now: Cycle) -> L1Outcome;
+
+    /// Delivers a response that arrived over the response NoC. Returns the
+    /// accesses it completed.
+    fn on_response(&mut self, msg: L2ToL1, now: Cycle) -> Vec<Completion>;
+
+    /// Removes the next request destined for the L2, if any. The simulator
+    /// routes it by [`L1ToL2::block`].
+    fn take_request(&mut self) -> Option<L1ToL2>;
+
+    /// Per-cycle housekeeping (expiry scans, retry of deferred renewals).
+    /// May complete accesses (e.g. waiters whose lease arrived earlier).
+    fn tick(&mut self, now: Cycle) -> Vec<Completion>;
+
+    /// Whether `warp` may complete a fence *from the protocol's point of
+    /// view* (the SM separately requires all of the warp's accesses to
+    /// have completed). TC-Weak overrides this with the GWCT check.
+    fn fence_ready(&self, warp: WarpId, now: Cycle) -> bool {
+        let _ = (warp, now);
+        true
+    }
+
+    /// Invalidates the entire cache and resets per-warp protocol state
+    /// (kernel boundary).
+    fn flush(&mut self);
+
+    /// Whether no access is waiting inside the controller.
+    fn is_idle(&self) -> bool;
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> CacheStats;
+}
+
+/// A shared-cache bank controller.
+///
+/// Each cycle the simulator: delivers NoC request arrivals via
+/// [`on_request`](L2Controller::on_request); calls
+/// [`tick`](L2Controller::tick); moves
+/// [`take_dram_request`](L2Controller::take_dram_request) into the DRAM
+/// model (respecting back-pressure via
+/// [`dram_ready`](L2Controller::dram_ready)); feeds DRAM completions to
+/// [`on_dram_response`](L2Controller::on_dram_response); and drains
+/// [`take_response`](L2Controller::take_response) into the response NoC.
+pub trait L2Controller {
+    /// Handles a request from SM `src`.
+    fn on_request(&mut self, src: usize, msg: L1ToL2, now: Cycle);
+
+    /// Next response to inject into the response network: `(dst SM, msg)`.
+    fn take_response(&mut self) -> Option<(usize, L2ToL1)>;
+
+    /// Next DRAM request: `(block, is_write)`. Only called when the DRAM
+    /// queue can accept (the simulator checks first).
+    fn take_dram_request(&mut self) -> Option<(BlockAddr, bool)>;
+
+    /// Informs the controller whether DRAM can currently accept requests
+    /// (so `tick` can decide to retry stalled evictions).
+    fn dram_ready(&mut self, ready: bool) {
+        let _ = ready;
+    }
+
+    /// Handles a DRAM completion for `block` (`is_write` distinguishes
+    /// write-back completions, which usually need no action).
+    fn on_dram_response(&mut self, block: BlockAddr, is_write: bool, now: Cycle);
+
+    /// Per-cycle housekeeping (TC write-stall expiry, deferred work).
+    fn tick(&mut self, now: Cycle);
+
+    /// Whether this bank wants a global timestamp reset (G-TSC rollover,
+    /// Section V-D). The simulator polls this and, if any bank requests a
+    /// reset, calls [`apply_reset`](L2Controller::apply_reset) on *all*
+    /// banks with the same new epoch.
+    fn needs_reset(&self) -> bool {
+        false
+    }
+
+    /// Performs the Section V-D timestamp reset, entering `epoch`.
+    fn apply_reset(&mut self, epoch: Epoch) {
+        let _ = epoch;
+    }
+
+    /// Whether no transaction is pending inside the bank.
+    fn is_idle(&self) -> bool;
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> CacheStats;
+
+    /// The bank's current functional memory contents (resident lines plus
+    /// written-back blocks), as `(block, version)` pairs. Used by the
+    /// cross-protocol equivalence checker; timing models need not override.
+    fn memory_image(&self) -> Vec<(BlockAddr, Version)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_id_is_ordered() {
+        assert!(AccessId(1) < AccessId(2));
+        assert_eq!(AccessId::default(), AccessId(0));
+    }
+
+    /// The default `fence_ready` lets fences through (only the SM's
+    /// outstanding-access rule applies), and default reset hooks are inert.
+    #[test]
+    fn trait_defaults() {
+        struct Dummy;
+        impl L1Controller for Dummy {
+            fn access(&mut self, _: MemAccess, _: Cycle) -> L1Outcome {
+                L1Outcome::Reject
+            }
+            fn on_response(&mut self, _: L2ToL1, _: Cycle) -> Vec<Completion> {
+                Vec::new()
+            }
+            fn take_request(&mut self) -> Option<L1ToL2> {
+                None
+            }
+            fn tick(&mut self, _: Cycle) -> Vec<Completion> {
+                Vec::new()
+            }
+            fn flush(&mut self) {}
+            fn is_idle(&self) -> bool {
+                true
+            }
+            fn stats(&self) -> CacheStats {
+                CacheStats::default()
+            }
+        }
+        let d = Dummy;
+        assert!(d.fence_ready(WarpId(0), Cycle(0)));
+
+        struct DummyL2;
+        impl L2Controller for DummyL2 {
+            fn on_request(&mut self, _: usize, _: L1ToL2, _: Cycle) {}
+            fn take_response(&mut self) -> Option<(usize, L2ToL1)> {
+                None
+            }
+            fn take_dram_request(&mut self) -> Option<(BlockAddr, bool)> {
+                None
+            }
+            fn on_dram_response(&mut self, _: BlockAddr, _: bool, _: Cycle) {}
+            fn tick(&mut self, _: Cycle) {}
+            fn is_idle(&self) -> bool {
+                true
+            }
+            fn stats(&self) -> CacheStats {
+                CacheStats::default()
+            }
+        }
+        let mut d2 = DummyL2;
+        assert!(!d2.needs_reset());
+        d2.apply_reset(1);
+        d2.dram_ready(true);
+    }
+}

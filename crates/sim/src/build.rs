@@ -1,0 +1,99 @@
+//! Protocol factory: builds the L1/L2 controller pair selected by
+//! [`GpuConfig::protocol`](gtsc_types::GpuConfig).
+
+use gtsc_baselines::{BypassL1, NonCoherentL1, PlainL2, PlainL2Params, TcL1, TcL1Params, TcL2, TcL2Params, TcMode};
+use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
+use gtsc_protocol::{L1Controller, L2Controller};
+use gtsc_types::{GpuConfig, ProtocolKind};
+
+/// Builds the private-cache controller for SM `sm_index` under
+/// `cfg.protocol`.
+#[must_use]
+pub fn build_l1(cfg: &GpuConfig, sm_index: usize) -> Box<dyn L1Controller> {
+    match cfg.protocol {
+        ProtocolKind::Gtsc => Box::new(GtscL1::new(L1Params {
+            geometry: cfg.l1,
+            n_warps: cfg.warps_per_sm,
+            sm_index,
+            mshr_entries: cfg.l1_mshr_entries,
+            mshr_merges: cfg.l1_mshr_merges,
+            combine: cfg.combine,
+            visibility: cfg.visibility,
+        })),
+        ProtocolKind::Tc | ProtocolKind::TcWeak => Box::new(TcL1::new(TcL1Params {
+            geometry: cfg.l1,
+            n_warps: cfg.warps_per_sm,
+            sm_index,
+            mshr_entries: cfg.l1_mshr_entries,
+            mshr_merges: cfg.l1_mshr_merges,
+            mode: if cfg.protocol == ProtocolKind::Tc { TcMode::Strong } else { TcMode::Weak },
+        })),
+        ProtocolKind::NoL1 => Box::new(BypassL1::new(sm_index)),
+        ProtocolKind::L1NoCoherence => Box::new(NonCoherentL1::new(
+            cfg.l1,
+            sm_index,
+            cfg.l1_mshr_entries,
+            cfg.l1_mshr_merges,
+        )),
+    }
+}
+
+/// Builds one shared-cache bank controller under `cfg.protocol`.
+#[must_use]
+pub fn build_l2(cfg: &GpuConfig) -> Box<dyn L2Controller> {
+    match cfg.protocol {
+        ProtocolKind::Gtsc => Box::new(GtscL2::new(L2Params {
+            geometry: cfg.l2.with_set_stride(cfg.l2_banks as u64),
+            lease: cfg.lease,
+            ts_bits: cfg.ts_bits,
+            latency: cfg.l2_latency,
+            ports: 2,
+            inclusion: cfg.inclusion,
+            n_sms: cfg.n_sms,
+            mshr_entries: cfg.l2_mshr_entries,
+            mshr_merges: 256,
+            adaptive_lease: cfg.adaptive_lease,
+        })),
+        ProtocolKind::Tc | ProtocolKind::TcWeak => Box::new(TcL2::new(TcL2Params {
+            geometry: cfg.l2.with_set_stride(cfg.l2_banks as u64),
+            lease_cycles: cfg.tc_lease_cycles,
+            latency: cfg.l2_latency,
+            ports: 2,
+            mshr_entries: cfg.l2_mshr_entries,
+            mshr_merges: 256,
+            mode: if cfg.protocol == ProtocolKind::Tc { TcMode::Strong } else { TcMode::Weak },
+        })),
+        ProtocolKind::NoL1 | ProtocolKind::L1NoCoherence => Box::new(PlainL2::new(PlainL2Params {
+            geometry: cfg.l2.with_set_stride(cfg.l2_banks as u64),
+            latency: cfg.l2_latency,
+            ports: 2,
+            mshr_entries: cfg.l2_mshr_entries,
+            mshr_merges: 256,
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_types::ConsistencyModel;
+
+    #[test]
+    fn every_protocol_builds() {
+        for p in [
+            ProtocolKind::Gtsc,
+            ProtocolKind::Tc,
+            ProtocolKind::TcWeak,
+            ProtocolKind::NoL1,
+            ProtocolKind::L1NoCoherence,
+        ] {
+            let cfg = GpuConfig::test_small()
+                .with_protocol(p)
+                .with_consistency(ConsistencyModel::Rc);
+            let l1 = build_l1(&cfg, 0);
+            let l2 = build_l2(&cfg);
+            assert!(l1.is_idle());
+            assert!(l2.is_idle());
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Runtime coherence checking.
+//!
+//! The simulator tracks data functionally as [`Version`]s: every store
+//! publishes a fresh version, every load reports the version it observed.
+//! For timestamp-ordering protocols (G-TSC) the checker verifies the core
+//! invariant of Section III-C — *the values returned by loads are
+//! consistent with the timestamp assignment*:
+//!
+//! > a load with logical time `t` (in reset epoch `e`) must return the
+//! > version written by the latest store with `(epoch, wts) ≤ (e, t)`
+//! > on that block (or the initial contents if there is none).
+//!
+//! For physical-time and plain protocols (TC, baselines) timestamps carry
+//! no meaning, so the checker falls back to a functional sanity property:
+//! every loaded version must be the initial value or something actually
+//! stored to that block. (TC-specific ordering is exercised by the litmus
+//! integration tests instead.)
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use gtsc_protocol::msg::Epoch;
+use gtsc_protocol::{AccessKind, Completion};
+use gtsc_types::{BlockAddr, Cycle, Timestamp, Version};
+
+/// One detected inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One observed load, exposed for litmus-style assertions in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadObservation {
+    /// Logical `(epoch, timestamp)` of the load, when the protocol has one.
+    pub key: Option<(Epoch, Timestamp)>,
+    /// Version the load returned.
+    pub version: Version,
+    /// Physical completion time.
+    pub at: Cycle,
+    /// Observing SM.
+    pub sm: usize,
+    /// This is the read half of an atomic: it observes the latest store
+    /// *strictly before* its own key (its own write lives at the key).
+    pub exclusive: bool,
+}
+
+type LoadEv = LoadObservation;
+
+/// Collects load/store completions during a run and validates them at the
+/// end (validation is deferred because a load's producing store may
+/// complete — from the checker's viewpoint — after the load).
+#[derive(Debug, Default)]
+pub struct Checker {
+    /// Committed stores per block, keyed by `(epoch, wts)`.
+    stores: HashMap<BlockAddr, BTreeMap<(Epoch, Timestamp), Version>>,
+    /// All versions ever stored per block (functional fallback).
+    written: HashMap<BlockAddr, HashSet<Version>>,
+    loads: HashMap<BlockAddr, Vec<LoadEv>>,
+    n_events: u64,
+}
+
+impl Checker {
+    /// Creates an empty checker.
+    #[must_use]
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Number of completions observed.
+    #[must_use]
+    pub fn n_events(&self) -> u64 {
+        self.n_events
+    }
+
+    /// Feeds one completed access from SM `sm` at cycle `now`.
+    pub fn on_completion(&mut self, sm: usize, c: &Completion, now: Cycle) {
+        self.n_events += 1;
+        match c.kind {
+            AccessKind::Store => {
+                self.written.entry(c.block).or_default().insert(c.version);
+                if let Some(wts) = c.ts {
+                    self.stores
+                        .entry(c.block)
+                        .or_default()
+                        .insert((c.epoch, wts), c.version);
+                }
+            }
+            AccessKind::Atomic => {
+                // The write half is a store at the assigned wts; the read
+                // half observed `prev` immediately before it.
+                self.written.entry(c.block).or_default().insert(c.version);
+                if let Some(wts) = c.ts {
+                    self.stores
+                        .entry(c.block)
+                        .or_default()
+                        .insert((c.epoch, wts), c.version);
+                }
+                if let Some(prev) = c.prev {
+                    self.loads.entry(c.block).or_default().push(LoadObservation {
+                        key: c.ts.map(|t| (c.epoch, t)),
+                        version: prev,
+                        at: now,
+                        sm,
+                        exclusive: true,
+                    });
+                }
+            }
+            AccessKind::Load => {
+                self.loads.entry(c.block).or_default().push(LoadObservation {
+                    key: c.ts.map(|t| (c.epoch, t)),
+                    version: c.version,
+                    at: now,
+                    sm,
+                    exclusive: false,
+                });
+            }
+        }
+    }
+
+    /// Loads observed on `block`, in completion order (litmus assertions).
+    #[must_use]
+    pub fn load_observations(&self, block: BlockAddr) -> Vec<LoadObservation> {
+        let mut v = self.loads.get(&block).cloned().unwrap_or_default();
+        v.sort_by_key(|l| l.at);
+        v
+    }
+
+    /// Versions stored to `block`, in `(epoch, wts)` order (timestamp
+    /// protocols only).
+    #[must_use]
+    pub fn store_order(&self, block: BlockAddr) -> Vec<Version> {
+        self.stores
+            .get(&block)
+            .map(|m| m.values().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Validates all collected events; returns every violation found.
+    #[must_use]
+    pub fn finish(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (block, loads) in &self.loads {
+            let stores = self.stores.get(block);
+            let written = self.written.get(block);
+            for ld in loads {
+                match ld.key {
+                    Some(key) => {
+                        // Timestamp-ordering invariant: expected version is
+                        // the latest store at or before the load's logical
+                        // time (strictly before, for an atomic's read half).
+                        let expected = if ld.exclusive {
+                            stores
+                                .and_then(|m| m.range(..key).next_back())
+                                .map_or(Version::ZERO, |(_, v)| *v)
+                        } else {
+                            stores
+                                .and_then(|m| m.range(..=key).next_back())
+                                .map_or(Version::ZERO, |(_, v)| *v)
+                        };
+                        if ld.version != expected {
+                            out.push(Violation(format!(
+                                "timestamp-order violation at {block}: load by sm{} at {} \
+                                 with key (e{}, {}) observed {} but the latest store ≤ key wrote {}",
+                                ld.sm, ld.at, key.0, key.1, ld.version, expected
+                            )));
+                        }
+                    }
+                    None => {
+                        // Functional fallback: the version must exist.
+                        let known = ld.version == Version::ZERO
+                            || written.is_some_and(|w| w.contains(&ld.version));
+                        if !known {
+                            out.push(Violation(format!(
+                                "phantom value at {block}: load by sm{} at {} observed {} which \
+                                 no store produced",
+                                ld.sm, ld.at, ld.version
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_protocol::AccessId;
+    use gtsc_types::WarpId;
+
+    fn store(block: u64, wts: u64, version: u64, epoch: Epoch) -> Completion {
+        Completion {
+            id: AccessId(0),
+            warp: WarpId(0),
+            kind: AccessKind::Store,
+            block: BlockAddr(block),
+            version: Version(version),
+            ts: Some(Timestamp(wts)),
+            epoch,
+            prev: None,
+        }
+    }
+
+    fn load(block: u64, ts: u64, version: u64, epoch: Epoch) -> Completion {
+        Completion {
+            id: AccessId(0),
+            warp: WarpId(0),
+            kind: AccessKind::Load,
+            block: BlockAddr(block),
+            version: Version(version),
+            ts: Some(Timestamp(ts)),
+            epoch,
+            prev: None,
+        }
+    }
+
+    #[test]
+    fn consistent_history_passes() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 12, 100, 0), Cycle(10));
+        ch.on_completion(1, &load(5, 5, 0, 0), Cycle(20)); // before the store: initial value
+        ch.on_completion(1, &load(5, 12, 100, 0), Cycle(5)); // at the store's wts
+        ch.on_completion(1, &load(5, 30, 100, 0), Cycle(30));
+        assert!(ch.finish().is_empty());
+        assert_eq!(ch.n_events(), 4);
+    }
+
+    #[test]
+    fn reading_future_value_is_flagged() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 12, 100, 0), Cycle(10));
+        // Load at logical time 6 observes the value written at 12: the
+        // Figure 10 violation.
+        ch.on_completion(1, &load(5, 6, 100, 0), Cycle(3));
+        let v = ch.finish();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].0.contains("timestamp-order violation"));
+    }
+
+    #[test]
+    fn reading_stale_value_is_flagged() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 12, 100, 0), Cycle(10));
+        ch.on_completion(0, &store(5, 25, 200, 0), Cycle(20));
+        // Load at ts 30 must see version 200, not 100.
+        ch.on_completion(1, &load(5, 30, 100, 0), Cycle(40));
+        assert_eq!(ch.finish().len(), 1);
+    }
+
+    #[test]
+    fn epochs_order_lexicographically() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 60_000, 100, 0), Cycle(10));
+        // After a rollover the same block is rewritten at a tiny wts in
+        // epoch 1; loads in epoch 1 must see the newer store.
+        ch.on_completion(0, &store(5, 5, 200, 1), Cycle(100));
+        ch.on_completion(1, &load(5, 2, 100, 1), Cycle(150)); // (1,2) < (1,5): still v100
+        ch.on_completion(1, &load(5, 9, 200, 1), Cycle(160));
+        assert!(ch.finish().is_empty());
+    }
+
+    fn atomic(block: u64, wts: u64, version: u64, prev: u64) -> Completion {
+        Completion {
+            id: AccessId(0),
+            warp: WarpId(0),
+            kind: AccessKind::Atomic,
+            block: BlockAddr(block),
+            version: Version(version),
+            ts: Some(Timestamp(wts)),
+            epoch: 0,
+            prev: Some(Version(prev)),
+        }
+    }
+
+    #[test]
+    fn atomic_read_half_is_exclusive_of_its_own_write() {
+        let mut ch = Checker::new();
+        // An atomic at wts 10 observing the initial value: its own store
+        // (at the same key) must not satisfy its read half.
+        ch.on_completion(0, &atomic(5, 10, 100, 0), Cycle(1));
+        assert!(ch.finish().is_empty());
+        // A second atomic at wts 20 must observe the first's version.
+        ch.on_completion(1, &atomic(5, 20, 200, 100), Cycle(2));
+        assert!(ch.finish().is_empty());
+        // A later load at ts 25 sees the second atomic's write half.
+        ch.on_completion(2, &load(5, 25, 200, 0), Cycle(3));
+        assert!(ch.finish().is_empty());
+    }
+
+    #[test]
+    fn atomic_observing_wrong_predecessor_is_flagged() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &atomic(5, 10, 100, 0), Cycle(1));
+        // Claims to have observed the initial value although version 100
+        // was written at wts 10 < 20: a lost update.
+        ch.on_completion(1, &atomic(5, 20, 200, 0), Cycle(2));
+        let v = ch.finish();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].0.contains("timestamp-order violation"));
+    }
+
+    #[test]
+    fn functional_fallback_flags_phantom_versions() {
+        let mut ch = Checker::new();
+        let mut c = load(5, 0, 12345, 0);
+        c.ts = None;
+        ch.on_completion(0, &c, Cycle(5));
+        let v = ch.finish();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].0.contains("phantom"));
+    }
+
+    #[test]
+    fn functional_fallback_accepts_known_versions() {
+        let mut ch = Checker::new();
+        let mut st = store(5, 0, 77, 0);
+        st.ts = None;
+        ch.on_completion(0, &st, Cycle(1));
+        let mut ld = load(5, 0, 77, 0);
+        ld.ts = None;
+        ch.on_completion(1, &ld, Cycle(2));
+        let mut ld0 = load(5, 0, 0, 0);
+        ld0.ts = None;
+        ch.on_completion(1, &ld0, Cycle(3));
+        assert!(ch.finish().is_empty());
+    }
+}

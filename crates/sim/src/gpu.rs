@@ -1,0 +1,614 @@
+//! The top-level cycle-driven GPU simulator.
+//!
+//! Wires `n_sms` SMs (each with its private-cache controller) to
+//! `l2_banks` shared-cache banks through two crossbar networks (requests
+//! and responses), and each bank to its own DRAM partition. One call to
+//! [`GpuSim::run_kernel`] advances everything cycle by cycle until the
+//! kernel drains, performing the global timestamp-rollover coordination
+//! of Section V-D and feeding every completed access to the coherence
+//! [`Checker`].
+
+use std::collections::BTreeMap;
+
+use gtsc_gpu::{Kernel, Sm, SmParams};
+use gtsc_mem::{Dram, DramRequest};
+use gtsc_noc::Network;
+use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, MsgSizes};
+use gtsc_protocol::L2Controller;
+use gtsc_types::{BlockAddr, CtaId, Cycle, GpuConfig, SimStats, SmId, Version};
+
+use crate::build::{build_l1, build_l2};
+use crate::check::{Checker, Violation};
+
+/// Result of running one or more kernels.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Aggregated hardware counters.
+    pub stats: SimStats,
+    /// Coherence violations detected so far (empty on a correct run —
+    /// except under [`gtsc_types::ProtocolKind::L1NoCoherence`] on
+    /// sharing workloads, where violations are the expected evidence of
+    /// incoherence).
+    pub violations: Vec<Violation>,
+}
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configured cycle limit elapsed with work still pending
+    /// (deadlock guard).
+    CycleLimit {
+        /// Cycle at which the run aborted.
+        at: Cycle,
+        /// Warps still resident across all SMs.
+        resident_warps: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleLimit { at, resident_warps } => write!(
+                f,
+                "cycle limit reached at {at} with {resident_warps} warps still resident"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The assembled GPU.
+pub struct GpuSim {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    l2: Vec<Box<dyn L2Controller>>,
+    drams: Vec<Dram<()>>,
+    req_net: Network<(usize, L1ToL2)>,
+    resp_net: Network<L2ToL1>,
+    sizes: MsgSizes,
+    now: Cycle,
+    epoch: Epoch,
+    checker: Checker,
+}
+
+impl std::fmt::Debug for GpuSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuSim")
+            .field("config", &self.cfg.label())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Assembles a [`GpuSim`] with optionally overridden cache controllers —
+/// the extension point for plugging a *new* coherence protocol into the
+/// unchanged GPU/NoC/DRAM substrate (see `examples/custom_protocol.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_sim::SimBuilder;
+/// use gtsc_types::GpuConfig;
+///
+/// // Defaults reproduce GpuSim::new(cfg).
+/// let sim = SimBuilder::new(GpuConfig::test_small()).build();
+/// assert_eq!(sim.now().0, 0);
+/// ```
+pub struct SimBuilder {
+    cfg: GpuConfig,
+    l1_factory: L1Factory,
+    l2_factory: L2Factory,
+}
+
+/// Factory producing one private-cache controller per SM.
+type L1Factory = Box<dyn Fn(&GpuConfig, usize) -> Box<dyn gtsc_protocol::L1Controller>>;
+/// Factory producing one shared-cache bank controller.
+type L2Factory = Box<dyn Fn(&GpuConfig) -> Box<dyn L2Controller>>;
+
+impl std::fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBuilder").field("config", &self.cfg.label()).finish_non_exhaustive()
+    }
+}
+
+impl SimBuilder {
+    /// Starts from `cfg` with the protocol selected by `cfg.protocol`.
+    #[must_use]
+    pub fn new(cfg: GpuConfig) -> Self {
+        SimBuilder {
+            cfg,
+            l1_factory: Box::new(|cfg, i| build_l1(cfg, i)),
+            l2_factory: Box::new(build_l2),
+        }
+    }
+
+    /// Overrides the private-cache controller (called once per SM with
+    /// the SM index).
+    #[must_use]
+    pub fn with_l1(
+        mut self,
+        factory: impl Fn(&GpuConfig, usize) -> Box<dyn gtsc_protocol::L1Controller> + 'static,
+    ) -> Self {
+        self.l1_factory = Box::new(factory);
+        self
+    }
+
+    /// Overrides the shared-cache bank controller (called once per bank).
+    #[must_use]
+    pub fn with_l2(
+        mut self,
+        factory: impl Fn(&GpuConfig) -> Box<dyn L2Controller> + 'static,
+    ) -> Self {
+        self.l2_factory = Box::new(factory);
+        self
+    }
+
+    /// Assembles the GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is degenerate (zero SMs or banks).
+    #[must_use]
+    pub fn build(self) -> GpuSim {
+        let cfg = self.cfg;
+        assert!(cfg.n_sms > 0 && cfg.l2_banks > 0, "config must have SMs and banks");
+        let sms = (0..cfg.n_sms)
+            .map(|i| {
+                Sm::new(
+                    SmParams {
+                        id: SmId(i as u16),
+                        n_warp_slots: cfg.warps_per_sm,
+                        block_shift: cfg.l1.block_shift(),
+                        consistency: cfg.consistency,
+                        max_outstanding_per_warp: cfg.max_outstanding_per_warp,
+                        max_ctas: cfg.max_ctas_per_sm,
+                        issue_width: 1,
+                        scheduler: cfg.scheduler,
+                    },
+                    (self.l1_factory)(&cfg, i),
+                )
+            })
+            .collect();
+        let l2 = (0..cfg.l2_banks).map(|_| (self.l2_factory)(&cfg)).collect();
+        let drams = (0..cfg.l2_banks).map(|_| Dram::new(cfg.dram)).collect();
+        let req_net = Network::new(cfg.n_sms, cfg.l2_banks, cfg.noc);
+        let resp_net = Network::new(cfg.l2_banks, cfg.n_sms, cfg.noc);
+        let sizes = MsgSizes::new(cfg.noc.control_bytes, cfg.ts_bits, cfg.l1.block_size());
+        GpuSim {
+            cfg,
+            sms,
+            l2,
+            drams,
+            req_net,
+            resp_net,
+            sizes,
+            now: Cycle(0),
+            epoch: 0,
+            checker: Checker::new(),
+        }
+    }
+}
+
+impl GpuSim {
+    /// Assembles a GPU per `cfg` (shorthand for
+    /// [`SimBuilder::new`]`(cfg).build()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is degenerate (zero SMs or banks).
+    #[must_use]
+    pub fn new(cfg: GpuConfig) -> Self {
+        SimBuilder::new(cfg).build()
+    }
+
+    /// The configuration this GPU was built with.
+    #[must_use]
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Runs `kernel` to completion (dispatching CTAs as SMs free up),
+    /// then flushes the private caches (kernel boundary, Section V-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimit`] if `cfg.max_cycles` elapses first.
+    pub fn run_kernel(&mut self, kernel: &dyn Kernel) -> Result<RunReport, SimError> {
+        assert!(
+            kernel.warps_per_cta() <= self.cfg.warps_per_sm,
+            "CTA wider than an SM"
+        );
+        let mut next_cta = 0usize;
+        let mut sm_cursor = 0usize;
+        let n_ctas = kernel.n_ctas();
+        loop {
+            // CTA dispatch: round-robin across SMs (as GPGPU-Sim does),
+            // so the grid spreads over the whole chip instead of packing
+            // the first SMs.
+            'dispatch: while next_cta < n_ctas {
+                let cta = CtaId(next_cta as u32);
+                let warps = kernel.warps_per_cta();
+                let n_sms = self.sms.len();
+                let Some(offset) =
+                    (0..n_sms).find(|k| self.sms[(sm_cursor + k) % n_sms].can_accept_cta(warps))
+                else {
+                    break 'dispatch;
+                };
+                let picked = (sm_cursor + offset) % n_sms;
+                sm_cursor = (picked + 1) % n_sms;
+                let programs = (0..warps).map(|w| kernel.program(cta, w)).collect();
+                self.sms[picked].assign_cta(cta, programs);
+                next_cta += 1;
+            }
+
+            self.step();
+
+            if next_cta == n_ctas && self.all_idle() {
+                break;
+            }
+            self.now += 1;
+            if self.cfg.max_cycles > 0 && self.now.0 > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    at: self.now,
+                    resident_warps: self.sms.iter().map(Sm::resident_warps).sum(),
+                });
+            }
+        }
+        for sm in &mut self.sms {
+            sm.l1_mut().flush();
+        }
+        Ok(self.report())
+    }
+
+    /// Runs several kernels back to back (private caches flushed between).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] encountered.
+    pub fn run_kernels(&mut self, kernels: &[&dyn Kernel]) -> Result<RunReport, SimError> {
+        let mut last = None;
+        for k in kernels {
+            last = Some(self.run_kernel(*k)?);
+        }
+        Ok(last.unwrap_or_else(|| self.report()))
+    }
+
+    /// The current aggregated statistics and violations.
+    #[must_use]
+    pub fn report(&self) -> RunReport {
+        let mut stats = SimStats { cycles: self.now, ..SimStats::default() };
+        for sm in &self.sms {
+            stats.sm.merge(&sm.stats());
+            stats.l1.merge(&sm.l1().stats());
+        }
+        for bank in &self.l2 {
+            stats.l2.merge(&bank.stats());
+        }
+        stats.noc.merge(&self.req_net.stats());
+        stats.noc.merge(&self.resp_net.stats());
+        for d in &self.drams {
+            stats.dram.merge(&d.stats());
+        }
+        RunReport { stats, violations: self.checker.finish() }
+    }
+
+    /// Read-only access to the coherence checker (litmus assertions in
+    /// tests use its load observations).
+    #[must_use]
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
+
+    /// The functional memory image across all banks (for cross-protocol
+    /// equivalence tests on data-race-free workloads).
+    #[must_use]
+    pub fn memory_image(&self) -> BTreeMap<BlockAddr, Version> {
+        let mut img = BTreeMap::new();
+        for bank in &self.l2 {
+            for (b, v) in bank.memory_image() {
+                img.insert(b, v);
+            }
+        }
+        img
+    }
+
+    fn all_idle(&self) -> bool {
+        self.sms.iter().all(Sm::is_idle)
+            && self.l2.iter().all(|b| b.is_idle())
+            && self.drams.iter().all(Dram::is_idle)
+            && self.req_net.is_idle()
+            && self.resp_net.is_idle()
+    }
+
+    /// One global clock cycle.
+    fn step(&mut self) {
+        let now = self.now;
+        let n_banks = self.cfg.l2_banks;
+
+        // 1. SM issue; L1 hits complete immediately.
+        for (i, sm) in self.sms.iter_mut().enumerate() {
+            for c in sm.cycle(now) {
+                self.checker.on_completion(i, &c, now);
+            }
+        }
+
+        // 2. L1 → request network.
+        for (i, sm) in self.sms.iter_mut().enumerate() {
+            while let Some(req) = sm.l1_mut().take_request() {
+                let bank = req.block().bank(n_banks);
+                let bytes = self.sizes.request_bytes(&req);
+                self.req_net.send(i, bank, bytes, (i, req), now);
+            }
+        }
+
+        // 3. Request deliveries → L2 banks.
+        for (bank, (src, msg)) in self.req_net.tick(now) {
+            self.l2[bank].on_request(src, msg, now);
+        }
+
+        // 4. L2 banks and their DRAM partitions.
+        for (b, bank) in self.l2.iter_mut().enumerate() {
+            bank.dram_ready(self.drams[b].can_accept());
+            bank.tick(now);
+            while self.drams[b].can_accept() {
+                let Some((block, is_write)) = bank.take_dram_request() else { break };
+                let accepted =
+                    self.drams[b].enqueue(DramRequest { block, is_write, payload: () });
+                debug_assert!(accepted, "can_accept checked");
+            }
+            for resp in self.drams[b].tick(now) {
+                bank.on_dram_response(resp.block, resp.is_write, now);
+            }
+        }
+
+        // 5. Timestamp rollover: any overflowing bank triggers the global
+        //    reset broadcast of Section V-D.
+        if self.l2.iter().any(|b| b.needs_reset()) {
+            self.epoch += 1;
+            for bank in &mut self.l2 {
+                bank.apply_reset(self.epoch);
+            }
+        }
+
+        // 6. L2 → response network.
+        for (b, bank) in self.l2.iter_mut().enumerate() {
+            while let Some((dst, msg)) = bank.take_response() {
+                let bytes = self.sizes.response_bytes(&msg);
+                self.resp_net.send(b, dst, bytes, msg, now);
+            }
+        }
+
+        // 7. Response deliveries → L1s; completions retire warp accesses.
+        for (dst, msg) in self.resp_net.tick(now) {
+            let sm = &mut self.sms[dst];
+            let done = sm.l1_mut().on_response(msg, now);
+            for c in done {
+                sm.on_completion_at(&c, Some(now));
+                self.checker.on_completion(dst, &c, now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
+    use gtsc_types::{Addr, ConsistencyModel, ProtocolKind};
+
+    fn store_load_kernel() -> VecKernel {
+        VecKernel::new(
+            "roundtrip",
+            1,
+            vec![vec![WarpProgram(vec![
+                WarpOp::store_coalesced(Addr(0), 32),
+                WarpOp::Fence,
+                WarpOp::load_coalesced(Addr(0), 32),
+                WarpOp::load_coalesced(Addr(4096), 32),
+            ])]],
+        )
+    }
+
+    #[test]
+    fn roundtrip_completes_on_every_protocol_and_model() {
+        for p in [
+            ProtocolKind::Gtsc,
+            ProtocolKind::Tc,
+            ProtocolKind::TcWeak,
+            ProtocolKind::NoL1,
+            ProtocolKind::L1NoCoherence,
+        ] {
+            for m in [ConsistencyModel::Sc, ConsistencyModel::Rc] {
+                let cfg = GpuConfig::test_small().with_protocol(p).with_consistency(m);
+                let mut sim = GpuSim::new(cfg);
+                let report = sim
+                    .run_kernel(&store_load_kernel())
+                    .unwrap_or_else(|e| panic!("{p:?}/{m:?}: {e}"));
+                assert!(report.stats.cycles.0 > 0);
+                assert!(
+                    report.violations.is_empty(),
+                    "{p:?}/{m:?}: {:?}",
+                    report.violations
+                );
+                assert!(report.stats.sm.issued >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn producer_consumer_across_ctas_is_coherent_under_gtsc() {
+        // CTA0 stores DATA then FLAG; CTA1 spins.. simplified: loads FLAG
+        // then DATA (no spin — timing may read early values, but never
+        // incoherent ones; the checker validates timestamp ordering).
+        let kernel = VecKernel::new(
+            "prodcons",
+            1,
+            vec![
+                vec![WarpProgram(vec![
+                    WarpOp::store_coalesced(Addr(0), 32),
+                    WarpOp::Fence,
+                    WarpOp::store_coalesced(Addr(128), 32),
+                ])],
+                vec![WarpProgram(vec![
+                    WarpOp::load_coalesced(Addr(128), 32),
+                    WarpOp::Fence,
+                    WarpOp::load_coalesced(Addr(0), 32),
+                    WarpOp::Compute(5),
+                    WarpOp::load_coalesced(Addr(128), 32),
+                    WarpOp::Fence,
+                    WarpOp::load_coalesced(Addr(0), 32),
+                ])],
+            ],
+        );
+        for m in [ConsistencyModel::Sc, ConsistencyModel::Rc] {
+            let cfg = GpuConfig::test_small()
+                .with_protocol(ProtocolKind::Gtsc)
+                .with_consistency(m);
+            let mut sim = GpuSim::new(cfg);
+            let report = sim.run_kernel(&kernel).expect("completes");
+            assert!(report.violations.is_empty(), "{m:?}: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn contended_block_many_warps() {
+        // 4 warps in 2 CTAs hammer the same block with stores and loads;
+        // the checker must stay satisfied (G-TSC serializes via wts).
+        let prog = |seed: u64| {
+            WarpProgram(
+                (0..10)
+                    .flat_map(|i| {
+                        let op = if (i + seed).is_multiple_of(3) {
+                            WarpOp::store_coalesced(Addr(0), 32)
+                        } else {
+                            WarpOp::load_coalesced(Addr(0), 32)
+                        };
+                        [op, WarpOp::Compute(1 + (seed as u32) % 3)]
+                    })
+                    .collect(),
+            )
+        };
+        let kernel = VecKernel::new(
+            "contend",
+            2,
+            vec![vec![prog(0), prog(1)], vec![prog(2), prog(3)]],
+        );
+        let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&kernel).expect("completes");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.stats.l2.stores > 0);
+    }
+
+    #[test]
+    fn more_ctas_than_slots_drain_in_waves() {
+        let prog = WarpProgram(vec![
+            WarpOp::load_coalesced(Addr(0), 32),
+            WarpOp::Compute(2),
+        ]);
+        let ctas = (0..16).map(|_| vec![prog.clone()]).collect();
+        let kernel = VecKernel::new("waves", 1, ctas);
+        let cfg = GpuConfig::test_small();
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&kernel).expect("completes");
+        // 16 CTAs × 2 instructions each.
+        assert_eq!(report.stats.sm.issued, 32);
+    }
+
+    #[test]
+    fn multi_kernel_flushes_between() {
+        let k = store_load_kernel();
+        let cfg = GpuConfig::test_small();
+        let mut sim = GpuSim::new(cfg);
+        let r1 = sim.run_kernel(&k).expect("k1");
+        let cold_after_one = r1.stats.l1.cold_misses;
+        let r2 = sim.run_kernel(&k).expect("k2");
+        // The second kernel misses cold again (flush between kernels).
+        assert!(r2.stats.l1.cold_misses >= 2 * cold_after_one);
+        assert!(r2.violations.is_empty());
+    }
+
+    #[test]
+    fn memory_image_reflects_final_stores() {
+        let cfg = GpuConfig::test_small();
+        let mut sim = GpuSim::new(cfg);
+        sim.run_kernel(&store_load_kernel()).expect("completes");
+        let img = sim.memory_image();
+        assert!(img.contains_key(&BlockAddr(0)));
+        assert_ne!(img[&BlockAddr(0)], Version::ZERO);
+    }
+
+    #[test]
+    fn sim_builder_injects_custom_controllers() {
+        // A "counting" L1 factory around the real builder, proving the
+        // factory is consulted once per SM.
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let calls = Rc::new(Cell::new(0usize));
+        let calls2 = calls.clone();
+        let cfg = GpuConfig::test_small();
+        let _sim = crate::SimBuilder::new(cfg)
+            .with_l1(move |cfg, i| {
+                calls2.set(calls2.get() + 1);
+                crate::build_l1(cfg, i)
+            })
+            .build();
+        assert_eq!(calls.get(), GpuConfig::test_small().n_sms);
+    }
+
+    #[test]
+    fn cta_dispatch_spreads_over_sms() {
+        // 2 single-warp CTAs on a 2-SM GPU: both SMs issue work.
+        let prog = WarpProgram(vec![WarpOp::Compute(3), WarpOp::load_coalesced(Addr(0), 32)]);
+        let kernel = VecKernel::new("spread", 1, vec![vec![prog.clone()], vec![prog]]);
+        let cfg = GpuConfig::test_small();
+        let mut sim = GpuSim::new(cfg);
+        sim.run_kernel(&kernel).expect("completes");
+        for sm in &sim.sms {
+            assert!(sm.stats().issued > 0, "both SMs should have issued");
+        }
+    }
+
+    #[test]
+    fn latency_histogram_is_populated() {
+        let cfg = GpuConfig::test_small();
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&store_load_kernel()).expect("completes");
+        assert!(report.stats.sm.mem_latency.count() > 0);
+        // A queued miss must take at least the NoC round trip.
+        assert!(report.stats.sm.mem_latency.percentile(0.99) >= 32.0);
+    }
+
+    #[test]
+    fn rollover_under_tiny_timestamps_stays_coherent() {
+        // 6-bit timestamps force frequent rollovers; the Section V-D
+        // protocol must keep the run coherent.
+        let mut cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        cfg.ts_bits = 6;
+        let prog = |s: u64| {
+            WarpProgram(
+                (0..30)
+                    .map(|i| {
+                        if (i + s).is_multiple_of(4) {
+                            WarpOp::store_coalesced(Addr((i % 3) * 128), 32)
+                        } else {
+                            WarpOp::load_coalesced(Addr((i % 3) * 128), 32)
+                        }
+                    })
+                    .collect(),
+            )
+        };
+        let kernel = VecKernel::new("rollover", 1, vec![vec![prog(0)], vec![prog(1)]]);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&kernel).expect("completes");
+        assert!(report.stats.l2.ts_rollovers > 0, "rollover should have fired");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

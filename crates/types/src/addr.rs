@@ -1,0 +1,235 @@
+//! Byte addresses, cache-block addresses, and cache geometry arithmetic.
+
+use std::fmt;
+
+/// A byte address in the GPU's global memory space.
+///
+/// Addresses are plain 64-bit values; the public field keeps the newtype
+/// ergonomic for arithmetic in workload generators while the type still
+/// distinguishes byte addresses from [`BlockAddr`]s at compile time.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::Addr;
+/// let a = Addr(0x80);
+/// assert_eq!(a.offset(0x40), Addr(0xC0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Returns the address `bytes` past `self`.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-block (line) address: a byte address with the block offset
+/// stripped, i.e. `byte_addr >> log2(block_size)`.
+///
+/// All coherence state in this workspace is tracked at block granularity,
+/// matching the paper (128-byte lines in GPGPU-Sim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Reconstructs the first byte address of this block given the
+    /// log2 of the block size.
+    #[must_use]
+    pub fn byte_addr(self, block_shift: u32) -> Addr {
+        Addr(self.0 << block_shift)
+    }
+
+    /// Maps this block to one of `n_banks` L2 banks/partitions.
+    ///
+    /// Uses the low block-address bits, as GPGPU-Sim's default address
+    /// mapping interleaves consecutive lines across partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_banks == 0`.
+    #[must_use]
+    pub fn bank(self, n_banks: usize) -> usize {
+        assert!(n_banks > 0, "bank count must be nonzero");
+        (self.0 % n_banks as u64) as usize
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{:#x}", self.0)
+    }
+}
+
+/// Size/associativity description of a cache and the index/tag arithmetic
+/// derived from it.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::{Addr, CacheGeometry};
+/// let g = CacheGeometry::new(16 * 1024, 4, 128); // 16 KiB, 4-way, 128B lines
+/// assert_eq!(g.n_sets(), 32);
+/// let b = g.block_of(Addr(0x4080));
+/// assert_eq!(g.set_of(b), g.set_of(b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    total_bytes: usize,
+    ways: usize,
+    block_size: usize,
+    block_shift: u32,
+    n_sets: usize,
+    set_stride: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry for a cache of `total_bytes` capacity,
+    /// `ways`-way set associativity and `block_size`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero, `block_size` is not a power of two,
+    /// or the resulting set count is not a power of two.
+    #[must_use]
+    pub fn new(total_bytes: usize, ways: usize, block_size: usize) -> Self {
+        assert!(total_bytes > 0 && ways > 0 && block_size > 0);
+        assert!(block_size.is_power_of_two(), "block size must be a power of two");
+        let n_blocks = total_bytes / block_size;
+        assert!(n_blocks.is_multiple_of(ways), "capacity must divide evenly into ways");
+        let n_sets = n_blocks / ways;
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        CacheGeometry {
+            total_bytes,
+            ways,
+            block_size,
+            block_shift: block_size.trailing_zeros(),
+            n_sets,
+            set_stride: 1,
+        }
+    }
+
+    /// Returns the geometry with the set index computed from
+    /// `block / stride` instead of `block`. A cache banked by low block
+    /// bits (bank = `block % n_banks`) must use `stride = n_banks`, or
+    /// only `1/n_banks` of its sets would ever be indexed within a bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    #[must_use]
+    pub fn with_set_stride(mut self, stride: u64) -> Self {
+        assert!(stride > 0, "set stride must be nonzero");
+        self.set_stride = stride;
+        self
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Associativity (lines per set).
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// `log2(block_size)`.
+    #[must_use]
+    pub fn block_shift(&self) -> u32 {
+        self.block_shift
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn n_sets(&self) -> usize {
+        self.n_sets
+    }
+
+    /// The block containing byte address `a`.
+    #[must_use]
+    pub fn block_of(&self, a: Addr) -> BlockAddr {
+        BlockAddr(a.0 >> self.block_shift)
+    }
+
+    /// The set index block `b` maps to.
+    #[must_use]
+    pub fn set_of(&self, b: BlockAddr) -> usize {
+        ((b.0 / self.set_stride) % self.n_sets as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_strips_offset() {
+        let g = CacheGeometry::new(1024, 2, 128);
+        assert_eq!(g.block_of(Addr(0)), g.block_of(Addr(127)));
+        assert_ne!(g.block_of(Addr(0)), g.block_of(Addr(128)));
+        assert_eq!(g.block_of(Addr(256)).byte_addr(g.block_shift()), Addr(256));
+    }
+
+    #[test]
+    fn geometry_counts() {
+        let g = CacheGeometry::new(16 * 1024, 4, 128);
+        assert_eq!(g.n_sets(), 32);
+        assert_eq!(g.ways(), 4);
+        assert_eq!(g.block_size(), 128);
+        assert_eq!(g.block_shift(), 7);
+    }
+
+    #[test]
+    fn sets_wrap_modulo() {
+        let g = CacheGeometry::new(1024, 1, 128); // 8 sets
+        assert_eq!(g.set_of(BlockAddr(3)), 3);
+        assert_eq!(g.set_of(BlockAddr(11)), 3);
+    }
+
+    #[test]
+    fn banks_interleave() {
+        assert_eq!(BlockAddr(0).bank(8), 0);
+        assert_eq!(BlockAddr(9).bank(8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_block_rejected() {
+        let _ = CacheGeometry::new(1024, 2, 96);
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(BlockAddr(255).to_string(), "B0xff");
+    }
+}

@@ -1,0 +1,408 @@
+//! Simulation configuration.
+//!
+//! [`GpuConfig`] gathers every knob of the modelled GPU: core counts, cache
+//! geometries, protocol selection, consistency model, NoC and DRAM timing.
+//! [`GpuConfig::paper_default`] reproduces the evaluation platform of
+//! Section VI-A (16 SMs, 48 warps/SM, 16 KiB L1, 8 × 128 KiB L2 banks).
+
+use crate::addr::CacheGeometry;
+use crate::time::Lease;
+
+/// Which coherence mechanism the GPU runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// G-TSC: timestamp-ordering coherence (the paper's contribution).
+    Gtsc,
+    /// Temporal Coherence, strong variant (write atomicity preserved by
+    /// stalling writes until all leases expire).
+    Tc,
+    /// TC-Weak: writes complete immediately; fences stall on per-warp
+    /// Global Write Completion Times.
+    TcWeak,
+    /// Coherent baseline with the private L1 disabled: every global access
+    /// goes to the shared L2 ("BL" in the paper).
+    NoL1,
+    /// Non-coherent private L1 ("Baseline W/L1"); only sound for workloads
+    /// that do not require coherence.
+    L1NoCoherence,
+}
+
+impl ProtocolKind {
+    /// Short label used in experiment output, matching the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Gtsc => "G-TSC",
+            ProtocolKind::Tc => "TC",
+            ProtocolKind::TcWeak => "TC-Weak",
+            ProtocolKind::NoL1 => "BL",
+            ProtocolKind::L1NoCoherence => "BL-W/L1",
+        }
+    }
+}
+
+/// Memory consistency model enforced by the SM issue logic (Section II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsistencyModel {
+    /// Sequential consistency: at most one outstanding memory operation per
+    /// warp, issued in program order.
+    Sc,
+    /// Release consistency: multiple outstanding operations, reordering
+    /// allowed, ordering only at explicit fences.
+    Rc,
+}
+
+impl ConsistencyModel {
+    /// Short label ("SC"/"RC") used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsistencyModel::Sc => "SC",
+            ConsistencyModel::Rc => "RC",
+        }
+    }
+}
+
+/// Warp scheduling policy of the SM issue stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WarpScheduler {
+    /// Loose round-robin (fair interleaving of ready warps).
+    RoundRobin,
+    /// Greedy-then-oldest, GPGPU-Sim's default: keep issuing from the
+    /// current warp until it stalls, then fall back to the oldest ready
+    /// warp. Improves intra-warp locality in the L1.
+    Gto,
+}
+
+/// How an L1 handles replicated read requests from different warps to the
+/// same missing block (Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombinePolicy {
+    /// Keep later requests in the MSHR; send renewals if the returned lease
+    /// does not cover their `warp_ts` (the paper's choice).
+    MergeInMshr,
+    /// Forward every request to L2, trading NoC traffic for latency.
+    ForwardAll,
+}
+
+/// How an L1 keeps an updated block inaccessible until the store is
+/// globally performed (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisibilityPolicy {
+    /// Option 1: block all accesses to the line until the write ack arrives
+    /// (the paper's choice — negligible overhead, no extra storage).
+    BlockLine,
+    /// Option 2: keep the old copy readable alongside the pending new one;
+    /// models the extra hardware buffer.
+    DualCopy,
+}
+
+/// Whether L2 must contain every block cached in some L1 (Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InclusionPolicy {
+    /// GPUs are normally non-inclusive; G-TSC supports this via `mem_ts`.
+    NonInclusive,
+    /// TC requires inclusion: L2 victims with live L1 leases stall
+    /// replacement.
+    Inclusive,
+}
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NocTopology {
+    /// Full crossbar: every packet pays the same pipeline latency.
+    Crossbar,
+    /// Unidirectional ring around all endpoints (SM ports first, then L2
+    /// ports): a packet additionally pays `hop_latency` per hop from its
+    /// source ring stop to its destination ring stop. Cheaper to build,
+    /// distance-dependent — lets NoC-sensitivity studies vary topology
+    /// without touching the protocols.
+    Ring {
+        /// Cycles per ring hop.
+        hop_latency: u64,
+    },
+}
+
+/// Interconnect parameters (SM ⇄ L2 network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Topology (crossbar by default).
+    pub topology: NocTopology,
+    /// Zero-load latency of a packet, in cycles, each direction.
+    pub latency: u64,
+    /// Flit payload size in bytes (packets are split into flits).
+    pub flit_bytes: usize,
+    /// Flits per cycle each port can inject/eject.
+    pub flits_per_cycle: usize,
+    /// Size of a control-only packet header, in bytes.
+    pub control_bytes: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        // 32-byte flits at 4 flits/cycle per port ≈ 128 GB/s per port at
+        // 1 GHz — in line with the Fermi-class crossbar GPGPU-Sim models.
+        NocConfig {
+            topology: NocTopology::Crossbar,
+            latency: 20,
+            flit_bytes: 32,
+            flits_per_cycle: 4,
+            control_bytes: 8,
+        }
+    }
+}
+
+/// DRAM row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PagePolicy {
+    /// Keep the row open after an access (exploits row locality; pays the
+    /// full activate penalty on a conflict). GPGPU-Sim's default.
+    Open,
+    /// Precharge after every access: every access pays a fixed
+    /// activate-and-access latency between hit and miss cost, but row
+    /// conflicts never stack.
+    Closed,
+}
+
+/// DRAM timing parameters (per memory partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Banks per partition.
+    pub banks: usize,
+    /// Row-buffer hit latency (cycles).
+    pub row_hit: u64,
+    /// Row-buffer miss (activate + access) latency.
+    pub row_miss: u64,
+    /// Number of consecutive blocks mapping to one DRAM row.
+    pub blocks_per_row: u64,
+    /// Maximum requests queued per partition before back-pressure.
+    pub queue_depth: usize,
+    /// Minimum cycles between data bursts on the partition's pins
+    /// (bandwidth model).
+    pub burst_gap: u64,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 8,
+            row_hit: 100,
+            row_miss: 200,
+            blocks_per_row: 16,
+            queue_depth: 32,
+            burst_gap: 4,
+            page_policy: PagePolicy::Open,
+        }
+    }
+}
+
+/// Complete configuration of the simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::{ConsistencyModel, GpuConfig, ProtocolKind};
+/// let cfg = GpuConfig::paper_default()
+///     .with_protocol(ProtocolKind::Gtsc)
+///     .with_consistency(ConsistencyModel::Rc);
+/// assert_eq!(cfg.l2_banks, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub n_sms: usize,
+    /// Warp slots per SM (paper: 48).
+    pub warps_per_sm: usize,
+    /// Threads per warp (paper: 32).
+    pub threads_per_warp: usize,
+    /// Per-SM private L1 data cache geometry (paper: 16 KiB).
+    pub l1: CacheGeometry,
+    /// Shared L2 geometry *per bank* (paper: 128 KiB × 8 banks = 1 MiB).
+    pub l2: CacheGeometry,
+    /// Number of L2 banks / memory partitions.
+    pub l2_banks: usize,
+    /// L1 MSHR entries.
+    pub l1_mshr_entries: usize,
+    /// Maximum merged requests per L1 MSHR entry.
+    pub l1_mshr_merges: usize,
+    /// L2 MSHR entries per bank.
+    pub l2_mshr_entries: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// L2 bank access latency in cycles.
+    pub l2_latency: u64,
+    /// Coherence protocol.
+    pub protocol: ProtocolKind,
+    /// Consistency model.
+    pub consistency: ConsistencyModel,
+    /// G-TSC logical lease length (Figure 14 sweeps 8–20).
+    pub lease: Lease,
+    /// Temporal-Coherence lease length in *physical cycles*. The TC paper
+    /// (HPCA'13) found 800 core cycles the best *fixed* lease across its
+    /// workloads; Section II-D3 of the G-TSC paper stresses that a
+    /// suitable lease is hard to pick — sweep this to see why (e.g. STN
+    /// prefers 50, CC prefers 800 in our workloads).
+    pub tc_lease_cycles: u64,
+    /// Hardware timestamp width in bits (paper: 16).
+    pub ts_bits: u32,
+    /// Request-combining policy (Section V-B).
+    pub combine: CombinePolicy,
+    /// Update-visibility policy (Section V-A).
+    pub visibility: VisibilityPolicy,
+    /// L2 inclusion policy (Section V-C). TC forces `Inclusive`.
+    pub inclusion: InclusionPolicy,
+    /// Tardis-2.0-style adaptive lease prediction in the G-TSC L2
+    /// (extension beyond the paper; off by default).
+    pub adaptive_lease: bool,
+    /// Maximum outstanding memory instructions per warp under RC.
+    pub max_outstanding_per_warp: usize,
+    /// Warp scheduling policy.
+    pub scheduler: WarpScheduler,
+    /// NoC parameters.
+    pub noc: NocConfig,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// Maximum CTAs resident per SM.
+    pub max_ctas_per_sm: usize,
+    /// Safety cap on simulated cycles (deadlock guard); `0` disables.
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The evaluation platform of Section VI-A: 16 SMs with 16 KiB L1 each,
+    /// 48 warps/SM × 32 threads, 8 × 128 KiB L2 banks, G-TSC with a lease
+    /// of 10 and 16-bit timestamps, release consistency.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        GpuConfig {
+            n_sms: 16,
+            warps_per_sm: 48,
+            threads_per_warp: 32,
+            l1: CacheGeometry::new(16 * 1024, 4, 128),
+            l2: CacheGeometry::new(128 * 1024, 8, 128),
+            l2_banks: 8,
+            l1_mshr_entries: 32,
+            l1_mshr_merges: 8,
+            l2_mshr_entries: 32,
+            l1_latency: 1,
+            l2_latency: 10,
+            protocol: ProtocolKind::Gtsc,
+            consistency: ConsistencyModel::Rc,
+            lease: Lease::default(),
+            tc_lease_cycles: 800,
+            ts_bits: 16,
+            combine: CombinePolicy::MergeInMshr,
+            visibility: VisibilityPolicy::BlockLine,
+            inclusion: InclusionPolicy::NonInclusive,
+            adaptive_lease: false,
+            max_outstanding_per_warp: 8,
+            scheduler: WarpScheduler::Gto,
+            noc: NocConfig::default(),
+            dram: DramConfig::default(),
+            max_ctas_per_sm: 8,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// A scaled-down configuration for unit and property tests: 2 SMs,
+    /// 4 warps/SM, tiny caches, 2 L2 banks. Protocol behaviour is identical;
+    /// only capacities shrink.
+    #[must_use]
+    pub fn test_small() -> Self {
+        GpuConfig {
+            n_sms: 2,
+            warps_per_sm: 4,
+            threads_per_warp: 32,
+            l1: CacheGeometry::new(2 * 1024, 2, 128),
+            l2: CacheGeometry::new(4 * 1024, 4, 128),
+            l2_banks: 2,
+            l1_mshr_entries: 8,
+            l1_mshr_merges: 4,
+            l2_mshr_entries: 8,
+            max_ctas_per_sm: 4,
+            max_cycles: 5_000_000,
+            ..GpuConfig::paper_default()
+        }
+    }
+
+    /// Returns the config with `protocol` selected. TC implies an inclusive
+    /// L2 (Section II-D2), which this setter enforces.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        if matches!(protocol, ProtocolKind::Tc | ProtocolKind::TcWeak) {
+            self.inclusion = InclusionPolicy::Inclusive;
+        }
+        self
+    }
+
+    /// Returns the config with `consistency` selected.
+    #[must_use]
+    pub fn with_consistency(mut self, consistency: ConsistencyModel) -> Self {
+        self.consistency = consistency;
+        self
+    }
+
+    /// Returns the config with the given lease length.
+    #[must_use]
+    pub fn with_lease(mut self, lease: Lease) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Total number of warp slots on the GPU.
+    #[must_use]
+    pub fn total_warps(&self) -> usize {
+        self.n_sms * self.warps_per_sm
+    }
+
+    /// Label like `G-TSC-RC` used in figures.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.protocol.label(), self.consistency.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_vi() {
+        let c = GpuConfig::paper_default();
+        assert_eq!(c.n_sms, 16);
+        assert_eq!(c.warps_per_sm, 48);
+        assert_eq!(c.threads_per_warp, 32);
+        assert_eq!(c.l1.total_bytes(), 16 * 1024);
+        assert_eq!(c.l2.total_bytes() * c.l2_banks, 1024 * 1024);
+        assert_eq!(c.ts_bits, 16);
+    }
+
+    #[test]
+    fn tc_forces_inclusion() {
+        let c = GpuConfig::paper_default().with_protocol(ProtocolKind::Tc);
+        assert_eq!(c.inclusion, InclusionPolicy::Inclusive);
+        let c = GpuConfig::paper_default().with_protocol(ProtocolKind::Gtsc);
+        assert_eq!(c.inclusion, InclusionPolicy::NonInclusive);
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        let c = GpuConfig::paper_default()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_consistency(ConsistencyModel::Sc);
+        assert_eq!(c.label(), "G-TSC-SC");
+        assert_eq!(ProtocolKind::NoL1.label(), "BL");
+        assert_eq!(ProtocolKind::TcWeak.label(), "TC-Weak");
+        assert_eq!(ProtocolKind::L1NoCoherence.label(), "BL-W/L1");
+    }
+
+    #[test]
+    fn test_small_is_consistent() {
+        let c = GpuConfig::test_small();
+        assert_eq!(c.total_warps(), 8);
+        assert!(c.l1.total_bytes() < GpuConfig::paper_default().l1.total_bytes());
+    }
+}

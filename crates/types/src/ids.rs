@@ -1,0 +1,95 @@
+//! Identifiers for hardware and software entities in the simulated GPU.
+
+use std::fmt;
+
+/// Index of a Streaming Multiprocessor (SM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SmId(pub u16);
+
+/// Index of a warp *within* one SM (0..warps_per_sm).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WarpId(pub u16);
+
+/// Index of a SIMT lane within a warp (0..32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LaneId(pub u8);
+
+/// Index of an L2 cache bank / memory partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(pub u16);
+
+/// Index of a Cooperative Thread Array (thread block) within a kernel grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CtaId(pub u32);
+
+/// Index of a kernel launch within a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KernelId(pub u32);
+
+/// A warp identified globally across the whole GPU.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::{GlobalWarpId, SmId, WarpId};
+/// let w = GlobalWarpId { sm: SmId(3), warp: WarpId(7) };
+/// assert_eq!(w.flat(48), 3 * 48 + 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalWarpId {
+    /// Owning SM.
+    pub sm: SmId,
+    /// Warp slot within the SM.
+    pub warp: WarpId,
+}
+
+impl GlobalWarpId {
+    /// Flattens to a dense index given the number of warp slots per SM.
+    #[must_use]
+    pub fn flat(self, warps_per_sm: usize) -> usize {
+        self.sm.0 as usize * warps_per_sm + self.warp.0 as usize
+    }
+}
+
+macro_rules! impl_display {
+    ($($ty:ident => $prefix:literal),* $(,)?) => {
+        $(impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        })*
+    };
+}
+
+impl_display!(SmId => "sm", WarpId => "w", LaneId => "lane", BankId => "bank", CtaId => "cta", KernelId => "k");
+
+impl fmt::Display for GlobalWarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.sm, self.warp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_is_dense() {
+        let a = GlobalWarpId { sm: SmId(0), warp: WarpId(47) };
+        let b = GlobalWarpId { sm: SmId(1), warp: WarpId(0) };
+        assert_eq!(a.flat(48) + 1, b.flat(48));
+    }
+
+    #[test]
+    fn displays_are_compact() {
+        assert_eq!(SmId(2).to_string(), "sm2");
+        assert_eq!(
+            GlobalWarpId { sm: SmId(2), warp: WarpId(5) }.to_string(),
+            "sm2.w5"
+        );
+        assert_eq!(BankId(1).to_string(), "bank1");
+        assert_eq!(CtaId(9).to_string(), "cta9");
+        assert_eq!(KernelId(0).to_string(), "k0");
+        assert_eq!(LaneId(31).to_string(), "lane31");
+    }
+}

@@ -1,0 +1,379 @@
+//! Statistics counters gathered by the simulator.
+//!
+//! These are passive, public-field data structures in the C spirit: every
+//! component owns one, increments it inline, and the simulator merges them
+//! into a [`SimStats`] at the end of a run. The counters map one-to-one to
+//! the quantities plotted in the paper's evaluation (execution cycles,
+//! pipeline stalls from memory delays, NoC traffic, cache miss classes).
+
+use crate::time::Cycle;
+
+/// Why a warp could not issue this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// Waiting on an outstanding load/store (memory delay — Figure 13).
+    Memory,
+    /// Waiting at an explicit fence.
+    Fence,
+    /// Waiting at a CTA barrier.
+    Barrier,
+    /// Structural: LDST queue or MSHR full.
+    Structural,
+}
+
+/// A log2-bucketed latency histogram (bucket *i* counts samples in
+/// `[2^i, 2^(i+1))` cycles, except bucket 0 = `[0, 2)` and the last
+/// bucket absorbs everything larger).
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::LatencyHist;
+/// let mut h = LatencyHist::default();
+/// for l in [1, 3, 100, 300, 10_000] {
+///     h.record(l);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.percentile(0.5) >= 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHist {
+    buckets: [u64; 20],
+}
+
+impl LatencyHist {
+    /// Records one latency sample, in cycles.
+    pub fn record(&mut self, latency: u64) {
+        let b = (64 - latency.max(1).leading_zeros()) as usize - 1;
+        self.buckets[b.min(self.buckets.len() - 1)] += 1;
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// An upper-bound estimate of the `p`-quantile (`p` in `[0, 1]`):
+    /// the upper edge of the bucket containing it. `0` with no samples.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return (1u64 << (i + 1)) as f64;
+            }
+        }
+        (1u64 << self.buckets.len()) as f64
+    }
+
+    /// Adds `rhs` into `self`.
+    pub fn merge(&mut self, rhs: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(rhs.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-SM pipeline counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmStats {
+    /// Instructions issued (all classes).
+    pub issued: u64,
+    /// Memory instructions issued.
+    pub mem_issued: u64,
+    /// Warp-cycles stalled on memory delays (the Figure 13 metric).
+    pub memory_stall_cycles: u64,
+    /// Warp-cycles stalled at fences.
+    pub fence_stall_cycles: u64,
+    /// Warp-cycles stalled at barriers.
+    pub barrier_stall_cycles: u64,
+    /// Warp-cycles stalled for structural hazards.
+    pub structural_stall_cycles: u64,
+    /// Cycles in which the SM issued nothing although warps were resident.
+    pub idle_cycles: u64,
+    /// Cycles in which the SM issued at least one instruction.
+    pub active_cycles: u64,
+    /// Histogram of memory-access latencies (issue → completion).
+    pub mem_latency: LatencyHist,
+}
+
+impl SmStats {
+    /// Adds `rhs` into `self`.
+    pub fn merge(&mut self, rhs: &SmStats) {
+        self.issued += rhs.issued;
+        self.mem_issued += rhs.mem_issued;
+        self.memory_stall_cycles += rhs.memory_stall_cycles;
+        self.fence_stall_cycles += rhs.fence_stall_cycles;
+        self.barrier_stall_cycles += rhs.barrier_stall_cycles;
+        self.structural_stall_cycles += rhs.structural_stall_cycles;
+        self.idle_cycles += rhs.idle_cycles;
+        self.active_cycles += rhs.active_cycles;
+        self.mem_latency.merge(&rhs.mem_latency);
+    }
+
+    /// Records one stalled warp-cycle of the given kind.
+    pub fn record_stall(&mut self, kind: StallKind) {
+        match kind {
+            StallKind::Memory => self.memory_stall_cycles += 1,
+            StallKind::Fence => self.fence_stall_cycles += 1,
+            StallKind::Barrier => self.barrier_stall_cycles += 1,
+            StallKind::Structural => self.structural_stall_cycles += 1,
+        }
+    }
+
+    /// All stall cycles combined.
+    #[must_use]
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.memory_stall_cycles
+            + self.fence_stall_cycles
+            + self.barrier_stall_cycles
+            + self.structural_stall_cycles
+    }
+}
+
+/// Counters for one cache (an L1 or an L2 bank).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups (loads + stores).
+    pub accesses: u64,
+    /// Lookups that hit with a valid (unexpired) line.
+    pub hits: u64,
+    /// Lookups that missed because the tag was absent.
+    pub cold_misses: u64,
+    /// Tag matched but the lease had expired / `warp_ts` exceeded `rts`
+    /// (a *coherence miss*, Section II-D).
+    pub expired_misses: u64,
+    /// Lookups blocked on a line awaiting a write ack (update visibility,
+    /// Section V-A).
+    pub blocked_on_pending_write: u64,
+    /// Renewal requests sent (L1) or served (L2).
+    pub renewals: u64,
+    /// Store operations processed.
+    pub stores: u64,
+    /// Lines evicted.
+    pub evictions: u64,
+    /// Cycles a write sat stalled waiting for leases to expire (TC only).
+    pub write_stall_cycles: u64,
+    /// Cycles replacement stalled because every victim had a live lease
+    /// (TC inclusive-L2 only).
+    pub eviction_stall_cycles: u64,
+    /// Timestamp rollover events handled (G-TSC, Section V-D).
+    pub ts_rollovers: u64,
+    /// Requests merged into an existing MSHR entry.
+    pub mshr_merges: u64,
+}
+
+impl CacheStats {
+    /// Adds `rhs` into `self`.
+    pub fn merge(&mut self, rhs: &CacheStats) {
+        self.accesses += rhs.accesses;
+        self.hits += rhs.hits;
+        self.cold_misses += rhs.cold_misses;
+        self.expired_misses += rhs.expired_misses;
+        self.blocked_on_pending_write += rhs.blocked_on_pending_write;
+        self.renewals += rhs.renewals;
+        self.stores += rhs.stores;
+        self.evictions += rhs.evictions;
+        self.write_stall_cycles += rhs.write_stall_cycles;
+        self.eviction_stall_cycles += rhs.eviction_stall_cycles;
+        self.ts_rollovers += rhs.ts_rollovers;
+        self.mshr_merges += rhs.mshr_merges;
+    }
+
+    /// All misses (cold + expired).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.cold_misses + self.expired_misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when there were no accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Interconnect counters (the Figure 15 metric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Packets injected (both networks).
+    pub packets: u64,
+    /// Flits transferred — the paper's "NoC traffic".
+    pub flits: u64,
+    /// Control-only packets (requests, renewals, acks without data).
+    pub control_packets: u64,
+    /// Packets carrying a data block.
+    pub data_packets: u64,
+    /// Sum of per-packet latencies, for averaging.
+    pub total_packet_latency: u64,
+    /// Cycles packets spent queued awaiting injection bandwidth.
+    pub queue_cycles: u64,
+}
+
+impl NocStats {
+    /// Adds `rhs` into `self`.
+    pub fn merge(&mut self, rhs: &NocStats) {
+        self.packets += rhs.packets;
+        self.flits += rhs.flits;
+        self.control_packets += rhs.control_packets;
+        self.data_packets += rhs.data_packets;
+        self.total_packet_latency += rhs.total_packet_latency;
+        self.queue_cycles += rhs.queue_cycles;
+    }
+
+    /// Mean end-to-end packet latency; `0` with no packets.
+    #[must_use]
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_packet_latency as f64 / self.packets as f64
+        }
+    }
+}
+
+/// DRAM counters (per partition, merged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read bursts serviced.
+    pub reads: u64,
+    /// Write bursts serviced.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses (activations).
+    pub row_misses: u64,
+    /// Requests rejected for a full queue (back-pressure events).
+    pub queue_full_events: u64,
+}
+
+impl DramStats {
+    /// Adds `rhs` into `self`.
+    pub fn merge(&mut self, rhs: &DramStats) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.row_hits += rhs.row_hits;
+        self.row_misses += rhs.row_misses;
+        self.queue_full_events += rhs.queue_full_events;
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total execution time.
+    pub cycles: Cycle,
+    /// Merged SM pipeline counters.
+    pub sm: SmStats,
+    /// Merged private-L1 counters.
+    pub l1: CacheStats,
+    /// Merged shared-L2 counters.
+    pub l2: CacheStats,
+    /// Interconnect counters.
+    pub noc: NocStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle over the whole GPU; `0` for an empty run.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles.0 == 0 {
+            0.0
+        } else {
+            self.sm.issued as f64 / self.cycles.0 as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_merge_and_rates() {
+        let mut a = CacheStats { accesses: 10, hits: 6, cold_misses: 3, expired_misses: 1, ..Default::default() };
+        let b = CacheStats { accesses: 10, hits: 10, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.accesses, 20);
+        assert_eq!(a.hits, 16);
+        assert_eq!(a.misses(), 4);
+        assert!((a.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(NocStats::default().avg_latency(), 0.0);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn stall_recording() {
+        let mut s = SmStats::default();
+        s.record_stall(StallKind::Memory);
+        s.record_stall(StallKind::Memory);
+        s.record_stall(StallKind::Fence);
+        s.record_stall(StallKind::Barrier);
+        s.record_stall(StallKind::Structural);
+        assert_eq!(s.memory_stall_cycles, 2);
+        assert_eq!(s.total_stall_cycles(), 5);
+    }
+
+    #[test]
+    fn latency_hist_buckets_and_percentiles() {
+        let mut h = LatencyHist::default();
+        assert_eq!(h.percentile(0.5), 0.0);
+        for _ in 0..90 {
+            h.record(10); // bucket [8,16)
+        }
+        for _ in 0..10 {
+            h.record(5000); // bucket [4096,8192)
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.5), 16.0);
+        assert_eq!(h.percentile(0.99), 8192.0);
+        // Merge doubles the counts.
+        let mut h2 = h;
+        h2.merge(&h);
+        assert_eq!(h2.count(), 200);
+    }
+
+    #[test]
+    fn latency_hist_extremes() {
+        let mut h = LatencyHist::default();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert!(h.percentile(1.0) >= h.percentile(0.01));
+    }
+
+    #[test]
+    fn noc_avg_latency() {
+        let n = NocStats { packets: 4, total_packet_latency: 40, ..Default::default() };
+        assert!((n.avg_latency() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_ipc() {
+        let s = SimStats {
+            cycles: Cycle(100),
+            sm: SmStats { issued: 250, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+}

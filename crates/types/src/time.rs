@@ -1,0 +1,182 @@
+//! Physical cycles and logical timestamps.
+//!
+//! The paper's central idea is the split between *physical time* (the
+//! simulator/GPU clock, [`Cycle`]) and *logical time* ([`Timestamp`]), the
+//! coordinate in which G-TSC orders memory operations. Temporal Coherence
+//! orders operations in physical time; G-TSC orders them by `(Timestamp,
+//! Cycle)` lexicographically (Section III-A of the paper).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A physical clock cycle of the simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::Cycle;
+/// let c = Cycle(10) + 5;
+/// assert_eq!(c, Cycle(15));
+/// assert_eq!(c - Cycle(10), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cyc{}", self.0)
+    }
+}
+
+/// A logical timestamp, the unit of G-TSC's timestamp ordering.
+///
+/// Timestamps are *logical counters* (Section III-B): they are only
+/// advanced by coherence transactions (lease extension and store
+/// assignment), never by the clock. The hardware stores them in
+/// `ts_bits`-wide fields (16 in the paper); this model keeps them as
+/// `u64` and reproduces the wrap-around protocol explicitly via
+/// [`Timestamp::overflows`].
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::{Lease, Timestamp};
+/// let wts = Timestamp(5);
+/// let rts = wts + Lease(10);
+/// assert_eq!(rts, Timestamp(15));
+/// assert!(wts < rts);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The initial timestamp value. All `warp_ts` and `mem_ts` counters
+    /// start at 1 (Section III-B).
+    pub const INIT: Timestamp = Timestamp(1);
+
+    /// Returns the larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The immediately following timestamp.
+    #[must_use]
+    pub fn succ(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+
+    /// Whether this timestamp no longer fits in a `bits`-wide hardware
+    /// counter, i.e. the rollover protocol of Section V-D must run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 63.
+    #[must_use]
+    pub fn overflows(self, bits: u32) -> bool {
+        assert!(bits > 0 && bits < 64, "timestamp width must be in 1..=63");
+        self.0 >= (1u64 << bits)
+    }
+}
+
+impl Add<Lease> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Lease) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+/// A lease length in logical-time units.
+///
+/// When a block is fetched or renewed, its read timestamp is extended to
+/// `requester_ts + lease`, granting a logical read-only window. The paper
+/// sweeps leases of 8–20 (Figure 14) and finds G-TSC insensitive in that
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lease(pub u64);
+
+impl Default for Lease {
+    /// The paper's default lease of 10 logical units (used throughout the
+    /// worked example of Figure 9).
+    fn default() -> Self {
+        Lease(10)
+    }
+}
+
+impl fmt::Display for Lease {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lease{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let mut c = Cycle(3);
+        c += 4;
+        assert_eq!(c, Cycle(7));
+        assert_eq!(c - Cycle(2), 5);
+        assert_eq!(Cycle(9).to_string(), "cyc9");
+    }
+
+    #[test]
+    fn timestamp_ordering_and_lease() {
+        assert_eq!(Timestamp::INIT, Timestamp(1));
+        assert_eq!(Timestamp(4).max(Timestamp(9)), Timestamp(9));
+        assert_eq!(Timestamp(9).max(Timestamp(4)), Timestamp(9));
+        assert_eq!(Timestamp(4).succ(), Timestamp(5));
+        assert_eq!(Timestamp(4) + Lease(6), Timestamp(10));
+    }
+
+    #[test]
+    fn overflow_detection() {
+        assert!(!Timestamp(65_535).overflows(16));
+        assert!(Timestamp(65_536).overflows(16));
+        assert!(Timestamp(70_000).overflows(16));
+        assert!(!Timestamp(70_000).overflows(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp width")]
+    fn overflow_rejects_zero_width() {
+        let _ = Timestamp(1).overflows(0);
+    }
+
+    #[test]
+    fn default_lease_matches_paper_example() {
+        assert_eq!(Lease::default(), Lease(10));
+    }
+}

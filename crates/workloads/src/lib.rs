@@ -1,0 +1,253 @@
+//! Workload generators reproducing the memory behaviour of the paper's
+//! twelve benchmarks (Section VI-A), plus litmus micro-kernels.
+//!
+//! The paper evaluates two benchmark groups:
+//!
+//! * **Group A — require coherence** (left cluster of Figure 12):
+//!   `BH, CC, DLP, VPR, STN, BFS`. These perform inter-CTA read-write
+//!   sharing, so a non-coherent L1 would return stale data.
+//! * **Group B — no coherence needed** (right cluster):
+//!   `CCP, GE, HS, KM, BP, SGM`. Streaming / CTA-private / read-only
+//!   sharing patterns.
+//!
+//! We do not have the original CUDA binaries or the authors' GPGPU-Sim
+//! traces, so each benchmark is modelled by a deterministic generator
+//! that reproduces its *memory-behaviour class* — the sharing pattern,
+//! locality, and compute/memory ratio that drive the coherence protocols
+//! (the substitution is documented in `DESIGN.md`). Generators are seeded
+//! and deterministic: the same [`Scale`] and seed always produce the same
+//! instruction streams.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtsc_workloads::{Benchmark, Scale};
+//! use gtsc_gpu::Kernel;
+//!
+//! let bh = Benchmark::Bh.build(Scale::Tiny);
+//! assert_eq!(bh.name(), "BH");
+//! assert!(Benchmark::Bh.requires_coherence());
+//! assert!(!Benchmark::Km.requires_coherence());
+//! assert_eq!(Benchmark::all().len(), 12);
+//! ```
+
+pub mod graph;
+pub mod grid;
+pub mod layout;
+pub mod micro;
+pub mod pipeline;
+pub mod stream;
+pub mod trace;
+pub mod tree;
+
+use gtsc_gpu::Kernel;
+
+pub use layout::{Region, Scale};
+
+/// The twelve benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Barnes-Hut n-body: irregular tree traversal with shared updates.
+    Bh,
+    /// Connected components: label propagation over a random graph.
+    Cc,
+    /// Data-layout pipeline: cross-CTA producer/consumer tiles.
+    Dlp,
+    /// Place & route: randomized swaps on a shared cost grid.
+    Vpr,
+    /// Stencil with halo rows written by neighbouring CTAs.
+    Stn,
+    /// Breadth-first search: frontier expansion with a shared visited map.
+    Bfs,
+    /// Compute-dominated kernel with sparse streaming reads.
+    Ccp,
+    /// Gaussian elimination: row streaming, write-once.
+    Ge,
+    /// Hotspot stencil on CTA-private tiles.
+    Hs,
+    /// K-means: streaming points against a read-only centroid table.
+    Km,
+    /// Backprop: layered streaming with private weight updates.
+    Bp,
+    /// Semi-global matching: banded streaming with heavy reuse.
+    Sgm,
+}
+
+impl Benchmark {
+    /// All twelve benchmarks in the paper's presentation order
+    /// (group A, then group B).
+    #[must_use]
+    pub fn all() -> [Benchmark; 12] {
+        [
+            Benchmark::Bh,
+            Benchmark::Cc,
+            Benchmark::Dlp,
+            Benchmark::Vpr,
+            Benchmark::Stn,
+            Benchmark::Bfs,
+            Benchmark::Ccp,
+            Benchmark::Ge,
+            Benchmark::Hs,
+            Benchmark::Km,
+            Benchmark::Bp,
+            Benchmark::Sgm,
+        ]
+    }
+
+    /// The six benchmarks that require coherence for correctness.
+    #[must_use]
+    pub fn group_a() -> [Benchmark; 6] {
+        [
+            Benchmark::Bh,
+            Benchmark::Cc,
+            Benchmark::Dlp,
+            Benchmark::Vpr,
+            Benchmark::Stn,
+            Benchmark::Bfs,
+        ]
+    }
+
+    /// The six benchmarks that do not.
+    #[must_use]
+    pub fn group_b() -> [Benchmark; 6] {
+        [
+            Benchmark::Ccp,
+            Benchmark::Ge,
+            Benchmark::Hs,
+            Benchmark::Km,
+            Benchmark::Bp,
+            Benchmark::Sgm,
+        ]
+    }
+
+    /// Paper name of the benchmark.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bh => "BH",
+            Benchmark::Cc => "CC",
+            Benchmark::Dlp => "DLP",
+            Benchmark::Vpr => "VPR",
+            Benchmark::Stn => "STN",
+            Benchmark::Bfs => "BFS",
+            Benchmark::Ccp => "CCP",
+            Benchmark::Ge => "GE",
+            Benchmark::Hs => "HS",
+            Benchmark::Km => "KM",
+            Benchmark::Bp => "BP",
+            Benchmark::Sgm => "SGM",
+        }
+    }
+
+    /// Whether the benchmark needs hardware coherence for correctness
+    /// (group A of the evaluation).
+    #[must_use]
+    pub fn requires_coherence(self) -> bool {
+        matches!(
+            self,
+            Benchmark::Bh
+                | Benchmark::Cc
+                | Benchmark::Dlp
+                | Benchmark::Vpr
+                | Benchmark::Stn
+                | Benchmark::Bfs
+        )
+    }
+
+    /// Builds the benchmark as a *sequence of kernel launches*, the way
+    /// the real applications run (BFS launches one kernel per frontier
+    /// level; iterative benchmarks relaunch per sweep). Private caches
+    /// are flushed between launches, which is itself protocol-relevant —
+    /// see `GpuSim::run_kernels`. Benchmarks without a natural phase
+    /// structure return their single kernel.
+    #[must_use]
+    pub fn build_phases(self, scale: Scale) -> Vec<Box<dyn Kernel>> {
+        match self {
+            Benchmark::Bfs => (0..scale.iters().min(6))
+                .map(|level| Box::new(graph::bfs_level(scale, 0xBF, level)) as Box<dyn Kernel>)
+                .collect(),
+            other => vec![other.build(scale)],
+        }
+    }
+
+    /// Builds the benchmark's kernel at the given scale (seeded
+    /// deterministically by the benchmark identity).
+    #[must_use]
+    pub fn build(self, scale: Scale) -> Box<dyn Kernel> {
+        match self {
+            Benchmark::Bh => Box::new(tree::barnes_hut(scale, 0xB4)),
+            Benchmark::Cc => Box::new(graph::connected_components(scale, 0xCC)),
+            Benchmark::Dlp => Box::new(pipeline::producer_consumer(scale, 0xD1)),
+            Benchmark::Vpr => Box::new(grid::place_route(scale, 0x7B)),
+            Benchmark::Stn => Box::new(grid::shared_stencil(scale, 0x57)),
+            Benchmark::Bfs => Box::new(graph::bfs(scale, 0xBF)),
+            Benchmark::Ccp => Box::new(stream::compute_heavy(scale, 0xC9)),
+            Benchmark::Ge => Box::new(stream::gaussian_elim(scale, 0x6E)),
+            Benchmark::Hs => Box::new(grid::private_stencil(scale, 0x45)),
+            Benchmark::Km => Box::new(stream::kmeans(scale, 0x4B)),
+            Benchmark::Bp => Box::new(stream::backprop(scale, 0xB9)),
+            Benchmark::Sgm => Box::new(stream::sgm(scale, 0x56)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_types::CtaId;
+
+    #[test]
+    fn groups_partition_the_set() {
+        let mut all: Vec<_> = Benchmark::group_a().to_vec();
+        all.extend(Benchmark::group_b());
+        assert_eq!(all.len(), 12);
+        for b in Benchmark::all() {
+            assert!(all.contains(&b));
+        }
+        for b in Benchmark::group_a() {
+            assert!(b.requires_coherence());
+        }
+        for b in Benchmark::group_b() {
+            assert!(!b.requires_coherence());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for b in Benchmark::all() {
+            let k1 = b.build(Scale::Tiny);
+            let k2 = b.build(Scale::Tiny);
+            assert_eq!(k1.n_ctas(), k2.n_ctas(), "{}", b.name());
+            for cta in 0..k1.n_ctas() {
+                for w in 0..k1.warps_per_cta() {
+                    assert_eq!(
+                        k1.program(CtaId(cta as u32), w),
+                        k2.program(CtaId(cta as u32), w),
+                        "{} cta{cta} w{w}",
+                        b.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phases_are_nonempty_and_bfs_is_multi_kernel() {
+        for b in Benchmark::all() {
+            let phases = b.build_phases(Scale::Tiny);
+            assert!(!phases.is_empty(), "{}", b.name());
+        }
+        assert!(Benchmark::Bfs.build_phases(Scale::Tiny).len() > 1);
+        assert_eq!(Benchmark::Hs.build_phases(Scale::Tiny).len(), 1);
+    }
+
+    #[test]
+    fn every_benchmark_has_work() {
+        for b in Benchmark::all() {
+            let k = b.build(Scale::Tiny);
+            assert!(k.n_ctas() >= 2, "{}", b.name());
+            let p = k.program(CtaId(0), 0);
+            assert!(!p.is_empty(), "{}", b.name());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Litmus micro-kernels used by the correctness test-suite.
+//!
+//! Each returns a tiny kernel whose CTAs land on different SMs, making
+//! the classic consistency shapes observable: message passing (MP),
+//! store buffering (SB), and coherent read-read (CoRR). The integration
+//! tests assert the forbidden outcomes never appear under the protocols
+//! and consistency models that must exclude them.
+
+use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
+use gtsc_types::Addr;
+
+/// Block addresses used by the litmus kernels (distinct blocks).
+pub const DATA: Addr = Addr(0);
+/// Flag block for MP.
+pub const FLAG: Addr = Addr(128);
+/// `X` for SB.
+pub const X: Addr = Addr(256);
+/// `Y` for SB.
+pub const Y: Addr = Addr(384);
+
+/// Message passing: CTA0 stores DATA then FLAG (fenced); CTA1 loads FLAG
+/// then DATA (fenced). Forbidden: observing the new FLAG but the old
+/// DATA.
+///
+/// `repeats` controls how many delayed reads CTA1 performs, increasing
+/// the chance of racing the writer in interesting ways.
+#[must_use]
+pub fn message_passing(repeats: usize) -> VecKernel {
+    let writer = WarpProgram(vec![
+        WarpOp::store_coalesced(DATA, 32),
+        WarpOp::Fence,
+        WarpOp::store_coalesced(FLAG, 32),
+        WarpOp::Fence,
+    ]);
+    let mut reader_ops = Vec::new();
+    for i in 0..repeats.max(1) {
+        reader_ops.push(WarpOp::Compute(1 + i as u32 * 3));
+        reader_ops.push(WarpOp::load_coalesced(FLAG, 32));
+        reader_ops.push(WarpOp::Fence);
+        reader_ops.push(WarpOp::load_coalesced(DATA, 32));
+        reader_ops.push(WarpOp::Fence);
+    }
+    VecKernel::new("litmus-mp", 1, vec![vec![writer], vec![WarpProgram(reader_ops)]])
+}
+
+/// Store buffering: CTA0 does `X=1; r0=Y`, CTA1 does `Y=1; r1=X`.
+/// Under SC at least one reader must observe the other's store.
+#[must_use]
+pub fn store_buffering() -> VecKernel {
+    let t0 = WarpProgram(vec![
+        WarpOp::store_coalesced(X, 32),
+        WarpOp::load_coalesced(Y, 32),
+    ]);
+    let t1 = WarpProgram(vec![
+        WarpOp::store_coalesced(Y, 32),
+        WarpOp::load_coalesced(X, 32),
+    ]);
+    VecKernel::new("litmus-sb", 1, vec![vec![t0], vec![t1]])
+}
+
+/// Coherent read-read (CoRR): CTA0 stores DATA once; CTA1 reads it twice
+/// in order. Forbidden under any coherent protocol: the second read
+/// observing an *older* value than the first.
+#[must_use]
+pub fn coherent_read_read(repeats: usize) -> VecKernel {
+    let writer = WarpProgram(vec![
+        WarpOp::Compute(7),
+        WarpOp::store_coalesced(DATA, 32),
+    ]);
+    let mut reader_ops = Vec::new();
+    for _ in 0..repeats.max(2) {
+        reader_ops.push(WarpOp::load_coalesced(DATA, 32));
+        reader_ops.push(WarpOp::Fence);
+    }
+    VecKernel::new("litmus-corr", 1, vec![vec![writer], vec![WarpProgram(reader_ops)]])
+}
+
+/// Message passing with the precise release/acquire fence pair instead of
+/// full fences: the writer releases before publishing the flag, the
+/// reader acquires after reading it. The forbidden outcome is the same as
+/// [`message_passing`]'s.
+#[must_use]
+pub fn message_passing_rel_acq(repeats: usize) -> VecKernel {
+    let writer = WarpProgram(vec![
+        WarpOp::store_coalesced(DATA, 32),
+        WarpOp::ReleaseFence,
+        WarpOp::store_coalesced(FLAG, 32),
+    ]);
+    let mut reader_ops = Vec::new();
+    for i in 0..repeats.max(1) {
+        reader_ops.push(WarpOp::Compute(1 + i as u32 * 3));
+        reader_ops.push(WarpOp::load_coalesced(FLAG, 32));
+        reader_ops.push(WarpOp::AcquireFence);
+        reader_ops.push(WarpOp::load_coalesced(DATA, 32));
+        reader_ops.push(WarpOp::AcquireFence);
+    }
+    VecKernel::new("litmus-mp-ra", 1, vec![vec![writer], vec![WarpProgram(reader_ops)]])
+}
+
+/// IRIW (independent reads of independent writes): CTA0 stores X, CTA1
+/// stores Y, CTA2 reads X then Y, CTA3 reads Y then X (fenced). Under SC
+/// the two readers must agree on the store order: it is forbidden for
+/// reader2 to see (new X, old Y) while reader3 sees (new Y, old X).
+#[must_use]
+pub fn iriw() -> VecKernel {
+    let wx = WarpProgram(vec![WarpOp::store_coalesced(X, 32)]);
+    let wy = WarpProgram(vec![WarpOp::store_coalesced(Y, 32)]);
+    let r_xy = WarpProgram(vec![
+        WarpOp::load_coalesced(X, 32),
+        WarpOp::Fence,
+        WarpOp::load_coalesced(Y, 32),
+    ]);
+    let r_yx = WarpProgram(vec![
+        WarpOp::load_coalesced(Y, 32),
+        WarpOp::Fence,
+        WarpOp::load_coalesced(X, 32),
+    ]);
+    VecKernel::new("litmus-iriw", 1, vec![vec![wx], vec![wy], vec![r_xy], vec![r_yx]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_gpu::Kernel;
+    use gtsc_types::CtaId;
+
+    #[test]
+    fn shapes_are_two_cta_single_warp() {
+        for k in [message_passing(3), store_buffering(), coherent_read_read(4)] {
+            assert_eq!(k.n_ctas(), 2, "{}", k.name());
+            assert_eq!(k.warps_per_cta(), 1, "{}", k.name());
+            assert!(!k.program(CtaId(0), 0).is_empty());
+            assert!(!k.program(CtaId(1), 0).is_empty());
+        }
+    }
+
+    #[test]
+    fn litmus_blocks_are_distinct() {
+        let blocks = [DATA.0 / 128, FLAG.0 / 128, X.0 / 128, Y.0 / 128];
+        let unique: std::collections::HashSet<u64> = blocks.iter().copied().collect();
+        assert_eq!(unique.len(), 4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Plugging a *custom* coherence protocol into the simulator: a toy
+//! "epoch-flush" L1 that caches blocks without leases and simply flushes
+//! itself every N cycles — a software-style coherence scheme. The point
+//! is the mechanism: implement `L1Controller`, hand it to `SimBuilder`,
+//! and the unchanged GPU/NoC/DRAM substrate plus the coherence checker do
+//! the rest.
+//!
+//! Run: `cargo run --release --example custom_protocol`
+
+use std::collections::{HashMap, VecDeque};
+
+use gtsc::mem::{Mshr, MshrAlloc, TagArray};
+use gtsc::protocol::msg::{L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
+use gtsc::protocol::{
+    AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess,
+};
+use gtsc::sim::SimBuilder;
+use gtsc::types::{
+    BlockAddr, CacheStats, ConsistencyModel, Cycle, GpuConfig, ProtocolKind, Timestamp, Version,
+    WarpId,
+};
+use gtsc::workloads::{Benchmark, Scale};
+
+/// A non-coherent L1 that self-flushes every `period` cycles: the crudest
+/// "eventual coherence". (It is *not* coherent between flushes — expect
+/// the checker to object on sharing workloads; that contrast is the demo.)
+struct EpochFlushL1 {
+    sm_index: usize,
+    period: u64,
+    last_flush: Cycle,
+    tags: TagArray<Version>,
+    mshr: Mshr<(AccessId, WarpId)>,
+    store_acks: HashMap<BlockAddr, VecDeque<(AccessId, WarpId, AccessKind, Version)>>,
+    out: VecDeque<L1ToL2>,
+    version_ctr: u64,
+    stats: CacheStats,
+}
+
+impl EpochFlushL1 {
+    fn new(cfg: &GpuConfig, sm_index: usize, period: u64) -> Self {
+        EpochFlushL1 {
+            sm_index,
+            period,
+            last_flush: Cycle(0),
+            tags: TagArray::new(cfg.l1),
+            mshr: Mshr::new(cfg.l1_mshr_entries, cfg.l1_mshr_merges),
+            store_acks: HashMap::new(),
+            out: VecDeque::new(),
+            version_ctr: 0,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl L1Controller for EpochFlushL1 {
+    fn access(&mut self, acc: MemAccess, _now: Cycle) -> L1Outcome {
+        self.stats.accesses += 1;
+        match acc.kind {
+            AccessKind::Load => {
+                if let Some(line) = self.tags.probe(acc.block) {
+                    self.stats.hits += 1;
+                    return L1Outcome::Hit(Completion {
+                        id: acc.id,
+                        warp: acc.warp,
+                        kind: AccessKind::Load,
+                        block: acc.block,
+                        version: line.meta,
+                        ts: None,
+                        epoch: 0,
+                        prev: None,
+                    });
+                }
+                self.stats.cold_misses += 1;
+                match self.mshr.register(acc.block, (acc.id, acc.warp)) {
+                    MshrAlloc::Full => L1Outcome::Reject,
+                    MshrAlloc::AllocatedNew => {
+                        self.out.push_back(L1ToL2::Read(ReadReq {
+                            block: acc.block,
+                            wts: Timestamp(0),
+                            warp_ts: Timestamp(0),
+                            epoch: 0,
+                        }));
+                        L1Outcome::Queued
+                    }
+                    MshrAlloc::Merged => L1Outcome::Queued,
+                }
+            }
+            AccessKind::Store | AccessKind::Atomic => {
+                self.stats.stores += 1;
+                self.version_ctr += 1;
+                let version = Version(
+                    ((self.sm_index as u64 + 1) << 40)
+                        | ((acc.warp.0 as u64) << 28)
+                        | self.version_ctr,
+                );
+                if let Some(line) = self.tags.probe_mut(acc.block) {
+                    line.meta = version;
+                }
+                let req = WriteReq {
+                    block: acc.block,
+                    warp_ts: Timestamp(0),
+                    version,
+                    epoch: 0,
+                };
+                self.out.push_back(if acc.kind == AccessKind::Atomic {
+                    L1ToL2::Atomic(req)
+                } else {
+                    L1ToL2::Write(req)
+                });
+                self.store_acks
+                    .entry(acc.block)
+                    .or_default()
+                    .push_back((acc.id, acc.warp, acc.kind, version));
+                L1Outcome::Queued
+            }
+        }
+    }
+
+    fn on_response(&mut self, msg: L2ToL1, _now: Cycle) -> Vec<Completion> {
+        let mut done = Vec::new();
+        match msg {
+            L2ToL1::Fill(f) => {
+                debug_assert_eq!(f.lease, LeaseInfo::None);
+                self.tags.fill(f.block, f.version);
+                for (id, warp) in self.mshr.take(f.block) {
+                    done.push(Completion {
+                        id,
+                        warp,
+                        kind: AccessKind::Load,
+                        block: f.block,
+                        version: f.version,
+                        ts: None,
+                        epoch: 0,
+                        prev: None,
+                    });
+                }
+            }
+            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                if let Some(q) = self.store_acks.get_mut(&a.block) {
+                    if let Some(pos) = q.iter().position(|(_, _, _, v)| *v == a.version) {
+                        let (id, warp, kind, version) = q.remove(pos).expect("pos valid");
+                        if q.is_empty() {
+                            self.store_acks.remove(&a.block);
+                        }
+                        done.push(Completion {
+                            id,
+                            warp,
+                            kind,
+                            block: a.block,
+                            version,
+                            ts: None,
+                            epoch: 0,
+                            prev,
+                        });
+                    }
+                }
+            }
+            L2ToL1::Renew { .. } | L2ToL1::Invalidate { .. } => {}
+        }
+        done
+    }
+
+    fn take_request(&mut self) -> Option<L1ToL2> {
+        self.out.pop_front()
+    }
+
+    fn tick(&mut self, now: Cycle) -> Vec<Completion> {
+        // The whole point: periodic self-flush.
+        if now - self.last_flush >= self.period {
+            self.tags.flush();
+            self.last_flush = now;
+        }
+        Vec::new()
+    }
+
+    fn flush(&mut self) {
+        self.tags.flush();
+    }
+
+    fn is_idle(&self) -> bool {
+        self.mshr.is_empty() && self.store_acks.is_empty() && self.out.is_empty()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+fn main() {
+    // The custom L1 rides on the plain (no-lease) L2 of the no-L1
+    // baseline config.
+    let base = GpuConfig::paper_default()
+        .with_protocol(ProtocolKind::NoL1)
+        .with_consistency(ConsistencyModel::Rc);
+
+    println!("epoch-flush L1 (a software-coherence strawman) vs the built-in systems on HS:\n");
+    for period in [100u64, 1000, 10_000] {
+        let mut sim = SimBuilder::new(base.clone())
+            .with_l1(move |cfg, i| Box::new(EpochFlushL1::new(cfg, i, period)))
+            .build();
+        let kernel = Benchmark::Hs.build(Scale::Small);
+        let report = sim.run_kernel(kernel.as_ref()).expect("completes");
+        println!(
+            "flush every {period:>6} cycles: {:>6} cycles, L1 hit {:>5.1}%, checker violations {}",
+            report.stats.cycles.0,
+            100.0 * report.stats.l1.hit_rate(),
+            report.violations.len()
+        );
+    }
+    let mut bl = SimBuilder::new(base).build();
+    let kernel = Benchmark::Hs.build(Scale::Small);
+    let report = bl.run_kernel(kernel.as_ref()).expect("completes");
+    println!("no-L1 baseline            : {:>6} cycles", report.stats.cycles.0);
+
+    // On a *publication* pattern the strawman serves stale data between
+    // flushes: the reader observes the writer's new FLAG but the old DATA
+    // from its own cache — the forbidden message-passing outcome.
+    println!("\nmessage-passing under epoch-flush (flush period 5000):");
+    let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::NoL1);
+    let mut sim = SimBuilder::new(cfg)
+        .with_l1(|cfg, i| Box::new(EpochFlushL1::new(cfg, i, 5_000)))
+        .build();
+    let kernel = stale_mp_kernel();
+    sim.run_kernel(&kernel).expect("completes");
+    let geom = gtsc::types::CacheGeometry::new(1024, 2, 128);
+    let flags = sim.checker().load_observations(geom.block_of(gtsc::types::Addr(128)));
+    let datas = sim.checker().load_observations(geom.block_of(gtsc::types::Addr(0)));
+    let forbidden = flags
+        .iter()
+        .zip(datas.iter())
+        .filter(|(f, d)| f.version != Version::ZERO && d.version == Version::ZERO)
+        .count();
+    println!(
+        "forbidden outcomes observed: {forbidden} (new FLAG with stale DATA) — \
+         G-TSC produces 0 on the same kernel by construction"
+    );
+}
+
+/// Writer publishes DATA then FLAG; the reader caches DATA early, later
+/// sees the FLAG, and re-reads DATA — which an incoherent L1 serves stale.
+fn stale_mp_kernel() -> gtsc::gpu::VecKernel {
+    use gtsc::gpu::{VecKernel, WarpOp, WarpProgram};
+    use gtsc::types::Addr;
+    let writer = WarpProgram(vec![
+        WarpOp::Compute(40),
+        WarpOp::store_coalesced(Addr(0), 32),
+        WarpOp::Fence,
+        WarpOp::store_coalesced(Addr(128), 32),
+    ]);
+    let reader = WarpProgram(vec![
+        WarpOp::load_coalesced(Addr(0), 32),
+        WarpOp::Compute(400),
+        WarpOp::load_coalesced(Addr(128), 32),
+        WarpOp::Fence,
+        WarpOp::load_coalesced(Addr(0), 32),
+    ]);
+    VecKernel::new("stale-mp", 1, vec![vec![writer], vec![reader]])
+}

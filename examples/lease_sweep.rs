@@ -1,0 +1,51 @@
+//! Lease-sensitivity demo: the motivating contrast of Section II-D3.
+//!
+//! Temporal Coherence couples leases to *physical* time, so its
+//! performance swings with the lease choice — and the best lease differs
+//! per benchmark. G-TSC's lease is *logical*, and its behaviour is
+//! invariant to the lease value (Figure 14).
+//!
+//! Run: `cargo run --release --example lease_sweep`
+
+use gtsc::sim::GpuSim;
+use gtsc::types::{ConsistencyModel, GpuConfig, Lease, ProtocolKind};
+use gtsc::workloads::{Benchmark, Scale};
+
+fn main() {
+    let leases = [25u64, 100, 400, 800, 1600];
+    println!("TC-Weak (physical leases) — cycles per lease choice:");
+    println!("{:<8}{}", "bench", leases.map(|l| format!("{l:>10}")).join(""));
+    for b in [Benchmark::Stn, Benchmark::Cc, Benchmark::Bh] {
+        print!("{:<8}", b.name());
+        for lease in leases {
+            let mut cfg = GpuConfig::paper_default()
+                .with_protocol(ProtocolKind::TcWeak)
+                .with_consistency(ConsistencyModel::Rc);
+            cfg.tc_lease_cycles = lease;
+            print!("{:>10}", run(b, cfg));
+        }
+        println!();
+    }
+
+    println!("\nG-TSC (logical leases) — cycles per lease choice:");
+    let glease = [8u64, 10, 16, 20, 64];
+    println!("{:<8}{}", "bench", glease.map(|l| format!("{l:>10}")).join(""));
+    for b in [Benchmark::Stn, Benchmark::Cc, Benchmark::Bh] {
+        print!("{:<8}", b.name());
+        for lease in glease {
+            let cfg = GpuConfig::paper_default()
+                .with_protocol(ProtocolKind::Gtsc)
+                .with_consistency(ConsistencyModel::Rc)
+                .with_lease(Lease(lease));
+            print!("{:>10}", run(b, cfg));
+        }
+        println!();
+    }
+    println!("\nTC needs per-benchmark lease tuning; G-TSC's rows are flat (Figure 14).");
+}
+
+fn run(b: Benchmark, cfg: GpuConfig) -> u64 {
+    let kernel = b.build(Scale::Small);
+    let mut sim = GpuSim::new(cfg);
+    sim.run_kernel(kernel.as_ref()).expect("completes").stats.cycles.0
+}

@@ -1,0 +1,60 @@
+//! Head-to-head protocol comparison on one benchmark: a single row of
+//! Figure 12, with the mechanism-level counters that explain it.
+//!
+//! Run: `cargo run --release --example protocol_comparison [-- BH|CC|...|SGM]`
+
+use gtsc::sim::GpuSim;
+use gtsc::types::{ConsistencyModel, GpuConfig, ProtocolKind};
+use gtsc::workloads::{Benchmark, Scale};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "STN".to_owned());
+    let bench = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&which))
+        .unwrap_or_else(|| panic!("unknown benchmark {which}; use one of BH CC DLP VPR STN BFS CCP GE HS KM BP SGM"));
+    println!(
+        "benchmark {} ({}requires coherence)\n",
+        bench.name(),
+        if bench.requires_coherence() { "" } else { "no — " }
+    );
+    println!(
+        "{:<12}{:>10}{:>8}{:>10}{:>10}{:>10}{:>12}{:>12}{:>8}{:>8}",
+        "config", "cycles", "L1 hit%", "renewals", "expired", "wr-stall", "NoC flits", "mem stalls",
+        "p50 lat", "p99 lat"
+    );
+    let base = run(bench, ProtocolKind::NoL1, ConsistencyModel::Rc);
+    for (p, m) in [
+        (ProtocolKind::NoL1, ConsistencyModel::Rc),
+        (ProtocolKind::Gtsc, ConsistencyModel::Rc),
+        (ProtocolKind::Gtsc, ConsistencyModel::Sc),
+        (ProtocolKind::TcWeak, ConsistencyModel::Rc),
+        (ProtocolKind::Tc, ConsistencyModel::Sc),
+    ] {
+        let s = run(bench, p, m);
+        println!(
+            "{:<12}{:>10}{:>8.1}{:>10}{:>10}{:>10}{:>12}{:>12}{:>8.0}{:>8.0}",
+            GpuConfig::paper_default().with_protocol(p).with_consistency(m).label(),
+            s.cycles.0,
+            100.0 * s.l1.hit_rate(),
+            s.l1.renewals,
+            s.l1.expired_misses,
+            s.l2.write_stall_cycles,
+            s.noc.flits,
+            s.sm.memory_stall_cycles,
+            s.sm.mem_latency.percentile(0.5),
+            s.sm.mem_latency.percentile(0.99),
+        );
+    }
+    println!("\nnormalize cycles against the first row (BL) to recover the Figure 12 bar;");
+    println!("BL took {} cycles here.", base.cycles.0);
+}
+
+fn run(b: Benchmark, p: ProtocolKind, m: ConsistencyModel) -> gtsc::types::SimStats {
+    let cfg = GpuConfig::paper_default().with_protocol(p).with_consistency(m);
+    let kernel = b.build(Scale::Small);
+    let mut sim = GpuSim::new(cfg);
+    let report = sim.run_kernel(kernel.as_ref()).expect("completes");
+    assert!(report.violations.is_empty() || p == ProtocolKind::L1NoCoherence);
+    report.stats
+}

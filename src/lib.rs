@@ -1,0 +1,60 @@
+//! # G-TSC: Timestamp Based Coherence for GPUs — a reproduction
+//!
+//! This crate is the umbrella over a workspace that reimplements, from
+//! scratch, the system described in *"G-TSC: Timestamp Based Coherence
+//! for GPUs"* (Tabbakh, Qian, Annavaram — HPCA 2018): a GPU cache
+//! coherence protocol that orders memory operations in **logical time**
+//! instead of physical time, together with everything needed to evaluate
+//! it — a cycle-level GPU simulator, the Temporal Coherence baselines,
+//! SC/RC consistency models, workload generators for the paper's twelve
+//! benchmarks, an energy model, and a harness that regenerates every
+//! table and figure of the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gtsc::sim::GpuSim;
+//! use gtsc::types::{ConsistencyModel, GpuConfig, ProtocolKind};
+//! use gtsc::workloads::{Benchmark, Scale};
+//!
+//! // Assemble the paper's 16-SM GPU running G-TSC under release
+//! // consistency, and run the BFS benchmark on it.
+//! let cfg = GpuConfig::paper_default()
+//!     .with_protocol(ProtocolKind::Gtsc)
+//!     .with_consistency(ConsistencyModel::Rc);
+//! let mut gpu = GpuSim::new(cfg);
+//! let kernel = Benchmark::Bfs.build(Scale::Tiny);
+//! let report = gpu.run_kernel(kernel.as_ref())?;
+//! assert!(report.violations.is_empty(), "G-TSC keeps the GPU coherent");
+//! println!("BFS took {} cycles", report.stats.cycles.0);
+//! # Ok::<(), gtsc::sim::SimError>(())
+//! ```
+//!
+//! ## Workspace map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `gtsc-core` | **the paper's contribution**: G-TSC L1/L2 controllers and timestamp rules |
+//! | [`baselines`] | `gtsc-baselines` | Temporal Coherence (strong/weak), no-L1, non-coherent L1 |
+//! | [`protocol`] | `gtsc-protocol` | messages (Table I) and controller traits |
+//! | [`gpu`] | `gtsc-gpu` | SMs, warps, coalescer, SC/RC issue rules |
+//! | [`mem`] | `gtsc-mem` | tag arrays, MSHRs, DRAM timing |
+//! | [`noc`] | `gtsc-noc` | crossbar interconnect with flit accounting |
+//! | [`sim`] | `gtsc-sim` | the assembled GPU + coherence checker |
+//! | [`workloads`] | `gtsc-workloads` | the twelve benchmarks + litmus kernels |
+//! | [`energy`] | `gtsc-energy` | GPUWattch-style event-energy model |
+//! | [`types`] | `gtsc-types` | addresses, timestamps, configuration, statistics |
+//!
+//! See `DESIGN.md` for the system inventory and per-experiment index, and
+//! `EXPERIMENTS.md` for measured-vs-paper results.
+
+pub use gtsc_baselines as baselines;
+pub use gtsc_core as core;
+pub use gtsc_energy as energy;
+pub use gtsc_gpu as gpu;
+pub use gtsc_mem as mem;
+pub use gtsc_noc as noc;
+pub use gtsc_protocol as protocol;
+pub use gtsc_sim as sim;
+pub use gtsc_types as types;
+pub use gtsc_workloads as workloads;

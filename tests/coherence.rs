@@ -1,0 +1,166 @@
+//! Coherence soundness across the benchmark suite: every coherent
+//! protocol/model pair must keep the timestamp-order (G-TSC) or
+//! functional (TC/baselines) checker clean on the sharing benchmarks,
+//! including under aggressive timestamp-rollover pressure.
+
+use gtsc::sim::GpuSim;
+use gtsc::types::{ConsistencyModel, GpuConfig, ProtocolKind};
+use gtsc::workloads::{Benchmark, Scale};
+
+fn check(b: Benchmark, cfg: GpuConfig) {
+    let label = cfg.label();
+    let kernel = b.build(Scale::Tiny);
+    let mut sim = GpuSim::new(cfg);
+    let report = sim
+        .run_kernel(kernel.as_ref())
+        .unwrap_or_else(|e| panic!("{} {label}: {e}", b.name()));
+    assert!(
+        report.violations.is_empty(),
+        "{} under {label}: {:?}",
+        b.name(),
+        &report.violations[..report.violations.len().min(3)]
+    );
+}
+
+#[test]
+fn group_a_is_coherent_under_every_coherent_system() {
+    for b in Benchmark::group_a() {
+        for (p, m) in [
+            (ProtocolKind::Gtsc, ConsistencyModel::Rc),
+            (ProtocolKind::Gtsc, ConsistencyModel::Sc),
+            (ProtocolKind::Tc, ConsistencyModel::Sc),
+            (ProtocolKind::Tc, ConsistencyModel::Rc),
+            (ProtocolKind::TcWeak, ConsistencyModel::Rc),
+            (ProtocolKind::TcWeak, ConsistencyModel::Sc),
+            (ProtocolKind::NoL1, ConsistencyModel::Sc),
+            (ProtocolKind::NoL1, ConsistencyModel::Rc),
+        ] {
+            check(b, GpuConfig::test_small().with_protocol(p).with_consistency(m));
+        }
+    }
+}
+
+#[test]
+fn gtsc_survives_rollover_storms_on_every_group_a_benchmark() {
+    for b in Benchmark::group_a() {
+        for ts_bits in [7u32, 9, 12] {
+            let mut cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+            cfg.ts_bits = ts_bits;
+            let kernel = b.build(Scale::Tiny);
+            let mut sim = GpuSim::new(cfg);
+            let report = sim
+                .run_kernel(kernel.as_ref())
+                .unwrap_or_else(|e| panic!("{} @{ts_bits}b: {e}", b.name()));
+            assert!(
+                report.violations.is_empty(),
+                "{} @{ts_bits} bits: {:?}",
+                b.name(),
+                &report.violations[..report.violations.len().min(3)]
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_kernel_sequences_stay_coherent() {
+    let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+    let k1 = Benchmark::Stn.build(Scale::Tiny);
+    let k2 = Benchmark::Bfs.build(Scale::Tiny);
+    let k3 = Benchmark::Cc.build(Scale::Tiny);
+    let mut sim = GpuSim::new(cfg);
+    let report = sim
+        .run_kernels(&[k1.as_ref(), k2.as_ref(), k3.as_ref()])
+        .expect("all kernels complete");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.stats.sm.issued > 0);
+}
+
+/// Structural-pressure configuration: tiny MSHRs, tiny caches, narrow
+/// windows — exercises the reject/retry paths end to end.
+#[test]
+fn coherent_under_structural_pressure() {
+    for b in [Benchmark::Bh, Benchmark::Bfs] {
+        let mut cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        cfg.l1_mshr_entries = 2;
+        cfg.l1_mshr_merges = 2;
+        cfg.l2_mshr_entries = 2;
+        cfg.max_outstanding_per_warp = 2;
+        check(b, cfg);
+    }
+}
+
+/// A trace-driven kernel (the adoption path for user-captured traces)
+/// runs end to end and stays coherent.
+#[test]
+fn traced_kernel_runs_end_to_end() {
+    let trace = "\
+kernel traced ctas=2 warps_per_cta=1
+cta 0 warp 0
+  st 0x0
+  fence
+  at 0x80
+  ld 0x100
+cta 1 warp 0
+  at 0x80
+  ld 0x0
+  fence
+  ld 0x80
+";
+    let kernel = gtsc::workloads::trace::parse_trace(trace).expect("parses");
+    for p in [ProtocolKind::Gtsc, ProtocolKind::Tc, ProtocolKind::NoL1] {
+        let cfg = GpuConfig::test_small().with_protocol(p);
+        let label = cfg.label();
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&kernel).expect("completes");
+        assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+    }
+}
+
+/// The adaptive-lease extension stays checker-clean on every sharing
+/// benchmark.
+#[test]
+fn adaptive_lease_is_coherent_on_group_a() {
+    for b in Benchmark::group_a() {
+        let mut cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        cfg.adaptive_lease = true;
+        check(b, cfg);
+    }
+}
+
+/// Regression: at larger scale, write acks routinely cross timestamp
+/// resets in flight; their commits must keep their old-epoch logical keys
+/// (losing them once produced phantom "timestamp-order violations" on BH
+/// at 8-bit timestamps).
+#[test]
+fn rollover_with_in_flight_acks_at_scale() {
+    for b in [Benchmark::Bh, Benchmark::Bfs] {
+        let mut cfg = GpuConfig::paper_default().with_protocol(ProtocolKind::Gtsc);
+        cfg.ts_bits = 7;
+        let kernel = b.build(Scale::Small);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(kernel.as_ref()).expect("completes");
+        assert!(report.stats.l2.ts_rollovers > 0, "{}: expected rollovers", b.name());
+        assert!(
+            report.violations.is_empty(),
+            "{}: {:?}",
+            b.name(),
+            &report.violations[..report.violations.len().min(3)]
+        );
+    }
+}
+
+/// Phased benchmarks (one kernel per BFS level, caches flushed between
+/// launches) run coherently under every protocol.
+#[test]
+fn phased_bfs_is_coherent() {
+    for p in [ProtocolKind::Gtsc, ProtocolKind::TcWeak, ProtocolKind::NoL1] {
+        let cfg = GpuConfig::test_small().with_protocol(p);
+        let label = cfg.label();
+        let phases = Benchmark::Bfs.build_phases(Scale::Tiny);
+        let refs: Vec<&dyn gtsc::gpu::Kernel> = phases.iter().map(|k| k.as_ref()).collect();
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernels(&refs).expect("all levels complete");
+        assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+        assert!(report.stats.l1.accesses > 0);
+    }
+}

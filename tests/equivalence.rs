@@ -1,0 +1,76 @@
+//! Cross-protocol functional equivalence: on data-race-free workloads
+//! (the paper's group B), the final memory image must be identical under
+//! every protocol and consistency model — timing may differ, values may
+//! not. Version ids encode (SM, warp, per-warp store index), so this is a
+//! meaningful bit-for-bit comparison.
+
+use std::collections::BTreeMap;
+
+use gtsc::sim::GpuSim;
+use gtsc::types::{BlockAddr, ConsistencyModel, GpuConfig, ProtocolKind, Version};
+use gtsc::workloads::{Benchmark, Scale};
+
+fn image_for(b: Benchmark, p: ProtocolKind, m: ConsistencyModel) -> BTreeMap<BlockAddr, Version> {
+    let cfg = GpuConfig::test_small().with_protocol(p).with_consistency(m);
+    let kernel = b.build(Scale::Tiny);
+    let label = cfg.label();
+    let mut sim = GpuSim::new(cfg);
+    let report = sim.run_kernel(kernel.as_ref()).expect("completes");
+    assert!(report.violations.is_empty(), "{} {label}", b.name());
+    // Only written blocks matter (clean blocks may or may not be resident).
+    sim.memory_image()
+        .into_iter()
+        .filter(|(_, v)| *v != Version::ZERO)
+        .collect()
+}
+
+#[test]
+fn group_b_final_images_agree_across_protocols() {
+    let systems = [
+        (ProtocolKind::NoL1, ConsistencyModel::Rc),
+        (ProtocolKind::Gtsc, ConsistencyModel::Rc),
+        (ProtocolKind::Gtsc, ConsistencyModel::Sc),
+        (ProtocolKind::Tc, ConsistencyModel::Sc),
+        (ProtocolKind::TcWeak, ConsistencyModel::Rc),
+        (ProtocolKind::L1NoCoherence, ConsistencyModel::Rc),
+    ];
+    for b in Benchmark::group_b() {
+        let reference = image_for(b, systems[0].0, systems[0].1);
+        assert!(!reference.is_empty(), "{} writes something", b.name());
+        for (p, m) in &systems[1..] {
+            let img = image_for(b, *p, *m);
+            assert_eq!(
+                img,
+                reference,
+                "{} final image diverged under {:?}/{:?}",
+                b.name(),
+                p,
+                m
+            );
+        }
+    }
+}
+
+/// The same holds for G-TSC across lease values and timestamp widths:
+/// protocol parameters change timing, never results.
+#[test]
+fn gtsc_parameters_do_not_change_results() {
+    let b = Benchmark::Ge;
+    let reference = image_for(b, ProtocolKind::Gtsc, ConsistencyModel::Rc);
+    for (lease, ts_bits) in [(8u64, 16u32), (20, 16), (10, 8), (10, 10)] {
+        let mut cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_lease(gtsc::types::Lease(lease));
+        cfg.ts_bits = ts_bits;
+        let kernel = b.build(Scale::Tiny);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(kernel.as_ref()).expect("completes");
+        assert!(report.violations.is_empty(), "lease={lease} ts_bits={ts_bits}");
+        let img: BTreeMap<BlockAddr, Version> = sim
+            .memory_image()
+            .into_iter()
+            .filter(|(_, v)| *v != Version::ZERO)
+            .collect();
+        assert_eq!(img, reference, "lease={lease} ts_bits={ts_bits}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Consistency litmus tests run on the full simulator across a grid of
+//! timing parameters (NoC/L2 latencies), so the interesting interleavings
+//! actually occur.
+
+use gtsc::sim::GpuSim;
+use gtsc::types::{
+    CacheGeometry, ConsistencyModel, GpuConfig, ProtocolKind, Version,
+};
+use gtsc::workloads::micro;
+
+fn timing_grid() -> Vec<GpuConfig> {
+    let mut out = Vec::new();
+    for noc_latency in [2u64, 20, 75] {
+        for l2_latency in [1u64, 10, 40] {
+            let mut cfg = GpuConfig::test_small();
+            cfg.noc.latency = noc_latency;
+            cfg.l2_latency = l2_latency;
+            out.push(cfg);
+        }
+    }
+    out
+}
+
+fn block_of(addr: gtsc::types::Addr) -> gtsc::types::BlockAddr {
+    CacheGeometry::new(1024, 2, 128).block_of(addr)
+}
+
+/// Message passing: a reader that observes the new FLAG must observe the
+/// new DATA. Holds for every coherent protocol with fences.
+#[test]
+fn message_passing_publication_holds() {
+    for (p, m) in [
+        (ProtocolKind::Gtsc, ConsistencyModel::Rc),
+        (ProtocolKind::Gtsc, ConsistencyModel::Sc),
+        (ProtocolKind::Tc, ConsistencyModel::Sc),
+        (ProtocolKind::TcWeak, ConsistencyModel::Rc),
+        (ProtocolKind::NoL1, ConsistencyModel::Rc),
+    ] {
+        for base in timing_grid() {
+            let cfg = base.with_protocol(p).with_consistency(m);
+            let label = cfg.label();
+            let kernel = micro::message_passing(8);
+            let mut sim = GpuSim::new(cfg);
+            let report = sim.run_kernel(&kernel).expect("completes");
+            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            let flags = sim.checker().load_observations(block_of(micro::FLAG));
+            let datas = sim.checker().load_observations(block_of(micro::DATA));
+            assert_eq!(flags.len(), datas.len());
+            for (f, d) in flags.iter().zip(datas.iter()) {
+                assert!(
+                    !(f.version != Version::ZERO && d.version == Version::ZERO),
+                    "{label}: observed new FLAG but old DATA (forbidden)"
+                );
+            }
+        }
+    }
+}
+
+/// CoRR (coherent read-read): two program-ordered reads of the same
+/// location by one warp never observe new-then-old.
+#[test]
+fn coherent_read_read_is_monotonic() {
+    for (p, m) in [
+        (ProtocolKind::Gtsc, ConsistencyModel::Rc),
+        (ProtocolKind::Gtsc, ConsistencyModel::Sc),
+        (ProtocolKind::Tc, ConsistencyModel::Sc),
+        (ProtocolKind::NoL1, ConsistencyModel::Rc),
+    ] {
+        for base in timing_grid() {
+            let cfg = base.with_protocol(p).with_consistency(m);
+            let label = cfg.label();
+            let kernel = micro::coherent_read_read(8);
+            let mut sim = GpuSim::new(cfg);
+            let report = sim.run_kernel(&kernel).expect("completes");
+            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            // The reader's observations in completion order must never go
+            // from the new version back to ZERO.
+            let obs = sim.checker().load_observations(block_of(micro::DATA));
+            let reader: Vec<Version> =
+                obs.iter().filter(|o| o.sm == 1).map(|o| o.version).collect();
+            let mut seen_new = false;
+            for v in reader {
+                if v != Version::ZERO {
+                    seen_new = true;
+                } else {
+                    assert!(!seen_new, "{label}: read went new -> old (CoRR violation)");
+                }
+            }
+        }
+    }
+}
+
+/// Store buffering under SC: `X=1; r0=Y || Y=1; r1=X` — both readers
+/// observing the initial value is forbidden by sequential consistency.
+#[test]
+fn store_buffering_forbidden_under_sc() {
+    for p in [ProtocolKind::Gtsc, ProtocolKind::Tc, ProtocolKind::NoL1] {
+        for base in timing_grid() {
+            let cfg = base.with_protocol(p).with_consistency(ConsistencyModel::Sc);
+            let label = cfg.label();
+            let kernel = micro::store_buffering();
+            let mut sim = GpuSim::new(cfg);
+            let report = sim.run_kernel(&kernel).expect("completes");
+            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            let r0 = sim.checker().load_observations(block_of(micro::Y));
+            let r1 = sim.checker().load_observations(block_of(micro::X));
+            assert_eq!(r0.len(), 1, "{label}");
+            assert_eq!(r1.len(), 1, "{label}");
+            assert!(
+                !(r0[0].version == Version::ZERO && r1[0].version == Version::ZERO),
+                "{label}: both readers saw initial values (forbidden under SC)"
+            );
+        }
+    }
+}
+
+/// Atomicity: N warps on different SMs each perform M atomic RMWs on one
+/// block. Atomicity means the RMWs form a single chain: every operation
+/// observes a distinct predecessor (no two atomics read the same old
+/// value), and the chain starts at the initial value.
+#[test]
+fn atomics_form_a_chain() {
+    use gtsc::gpu::{VecKernel, WarpOp, WarpProgram};
+    use gtsc::types::Addr;
+    use std::collections::HashSet;
+
+    for (p, m) in [
+        (ProtocolKind::Gtsc, ConsistencyModel::Rc),
+        (ProtocolKind::Gtsc, ConsistencyModel::Sc),
+        (ProtocolKind::Tc, ConsistencyModel::Sc),
+        (ProtocolKind::TcWeak, ConsistencyModel::Rc),
+        (ProtocolKind::NoL1, ConsistencyModel::Rc),
+        (ProtocolKind::L1NoCoherence, ConsistencyModel::Rc),
+    ] {
+        for base in timing_grid().into_iter().step_by(3) {
+            let cfg = base.with_protocol(p).with_consistency(m);
+            let label = cfg.label();
+            let prog = |pad: u32| {
+                WarpProgram(
+                    (0..5)
+                        .flat_map(|i| {
+                            [WarpOp::Compute(pad + i), WarpOp::atomic_coalesced(Addr(0), 32)]
+                        })
+                        .collect(),
+                )
+            };
+            let kernel = VecKernel::new(
+                "atomic-chain",
+                2,
+                vec![vec![prog(1), prog(4)], vec![prog(2), prog(7)]],
+            );
+            let mut sim = GpuSim::new(cfg);
+            let report = sim.run_kernel(&kernel).expect("completes");
+            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            // Gather every atomic's observed predecessor.
+            let obs = sim.checker().load_observations(block_of(gtsc::types::Addr(0)));
+            let prevs: Vec<Version> = obs.iter().filter(|o| o.exclusive).map(|o| o.version).collect();
+            assert_eq!(prevs.len(), 20, "{label}: 4 warps x 5 atomics");
+            let unique: HashSet<Version> = prevs.iter().copied().collect();
+            assert_eq!(unique.len(), 20, "{label}: two atomics observed the same old value — not atomic");
+            assert!(unique.contains(&Version::ZERO), "{label}: the chain must start at the initial value");
+        }
+    }
+}
+
+/// IRIW under SC: the two readers must agree on the order of the two
+/// independent stores. Forbidden: reader2 sees (new X, old Y) while
+/// reader3 sees (new Y, old X).
+#[test]
+fn iriw_readers_agree_under_sc() {
+    for p in [ProtocolKind::Gtsc, ProtocolKind::Tc, ProtocolKind::NoL1] {
+        for base in timing_grid() {
+            let mut cfg = base.with_protocol(p).with_consistency(ConsistencyModel::Sc);
+            cfg.n_sms = 4; // one CTA per SM
+            let label = cfg.label();
+            let kernel = micro::iriw();
+            let mut sim = GpuSim::new(cfg);
+            let report = sim.run_kernel(&kernel).expect("completes");
+            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            let xs = sim.checker().load_observations(block_of(micro::X));
+            let ys = sim.checker().load_observations(block_of(micro::Y));
+            // Reader on SM2 reads X then Y; reader on SM3 reads Y then X.
+            let r2_x = xs.iter().find(|o| o.sm == 2).expect("reader2 read X").version;
+            let r2_y = ys.iter().find(|o| o.sm == 2).expect("reader2 read Y").version;
+            let r3_y = ys.iter().find(|o| o.sm == 3).expect("reader3 read Y").version;
+            let r3_x = xs.iter().find(|o| o.sm == 3).expect("reader3 read X").version;
+            let zero = Version::ZERO;
+            let forbidden = r2_x != zero && r2_y == zero && r3_y != zero && r3_x == zero;
+            assert!(!forbidden, "{label}: IRIW readers disagreed on store order");
+        }
+    }
+}
+
+/// The adaptive-lease extension (Tardis-2.0-style prediction) must keep
+/// every litmus shape intact.
+#[test]
+fn adaptive_lease_preserves_litmus_shapes() {
+    for base in timing_grid().into_iter().step_by(2) {
+        let mut cfg = base.with_protocol(ProtocolKind::Gtsc).with_consistency(ConsistencyModel::Rc);
+        cfg.adaptive_lease = true;
+        let kernel = micro::message_passing(8);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&kernel).expect("completes");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let flags = sim.checker().load_observations(block_of(micro::FLAG));
+        let datas = sim.checker().load_observations(block_of(micro::DATA));
+        for (f, d) in flags.iter().zip(datas.iter()) {
+            assert!(!(f.version != Version::ZERO && d.version == Version::ZERO));
+        }
+    }
+}
+
+/// Message passing holds with the precise release/acquire pair too
+/// (the cheaper fences the RC model provides).
+#[test]
+fn message_passing_with_release_acquire_fences() {
+    for (p, m) in [
+        (ProtocolKind::Gtsc, ConsistencyModel::Rc),
+        (ProtocolKind::TcWeak, ConsistencyModel::Rc),
+        (ProtocolKind::NoL1, ConsistencyModel::Rc),
+    ] {
+        for base in timing_grid() {
+            let cfg = base.with_protocol(p).with_consistency(m);
+            let label = cfg.label();
+            let kernel = micro::message_passing_rel_acq(8);
+            let mut sim = GpuSim::new(cfg);
+            let report = sim.run_kernel(&kernel).expect("completes");
+            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            let flags = sim.checker().load_observations(block_of(micro::FLAG));
+            let datas = sim.checker().load_observations(block_of(micro::DATA));
+            for (f, d) in flags.iter().zip(datas.iter()) {
+                assert!(
+                    !(f.version != Version::ZERO && d.version == Version::ZERO),
+                    "{label}: release/acquire MP violated"
+                );
+            }
+        }
+    }
+}

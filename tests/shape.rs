@@ -1,0 +1,184 @@
+//! Paper-shape regression tests: fast, small-scale checks of the
+//! *qualitative* results the reproduction must preserve. These guard the
+//! headline claims against regressions without re-running the full
+//! experiment suite.
+
+use gtsc::gpu::{VecKernel, WarpOp, WarpProgram};
+use gtsc::sim::GpuSim;
+use gtsc::types::{Addr, ConsistencyModel, GpuConfig, Lease, ProtocolKind, Version};
+use gtsc::workloads::{Benchmark, Scale};
+
+fn run(b: Benchmark, p: ProtocolKind, m: ConsistencyModel) -> gtsc::sim::RunReport {
+    let cfg = GpuConfig::paper_default().with_protocol(p).with_consistency(m);
+    let kernel = b.build(Scale::Small);
+    let mut sim = GpuSim::new(cfg);
+    sim.run_kernel(kernel.as_ref()).expect("completes")
+}
+
+/// The defining property of G-TSC (Section III): writes are scheduled in
+/// logical time, so the L2 *never* stalls a write or an atomic — on any
+/// benchmark, under any consistency model.
+#[test]
+fn gtsc_never_stalls_writes() {
+    for b in Benchmark::all() {
+        for m in [ConsistencyModel::Sc, ConsistencyModel::Rc] {
+            let r = run(b, ProtocolKind::Gtsc, m);
+            assert_eq!(
+                r.stats.l2.write_stall_cycles, 0,
+                "{} {:?}: G-TSC must not stall writes",
+                b.name(),
+                m
+            );
+            assert_eq!(r.stats.l2.eviction_stall_cycles, 0, "{}: non-inclusive L2 never stalls replacement", b.name());
+        }
+    }
+}
+
+/// TC-Strong, by contrast, pays lease-induced write stalls on the
+/// sharing benchmarks (Section II-D3).
+#[test]
+fn tc_strong_pays_write_stalls_on_sharing_workloads() {
+    let mut any = 0u64;
+    for b in Benchmark::group_a() {
+        let r = run(b, ProtocolKind::Tc, ConsistencyModel::Sc);
+        any += r.stats.l2.write_stall_cycles;
+    }
+    assert!(any > 0, "TC-Strong should have stalled at least some writes");
+}
+
+/// STN is the clearest G-TSC win in the paper's Figure 12 shape: TC's
+/// fixed physical lease devastates a fence/barrier-synchronized stencil.
+#[test]
+fn gtsc_beats_tc_on_stn_by_a_wide_margin() {
+    let g = run(Benchmark::Stn, ProtocolKind::Gtsc, ConsistencyModel::Rc);
+    let t = run(Benchmark::Stn, ProtocolKind::TcWeak, ConsistencyModel::Rc);
+    assert!(
+        (g.stats.cycles.0 as f64) * 1.5 < t.stats.cycles.0 as f64,
+        "G-TSC {} vs TC {}: expected ≥1.5x win on STN",
+        g.stats.cycles.0,
+        t.stats.cycles.0
+    );
+}
+
+/// The TC SC↔RC gap is large; the G-TSC gap is small (Figure 12's
+/// headline secondary observation).
+#[test]
+fn sc_gap_is_small_for_gtsc_and_large_for_tc() {
+    let mut gtsc_gap = Vec::new();
+    let mut tc_gap = Vec::new();
+    for b in [Benchmark::Stn, Benchmark::Hs] {
+        let g_rc = run(b, ProtocolKind::Gtsc, ConsistencyModel::Rc).stats.cycles.0 as f64;
+        let g_sc = run(b, ProtocolKind::Gtsc, ConsistencyModel::Sc).stats.cycles.0 as f64;
+        let t_rc = run(b, ProtocolKind::TcWeak, ConsistencyModel::Rc).stats.cycles.0 as f64;
+        let t_sc = run(b, ProtocolKind::Tc, ConsistencyModel::Sc).stats.cycles.0 as f64;
+        gtsc_gap.push(g_sc / g_rc);
+        tc_gap.push(t_sc / t_rc);
+    }
+    let geo = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    assert!(
+        geo(&tc_gap) > 1.3 * geo(&gtsc_gap),
+        "TC SC/RC gap ({:.2}) should clearly exceed G-TSC's ({:.2})",
+        geo(&tc_gap),
+        geo(&gtsc_gap)
+    );
+}
+
+/// Figure 14's claim, exactly: G-TSC's cycle count is *identical* across
+/// lease values (scale invariance of the timestamp rules).
+#[test]
+fn gtsc_is_lease_invariant() {
+    let base = {
+        let cfg = GpuConfig::paper_default().with_protocol(ProtocolKind::Gtsc);
+        let kernel = Benchmark::Bh.build(Scale::Small);
+        let mut sim = GpuSim::new(cfg);
+        sim.run_kernel(kernel.as_ref()).unwrap().stats.cycles
+    };
+    for lease in [8u64, 20, 64] {
+        let cfg = GpuConfig::paper_default()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_lease(Lease(lease));
+        let kernel = Benchmark::Bh.build(Scale::Small);
+        let mut sim = GpuSim::new(cfg);
+        let got = sim.run_kernel(kernel.as_ref()).unwrap().stats.cycles;
+        assert_eq!(got, base, "lease {lease} changed the cycle count");
+    }
+}
+
+/// Renewal responses carry no data: the renewal mechanism must make
+/// G-TSC's *control*-packet share higher and keep data packets at or
+/// below TC's on a renewal-heavy workload.
+#[test]
+fn renewals_save_data_packets_on_stn() {
+    let g = run(Benchmark::Stn, ProtocolKind::Gtsc, ConsistencyModel::Rc);
+    let t = run(Benchmark::Stn, ProtocolKind::TcWeak, ConsistencyModel::Rc);
+    assert!(g.stats.l1.renewals > 0, "STN must exercise renewals");
+    assert!(
+        g.stats.noc.data_packets <= t.stats.noc.data_packets,
+        "G-TSC data packets ({}) should not exceed TC's ({})",
+        g.stats.noc.data_packets,
+        t.stats.noc.data_packets
+    );
+}
+
+/// Demonstrates *why* group A cannot run on the non-coherent baseline:
+/// a reader that cached DATA keeps returning the stale copy even after
+/// it has observed the writer's FLAG — the forbidden MP outcome.
+#[test]
+fn noncoherent_l1_exhibits_the_forbidden_outcome()  {
+    let data = Addr(0);
+    let flag = Addr(128);
+    let writer = WarpProgram(vec![
+        WarpOp::Compute(40), // let the reader cache the old DATA first
+        WarpOp::store_coalesced(data, 32),
+        WarpOp::Fence,
+        WarpOp::store_coalesced(flag, 32),
+    ]);
+    let reader = WarpProgram(vec![
+        WarpOp::load_coalesced(data, 32), // caches stale DATA
+        (0..40).fold(WarpOp::Compute(400), |acc, _| acc), // long wait
+        WarpOp::load_coalesced(flag, 32), // miss -> sees the new FLAG
+        WarpOp::Fence,
+        WarpOp::load_coalesced(data, 32), // HITS the stale cached DATA
+    ]);
+    let kernel = VecKernel::new("stale", 1, vec![vec![writer], vec![reader]]);
+    let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::L1NoCoherence);
+    let mut sim = GpuSim::new(cfg);
+    sim.run_kernel(&kernel).expect("completes");
+    let geom = gtsc::types::CacheGeometry::new(1024, 2, 128);
+    let flags = sim.checker().load_observations(geom.block_of(flag));
+    let datas = sim.checker().load_observations(geom.block_of(data));
+    let saw_new_flag = flags.iter().any(|o| o.version != Version::ZERO);
+    let last_data = datas.iter().filter(|o| o.sm == 1).max_by_key(|o| o.at).unwrap().version;
+    assert!(
+        saw_new_flag && last_data == Version::ZERO,
+        "expected the incoherent L1 to serve stale DATA after the new FLAG \
+         (saw_new_flag={saw_new_flag}, last_data={last_data})"
+    );
+    // And the same shape under G-TSC must NOT exhibit it.
+    let kernel2 = VecKernel::new("fresh", 1, vec![
+        vec![WarpProgram(vec![
+            WarpOp::Compute(40),
+            WarpOp::store_coalesced(data, 32),
+            WarpOp::Fence,
+            WarpOp::store_coalesced(flag, 32),
+        ])],
+        vec![WarpProgram(vec![
+            WarpOp::load_coalesced(data, 32),
+            WarpOp::Compute(400),
+            WarpOp::load_coalesced(flag, 32),
+            WarpOp::Fence,
+            WarpOp::load_coalesced(data, 32),
+        ])],
+    ]);
+    let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+    let mut sim = GpuSim::new(cfg);
+    let report = sim.run_kernel(&kernel2).expect("completes");
+    assert!(report.violations.is_empty());
+    let flags = sim.checker().load_observations(geom.block_of(flag));
+    let datas = sim.checker().load_observations(geom.block_of(data));
+    let saw_new_flag = flags.iter().any(|o| o.sm == 1 && o.version != Version::ZERO);
+    if saw_new_flag {
+        let last_data = datas.iter().filter(|o| o.sm == 1).max_by_key(|o| o.at).unwrap().version;
+        assert_ne!(last_data, Version::ZERO, "G-TSC must not serve stale DATA after the new FLAG");
+    }
+}
