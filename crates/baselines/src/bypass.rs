@@ -81,7 +81,10 @@ impl L1Controller for BypassL1 {
                 self.read_waiters
                     .entry(acc.block)
                     .or_default()
-                    .push_back(Waiter { id: acc.id, warp: acc.warp });
+                    .push_back(Waiter {
+                        id: acc.id,
+                        warp: acc.warp,
+                    });
                 self.out.push_back(L1ToL2::Read(ReadReq {
                     block: acc.block,
                     wts: Timestamp(0),
@@ -92,12 +95,15 @@ impl L1Controller for BypassL1 {
             AccessKind::Store | AccessKind::Atomic => {
                 self.stats.stores += 1;
                 let version = self.mint_version(acc.warp);
-                self.store_acks.entry(acc.block).or_default().push_back(StoreWaiter {
-                    id: acc.id,
-                    warp: acc.warp,
-                    kind: acc.kind,
-                    version,
-                });
+                self.store_acks
+                    .entry(acc.block)
+                    .or_default()
+                    .push_back(StoreWaiter {
+                        id: acc.id,
+                        warp: acc.warp,
+                        kind: acc.kind,
+                        version,
+                    });
                 let req = WriteReq {
                     block: acc.block,
                     warp_ts: Timestamp(0),
@@ -137,7 +143,11 @@ impl L1Controller for BypassL1 {
                 }
             }
             L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
-                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg {
+                    Some(prev)
+                } else {
+                    None
+                };
                 if let Some(q) = self.store_acks.get_mut(&a.block) {
                     if let Some(pos) = q.iter().position(|s| s.version == a.version) {
                         let sw = q.remove(pos).expect("position valid");
@@ -184,11 +194,16 @@ impl L1Controller for BypassL1 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gtsc_protocol::msg::{FillResp, WriteAckResp};
     use gtsc_protocol::msg::LeaseInfo;
+    use gtsc_protocol::msg::{FillResp, WriteAckResp};
 
     fn load(id: u64, block: u64) -> MemAccess {
-        MemAccess { id: AccessId(id), warp: WarpId(0), kind: AccessKind::Load, block: BlockAddr(block) }
+        MemAccess {
+            id: AccessId(id),
+            warp: WarpId(0),
+            kind: AccessKind::Load,
+            block: BlockAddr(block),
+        }
     }
 
     #[test]
@@ -223,9 +238,16 @@ mod tests {
     #[test]
     fn atomic_roundtrip_delivers_prev() {
         let mut c = BypassL1::new(0);
-        let acc = MemAccess { id: AccessId(5), warp: WarpId(2), kind: AccessKind::Atomic, block: BlockAddr(7) };
+        let acc = MemAccess {
+            id: AccessId(5),
+            warp: WarpId(2),
+            kind: AccessKind::Atomic,
+            block: BlockAddr(7),
+        };
         c.access(acc, Cycle(0));
-        let L1ToL2::Atomic(w) = c.take_request().unwrap() else { panic!("expected Atomic") };
+        let L1ToL2::Atomic(w) = c.take_request().unwrap() else {
+            panic!("expected Atomic")
+        };
         let done = c.on_response(
             L2ToL1::AtomicAck {
                 ack: WriteAckResp {
@@ -247,9 +269,16 @@ mod tests {
     #[test]
     fn store_roundtrip() {
         let mut c = BypassL1::new(0);
-        let acc = MemAccess { id: AccessId(3), warp: WarpId(1), kind: AccessKind::Store, block: BlockAddr(7) };
+        let acc = MemAccess {
+            id: AccessId(3),
+            warp: WarpId(1),
+            kind: AccessKind::Store,
+            block: BlockAddr(7),
+        };
         c.access(acc, Cycle(0));
-        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        let L1ToL2::Write(w) = c.take_request().unwrap() else {
+            panic!()
+        };
         let done = c.on_response(
             L2ToL1::WriteAck(WriteAckResp {
                 block: BlockAddr(7),

@@ -45,7 +45,12 @@ pub struct NonCoherentL1 {
 impl NonCoherentL1 {
     /// Creates an empty cache for SM `sm_index`.
     #[must_use]
-    pub fn new(geometry: CacheGeometry, sm_index: usize, mshr_entries: usize, mshr_merges: usize) -> Self {
+    pub fn new(
+        geometry: CacheGeometry,
+        sm_index: usize,
+        mshr_entries: usize,
+        mshr_merges: usize,
+    ) -> Self {
         NonCoherentL1 {
             sm_index,
             tags: TagArray::new(geometry),
@@ -85,7 +90,13 @@ impl L1Controller for NonCoherentL1 {
                         prev: None,
                     });
                 }
-                let outcome = match self.mshr.register(acc.block, Waiter { id: acc.id, warp: acc.warp }) {
+                let outcome = match self.mshr.register(
+                    acc.block,
+                    Waiter {
+                        id: acc.id,
+                        warp: acc.warp,
+                    },
+                ) {
                     MshrAlloc::Full => return L1Outcome::Reject,
                     MshrAlloc::AllocatedNew => {
                         self.out.push_back(L1ToL2::Read(ReadReq {
@@ -123,12 +134,15 @@ impl L1Controller for NonCoherentL1 {
                 } else {
                     L1ToL2::Write(req)
                 });
-                self.store_acks.entry(acc.block).or_default().push_back(StoreWaiter {
-                    id: acc.id,
-                    warp: acc.warp,
-                    kind: acc.kind,
-                    version,
-                });
+                self.store_acks
+                    .entry(acc.block)
+                    .or_default()
+                    .push_back(StoreWaiter {
+                        id: acc.id,
+                        warp: acc.warp,
+                        kind: acc.kind,
+                        version,
+                    });
                 L1Outcome::Queued
             }
         }
@@ -139,7 +153,11 @@ impl L1Controller for NonCoherentL1 {
         match msg {
             L2ToL1::Fill(f) => {
                 debug_assert_eq!(f.lease, LeaseInfo::None, "plain L2 grants no leases");
-                if self.tags.fill(f.block, PlainMeta { version: f.version }).is_some() {
+                if self
+                    .tags
+                    .fill(f.block, PlainMeta { version: f.version })
+                    .is_some()
+                {
                     self.stats.evictions += 1;
                 }
                 for w in self.mshr.take(f.block) {
@@ -156,7 +174,11 @@ impl L1Controller for NonCoherentL1 {
                 }
             }
             L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
-                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg {
+                    Some(prev)
+                } else {
+                    None
+                };
                 if let Some(q) = self.store_acks.get_mut(&a.block) {
                     if let Some(pos) = q.iter().position(|s| s.version == a.version) {
                         let sw = q.remove(pos).expect("position valid");
@@ -215,7 +237,12 @@ mod tests {
     }
 
     fn load(id: u64, block: u64) -> MemAccess {
-        MemAccess { id: AccessId(id), warp: WarpId(0), kind: AccessKind::Load, block: BlockAddr(block) }
+        MemAccess {
+            id: AccessId(id),
+            warp: WarpId(0),
+            kind: AccessKind::Load,
+            block: BlockAddr(block),
+        }
     }
 
     #[test]
@@ -234,7 +261,10 @@ mod tests {
         );
         // Arbitrarily far in the future: still a hit (that is the point —
         // and the incoherence).
-        assert!(matches!(c.access(load(2, 5), Cycle(1_000_000)), L1Outcome::Hit(_)));
+        assert!(matches!(
+            c.access(load(2, 5), Cycle(1_000_000)),
+            L1Outcome::Hit(_)
+        ));
         assert_eq!(c.stats().expired_misses, 0);
     }
 
@@ -252,9 +282,16 @@ mod tests {
             }),
             Cycle(10),
         );
-        let st = MemAccess { id: AccessId(2), warp: WarpId(1), kind: AccessKind::Store, block: BlockAddr(5) };
+        let st = MemAccess {
+            id: AccessId(2),
+            warp: WarpId(1),
+            kind: AccessKind::Store,
+            block: BlockAddr(5),
+        };
         c.access(st, Cycle(20));
-        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        let L1ToL2::Write(w) = c.take_request().unwrap() else {
+            panic!()
+        };
         match c.access(load(3, 5), Cycle(21)) {
             L1Outcome::Hit(comp) => assert_eq!(comp.version, w.version),
             other => panic!("expected hit, got {other:?}"),

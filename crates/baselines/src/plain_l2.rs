@@ -84,13 +84,21 @@ impl PlainL2 {
 
     fn serve_hit(&mut self, src: usize, msg: L1ToL2) {
         let block = msg.block();
-        let line = self.tags.probe_mut(block).expect("caller checked residency");
+        let line = self
+            .tags
+            .probe_mut(block)
+            .expect("caller checked residency");
         match msg {
             L1ToL2::Read(_) => {
                 let version = line.meta.version;
                 self.out_resp.push_back((
                     src,
-                    L2ToL1::Fill(FillResp { block, lease: LeaseInfo::None, version, epoch: 0 }),
+                    L2ToL1::Fill(FillResp {
+                        block,
+                        lease: LeaseInfo::None,
+                        version,
+                        epoch: 0,
+                    }),
                 ));
             }
             L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
@@ -126,7 +134,9 @@ impl PlainL2 {
         match self.pending.register(block, PendingReq { src, msg }) {
             MshrAlloc::AllocatedNew => self.dram_out.push_back((block, false)),
             MshrAlloc::Merged => self.stats.mshr_merges += 1,
-            MshrAlloc::Full => unreachable!("tick() admits requests only when the MSHR can take them"),
+            MshrAlloc::Full => {
+                unreachable!("tick() admits requests only when the MSHR can take them")
+            }
         }
         let _ = now;
     }
@@ -163,7 +173,13 @@ impl L2Controller for PlainL2 {
             return;
         }
         let version = self.backing.get(&block).copied().unwrap_or(Version::ZERO);
-        if let Some(ev) = self.tags.fill(block, PlainMeta { version, dirty: false }) {
+        if let Some(ev) = self.tags.fill(
+            block,
+            PlainMeta {
+                version,
+                dirty: false,
+            },
+        ) {
             self.stats.evictions += 1;
             if ev.meta.dirty {
                 self.backing.insert(ev.block, ev.meta.version);
@@ -259,7 +275,9 @@ mod tests {
         assert!(matches!(resps[0].1, L2ToL1::WriteAck(_)));
         l2.on_request(1, read(5), Cycle(100));
         let resps = settle(&mut l2, Cycle(100));
-        let (_, L2ToL1::Fill(f)) = &resps[0] else { panic!() };
+        let (_, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!()
+        };
         assert_eq!(f.version, Version(42));
         assert_eq!(f.lease, LeaseInfo::None);
     }
@@ -267,7 +285,10 @@ mod tests {
     #[test]
     fn eviction_and_refetch_preserves_data() {
         let geometry = CacheGeometry::new(256, 1, 128);
-        let mut l2 = PlainL2::new(PlainL2Params { geometry, ..PlainL2Params::default() });
+        let mut l2 = PlainL2::new(PlainL2Params {
+            geometry,
+            ..PlainL2Params::default()
+        });
         l2.on_request(0, write(0, 7), Cycle(0));
         settle(&mut l2, Cycle(0));
         l2.on_request(0, read(2), Cycle(100)); // evicts dirty block 0
@@ -287,7 +308,11 @@ mod tests {
 
     #[test]
     fn full_mshr_stalls_head_of_line_without_reordering() {
-        let mut l2 = PlainL2::new(PlainL2Params { mshr_entries: 1, latency: 0, ..PlainL2Params::default() });
+        let mut l2 = PlainL2::new(PlainL2Params {
+            mshr_entries: 1,
+            latency: 0,
+            ..PlainL2Params::default()
+        });
         // Two misses to different blocks: the second must wait for the
         // first's fetch, not overtake it.
         l2.on_request(0, read(1), Cycle(0));
@@ -295,7 +320,11 @@ mod tests {
         l2.tick(Cycle(0));
         l2.tick(Cycle(1));
         assert_eq!(l2.take_dram_request(), Some((BlockAddr(1), false)));
-        assert_eq!(l2.take_dram_request(), None, "second miss held at head of line");
+        assert_eq!(
+            l2.take_dram_request(),
+            None,
+            "second miss held at head of line"
+        );
         l2.on_dram_response(BlockAddr(1), false, Cycle(2));
         l2.tick(Cycle(2));
         assert_eq!(l2.take_dram_request(), Some((BlockAddr(3), false)));

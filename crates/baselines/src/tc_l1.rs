@@ -140,7 +140,10 @@ impl L1Controller for TcL1 {
                     if now < line.meta.expires {
                         self.stats.accesses += 1;
                         self.stats.hits += 1;
-                        let w = Waiter { id: acc.id, warp: acc.warp };
+                        let w = Waiter {
+                            id: acc.id,
+                            warp: acc.warp,
+                        };
                         let version = line.meta.version;
                         return L1Outcome::Hit(self.completion(w, acc.block, version));
                     }
@@ -148,7 +151,10 @@ impl L1Controller for TcL1 {
                     // (coherence miss).
                     expired = true;
                 }
-                let waiter = Waiter { id: acc.id, warp: acc.warp };
+                let waiter = Waiter {
+                    id: acc.id,
+                    warp: acc.warp,
+                };
                 let outcome = match self.mshr.register(acc.block, waiter) {
                     MshrAlloc::Full => return L1Outcome::Reject,
                     MshrAlloc::AllocatedNew => {
@@ -205,12 +211,15 @@ impl L1Controller for TcL1 {
                 } else {
                     L1ToL2::Write(req)
                 });
-                self.store_acks.entry(acc.block).or_default().push_back(StoreWaiter {
-                    id: acc.id,
-                    warp: acc.warp,
-                    kind: acc.kind,
-                    version,
-                });
+                self.store_acks
+                    .entry(acc.block)
+                    .or_default()
+                    .push_back(StoreWaiter {
+                        id: acc.id,
+                        warp: acc.warp,
+                        kind: acc.kind,
+                        version,
+                    });
                 L1Outcome::Queued
             }
         }
@@ -223,7 +232,10 @@ impl L1Controller for TcL1 {
                 let LeaseInfo::Physical { expires } = f.lease else {
                     unreachable!("TC fills carry physical leases");
                 };
-                let meta = TcMeta { expires, version: f.version };
+                let meta = TcMeta {
+                    expires,
+                    version: f.version,
+                };
                 if self.tags.fill(f.block, meta).is_some() {
                     self.stats.evictions += 1;
                 }
@@ -233,7 +245,11 @@ impl L1Controller for TcL1 {
             }
             L2ToL1::Renew { .. } => unreachable!("TC has no renewal responses"),
             L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
-                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg {
+                    Some(prev)
+                } else {
+                    None
+                };
                 if let Some(q) = self.store_acks.get_mut(&a.block) {
                     if let Some(pos) = q.iter().position(|s| s.version == a.version) {
                         let sw = q.remove(pos).expect("position valid");
@@ -304,17 +320,29 @@ mod tests {
     use gtsc_protocol::msg::{FillResp, WriteAckResp};
 
     fn load(id: u64, warp: u16, block: u64) -> MemAccess {
-        MemAccess { id: AccessId(id), warp: WarpId(warp), kind: AccessKind::Load, block: BlockAddr(block) }
+        MemAccess {
+            id: AccessId(id),
+            warp: WarpId(warp),
+            kind: AccessKind::Load,
+            block: BlockAddr(block),
+        }
     }
 
     fn store(id: u64, warp: u16, block: u64) -> MemAccess {
-        MemAccess { id: AccessId(id), warp: WarpId(warp), kind: AccessKind::Store, block: BlockAddr(block) }
+        MemAccess {
+            id: AccessId(id),
+            warp: WarpId(warp),
+            kind: AccessKind::Store,
+            block: BlockAddr(block),
+        }
     }
 
     fn fill(block: u64, expires: u64, version: Version) -> L2ToL1 {
         L2ToL1::Fill(FillResp {
             block: BlockAddr(block),
-            lease: LeaseInfo::Physical { expires: Cycle(expires) },
+            lease: LeaseInfo::Physical {
+                expires: Cycle(expires),
+            },
             version,
             epoch: 0,
         })
@@ -328,32 +356,49 @@ mod tests {
         let done = c.on_response(fill(5, 100, Version(9)), Cycle(30));
         assert_eq!(done.len(), 1);
         // Before expiry: hit.
-        assert!(matches!(c.access(load(2, 0, 5), Cycle(99)), L1Outcome::Hit(_)));
+        assert!(matches!(
+            c.access(load(2, 0, 5), Cycle(99)),
+            L1Outcome::Hit(_)
+        ));
         // At expiry: coherence miss.
-        assert!(matches!(c.access(load(3, 0, 5), Cycle(100)), L1Outcome::Queued));
+        assert!(matches!(
+            c.access(load(3, 0, 5), Cycle(100)),
+            L1Outcome::Queued
+        ));
         assert_eq!(c.stats().expired_misses, 1);
         assert_eq!(c.stats().hits, 1);
     }
 
     #[test]
     fn strong_store_invalidates_local_copy() {
-        let mut c = TcL1::new(TcL1Params { mode: TcMode::Strong, ..TcL1Params::default() });
+        let mut c = TcL1::new(TcL1Params {
+            mode: TcMode::Strong,
+            ..TcL1Params::default()
+        });
         c.access(load(1, 0, 5), Cycle(0));
         c.take_request();
         c.on_response(fill(5, 1000, Version(9)), Cycle(30));
         c.access(store(2, 0, 5), Cycle(40));
         // Local copy gone: a read now misses even though the lease was live.
-        assert!(matches!(c.access(load(3, 1, 5), Cycle(41)), L1Outcome::Queued));
+        assert!(matches!(
+            c.access(load(3, 1, 5), Cycle(41)),
+            L1Outcome::Queued
+        ));
     }
 
     #[test]
     fn weak_store_updates_in_place_and_tracks_gwct() {
-        let mut c = TcL1::new(TcL1Params { mode: TcMode::Weak, ..TcL1Params::default() });
+        let mut c = TcL1::new(TcL1Params {
+            mode: TcMode::Weak,
+            ..TcL1Params::default()
+        });
         c.access(load(1, 0, 5), Cycle(0));
         c.take_request();
         c.on_response(fill(5, 1000, Version(9)), Cycle(30));
         c.access(store(2, 0, 5), Cycle(40));
-        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        let L1ToL2::Write(w) = c.take_request().unwrap() else {
+            panic!()
+        };
         // Local read sees the new value immediately (no write atomicity).
         match c.access(load(3, 1, 5), Cycle(41)) {
             L1Outcome::Hit(comp) => assert_eq!(comp.version, w.version),
@@ -363,7 +408,9 @@ mod tests {
         c.on_response(
             L2ToL1::WriteAck(WriteAckResp {
                 block: BlockAddr(5),
-                lease: LeaseInfo::Physical { expires: Cycle(500) },
+                lease: LeaseInfo::Physical {
+                    expires: Cycle(500),
+                },
                 version: w.version,
                 epoch: 0,
             }),
@@ -378,7 +425,10 @@ mod tests {
 
     #[test]
     fn strong_fence_is_always_ready() {
-        let c = TcL1::new(TcL1Params { mode: TcMode::Strong, ..TcL1Params::default() });
+        let c = TcL1::new(TcL1Params {
+            mode: TcMode::Strong,
+            ..TcL1Params::default()
+        });
         assert!(c.fence_ready(WarpId(0), Cycle(0)));
     }
 
@@ -396,13 +446,20 @@ mod tests {
 
     #[test]
     fn flush_resets_gwct() {
-        let mut c = TcL1::new(TcL1Params { mode: TcMode::Weak, ..TcL1Params::default() });
+        let mut c = TcL1::new(TcL1Params {
+            mode: TcMode::Weak,
+            ..TcL1Params::default()
+        });
         c.access(store(1, 0, 5), Cycle(0));
-        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        let L1ToL2::Write(w) = c.take_request().unwrap() else {
+            panic!()
+        };
         c.on_response(
             L2ToL1::WriteAck(WriteAckResp {
                 block: BlockAddr(5),
-                lease: LeaseInfo::Physical { expires: Cycle(900) },
+                lease: LeaseInfo::Physical {
+                    expires: Cycle(900),
+                },
                 version: w.version,
                 epoch: 0,
             }),

@@ -107,7 +107,10 @@ impl TcL2 {
 
     fn perform_read(&mut self, src: usize, block: BlockAddr, now: Cycle) {
         let lease = self.p.lease_cycles;
-        let line = self.tags.probe_mut(block).expect("caller checked residency");
+        let line = self
+            .tags
+            .probe_mut(block)
+            .expect("caller checked residency");
         line.meta.expires = line.meta.expires.max(now + lease);
         let (expires, version) = (line.meta.expires, line.meta.version);
         self.out_resp.push_back((
@@ -129,7 +132,10 @@ impl TcL2 {
         now: Cycle,
         is_atomic: bool,
     ) {
-        let line = self.tags.probe_mut(block).expect("caller checked residency");
+        let line = self
+            .tags
+            .probe_mut(block)
+            .expect("caller checked residency");
         let prev = line.meta.version;
         let gwct = line.meta.expires.max(now);
         line.meta.version = version;
@@ -141,8 +147,17 @@ impl TcL2 {
             // Weak: the ack carries the GWCT.
             TcMode::Weak => LeaseInfo::Physical { expires: gwct },
         };
-        let ack = WriteAckResp { block, lease, version, epoch: 0 };
-        let resp = if is_atomic { L2ToL1::AtomicAck { ack, prev } } else { L2ToL1::WriteAck(ack) };
+        let ack = WriteAckResp {
+            block,
+            lease,
+            version,
+            epoch: 0,
+        };
+        let resp = if is_atomic {
+            L2ToL1::AtomicAck { ack, prev }
+        } else {
+            L2ToL1::WriteAck(ack)
+        };
         self.out_resp.push_back((src, resp));
     }
 
@@ -182,7 +197,13 @@ impl TcL2 {
             L1ToL2::Read(_) => self.perform_read(src, block, now),
             L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
                 if self.write_may_proceed(block, now) {
-                    self.perform_write(src, block, w.version, now, matches!(msg, L1ToL2::Atomic(_)));
+                    self.perform_write(
+                        src,
+                        block,
+                        w.version,
+                        now,
+                        matches!(msg, L1ToL2::Atomic(_)),
+                    );
                 } else {
                     // Lease-induced write stall: park, blocking the block.
                     // Atomics stall too — the RMW cannot be performed
@@ -197,7 +218,11 @@ impl TcL2 {
     /// may be evicted.
     fn try_install(&mut self, block: BlockAddr, now: Cycle) -> bool {
         let version = self.backing.get(&block).copied().unwrap_or(Version::ZERO);
-        let meta = TcL2Meta { expires: Cycle(0), version, dirty: false };
+        let meta = TcL2Meta {
+            expires: Cycle(0),
+            version,
+            dirty: false,
+        };
         match self.tags.fill_if(block, meta, |l| now >= l.meta.expires) {
             Ok(evicted) => {
                 if let Some(ev) = evicted {
@@ -231,9 +256,18 @@ impl TcL2 {
             L1ToL2::Read(_) => self.perform_read(src, msg.block(), now),
             L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
                 if self.write_may_proceed(msg.block(), now) {
-                    self.perform_write(src, msg.block(), w.version, now, matches!(msg, L1ToL2::Atomic(_)));
+                    self.perform_write(
+                        src,
+                        msg.block(),
+                        w.version,
+                        now,
+                        matches!(msg, L1ToL2::Atomic(_)),
+                    );
                 } else {
-                    self.blocked.entry(msg.block()).or_default().push_back((src, msg));
+                    self.blocked
+                        .entry(msg.block())
+                        .or_default()
+                        .push_back((src, msg));
                 }
             }
         }
@@ -272,7 +306,9 @@ impl TcL2 {
             }
             #[allow(clippy::while_let_loop)] // two let-else exits; a while-let cannot express both
             loop {
-                let Some(q) = self.blocked.get_mut(&block) else { break };
+                let Some(q) = self.blocked.get_mut(&block) else {
+                    break;
+                };
                 let Some((src, msg)) = q.front().copied() else {
                     self.blocked.remove(&block);
                     break;
@@ -293,7 +329,13 @@ impl TcL2 {
                 match msg {
                     L1ToL2::Read(_) => self.perform_read(src, block, now),
                     L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
-                        self.perform_write(src, block, w.version, now, matches!(msg, L1ToL2::Atomic(_)));
+                        self.perform_write(
+                            src,
+                            block,
+                            w.version,
+                            now,
+                            matches!(msg, L1ToL2::Atomic(_)),
+                        );
                     }
                 }
             }
@@ -420,13 +462,23 @@ mod tests {
         let mut l2 = TcL2::new(TcL2Params::default());
         l2.on_request(0, read(5), Cycle(0));
         let resps = settle(&mut l2, Cycle(0), 100);
-        let (c, _, L2ToL1::Fill(f)) = &resps[0] else { panic!("expected fill") };
-        assert_eq!(f.lease, LeaseInfo::Physical { expires: Cycle(c + 100) });
+        let (c, _, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("expected fill")
+        };
+        assert_eq!(
+            f.lease,
+            LeaseInfo::Physical {
+                expires: Cycle(c + 100)
+            }
+        );
     }
 
     #[test]
     fn strong_write_stalls_until_lease_expiry() {
-        let mut l2 = TcL2::new(TcL2Params { latency: 0, ..TcL2Params::default() });
+        let mut l2 = TcL2::new(TcL2Params {
+            latency: 0,
+            ..TcL2Params::default()
+        });
         l2.on_request(0, read(5), Cycle(0));
         let resps = settle(&mut l2, Cycle(0), 10);
         let (granted_at, _, _) = resps[0];
@@ -439,13 +491,20 @@ mod tests {
             .filter(|(_, _, m)| matches!(m, L2ToL1::WriteAck(_)))
             .collect();
         assert_eq!(acks.len(), 1);
-        assert!(acks[0].0 >= expiry, "ack at {} before lease expiry {expiry}", acks[0].0);
+        assert!(
+            acks[0].0 >= expiry,
+            "ack at {} before lease expiry {expiry}",
+            acks[0].0
+        );
         assert!(l2.stats().write_stall_cycles > 0);
     }
 
     #[test]
     fn reads_behind_stalled_write_wait_and_see_new_data() {
-        let mut l2 = TcL2::new(TcL2Params { latency: 0, ..TcL2Params::default() });
+        let mut l2 = TcL2::new(TcL2Params {
+            latency: 0,
+            ..TcL2Params::default()
+        });
         l2.on_request(0, read(5), Cycle(0));
         settle(&mut l2, Cycle(0), 5);
         l2.on_request(1, write(5, 77), Cycle(10));
@@ -464,21 +523,35 @@ mod tests {
             .iter()
             .find_map(|(c, _, m)| matches!(m, L2ToL1::WriteAck(_)).then_some(*c))
             .expect("write acked");
-        assert!(fill_after.0 >= ack_at, "read served only after the write performs");
+        assert!(
+            fill_after.0 >= ack_at,
+            "read served only after the write performs"
+        );
         assert_eq!(fill_after.1, Version(77), "read observes the new value");
     }
 
     #[test]
     fn weak_write_completes_immediately_with_gwct() {
-        let mut l2 = TcL2::new(TcL2Params { mode: TcMode::Weak, latency: 0, ..TcL2Params::default() });
+        let mut l2 = TcL2::new(TcL2Params {
+            mode: TcMode::Weak,
+            latency: 0,
+            ..TcL2Params::default()
+        });
         l2.on_request(0, read(5), Cycle(0));
         let resps = settle(&mut l2, Cycle(0), 10);
         let (granted_at, _, _) = resps[0];
         l2.on_request(1, write(5, 77), Cycle(10));
         let resps = settle(&mut l2, Cycle(10), 50);
-        let (c, _, L2ToL1::WriteAck(a)) = &resps[0] else { panic!("expected ack") };
+        let (c, _, L2ToL1::WriteAck(a)) = &resps[0] else {
+            panic!("expected ack")
+        };
         assert!(*c < granted_at + 100, "no stall in weak mode");
-        assert_eq!(a.lease, LeaseInfo::Physical { expires: Cycle(granted_at + 100) });
+        assert_eq!(
+            a.lease,
+            LeaseInfo::Physical {
+                expires: Cycle(granted_at + 100)
+            }
+        );
         assert_eq!(l2.stats().write_stall_cycles, 0);
     }
 
@@ -486,7 +559,11 @@ mod tests {
     fn inclusive_replacement_stalls_on_live_victims() {
         // Direct-mapped, 2 sets: blocks 0 and 2 conflict.
         let geometry = CacheGeometry::new(256, 1, 128);
-        let mut l2 = TcL2::new(TcL2Params { geometry, latency: 0, ..TcL2Params::default() });
+        let mut l2 = TcL2::new(TcL2Params {
+            geometry,
+            latency: 0,
+            ..TcL2Params::default()
+        });
         l2.on_request(0, read(0), Cycle(0));
         let resps = settle(&mut l2, Cycle(0), 5);
         let lease_until = resps[0].0 + 100;
@@ -500,13 +577,19 @@ mod tests {
                 _ => None,
             })
             .expect("block 2 eventually fills");
-        assert!(fill2 >= lease_until, "fill at {fill2} before victim lease expiry {lease_until}");
+        assert!(
+            fill2 >= lease_until,
+            "fill at {fill2} before victim lease expiry {lease_until}"
+        );
         assert!(l2.stats().eviction_stall_cycles > 0);
     }
 
     #[test]
     fn strong_atomic_stalls_until_lease_expiry() {
-        let mut l2 = TcL2::new(TcL2Params { latency: 0, ..TcL2Params::default() });
+        let mut l2 = TcL2::new(TcL2Params {
+            latency: 0,
+            ..TcL2Params::default()
+        });
         l2.on_request(0, read(5), Cycle(0));
         let resps = settle(&mut l2, Cycle(0), 10);
         let expiry = resps[0].0 + 100;
@@ -527,12 +610,19 @@ mod tests {
             .iter()
             .find_map(|(c, _, m)| matches!(m, L2ToL1::AtomicAck { .. }).then_some(*c))
             .expect("atomic acked");
-        assert!(ack_at >= expiry, "atomic acked at {ack_at} before lease expiry {expiry}");
+        assert!(
+            ack_at >= expiry,
+            "atomic acked at {ack_at} before lease expiry {expiry}"
+        );
     }
 
     #[test]
     fn weak_atomic_returns_prev_immediately() {
-        let mut l2 = TcL2::new(TcL2Params { latency: 0, mode: TcMode::Weak, ..TcL2Params::default() });
+        let mut l2 = TcL2::new(TcL2Params {
+            latency: 0,
+            mode: TcMode::Weak,
+            ..TcL2Params::default()
+        });
         l2.on_request(0, write(5, 42), Cycle(0));
         settle(&mut l2, Cycle(0), 50);
         l2.on_request(
@@ -546,14 +636,21 @@ mod tests {
             Cycle(60),
         );
         let resps = settle(&mut l2, Cycle(60), 50);
-        let (_, _, L2ToL1::AtomicAck { prev, .. }) = &resps[0] else { panic!("expected atomic ack") };
+        let (_, _, L2ToL1::AtomicAck { prev, .. }) = &resps[0] else {
+            panic!("expected atomic ack")
+        };
         assert_eq!(*prev, Version(42));
     }
 
     #[test]
     fn dirty_eviction_survives_via_backing_store() {
         let geometry = CacheGeometry::new(256, 1, 128);
-        let mut l2 = TcL2::new(TcL2Params { geometry, latency: 0, mode: TcMode::Weak, ..TcL2Params::default() });
+        let mut l2 = TcL2::new(TcL2Params {
+            geometry,
+            latency: 0,
+            mode: TcMode::Weak,
+            ..TcL2Params::default()
+        });
         l2.on_request(0, write(0, 42), Cycle(0));
         settle(&mut l2, Cycle(0), 200);
         l2.on_request(0, read(2), Cycle(300)); // evicts block 0 (expired by then)

@@ -36,7 +36,10 @@ fn bench_l1_hit(c: &mut Criterion) {
     l1.on_response(
         gtsc_protocol::msg::L2ToL1::Fill(FillResp {
             block: BlockAddr(5),
-            lease: LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(u64::from(u32::MAX)) },
+            lease: LeaseInfo::Logical {
+                wts: Timestamp(1),
+                rts: Timestamp(u64::from(u32::MAX)),
+            },
             version: Version(9),
             epoch: 0,
         }),
@@ -90,7 +93,10 @@ fn bench_l1_miss_roundtrip(c: &mut Criterion) {
 }
 
 fn bench_l2_serve(c: &mut Criterion) {
-    let mut l2 = GtscL2::new(L2Params { ts_bits: 48, ..L2Params::default() });
+    let mut l2 = GtscL2::new(L2Params {
+        ts_bits: 48,
+        ..L2Params::default()
+    });
     // Warm a block.
     l2.on_request(
         0,
@@ -142,7 +148,9 @@ fn bench_tc_l1_hit(c: &mut Criterion) {
     l1.on_response(
         gtsc_protocol::msg::L2ToL1::Fill(FillResp {
             block: BlockAddr(5),
-            lease: LeaseInfo::Physical { expires: Cycle(u64::MAX) },
+            lease: LeaseInfo::Physical {
+                expires: Cycle(u64::MAX),
+            },
             version: Version(9),
             epoch: 0,
         }),

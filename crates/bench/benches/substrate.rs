@@ -49,7 +49,11 @@ fn bench_dram(c: &mut Criterion) {
         let mut cyc = 0u64;
         b.iter(|| {
             cyc += 1;
-            d.enqueue(DramRequest { block: BlockAddr(cyc % 512), is_write: cyc.is_multiple_of(5), payload: cyc });
+            d.enqueue(DramRequest {
+                block: BlockAddr(cyc % 512),
+                is_write: cyc.is_multiple_of(5),
+                payload: cyc,
+            });
             black_box(d.tick(Cycle(cyc)).len())
         })
     });
@@ -61,7 +65,13 @@ fn bench_noc(c: &mut Criterion) {
         let mut cyc = 0u64;
         b.iter(|| {
             cyc += 1;
-            n.send((cyc % 16) as usize, (cyc % 8) as usize, 136, cyc, Cycle(cyc));
+            n.send(
+                (cyc % 16) as usize,
+                (cyc % 8) as usize,
+                136,
+                cyc,
+                Cycle(cyc),
+            );
             black_box(n.tick(Cycle(cyc)).len())
         })
     });

@@ -19,7 +19,13 @@ fn main() {
             "adaptive-lease ablation: G-TSC-RC fixed vs predicted leases [{scale:?}] \
              (cycles millions; renewals thousands)"
         ),
-        &["cyc fixed", "cyc adaptive", "rnw fixed", "rnw adaptive", "rnw ratio"],
+        &[
+            "cyc fixed",
+            "cyc adaptive",
+            "rnw fixed",
+            "rnw adaptive",
+            "rnw ratio",
+        ],
     )
     .precision(3);
     for b in Benchmark::all() {

@@ -21,7 +21,13 @@ fn main() {
             "§V-C ablation: G-TSC-RC non-inclusive vs inclusive (recalls) [{scale:?}] \
              (cycles millions; flits thousands; TC eviction-stall cycles)"
         ),
-        &["cyc non-inc", "cyc inc", "flits non-inc", "flits inc", "TC evict-stall"],
+        &[
+            "cyc non-inc",
+            "cyc inc",
+            "flits non-inc",
+            "flits inc",
+            "TC evict-stall",
+        ],
     )
     .precision(3);
     for b in Benchmark::all() {
@@ -35,14 +41,16 @@ fn main() {
             cyc.push(out.stats.cycles.0 as f64 / 1e6);
             flits.push(out.stats.noc.flits as f64 / 1e3);
         }
-        let tc = run_with_config(
-            b,
-            config_for(ProtocolKind::Tc, ConsistencyModel::Sc),
-            scale,
-        );
+        let tc = run_with_config(b, config_for(ProtocolKind::Tc, ConsistencyModel::Sc), scale);
         table.row(
             b.name(),
-            vec![cyc[0], cyc[1], flits[0], flits[1], tc.stats.l2.eviction_stall_cycles as f64],
+            vec![
+                cyc[0],
+                cyc[1],
+                flits[0],
+                flits[1],
+                tc.stats.l2.eviction_stall_cycles as f64,
+            ],
         );
     }
     println!("{table}");

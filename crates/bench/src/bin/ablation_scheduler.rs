@@ -29,7 +29,10 @@ fn main() {
             cyc.push(out.stats.cycles.0 as f64 / 1e6);
             hit.push(100.0 * out.stats.l1.hit_rate());
         }
-        table.row(b.name(), vec![cyc[0], cyc[1], cyc[1] / cyc[0], hit[0], hit[1]]);
+        table.row(
+            b.name(),
+            vec![cyc[0], cyc[1], cyc[1] / cyc[0], hit[0], hit[1]],
+        );
     }
     println!("{table}");
 }

@@ -32,7 +32,8 @@ fn main() {
             cfg.ts_bits = w;
             let out = run_with_config(b, cfg, scale);
             assert_eq!(
-                out.violations, 0,
+                out.violations,
+                0,
                 "{} must stay coherent across rollovers at {w} bits",
                 b.name()
             );

@@ -27,7 +27,12 @@ fn main() {
             let mut cfg = config_for(ProtocolKind::Gtsc, ConsistencyModel::Rc);
             cfg.visibility = policy;
             let out = run_with_config(b, cfg, scale);
-            assert_eq!(out.violations, 0, "{} must stay coherent under {policy:?}", b.name());
+            assert_eq!(
+                out.violations,
+                0,
+                "{} must stay coherent under {policy:?}",
+                b.name()
+            );
             cycles.push(out.stats.cycles.0 as f64);
             row.push(out.stats.cycles.0 as f64 / 1e6);
         }

@@ -49,8 +49,12 @@ fn main() {
     println!("{table}");
     if !group_a_speedup_gtsc_over_tc.is_empty() {
         let n = group_a_speedup_gtsc_over_tc.len() as f64;
-        let geo: f64 =
-            (group_a_speedup_gtsc_over_tc.iter().map(|x| x.ln()).sum::<f64>() / n).exp();
+        let geo: f64 = (group_a_speedup_gtsc_over_tc
+            .iter()
+            .map(|x| x.ln())
+            .sum::<f64>()
+            / n)
+            .exp();
         println!(
             "G-TSC-RC speedup over TC-RC on coherence benchmarks (geomean): {:.2}x \
              (paper reports ~1.38x)",

@@ -22,7 +22,9 @@ fn main() {
         .collect();
     let labels: Vec<&str> = configs.iter().map(|c| c.label).collect();
     let mut table = Table::new(
-        &format!("Figure 13: memory-delay pipeline stalls normalized to BL, lower is better [{scale:?}]"),
+        &format!(
+            "Figure 13: memory-delay pipeline stalls normalized to BL, lower is better [{scale:?}]"
+        ),
         &labels,
     );
     let mut ratio_tc_over_gtsc = Vec::new();
@@ -40,7 +42,11 @@ fn main() {
             let out = run_benchmark(b, pc.protocol, pc.consistency, scale);
             let s = stalls(&out);
             by_label.insert(pc.label, s);
-            row.push(if base >= 1000.0 { s as f64 / base } else { f64::NAN });
+            row.push(if base >= 1000.0 {
+                s as f64 / base
+            } else {
+                f64::NAN
+            });
         }
         if let (Some(&g), Some(&t)) = (by_label.get("G-TSC-RC"), by_label.get("TC-RC")) {
             ratio_tc_over_gtsc.push(t.max(1) as f64 / g.max(1) as f64);

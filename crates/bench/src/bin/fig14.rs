@@ -35,7 +35,11 @@ fn main() {
             / row.iter().cloned().fold(f64::MAX, f64::min);
         table.row(b.name(), row);
         if spread > 1.02 {
-            println!("note: {} varies {:.1}% across leases", b.name(), (spread - 1.0) * 100.0);
+            println!(
+                "note: {} varies {:.1}% across leases",
+                b.name(),
+                (spread - 1.0) * 100.0
+            );
         }
     }
     println!("{table}");

@@ -30,8 +30,9 @@ fn load_dominated() -> VecKernel {
         WarpProgram(
             (0..8u64)
                 .flat_map(|round| {
-                    let mut ops: Vec<WarpOp> =
-                        (0..24).map(|i| WarpOp::load_coalesced(table(i + seed), 32)).collect();
+                    let mut ops: Vec<WarpOp> = (0..24)
+                        .map(|i| WarpOp::load_coalesced(table(i + seed), 32))
+                        .collect();
                     ops.push(WarpOp::Compute(1500 + (round as u32) * 7));
                     ops
                 })
@@ -49,7 +50,8 @@ fn load_dominated() -> VecKernel {
             })
             .collect(),
     );
-    let mut ctas: Vec<Vec<WarpProgram>> = (0..32u64).map(|c| vec![reader(c), reader(c + 7)]).collect();
+    let mut ctas: Vec<Vec<WarpProgram>> =
+        (0..32u64).map(|c| vec![reader(c), reader(c + 7)]).collect();
     ctas.push(vec![writer.clone(), writer]);
     VecKernel::new("load-dom", 2, ctas)
 }

@@ -1,0 +1,177 @@
+//! Fault-injection soak: hammers G-TSC with seeded chaos storms far past
+//! the checked-in test sweep (`tests/faults.rs` covers ~100 seeds; this
+//! binary defaults to 256 and CI's nightly job widens it further).
+//!
+//! Every storm is a pure function of its `u64` seed, so any failure this
+//! soak finds is a one-command repro:
+//!
+//! ```text
+//! FAULT_SEED=<seed> cargo run --release -p gtsc-bench --bin stress_faults
+//! ```
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin stress_faults
+//!       [-- --seeds N] [-- --start S]`
+//!
+//! Exits nonzero if any run produced a checker violation, stalled, or hit
+//! the cycle limit.
+
+use gtsc_faults::FaultStats;
+use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
+use gtsc_sim::GpuSim;
+use gtsc_types::{Addr, ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind};
+use gtsc_workloads::micro;
+
+/// Two CTAs of two warps hammering one block with atomics, stores, and
+/// loads — the maximal-sharing workload from the fault test sweep.
+fn contended_atomics() -> VecKernel {
+    let prog = |s: u64| {
+        WarpProgram(
+            (0..12)
+                .map(|i| match (i + s) % 3 {
+                    0 => WarpOp::atomic_coalesced(Addr(0), 32),
+                    1 => WarpOp::store_coalesced(Addr(0), 32),
+                    _ => WarpOp::load_coalesced(Addr(0), 32),
+                })
+                .collect(),
+        )
+    };
+    VecKernel::new(
+        "contend-atomic",
+        2,
+        vec![vec![prog(0), prog(1)], vec![prog(2), prog(3)]],
+    )
+}
+
+struct Scenario {
+    name: &'static str,
+    model: ConsistencyModel,
+    kernel: VecKernel,
+    /// Some(bits) shrinks the epoch budget to force rollover storms.
+    ts_bits_cap: Option<u32>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "mp-sc",
+            model: ConsistencyModel::Sc,
+            kernel: micro::message_passing(3),
+            ts_bits_cap: None,
+        },
+        Scenario {
+            name: "mp-rc",
+            model: ConsistencyModel::Rc,
+            kernel: micro::message_passing(3),
+            ts_bits_cap: None,
+        },
+        Scenario {
+            name: "contend-sc",
+            model: ConsistencyModel::Sc,
+            kernel: contended_atomics(),
+            ts_bits_cap: None,
+        },
+        Scenario {
+            name: "contend-rc",
+            model: ConsistencyModel::Rc,
+            kernel: contended_atomics(),
+            ts_bits_cap: None,
+        },
+        Scenario {
+            name: "rollover-storm",
+            model: ConsistencyModel::Sc,
+            kernel: contended_atomics(),
+            ts_bits_cap: Some(6),
+        },
+    ]
+}
+
+/// Runs one (seed, scenario) storm; returns an error description if the
+/// run violated coherence or failed to complete.
+fn run_one(seed: u64, sc: &Scenario) -> (Option<String>, Option<FaultStats>) {
+    let mut faults = FaultConfig::chaos(seed);
+    if let Some(bits) = sc.ts_bits_cap {
+        faults.ts_bits_cap = bits;
+    }
+    let cfg = GpuConfig::test_small()
+        .with_protocol(ProtocolKind::Gtsc)
+        .with_consistency(sc.model)
+        .with_faults(faults);
+    let mut sim = GpuSim::new(cfg);
+    let failure = match sim.run_kernel(&sc.kernel) {
+        Ok(report) if report.violations.is_empty() => None,
+        Ok(report) => Some(format!(
+            "{} violation(s): {:?}",
+            report.violations.len(),
+            report.violations
+        )),
+        Err(e) => Some(format!("did not complete: {e}")),
+    };
+    (failure, sim.fault_stats())
+}
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    // FAULT_SEED pins a single seed (the repro path printed on failure);
+    // otherwise sweep [start, start + seeds).
+    let seeds: Vec<u64> = match std::env::var("FAULT_SEED").ok() {
+        Some(raw) => match raw.parse() {
+            Ok(seed) => vec![seed],
+            Err(_) => {
+                eprintln!("error: FAULT_SEED={raw:?} is not a u64");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let start = arg_value("--start").unwrap_or(0);
+            let n = arg_value("--seeds").unwrap_or(256);
+            (start..start + n).collect()
+        }
+    };
+    if seeds.is_empty() {
+        eprintln!("error: empty seed sweep (--seeds 0) would vacuously pass");
+        std::process::exit(2);
+    }
+    let scenarios = scenarios();
+    println!(
+        "== fault soak: {} seeds x {} scenarios = {} storms ==",
+        seeds.len(),
+        scenarios.len(),
+        seeds.len() * scenarios.len()
+    );
+
+    let mut total = FaultStats::default();
+    let mut runs = 0u64;
+    let mut failures = Vec::new();
+    for &seed in &seeds {
+        for sc in &scenarios {
+            let (failure, stats) = run_one(seed, sc);
+            runs += 1;
+            if let Some(s) = stats {
+                total.merge(&s);
+            }
+            if let Some(why) = failure {
+                println!("FAIL seed {seed} [{}]: {why}", sc.name);
+                println!("  repro: FAULT_SEED={seed} cargo run --release -p gtsc-bench --bin stress_faults");
+                failures.push((seed, sc.name));
+            }
+        }
+    }
+
+    println!(
+        "{runs} storms: {} packets jittered (+{} cycles), {} reordered, {} duplicated",
+        total.jittered, total.extra_cycles, total.reordered, total.duplicated
+    );
+    if failures.is_empty() {
+        println!("OK: zero coherence violations, zero stalls");
+    } else {
+        println!("{} FAILING storm(s): {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

@@ -37,7 +37,10 @@ const PAPER: [(&str, f64, f64, f64, f64); 12] = [
 
 fn print_table1() {
     println!("\n== Table I: contents of requests and responses ==");
-    println!("{:<34}{:>5}{:>5}{:>9}{:>6}", "Message", "rts", "wts", "warp_ts", "data");
+    println!(
+        "{:<34}{:>5}{:>5}{:>9}{:>6}",
+        "Message", "rts", "wts", "warp_ts", "data"
+    );
     let rows = [
         ("Read/Renewal Requests (BusRd)", "", "x", "x", ""),
         ("Write Request (BusWr)", "", "", "x", "x"),
@@ -59,7 +62,13 @@ fn main() {
     println!("\n== Table II: absolute execution cycles, millions [{scale:?}] ==");
     println!(
         "{:<8}{:>12}{:>12}{:>14}{:>14}{:>14}{:>14}",
-        "bench", "BL (ours)", "TC (ours)", "BL (paper-G)", "BL (paper-T)", "TC (paper-G)", "TC (paper-T)"
+        "bench",
+        "BL (ours)",
+        "TC (ours)",
+        "BL (paper-G)",
+        "BL (paper-T)",
+        "TC (paper-G)",
+        "TC (paper-T)"
     );
     for (b, paper) in Benchmark::all().iter().zip(PAPER) {
         assert_eq!(b.name(), paper.0, "benchmark order matches the paper");

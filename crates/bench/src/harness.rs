@@ -87,7 +87,11 @@ pub fn run_with_config(benchmark: Benchmark, cfg: GpuConfig, scale: Scale) -> Ru
         .run_kernel(kernel.as_ref())
         .unwrap_or_else(|e| panic!("{} deadlocked: {e}", benchmark.name()));
     let energy = EnergyModel::new(EnergyParams::default()).estimate(&report.stats);
-    RunOutcome { stats: report.stats, energy, violations: report.violations.len() }
+    RunOutcome {
+        stats: report.stats,
+        energy,
+        violations: report.violations.len(),
+    }
 }
 
 /// Runs `benchmark` under a protocol/consistency pair on the paper
@@ -201,7 +205,11 @@ impl Table {
     /// invoked with `--csv <path>`; quietly does nothing otherwise.
     pub fn save_csv_if_requested(&self) {
         let args: Vec<String> = std::env::args().collect();
-        if let Some(path) = args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)) {
+        if let Some(path) = args
+            .iter()
+            .position(|a| a == "--csv")
+            .and_then(|i| args.get(i + 1))
+        {
             if let Err(e) = std::fs::write(path, self.to_csv()) {
                 eprintln!("could not write {path}: {e}");
             } else {
@@ -244,7 +252,10 @@ mod tests {
     #[test]
     fn paper_configs_are_the_figure_bars() {
         let labels: Vec<&str> = paper_configs().iter().map(|c| c.label).collect();
-        assert_eq!(labels, vec!["BL-W/L1", "G-TSC-RC", "G-TSC-SC", "TC-RC", "TC-SC"]);
+        assert_eq!(
+            labels,
+            vec!["BL-W/L1", "G-TSC-RC", "G-TSC-SC", "TC-RC", "TC-SC"]
+        );
     }
 
     #[test]

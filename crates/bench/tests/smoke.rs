@@ -14,7 +14,13 @@ fn all_benchmarks_all_systems_small() {
             }
             let out = run_benchmark(b, pc.protocol, pc.consistency, Scale::Small);
             assert!(out.stats.cycles.0 > 0, "{} {}", b.name(), pc.label);
-            assert_eq!(out.violations, 0, "{} under {} violated coherence", b.name(), pc.label);
+            assert_eq!(
+                out.violations,
+                0,
+                "{} under {} violated coherence",
+                b.name(),
+                pc.label
+            );
         }
         // And the BL divisor.
         let out = run_benchmark(b, ProtocolKind::NoL1, ConsistencyModel::Rc, Scale::Small);

@@ -19,7 +19,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use gtsc_mem::{Mshr, MshrAlloc, TagArray};
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
-use gtsc_protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
+use gtsc_protocol::{
+    AccessId, AccessKind, Completion, ControllerPressure, L1Controller, L1Outcome, MemAccess,
+};
 use gtsc_types::{
     BlockAddr, CacheGeometry, CacheStats, CombinePolicy, Cycle, Timestamp, Version,
     VisibilityPolicy, WarpId,
@@ -177,7 +179,13 @@ impl GtscL1 {
         Version(((self.p.sm_index as u64 + 1) << 40) | ((w as u64) << 28) | self.version_ctr[w])
     }
 
-    fn complete_load(&mut self, w: Waiter, block: BlockAddr, wts: Timestamp, version: Version) -> Completion {
+    fn complete_load(
+        &mut self,
+        w: Waiter,
+        block: BlockAddr,
+        wts: Timestamp,
+        version: Version,
+    ) -> Completion {
         let slot = &mut self.warp_ts[w.warp.0 as usize];
         *slot = load_ts(*slot, wts);
         Completion {
@@ -210,7 +218,10 @@ impl GtscL1 {
     /// (`None` for loads parked on a locked line, which the store ack will
     /// serve).
     fn queue_load(&mut self, acc: MemAccess, request_wts: Option<Timestamp>) -> L1Outcome {
-        let waiter = Waiter { id: acc.id, warp: acc.warp };
+        let waiter = Waiter {
+            id: acc.id,
+            warp: acc.warp,
+        };
         match self.mshr.register(acc.block, waiter) {
             MshrAlloc::Full => L1Outcome::Reject,
             MshrAlloc::AllocatedNew => {
@@ -294,7 +305,11 @@ impl GtscL1 {
             L2ToL1::Fill(f) => self.retry_reads_fresh(f.block),
             L2ToL1::Renew { block, .. } => self.retry_reads_fresh(block),
             L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
-                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg {
+                    Some(prev)
+                } else {
+                    None
+                };
                 let stale_lease = match a.lease {
                     LeaseInfo::Logical { wts, rts } => Some((wts, rts)),
                     _ => None,
@@ -419,7 +434,10 @@ impl L1Controller for GtscL1 {
                             if !is_writer && lease_covers(old.rts, warp_now) {
                                 self.stats.accesses += 1;
                                 self.stats.hits += 1;
-                                let w = Waiter { id: acc.id, warp: acc.warp };
+                                let w = Waiter {
+                                    id: acc.id,
+                                    warp: acc.warp,
+                                };
                                 let c = self.complete_load(w, acc.block, old.wts, old.version);
                                 return L1Outcome::Hit(c);
                             }
@@ -437,7 +455,10 @@ impl L1Controller for GtscL1 {
                     self.stats.accesses += 1;
                     self.stats.hits += 1;
                     let (wts, version) = (line.meta.wts, line.meta.version);
-                    let w = Waiter { id: acc.id, warp: acc.warp };
+                    let w = Waiter {
+                        id: acc.id,
+                        warp: acc.warp,
+                    };
                     return L1Outcome::Hit(self.complete_load(w, acc.block, wts, version));
                 }
                 // Expired relative to this warp: coherence miss → renewal.
@@ -479,13 +500,16 @@ impl L1Controller for GtscL1 {
                 } else {
                     L1ToL2::Write(req)
                 });
-                self.store_acks.entry(acc.block).or_default().push_back(StoreWaiter {
-                    id: acc.id,
-                    warp: acc.warp,
-                    kind: acc.kind,
-                    version,
-                    locked_line,
-                });
+                self.store_acks
+                    .entry(acc.block)
+                    .or_default()
+                    .push_back(StoreWaiter {
+                        id: acc.id,
+                        warp: acc.warp,
+                        kind: acc.kind,
+                        version,
+                        locked_line,
+                    });
                 L1Outcome::Queued
             }
         }
@@ -540,7 +564,12 @@ impl L1Controller for GtscL1 {
                     if !line.meta.locked() {
                         line.meta.rts = line.meta.rts.max(rts);
                     }
-                    (line.meta.locked(), line.meta.wts, line.meta.rts, line.meta.version)
+                    (
+                        line.meta.locked(),
+                        line.meta.wts,
+                        line.meta.rts,
+                        line.meta.version,
+                    )
                 });
                 match state {
                     Some((false, wts, new_rts, version)) => {
@@ -558,14 +587,21 @@ impl L1Controller for GtscL1 {
                 let LeaseInfo::Logical { wts, rts } = a.lease else {
                     unreachable!("G-TSC write acks carry logical leases");
                 };
-                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
-                if let Some(c) = self.finish_store(a.block, a.version, Some((wts, rts)), a.epoch, prev) {
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg {
+                    Some(prev)
+                } else {
+                    None
+                };
+                if let Some(c) =
+                    self.finish_store(a.block, a.version, Some((wts, rts)), a.epoch, prev)
+                {
                     done.push(c);
                 }
                 // The ack may unlock the line: serve parked readers.
-                let line_state = self.tags.peek(a.block).map(|l| {
-                    (l.meta.locked(), l.meta.wts, l.meta.rts, l.meta.version)
-                });
+                let line_state = self
+                    .tags
+                    .peek(a.block)
+                    .map(|l| (l.meta.locked(), l.meta.wts, l.meta.rts, l.meta.version));
                 match line_state {
                     Some((false, lwts, lrts, lver)) => {
                         self.serve_waiters(a.block, lwts, lrts, lver, &mut done);
@@ -612,6 +648,18 @@ impl L1Controller for GtscL1 {
     fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    fn pressure(&self) -> ControllerPressure {
+        ControllerPressure {
+            mshr: self.mshr.len(),
+            out_queue: self.out.len(),
+            waiting: self
+                .store_acks
+                .values()
+                .map(std::collections::VecDeque::len)
+                .sum(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -644,7 +692,10 @@ mod tests {
     fn fill(block: u64, wts: u64, rts: u64, version: Version) -> L2ToL1 {
         L2ToL1::Fill(FillResp {
             block: BlockAddr(block),
-            lease: LeaseInfo::Logical { wts: Timestamp(wts), rts: Timestamp(rts) },
+            lease: LeaseInfo::Logical {
+                wts: Timestamp(wts),
+                rts: Timestamp(rts),
+            },
             version,
             epoch: 0,
         })
@@ -653,8 +704,13 @@ mod tests {
     #[test]
     fn cold_miss_sends_busrd_with_zero_wts() {
         let mut c = l1();
-        assert!(matches!(c.access(load(1, 0, 5), Cycle(0)), L1Outcome::Queued));
-        let L1ToL2::Read(r) = c.take_request().unwrap() else { panic!() };
+        assert!(matches!(
+            c.access(load(1, 0, 5), Cycle(0)),
+            L1Outcome::Queued
+        ));
+        let L1ToL2::Read(r) = c.take_request().unwrap() else {
+            panic!()
+        };
         assert_eq!(r.wts, Timestamp(0));
         assert_eq!(r.warp_ts, Timestamp::INIT);
         assert_eq!(c.stats().cold_misses, 1);
@@ -702,8 +758,13 @@ mod tests {
         c.on_response(fill(7, 20, 30, Version(3)), Cycle(70));
         assert_eq!(c.warp_ts(WarpId(1)), Timestamp(20));
         // Now warp 1 reads block 5: tag hit but warp_ts 20 > rts 6.
-        assert!(matches!(c.access(load(3, 1, 5), Cycle(80)), L1Outcome::Queued));
-        let L1ToL2::Read(r) = c.take_request().unwrap() else { panic!() };
+        assert!(matches!(
+            c.access(load(3, 1, 5), Cycle(80)),
+            L1Outcome::Queued
+        ));
+        let L1ToL2::Read(r) = c.take_request().unwrap() else {
+            panic!()
+        };
         assert_eq!(r.wts, Timestamp(1)); // renewal carries the held wts
         assert_eq!(r.warp_ts, Timestamp(20));
         assert_eq!(c.stats().expired_misses, 1);
@@ -724,7 +785,10 @@ mod tests {
         let done = c.on_response(
             L2ToL1::Renew {
                 block: BlockAddr(5),
-                lease: LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(30) },
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(1),
+                    rts: Timestamp(30),
+                },
                 epoch: 0,
             },
             Cycle(110),
@@ -732,7 +796,10 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].version, Version(9));
         // Lease on the line extended: next read by warp 1 hits.
-        assert!(matches!(c.access(load(4, 1, 5), Cycle(120)), L1Outcome::Hit(_)));
+        assert!(matches!(
+            c.access(load(4, 1, 5), Cycle(120)),
+            L1Outcome::Hit(_)
+        ));
     }
 
     #[test]
@@ -742,18 +809,29 @@ mod tests {
         c.take_request();
         c.on_response(fill(5, 1, 11, Version(9)), Cycle(30));
         // Store by warp 0.
-        assert!(matches!(c.access(store(2, 0, 5), Cycle(40)), L1Outcome::Queued));
-        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        assert!(matches!(
+            c.access(store(2, 0, 5), Cycle(40)),
+            L1Outcome::Queued
+        ));
+        let L1ToL2::Write(w) = c.take_request().unwrap() else {
+            panic!()
+        };
         // Figure 10 scenario: read by warp 1 while the store is pending
         // must NOT hit (BlockLine policy).
-        assert!(matches!(c.access(load(3, 1, 5), Cycle(41)), L1Outcome::Queued));
+        assert!(matches!(
+            c.access(load(3, 1, 5), Cycle(41)),
+            L1Outcome::Queued
+        ));
         assert_eq!(c.stats().blocked_on_pending_write, 1);
         assert!(c.take_request().is_none(), "parked reader sends no BusRd");
         // Ack arrives with the assigned lease [12, 22].
         let done = c.on_response(
             L2ToL1::WriteAck(WriteAckResp {
                 block: BlockAddr(5),
-                lease: LeaseInfo::Logical { wts: Timestamp(12), rts: Timestamp(22) },
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(12),
+                    rts: Timestamp(22),
+                },
                 version: w.version,
                 epoch: 0,
             }),
@@ -765,7 +843,10 @@ mod tests {
         assert_eq!(st.ts, Some(Timestamp(12)));
         let ld = done.iter().find(|d| d.kind == AccessKind::Load).unwrap();
         assert_eq!(ld.version, w.version);
-        assert!(ld.ts.unwrap() >= Timestamp(12), "reader sees the new version no earlier than its wts");
+        assert!(
+            ld.ts.unwrap() >= Timestamp(12),
+            "reader sees the new version no earlier than its wts"
+        );
         assert_eq!(c.warp_ts(WarpId(0)), Timestamp(12));
         assert!(c.is_idle());
     }
@@ -790,7 +871,10 @@ mod tests {
             other => panic!("expected old-copy hit, got {other:?}"),
         }
         // The writing warp itself must wait.
-        assert!(matches!(c.access(load(4, 0, 5), Cycle(42)), L1Outcome::Queued));
+        assert!(matches!(
+            c.access(load(4, 0, 5), Cycle(42)),
+            L1Outcome::Queued
+        ));
     }
 
     #[test]
@@ -811,14 +895,19 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].warp, WarpId(0));
         // A renewal goes out for warp 2.
-        let L1ToL2::Read(r) = c.take_request().unwrap() else { panic!() };
+        let L1ToL2::Read(r) = c.take_request().unwrap() else {
+            panic!()
+        };
         assert_eq!(r.warp_ts, Timestamp(50));
         assert_eq!(r.wts, Timestamp(1));
         // Renewal response completes warp 2.
         let done = c.on_response(
             L2ToL1::Renew {
                 block: BlockAddr(5),
-                lease: LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(60) },
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(1),
+                    rts: Timestamp(60),
+                },
                 epoch: 0,
             },
             Cycle(100),
@@ -845,9 +934,18 @@ mod tests {
 
     #[test]
     fn mshr_full_rejects() {
-        let mut c = GtscL1::new(L1Params { mshr_entries: 1, ..L1Params::default() });
-        assert!(matches!(c.access(load(1, 0, 5), Cycle(0)), L1Outcome::Queued));
-        assert!(matches!(c.access(load(2, 0, 7), Cycle(0)), L1Outcome::Reject));
+        let mut c = GtscL1::new(L1Params {
+            mshr_entries: 1,
+            ..L1Params::default()
+        });
+        assert!(matches!(
+            c.access(load(1, 0, 5), Cycle(0)),
+            L1Outcome::Queued
+        ));
+        assert!(matches!(
+            c.access(load(2, 0, 7), Cycle(0)),
+            L1Outcome::Reject
+        ));
     }
 
     #[test]
@@ -863,7 +961,10 @@ mod tests {
         let done = c.on_response(
             L2ToL1::Fill(FillResp {
                 block: BlockAddr(7),
-                lease: LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(11) },
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(1),
+                    rts: Timestamp(11),
+                },
                 version: Version(3),
                 epoch: 1,
             }),
@@ -873,7 +974,10 @@ mod tests {
         assert_eq!(c.epoch(), 1);
         assert_eq!(c.warp_ts(WarpId(0)), Timestamp::INIT);
         // Block 5 was flushed.
-        assert!(matches!(c.access(load(3, 0, 5), Cycle(80)), L1Outcome::Queued));
+        assert!(matches!(
+            c.access(load(3, 0, 5), Cycle(80)),
+            L1Outcome::Queued
+        ));
         assert_eq!(c.stats().ts_rollovers, 1);
     }
 
@@ -881,11 +985,16 @@ mod tests {
     fn store_to_missing_block_is_write_no_allocate() {
         let mut c = l1();
         c.access(store(1, 0, 5), Cycle(0));
-        let L1ToL2::Write(w) = c.take_request().unwrap() else { panic!() };
+        let L1ToL2::Write(w) = c.take_request().unwrap() else {
+            panic!()
+        };
         let done = c.on_response(
             L2ToL1::WriteAck(WriteAckResp {
                 block: BlockAddr(5),
-                lease: LeaseInfo::Logical { wts: Timestamp(12), rts: Timestamp(22) },
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(12),
+                    rts: Timestamp(22),
+                },
                 version: w.version,
                 epoch: 0,
             }),
@@ -894,7 +1003,10 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].kind, AccessKind::Store);
         // Line was not allocated.
-        assert!(matches!(c.access(load(2, 0, 5), Cycle(50)), L1Outcome::Queued));
+        assert!(matches!(
+            c.access(load(2, 0, 5), Cycle(50)),
+            L1Outcome::Queued
+        ));
         assert_eq!(c.stats().cold_misses, 1);
     }
 
@@ -906,7 +1018,10 @@ mod tests {
         c.on_response(fill(5, 30, 40, Version(9)), Cycle(30));
         c.flush();
         assert_eq!(c.warp_ts(WarpId(0)), Timestamp::INIT);
-        assert!(matches!(c.access(load(2, 0, 5), Cycle(50)), L1Outcome::Queued));
+        assert!(matches!(
+            c.access(load(2, 0, 5), Cycle(50)),
+            L1Outcome::Queued
+        ));
     }
 
     #[test]
@@ -924,14 +1039,22 @@ mod tests {
             block: BlockAddr(5),
         };
         assert!(matches!(c.access(at, Cycle(40)), L1Outcome::Queued));
-        let L1ToL2::Atomic(w) = c.take_request().unwrap() else { panic!("expected Atomic") };
+        let L1ToL2::Atomic(w) = c.take_request().unwrap() else {
+            panic!("expected Atomic")
+        };
         // A read meanwhile is parked (update visibility applies to RMWs).
-        assert!(matches!(c.access(load(3, 1, 5), Cycle(41)), L1Outcome::Queued));
+        assert!(matches!(
+            c.access(load(3, 1, 5), Cycle(41)),
+            L1Outcome::Queued
+        ));
         let done = c.on_response(
             L2ToL1::AtomicAck {
                 ack: WriteAckResp {
                     block: BlockAddr(5),
-                    lease: LeaseInfo::Logical { wts: Timestamp(12), rts: Timestamp(22) },
+                    lease: LeaseInfo::Logical {
+                        wts: Timestamp(12),
+                        rts: Timestamp(22),
+                    },
                     version: w.version,
                     epoch: 0,
                 },
@@ -940,7 +1063,11 @@ mod tests {
             Cycle(80),
         );
         let at_done = done.iter().find(|d| d.kind == AccessKind::Atomic).unwrap();
-        assert_eq!(at_done.prev, Some(Version(9)), "read half observes the old value");
+        assert_eq!(
+            at_done.prev,
+            Some(Version(9)),
+            "read half observes the old value"
+        );
         assert_eq!(at_done.ts, Some(Timestamp(12)));
         let ld = done.iter().find(|d| d.kind == AccessKind::Load).unwrap();
         assert_eq!(ld.version, w.version, "parked reader sees the RMW result");
@@ -949,12 +1076,22 @@ mod tests {
 
     #[test]
     fn versions_are_namespaced_by_sm() {
-        let mut a = GtscL1::new(L1Params { sm_index: 0, ..L1Params::default() });
-        let mut b = GtscL1::new(L1Params { sm_index: 1, ..L1Params::default() });
+        let mut a = GtscL1::new(L1Params {
+            sm_index: 0,
+            ..L1Params::default()
+        });
+        let mut b = GtscL1::new(L1Params {
+            sm_index: 1,
+            ..L1Params::default()
+        });
         a.access(store(1, 0, 5), Cycle(0));
         b.access(store(1, 0, 5), Cycle(0));
-        let L1ToL2::Write(wa) = a.take_request().unwrap() else { panic!() };
-        let L1ToL2::Write(wb) = b.take_request().unwrap() else { panic!() };
+        let L1ToL2::Write(wa) = a.take_request().unwrap() else {
+            panic!()
+        };
+        let L1ToL2::Write(wb) = b.take_request().unwrap() else {
+            panic!()
+        };
         assert_ne!(wa.version, wb.version);
         assert_ne!(wa.version, Version::ZERO);
     }

@@ -9,8 +9,10 @@
 use std::collections::{HashMap, VecDeque};
 
 use gtsc_mem::{Mshr, MshrAlloc, TagArray};
-use gtsc_protocol::msg::{Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteAckResp, WriteReq};
-use gtsc_protocol::L2Controller;
+use gtsc_protocol::msg::{
+    Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteAckResp, WriteReq,
+};
+use gtsc_protocol::{ControllerPressure, L2Controller};
 use gtsc_types::{
     BlockAddr, CacheGeometry, CacheStats, Cycle, InclusionPolicy, Lease, Timestamp, Version,
 };
@@ -100,6 +102,17 @@ pub struct GtscL2 {
     backing: HashMap<BlockAddr, Version>,
     /// Requests waiting on an outstanding DRAM fetch.
     pending: Mshr<PendingReq>,
+    /// Replay filter: the most recently applied store versions per block.
+    ///
+    /// A lossy-but-reliable interconnect may deliver a write request
+    /// twice (at-least-once delivery). Re-applying the replay is *not*
+    /// harmless: if another SM's store was interposed, the replay would
+    /// revert the line to stale data at a fresh `wts`. Store versions are
+    /// globally unique (the L1 stamps each store once), so remembering
+    /// the last few applied per block makes the write path idempotent —
+    /// the duplicate is recognized and dropped, and the original ack
+    /// (which is never dropped, only delayed) satisfies the L1.
+    applied_stores: HashMap<BlockAddr, VecDeque<Version>>,
     /// Input queue: requests become serviceable `latency` cycles after
     /// arrival.
     in_queue: VecDeque<(Cycle, usize, L1ToL2)>,
@@ -119,6 +132,7 @@ impl GtscL2 {
             overflow: false,
             backing: HashMap::new(),
             pending: Mshr::new(p.mshr_entries, p.mshr_merges),
+            applied_stores: HashMap::new(),
             in_queue: VecDeque::new(),
             out_resp: VecDeque::new(),
             dram_out: VecDeque::new(),
@@ -172,7 +186,10 @@ impl GtscL2 {
     }
 
     fn lease_of(&self, m: &L2Meta) -> LeaseInfo {
-        LeaseInfo::Logical { wts: m.wts, rts: m.rts }
+        LeaseInfo::Logical {
+            wts: m.wts,
+            rts: m.rts,
+        }
     }
 
     /// The lease to grant a line: the base lease, scaled up for proven
@@ -185,9 +202,35 @@ impl GtscL2 {
         }
     }
 
+    /// Records a store about to be applied to `block`; returns `true` if
+    /// this exact store was already applied (a fault-injected replay that
+    /// must be dropped, not re-executed). Per-flow FIFO delivery
+    /// guarantees the replay reaches the bank after the original, so the
+    /// original is always recorded first. The per-block history is
+    /// bounded: far deeper than the duplicate-delivery lag, so an entry
+    /// cannot age out before its replay arrives.
+    fn store_is_replay(&mut self, block: BlockAddr, version: Version) -> bool {
+        const HISTORY: usize = 64;
+        let seen = self.applied_stores.entry(block).or_default();
+        if seen.contains(&version) {
+            return true;
+        }
+        if seen.len() == HISTORY {
+            seen.pop_front();
+        }
+        seen.push_back(version);
+        false
+    }
+
     /// Serves a request whose block is resident. Returns the response.
     fn serve_hit(&mut self, src: usize, msg: L1ToL2) {
         let block = msg.block();
+        if let L1ToL2::Write(w) | L1ToL2::Atomic(w) = &msg {
+            if self.store_is_replay(block, w.version) {
+                self.stats.replayed_stores += 1;
+                return;
+            }
+        }
         let lease = self.p.lease;
         let adaptive = self.p.adaptive_lease;
         let eff = self
@@ -195,7 +238,10 @@ impl GtscL2 {
             .peek(block)
             .map(|l| self.effective_lease(&l.meta))
             .unwrap_or(lease);
-        let line = self.tags.probe_mut(block).expect("caller checked residency");
+        let line = self
+            .tags
+            .probe_mut(block)
+            .expect("caller checked residency");
         match msg {
             L1ToL2::Read(r) => {
                 if adaptive && r.wts == line.meta.wts {
@@ -209,13 +255,17 @@ impl GtscL2 {
                     self.stats.renewals += 1;
                     L2ToL1::Renew {
                         block,
-                        lease: LeaseInfo::Logical { wts: r.wts, rts: new_rts },
+                        lease: LeaseInfo::Logical {
+                            wts: r.wts,
+                            rts: new_rts,
+                        },
                         epoch: self.epoch,
                     }
                 } else {
                     L2ToL1::Fill(FillResp {
                         block,
-                        lease: self.lease_of(self.tags.peek(block).map(|l| &l.meta).expect("resident")),
+                        lease: self
+                            .lease_of(self.tags.peek(block).map(|l| &l.meta).expect("resident")),
                         version: self.tags.peek(block).expect("resident").meta.version,
                         epoch: self.epoch,
                     })
@@ -234,7 +284,10 @@ impl GtscL2 {
                 line.meta.renew_streak = 0;
                 line.meta.version = w.version;
                 line.meta.dirty = true;
-                let ack_lease = LeaseInfo::Logical { wts, rts: line.meta.rts };
+                let ack_lease = LeaseInfo::Logical {
+                    wts,
+                    rts: line.meta.rts,
+                };
                 let rts = line.meta.rts;
                 self.stats.stores += 1;
                 self.note_ts(rts);
@@ -269,7 +322,9 @@ impl GtscL2 {
         match self.pending.register(block, PendingReq { src, msg }) {
             MshrAlloc::AllocatedNew => self.dram_out.push_back((block, false)),
             MshrAlloc::Merged => self.stats.mshr_merges += 1,
-            MshrAlloc::Full => unreachable!("tick() admits requests only when the MSHR can take them"),
+            MshrAlloc::Full => {
+                unreachable!("tick() admits requests only when the MSHR can take them")
+            }
         }
         let _ = now;
     }
@@ -302,8 +357,13 @@ impl GtscL2 {
             // private copy on eviction (broadcast — there is no sharer
             // tracking), costing NoC traffic G-TSC avoids.
             for sm in 0..self.p.n_sms {
-                self.out_resp
-                    .push_back((sm, L2ToL1::Invalidate { block: evicted.block, epoch: self.epoch }));
+                self.out_resp.push_back((
+                    sm,
+                    L2ToL1::Invalidate {
+                        block: evicted.block,
+                        epoch: self.epoch,
+                    },
+                ));
             }
         }
     }
@@ -395,6 +455,14 @@ impl L2Controller for GtscL2 {
         self.stats
     }
 
+    fn pressure(&self) -> ControllerPressure {
+        ControllerPressure {
+            mshr: self.pending.len(),
+            out_queue: self.in_queue.len() + self.dram_out.len(),
+            waiting: self.out_resp.len(),
+        }
+    }
+
     fn memory_image(&self) -> Vec<(BlockAddr, Version)> {
         let mut img: std::collections::HashMap<BlockAddr, Version> = self.backing.clone();
         for line in self.tags.iter() {
@@ -454,12 +522,20 @@ mod tests {
         l2.on_request(3, read(5, 0, 1), Cycle(0));
         let resps = settle(&mut l2, Cycle(0));
         assert_eq!(resps.len(), 1);
-        let (dst, L2ToL1::Fill(f)) = &resps[0] else { panic!("expected fill") };
+        let (dst, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("expected fill")
+        };
         assert_eq!(*dst, 3);
         assert_eq!(f.version, Version::ZERO);
         // Fresh from DRAM: [mem_ts, mem_ts + lease] = [1, 11], then
         // extended for warp_ts=1 (1+10=11).
-        assert_eq!(f.lease, LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(11) });
+        assert_eq!(
+            f.lease,
+            LeaseInfo::Logical {
+                wts: Timestamp(1),
+                rts: Timestamp(11)
+            }
+        );
     }
 
     #[test]
@@ -471,8 +547,16 @@ mod tests {
         l2.on_request(0, read(5, 1, 30), Cycle(100));
         let resps = settle(&mut l2, Cycle(100));
         assert_eq!(resps.len(), 1);
-        let (_, L2ToL1::Renew { lease, .. }) = &resps[0] else { panic!("expected renewal") };
-        assert_eq!(*lease, LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(40) });
+        let (_, L2ToL1::Renew { lease, .. }) = &resps[0] else {
+            panic!("expected renewal")
+        };
+        assert_eq!(
+            *lease,
+            LeaseInfo::Logical {
+                wts: Timestamp(1),
+                rts: Timestamp(40)
+            }
+        );
         assert_eq!(l2.stats().renewals, 1);
     }
 
@@ -486,7 +570,9 @@ mod tests {
         // SM0 still holds wts=1; the block is now wts=12.
         l2.on_request(0, read(5, 1, 12), Cycle(100));
         let resps = settle(&mut l2, Cycle(100));
-        let (_, L2ToL1::Fill(f)) = &resps[0] else { panic!("expected fill") };
+        let (_, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("expected fill")
+        };
         assert_eq!(f.version, Version(77));
     }
 
@@ -498,9 +584,17 @@ mod tests {
         settle(&mut l2, Cycle(0));
         l2.on_request(0, write(5, 1, 42), Cycle(50));
         let resps = settle(&mut l2, Cycle(50));
-        let (_, L2ToL1::WriteAck(a)) = &resps[0] else { panic!("expected ack") };
+        let (_, L2ToL1::WriteAck(a)) = &resps[0] else {
+            panic!("expected ack")
+        };
         // wts = max(11+1, 1) = 12; rts = 22 — exactly Figure 9 step 8.
-        assert_eq!(a.lease, LeaseInfo::Logical { wts: Timestamp(12), rts: Timestamp(22) });
+        assert_eq!(
+            a.lease,
+            LeaseInfo::Logical {
+                wts: Timestamp(12),
+                rts: Timestamp(22)
+            }
+        );
         assert_eq!(a.version, Version(42));
     }
 
@@ -509,20 +603,33 @@ mod tests {
         let mut l2 = GtscL2::new(L2Params::default());
         l2.on_request(0, write(9, 5, 11), Cycle(0));
         let resps = settle(&mut l2, Cycle(0));
-        let (_, L2ToL1::WriteAck(a)) = &resps[0] else { panic!("expected ack") };
+        let (_, L2ToL1::WriteAck(a)) = &resps[0] else {
+            panic!("expected ack")
+        };
         // Fill gives [1,11]; store lands at max(12, 5) = 12.
-        assert_eq!(a.lease, LeaseInfo::Logical { wts: Timestamp(12), rts: Timestamp(22) });
+        assert_eq!(
+            a.lease,
+            LeaseInfo::Logical {
+                wts: Timestamp(12),
+                rts: Timestamp(22)
+            }
+        );
         // Re-read sees the new version.
         l2.on_request(1, read(9, 0, 1), Cycle(100));
         let resps = settle(&mut l2, Cycle(100));
-        let (_, L2ToL1::Fill(f)) = &resps[0] else { panic!("expected fill") };
+        let (_, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("expected fill")
+        };
         assert_eq!(f.version, Version(11));
     }
 
     #[test]
     fn eviction_folds_lease_into_mem_ts_and_writes_back() {
         let geometry = CacheGeometry::new(256, 1, 128); // 2 sets, direct-mapped
-        let mut l2 = GtscL2::new(L2Params { geometry, ..L2Params::default() });
+        let mut l2 = GtscL2::new(L2Params {
+            geometry,
+            ..L2Params::default()
+        });
         l2.on_request(0, write(0, 50, 7), Cycle(0)); // rts becomes 61+10? fill[1,11] -> wts=max(12,50)=50, rts=60
         settle(&mut l2, Cycle(0));
         assert_eq!(l2.mem_ts(), Timestamp(1));
@@ -537,11 +644,26 @@ mod tests {
         let resps = settle(&mut l2, Cycle(200));
         let fills: Vec<_> = resps
             .iter()
-            .filter_map(|(_, m)| if let L2ToL1::Fill(f) = m { Some(f) } else { None })
+            .filter_map(|(_, m)| {
+                if let L2ToL1::Fill(f) = m {
+                    Some(f)
+                } else {
+                    None
+                }
+            })
             .collect();
-        let f = fills.iter().find(|f| f.block == BlockAddr(0)).expect("refetch fill");
+        let f = fills
+            .iter()
+            .find(|f| f.block == BlockAddr(0))
+            .expect("refetch fill");
         assert_eq!(f.version, Version(7));
-        assert_eq!(f.lease, LeaseInfo::Logical { wts: Timestamp(60), rts: Timestamp(70) });
+        assert_eq!(
+            f.lease,
+            LeaseInfo::Logical {
+                wts: Timestamp(60),
+                rts: Timestamp(70)
+            }
+        );
     }
 
     #[test]
@@ -559,7 +681,11 @@ mod tests {
                 dram.push(d);
             }
         }
-        assert_eq!(dram, vec![(BlockAddr(5), false)], "single outstanding fetch per block");
+        assert_eq!(
+            dram,
+            vec![(BlockAddr(5), false)],
+            "single outstanding fetch per block"
+        );
         assert_eq!(l2.stats().mshr_merges, 2);
         l2.on_dram_response(BlockAddr(5), false, Cycle(50));
         let resps = settle(&mut l2, Cycle(50));
@@ -571,7 +697,10 @@ mod tests {
 
     #[test]
     fn overflow_requests_reset_and_reset_rebases_leases() {
-        let mut l2 = GtscL2::new(L2Params { ts_bits: 6, ..L2Params::default() }); // cap 64
+        let mut l2 = GtscL2::new(L2Params {
+            ts_bits: 6,
+            ..L2Params::default()
+        }); // cap 64
         l2.on_request(0, read(5, 0, 1), Cycle(0));
         settle(&mut l2, Cycle(0));
         assert!(!l2.needs_reset());
@@ -585,9 +714,17 @@ mod tests {
         // Old-epoch renewal request now degrades to a fill in epoch 1.
         l2.on_request(0, read(5, 1, 60), Cycle(100));
         let resps = settle(&mut l2, Cycle(100));
-        let (_, L2ToL1::Fill(f)) = &resps[0] else { panic!("stale request must fill") };
+        let (_, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("stale request must fill")
+        };
         assert_eq!(f.epoch, 1);
-        assert_eq!(f.lease, LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(11) });
+        assert_eq!(
+            f.lease,
+            LeaseInfo::Logical {
+                wts: Timestamp(1),
+                rts: Timestamp(11)
+            }
+        );
         assert_eq!(l2.stats().ts_rollovers, 1);
     }
 
@@ -613,7 +750,10 @@ mod tests {
 
     #[test]
     fn latency_delays_service() {
-        let mut l2 = GtscL2::new(L2Params { latency: 10, ..L2Params::default() });
+        let mut l2 = GtscL2::new(L2Params {
+            latency: 10,
+            ..L2Params::default()
+        });
         l2.on_request(0, read(5, 0, 1), Cycle(0));
         l2.tick(Cycle(5));
         assert!(l2.take_response().is_none());
@@ -641,11 +781,19 @@ mod tests {
             Cycle(10),
         );
         let resps = settle(&mut l2, Cycle(10));
-        let (_, L2ToL1::AtomicAck { ack, prev }) = &resps[0] else { panic!("expected atomic ack") };
+        let (_, L2ToL1::AtomicAck { ack, prev }) = &resps[0] else {
+            panic!("expected atomic ack")
+        };
         assert_eq!(*prev, Version::ZERO, "read half observes the old value");
         assert_eq!(ack.version, Version(77));
         // Lease [1, 50] was outstanding: the RMW lands at 51.
-        assert_eq!(ack.lease, LeaseInfo::Logical { wts: Timestamp(51), rts: Timestamp(61) });
+        assert_eq!(
+            ack.lease,
+            LeaseInfo::Logical {
+                wts: Timestamp(51),
+                rts: Timestamp(61)
+            }
+        );
         assert_eq!(l2.stats().write_stall_cycles, 0);
     }
 
@@ -667,15 +815,28 @@ mod tests {
         let resps = settle(&mut l2, Cycle(0));
         let prevs: Vec<Version> = resps
             .iter()
-            .filter_map(|(_, m)| if let L2ToL1::AtomicAck { prev, .. } = m { Some(*prev) } else { None })
+            .filter_map(|(_, m)| {
+                if let L2ToL1::AtomicAck { prev, .. } = m {
+                    Some(*prev)
+                } else {
+                    None
+                }
+            })
             .collect();
-        assert_eq!(prevs, vec![Version::ZERO, Version(100), Version(101), Version(102)]);
+        assert_eq!(
+            prevs,
+            vec![Version::ZERO, Version(100), Version(101), Version(102)]
+        );
     }
 
     #[test]
     fn ports_bound_throughput() {
         // (see below for the property-based suite)
-        let mut l2 = GtscL2::new(L2Params { ports: 1, latency: 0, ..L2Params::default() });
+        let mut l2 = GtscL2::new(L2Params {
+            ports: 1,
+            latency: 0,
+            ..L2Params::default()
+        });
         l2.on_request(0, read(1, 0, 1), Cycle(0));
         l2.on_request(0, read(3, 0, 1), Cycle(0));
         l2.tick(Cycle(0));
@@ -696,7 +857,10 @@ mod prop_tests {
     /// Drives one bank with an arbitrary request stream (instant DRAM) and
     /// checks the protocol invariants on every response.
     fn drive(ops: &[(bool, u64, u64, u64)]) -> Result<(), TestCaseError> {
-        let mut l2 = GtscL2::new(L2Params { ts_bits: 48, ..L2Params::default() });
+        let mut l2 = GtscL2::new(L2Params {
+            ts_bits: 48,
+            ..L2Params::default()
+        });
         let mut now = Cycle(0);
         let mut last_wts: HashMap<BlockAddr, Timestamp> = HashMap::new();
         let mut version = 0u64;
@@ -721,7 +885,12 @@ mod prop_tests {
                 let wts = last_wts.get(&block).copied().unwrap_or(Timestamp(0));
                 l2.on_request(
                     0,
-                    L1ToL2::Read(ReadReq { block, wts, warp_ts: Timestamp(*warp_ts), epoch: 0 }),
+                    L1ToL2::Read(ReadReq {
+                        block,
+                        wts,
+                        warp_ts: Timestamp(*warp_ts),
+                        epoch: 0,
+                    }),
                     now,
                 );
             }
@@ -742,10 +911,7 @@ mod prop_tests {
                                 return Err(TestCaseError::fail("fill without logical lease"));
                             };
                             prop_assert!(wts <= rts, "lease inverted: {wts} > {rts}");
-                            prop_assert!(
-                                rts.0 >= *warp_ts,
-                                "lease does not cover the requester"
-                            );
+                            prop_assert!(rts.0 >= *warp_ts, "lease does not cover the requester");
                             last_wts.insert(f.block, wts);
                         }
                         L2ToL1::Renew { block, lease, .. } => {

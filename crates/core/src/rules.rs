@@ -77,7 +77,7 @@ mod tests {
         // Initial fill of X: [wts=1, rts=1+? paper uses [1,6]].
         let x_wts = Timestamp(1);
         let x_rts_l2 = Timestamp(11); // lease held by SM1
-        // Step 8: A2 stores X with warp_ts = 1.
+                                      // Step 8: A2 stores X with warp_ts = 1.
         let st = store_wts(x_rts_l2, Timestamp(1));
         assert_eq!(st, Timestamp(12));
         let new_rts = st + lease;
@@ -86,7 +86,10 @@ mod tests {
         assert!(!lease_covers(Timestamp(6), Timestamp(12)));
         // Step 14: renewal extends the *new* version's lease; in the paper
         // the L2 sets rts = 15 > warp_ts using lease 3 for exposition.
-        assert_eq!(extend_rts(Timestamp(6), Timestamp(12), Lease(3)), Timestamp(15));
+        assert_eq!(
+            extend_rts(Timestamp(6), Timestamp(12), Lease(3)),
+            Timestamp(15)
+        );
         let _ = x_wts;
     }
 

@@ -154,11 +154,27 @@ mod tests {
     fn stats(l1: u64, l2: u64, dram: u64, flits: u64, issued: u64, cycles: u64) -> SimStats {
         SimStats {
             cycles: Cycle(cycles),
-            sm: SmStats { issued, active_cycles: cycles / 2, ..SmStats::default() },
-            l1: CacheStats { accesses: l1, ..CacheStats::default() },
-            l2: CacheStats { accesses: l2, ..CacheStats::default() },
-            noc: NocStats { flits, ..NocStats::default() },
-            dram: DramStats { reads: dram, ..DramStats::default() },
+            sm: SmStats {
+                issued,
+                active_cycles: cycles / 2,
+                ..SmStats::default()
+            },
+            l1: CacheStats {
+                accesses: l1,
+                ..CacheStats::default()
+            },
+            l2: CacheStats {
+                accesses: l2,
+                ..CacheStats::default()
+            },
+            noc: NocStats {
+                flits,
+                ..NocStats::default()
+            },
+            dram: DramStats {
+                reads: dram,
+                ..DramStats::default()
+            },
         }
     }
 
@@ -183,7 +199,10 @@ mod tests {
     #[test]
     fn joule_conversion() {
         let m = EnergyModel::new(EnergyParams::default());
-        let s = SimStats { cycles: Cycle(1_000_000_000), ..SimStats::default() };
+        let s = SimStats {
+            cycles: Cycle(1_000_000_000),
+            ..SimStats::default()
+        };
         let e = m.estimate(&s);
         // 1e9 cycles × 30 nJ = 30 J.
         assert!((e.total_j() - 30.0).abs() < 1e-9);

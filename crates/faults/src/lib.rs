@@ -1,0 +1,386 @@
+//! Seeded, deterministic fault injection for the G-TSC simulator.
+//!
+//! A coherence protocol's correctness argument must hold under *any*
+//! message timing — G-TSC inherits Tardis's proof obligation that leases
+//! and timestamps order accesses regardless of physical delays. This
+//! crate turns that obligation into an executable test surface: a
+//! [`FaultPlan`] derived from a [`FaultConfig`](gtsc_types::FaultConfig)
+//! hands each perturbable component (NoC direction, DRAM partition) its
+//! own [`NocFaults`] / [`DramFaults`] injector. Injectors only *delay*,
+//! *reorder within a bounded window*, or *duplicate* — never drop —
+//! so liveness is preserved and a correct protocol must stay
+//! violation-free under every seed.
+//!
+//! Determinism is the load-bearing property: every decision comes from a
+//! [`SplitMix64`] stream seeded from the plan's master seed and the
+//! component's index, and the simulator consults injectors in a fixed
+//! order. Replaying a failing seed reproduces the run byte-for-byte.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtsc_faults::FaultPlan;
+//! use gtsc_types::FaultConfig;
+//!
+//! let plan = FaultPlan::new(FaultConfig::chaos(42));
+//! let mut a = plan.noc(0).expect("chaos enables NoC faults");
+//! let mut b = plan.noc(0).expect("same stream again");
+//! for _ in 0..100 {
+//!     assert_eq!(a.perturb(), b.perturb()); // bitwise-identical streams
+//! }
+//! assert!(plan.noc(1).is_some());
+//! assert_eq!(plan.effective_ts_bits(16), 8); // chaos caps ts_bits at 8
+//! ```
+
+use gtsc_types::FaultConfig;
+
+/// SplitMix64: a tiny, statistically solid, trivially seedable generator.
+/// Chosen over a `rand` dependency so fault streams are stable across
+/// toolchains and the crate stays dependency-light.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream fully determined by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `0` when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// `true` with probability `permille / 1000`.
+    pub fn chance(&mut self, permille: u16) -> bool {
+        self.below(1000) < u64::from(permille.min(1000))
+    }
+}
+
+/// Counters an injector accumulates, for post-run diagnostics and the
+/// `stress_faults` soak summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets/requests that received latency jitter.
+    pub jittered: u64,
+    /// Packets held back a reorder window.
+    pub reordered: u64,
+    /// Packets delivered twice.
+    pub duplicated: u64,
+    /// Total extra cycles injected across all perturbations.
+    pub extra_cycles: u64,
+}
+
+impl FaultStats {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.jittered += other.jittered;
+        self.reordered += other.reordered;
+        self.duplicated += other.duplicated;
+        self.extra_cycles += other.extra_cycles;
+    }
+}
+
+/// The fate the injector assigns one NoC packet at injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketFate {
+    /// Extra cycles added to the packet's wire latency.
+    pub extra_delay: u64,
+    /// When `Some(lag)`, deliver a second copy `lag` cycles after the
+    /// (already delayed) original.
+    pub duplicate: Option<u64>,
+}
+
+/// Per-network fault injector (jitter, bounded reorder, duplication).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocFaults {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl NocFaults {
+    /// Decides the fate of the next injected packet. Consumes a fixed
+    /// number of RNG draws per call so streams stay aligned across runs.
+    pub fn perturb(&mut self) -> PacketFate {
+        let mut extra = 0u64;
+        if self.rng.chance(self.cfg.noc_jitter_permille) && self.cfg.noc_jitter_max > 0 {
+            let j = 1 + self.rng.below(self.cfg.noc_jitter_max);
+            extra += j;
+            self.stats.jittered += 1;
+        } else {
+            let _ = self.rng.next_u64(); // keep draw count constant
+        }
+        if self.rng.chance(self.cfg.noc_reorder_permille) {
+            extra += self.cfg.noc_reorder_window;
+            self.stats.reordered += 1;
+        }
+        let duplicate = if self.rng.chance(self.cfg.noc_duplicate_permille) {
+            self.stats.duplicated += 1;
+            Some(self.cfg.noc_duplicate_lag)
+        } else {
+            None
+        };
+        self.stats.extra_cycles += extra + duplicate.unwrap_or(0);
+        PacketFate {
+            extra_delay: extra,
+            duplicate,
+        }
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+/// Per-partition DRAM fault injector (variable service latency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramFaults {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl DramFaults {
+    /// Extra service cycles for the next issued DRAM request.
+    pub fn extra_latency(&mut self) -> u64 {
+        let extra =
+            if self.rng.chance(self.cfg.dram_jitter_permille) && self.cfg.dram_jitter_max > 0 {
+                let j = 1 + self.rng.below(self.cfg.dram_jitter_max);
+                self.stats.jittered += 1;
+                j
+            } else {
+                let _ = self.rng.next_u64();
+                0
+            };
+        self.stats.extra_cycles += extra;
+        extra
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+/// Factory deriving independent, reproducible injector streams from one
+/// master seed. Stream indices are caller-chosen (the simulator uses
+/// `noc(0)` for requests, `noc(1)` for responses, and `dram(i)` per
+/// partition) so adding components never shifts existing streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Wraps `cfg` (which may be inert — see [`FaultPlan::is_active`]).
+    #[must_use]
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan { cfg }
+    }
+
+    /// Whether any injector will perturb anything.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.cfg.is_active()
+    }
+
+    /// The plan's configuration.
+    #[must_use]
+    pub fn config(&self) -> FaultConfig {
+        self.cfg
+    }
+
+    fn stream_seed(&self, domain: u64, index: u64) -> u64 {
+        // Decorrelate streams by running the (seed, domain, index) triple
+        // through one SplitMix64 step each.
+        let mut s = SplitMix64::new(self.cfg.seed ^ domain.rotate_left(17));
+        let a = s.next_u64();
+        let mut s2 = SplitMix64::new(a ^ index.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        s2.next_u64()
+    }
+
+    /// Injector for NoC direction `index`, or `None` when no NoC fault
+    /// is enabled.
+    #[must_use]
+    pub fn noc(&self, index: u64) -> Option<NocFaults> {
+        let active = self.cfg.noc_jitter_permille > 0
+            || self.cfg.noc_reorder_permille > 0
+            || self.cfg.noc_duplicate_permille > 0;
+        active.then(|| NocFaults {
+            cfg: self.cfg,
+            rng: SplitMix64::new(self.stream_seed(0x004E_4F43, index)),
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// Injector for DRAM partition `index`, or `None` when DRAM jitter
+    /// is disabled.
+    #[must_use]
+    pub fn dram(&self, index: u64) -> Option<DramFaults> {
+        (self.cfg.dram_jitter_permille > 0).then(|| DramFaults {
+            cfg: self.cfg,
+            rng: SplitMix64::new(self.stream_seed(0x4452_414D, index)),
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// `ts_bits` after applying the plan's rollover-storm cap.
+    #[must_use]
+    pub fn effective_ts_bits(&self, ts_bits: u32) -> u32 {
+        if self.cfg.ts_bits_cap == 0 {
+            ts_bits
+        } else {
+            ts_bits.min(self.cfg.ts_bits_cap)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_bounded() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(2);
+        for _ in 0..1000 {
+            assert!(c.below(17) < 17);
+        }
+        assert_eq!(SplitMix64::new(3).below(0), 0);
+        assert!(!SplitMix64::new(4).chance(0));
+        assert!(SplitMix64::new(4).chance(1000));
+    }
+
+    #[test]
+    fn inert_config_yields_no_injectors() {
+        let plan = FaultPlan::new(FaultConfig::default());
+        assert!(!plan.is_active());
+        assert!(plan.noc(0).is_none());
+        assert!(plan.dram(0).is_none());
+        assert_eq!(plan.effective_ts_bits(16), 16);
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_decorrelated() {
+        let plan = FaultPlan::new(FaultConfig::chaos(99));
+        let mut x = plan.noc(0).unwrap();
+        let mut y = plan.noc(0).unwrap();
+        let mut z = plan.noc(1).unwrap();
+        let mut diverged = false;
+        for _ in 0..200 {
+            let fx = x.perturb();
+            assert_eq!(fx, y.perturb(), "same index replays identically");
+            diverged |= fx != z.perturb();
+        }
+        assert!(diverged, "different indices should see different streams");
+        // Different master seeds diverge too.
+        let other = FaultPlan::new(FaultConfig::chaos(100));
+        let mut w = other.noc(0).unwrap();
+        let mut x2 = plan.noc(0).unwrap();
+        assert!((0..200).any(|_| w.perturb() != x2.perturb()));
+    }
+
+    #[test]
+    fn noc_perturbations_respect_config_bounds() {
+        let cfg = FaultConfig::chaos(5);
+        let plan = FaultPlan::new(cfg);
+        let mut f = plan.noc(0).unwrap();
+        let mut saw_jitter = false;
+        let mut saw_reorder = false;
+        let mut saw_dup = false;
+        for _ in 0..2000 {
+            let fate = f.perturb();
+            assert!(
+                fate.extra_delay <= cfg.noc_jitter_max + cfg.noc_reorder_window,
+                "delay bounded by jitter + reorder window"
+            );
+            if let Some(lag) = fate.duplicate {
+                assert_eq!(lag, cfg.noc_duplicate_lag);
+                saw_dup = true;
+            }
+            saw_jitter |= fate.extra_delay > 0 && fate.extra_delay <= cfg.noc_jitter_max;
+            saw_reorder |= fate.extra_delay >= cfg.noc_reorder_window;
+        }
+        assert!(
+            saw_jitter && saw_reorder && saw_dup,
+            "chaos exercises every fault class"
+        );
+        let s = f.stats();
+        assert!(s.jittered > 0 && s.reordered > 0 && s.duplicated > 0 && s.extra_cycles > 0);
+    }
+
+    #[test]
+    fn dram_jitter_is_bounded_and_counted() {
+        let cfg = FaultConfig::chaos(6);
+        let plan = FaultPlan::new(cfg);
+        let mut f = plan.dram(0).unwrap();
+        let mut nonzero = 0;
+        for _ in 0..2000 {
+            let e = f.extra_latency();
+            assert!(e <= cfg.dram_jitter_max);
+            nonzero += u64::from(e > 0);
+        }
+        assert!(nonzero > 0);
+        assert_eq!(f.stats().jittered, nonzero);
+    }
+
+    #[test]
+    fn ts_bits_cap_only_shrinks() {
+        let plan = FaultPlan::new(FaultConfig {
+            ts_bits_cap: 8,
+            ..FaultConfig::default()
+        });
+        assert_eq!(plan.effective_ts_bits(16), 8);
+        assert_eq!(plan.effective_ts_bits(6), 6, "cap never widens");
+        assert!(plan.is_active(), "rollover storms alone count as active");
+    }
+
+    #[test]
+    fn fault_stats_merge_adds_fields() {
+        let mut a = FaultStats {
+            jittered: 1,
+            reordered: 2,
+            duplicated: 3,
+            extra_cycles: 4,
+        };
+        let b = FaultStats {
+            jittered: 10,
+            reordered: 20,
+            duplicated: 30,
+            extra_cycles: 40,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            FaultStats {
+                jittered: 11,
+                reordered: 22,
+                duplicated: 33,
+                extra_cycles: 44
+            }
+        );
+    }
+}

@@ -57,7 +57,10 @@ mod tests {
     #[test]
     fn first_touch_order_is_preserved() {
         let addrs = [Addr(300), Addr(10), Addr(300), Addr(200)];
-        assert_eq!(coalesce(&addrs, 7), vec![BlockAddr(2), BlockAddr(0), BlockAddr(1)]);
+        assert_eq!(
+            coalesce(&addrs, 7),
+            vec![BlockAddr(2), BlockAddr(0), BlockAddr(1)]
+        );
     }
 
     proptest! {

@@ -164,7 +164,11 @@ impl VecKernel {
             ctas.iter().all(|c| c.len() == warps_per_cta),
             "every CTA must have exactly warps_per_cta programs"
         );
-        VecKernel { name: name.to_owned(), warps_per_cta, ctas }
+        VecKernel {
+            name: name.to_owned(),
+            warps_per_cta,
+            ctas,
+        }
     }
 }
 
@@ -192,7 +196,9 @@ mod tests {
 
     #[test]
     fn coalesced_constructors_touch_consecutive_words() {
-        let WarpOp::Load(addrs) = WarpOp::load_coalesced(Addr(256), 32) else { panic!() };
+        let WarpOp::Load(addrs) = WarpOp::load_coalesced(Addr(256), 32) else {
+            panic!()
+        };
         assert_eq!(addrs.len(), 32);
         assert_eq!(addrs[0], Addr(256));
         assert_eq!(addrs[31], Addr(256 + 31 * 4));

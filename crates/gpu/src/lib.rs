@@ -26,4 +26,4 @@ pub mod sm;
 
 pub use coalesce::coalesce;
 pub use kernel::{Kernel, VecKernel, WarpOp, WarpProgram};
-pub use sm::{Sm, SmParams};
+pub use sm::{Sm, SmParams, WarpStallInfo};

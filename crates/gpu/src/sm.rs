@@ -4,9 +4,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use gtsc_protocol::{
-    AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess,
-};
+use gtsc_protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
 use gtsc_types::{
     BlockAddr, ConsistencyModel, CtaId, Cycle, SmId, SmStats, StallKind, WarpId, WarpScheduler,
 };
@@ -138,7 +136,12 @@ impl Sm {
         Sm {
             warps: (0..p.n_warp_slots).map(|_| WarpSlot::empty()).collect(),
             ctas: vec![
-                CtaSlot { warps_total: 0, warps_done: 0, at_barrier: 0, occupied: false };
+                CtaSlot {
+                    warps_total: 0,
+                    warps_done: 0,
+                    at_barrier: 0,
+                    occupied: false
+                };
                 p.max_ctas
             ],
             l1,
@@ -197,7 +200,10 @@ impl Sm {
     /// Panics if capacity is insufficient (check
     /// [`Sm::can_accept_cta`] first).
     pub fn assign_cta(&mut self, cta: CtaId, programs: Vec<WarpProgram>) {
-        assert!(self.can_accept_cta(programs.len()), "SM lacks capacity for CTA {cta}");
+        assert!(
+            self.can_accept_cta(programs.len()),
+            "SM lacks capacity for CTA {cta}"
+        );
         let cta_slot = self
             .ctas
             .iter()
@@ -467,7 +473,9 @@ impl Sm {
         {
             return false;
         }
-        let Some(&block) = self.warps[i].mem_blocks.front() else { return false };
+        let Some(&block) = self.warps[i].mem_blocks.front() else {
+            return false;
+        };
         self.next_access += 1;
         let acc = MemAccess {
             id: AccessId(self.next_access),
@@ -505,42 +513,99 @@ impl Sm {
         }
     }
 
+    /// Why warp slot `i` cannot issue at `now`, or `None` if it is idle,
+    /// freshly issued, or still computing.
+    fn stall_reason(&self, i: usize, now: Cycle) -> Option<StallKind> {
+        let w = &self.warps[i];
+        if !w.active || w.issued_at == now || w.compute_until > now {
+            return None;
+        }
+        if w.at_barrier {
+            Some(StallKind::Barrier)
+        } else if !w.mem_blocks.is_empty() {
+            Some(StallKind::Memory)
+        } else {
+            match w.ops.front() {
+                _ if w.atomic_pending => Some(StallKind::Memory),
+                Some(WarpOp::Fence | WarpOp::ReleaseFence | WarpOp::AcquireFence) => {
+                    Some(StallKind::Fence)
+                }
+                Some(WarpOp::Load(_) | WarpOp::Store(_) | WarpOp::Atomic(_))
+                    if !self.window_open(w) =>
+                {
+                    Some(StallKind::Memory)
+                }
+                Some(WarpOp::Compute(_))
+                    if self.p.consistency == ConsistencyModel::Sc && w.outstanding > 0 =>
+                {
+                    Some(StallKind::Memory)
+                }
+                None if w.outstanding > 0 => Some(StallKind::Memory),
+                _ => None,
+            }
+        }
+    }
+
     /// Per-cycle warp-stall classification (the Figure 13 metric counts
     /// `Memory` warp-cycles).
     fn account_stalls(&mut self, now: Cycle) {
         for i in 0..self.warps.len() {
-            let w = &self.warps[i];
-            if !w.active || w.issued_at == now || w.compute_until > now {
-                continue;
-            }
-            let kind = if w.at_barrier {
-                Some(StallKind::Barrier)
-            } else if !w.mem_blocks.is_empty() {
-                Some(StallKind::Memory)
-            } else {
-                match w.ops.front() {
-                    _ if w.atomic_pending => Some(StallKind::Memory),
-                    Some(WarpOp::Fence | WarpOp::ReleaseFence | WarpOp::AcquireFence) => {
-                        Some(StallKind::Fence)
-                    }
-                    Some(WarpOp::Load(_) | WarpOp::Store(_) | WarpOp::Atomic(_))
-                        if !self.window_open(w) =>
-                    {
-                        Some(StallKind::Memory)
-                    }
-                    Some(WarpOp::Compute(_))
-                        if self.p.consistency == ConsistencyModel::Sc && w.outstanding > 0 =>
-                    {
-                        Some(StallKind::Memory)
-                    }
-                    None if w.outstanding > 0 => Some(StallKind::Memory),
-                    _ => None,
-                }
-            };
-            if let Some(k) = kind {
+            if let Some(k) = self.stall_reason(i, now) {
                 self.stats.record_stall(k);
             }
         }
+    }
+
+    /// Instructions issued so far (the watchdog's cheap progress signal).
+    #[must_use]
+    pub fn issued_count(&self) -> u64 {
+        self.stats.issued
+    }
+
+    /// Snapshot of every resident warp that cannot issue at `now`, with
+    /// its stall classification and outstanding-access state. Used by the
+    /// simulator's forward-progress watchdog to explain a hang.
+    #[must_use]
+    pub fn stalled_warps(&self, now: Cycle) -> Vec<WarpStallInfo> {
+        (0..self.warps.len())
+            .filter_map(|i| {
+                let stall = self.stall_reason(i, now)?;
+                let w = &self.warps[i];
+                Some(WarpStallInfo {
+                    warp: WarpId(i as u16),
+                    stall,
+                    outstanding: w.outstanding,
+                    mem_blocks_pending: w.mem_blocks.len(),
+                    ops_remaining: w.ops.len(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// One stalled warp in a forward-progress diagnosis (see
+/// [`Sm::stalled_warps`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpStallInfo {
+    /// Warp slot within its SM.
+    pub warp: WarpId,
+    /// Why the warp cannot issue.
+    pub stall: StallKind,
+    /// Accesses in flight for this warp.
+    pub outstanding: u32,
+    /// Coalesced blocks of the current memory instruction not yet issued.
+    pub mem_blocks_pending: usize,
+    /// Instructions left in the warp's program.
+    pub ops_remaining: usize,
+}
+
+impl std::fmt::Display for WarpStallInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "warp {} stalled on {:?} (outstanding={}, blocks_pending={}, ops_left={})",
+            self.warp.0, self.stall, self.outstanding, self.mem_blocks_pending, self.ops_remaining
+        )
     }
 }
 
@@ -563,7 +628,13 @@ mod tests {
     impl TestL1 {
         fn new() -> (Self, Rc<RefCell<Dq<MemAccess>>>) {
             let q = Rc::new(RefCell::new(Dq::new()));
-            (TestL1 { queued: q.clone(), fence_ready_at: Cycle(0) }, q)
+            (
+                TestL1 {
+                    queued: q.clone(),
+                    fence_ready_at: Cycle(0),
+                },
+                q,
+            )
         }
     }
 
@@ -617,7 +688,10 @@ mod tests {
         assert!(sm.can_accept_cta(2));
         sm.assign_cta(
             CtaId(0),
-            vec![WarpProgram(vec![WarpOp::Compute(1)]), WarpProgram(vec![WarpOp::Compute(1)])],
+            vec![
+                WarpProgram(vec![WarpOp::Compute(1)]),
+                WarpProgram(vec![WarpOp::Compute(1)]),
+            ],
         );
         assert_eq!(sm.resident_warps(), 2);
         for c in 0..10 {
@@ -631,7 +705,10 @@ mod tests {
     #[test]
     fn sc_blocks_next_instruction_until_completion() {
         let (l1, q) = TestL1::new();
-        let p = SmParams { consistency: ConsistencyModel::Sc, ..SmParams::default() };
+        let p = SmParams {
+            consistency: ConsistencyModel::Sc,
+            ..SmParams::default()
+        };
         let mut sm = Sm::new(p, Box::new(l1));
         sm.assign_cta(
             CtaId(0),
@@ -655,11 +732,17 @@ mod tests {
     #[test]
     fn rc_overlaps_memory_and_compute() {
         let (l1, q) = TestL1::new();
-        let p = SmParams { consistency: ConsistencyModel::Rc, ..SmParams::default() };
+        let p = SmParams {
+            consistency: ConsistencyModel::Rc,
+            ..SmParams::default()
+        };
         let mut sm = Sm::new(p, Box::new(l1));
         sm.assign_cta(
             CtaId(0),
-            one_warp_kernel(vec![WarpOp::load_coalesced(Addr(0), 32), WarpOp::Compute(1)]),
+            one_warp_kernel(vec![
+                WarpOp::load_coalesced(Addr(0), 32),
+                WarpOp::Compute(1),
+            ]),
         );
         sm.cycle(Cycle(0)); // load
         sm.cycle(Cycle(1)); // compute issues despite outstanding load
@@ -676,8 +759,9 @@ mod tests {
             ..SmParams::default()
         };
         let mut sm = Sm::new(p, Box::new(l1));
-        let loads: Vec<WarpOp> =
-            (0..4).map(|i| WarpOp::load_coalesced(Addr(i * 128), 32)).collect();
+        let loads: Vec<WarpOp> = (0..4)
+            .map(|i| WarpOp::load_coalesced(Addr(i * 128), 32))
+            .collect();
         sm.assign_cta(CtaId(0), one_warp_kernel(loads));
         for c in 0..10 {
             sm.cycle(Cycle(c));
@@ -718,7 +802,11 @@ mod tests {
             CtaId(0),
             vec![
                 WarpProgram(vec![WarpOp::Barrier, WarpOp::Compute(1)]),
-                WarpProgram(vec![WarpOp::Compute(3), WarpOp::Barrier, WarpOp::Compute(1)]),
+                WarpProgram(vec![
+                    WarpOp::Compute(3),
+                    WarpOp::Barrier,
+                    WarpOp::Compute(1),
+                ]),
             ],
         );
         // Warp 0 reaches the barrier immediately; warp 1 is computing.
@@ -751,7 +839,10 @@ mod tests {
     #[test]
     fn atomic_blocks_warp_until_completion() {
         let (l1, q) = TestL1::new();
-        let p = SmParams { consistency: ConsistencyModel::Rc, ..SmParams::default() };
+        let p = SmParams {
+            consistency: ConsistencyModel::Rc,
+            ..SmParams::default()
+        };
         let mut sm = Sm::new(p, Box::new(l1));
         sm.assign_cta(
             CtaId(0),
@@ -786,8 +877,16 @@ mod tests {
         sm.assign_cta(
             CtaId(0),
             vec![
-                WarpProgram(vec![WarpOp::Compute(1), WarpOp::Compute(1), WarpOp::Compute(1)]),
-                WarpProgram(vec![WarpOp::Compute(1), WarpOp::Compute(1), WarpOp::Compute(1)]),
+                WarpProgram(vec![
+                    WarpOp::Compute(1),
+                    WarpOp::Compute(1),
+                    WarpOp::Compute(1),
+                ]),
+                WarpProgram(vec![
+                    WarpOp::Compute(1),
+                    WarpOp::Compute(1),
+                    WarpOp::Compute(1),
+                ]),
             ],
         );
         // With compute(1) ops a warp is ready again next cycle, so GTO
@@ -828,7 +927,10 @@ mod tests {
     #[test]
     fn release_fence_waits_only_for_stores() {
         let (l1, q) = TestL1::new();
-        let p = SmParams { consistency: ConsistencyModel::Rc, ..SmParams::default() };
+        let p = SmParams {
+            consistency: ConsistencyModel::Rc,
+            ..SmParams::default()
+        };
         let mut sm = Sm::new(p, Box::new(l1));
         sm.assign_cta(
             CtaId(0),
@@ -858,7 +960,10 @@ mod tests {
     #[test]
     fn acquire_fence_waits_only_for_loads() {
         let (l1, q) = TestL1::new();
-        let p = SmParams { consistency: ConsistencyModel::Rc, ..SmParams::default() };
+        let p = SmParams {
+            consistency: ConsistencyModel::Rc,
+            ..SmParams::default()
+        };
         let mut sm = Sm::new(p, Box::new(l1));
         sm.assign_cta(
             CtaId(0),
@@ -887,9 +992,15 @@ mod tests {
     #[test]
     fn stall_classification_counts_memory_waits() {
         let (l1, _q) = TestL1::new();
-        let p = SmParams { consistency: ConsistencyModel::Sc, ..SmParams::default() };
+        let p = SmParams {
+            consistency: ConsistencyModel::Sc,
+            ..SmParams::default()
+        };
         let mut sm = Sm::new(p, Box::new(l1));
-        sm.assign_cta(CtaId(0), one_warp_kernel(vec![WarpOp::load_coalesced(Addr(0), 32)]));
+        sm.assign_cta(
+            CtaId(0),
+            one_warp_kernel(vec![WarpOp::load_coalesced(Addr(0), 32)]),
+        );
         sm.cycle(Cycle(0));
         for c in 1..11 {
             sm.cycle(Cycle(c)); // waiting on the never-completing load

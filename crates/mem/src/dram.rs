@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use gtsc_faults::{DramFaults, FaultStats};
 use gtsc_types::{BlockAddr, Cycle, DramConfig, DramStats, PagePolicy};
 
 /// A request handed to the DRAM by an L2 bank.
@@ -72,6 +73,9 @@ pub struct Dram<P> {
     inflight: Vec<InFlight<P>>,
     last_burst: Cycle,
     stats: DramStats,
+    /// Optional fault injector (variable service latency); `None` on the
+    /// fault-free fast path.
+    faults: Option<DramFaults>,
 }
 
 impl<P> Dram<P> {
@@ -82,15 +86,51 @@ impl<P> Dram<P> {
     /// Panics if `cfg.banks` or `cfg.queue_depth` is zero.
     #[must_use]
     pub fn new(cfg: DramConfig) -> Self {
-        assert!(cfg.banks > 0 && cfg.queue_depth > 0, "DRAM config must be nonzero");
+        assert!(
+            cfg.banks > 0 && cfg.queue_depth > 0,
+            "DRAM config must be nonzero"
+        );
         Dram {
-            banks: vec![Bank { open_row: None, busy_until: Cycle(0) }; cfg.banks],
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    busy_until: Cycle(0)
+                };
+                cfg.banks
+            ],
             queue: VecDeque::new(),
             inflight: Vec::new(),
             last_burst: Cycle(0),
             stats: DramStats::default(),
+            faults: None,
             cfg,
         }
+    }
+
+    /// Installs (or clears) a fault injector. Faults only ever *extend*
+    /// a request's service latency — requests are never lost, so
+    /// [`Dram::is_idle`] remains a liveness guarantee.
+    pub fn set_faults(&mut self, faults: Option<DramFaults>) {
+        self.faults = faults;
+    }
+
+    /// Fault-injection counters, when an injector is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(DramFaults::stats)
+    }
+
+    /// Requests waiting in the partition queue (stall diagnostics).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests issued to a bank and awaiting their burst (stall
+    /// diagnostics).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
     }
 
     fn row_of(&self, b: BlockAddr) -> u64 {
@@ -171,12 +211,17 @@ impl<P> Dram<P> {
                 PagePolicy::Open => Some(row),
                 PagePolicy::Closed => None,
             };
+            let latency = latency + self.faults.as_mut().map_or(0, DramFaults::extra_latency);
             let burst_start = (now + latency).max(self.last_burst + self.cfg.burst_gap);
             bank.busy_until = burst_start;
             self.last_burst = burst_start;
             self.inflight.push(InFlight {
                 ready_at: burst_start,
-                resp: DramResponse { block: req.block, is_write: req.is_write, payload: req.payload },
+                resp: DramResponse {
+                    block: req.block,
+                    is_write: req.is_write,
+                    payload: req.payload,
+                },
             });
         }
     }
@@ -226,7 +271,11 @@ mod tests {
     fn single_read_takes_row_miss_latency() {
         let cfg = DramConfig::default();
         let mut d: Dram<u32> = Dram::new(cfg);
-        d.enqueue(DramRequest { block: BlockAddr(0), is_write: false, payload: 1 });
+        d.enqueue(DramRequest {
+            block: BlockAddr(0),
+            is_write: false,
+            payload: 1,
+        });
         let done = drain(&mut d, 1000);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].0, cfg.row_miss); // issued at cycle 0
@@ -238,8 +287,16 @@ mod tests {
     fn second_access_same_row_is_faster() {
         let cfg = DramConfig::default();
         let mut d: Dram<u32> = Dram::new(cfg);
-        d.enqueue(DramRequest { block: BlockAddr(0), is_write: false, payload: 1 });
-        d.enqueue(DramRequest { block: BlockAddr(1), is_write: false, payload: 2 });
+        d.enqueue(DramRequest {
+            block: BlockAddr(0),
+            is_write: false,
+            payload: 1,
+        });
+        d.enqueue(DramRequest {
+            block: BlockAddr(1),
+            is_write: false,
+            payload: 2,
+        });
         let done = drain(&mut d, 2000);
         assert_eq!(done.len(), 2);
         assert_eq!(d.stats().row_hits, 1);
@@ -248,10 +305,17 @@ mod tests {
 
     #[test]
     fn different_banks_overlap() {
-        let cfg = DramConfig { burst_gap: 1, ..DramConfig::default() };
+        let cfg = DramConfig {
+            burst_gap: 1,
+            ..DramConfig::default()
+        };
         let mut d: Dram<u32> = Dram::new(cfg);
         // Rows 0 and 1 map to banks 0 and 1.
-        d.enqueue(DramRequest { block: BlockAddr(0), is_write: false, payload: 1 });
+        d.enqueue(DramRequest {
+            block: BlockAddr(0),
+            is_write: false,
+            payload: 1,
+        });
         d.enqueue(DramRequest {
             block: BlockAddr(cfg.blocks_per_row),
             is_write: false,
@@ -260,24 +324,46 @@ mod tests {
         let done = drain(&mut d, 2000);
         // Both finish around row_miss (+burst gap), not serialized 2x.
         let last = done.iter().map(|(c, _)| *c).max().unwrap();
-        assert!(last < 2 * cfg.row_miss, "bank parallelism expected, last={last}");
+        assert!(
+            last < 2 * cfg.row_miss,
+            "bank parallelism expected, last={last}"
+        );
     }
 
     #[test]
     fn backpressure_when_queue_full() {
-        let cfg = DramConfig { queue_depth: 2, ..DramConfig::default() };
+        let cfg = DramConfig {
+            queue_depth: 2,
+            ..DramConfig::default()
+        };
         let mut d: Dram<u32> = Dram::new(cfg);
-        assert!(d.enqueue(DramRequest { block: BlockAddr(0), is_write: false, payload: 0 }));
-        assert!(d.enqueue(DramRequest { block: BlockAddr(1), is_write: false, payload: 1 }));
+        assert!(d.enqueue(DramRequest {
+            block: BlockAddr(0),
+            is_write: false,
+            payload: 0
+        }));
+        assert!(d.enqueue(DramRequest {
+            block: BlockAddr(1),
+            is_write: false,
+            payload: 1
+        }));
         assert!(!d.can_accept());
-        assert!(!d.enqueue(DramRequest { block: BlockAddr(2), is_write: false, payload: 2 }));
+        assert!(!d.enqueue(DramRequest {
+            block: BlockAddr(2),
+            is_write: false,
+            payload: 2
+        }));
         assert_eq!(d.stats().queue_full_events, 1);
     }
 
     #[test]
     fn writes_counted_separately() {
         let mut d: Dram<u32> = Dram::new(DramConfig::default());
-        d.enqueue(DramRequest { block: BlockAddr(0), is_write: true, payload: 0 });
+        d.enqueue(DramRequest {
+            block: BlockAddr(0),
+            is_write: true,
+            payload: 0,
+        });
         let done = drain(&mut d, 1000);
         assert!(done[0].1.is_write);
         assert_eq!(d.stats().writes, 1);
@@ -286,27 +372,47 @@ mod tests {
 
     #[test]
     fn closed_page_latency_is_uniform() {
-        let cfg = DramConfig { page_policy: PagePolicy::Closed, burst_gap: 1, ..DramConfig::default() };
+        let cfg = DramConfig {
+            page_policy: PagePolicy::Closed,
+            burst_gap: 1,
+            ..DramConfig::default()
+        };
         let mut d: Dram<u32> = Dram::new(cfg);
-        d.enqueue(DramRequest { block: BlockAddr(0), is_write: false, payload: 1 });
+        d.enqueue(DramRequest {
+            block: BlockAddr(0),
+            is_write: false,
+            payload: 1,
+        });
         let done = drain(&mut d, 1000);
         let expected = (cfg.row_hit + cfg.row_miss) / 2;
         assert_eq!(done[0].0, expected);
         // A same-row follow-up pays exactly the same (no open row).
-        d.enqueue(DramRequest { block: BlockAddr(1), is_write: false, payload: 2 });
+        d.enqueue(DramRequest {
+            block: BlockAddr(1),
+            is_write: false,
+            payload: 2,
+        });
         let done = drain(&mut d, 2000);
         assert_eq!(d.stats().row_hits, 0, "closed page never hits");
-    
+
         let _ = done;
     }
 
     #[test]
     fn open_page_beats_closed_on_streaming() {
         let mk = |policy| {
-            let cfg = DramConfig { page_policy: policy, burst_gap: 1, ..DramConfig::default() };
+            let cfg = DramConfig {
+                page_policy: policy,
+                burst_gap: 1,
+                ..DramConfig::default()
+            };
             let mut d: Dram<u32> = Dram::new(cfg);
             for i in 0..8 {
-                d.enqueue(DramRequest { block: BlockAddr(i), is_write: false, payload: i as u32 });
+                d.enqueue(DramRequest {
+                    block: BlockAddr(i),
+                    is_write: false,
+                    payload: i as u32,
+                });
             }
             let done = drain(&mut d, 5000);
             done.iter().map(|(c, _)| *c).max().unwrap()
@@ -315,6 +421,68 @@ mod tests {
             mk(PagePolicy::Open) < mk(PagePolicy::Closed),
             "sequential blocks in one row should favour the open policy"
         );
+    }
+
+    #[test]
+    fn fault_jitter_only_extends_latency_and_replays() {
+        use gtsc_faults::FaultPlan;
+        use gtsc_types::FaultConfig;
+        let cfg = DramConfig::default();
+        let run = |seed: u64| {
+            let mut d: Dram<u32> = Dram::new(cfg);
+            d.set_faults(FaultPlan::new(FaultConfig::chaos(seed)).dram(0));
+            for i in 0..16 {
+                d.enqueue(DramRequest {
+                    block: BlockAddr(i * 40),
+                    is_write: false,
+                    payload: i as u32,
+                });
+            }
+            let done = drain(&mut d, 100_000);
+            assert!(d.is_idle(), "faults must preserve liveness");
+            (done, d.fault_stats().unwrap())
+        };
+        let (a, sa) = run(21);
+        let (b, sb) = run(21);
+        assert_eq!(a, b, "same seed replays byte-for-byte");
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), 16, "no request lost");
+        // First request issues at cycle 0: never earlier than the
+        // fault-free row-miss latency.
+        assert!(a[0].0 >= cfg.row_miss);
+        // And a fault-free run is at least as fast overall.
+        let mut clean: Dram<u32> = Dram::new(cfg);
+        for i in 0..16 {
+            clean.enqueue(DramRequest {
+                block: BlockAddr(i * 40),
+                is_write: false,
+                payload: i as u32,
+            });
+        }
+        let clean_done = drain(&mut clean, 100_000);
+        let last = |v: &[(u64, DramResponse<u32>)]| v.iter().map(|(c, _)| *c).max().unwrap();
+        assert!(last(&a) >= last(&clean_done));
+    }
+
+    #[test]
+    fn occupancy_accessors_track_queue_and_banks() {
+        let mut d: Dram<u32> = Dram::new(DramConfig::default());
+        for i in 0..4 {
+            d.enqueue(DramRequest {
+                block: BlockAddr(i),
+                is_write: false,
+                payload: i as u32,
+            });
+        }
+        assert_eq!(d.queued(), 4);
+        assert_eq!(d.in_flight(), 0);
+        d.tick(Cycle(0));
+        assert!(d.in_flight() > 0);
+        assert!(d.queued() < 4);
+        for c in 1..5000 {
+            d.tick(Cycle(c));
+        }
+        assert_eq!(d.queued() + d.in_flight(), 0);
     }
 
     proptest! {

@@ -59,8 +59,15 @@ impl<W> Mshr<W> {
     /// Panics if either limit is zero.
     #[must_use]
     pub fn new(max_entries: usize, max_merges: usize) -> Self {
-        assert!(max_entries > 0 && max_merges > 0, "MSHR limits must be nonzero");
-        Mshr { entries: HashMap::new(), max_entries, max_merges }
+        assert!(
+            max_entries > 0 && max_merges > 0,
+            "MSHR limits must be nonzero"
+        );
+        Mshr {
+            entries: HashMap::new(),
+            max_entries,
+            max_merges,
+        }
     }
 
     /// Registers a miss on `block` carrying `waiter`.

@@ -55,7 +55,11 @@ impl<M> TagArray<M> {
         let sets = (0..geom.n_sets())
             .map(|_| (0..geom.ways()).map(|_| None).collect())
             .collect();
-        TagArray { geom, sets, use_counter: 0 }
+        TagArray {
+            geom,
+            sets,
+            use_counter: 0,
+        }
     }
 
     /// The geometry this array was built with.
@@ -87,7 +91,10 @@ impl<M> TagArray<M> {
         let set = self.set_of(block);
         self.use_counter += 1;
         let stamp = self.use_counter;
-        let found = self.sets[set].iter_mut().flatten().find(|l| l.block == block);
+        let found = self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.block == block);
         if let Some(l) = found {
             l.last_use = stamp;
             Some(l)
@@ -141,7 +148,11 @@ impl<M> TagArray<M> {
             return Ok(None);
         }
         if let Some(empty) = ways.iter_mut().find(|w| w.is_none()) {
-            *empty = Some(Line { block, meta, last_use: stamp });
+            *empty = Some(Line {
+                block,
+                meta,
+                last_use: stamp,
+            });
             return Ok(None);
         }
         // Choose the LRU line among evictable candidates.
@@ -153,8 +164,15 @@ impl<M> TagArray<M> {
             .map(|(i, _)| i);
         match victim_way {
             Some(i) => {
-                let old = ways[i].replace(Line { block, meta, last_use: stamp });
-                Ok(old.map(|l| EvictedLine { block: l.block, meta: l.meta }))
+                let old = ways[i].replace(Line {
+                    block,
+                    meta,
+                    last_use: stamp,
+                });
+                Ok(old.map(|l| EvictedLine {
+                    block: l.block,
+                    meta: l.meta,
+                }))
             }
             None => Err(meta),
         }
@@ -285,7 +303,10 @@ mod tests {
         let g = CacheGeometry::new(1024, 1, 128).with_set_stride(8); // 8 sets
         let mut t: TagArray<u32> = TagArray::new(g);
         for i in 0..8u64 {
-            assert!(t.fill(BlockAddr(i * 8), i as u32).is_none(), "block {i} evicted early");
+            assert!(
+                t.fill(BlockAddr(i * 8), i as u32).is_none(),
+                "block {i} evicted early"
+            );
         }
         assert_eq!(t.len(), 8, "all eight bank-local blocks resident");
     }

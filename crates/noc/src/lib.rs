@@ -31,6 +31,7 @@
 
 use std::collections::VecDeque;
 
+use gtsc_faults::{FaultStats, NocFaults};
 use gtsc_types::{Cycle, NocConfig, NocStats, NocTopology};
 
 /// A queued or in-flight packet.
@@ -48,6 +49,9 @@ struct InFlight<T> {
     dst: usize,
     payload: T,
     enqueued: Cycle,
+    /// Fault-injected duplicate: delivered like any packet but excluded
+    /// from the latency counters (it is not a real packet).
+    is_dup: bool,
 }
 
 /// One direction of the SM ⇄ L2 interconnect.
@@ -67,6 +71,17 @@ pub struct Network<T> {
     port_free: Vec<Cycle>,
     inflight: Vec<InFlight<T>>,
     stats: NocStats,
+    /// Optional fault injector (latency jitter, bounded reordering,
+    /// duplicate delivery); `None` on the fault-free fast path.
+    faults: Option<NocFaults>,
+    /// Latest scheduled arrival per `(src, dst)` flow, indexed
+    /// `src * n_dsts + dst`. Only consulted under fault injection: faults
+    /// may delay or replay packets but never let one overtake earlier
+    /// traffic of its own flow — deterministic-routing NoCs deliver each
+    /// flow in FIFO order, and the coherence protocols soundly rely on
+    /// that (e.g. two stores from one L1 to one block must reach the L2
+    /// in program order).
+    flow_last: Vec<u64>,
 }
 
 impl<T> Network<T> {
@@ -80,7 +95,10 @@ impl<T> Network<T> {
     #[must_use]
     pub fn new(n_srcs: usize, n_dsts: usize, cfg: NocConfig) -> Self {
         assert!(n_srcs > 0 && n_dsts > 0, "port counts must be nonzero");
-        assert!(cfg.flit_bytes > 0 && cfg.flits_per_cycle > 0, "NoC bandwidth must be nonzero");
+        assert!(
+            cfg.flit_bytes > 0 && cfg.flits_per_cycle > 0,
+            "NoC bandwidth must be nonzero"
+        );
         Network {
             cfg,
             n_srcs,
@@ -89,7 +107,35 @@ impl<T> Network<T> {
             port_free: vec![Cycle(0); n_srcs],
             inflight: Vec::new(),
             stats: NocStats::default(),
+            faults: None,
+            flow_last: vec![0; n_srcs * n_dsts],
         }
+    }
+
+    /// Installs (or clears) a fault injector. Faults only ever *add*
+    /// latency or duplicate deliveries — a packet still arrives no
+    /// earlier than its fault-free schedule, so [`Network::is_idle`]
+    /// remains a liveness guarantee.
+    pub fn set_faults(&mut self, faults: Option<NocFaults>) {
+        self.faults = faults;
+    }
+
+    /// Fault-injection counters, when an injector is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(NocFaults::stats)
+    }
+
+    /// Packets injected and currently on a wire (stall diagnostics).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Packets still waiting in source-port queues (stall diagnostics).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
     }
 
     /// Wire latency from source port `src` to destination port `dst`:
@@ -130,12 +176,35 @@ impl<T> Network<T> {
         } else {
             self.stats.control_packets += 1;
         }
-        self.queues[src].push_back(Packet { dst, bytes, payload, enqueued: now });
+        self.queues[src].push_back(Packet {
+            dst,
+            bytes,
+            payload,
+            enqueued: now,
+        });
     }
 
+    /// Whether all queues and wires are drained.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_empty() && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+}
+
+impl<T: Clone> Network<T> {
     /// Advances to cycle `now`: injects queued packets as port bandwidth
     /// frees up and returns `(dst, payload)` for every packet arriving at
     /// or before `now`.
+    ///
+    /// `T: Clone` because an installed fault injector may deliver a
+    /// packet twice (duplicate-delivery fault); the fault-free path
+    /// never clones.
     pub fn tick(&mut self, now: Cycle) -> Vec<(usize, T)> {
         let (cfg, n_srcs, n_dsts) = (self.cfg, self.n_srcs, self.n_dsts);
         let wire = |src: usize, dst: usize| match cfg.topology {
@@ -159,11 +228,34 @@ impl<T> Network<T> {
                 self.stats.queue_cycles += start - pkt.enqueued;
                 let done = start + inject_cycles;
                 self.port_free[src] = done;
+                let mut arrives = done + wire(src, pkt.dst);
+                if let Some(f) = &mut self.faults {
+                    let fate = f.perturb();
+                    arrives += fate.extra_delay;
+                    // Per-flow FIFO clamp: delayed or replayed, a packet
+                    // never overtakes earlier traffic of its own flow
+                    // (see the `flow_last` field).
+                    let flow = src * n_dsts + pkt.dst;
+                    arrives = arrives.max(Cycle(self.flow_last[flow] + 1));
+                    self.flow_last[flow] = arrives.0;
+                    if let Some(lag) = fate.duplicate {
+                        let dup_at = arrives + lag.max(1);
+                        self.flow_last[flow] = dup_at.0;
+                        self.inflight.push(InFlight {
+                            arrives: dup_at,
+                            dst: pkt.dst,
+                            payload: pkt.payload.clone(),
+                            enqueued: pkt.enqueued,
+                            is_dup: true,
+                        });
+                    }
+                }
                 self.inflight.push(InFlight {
-                    arrives: done + wire(src, pkt.dst),
+                    arrives,
                     dst: pkt.dst,
                     payload: pkt.payload,
                     enqueued: pkt.enqueued,
+                    is_dup: false,
                 });
             }
         }
@@ -173,25 +265,15 @@ impl<T> Network<T> {
         while i < self.inflight.len() {
             if self.inflight[i].arrives <= now {
                 let p = self.inflight.swap_remove(i);
-                self.stats.total_packet_latency += now - p.enqueued;
+                if !p.is_dup {
+                    self.stats.total_packet_latency += now - p.enqueued;
+                }
                 out.push((p.dst, p.payload));
             } else {
                 i += 1;
             }
         }
         out
-    }
-
-    /// Whether all queues and wires are drained.
-    #[must_use]
-    pub fn is_idle(&self) -> bool {
-        self.inflight.is_empty() && self.queues.iter().all(VecDeque::is_empty)
-    }
-
-    /// Counters accumulated so far.
-    #[must_use]
-    pub fn stats(&self) -> NocStats {
-        self.stats
     }
 }
 
@@ -200,7 +282,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn run<T>(net: &mut Network<T>, horizon: u64) -> Vec<(u64, usize, T)> {
+    fn run<T: Clone>(net: &mut Network<T>, horizon: u64) -> Vec<(u64, usize, T)> {
         let mut out = Vec::new();
         for c in 0..horizon {
             for (dst, p) in net.tick(Cycle(c)) {
@@ -221,7 +303,10 @@ mod tests {
     }
 
     fn one_flit_cfg() -> NocConfig {
-        NocConfig { flits_per_cycle: 1, ..NocConfig::default() }
+        NocConfig {
+            flits_per_cycle: 1,
+            ..NocConfig::default()
+        }
     }
 
     #[test]
@@ -330,5 +415,200 @@ mod tests {
             expected.sort_unstable();
             prop_assert_eq!(expected, got);
         }
+
+        /// FIFO ordering: without faults, two packets with the same
+        /// (src, dst) are never reordered — per-port injection is
+        /// serialized and the wire latency per pair is constant.
+        #[test]
+        fn fault_free_fifo_per_src_dst_pair(
+            sends in proptest::collection::vec((0usize..3, 0usize..3, 1usize..200, 0u64..20), 1..60)
+        ) {
+            let mut net: Network<usize> = Network::new(3, 3, NocConfig::default());
+            let mut cycle = 0u64;
+            let mut sent: Vec<(usize, usize, usize)> = Vec::new(); // (src, dst, seq)
+            let mut delivered: Vec<usize> = Vec::new();
+            for (seq, (src, dst, bytes, delay)) in sends.iter().enumerate() {
+                for c in cycle..cycle + delay {
+                    delivered.extend(net.tick(Cycle(c)).into_iter().map(|(_, p)| p));
+                }
+                cycle += delay;
+                net.send(*src, *dst, *bytes, seq, Cycle(cycle));
+                sent.push((*src, *dst, seq));
+            }
+            for c in cycle..cycle + 200_000 {
+                delivered.extend(net.tick(Cycle(c)).into_iter().map(|(_, p)| p));
+                if net.is_idle() { break; }
+            }
+            prop_assert!(net.is_idle());
+            // Per (src, dst) pair, sequence numbers arrive in send order.
+            for a in 0..delivered.len() {
+                for b in a + 1..delivered.len() {
+                    let (sa, da, qa) = sent[delivered[a]];
+                    let (sb, db, qb) = sent[delivered[b]];
+                    if sa == sb && da == db {
+                        prop_assert!(qa < qb, "pair ({}, {}) reordered: {} after {}", sa, da, qa, qb);
+                    }
+                }
+            }
+        }
+
+        /// With reordering faults enabled, delivery may be shuffled but a
+        /// packet's latency never drops below the configured pipeline
+        /// latency — faults only ever delay.
+        #[test]
+        fn faulted_latency_never_below_wire_latency(
+            sends in proptest::collection::vec((0usize..3, 0usize..3, 1usize..200), 1..60),
+            seed in 0u64..1000,
+        ) {
+            use gtsc_faults::FaultPlan;
+            use gtsc_types::FaultConfig;
+            let cfg = NocConfig::default();
+            let mut net: Network<usize> = Network::new(3, 3, cfg);
+            net.set_faults(FaultPlan::new(FaultConfig::chaos(seed)).noc(0));
+            for (seq, (src, dst, bytes)) in sends.iter().enumerate() {
+                net.send(*src, *dst, *bytes, seq, Cycle(0));
+            }
+            let mut seen = vec![0u32; sends.len()];
+            for c in 0..500_000u64 {
+                for (_, p) in net.tick(Cycle(c)) {
+                    // Sent at cycle 0, so the delivery cycle IS the latency;
+                    // injection takes >= 1 cycle on top of the pipeline.
+                    prop_assert!(c > cfg.latency, "packet {} arrived at {} <= latency {}", p, c, cfg.latency);
+                    seen[p] += 1;
+                }
+                if net.is_idle() { break; }
+            }
+            prop_assert!(net.is_idle(), "faults must preserve liveness");
+            // Every packet delivered at least once; duplicates at most double.
+            for (p, n) in seen.iter().enumerate() {
+                prop_assert!((1..=2).contains(n), "packet {} delivered {} times", p, n);
+            }
+        }
+
+        /// Even under fault storms, per-flow FIFO holds: within one
+        /// (src, dst) pair, delivered sequence numbers never decrease
+        /// (duplicates repeat a number; nothing ever overtakes). Faults
+        /// may shuffle traffic *across* flows only — the ordering
+        /// contract a deterministic-routing NoC gives the protocols.
+        #[test]
+        fn faulted_flow_order_is_preserved(
+            sends in proptest::collection::vec((0usize..3, 0usize..3, 1usize..200, 0u64..10), 1..60),
+            seed in 0u64..1000,
+        ) {
+            use gtsc_faults::FaultPlan;
+            use gtsc_types::FaultConfig;
+            let mut net: Network<usize> = Network::new(3, 3, NocConfig::default());
+            net.set_faults(FaultPlan::new(FaultConfig::chaos(seed)).noc(0));
+            let mut cycle = 0u64;
+            let mut flows: Vec<(usize, usize)> = Vec::new();
+            let mut delivered: Vec<usize> = Vec::new();
+            for (seq, (src, dst, bytes, delay)) in sends.iter().enumerate() {
+                for c in cycle..cycle + delay {
+                    delivered.extend(net.tick(Cycle(c)).into_iter().map(|(_, p)| p));
+                }
+                cycle += delay;
+                net.send(*src, *dst, *bytes, seq, Cycle(cycle));
+                flows.push((*src, *dst));
+            }
+            for c in cycle..cycle + 500_000 {
+                delivered.extend(net.tick(Cycle(c)).into_iter().map(|(_, p)| p));
+                if net.is_idle() { break; }
+            }
+            prop_assert!(net.is_idle(), "faults must preserve liveness");
+            for a in 0..delivered.len() {
+                for b in a + 1..delivered.len() {
+                    let (qa, qb) = (delivered[a], delivered[b]);
+                    if flows[qa] == flows[qb] {
+                        prop_assert!(
+                            qa <= qb,
+                            "flow {:?} order broken under seed {}: {} after {}",
+                            flows[qa], seed, qa, qb
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_tick_is_deterministic_per_seed() {
+        use gtsc_faults::FaultPlan;
+        use gtsc_types::FaultConfig;
+        let run = |seed: u64| {
+            let mut net: Network<u32> = Network::new(2, 2, NocConfig::default());
+            net.set_faults(FaultPlan::new(FaultConfig::chaos(seed)).noc(0));
+            for i in 0..40 {
+                net.send(
+                    (i % 2) as usize,
+                    ((i / 2) % 2) as usize,
+                    8 + (i as usize % 160),
+                    i,
+                    Cycle(u64::from(i)),
+                );
+            }
+            let mut log = Vec::new();
+            for c in 0..100_000 {
+                for (d, p) in net.tick(Cycle(c)) {
+                    log.push((c, d, p));
+                }
+                if net.is_idle() {
+                    break;
+                }
+            }
+            (log, net.fault_stats().unwrap())
+        };
+        let (log_a, stats_a) = run(11);
+        let (log_b, stats_b) = run(11);
+        assert_eq!(log_a, log_b, "same seed replays byte-for-byte");
+        assert_eq!(stats_a, stats_b);
+        let (log_c, _) = run(12);
+        assert_ne!(log_a, log_c, "different seeds should differ");
+    }
+
+    #[test]
+    fn duplicates_are_delivered_and_counted() {
+        use gtsc_faults::FaultPlan;
+        use gtsc_types::FaultConfig;
+        // Duplication only, at 100%: every packet arrives exactly twice.
+        let cfg = FaultConfig {
+            seed: 3,
+            noc_duplicate_permille: 1000,
+            noc_duplicate_lag: 10,
+            ..FaultConfig::default()
+        };
+        let mut net: Network<u32> = Network::new(1, 1, NocConfig::default());
+        net.set_faults(FaultPlan::new(cfg).noc(0));
+        net.send(0, 0, 8, 7, Cycle(0));
+        let got = run(&mut net, 200);
+        assert_eq!(got.len(), 2, "original + duplicate");
+        assert_eq!(got[0].2, 7);
+        assert_eq!(got[1].2, 7);
+        assert_eq!(
+            got[1].0 - got[0].0,
+            10,
+            "duplicate lags by the configured gap"
+        );
+        assert_eq!(net.fault_stats().unwrap().duplicated, 1);
+        // The real-packet latency counters are unaffected by the duplicate.
+        assert_eq!(net.stats().packets, 1);
+        assert_eq!(net.stats().total_packet_latency, 21);
+    }
+
+    #[test]
+    fn occupancy_accessors_track_queue_and_wire() {
+        let cfg = one_flit_cfg();
+        let mut net: Network<u32> = Network::new(1, 1, cfg);
+        for i in 0..3 {
+            net.send(0, 0, 136, i, Cycle(0)); // 5 flits each: serialized
+        }
+        assert_eq!(net.queued(), 3);
+        assert_eq!(net.in_flight(), 0);
+        net.tick(Cycle(0));
+        assert!(net.in_flight() >= 1, "head of line injected");
+        assert!(net.queued() <= 2);
+        for c in 1..100 {
+            net.tick(Cycle(c));
+        }
+        assert_eq!(net.queued() + net.in_flight(), 0);
     }
 }

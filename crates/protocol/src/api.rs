@@ -72,6 +72,38 @@ pub struct Completion {
     pub prev: Option<Version>,
 }
 
+/// Occupancy snapshot of a cache controller, reported by
+/// [`L1Controller::pressure`] / [`L2Controller::pressure`] and assembled
+/// into a stall diagnosis when the simulator's forward-progress watchdog
+/// fires. Purely observational — reading it never perturbs timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerPressure {
+    /// Outstanding misses (occupied MSHR entries).
+    pub mshr: usize,
+    /// Requests queued toward the next level (L1→NoC or L2→DRAM).
+    pub out_queue: usize,
+    /// Responses or acknowledgements waiting to drain.
+    pub waiting: usize,
+}
+
+impl ControllerPressure {
+    /// Whether anything at all is held inside the controller.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mshr == 0 && self.out_queue == 0 && self.waiting == 0
+    }
+}
+
+impl std::fmt::Display for ControllerPressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mshr={} out_queue={} waiting={}",
+            self.mshr, self.out_queue, self.waiting
+        )
+    }
+}
+
 /// Immediate result of presenting an access to the L1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L1Outcome {
@@ -135,6 +167,12 @@ pub trait L1Controller {
 
     /// Counters accumulated so far.
     fn stats(&self) -> CacheStats;
+
+    /// Occupancy snapshot for stall diagnosis. The default reports an
+    /// empty controller; protocols with internal queues should override.
+    fn pressure(&self) -> ControllerPressure {
+        ControllerPressure::default()
+    }
 }
 
 /// A shared-cache bank controller.
@@ -195,6 +233,12 @@ pub trait L2Controller {
     /// cross-protocol equivalence checker; timing models need not override.
     fn memory_image(&self) -> Vec<(BlockAddr, Version)> {
         Vec::new()
+    }
+
+    /// Occupancy snapshot for stall diagnosis. The default reports an
+    /// empty controller; protocols with internal queues should override.
+    fn pressure(&self) -> ControllerPressure {
+        ControllerPressure::default()
     }
 }
 
@@ -259,5 +303,8 @@ mod tests {
         assert!(!d2.needs_reset());
         d2.apply_reset(1);
         d2.dram_ready(true);
+        assert!(d.pressure().is_empty());
+        assert!(d2.pressure().is_empty());
+        assert_eq!(d2.pressure().to_string(), "mshr=0 out_queue=0 waiting=0");
     }
 }

@@ -19,6 +19,9 @@ pub mod api;
 pub mod msg;
 
 pub use api::{
-    AccessId, AccessKind, Completion, L1Controller, L1Outcome, L2Controller, MemAccess,
+    AccessId, AccessKind, Completion, ControllerPressure, L1Controller, L1Outcome, L2Controller,
+    MemAccess,
 };
-pub use msg::{Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, MsgSizes, ReadReq, WriteAckResp, WriteReq};
+pub use msg::{
+    Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, MsgSizes, ReadReq, WriteAckResp, WriteReq,
+};

@@ -208,7 +208,11 @@ impl MsgSizes {
     /// Builds sizes from a timestamp width in bits and block size in bytes.
     #[must_use]
     pub fn new(header: usize, ts_bits: u32, block_bytes: usize) -> Self {
-        MsgSizes { header, ts_bytes: (ts_bits as usize).div_ceil(8), block_bytes }
+        MsgSizes {
+            header,
+            ts_bytes: (ts_bits as usize).div_ceil(8),
+            block_bytes,
+        }
     }
 
     fn lease_bytes(&self, lease: &LeaseInfo, fields: usize) -> usize {
@@ -258,7 +262,10 @@ mod tests {
     }
 
     fn logical() -> LeaseInfo {
-        LeaseInfo::Logical { wts: Timestamp(1), rts: Timestamp(11) }
+        LeaseInfo::Logical {
+            wts: Timestamp(1),
+            rts: Timestamp(11),
+        }
     }
 
     /// Table I check: which fields each message carries (encoded as size).
@@ -289,7 +296,11 @@ mod tests {
         });
         assert_eq!(s.response_bytes(&fill), 8 + 4 + 128); // rts + wts + data
 
-        let rnw = L2ToL1::Renew { block: BlockAddr(1), lease: logical(), epoch: 0 };
+        let rnw = L2ToL1::Renew {
+            block: BlockAddr(1),
+            lease: logical(),
+            epoch: 0,
+        };
         assert_eq!(s.response_bytes(&rnw), 8 + 2); // rts only, NO data
 
         let ack = L2ToL1::WriteAck(WriteAckResp {
@@ -304,7 +315,11 @@ mod tests {
     #[test]
     fn renewal_is_much_smaller_than_fill() {
         let s = sizes();
-        let rnw = L2ToL1::Renew { block: BlockAddr(1), lease: logical(), epoch: 0 };
+        let rnw = L2ToL1::Renew {
+            block: BlockAddr(1),
+            lease: logical(),
+            epoch: 0,
+        };
         let fill = L2ToL1::Fill(FillResp {
             block: BlockAddr(1),
             lease: logical(),
@@ -328,7 +343,11 @@ mod tests {
 
     #[test]
     fn block_and_epoch_accessors() {
-        let rnw = L2ToL1::Renew { block: BlockAddr(9), lease: LeaseInfo::None, epoch: 3 };
+        let rnw = L2ToL1::Renew {
+            block: BlockAddr(9),
+            lease: LeaseInfo::None,
+            epoch: 3,
+        };
         assert_eq!(rnw.block(), BlockAddr(9));
         assert_eq!(rnw.epoch(), 3);
         let rd = L1ToL2::Read(ReadReq {

@@ -1,7 +1,9 @@
 //! Protocol factory: builds the L1/L2 controller pair selected by
 //! [`GpuConfig::protocol`](gtsc_types::GpuConfig).
 
-use gtsc_baselines::{BypassL1, NonCoherentL1, PlainL2, PlainL2Params, TcL1, TcL1Params, TcL2, TcL2Params, TcMode};
+use gtsc_baselines::{
+    BypassL1, NonCoherentL1, PlainL2, PlainL2Params, TcL1, TcL1Params, TcL2, TcL2Params, TcMode,
+};
 use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
 use gtsc_protocol::{L1Controller, L2Controller};
 use gtsc_types::{GpuConfig, ProtocolKind};
@@ -26,7 +28,11 @@ pub fn build_l1(cfg: &GpuConfig, sm_index: usize) -> Box<dyn L1Controller> {
             sm_index,
             mshr_entries: cfg.l1_mshr_entries,
             mshr_merges: cfg.l1_mshr_merges,
-            mode: if cfg.protocol == ProtocolKind::Tc { TcMode::Strong } else { TcMode::Weak },
+            mode: if cfg.protocol == ProtocolKind::Tc {
+                TcMode::Strong
+            } else {
+                TcMode::Weak
+            },
         })),
         ProtocolKind::NoL1 => Box::new(BypassL1::new(sm_index)),
         ProtocolKind::L1NoCoherence => Box::new(NonCoherentL1::new(
@@ -61,7 +67,11 @@ pub fn build_l2(cfg: &GpuConfig) -> Box<dyn L2Controller> {
             ports: 2,
             mshr_entries: cfg.l2_mshr_entries,
             mshr_merges: 256,
-            mode: if cfg.protocol == ProtocolKind::Tc { TcMode::Strong } else { TcMode::Weak },
+            mode: if cfg.protocol == ProtocolKind::Tc {
+                TcMode::Strong
+            } else {
+                TcMode::Weak
+            },
         })),
         ProtocolKind::NoL1 | ProtocolKind::L1NoCoherence => Box::new(PlainL2::new(PlainL2Params {
             geometry: cfg.l2.with_set_stride(cfg.l2_banks as u64),

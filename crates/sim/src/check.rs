@@ -16,7 +16,7 @@
 //! stored to that block. (TC-specific ordering is exercised by the litmus
 //! integration tests instead.)
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use gtsc_protocol::msg::Epoch;
 use gtsc_protocol::{AccessKind, Completion};
@@ -55,11 +55,13 @@ type LoadEv = LoadObservation;
 /// complete — from the checker's viewpoint — after the load).
 #[derive(Debug, Default)]
 pub struct Checker {
-    /// Committed stores per block, keyed by `(epoch, wts)`.
-    stores: HashMap<BlockAddr, BTreeMap<(Epoch, Timestamp), Version>>,
+    /// Committed stores per block, keyed by `(epoch, wts)`. Ordered maps
+    /// throughout so violation reports come out in a deterministic order
+    /// (the fault-injection tests compare reports byte for byte).
+    stores: BTreeMap<BlockAddr, BTreeMap<(Epoch, Timestamp), Version>>,
     /// All versions ever stored per block (functional fallback).
-    written: HashMap<BlockAddr, HashSet<Version>>,
-    loads: HashMap<BlockAddr, Vec<LoadEv>>,
+    written: BTreeMap<BlockAddr, HashSet<Version>>,
+    loads: BTreeMap<BlockAddr, Vec<LoadEv>>,
     n_events: u64,
 }
 
@@ -100,23 +102,29 @@ impl Checker {
                         .insert((c.epoch, wts), c.version);
                 }
                 if let Some(prev) = c.prev {
-                    self.loads.entry(c.block).or_default().push(LoadObservation {
-                        key: c.ts.map(|t| (c.epoch, t)),
-                        version: prev,
-                        at: now,
-                        sm,
-                        exclusive: true,
-                    });
+                    self.loads
+                        .entry(c.block)
+                        .or_default()
+                        .push(LoadObservation {
+                            key: c.ts.map(|t| (c.epoch, t)),
+                            version: prev,
+                            at: now,
+                            sm,
+                            exclusive: true,
+                        });
                 }
             }
             AccessKind::Load => {
-                self.loads.entry(c.block).or_default().push(LoadObservation {
-                    key: c.ts.map(|t| (c.epoch, t)),
-                    version: c.version,
-                    at: now,
-                    sm,
-                    exclusive: false,
-                });
+                self.loads
+                    .entry(c.block)
+                    .or_default()
+                    .push(LoadObservation {
+                        key: c.ts.map(|t| (c.epoch, t)),
+                        version: c.version,
+                        at: now,
+                        sm,
+                        exclusive: false,
+                    });
             }
         }
     }
@@ -183,6 +191,24 @@ impl Checker {
                     }
                 }
             }
+        }
+        out
+    }
+
+    /// Like [`Checker::finish`], but truncates the report to at most
+    /// `cap` violations, replacing the overflow with a one-line summary.
+    /// A stuck protocol can emit a violation per access; the cap keeps
+    /// reports (and test logs) readable without hiding that more exist.
+    #[must_use]
+    pub fn finish_capped(&self, cap: usize) -> Vec<Violation> {
+        let mut out = self.finish();
+        if cap > 0 && out.len() > cap {
+            let extra = out.len() - cap;
+            out.truncate(cap);
+            out.push(Violation(format!(
+                "…and {extra} more violation(s) suppressed (cap {cap}; raise \
+                 GpuConfig::max_violations_reported to see all)"
+            )));
         }
         out
     }
@@ -314,6 +340,24 @@ mod tests {
         let v = ch.finish();
         assert_eq!(v.len(), 1);
         assert!(v[0].0.contains("phantom"));
+    }
+
+    #[test]
+    fn finish_capped_truncates_with_summary() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 12, 100, 0), Cycle(10));
+        for i in 0..10 {
+            // Ten future-reads: ten violations.
+            ch.on_completion(1, &load(5, 6, 100, 0), Cycle(3 + i));
+        }
+        assert_eq!(ch.finish().len(), 10);
+        let capped = ch.finish_capped(3);
+        assert_eq!(capped.len(), 4);
+        assert!(capped[3].0.contains("7 more"), "{:?}", capped[3]);
+        // A cap of 0 means unlimited.
+        assert_eq!(ch.finish_capped(0).len(), 10);
+        // Under the cap: untouched.
+        assert_eq!(ch.finish_capped(100).len(), 10);
     }
 
     #[test]

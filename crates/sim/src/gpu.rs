@@ -10,11 +10,12 @@
 
 use std::collections::BTreeMap;
 
-use gtsc_gpu::{Kernel, Sm, SmParams};
+use gtsc_faults::FaultPlan;
+use gtsc_gpu::{Kernel, Sm, SmParams, WarpStallInfo};
 use gtsc_mem::{Dram, DramRequest};
 use gtsc_noc::Network;
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, MsgSizes};
-use gtsc_protocol::L2Controller;
+use gtsc_protocol::{ControllerPressure, L2Controller};
 use gtsc_types::{BlockAddr, CtaId, Cycle, GpuConfig, SimStats, SmId, Version};
 
 use crate::build::{build_l1, build_l2};
@@ -36,13 +37,27 @@ pub struct RunReport {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// The configured cycle limit elapsed with work still pending
-    /// (deadlock guard).
+    /// (deadlock guard of last resort; the watchdog usually fires first).
     CycleLimit {
         /// Cycle at which the run aborted.
         at: Cycle,
         /// Warps still resident across all SMs.
         resident_warps: usize,
     },
+    /// The forward-progress watchdog saw no completion, no instruction
+    /// issue, and no CTA dispatch for `cfg.watchdog_cycles` consecutive
+    /// cycles. The diagnosis pinpoints where work is stuck.
+    Stalled {
+        /// Cycle at which the watchdog fired.
+        at: Cycle,
+        /// Snapshot of every stalled warp, queue, and MSHR.
+        diagnosis: Box<StallDiagnosis>,
+    },
+    /// The kernel cannot run on this configuration (e.g. a CTA wider
+    /// than an SM's warp slots).
+    InvalidKernel(String),
+    /// The configuration itself is degenerate (e.g. zero SMs or banks).
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -52,11 +67,85 @@ impl std::fmt::Display for SimError {
                 f,
                 "cycle limit reached at {at} with {resident_warps} warps still resident"
             ),
+            SimError::Stalled { at, diagnosis } => {
+                write!(f, "no forward progress detected at {at}: {diagnosis}")
+            }
+            SimError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Structured explanation of a loss of forward progress, produced by the
+/// watchdog when it aborts a run via [`SimError::Stalled`]. Everything is
+/// a point-in-time snapshot taken at the abort cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallDiagnosis {
+    /// Consecutive cycles without any completion, issue, or dispatch.
+    pub stalled_for: u64,
+    /// Warps still resident across all SMs.
+    pub resident_warps: usize,
+    /// Every stalled warp, tagged with its SM index.
+    pub warps: Vec<(usize, WarpStallInfo)>,
+    /// Per-SM private-cache occupancy (MSHRs, outgoing queue, acks).
+    pub l1: Vec<ControllerPressure>,
+    /// Per-bank shared-cache occupancy.
+    pub l2: Vec<ControllerPressure>,
+    /// Packets on the request network's wires.
+    pub req_net_in_flight: usize,
+    /// Flits waiting at request-network injection ports.
+    pub req_net_queued: usize,
+    /// Packets on the response network's wires.
+    pub resp_net_in_flight: usize,
+    /// Flits waiting at response-network injection ports.
+    pub resp_net_queued: usize,
+    /// Requests waiting in DRAM controller queues (all partitions).
+    pub dram_queued: usize,
+    /// Requests being serviced by DRAM banks (all partitions).
+    pub dram_in_flight: usize,
+    /// Timestamp-reset epoch at the abort cycle (Section V-D).
+    pub epoch: Epoch,
+    /// Global rollovers performed so far.
+    pub ts_rollovers: u64,
+}
+
+impl std::fmt::Display for StallDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} warps resident, no progress for {} cycles (epoch {}, {} rollovers)",
+            self.resident_warps, self.stalled_for, self.epoch, self.ts_rollovers
+        )?;
+        for (sm, w) in &self.warps {
+            writeln!(f, "  sm{sm}: {w}")?;
+        }
+        for (i, p) in self.l1.iter().enumerate() {
+            if !p.is_empty() {
+                writeln!(f, "  l1[{i}]: {p}")?;
+            }
+        }
+        for (i, p) in self.l2.iter().enumerate() {
+            if !p.is_empty() {
+                writeln!(f, "  l2[{i}]: {p}")?;
+            }
+        }
+        writeln!(
+            f,
+            "  noc: req {} in flight / {} queued, resp {} in flight / {} queued",
+            self.req_net_in_flight,
+            self.req_net_queued,
+            self.resp_net_in_flight,
+            self.resp_net_queued
+        )?;
+        write!(
+            f,
+            "  dram: {} queued, {} in service",
+            self.dram_queued, self.dram_in_flight
+        )
+    }
+}
 
 /// The assembled GPU.
 pub struct GpuSim {
@@ -108,7 +197,9 @@ type L2Factory = Box<dyn Fn(&GpuConfig) -> Box<dyn L2Controller>>;
 
 impl std::fmt::Debug for SimBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimBuilder").field("config", &self.cfg.label()).finish_non_exhaustive()
+        f.debug_struct("SimBuilder")
+            .field("config", &self.cfg.label())
+            .finish_non_exhaustive()
     }
 }
 
@@ -148,11 +239,34 @@ impl SimBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the config is degenerate (zero SMs or banks).
+    /// Panics if the config is degenerate (zero SMs or banks); use
+    /// [`SimBuilder::try_build`] for a structured error instead.
     #[must_use]
     pub fn build(self) -> GpuSim {
-        let cfg = self.cfg;
-        assert!(cfg.n_sms > 0 && cfg.l2_banks > 0, "config must have SMs and banks");
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Assembles the GPU, validating the configuration. Also installs the
+    /// fault plan derived from `cfg.faults`: request network = NoC stream
+    /// 0, response network = stream 1, one DRAM stream per partition, and
+    /// the timestamp-width cap applied before the L2 banks are built.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the config is degenerate
+    /// (zero SMs or banks).
+    pub fn try_build(self) -> Result<GpuSim, SimError> {
+        let mut cfg = self.cfg;
+        if cfg.n_sms == 0 || cfg.l2_banks == 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "config must have SMs and banks (n_sms={}, l2_banks={})",
+                cfg.n_sms, cfg.l2_banks
+            )));
+        }
+        let plan = FaultPlan::new(cfg.faults);
+        // The rollover-storm knob narrows the timestamp width before the
+        // banks (and message sizes) are derived from it.
+        cfg.ts_bits = plan.effective_ts_bits(cfg.ts_bits);
         let sms = (0..cfg.n_sms)
             .map(|i| {
                 Sm::new(
@@ -171,11 +285,16 @@ impl SimBuilder {
             })
             .collect();
         let l2 = (0..cfg.l2_banks).map(|_| (self.l2_factory)(&cfg)).collect();
-        let drams = (0..cfg.l2_banks).map(|_| Dram::new(cfg.dram)).collect();
-        let req_net = Network::new(cfg.n_sms, cfg.l2_banks, cfg.noc);
-        let resp_net = Network::new(cfg.l2_banks, cfg.n_sms, cfg.noc);
+        let mut drams: Vec<Dram<()>> = (0..cfg.l2_banks).map(|_| Dram::new(cfg.dram)).collect();
+        let mut req_net = Network::new(cfg.n_sms, cfg.l2_banks, cfg.noc);
+        let mut resp_net = Network::new(cfg.l2_banks, cfg.n_sms, cfg.noc);
+        req_net.set_faults(plan.noc(0));
+        resp_net.set_faults(plan.noc(1));
+        for (i, d) in drams.iter_mut().enumerate() {
+            d.set_faults(plan.dram(i as u64));
+        }
         let sizes = MsgSizes::new(cfg.noc.control_bytes, cfg.ts_bits, cfg.l1.block_size());
-        GpuSim {
+        Ok(GpuSim {
             cfg,
             sms,
             l2,
@@ -186,7 +305,7 @@ impl SimBuilder {
             now: Cycle(0),
             epoch: 0,
             checker: Checker::new(),
-        }
+        })
     }
 }
 
@@ -219,15 +338,28 @@ impl GpuSim {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::CycleLimit`] if `cfg.max_cycles` elapses first.
+    /// * [`SimError::InvalidKernel`] if a CTA is wider than an SM.
+    /// * [`SimError::Stalled`] if `cfg.watchdog_cycles` pass without any
+    ///   completion, instruction issue, or CTA dispatch — with a
+    ///   [`StallDiagnosis`] explaining where work is stuck.
+    /// * [`SimError::CycleLimit`] if `cfg.max_cycles` elapses first.
     pub fn run_kernel(&mut self, kernel: &dyn Kernel) -> Result<RunReport, SimError> {
-        assert!(
-            kernel.warps_per_cta() <= self.cfg.warps_per_sm,
-            "CTA wider than an SM"
-        );
+        if kernel.warps_per_cta() > self.cfg.warps_per_sm {
+            return Err(SimError::InvalidKernel(format!(
+                "CTA wider than an SM: kernel '{}' needs {} warps per CTA but SMs have {} slots",
+                kernel.name(),
+                kernel.warps_per_cta(),
+                self.cfg.warps_per_sm
+            )));
+        }
         let mut next_cta = 0usize;
         let mut sm_cursor = 0usize;
         let n_ctas = kernel.n_ctas();
+        // Forward-progress watchdog: a fingerprint that moves whenever the
+        // machine does useful work. Completions and issues cover draining;
+        // dispatch covers the ramp-up; resident covers retirement.
+        let mut last_fingerprint = (0u64, 0u64, usize::MAX, usize::MAX);
+        let mut last_progress = self.now;
         loop {
             // CTA dispatch: round-robin across SMs (as GPGPU-Sim does),
             // so the grid spreads over the whole chip instead of packing
@@ -252,6 +384,23 @@ impl GpuSim {
 
             if next_cta == n_ctas && self.all_idle() {
                 break;
+            }
+            let fingerprint = (
+                self.checker.n_events(),
+                self.sms.iter().map(Sm::issued_count).sum::<u64>(),
+                next_cta,
+                self.sms.iter().map(Sm::resident_warps).sum::<usize>(),
+            );
+            if fingerprint != last_fingerprint {
+                last_fingerprint = fingerprint;
+                last_progress = self.now;
+            } else if self.cfg.watchdog_cycles > 0
+                && self.now - last_progress >= self.cfg.watchdog_cycles
+            {
+                return Err(SimError::Stalled {
+                    at: self.now,
+                    diagnosis: Box::new(self.diagnose_stall(self.now - last_progress)),
+                });
             }
             self.now += 1;
             if self.cfg.max_cycles > 0 && self.now.0 > self.cfg.max_cycles {
@@ -283,7 +432,10 @@ impl GpuSim {
     /// The current aggregated statistics and violations.
     #[must_use]
     pub fn report(&self) -> RunReport {
-        let mut stats = SimStats { cycles: self.now, ..SimStats::default() };
+        let mut stats = SimStats {
+            cycles: self.now,
+            ..SimStats::default()
+        };
         for sm in &self.sms {
             stats.sm.merge(&sm.stats());
             stats.l1.merge(&sm.l1().stats());
@@ -296,7 +448,53 @@ impl GpuSim {
         for d in &self.drams {
             stats.dram.merge(&d.stats());
         }
-        RunReport { stats, violations: self.checker.finish() }
+        RunReport {
+            stats,
+            violations: self.checker.finish_capped(self.cfg.max_violations_reported),
+        }
+    }
+
+    /// Snapshot of every stalled warp, queue, and MSHR, taken when the
+    /// watchdog fires.
+    fn diagnose_stall(&self, stalled_for: u64) -> StallDiagnosis {
+        let now = self.now;
+        StallDiagnosis {
+            stalled_for,
+            resident_warps: self.sms.iter().map(Sm::resident_warps).sum(),
+            warps: self
+                .sms
+                .iter()
+                .enumerate()
+                .flat_map(|(i, sm)| sm.stalled_warps(now).into_iter().map(move |w| (i, w)))
+                .collect(),
+            l1: self.sms.iter().map(|sm| sm.l1().pressure()).collect(),
+            l2: self.l2.iter().map(|b| b.pressure()).collect(),
+            req_net_in_flight: self.req_net.in_flight(),
+            req_net_queued: self.req_net.queued(),
+            resp_net_in_flight: self.resp_net.in_flight(),
+            resp_net_queued: self.resp_net.queued(),
+            dram_queued: self.drams.iter().map(Dram::queued).sum(),
+            dram_in_flight: self.drams.iter().map(Dram::in_flight).sum(),
+            epoch: self.epoch,
+            ts_rollovers: self.l2.iter().map(|b| b.stats().ts_rollovers).sum(),
+        }
+    }
+
+    /// Aggregated fault-injection counters across both networks and all
+    /// DRAM partitions; `None` when the run is fault-free.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<gtsc_faults::FaultStats> {
+        let mut any = false;
+        let mut total = gtsc_faults::FaultStats::default();
+        for s in [self.req_net.fault_stats(), self.resp_net.fault_stats()]
+            .into_iter()
+            .flatten()
+            .chain(self.drams.iter().filter_map(Dram::fault_stats))
+        {
+            total.merge(&s);
+            any = true;
+        }
+        any.then_some(total)
     }
 
     /// Read-only access to the coherence checker (litmus assertions in
@@ -358,9 +556,14 @@ impl GpuSim {
             bank.dram_ready(self.drams[b].can_accept());
             bank.tick(now);
             while self.drams[b].can_accept() {
-                let Some((block, is_write)) = bank.take_dram_request() else { break };
-                let accepted =
-                    self.drams[b].enqueue(DramRequest { block, is_write, payload: () });
+                let Some((block, is_write)) = bank.take_dram_request() else {
+                    break;
+                };
+                let accepted = self.drams[b].enqueue(DramRequest {
+                    block,
+                    is_write,
+                    payload: (),
+                });
                 debug_assert!(accepted, "can_accept checked");
             }
             for resp in self.drams[b].tick(now) {
@@ -473,7 +676,11 @@ mod tests {
                 .with_consistency(m);
             let mut sim = GpuSim::new(cfg);
             let report = sim.run_kernel(&kernel).expect("completes");
-            assert!(report.violations.is_empty(), "{m:?}: {:?}", report.violations);
+            assert!(
+                report.violations.is_empty(),
+                "{m:?}: {:?}",
+                report.violations
+            );
         }
     }
 
@@ -566,7 +773,10 @@ mod tests {
     #[test]
     fn cta_dispatch_spreads_over_sms() {
         // 2 single-warp CTAs on a 2-SM GPU: both SMs issue work.
-        let prog = WarpProgram(vec![WarpOp::Compute(3), WarpOp::load_coalesced(Addr(0), 32)]);
+        let prog = WarpProgram(vec![
+            WarpOp::Compute(3),
+            WarpOp::load_coalesced(Addr(0), 32),
+        ]);
         let kernel = VecKernel::new("spread", 1, vec![vec![prog.clone()], vec![prog]]);
         let cfg = GpuConfig::test_small();
         let mut sim = GpuSim::new(cfg);
@@ -584,6 +794,94 @@ mod tests {
         assert!(report.stats.sm.mem_latency.count() > 0);
         // A queued miss must take at least the NoC round trip.
         assert!(report.stats.sm.mem_latency.percentile(0.99) >= 32.0);
+    }
+
+    #[test]
+    fn watchdog_fires_with_diagnosis_on_starved_dram() {
+        use gtsc_types::StallKind;
+        // DRAM that effectively never answers: the lone load wedges the
+        // whole machine. The watchdog must abort far before max_cycles
+        // and name the stuck warp and the queues holding its request.
+        let mut cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        cfg.dram.row_hit = 50_000_000;
+        cfg.dram.row_miss = 50_000_000;
+        cfg.watchdog_cycles = 2_000;
+        let kernel = VecKernel::new(
+            "starved",
+            1,
+            vec![vec![WarpProgram(vec![WarpOp::load_coalesced(Addr(0), 32)])]],
+        );
+        let mut sim = GpuSim::new(cfg);
+        match sim.run_kernel(&kernel) {
+            Err(SimError::Stalled { at, diagnosis }) => {
+                assert!(at.0 < 10_000, "fired well before the cycle limit (at {at})");
+                assert!(diagnosis.stalled_for >= 2_000);
+                assert_eq!(diagnosis.resident_warps, 1);
+                assert!(
+                    diagnosis
+                        .warps
+                        .iter()
+                        .any(|(_, w)| w.stall == StallKind::Memory),
+                    "{diagnosis}"
+                );
+                assert!(diagnosis.l1.iter().any(|p| p.mshr > 0), "{diagnosis}");
+                assert!(diagnosis.l2.iter().any(|p| p.mshr > 0), "{diagnosis}");
+                assert!(
+                    diagnosis.dram_queued + diagnosis.dram_in_flight > 0,
+                    "{diagnosis}"
+                );
+                let text = diagnosis.to_string();
+                assert!(text.contains("stalled on Memory"), "{text}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_disabled_falls_through_to_cycle_limit() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.dram.row_hit = 50_000_000;
+        cfg.dram.row_miss = 50_000_000;
+        cfg.watchdog_cycles = 0;
+        cfg.max_cycles = 3_000;
+        let kernel = VecKernel::new(
+            "starved",
+            1,
+            vec![vec![WarpProgram(vec![WarpOp::load_coalesced(Addr(0), 32)])]],
+        );
+        let mut sim = GpuSim::new(cfg);
+        assert!(matches!(
+            sim.run_kernel(&kernel),
+            Err(SimError::CycleLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_config() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.n_sms = 0;
+        match SimBuilder::new(cfg).try_build() {
+            Err(SimError::InvalidConfig(msg)) => assert!(msg.contains("n_sms=0"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn oversized_cta_is_a_structured_error() {
+        let cfg = GpuConfig::test_small();
+        let warps = cfg.warps_per_sm + 1;
+        let kernel = VecKernel::new(
+            "wide",
+            warps,
+            vec![(0..warps)
+                .map(|_| WarpProgram(vec![WarpOp::Compute(1)]))
+                .collect()],
+        );
+        let mut sim = GpuSim::new(cfg);
+        match sim.run_kernel(&kernel) {
+            Err(SimError::InvalidKernel(msg)) => assert!(msg.contains("wide"), "{msg}"),
+            other => panic!("expected InvalidKernel, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]
@@ -608,7 +906,10 @@ mod tests {
         let kernel = VecKernel::new("rollover", 1, vec![vec![prog(0)], vec![prog(1)]]);
         let mut sim = GpuSim::new(cfg);
         let report = sim.run_kernel(&kernel).expect("completes");
-        assert!(report.stats.l2.ts_rollovers > 0, "rollover should have fired");
+        assert!(
+            report.stats.l2.ts_rollovers > 0,
+            "rollover should have fired"
+        );
         assert!(report.violations.is_empty(), "{:?}", report.violations);
     }
 }

@@ -38,4 +38,4 @@ pub mod gpu;
 
 pub use build::{build_l1, build_l2};
 pub use check::{Checker, LoadObservation, Violation};
-pub use gpu::{GpuSim, RunReport, SimBuilder, SimError};
+pub use gpu::{GpuSim, RunReport, SimBuilder, SimError, StallDiagnosis};

@@ -114,9 +114,15 @@ impl CacheGeometry {
     #[must_use]
     pub fn new(total_bytes: usize, ways: usize, block_size: usize) -> Self {
         assert!(total_bytes > 0 && ways > 0 && block_size > 0);
-        assert!(block_size.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_size.is_power_of_two(),
+            "block size must be a power of two"
+        );
         let n_blocks = total_bytes / block_size;
-        assert!(n_blocks.is_multiple_of(ways), "capacity must divide evenly into ways");
+        assert!(
+            n_blocks.is_multiple_of(ways),
+            "capacity must divide evenly into ways"
+        );
         let n_sets = n_blocks / ways;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         CacheGeometry {

@@ -198,6 +198,76 @@ impl Default for DramConfig {
     }
 }
 
+/// Seeded fault-injection plan (robustness testing, not part of the
+/// paper's evaluation platform).
+///
+/// All perturbations are *delays or duplications*, never drops: G-TSC's
+/// correctness argument (Section III) assumes eventual delivery, and the
+/// injector honours that so a coherent protocol must stay violation-free
+/// under any seed. Probabilities are in permille (0–1000) so the struct
+/// stays `Copy + Eq`. The default is fully inert; [`FaultConfig::chaos`]
+/// is the preset the fault-sweep tests and the `stress_faults` soak
+/// binary use. Every random decision derives from `seed` alone, so a
+/// given `(config, kernel, seed)` triple replays byte-for-byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FaultConfig {
+    /// Master seed; every injector stream is derived from it.
+    pub seed: u64,
+    /// Permille chance a NoC packet receives extra latency jitter.
+    pub noc_jitter_permille: u16,
+    /// Maximum extra cycles of NoC jitter (uniform in `1..=max`).
+    pub noc_jitter_max: u64,
+    /// Permille chance a NoC packet is held back a full reorder window,
+    /// letting younger packets from the same source overtake it.
+    pub noc_reorder_permille: u16,
+    /// Extra cycles a reordered packet is held back.
+    pub noc_reorder_window: u64,
+    /// Permille chance a delivered NoC packet is delivered *again* later
+    /// (exercises idempotence of the receive paths).
+    pub noc_duplicate_permille: u16,
+    /// Cycles after the original at which the duplicate arrives.
+    pub noc_duplicate_lag: u64,
+    /// Permille chance a DRAM request takes extra service latency.
+    pub dram_jitter_permille: u16,
+    /// Maximum extra DRAM service cycles (uniform in `1..=max`).
+    pub dram_jitter_max: u64,
+    /// When nonzero, caps `GpuConfig::ts_bits` at this width, shrinking
+    /// the timestamp epoch budget to force frequent Section V-D rollover
+    /// storms. `0` leaves `ts_bits` untouched.
+    pub ts_bits_cap: u32,
+}
+
+impl FaultConfig {
+    /// The all-faults-on preset used by the fault-sweep tests: moderate
+    /// NoC jitter, bounded reordering, duplicate delivery, DRAM service
+    /// jitter, and 8-bit timestamps (rollover storms).
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            noc_jitter_permille: 300,
+            noc_jitter_max: 40,
+            noc_reorder_permille: 150,
+            noc_reorder_window: 100,
+            noc_duplicate_permille: 100,
+            noc_duplicate_lag: 25,
+            dram_jitter_permille: 250,
+            dram_jitter_max: 300,
+            ts_bits_cap: 8,
+        }
+    }
+
+    /// Whether any perturbation is enabled.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.noc_jitter_permille > 0
+            || self.noc_reorder_permille > 0
+            || self.noc_duplicate_permille > 0
+            || self.dram_jitter_permille > 0
+            || self.ts_bits_cap > 0
+    }
+}
+
 /// Complete configuration of the simulated GPU.
 ///
 /// # Examples
@@ -268,6 +338,17 @@ pub struct GpuConfig {
     pub max_ctas_per_sm: usize,
     /// Safety cap on simulated cycles (deadlock guard); `0` disables.
     pub max_cycles: u64,
+    /// Forward-progress watchdog: abort with a structured stall diagnosis
+    /// when no instruction issues, access completes, or CTA dispatches
+    /// for this many consecutive cycles. Trips far earlier than
+    /// `max_cycles` on a wedged run; `0` disables.
+    pub watchdog_cycles: u64,
+    /// Cap on individually formatted violations in a run report; any
+    /// excess is folded into one trailing summary entry (a pathological
+    /// run can detect millions).
+    pub max_violations_reported: usize,
+    /// Fault-injection plan (inert by default).
+    pub faults: FaultConfig,
 }
 
 impl GpuConfig {
@@ -303,6 +384,9 @@ impl GpuConfig {
             dram: DramConfig::default(),
             max_ctas_per_sm: 8,
             max_cycles: 200_000_000,
+            watchdog_cycles: 1_000_000,
+            max_violations_reported: 64,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -323,6 +407,7 @@ impl GpuConfig {
             l2_mshr_entries: 8,
             max_ctas_per_sm: 4,
             max_cycles: 5_000_000,
+            watchdog_cycles: 200_000,
             ..GpuConfig::paper_default()
         }
     }
@@ -349,6 +434,13 @@ impl GpuConfig {
     #[must_use]
     pub fn with_lease(mut self, lease: Lease) -> Self {
         self.lease = lease;
+        self
+    }
+
+    /// Returns the config with the given fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -404,5 +496,28 @@ mod tests {
         let c = GpuConfig::test_small();
         assert_eq!(c.total_warps(), 8);
         assert!(c.l1.total_bytes() < GpuConfig::paper_default().l1.total_bytes());
+    }
+
+    #[test]
+    fn faults_default_inert_chaos_active() {
+        assert!(!FaultConfig::default().is_active());
+        assert!(!GpuConfig::paper_default().faults.is_active());
+        let chaos = FaultConfig::chaos(7);
+        assert!(chaos.is_active());
+        assert_eq!(chaos.seed, 7);
+        // Probabilities are permille values.
+        assert!(chaos.noc_jitter_permille <= 1000);
+        assert!(chaos.dram_jitter_permille <= 1000);
+        let cfg = GpuConfig::test_small().with_faults(chaos);
+        assert_eq!(cfg.faults, chaos);
+    }
+
+    #[test]
+    fn watchdog_defaults_on_but_below_cycle_limit() {
+        let c = GpuConfig::paper_default();
+        assert!(c.watchdog_cycles > 0 && c.watchdog_cycles < c.max_cycles);
+        let t = GpuConfig::test_small();
+        assert!(t.watchdog_cycles > 0 && t.watchdog_cycles < t.max_cycles);
+        assert_eq!(t.max_violations_reported, 64);
     }
 }

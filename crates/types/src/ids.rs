@@ -75,8 +75,14 @@ mod tests {
 
     #[test]
     fn flat_index_is_dense() {
-        let a = GlobalWarpId { sm: SmId(0), warp: WarpId(47) };
-        let b = GlobalWarpId { sm: SmId(1), warp: WarpId(0) };
+        let a = GlobalWarpId {
+            sm: SmId(0),
+            warp: WarpId(47),
+        };
+        let b = GlobalWarpId {
+            sm: SmId(1),
+            warp: WarpId(0),
+        };
         assert_eq!(a.flat(48) + 1, b.flat(48));
     }
 
@@ -84,7 +90,11 @@ mod tests {
     fn displays_are_compact() {
         assert_eq!(SmId(2).to_string(), "sm2");
         assert_eq!(
-            GlobalWarpId { sm: SmId(2), warp: WarpId(5) }.to_string(),
+            GlobalWarpId {
+                sm: SmId(2),
+                warp: WarpId(5)
+            }
+            .to_string(),
             "sm2.w5"
         );
         assert_eq!(BankId(1).to_string(), "bank1");

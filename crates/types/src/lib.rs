@@ -27,8 +27,8 @@ pub mod value;
 
 pub use addr::{Addr, BlockAddr, CacheGeometry};
 pub use config::{
-    CombinePolicy, ConsistencyModel, DramConfig, GpuConfig, InclusionPolicy, NocConfig,
-    NocTopology, PagePolicy, ProtocolKind, VisibilityPolicy, WarpScheduler,
+    CombinePolicy, ConsistencyModel, DramConfig, FaultConfig, GpuConfig, InclusionPolicy,
+    NocConfig, NocTopology, PagePolicy, ProtocolKind, VisibilityPolicy, WarpScheduler,
 };
 pub use ids::{BankId, CtaId, GlobalWarpId, KernelId, LaneId, SmId, WarpId};
 pub use stats::{CacheStats, DramStats, LatencyHist, NocStats, SimStats, SmStats, StallKind};

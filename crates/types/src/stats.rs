@@ -168,6 +168,9 @@ pub struct CacheStats {
     pub ts_rollovers: u64,
     /// Requests merged into an existing MSHR entry.
     pub mshr_merges: u64,
+    /// Duplicate store/atomic requests dropped by the L2 replay filter
+    /// (nonzero only under fault injection's at-least-once delivery).
+    pub replayed_stores: u64,
 }
 
 impl CacheStats {
@@ -185,6 +188,7 @@ impl CacheStats {
         self.eviction_stall_cycles += rhs.eviction_stall_cycles;
         self.ts_rollovers += rhs.ts_rollovers;
         self.mshr_merges += rhs.mshr_merges;
+        self.replayed_stores += rhs.replayed_stores;
     }
 
     /// All misses (cold + expired).
@@ -304,8 +308,18 @@ mod tests {
 
     #[test]
     fn cache_stats_merge_and_rates() {
-        let mut a = CacheStats { accesses: 10, hits: 6, cold_misses: 3, expired_misses: 1, ..Default::default() };
-        let b = CacheStats { accesses: 10, hits: 10, ..Default::default() };
+        let mut a = CacheStats {
+            accesses: 10,
+            hits: 6,
+            cold_misses: 3,
+            expired_misses: 1,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 10,
+            hits: 10,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.accesses, 20);
         assert_eq!(a.hits, 16);
@@ -363,7 +377,11 @@ mod tests {
 
     #[test]
     fn noc_avg_latency() {
-        let n = NocStats { packets: 4, total_packet_latency: 40, ..Default::default() };
+        let n = NocStats {
+            packets: 4,
+            total_packet_latency: 40,
+            ..Default::default()
+        };
         assert!((n.avg_latency() - 10.0).abs() < 1e-12);
     }
 
@@ -371,7 +389,10 @@ mod tests {
     fn sim_ipc() {
         let s = SimStats {
             cycles: Cycle(100),
-            sm: SmStats { issued: 250, ..Default::default() },
+            sm: SmStats {
+                issued: 250,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!((s.ipc() - 2.5).abs() < 1e-12);

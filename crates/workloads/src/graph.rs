@@ -9,9 +9,9 @@ use gtsc_gpu::{VecKernel, WarpOp};
 use gtsc_types::Addr;
 use rand::Rng;
 
-use crate::layout::{assemble, skewed_index, Region, Scale};
 #[cfg(test)]
 use crate::layout::BLOCK;
+use crate::layout::{assemble, skewed_index, Region, Scale};
 
 /// Builds the CC (connected components) kernel: label propagation over a
 /// random edge list.
@@ -23,7 +23,10 @@ pub fn connected_components(scale: Scale, seed: u64) -> VecKernel {
         let mut ops = Vec::new();
         for i in 0..scale.iters() {
             // Stream a chunk of the edge list (coalesced, read-only).
-            ops.push(WarpOp::load_coalesced(edges.block(rng.gen_range(0..edges.len())), 32));
+            ops.push(WarpOp::load_coalesced(
+                edges.block(rng.gen_range(0..edges.len())),
+                32,
+            ));
             // Gather the endpoint labels (divergent, skewed towards the
             // hot high-degree nodes every real graph has).
             let gather: Vec<Addr> = (0..8)
@@ -87,7 +90,10 @@ pub fn bfs(scale: Scale, seed: u64) -> VecKernel {
             // One warp per CTA claims the next frontier slot with an
             // atomic tail-pointer update.
             if w == 0 {
-                ops.push(WarpOp::atomic_coalesced(frontier.block(level as u64 + 1), 32));
+                ops.push(WarpOp::atomic_coalesced(
+                    frontier.block(level as u64 + 1),
+                    32,
+                ));
             }
             ops.push(WarpOp::Fence);
         }
@@ -104,30 +110,38 @@ pub fn bfs_level(scale: Scale, seed: u64, level: usize) -> VecKernel {
     let visited = Region::new(Addr(0), 64 * scale.data_factor());
     let adj = Region::new(visited.end(), 256 * scale.data_factor());
     let frontier = Region::new(adj.end(), 16 * scale.data_factor());
-    assemble(&format!("BFS-L{level}"), scale, seed ^ (level as u64) << 32, move |_cta, w, rng| {
-        let mut ops = Vec::new();
-        ops.push(WarpOp::load_coalesced(frontier.block(level as u64), 32));
-        for _ in 0..3 {
-            let gather: Vec<Addr> = (0..6)
-                .map(|_| adj.block(skewed_index(rng, &adj, 32, 0.5)))
-                .collect();
-            ops.push(WarpOp::Load(gather));
-            ops.push(WarpOp::Compute(2));
-            let checks: Vec<Addr> = (0..4)
-                .map(|_| visited.block(skewed_index(rng, &visited, 12, 0.7)))
-                .collect();
-            ops.push(WarpOp::Load(checks));
-            let v: Vec<Addr> = (0..2)
-                .map(|_| visited.block(skewed_index(rng, &visited, 12, 0.05)))
-                .collect();
-            ops.push(WarpOp::Atomic(v));
-        }
-        if w == 0 {
-            ops.push(WarpOp::atomic_coalesced(frontier.block(level as u64 + 1), 32));
-        }
-        ops.push(WarpOp::Fence);
-        ops
-    })
+    assemble(
+        &format!("BFS-L{level}"),
+        scale,
+        seed ^ (level as u64) << 32,
+        move |_cta, w, rng| {
+            let mut ops = Vec::new();
+            ops.push(WarpOp::load_coalesced(frontier.block(level as u64), 32));
+            for _ in 0..3 {
+                let gather: Vec<Addr> = (0..6)
+                    .map(|_| adj.block(skewed_index(rng, &adj, 32, 0.5)))
+                    .collect();
+                ops.push(WarpOp::Load(gather));
+                ops.push(WarpOp::Compute(2));
+                let checks: Vec<Addr> = (0..4)
+                    .map(|_| visited.block(skewed_index(rng, &visited, 12, 0.7)))
+                    .collect();
+                ops.push(WarpOp::Load(checks));
+                let v: Vec<Addr> = (0..2)
+                    .map(|_| visited.block(skewed_index(rng, &visited, 12, 0.05)))
+                    .collect();
+                ops.push(WarpOp::Atomic(v));
+            }
+            if w == 0 {
+                ops.push(WarpOp::atomic_coalesced(
+                    frontier.block(level as u64 + 1),
+                    32,
+                ));
+            }
+            ops.push(WarpOp::Fence);
+            ops
+        },
+    )
 }
 
 /// Shared helper for tests: the set of block indices a program touches.
@@ -156,7 +170,8 @@ mod tests {
         let p = k.program(gtsc_types::CtaId(0), 0);
         let has_divergent = p.0.iter().any(|op| {
             if let WarpOp::Load(a) = op {
-                let blocks: std::collections::HashSet<u64> = a.iter().map(|x| x.0 / BLOCK).collect();
+                let blocks: std::collections::HashSet<u64> =
+                    a.iter().map(|x| x.0 / BLOCK).collect();
                 blocks.len() > 1
             } else {
                 false

@@ -60,12 +60,24 @@ pub fn shared_stencil(scale: Scale, seed: u64) -> VecKernel {
             let col = w % row_blocks;
             // Read own row and both halo rows (owned and written by the
             // neighbour CTAs).
-            ops.push(WarpOp::load_coalesced(grid.block(my_row * row_blocks + col), 32));
-            ops.push(WarpOp::load_coalesced(grid.block(up * row_blocks + col), 32));
-            ops.push(WarpOp::load_coalesced(grid.block(down * row_blocks + col), 32));
+            ops.push(WarpOp::load_coalesced(
+                grid.block(my_row * row_blocks + col),
+                32,
+            ));
+            ops.push(WarpOp::load_coalesced(
+                grid.block(up * row_blocks + col),
+                32,
+            ));
+            ops.push(WarpOp::load_coalesced(
+                grid.block(down * row_blocks + col),
+                32,
+            ));
             ops.push(WarpOp::Compute(5 + rng.gen_range(0..3)));
             // Write own row, publish, synchronize the sweep.
-            ops.push(WarpOp::store_coalesced(grid.block(my_row * row_blocks + col), 32));
+            ops.push(WarpOp::store_coalesced(
+                grid.block(my_row * row_blocks + col),
+                32,
+            ));
             ops.push(WarpOp::Fence);
             ops.push(WarpOp::Barrier);
         }
@@ -138,7 +150,10 @@ mod tests {
         let w0 = touched_stores(&k, 0);
         let w1 = touched_stores(&k, 1);
         assert!(w0.is_disjoint(&w1), "HS tiles must not overlap");
-        assert!(touched_loads(&k, 1).is_disjoint(&w0), "HS reads stay in-tile");
+        assert!(
+            touched_loads(&k, 1).is_disjoint(&w0),
+            "HS reads stay in-tile"
+        );
     }
 
     #[test]

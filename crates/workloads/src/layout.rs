@@ -18,8 +18,9 @@ pub fn assemble(
         .map(|cta| {
             (0..scale.warps_per_cta() as u64)
                 .map(|w| {
-                    let mut rng =
-                        StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (cta << 20) ^ w);
+                    let mut rng = StdRng::seed_from_u64(
+                        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (cta << 20) ^ w,
+                    );
                     WarpProgram(gen(cta, w, &mut rng))
                 })
                 .collect()
@@ -178,7 +179,10 @@ impl Region {
     #[must_use]
     pub fn slice(&self, i: u64, n: u64) -> Region {
         let per = (self.n_blocks / n.max(1)).max(1);
-        Region { base: self.base.offset((i % n.max(1)) * per * BLOCK), n_blocks: per }
+        Region {
+            base: self.base.offset((i % n.max(1)) * per * BLOCK),
+            n_blocks: per,
+        }
     }
 }
 
@@ -213,7 +217,12 @@ mod tests {
 
     #[test]
     fn custom_scale_passes_through() {
-        let s = Scale::Custom { ctas: 5, warps_per_cta: 3, iters: 77, data_factor: 9 };
+        let s = Scale::Custom {
+            ctas: 5,
+            warps_per_cta: 3,
+            iters: 77,
+            data_factor: 9,
+        };
         assert_eq!(s.ctas(), 5);
         assert_eq!(s.warps_per_cta(), 3);
         assert_eq!(s.iters(), 77);

@@ -40,7 +40,11 @@ pub fn message_passing(repeats: usize) -> VecKernel {
         reader_ops.push(WarpOp::load_coalesced(DATA, 32));
         reader_ops.push(WarpOp::Fence);
     }
-    VecKernel::new("litmus-mp", 1, vec![vec![writer], vec![WarpProgram(reader_ops)]])
+    VecKernel::new(
+        "litmus-mp",
+        1,
+        vec![vec![writer], vec![WarpProgram(reader_ops)]],
+    )
 }
 
 /// Store buffering: CTA0 does `X=1; r0=Y`, CTA1 does `Y=1; r1=X`.
@@ -63,16 +67,17 @@ pub fn store_buffering() -> VecKernel {
 /// observing an *older* value than the first.
 #[must_use]
 pub fn coherent_read_read(repeats: usize) -> VecKernel {
-    let writer = WarpProgram(vec![
-        WarpOp::Compute(7),
-        WarpOp::store_coalesced(DATA, 32),
-    ]);
+    let writer = WarpProgram(vec![WarpOp::Compute(7), WarpOp::store_coalesced(DATA, 32)]);
     let mut reader_ops = Vec::new();
     for _ in 0..repeats.max(2) {
         reader_ops.push(WarpOp::load_coalesced(DATA, 32));
         reader_ops.push(WarpOp::Fence);
     }
-    VecKernel::new("litmus-corr", 1, vec![vec![writer], vec![WarpProgram(reader_ops)]])
+    VecKernel::new(
+        "litmus-corr",
+        1,
+        vec![vec![writer], vec![WarpProgram(reader_ops)]],
+    )
 }
 
 /// Message passing with the precise release/acquire fence pair instead of
@@ -94,7 +99,11 @@ pub fn message_passing_rel_acq(repeats: usize) -> VecKernel {
         reader_ops.push(WarpOp::load_coalesced(DATA, 32));
         reader_ops.push(WarpOp::AcquireFence);
     }
-    VecKernel::new("litmus-mp-ra", 1, vec![vec![writer], vec![WarpProgram(reader_ops)]])
+    VecKernel::new(
+        "litmus-mp-ra",
+        1,
+        vec![vec![writer], vec![WarpProgram(reader_ops)]],
+    )
 }
 
 /// IRIW (independent reads of independent writes): CTA0 stores X, CTA1
@@ -115,7 +124,11 @@ pub fn iriw() -> VecKernel {
         WarpOp::Fence,
         WarpOp::load_coalesced(X, 32),
     ]);
-    VecKernel::new("litmus-iriw", 1, vec![vec![wx], vec![wy], vec![r_xy], vec![r_yx]])
+    VecKernel::new(
+        "litmus-iriw",
+        1,
+        vec![vec![wx], vec![wy], vec![r_xy], vec![r_yx]],
+    )
 }
 
 #[cfg(test)]

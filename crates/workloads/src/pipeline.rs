@@ -80,7 +80,10 @@ mod tests {
                 .collect()
         };
         // CTA 1 reads what CTA 0 writes.
-        assert!(!stores(0).is_disjoint(&loads(1)), "cross-CTA RW sharing expected");
+        assert!(
+            !stores(0).is_disjoint(&loads(1)),
+            "cross-CTA RW sharing expected"
+        );
     }
 
     #[test]
@@ -98,7 +101,10 @@ mod tests {
                 }
                 WarpOp::Fence => fenced = true,
                 WarpOp::Barrier => {
-                    assert!(!saw_store || fenced, "stores must be fenced before the barrier");
+                    assert!(
+                        !saw_store || fenced,
+                        "stores must be fenced before the barrier"
+                    );
                 }
                 _ => {}
             }
@@ -109,7 +115,10 @@ mod tests {
     fn has_barriers_each_round() {
         let k = producer_consumer(Scale::Tiny, 3);
         let p = k.program(CtaId(0), 1);
-        let barriers = p.0.iter().filter(|op| matches!(op, WarpOp::Barrier)).count();
+        let barriers =
+            p.0.iter()
+                .filter(|op| matches!(op, WarpOp::Barrier))
+                .count();
         assert_eq!(barriers, Scale::Tiny.iters());
     }
 }

@@ -75,8 +75,14 @@ pub fn kmeans(scale: Scale, seed: u64) -> VecKernel {
         for i in 0..scale.iters() as u64 {
             ops.push(WarpOp::load_coalesced(my_points.block(i), 32));
             // Distance to a couple of centroids (shared, read-only).
-            ops.push(WarpOp::load_coalesced(centroids.block(rng.gen_range(0..8)), 32));
-            ops.push(WarpOp::load_coalesced(centroids.block(rng.gen_range(0..8)), 32));
+            ops.push(WarpOp::load_coalesced(
+                centroids.block(rng.gen_range(0..8)),
+                32,
+            ));
+            ops.push(WarpOp::load_coalesced(
+                centroids.block(rng.gen_range(0..8)),
+                32,
+            ));
             ops.push(WarpOp::Compute(12));
             ops.push(WarpOp::store_coalesced(my_assign.block(i), 32));
         }
@@ -164,11 +170,10 @@ mod tests {
     fn ccp_is_compute_dominated() {
         let k = compute_heavy(Scale::Tiny, 1);
         let p = k.program(CtaId(0), 0);
-        let compute: u32 = p
-            .0
-            .iter()
-            .map(|op| if let WarpOp::Compute(c) = op { *c } else { 0 })
-            .sum();
+        let compute: u32 =
+            p.0.iter()
+                .map(|op| if let WarpOp::Compute(c) = op { *c } else { 0 })
+                .sum();
         let mem = p.0.iter().filter(|op| op.is_memory()).count() as u32;
         assert!(compute > mem * 10, "compute {compute} vs mem ops {mem}");
     }
@@ -190,14 +195,13 @@ mod tests {
     fn sgm_rereads_for_reuse() {
         let k = sgm(Scale::Tiny, 5);
         let p = k.program(CtaId(0), 0);
-        let loads: Vec<u64> = p
-            .0
-            .iter()
-            .filter_map(|op| match op {
-                WarpOp::Load(a) => Some(a[0].0 / 128),
-                _ => None,
-            })
-            .collect();
+        let loads: Vec<u64> =
+            p.0.iter()
+                .filter_map(|op| match op {
+                    WarpOp::Load(a) => Some(a[0].0 / 128),
+                    _ => None,
+                })
+                .collect();
         let unique: std::collections::HashSet<u64> = loads.iter().copied().collect();
         assert!(loads.len() > unique.len(), "SGM must re-read blocks");
     }

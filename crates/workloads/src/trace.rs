@@ -49,7 +49,10 @@ pub struct TraceError {
 
 impl TraceError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        TraceError { line, message: message.into() }
+        TraceError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -67,12 +70,16 @@ fn parse_addr(tok: &str, line: usize) -> Result<Addr, TraceError> {
     } else {
         tok.parse()
     };
-    v.map(Addr).map_err(|_| TraceError::new(line, format!("bad address `{tok}`")))
+    v.map(Addr)
+        .map_err(|_| TraceError::new(line, format!("bad address `{tok}`")))
 }
 
 fn parse_addr_list(toks: &[&str], line: usize) -> Result<Vec<Addr>, TraceError> {
     if toks.is_empty() {
-        return Err(TraceError::new(line, "memory op needs at least one address"));
+        return Err(TraceError::new(
+            line,
+            "memory op needs at least one address",
+        ));
     }
     toks.iter().map(|t| parse_addr(t, line)).collect()
 }
@@ -100,7 +107,10 @@ pub fn parse_trace(text: &str) -> Result<VecKernel, TraceError> {
         match toks[0] {
             "kernel" => {
                 if toks.len() != 4 {
-                    return Err(TraceError::new(line_no, "expected: kernel <name> ctas=<n> warps_per_cta=<m>"));
+                    return Err(TraceError::new(
+                        line_no,
+                        "expected: kernel <name> ctas=<n> warps_per_cta=<m>",
+                    ));
                 }
                 let ctas = toks[2]
                     .strip_prefix("ctas=")
@@ -111,7 +121,10 @@ pub fn parse_trace(text: &str) -> Result<VecKernel, TraceError> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| TraceError::new(line_no, "bad warps_per_cta=<m>"))?;
                 if ctas == 0 || wpc == 0 {
-                    return Err(TraceError::new(line_no, "ctas and warps_per_cta must be nonzero"));
+                    return Err(TraceError::new(
+                        line_no,
+                        "ctas and warps_per_cta must be nonzero",
+                    ));
                 }
                 name = Some(toks[1].to_owned());
                 n_ctas = ctas;
@@ -132,24 +145,29 @@ pub fn parse_trace(text: &str) -> Result<VecKernel, TraceError> {
                     .parse()
                     .map_err(|_| TraceError::new(line_no, "bad warp index"))?;
                 if c >= n_ctas || w >= warps_per_cta {
-                    return Err(TraceError::new(line_no, format!("cta {c} warp {w} out of range")));
+                    return Err(TraceError::new(
+                        line_no,
+                        format!("cta {c} warp {w} out of range"),
+                    ));
                 }
                 current = Some((c, w));
             }
             op @ ("ld" | "st" | "at" | "compute" | "fence" | "fence.rel" | "fence.acq"
             | "barrier") => {
                 let Some((c, w)) = current else {
-                    return Err(TraceError::new(line_no, "instruction before any `cta ... warp ...`"));
+                    return Err(TraceError::new(
+                        line_no,
+                        "instruction before any `cta ... warp ...`",
+                    ));
                 };
                 let parsed = match op {
                     "ld" => WarpOp::Load(parse_addr_list(&toks[1..], line_no)?),
                     "st" => WarpOp::Store(parse_addr_list(&toks[1..], line_no)?),
                     "at" => WarpOp::Atomic(parse_addr_list(&toks[1..], line_no)?),
                     "compute" => {
-                        let c: u32 = toks
-                            .get(1)
-                            .and_then(|v| v.parse().ok())
-                            .ok_or_else(|| TraceError::new(line_no, "compute needs a cycle count"))?;
+                        let c: u32 = toks.get(1).and_then(|v| v.parse().ok()).ok_or_else(|| {
+                            TraceError::new(line_no, "compute needs a cycle count")
+                        })?;
                         WarpOp::Compute(c)
                     }
                     "fence" => WarpOp::Fence,
@@ -159,7 +177,12 @@ pub fn parse_trace(text: &str) -> Result<VecKernel, TraceError> {
                 };
                 programs[c][w].push(parsed);
             }
-            other => return Err(TraceError::new(line_no, format!("unknown directive `{other}`"))),
+            other => {
+                return Err(TraceError::new(
+                    line_no,
+                    format!("unknown directive `{other}`"),
+                ))
+            }
         }
     }
 
@@ -229,7 +252,8 @@ cta 1 warp 1
         let e = parse_trace("").unwrap_err();
         assert!(e.to_string().contains("missing `kernel`"));
 
-        let e = parse_trace("kernel t ctas=1 warps_per_cta=1\ncta 0 warp 0\nfrobnicate\n").unwrap_err();
+        let e =
+            parse_trace("kernel t ctas=1 warps_per_cta=1\ncta 0 warp 0\nfrobnicate\n").unwrap_err();
         assert!(e.to_string().contains("unknown directive"));
     }
 
@@ -246,7 +270,8 @@ cta 1 warp 1
 
     #[test]
     fn hex_and_decimal_addresses() {
-        let k = parse_trace("kernel t ctas=1 warps_per_cta=1\ncta 0 warp 0\nld 0x80 128\n").unwrap();
+        let k =
+            parse_trace("kernel t ctas=1 warps_per_cta=1\ncta 0 warp 0\nld 0x80 128\n").unwrap();
         let p = k.program(CtaId(0), 0);
         assert_eq!(p.0[0], WarpOp::Load(vec![Addr(0x80), Addr(128)]));
     }

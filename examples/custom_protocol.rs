@@ -11,9 +11,7 @@ use std::collections::{HashMap, VecDeque};
 
 use gtsc::mem::{Mshr, MshrAlloc, TagArray};
 use gtsc::protocol::msg::{L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
-use gtsc::protocol::{
-    AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess,
-};
+use gtsc::protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
 use gtsc::sim::SimBuilder;
 use gtsc::types::{
     BlockAddr, CacheStats, ConsistencyModel, Cycle, GpuConfig, ProtocolKind, Timestamp, Version,
@@ -136,7 +134,11 @@ impl L1Controller for EpochFlushL1 {
                 }
             }
             L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
-                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg { Some(prev) } else { None };
+                let prev = if let L2ToL1::AtomicAck { prev, .. } = msg {
+                    Some(prev)
+                } else {
+                    None
+                };
                 if let Some(q) = self.store_acks.get_mut(&a.block) {
                     if let Some(pos) = q.iter().position(|(_, _, _, v)| *v == a.version) {
                         let (id, warp, kind, version) = q.remove(pos).expect("pos valid");
@@ -211,7 +213,10 @@ fn main() {
     let mut bl = SimBuilder::new(base).build();
     let kernel = Benchmark::Hs.build(Scale::Small);
     let report = bl.run_kernel(kernel.as_ref()).expect("completes");
-    println!("no-L1 baseline            : {:>6} cycles", report.stats.cycles.0);
+    println!(
+        "no-L1 baseline            : {:>6} cycles",
+        report.stats.cycles.0
+    );
 
     // On a *publication* pattern the strawman serves stale data between
     // flushes: the reader observes the writer's new FLAG but the old DATA
@@ -224,8 +229,12 @@ fn main() {
     let kernel = stale_mp_kernel();
     sim.run_kernel(&kernel).expect("completes");
     let geom = gtsc::types::CacheGeometry::new(1024, 2, 128);
-    let flags = sim.checker().load_observations(geom.block_of(gtsc::types::Addr(128)));
-    let datas = sim.checker().load_observations(geom.block_of(gtsc::types::Addr(0)));
+    let flags = sim
+        .checker()
+        .load_observations(geom.block_of(gtsc::types::Addr(128)));
+    let datas = sim
+        .checker()
+        .load_observations(geom.block_of(gtsc::types::Addr(0)));
     let forbidden = flags
         .iter()
         .zip(datas.iter())

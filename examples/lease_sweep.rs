@@ -14,7 +14,11 @@ use gtsc::workloads::{Benchmark, Scale};
 fn main() {
     let leases = [25u64, 100, 400, 800, 1600];
     println!("TC-Weak (physical leases) — cycles per lease choice:");
-    println!("{:<8}{}", "bench", leases.map(|l| format!("{l:>10}")).join(""));
+    println!(
+        "{:<8}{}",
+        "bench",
+        leases.map(|l| format!("{l:>10}")).join("")
+    );
     for b in [Benchmark::Stn, Benchmark::Cc, Benchmark::Bh] {
         print!("{:<8}", b.name());
         for lease in leases {
@@ -29,7 +33,11 @@ fn main() {
 
     println!("\nG-TSC (logical leases) — cycles per lease choice:");
     let glease = [8u64, 10, 16, 20, 64];
-    println!("{:<8}{}", "bench", glease.map(|l| format!("{l:>10}")).join(""));
+    println!(
+        "{:<8}{}",
+        "bench",
+        glease.map(|l| format!("{l:>10}")).join("")
+    );
     for b in [Benchmark::Stn, Benchmark::Cc, Benchmark::Bh] {
         print!("{:<8}", b.name());
         for lease in glease {
@@ -47,5 +55,9 @@ fn main() {
 fn run(b: Benchmark, cfg: GpuConfig) -> u64 {
     let kernel = b.build(Scale::Small);
     let mut sim = GpuSim::new(cfg);
-    sim.run_kernel(kernel.as_ref()).expect("completes").stats.cycles.0
+    sim.run_kernel(kernel.as_ref())
+        .expect("completes")
+        .stats
+        .cycles
+        .0
 }

@@ -12,16 +12,32 @@ fn main() {
     let bench = Benchmark::all()
         .into_iter()
         .find(|b| b.name().eq_ignore_ascii_case(&which))
-        .unwrap_or_else(|| panic!("unknown benchmark {which}; use one of BH CC DLP VPR STN BFS CCP GE HS KM BP SGM"));
+        .unwrap_or_else(|| {
+            panic!(
+                "unknown benchmark {which}; use one of BH CC DLP VPR STN BFS CCP GE HS KM BP SGM"
+            )
+        });
     println!(
         "benchmark {} ({}requires coherence)\n",
         bench.name(),
-        if bench.requires_coherence() { "" } else { "no — " }
+        if bench.requires_coherence() {
+            ""
+        } else {
+            "no — "
+        }
     );
     println!(
         "{:<12}{:>10}{:>8}{:>10}{:>10}{:>10}{:>12}{:>12}{:>8}{:>8}",
-        "config", "cycles", "L1 hit%", "renewals", "expired", "wr-stall", "NoC flits", "mem stalls",
-        "p50 lat", "p99 lat"
+        "config",
+        "cycles",
+        "L1 hit%",
+        "renewals",
+        "expired",
+        "wr-stall",
+        "NoC flits",
+        "mem stalls",
+        "p50 lat",
+        "p99 lat"
     );
     let base = run(bench, ProtocolKind::NoL1, ConsistencyModel::Rc);
     for (p, m) in [
@@ -34,7 +50,10 @@ fn main() {
         let s = run(bench, p, m);
         println!(
             "{:<12}{:>10}{:>8.1}{:>10}{:>10}{:>10}{:>12}{:>12}{:>8.0}{:>8.0}",
-            GpuConfig::paper_default().with_protocol(p).with_consistency(m).label(),
+            GpuConfig::paper_default()
+                .with_protocol(p)
+                .with_consistency(m)
+                .label(),
             s.cycles.0,
             100.0 * s.l1.hit_rate(),
             s.l1.renewals,
@@ -51,7 +70,9 @@ fn main() {
 }
 
 fn run(b: Benchmark, p: ProtocolKind, m: ConsistencyModel) -> gtsc::types::SimStats {
-    let cfg = GpuConfig::paper_default().with_protocol(p).with_consistency(m);
+    let cfg = GpuConfig::paper_default()
+        .with_protocol(p)
+        .with_consistency(m);
     let kernel = b.build(Scale::Small);
     let mut sim = GpuSim::new(cfg);
     let report = sim.run_kernel(kernel.as_ref()).expect("completes");

@@ -37,12 +37,22 @@ fn main() {
         s.noc.flits,
         s.noc.avg_latency()
     );
-    println!("DRAM           : {} reads, {} writes", s.dram.reads, s.dram.writes);
+    println!(
+        "DRAM           : {} reads, {} writes",
+        s.dram.reads, s.dram.writes
+    );
 
     let energy = EnergyModel::new(EnergyParams::default()).estimate(s);
-    println!("energy         : {:.1} µJ total, {:.2} µJ in L1", energy.total_nj() / 1e3, energy.l1_nj / 1e3);
+    println!(
+        "energy         : {:.1} µJ total, {:.2} µJ in L1",
+        energy.total_nj() / 1e3,
+        energy.l1_nj / 1e3
+    );
 
     // The built-in checker verified every load against timestamp order.
     assert!(report.violations.is_empty());
-    println!("coherence      : OK ({} accesses checked)", gpu.checker().n_events());
+    println!(
+        "coherence      : OK ({} accesses checked)",
+        gpu.checker().n_events()
+    );
 }

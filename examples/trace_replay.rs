@@ -52,7 +52,10 @@ fn main() {
         }
     };
     println!("replaying traced kernel under each system:\n");
-    println!("{:<12}{:>10}{:>10}{:>12}{:>12}", "config", "cycles", "L1 hit%", "NoC flits", "violations");
+    println!(
+        "{:<12}{:>10}{:>10}{:>12}{:>12}",
+        "config", "cycles", "L1 hit%", "NoC flits", "violations"
+    );
     for (p, m) in [
         (ProtocolKind::NoL1, ConsistencyModel::Rc),
         (ProtocolKind::Gtsc, ConsistencyModel::Rc),

@@ -40,6 +40,7 @@
 //! | [`gpu`] | `gtsc-gpu` | SMs, warps, coalescer, SC/RC issue rules |
 //! | [`mem`] | `gtsc-mem` | tag arrays, MSHRs, DRAM timing |
 //! | [`noc`] | `gtsc-noc` | crossbar interconnect with flit accounting |
+//! | [`faults`] | `gtsc-faults` | seeded deterministic fault injection |
 //! | [`sim`] | `gtsc-sim` | the assembled GPU + coherence checker |
 //! | [`workloads`] | `gtsc-workloads` | the twelve benchmarks + litmus kernels |
 //! | [`energy`] | `gtsc-energy` | GPUWattch-style event-energy model |
@@ -51,6 +52,7 @@
 pub use gtsc_baselines as baselines;
 pub use gtsc_core as core;
 pub use gtsc_energy as energy;
+pub use gtsc_faults as faults;
 pub use gtsc_gpu as gpu;
 pub use gtsc_mem as mem;
 pub use gtsc_noc as noc;

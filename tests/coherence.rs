@@ -35,7 +35,10 @@ fn group_a_is_coherent_under_every_coherent_system() {
             (ProtocolKind::NoL1, ConsistencyModel::Sc),
             (ProtocolKind::NoL1, ConsistencyModel::Rc),
         ] {
-            check(b, GpuConfig::test_small().with_protocol(p).with_consistency(m));
+            check(
+                b,
+                GpuConfig::test_small().with_protocol(p).with_consistency(m),
+            );
         }
     }
 }
@@ -112,7 +115,11 @@ cta 1 warp 0
         let label = cfg.label();
         let mut sim = GpuSim::new(cfg);
         let report = sim.run_kernel(&kernel).expect("completes");
-        assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "{label}: {:?}",
+            report.violations
+        );
     }
 }
 
@@ -139,7 +146,11 @@ fn rollover_with_in_flight_acks_at_scale() {
         let kernel = b.build(Scale::Small);
         let mut sim = GpuSim::new(cfg);
         let report = sim.run_kernel(kernel.as_ref()).expect("completes");
-        assert!(report.stats.l2.ts_rollovers > 0, "{}: expected rollovers", b.name());
+        assert!(
+            report.stats.l2.ts_rollovers > 0,
+            "{}: expected rollovers",
+            b.name()
+        );
         assert!(
             report.violations.is_empty(),
             "{}: {:?}",
@@ -160,7 +171,11 @@ fn phased_bfs_is_coherent() {
         let refs: Vec<&dyn gtsc::gpu::Kernel> = phases.iter().map(|k| k.as_ref()).collect();
         let mut sim = GpuSim::new(cfg);
         let report = sim.run_kernels(&refs).expect("all levels complete");
-        assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "{label}: {:?}",
+            report.violations
+        );
         assert!(report.stats.l1.accesses > 0);
     }
 }

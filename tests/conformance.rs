@@ -10,9 +10,7 @@ use gtsc::protocol::{
     AccessId, AccessKind, Completion, L1Controller, L1Outcome, L2Controller, MemAccess,
 };
 use gtsc::sim::{build_l1, build_l2};
-use gtsc::types::{
-    BlockAddr, ConsistencyModel, Cycle, GpuConfig, ProtocolKind, Version, WarpId,
-};
+use gtsc::types::{BlockAddr, ConsistencyModel, Cycle, GpuConfig, ProtocolKind, Version, WarpId};
 
 /// One L1 wired to one L2 bank through delayed in-order channels, with
 /// DRAM resolved after a fixed latency.
@@ -49,7 +47,12 @@ impl Pair {
     fn access(&mut self, warp: u16, kind: AccessKind, block: u64) -> (AccessId, L1Outcome) {
         self.next_id += 1;
         let id = AccessId(self.next_id);
-        let acc = MemAccess { id, warp: WarpId(warp), kind, block: BlockAddr(block) };
+        let acc = MemAccess {
+            id,
+            warp: WarpId(warp),
+            kind,
+            block: BlockAddr(block),
+        };
         let outcome = self.l1.access(acc, self.now);
         if let L1Outcome::Hit(c) = outcome {
             self.completions.push(c);
@@ -117,8 +120,12 @@ impl Pair {
     }
 }
 
-const COHERENT: [ProtocolKind; 4] =
-    [ProtocolKind::Gtsc, ProtocolKind::Tc, ProtocolKind::TcWeak, ProtocolKind::NoL1];
+const COHERENT: [ProtocolKind; 4] = [
+    ProtocolKind::Gtsc,
+    ProtocolKind::Tc,
+    ProtocolKind::TcWeak,
+    ProtocolKind::NoL1,
+];
 
 const ALL: [ProtocolKind; 5] = [
     ProtocolKind::Gtsc,
@@ -165,7 +172,11 @@ fn store_then_load_observes_store() {
 /// MSHR-less no-L1 baseline.
 #[test]
 fn concurrent_loads_merge() {
-    for p in [ProtocolKind::Gtsc, ProtocolKind::Tc, ProtocolKind::L1NoCoherence] {
+    for p in [
+        ProtocolKind::Gtsc,
+        ProtocolKind::Tc,
+        ProtocolKind::L1NoCoherence,
+    ] {
         let mut pair = Pair::new(p, 5);
         let (a, _) = pair.access(0, AccessKind::Load, 4);
         let (b, _) = pair.access(1, AccessKind::Load, 4);
@@ -243,7 +254,10 @@ fn gtsc_renewal_completes_expired_reader() {
     let (b, _) = pair.access(1, AccessKind::Load, 3);
     let cb = pair.run_until_complete(b, 1000);
     assert_eq!(cb.version, ca.version, "renewal serves the same version");
-    assert!(pair.l1.stats().renewals > before, "a renewal request was sent");
+    assert!(
+        pair.l1.stats().renewals > before,
+        "a renewal request was sent"
+    );
     pair.drain(1000);
 }
 
@@ -271,7 +285,11 @@ fn tc_strong_store_waits_for_lease() {
 /// again (all protocols with an L1).
 #[test]
 fn flush_forces_cold_misses() {
-    for p in [ProtocolKind::Gtsc, ProtocolKind::Tc, ProtocolKind::L1NoCoherence] {
+    for p in [
+        ProtocolKind::Gtsc,
+        ProtocolKind::Tc,
+        ProtocolKind::L1NoCoherence,
+    ] {
         let mut pair = Pair::new(p, 3);
         let (a, _) = pair.access(0, AccessKind::Load, 3);
         pair.run_until_complete(a, 1000);
@@ -279,7 +297,10 @@ fn flush_forces_cold_misses() {
         let cold_before = pair.l1.stats().cold_misses;
         pair.l1.flush();
         let (b, out) = pair.access(0, AccessKind::Load, 3);
-        assert!(matches!(out, L1Outcome::Queued), "{p:?}: must miss after flush");
+        assert!(
+            matches!(out, L1Outcome::Queued),
+            "{p:?}: must miss after flush"
+        );
         pair.run_until_complete(b, 1000);
         assert!(pair.l1.stats().cold_misses > cold_before, "{p:?}");
         pair.drain(1000);
@@ -310,8 +331,15 @@ fn store_serialization_is_consistent() {
         );
         // Under G-TSC the wts order must agree with the final image.
         if p == ProtocolKind::Gtsc {
-            let last = if ca.ts.unwrap() > cb.ts.unwrap() { ca.version } else { cb.version };
-            assert_eq!(final_v, last, "G-TSC: image must hold the logically-later store");
+            let last = if ca.ts.unwrap() > cb.ts.unwrap() {
+                ca.version
+            } else {
+                cb.version
+            };
+            assert_eq!(
+                final_v, last,
+                "G-TSC: image must hold the logically-later store"
+            );
         }
     }
 }
@@ -331,7 +359,10 @@ fn mshr_overflow_rejects_cleanly() {
                 _ => pending.push(id),
             }
         }
-        assert!(rejected > 0, "{p:?}: 32 distinct blocks must overflow an 8-entry MSHR");
+        assert!(
+            rejected > 0,
+            "{p:?}: 32 distinct blocks must overflow an 8-entry MSHR"
+        );
         for id in pending {
             pair.run_until_complete(id, 5000);
         }

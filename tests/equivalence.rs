@@ -65,7 +65,10 @@ fn gtsc_parameters_do_not_change_results() {
         let kernel = b.build(Scale::Tiny);
         let mut sim = GpuSim::new(cfg);
         let report = sim.run_kernel(kernel.as_ref()).expect("completes");
-        assert!(report.violations.is_empty(), "lease={lease} ts_bits={ts_bits}");
+        assert!(
+            report.violations.is_empty(),
+            "lease={lease} ts_bits={ts_bits}"
+        );
         let img: BTreeMap<BlockAddr, Version> = sim
             .memory_image()
             .into_iter()

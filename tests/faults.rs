@@ -1,0 +1,231 @@
+//! Fault-injection sweeps: G-TSC must stay coherent — zero checker
+//! violations — under seeded storms of NoC latency jitter, bounded
+//! reordering, duplicate delivery, DRAM service-time jitter, and
+//! timestamp-rollover pressure. Timestamp ordering tolerates arbitrary
+//! message timing by construction (the Tardis lineage proof), so delayed,
+//! reordered, or replayed messages may change *performance* but never
+//! *correctness*; these sweeps are the executable form of that claim.
+//!
+//! Every storm derives from a single `u64` seed (`FaultConfig::chaos`),
+//! so any failure reproduces exactly: re-run with the seed printed in the
+//! panic message (see README, "Robustness harness").
+
+use gtsc::faults::FaultStats;
+use gtsc::gpu::{VecKernel, WarpOp, WarpProgram};
+use gtsc::sim::{GpuSim, RunReport, SimBuilder};
+use gtsc::types::{Addr, ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind, Version};
+use gtsc::workloads::micro;
+
+/// Seeds swept by every storm test (≥100 per the robustness harness
+/// contract; keep this in sync with DESIGN.md "Fault model & liveness").
+const SEEDS: std::ops::Range<u64> = 0..104;
+
+/// Two CTAs of two warps each hammering one block with a mix of atomics,
+/// stores, and loads — maximal sharing, so a fault that breaks ordering
+/// has the best possible chance of surfacing as a checker violation.
+fn contended_atomics() -> VecKernel {
+    let prog = |s: u64| {
+        WarpProgram(
+            (0..12)
+                .map(|i| match (i + s) % 3 {
+                    0 => WarpOp::atomic_coalesced(Addr(0), 32),
+                    1 => WarpOp::store_coalesced(Addr(0), 32),
+                    _ => WarpOp::load_coalesced(Addr(0), 32),
+                })
+                .collect(),
+        )
+    };
+    VecKernel::new(
+        "contend-atomic",
+        2,
+        vec![vec![prog(0), prog(1)], vec![prog(2), prog(3)]],
+    )
+}
+
+/// Runs `kernel` on a small G-TSC GPU with the chaos storm for `seed`;
+/// returns the report, the final memory image (for reproducibility
+/// comparisons), and the aggregated fault counters.
+fn run_storm(
+    model: ConsistencyModel,
+    seed: u64,
+    kernel: &VecKernel,
+) -> (RunReport, String, FaultStats) {
+    let cfg = GpuConfig::test_small()
+        .with_protocol(ProtocolKind::Gtsc)
+        .with_consistency(model)
+        .with_faults(FaultConfig::chaos(seed));
+    let mut sim = GpuSim::new(cfg);
+    let report = sim
+        .run_kernel(kernel)
+        .unwrap_or_else(|e| panic!("seed {seed} ({model:?}): {e}"));
+    let image = format!("{:?}", sim.memory_image());
+    let stats = sim.fault_stats().expect("chaos config is active");
+    (report, image, stats)
+}
+
+/// One full storm sweep for a (model, kernel) pair. Asserts liveness and
+/// zero violations per seed, and that the storm actually perturbed
+/// something across the sweep (a silently inert harness proves nothing).
+fn sweep(model: ConsistencyModel, kernel: &VecKernel) {
+    let mut total = FaultStats::default();
+    for seed in SEEDS {
+        let (report, _, stats) = run_storm(model, seed, kernel);
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed} ({model:?}, {}): {:?}",
+            kernel_name(kernel),
+            report.violations
+        );
+        assert!(report.stats.cycles.0 > 0);
+        total.merge(&stats);
+    }
+    assert!(total.jittered > 0, "storm never jittered a packet");
+    assert!(total.reordered > 0, "storm never reordered a packet");
+    assert!(total.duplicated > 0, "storm never duplicated a packet");
+}
+
+fn kernel_name(k: &VecKernel) -> &str {
+    use gtsc::gpu::Kernel;
+    k.name()
+}
+
+#[test]
+fn gtsc_sc_message_passing_survives_fault_storms() {
+    sweep(ConsistencyModel::Sc, &micro::message_passing(3));
+}
+
+#[test]
+fn gtsc_rc_message_passing_survives_fault_storms() {
+    sweep(ConsistencyModel::Rc, &micro::message_passing(3));
+}
+
+#[test]
+fn gtsc_sc_contended_atomics_survive_fault_storms() {
+    sweep(ConsistencyModel::Sc, &contended_atomics());
+}
+
+#[test]
+fn gtsc_rc_contended_atomics_survive_fault_storms() {
+    sweep(ConsistencyModel::Rc, &contended_atomics());
+}
+
+/// The whole plan is a pure function of the seed: same seed, same run —
+/// byte for byte, across the report (stats, histograms, violations) and
+/// the final memory image.
+#[test]
+fn fault_runs_are_reproducible_byte_for_byte() {
+    let kernel = micro::message_passing(2);
+    for seed in SEEDS {
+        let (r1, img1, s1) = run_storm(ConsistencyModel::Rc, seed, &kernel);
+        let (r2, img2, s2) = run_storm(ConsistencyModel::Rc, seed, &kernel);
+        assert_eq!(
+            format!("{r1:?}"),
+            format!("{r2:?}"),
+            "seed {seed}: report diverged"
+        );
+        assert_eq!(img1, img2, "seed {seed}: memory image diverged");
+        assert_eq!(s1, s2, "seed {seed}: fault counters diverged");
+    }
+}
+
+/// The incoherent baseline must keep failing under the same storms: the
+/// reader that cached DATA keeps returning the stale copy after it has
+/// observed the writer's new FLAG — the forbidden MP outcome. If the
+/// harness somehow masked incoherence, G-TSC's clean sweeps above would
+/// be vacuous.
+#[test]
+fn incoherent_baseline_still_shows_stale_reads_under_faults() {
+    let data = Addr(0);
+    let flag = Addr(128);
+    let writer = WarpProgram(vec![
+        WarpOp::Compute(40), // let the reader cache the old DATA first
+        WarpOp::store_coalesced(data, 32),
+        WarpOp::Fence,
+        WarpOp::store_coalesced(flag, 32),
+    ]);
+    let reader = WarpProgram(vec![
+        WarpOp::load_coalesced(data, 32), // caches stale DATA
+        WarpOp::Compute(16_000),          // long wait: writer finishes
+        WarpOp::load_coalesced(flag, 32), // miss -> sees the new FLAG
+        WarpOp::Fence,
+        WarpOp::load_coalesced(data, 32), // HITS the stale cached DATA
+    ]);
+    let kernel = VecKernel::new("stale-mp", 1, vec![vec![writer], vec![reader]]);
+    let mut stale_runs = 0usize;
+    // Seed 0 = fault-free control; the rest are chaos storms. Jitter can
+    // perturb the race either way, so the assertion is over the sweep.
+    for seed in 0..24u64 {
+        let mut cfg = GpuConfig::test_small().with_protocol(ProtocolKind::L1NoCoherence);
+        if seed > 0 {
+            cfg = cfg.with_faults(FaultConfig::chaos(seed));
+        }
+        let geom = cfg.l1;
+        let mut sim = GpuSim::new(cfg);
+        sim.run_kernel(&kernel)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let flags = sim.checker().load_observations(geom.block_of(flag));
+        let datas = sim.checker().load_observations(geom.block_of(data));
+        let saw_new_flag = flags
+            .iter()
+            .any(|o| o.sm == 1 && o.version != Version::ZERO);
+        let stale_after = datas
+            .iter()
+            .filter(|o| o.sm == 1)
+            .max_by_key(|o| o.at)
+            .is_some_and(|o| o.version == Version::ZERO);
+        if saw_new_flag && stale_after {
+            stale_runs += 1;
+        }
+    }
+    assert!(
+        stale_runs > 0,
+        "the incoherent baseline never exhibited the forbidden MP outcome \
+         across the sweep — the harness is masking incoherence"
+    );
+}
+
+/// The `ts_bits_cap` knob shrinks the epoch budget until rollovers storm:
+/// the Section V-D reset protocol must fire repeatedly and still leave
+/// the run coherent, even with the NoC misbehaving underneath it.
+#[test]
+fn rollover_storms_stay_coherent_under_noc_faults() {
+    for seed in 0..16u64 {
+        let mut faults = FaultConfig::chaos(seed);
+        faults.ts_bits_cap = 6; // 64-tick epochs: rollovers guaranteed
+        let cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_faults(faults);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim
+            .run_kernel(&contended_atomics())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.violations
+        );
+        assert!(
+            report.stats.l2.ts_rollovers > 0,
+            "seed {seed}: 6-bit timestamps should have forced a rollover"
+        );
+    }
+}
+
+/// `SimBuilder` and the fault plan compose: a custom-protocol build still
+/// gets the same seeded storm installed (the harness is substrate-level,
+/// not protocol-level).
+#[test]
+fn builder_installs_faults_for_custom_protocols() {
+    let cfg = GpuConfig::test_small()
+        .with_protocol(ProtocolKind::Gtsc)
+        .with_faults(FaultConfig::chaos(7));
+    let mut sim = SimBuilder::new(cfg).try_build().expect("valid config");
+    let report = sim
+        .run_kernel(&micro::message_passing(2))
+        .expect("completes");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(
+        sim.fault_stats().is_some(),
+        "fault plan not installed via builder"
+    );
+}

@@ -36,11 +36,18 @@ struct Rig {
 impl Rig {
     fn new() -> Rig {
         let mk = |sm| {
-            GtscL1::new(L1Params { sm_index: sm, ..L1Params::default() })
+            GtscL1::new(L1Params {
+                sm_index: sm,
+                ..L1Params::default()
+            })
         };
         Rig {
             l1: [mk(0), mk(1)],
-            l2: GtscL2::new(L2Params { lease: Lease(10), latency: 0, ..L2Params::default() }),
+            l2: GtscL2::new(L2Params {
+                lease: Lease(10),
+                latency: 0,
+                ..L2Params::default()
+            }),
             now: Cycle(0),
             next_id: 0,
         }
@@ -50,7 +57,12 @@ impl Rig {
     fn run(&mut self, sm: usize, kind: AccessKind, block: BlockAddr) -> Completion {
         self.next_id += 1;
         let id = AccessId(self.next_id);
-        let acc = MemAccess { id, warp: WarpId(0), kind, block };
+        let acc = MemAccess {
+            id,
+            warp: WarpId(0),
+            kind,
+            block,
+        };
         match self.l1[sm].access(acc, self.now) {
             L1Outcome::Hit(c) => return c,
             L1Outcome::Queued => {}
@@ -118,7 +130,10 @@ fn figure9_walkthrough_matches_hand_computed_timestamps() {
     let a3 = rig.run(0, AccessKind::Load, X);
     assert_eq!(a3.version, b2.version, "A3 observes B2's store");
     assert_eq!(a3.ts, Some(Timestamp(12)));
-    assert!(rig.l1[0].stats().expired_misses >= 1, "A3 was a coherence miss");
+    assert!(
+        rig.l1[0].stats().expired_misses >= 1,
+        "A3 was a coherence miss"
+    );
     assert!(rig.l1[0].stats().renewals >= 1, "A3 sent a renewal request");
 
     // B3: SM1 re-reads Y. In the paper Y's longer lease ([1,11] there)
@@ -166,7 +181,10 @@ fn self_assert_hit(rig: &mut Rig, sm: usize, block: BlockAddr, want: Version, ts
     };
     match rig.l1[sm].access(acc, rig.now) {
         L1Outcome::Hit(c) => {
-            assert_eq!(c.version, want, "stale-but-lease-valid read must serve the old value");
+            assert_eq!(
+                c.version, want,
+                "stale-but-lease-valid read must serve the old value"
+            );
             assert_eq!(c.ts, Some(ts));
         }
         other => panic!("expected an L1 hit, got {other:?}"),

@@ -3,9 +3,7 @@
 //! actually occur.
 
 use gtsc::sim::GpuSim;
-use gtsc::types::{
-    CacheGeometry, ConsistencyModel, GpuConfig, ProtocolKind, Version,
-};
+use gtsc::types::{CacheGeometry, ConsistencyModel, GpuConfig, ProtocolKind, Version};
 use gtsc::workloads::micro;
 
 fn timing_grid() -> Vec<GpuConfig> {
@@ -42,7 +40,11 @@ fn message_passing_publication_holds() {
             let kernel = micro::message_passing(8);
             let mut sim = GpuSim::new(cfg);
             let report = sim.run_kernel(&kernel).expect("completes");
-            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            assert!(
+                report.violations.is_empty(),
+                "{label}: {:?}",
+                report.violations
+            );
             let flags = sim.checker().load_observations(block_of(micro::FLAG));
             let datas = sim.checker().load_observations(block_of(micro::DATA));
             assert_eq!(flags.len(), datas.len());
@@ -72,12 +74,19 @@ fn coherent_read_read_is_monotonic() {
             let kernel = micro::coherent_read_read(8);
             let mut sim = GpuSim::new(cfg);
             let report = sim.run_kernel(&kernel).expect("completes");
-            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            assert!(
+                report.violations.is_empty(),
+                "{label}: {:?}",
+                report.violations
+            );
             // The reader's observations in completion order must never go
             // from the new version back to ZERO.
             let obs = sim.checker().load_observations(block_of(micro::DATA));
-            let reader: Vec<Version> =
-                obs.iter().filter(|o| o.sm == 1).map(|o| o.version).collect();
+            let reader: Vec<Version> = obs
+                .iter()
+                .filter(|o| o.sm == 1)
+                .map(|o| o.version)
+                .collect();
             let mut seen_new = false;
             for v in reader {
                 if v != Version::ZERO {
@@ -101,7 +110,11 @@ fn store_buffering_forbidden_under_sc() {
             let kernel = micro::store_buffering();
             let mut sim = GpuSim::new(cfg);
             let report = sim.run_kernel(&kernel).expect("completes");
-            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            assert!(
+                report.violations.is_empty(),
+                "{label}: {:?}",
+                report.violations
+            );
             let r0 = sim.checker().load_observations(block_of(micro::Y));
             let r1 = sim.checker().load_observations(block_of(micro::X));
             assert_eq!(r0.len(), 1, "{label}");
@@ -139,7 +152,10 @@ fn atomics_form_a_chain() {
                 WarpProgram(
                     (0..5)
                         .flat_map(|i| {
-                            [WarpOp::Compute(pad + i), WarpOp::atomic_coalesced(Addr(0), 32)]
+                            [
+                                WarpOp::Compute(pad + i),
+                                WarpOp::atomic_coalesced(Addr(0), 32),
+                            ]
                         })
                         .collect(),
                 )
@@ -151,14 +167,31 @@ fn atomics_form_a_chain() {
             );
             let mut sim = GpuSim::new(cfg);
             let report = sim.run_kernel(&kernel).expect("completes");
-            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            assert!(
+                report.violations.is_empty(),
+                "{label}: {:?}",
+                report.violations
+            );
             // Gather every atomic's observed predecessor.
-            let obs = sim.checker().load_observations(block_of(gtsc::types::Addr(0)));
-            let prevs: Vec<Version> = obs.iter().filter(|o| o.exclusive).map(|o| o.version).collect();
+            let obs = sim
+                .checker()
+                .load_observations(block_of(gtsc::types::Addr(0)));
+            let prevs: Vec<Version> = obs
+                .iter()
+                .filter(|o| o.exclusive)
+                .map(|o| o.version)
+                .collect();
             assert_eq!(prevs.len(), 20, "{label}: 4 warps x 5 atomics");
             let unique: HashSet<Version> = prevs.iter().copied().collect();
-            assert_eq!(unique.len(), 20, "{label}: two atomics observed the same old value — not atomic");
-            assert!(unique.contains(&Version::ZERO), "{label}: the chain must start at the initial value");
+            assert_eq!(
+                unique.len(),
+                20,
+                "{label}: two atomics observed the same old value — not atomic"
+            );
+            assert!(
+                unique.contains(&Version::ZERO),
+                "{label}: the chain must start at the initial value"
+            );
         }
     }
 }
@@ -176,14 +209,34 @@ fn iriw_readers_agree_under_sc() {
             let kernel = micro::iriw();
             let mut sim = GpuSim::new(cfg);
             let report = sim.run_kernel(&kernel).expect("completes");
-            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            assert!(
+                report.violations.is_empty(),
+                "{label}: {:?}",
+                report.violations
+            );
             let xs = sim.checker().load_observations(block_of(micro::X));
             let ys = sim.checker().load_observations(block_of(micro::Y));
             // Reader on SM2 reads X then Y; reader on SM3 reads Y then X.
-            let r2_x = xs.iter().find(|o| o.sm == 2).expect("reader2 read X").version;
-            let r2_y = ys.iter().find(|o| o.sm == 2).expect("reader2 read Y").version;
-            let r3_y = ys.iter().find(|o| o.sm == 3).expect("reader3 read Y").version;
-            let r3_x = xs.iter().find(|o| o.sm == 3).expect("reader3 read X").version;
+            let r2_x = xs
+                .iter()
+                .find(|o| o.sm == 2)
+                .expect("reader2 read X")
+                .version;
+            let r2_y = ys
+                .iter()
+                .find(|o| o.sm == 2)
+                .expect("reader2 read Y")
+                .version;
+            let r3_y = ys
+                .iter()
+                .find(|o| o.sm == 3)
+                .expect("reader3 read Y")
+                .version;
+            let r3_x = xs
+                .iter()
+                .find(|o| o.sm == 3)
+                .expect("reader3 read X")
+                .version;
             let zero = Version::ZERO;
             let forbidden = r2_x != zero && r2_y == zero && r3_y != zero && r3_x == zero;
             assert!(!forbidden, "{label}: IRIW readers disagreed on store order");
@@ -196,7 +249,9 @@ fn iriw_readers_agree_under_sc() {
 #[test]
 fn adaptive_lease_preserves_litmus_shapes() {
     for base in timing_grid().into_iter().step_by(2) {
-        let mut cfg = base.with_protocol(ProtocolKind::Gtsc).with_consistency(ConsistencyModel::Rc);
+        let mut cfg = base
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_consistency(ConsistencyModel::Rc);
         cfg.adaptive_lease = true;
         let kernel = micro::message_passing(8);
         let mut sim = GpuSim::new(cfg);
@@ -225,7 +280,11 @@ fn message_passing_with_release_acquire_fences() {
             let kernel = micro::message_passing_rel_acq(8);
             let mut sim = GpuSim::new(cfg);
             let report = sim.run_kernel(&kernel).expect("completes");
-            assert!(report.violations.is_empty(), "{label}: {:?}", report.violations);
+            assert!(
+                report.violations.is_empty(),
+                "{label}: {:?}",
+                report.violations
+            );
             let flags = sim.checker().load_observations(block_of(micro::FLAG));
             let datas = sim.checker().load_observations(block_of(micro::DATA));
             for (f, d) in flags.iter().zip(datas.iter()) {

@@ -9,7 +9,9 @@ use gtsc::types::{Addr, ConsistencyModel, GpuConfig, Lease, ProtocolKind, Versio
 use gtsc::workloads::{Benchmark, Scale};
 
 fn run(b: Benchmark, p: ProtocolKind, m: ConsistencyModel) -> gtsc::sim::RunReport {
-    let cfg = GpuConfig::paper_default().with_protocol(p).with_consistency(m);
+    let cfg = GpuConfig::paper_default()
+        .with_protocol(p)
+        .with_consistency(m);
     let kernel = b.build(Scale::Small);
     let mut sim = GpuSim::new(cfg);
     sim.run_kernel(kernel.as_ref()).expect("completes")
@@ -24,12 +26,18 @@ fn gtsc_never_stalls_writes() {
         for m in [ConsistencyModel::Sc, ConsistencyModel::Rc] {
             let r = run(b, ProtocolKind::Gtsc, m);
             assert_eq!(
-                r.stats.l2.write_stall_cycles, 0,
+                r.stats.l2.write_stall_cycles,
+                0,
                 "{} {:?}: G-TSC must not stall writes",
                 b.name(),
                 m
             );
-            assert_eq!(r.stats.l2.eviction_stall_cycles, 0, "{}: non-inclusive L2 never stalls replacement", b.name());
+            assert_eq!(
+                r.stats.l2.eviction_stall_cycles,
+                0,
+                "{}: non-inclusive L2 never stalls replacement",
+                b.name()
+            );
         }
     }
 }
@@ -43,7 +51,10 @@ fn tc_strong_pays_write_stalls_on_sharing_workloads() {
         let r = run(b, ProtocolKind::Tc, ConsistencyModel::Sc);
         any += r.stats.l2.write_stall_cycles;
     }
-    assert!(any > 0, "TC-Strong should have stalled at least some writes");
+    assert!(
+        any > 0,
+        "TC-Strong should have stalled at least some writes"
+    );
 }
 
 /// STN is the clearest G-TSC win in the paper's Figure 12 shape: TC's
@@ -67,10 +78,22 @@ fn sc_gap_is_small_for_gtsc_and_large_for_tc() {
     let mut gtsc_gap = Vec::new();
     let mut tc_gap = Vec::new();
     for b in [Benchmark::Stn, Benchmark::Hs] {
-        let g_rc = run(b, ProtocolKind::Gtsc, ConsistencyModel::Rc).stats.cycles.0 as f64;
-        let g_sc = run(b, ProtocolKind::Gtsc, ConsistencyModel::Sc).stats.cycles.0 as f64;
-        let t_rc = run(b, ProtocolKind::TcWeak, ConsistencyModel::Rc).stats.cycles.0 as f64;
-        let t_sc = run(b, ProtocolKind::Tc, ConsistencyModel::Sc).stats.cycles.0 as f64;
+        let g_rc = run(b, ProtocolKind::Gtsc, ConsistencyModel::Rc)
+            .stats
+            .cycles
+            .0 as f64;
+        let g_sc = run(b, ProtocolKind::Gtsc, ConsistencyModel::Sc)
+            .stats
+            .cycles
+            .0 as f64;
+        let t_rc = run(b, ProtocolKind::TcWeak, ConsistencyModel::Rc)
+            .stats
+            .cycles
+            .0 as f64;
+        let t_sc = run(b, ProtocolKind::Tc, ConsistencyModel::Sc)
+            .stats
+            .cycles
+            .0 as f64;
         gtsc_gap.push(g_sc / g_rc);
         tc_gap.push(t_sc / t_rc);
     }
@@ -124,7 +147,7 @@ fn renewals_save_data_packets_on_stn() {
 /// a reader that cached DATA keeps returning the stale copy even after
 /// it has observed the writer's FLAG — the forbidden MP outcome.
 #[test]
-fn noncoherent_l1_exhibits_the_forbidden_outcome()  {
+fn noncoherent_l1_exhibits_the_forbidden_outcome() {
     let data = Addr(0);
     let flag = Addr(128);
     let writer = WarpProgram(vec![
@@ -148,37 +171,57 @@ fn noncoherent_l1_exhibits_the_forbidden_outcome()  {
     let flags = sim.checker().load_observations(geom.block_of(flag));
     let datas = sim.checker().load_observations(geom.block_of(data));
     let saw_new_flag = flags.iter().any(|o| o.version != Version::ZERO);
-    let last_data = datas.iter().filter(|o| o.sm == 1).max_by_key(|o| o.at).unwrap().version;
+    let last_data = datas
+        .iter()
+        .filter(|o| o.sm == 1)
+        .max_by_key(|o| o.at)
+        .unwrap()
+        .version;
     assert!(
         saw_new_flag && last_data == Version::ZERO,
         "expected the incoherent L1 to serve stale DATA after the new FLAG \
          (saw_new_flag={saw_new_flag}, last_data={last_data})"
     );
     // And the same shape under G-TSC must NOT exhibit it.
-    let kernel2 = VecKernel::new("fresh", 1, vec![
-        vec![WarpProgram(vec![
-            WarpOp::Compute(40),
-            WarpOp::store_coalesced(data, 32),
-            WarpOp::Fence,
-            WarpOp::store_coalesced(flag, 32),
-        ])],
-        vec![WarpProgram(vec![
-            WarpOp::load_coalesced(data, 32),
-            WarpOp::Compute(400),
-            WarpOp::load_coalesced(flag, 32),
-            WarpOp::Fence,
-            WarpOp::load_coalesced(data, 32),
-        ])],
-    ]);
+    let kernel2 = VecKernel::new(
+        "fresh",
+        1,
+        vec![
+            vec![WarpProgram(vec![
+                WarpOp::Compute(40),
+                WarpOp::store_coalesced(data, 32),
+                WarpOp::Fence,
+                WarpOp::store_coalesced(flag, 32),
+            ])],
+            vec![WarpProgram(vec![
+                WarpOp::load_coalesced(data, 32),
+                WarpOp::Compute(400),
+                WarpOp::load_coalesced(flag, 32),
+                WarpOp::Fence,
+                WarpOp::load_coalesced(data, 32),
+            ])],
+        ],
+    );
     let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
     let mut sim = GpuSim::new(cfg);
     let report = sim.run_kernel(&kernel2).expect("completes");
     assert!(report.violations.is_empty());
     let flags = sim.checker().load_observations(geom.block_of(flag));
     let datas = sim.checker().load_observations(geom.block_of(data));
-    let saw_new_flag = flags.iter().any(|o| o.sm == 1 && o.version != Version::ZERO);
+    let saw_new_flag = flags
+        .iter()
+        .any(|o| o.sm == 1 && o.version != Version::ZERO);
     if saw_new_flag {
-        let last_data = datas.iter().filter(|o| o.sm == 1).max_by_key(|o| o.at).unwrap().version;
-        assert_ne!(last_data, Version::ZERO, "G-TSC must not serve stale DATA after the new FLAG");
+        let last_data = datas
+            .iter()
+            .filter(|o| o.sm == 1)
+            .max_by_key(|o| o.at)
+            .unwrap()
+            .version;
+        assert_ne!(
+            last_data,
+            Version::ZERO,
+            "G-TSC must not serve stale DATA after the new FLAG"
+        );
     }
 }
