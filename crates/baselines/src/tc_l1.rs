@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use gtsc_mem::{Mshr, MshrAlloc, TagArray};
 use gtsc_protocol::msg::{L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
 use gtsc_protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
+use gtsc_trace::{EventKind, Tracer};
 use gtsc_types::{BlockAddr, CacheGeometry, CacheStats, Cycle, Timestamp, Version, WarpId};
 
 use crate::TcMode;
@@ -83,6 +84,7 @@ pub struct TcL1 {
     out: VecDeque<L1ToL2>,
     version_ctr: Vec<u64>,
     stats: CacheStats,
+    tracer: Tracer,
 }
 
 impl TcL1 {
@@ -97,6 +99,7 @@ impl TcL1 {
             out: VecDeque::new(),
             version_ctr: vec![0; p.n_warps],
             stats: CacheStats::default(),
+            tracer: Tracer::disabled(),
             p,
         }
     }
@@ -135,7 +138,7 @@ impl L1Controller for TcL1 {
     fn access(&mut self, acc: MemAccess, now: Cycle) -> L1Outcome {
         match acc.kind {
             AccessKind::Load => {
-                let mut expired = false;
+                let mut expired_lease = None;
                 if let Some(line) = self.tags.probe(acc.block) {
                     if now < line.meta.expires {
                         self.stats.accesses += 1;
@@ -145,11 +148,15 @@ impl L1Controller for TcL1 {
                             warp: acc.warp,
                         };
                         let version = line.meta.version;
+                        self.tracer.record_with(now, || EventKind::Hit {
+                            block: acc.block,
+                            warp: acc.warp.0,
+                        });
                         return L1Outcome::Hit(self.completion(w, acc.block, version));
                     }
                     // Tag match, expired lease: self-invalidated
                     // (coherence miss).
-                    expired = true;
+                    expired_lease = Some(line.meta.expires);
                 }
                 let waiter = Waiter {
                     id: acc.id,
@@ -172,10 +179,21 @@ impl L1Controller for TcL1 {
                     }
                 };
                 self.stats.accesses += 1;
-                if expired {
+                if let Some(expires) = expired_lease {
                     self.stats.expired_misses += 1;
+                    // TC leases are physical: `now` and the expiry time play
+                    // the roles G-TSC gives `warp_ts` and `rts`.
+                    self.tracer.record_with(now, || EventKind::ExpiredMiss {
+                        block: acc.block,
+                        warp_ts: now.0,
+                        rts: expires.0,
+                    });
                 } else {
                     self.stats.cold_misses += 1;
+                    self.tracer.record_with(now, || EventKind::ColdMiss {
+                        block: acc.block,
+                        warp: acc.warp.0,
+                    });
                 }
                 outcome
             }
@@ -225,7 +243,7 @@ impl L1Controller for TcL1 {
         }
     }
 
-    fn on_response(&mut self, msg: L2ToL1, _now: Cycle) -> Vec<Completion> {
+    fn on_response(&mut self, msg: L2ToL1, now: Cycle) -> Vec<Completion> {
         let mut done = Vec::new();
         match msg {
             L2ToL1::Fill(f) => {
@@ -236,9 +254,13 @@ impl L1Controller for TcL1 {
                     expires,
                     version: f.version,
                 };
-                if self.tags.fill(f.block, meta).is_some() {
+                if let Some(ev) = self.tags.fill(f.block, meta) {
                     self.stats.evictions += 1;
+                    self.tracer
+                        .record_with(now, || EventKind::Eviction { block: ev.block });
                 }
+                self.tracer
+                    .record_with(now, || EventKind::FillApplied { block: f.block });
                 for w in self.mshr.take(f.block) {
                     done.push(self.completion(w, f.block, f.version));
                 }
@@ -261,6 +283,8 @@ impl L1Controller for TcL1 {
                             let g = &mut self.gwct[sw.warp.0 as usize];
                             *g = (*g).max(expires);
                         }
+                        self.tracer
+                            .record_with(now, || EventKind::WriteAck { block: a.block });
                         done.push(Completion {
                             id: sw.id,
                             warp: sw.warp,
@@ -311,6 +335,14 @@ impl L1Controller for TcL1 {
 
     fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        Some(&self.tracer)
     }
 }
 

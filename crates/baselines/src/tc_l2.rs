@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use gtsc_mem::{Mshr, MshrAlloc, TagArray};
 use gtsc_protocol::msg::{FillResp, L1ToL2, L2ToL1, LeaseInfo, WriteAckResp};
 use gtsc_protocol::L2Controller;
+use gtsc_trace::{EventKind, Tracer};
 use gtsc_types::{BlockAddr, CacheGeometry, CacheStats, Cycle, Version};
 
 use crate::TcMode;
@@ -85,6 +86,7 @@ pub struct TcL2 {
     out_resp: VecDeque<(usize, L2ToL1)>,
     dram_out: VecDeque<(BlockAddr, bool)>,
     stats: CacheStats,
+    tracer: Tracer,
 }
 
 impl TcL2 {
@@ -101,6 +103,7 @@ impl TcL2 {
             out_resp: VecDeque::new(),
             dram_out: VecDeque::new(),
             stats: CacheStats::default(),
+            tracer: Tracer::disabled(),
             p,
         }
     }
@@ -113,6 +116,13 @@ impl TcL2 {
             .expect("caller checked residency");
         line.meta.expires = line.meta.expires.max(now + lease);
         let (expires, version) = (line.meta.expires, line.meta.version);
+        // TC leases are physical: `wts` has no analogue, the expiry time
+        // plays the role G-TSC gives `rts`.
+        self.tracer.record_with(now, || EventKind::LeaseGrant {
+            block,
+            wts: 0,
+            rts: expires.0,
+        });
         self.out_resp.push_back((
             src,
             L2ToL1::Fill(FillResp {
@@ -141,6 +151,8 @@ impl TcL2 {
         line.meta.version = version;
         line.meta.dirty = true;
         self.stats.stores += 1;
+        self.tracer
+            .record_with(now, || EventKind::StoreCommit { block, wts: now.0 });
         let lease = match self.p.mode {
             // Strong: the ack certifies global performance; nothing to carry.
             TcMode::Strong => LeaseInfo::None,
@@ -208,6 +220,8 @@ impl TcL2 {
                     // Lease-induced write stall: park, blocking the block.
                     // Atomics stall too — the RMW cannot be performed
                     // while private copies may still be read.
+                    self.tracer
+                        .record_with(now, || EventKind::BlockedOnWrite { block });
                     self.blocked.entry(block).or_default().push_back((src, msg));
                 }
             }
@@ -227,6 +241,8 @@ impl TcL2 {
             Ok(evicted) => {
                 if let Some(ev) = evicted {
                     self.stats.evictions += 1;
+                    self.tracer
+                        .record_with(now, || EventKind::Eviction { block: ev.block });
                     if ev.meta.dirty {
                         self.backing.insert(ev.block, ev.meta.version);
                         self.dram_out.push_back((ev.block, true));
@@ -264,6 +280,8 @@ impl TcL2 {
                         matches!(msg, L1ToL2::Atomic(_)),
                     );
                 } else {
+                    self.tracer
+                        .record_with(now, || EventKind::BlockedOnWrite { block: msg.block() });
                     self.blocked
                         .entry(msg.block())
                         .or_default()
@@ -404,6 +422,14 @@ impl L2Controller for TcL2 {
 
     fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        Some(&self.tracer)
     }
 
     fn memory_image(&self) -> Vec<(BlockAddr, Version)> {

@@ -9,7 +9,8 @@ use gtsc_core::rules::{extend_rts, lease_covers, load_ts, store_wts};
 use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
 use gtsc_protocol::msg::{FillResp, L1ToL2, LeaseInfo, ReadReq};
 use gtsc_protocol::{AccessId, AccessKind, L1Controller, L2Controller, MemAccess};
-use gtsc_types::{BlockAddr, Cycle, Lease, Timestamp, Version, WarpId};
+use gtsc_trace::{EventKind, Scope, Tracer};
+use gtsc_types::{BlockAddr, Cycle, Lease, Timestamp, TraceConfig, Version, WarpId};
 
 fn bench_rules(c: &mut Criterion) {
     c.bench_function("rules/store_wts+extend_rts+load_ts", |b| {
@@ -171,12 +172,101 @@ fn bench_tc_l1_hit(c: &mut Criterion) {
     });
 }
 
+/// The cost of the tracing hook itself: a disabled [`Tracer::record`]
+/// must be a bare branch (this is what keeps the hot paths above within
+/// 2% of their pre-tracing numbers), while a flight-mode tracer pays the
+/// filter chain plus a ring push.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut off = Tracer::disabled();
+    let mut cyc = 0u64;
+    c.bench_function("trace_overhead/record_disabled", |b| {
+        b.iter(|| {
+            cyc += 1;
+            off.record(
+                Cycle(cyc),
+                EventKind::Hit {
+                    block: BlockAddr(cyc % 64),
+                    warp: (cyc % 4) as u16,
+                },
+            );
+            black_box(off.is_enabled())
+        })
+    });
+    c.bench_function("trace_overhead/record_with_disabled", |b| {
+        b.iter(|| {
+            cyc += 1;
+            off.record_with(Cycle(cyc), || EventKind::Hit {
+                block: BlockAddr(cyc % 64),
+                warp: (cyc % 4) as u16,
+            });
+            black_box(off.is_enabled())
+        })
+    });
+    let mut flight = Tracer::new(Scope::Sm(0), &TraceConfig::flight());
+    c.bench_function("trace_overhead/record_flight", |b| {
+        b.iter(|| {
+            cyc += 1;
+            flight.record(
+                Cycle(cyc),
+                EventKind::Hit {
+                    block: BlockAddr(cyc % 64),
+                    warp: (cyc % 4) as u16,
+                },
+            );
+            black_box(flight.is_enabled())
+        })
+    });
+}
+
+/// The end-to-end check for the <2% budget: the L1 hit path with a
+/// disabled tracer embedded (the configuration every non-traced run
+/// executes) — compare against `gtsc_l1/load_hit`.
+fn bench_l1_hit_traced_off(c: &mut Criterion) {
+    let mut l1 = GtscL1::new(L1Params::default());
+    l1.set_tracer(Tracer::disabled());
+    let warm = MemAccess {
+        id: AccessId(0),
+        warp: WarpId(0),
+        kind: AccessKind::Load,
+        block: BlockAddr(5),
+    };
+    l1.access(warm, Cycle(0));
+    l1.take_request();
+    l1.on_response(
+        gtsc_protocol::msg::L2ToL1::Fill(FillResp {
+            block: BlockAddr(5),
+            lease: LeaseInfo::Logical {
+                wts: Timestamp(1),
+                rts: Timestamp(u64::from(u32::MAX)),
+            },
+            version: Version(9),
+            epoch: 0,
+        }),
+        Cycle(1),
+    );
+    let mut id = 1u64;
+    c.bench_function("trace_overhead/load_hit_tracer_off", |b| {
+        b.iter(|| {
+            id += 1;
+            let acc = MemAccess {
+                id: AccessId(id),
+                warp: WarpId((id % 4) as u16),
+                kind: AccessKind::Load,
+                block: BlockAddr(5),
+            };
+            black_box(l1.access(acc, Cycle(id)))
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_rules,
     bench_l1_hit,
     bench_l1_miss_roundtrip,
     bench_l2_serve,
-    bench_tc_l1_hit
+    bench_tc_l1_hit,
+    bench_trace_overhead,
+    bench_l1_hit_traced_off
 );
 criterion_main!(benches);

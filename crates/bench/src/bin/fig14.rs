@@ -43,5 +43,6 @@ fn main() {
         }
     }
     println!("{table}");
+    table.save_csv_if_requested();
     println!("G-TSC is insensitive to the lease value (paper: unchanged over 8-20).");
 }

@@ -18,7 +18,9 @@
 use gtsc_faults::FaultStats;
 use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
 use gtsc_sim::GpuSim;
-use gtsc_types::{Addr, ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind};
+use gtsc_types::{
+    Addr, ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind, SimStats, TraceConfig,
+};
 use gtsc_workloads::micro;
 
 /// Two CTAs of two warps hammering one block with atomics, stores, and
@@ -85,6 +87,24 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// One-line per-component hotspot summary: which SM / bank saw the
+/// traffic a failing storm implicates.
+fn hotspots(stats: &SimStats) -> String {
+    let l1: Vec<String> = stats
+        .per_l1
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("sm{i}={}h/{}e", c.hits, c.expired_misses))
+        .collect();
+    let l2: Vec<String> = stats
+        .per_l2
+        .iter()
+        .enumerate()
+        .map(|(b, c)| format!("bank{b}={}st", c.stores))
+        .collect();
+    format!("hotspots: l1 [{}], l2 [{}]", l1.join(" "), l2.join(" "))
+}
+
 /// Runs one (seed, scenario) storm; returns an error description if the
 /// run violated coherence or failed to complete.
 fn run_one(seed: u64, sc: &Scenario) -> (Option<String>, Option<FaultStats>) {
@@ -95,15 +115,30 @@ fn run_one(seed: u64, sc: &Scenario) -> (Option<String>, Option<FaultStats>) {
     let cfg = GpuConfig::test_small()
         .with_protocol(ProtocolKind::Gtsc)
         .with_consistency(sc.model)
-        .with_faults(faults);
+        .with_faults(faults)
+        // Flight recorder on: a failing storm prints the event tail that
+        // led up to it, not just counters (stall diagnoses carry theirs).
+        .with_trace(TraceConfig::flight());
     let mut sim = GpuSim::new(cfg);
     let failure = match sim.run_kernel(&sc.kernel) {
         Ok(report) if report.violations.is_empty() => None,
-        Ok(report) => Some(format!(
-            "{} violation(s): {:?}",
-            report.violations.len(),
-            report.violations
-        )),
+        Ok(report) => {
+            let mut why = format!(
+                "{} violation(s): {:?}",
+                report.violations.len(),
+                report.violations
+            );
+            let tail = &report.trace_tail;
+            if !tail.is_empty() {
+                let shown = tail.len().min(16);
+                why.push_str(&format!("\n  last {shown} trace events:"));
+                for e in &tail[tail.len() - shown..] {
+                    why.push_str(&format!("\n    {e}"));
+                }
+            }
+            why.push_str(&format!("\n  {}", hotspots(&report.stats)));
+            Some(why)
+        }
         Err(e) => Some(format!("did not complete: {e}")),
     };
     (failure, sim.fault_stats())

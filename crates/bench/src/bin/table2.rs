@@ -14,7 +14,7 @@
 //! Run: `cargo run --release -p gtsc-bench --bin table2 [-- --scale small] [-- --table1]`
 
 use gtsc_bench::harness::scale_from_args;
-use gtsc_bench::run_benchmark;
+use gtsc_bench::{run_benchmark, Table};
 use gtsc_types::{ConsistencyModel, ProtocolKind};
 use gtsc_workloads::Benchmark;
 
@@ -59,34 +59,38 @@ fn main() {
         print_table1();
     }
     let scale = scale_from_args();
-    println!("\n== Table II: absolute execution cycles, millions [{scale:?}] ==");
-    println!(
-        "{:<8}{:>12}{:>12}{:>14}{:>14}{:>14}{:>14}",
-        "bench",
-        "BL (ours)",
-        "TC (ours)",
-        "BL (paper-G)",
-        "BL (paper-T)",
-        "TC (paper-G)",
-        "TC (paper-T)"
-    );
+    let mut table = Table::new(
+        &format!("Table II: absolute execution cycles, millions [{scale:?}]"),
+        &[
+            "BL(ours)",
+            "TC(ours)",
+            "BL(paper-G)",
+            "BL(paper-T)",
+            "TC(paper-G)",
+            "TC(paper-T)",
+        ],
+    )
+    .precision(4);
     for (b, paper) in Benchmark::all().iter().zip(PAPER) {
         assert_eq!(b.name(), paper.0, "benchmark order matches the paper");
         let bl = run_benchmark(*b, ProtocolKind::NoL1, ConsistencyModel::Rc, scale);
         // Table II's TC column pairs with the paper's default (RC-ish)
         // reporting: TC-Weak.
         let tc = run_benchmark(*b, ProtocolKind::TcWeak, ConsistencyModel::Rc, scale);
-        println!(
-            "{:<8}{:>12.4}{:>12.4}{:>14.2}{:>14.2}{:>14.2}{:>14.2}",
+        table.row(
             b.name(),
-            bl.stats.cycles.0 as f64 / 1e6,
-            tc.stats.cycles.0 as f64 / 1e6,
-            paper.1,
-            paper.2,
-            paper.3,
-            paper.4,
+            vec![
+                bl.stats.cycles.0 as f64 / 1e6,
+                tc.stats.cycles.0 as f64 / 1e6,
+                paper.1,
+                paper.2,
+                paper.3,
+                paper.4,
+            ],
         );
     }
+    println!("{table}");
+    table.save_csv_if_requested();
     println!(
         "\nNote: absolute magnitudes differ (synthetic kernels vs CUDA binaries); compare\n\
          the per-benchmark BL:TC ratio against the paper's."

@@ -201,19 +201,63 @@ impl Table {
         out
     }
 
-    /// Writes the CSV next to the experiment outputs when the binary was
-    /// invoked with `--csv <path>`; quietly does nothing otherwise.
+    /// Renders the table as JSON with a stable schema: `title`,
+    /// `columns`, and one object per benchmark row mapping each column
+    /// label to its value (`null` for NaN/missing cells).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use gtsc_trace::json_escape;
+        let mut out = String::from("{\"title\":\"");
+        out.push_str(&json_escape(&self.title));
+        out.push_str("\",\"columns\":[");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(c));
+            out.push('"');
+        }
+        out.push_str("],\"rows\":[");
+        for (r, (name, vals)) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"bench\":\"");
+            out.push_str(&json_escape(name));
+            out.push('"');
+            for (c, v) in self.columns.iter().zip(vals) {
+                out.push_str(",\"");
+                out.push_str(&json_escape(c));
+                out.push_str("\":");
+                if v.is_finite() {
+                    out.push_str(&format!("{v:.6}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Writes the CSV (`--csv <path>`) and/or JSON (`--json <path>`)
+    /// renderings next to the experiment outputs; quietly does nothing
+    /// when neither flag was given.
     pub fn save_csv_if_requested(&self) {
         let args: Vec<String> = std::env::args().collect();
-        if let Some(path) = args
-            .iter()
-            .position(|a| a == "--csv")
-            .and_then(|i| args.get(i + 1))
-        {
-            if let Err(e) = std::fs::write(path, self.to_csv()) {
-                eprintln!("could not write {path}: {e}");
-            } else {
-                eprintln!("wrote {path}");
+        for (flag, contents) in [("--csv", self.to_csv()), ("--json", self.to_json())] {
+            if let Some(path) = args
+                .iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+            {
+                if let Err(e) = std::fs::write(path, &contents) {
+                    eprintln!("could not write {path}: {e}");
+                } else {
+                    eprintln!("wrote {path}");
+                }
             }
         }
     }
@@ -265,6 +309,19 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("bench,a,b\n"));
         assert!(csv.contains("x,1.000000,NA"));
+    }
+
+    #[test]
+    fn json_has_stable_schema_and_null_for_non_finite() {
+        let mut t = Table::new("demo \"quoted\"", &["a", "b"]);
+        t.row("x", vec![1.0, f64::NAN]);
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains(r#""title":"demo \"quoted\"""#));
+        assert!(json.contains(r#""columns":["a","b"]"#));
+        assert!(json.contains(r#""bench":"x""#));
+        assert!(json.contains(r#""a":1.000000"#));
+        assert!(json.contains(r#""b":null"#));
     }
 
     #[test]

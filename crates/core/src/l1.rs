@@ -22,6 +22,7 @@ use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
 use gtsc_protocol::{
     AccessId, AccessKind, Completion, ControllerPressure, L1Controller, L1Outcome, MemAccess,
 };
+use gtsc_trace::{EventKind, Tracer};
 use gtsc_types::{
     BlockAddr, CacheGeometry, CacheStats, CombinePolicy, Cycle, Timestamp, Version,
     VisibilityPolicy, WarpId,
@@ -134,6 +135,7 @@ pub struct GtscL1 {
     epoch: Epoch,
     version_ctr: Vec<u64>,
     stats: CacheStats,
+    tracer: Tracer,
 }
 
 impl GtscL1 {
@@ -150,6 +152,7 @@ impl GtscL1 {
             epoch: 0,
             version_ctr: vec![0; p.n_warps],
             stats: CacheStats::default(),
+            tracer: Tracer::disabled(),
             p,
         }
     }
@@ -283,13 +286,15 @@ impl GtscL1 {
 
     /// Section V-D: a response from a newer epoch flushes the L1 and
     /// resets every warp timestamp before it is consumed.
-    fn enter_epoch(&mut self, epoch: Epoch) {
+    fn enter_epoch(&mut self, epoch: Epoch, now: Cycle) {
         self.tags.flush();
         for ts in &mut self.warp_ts {
             *ts = Timestamp::INIT;
         }
         self.epoch = epoch;
         self.stats.ts_rollovers += 1;
+        self.tracer
+            .record_with(now, || EventKind::Rollover { epoch });
         // Parked loads (no BusRd in flight) will be re-driven by the store
         // acks that still owe them service; in-flight reads will be
         // answered in the new epoch by the (already reset) L2.
@@ -409,7 +414,7 @@ impl GtscL1 {
 }
 
 impl L1Controller for GtscL1 {
-    fn access(&mut self, acc: MemAccess, _now: Cycle) -> L1Outcome {
+    fn access(&mut self, acc: MemAccess, now: Cycle) -> L1Outcome {
         // Counters are bumped only for *accepted* accesses: a rejected
         // access is retried by the SM and would otherwise be counted on
         // every retry cycle.
@@ -422,6 +427,10 @@ impl L1Controller for GtscL1 {
                     if !matches!(outcome, L1Outcome::Reject) {
                         self.stats.accesses += 1;
                         self.stats.cold_misses += 1;
+                        self.tracer.record_with(now, || EventKind::ColdMiss {
+                            block: acc.block,
+                            warp: acc.warp.0,
+                        });
                     }
                     return outcome;
                 };
@@ -434,6 +443,10 @@ impl L1Controller for GtscL1 {
                             if !is_writer && lease_covers(old.rts, warp_now) {
                                 self.stats.accesses += 1;
                                 self.stats.hits += 1;
+                                self.tracer.record_with(now, || EventKind::Hit {
+                                    block: acc.block,
+                                    warp: acc.warp.0,
+                                });
                                 let w = Waiter {
                                     id: acc.id,
                                     warp: acc.warp,
@@ -448,12 +461,18 @@ impl L1Controller for GtscL1 {
                     if !matches!(outcome, L1Outcome::Reject) {
                         self.stats.accesses += 1;
                         self.stats.blocked_on_pending_write += 1;
+                        self.tracer
+                            .record_with(now, || EventKind::BlockedOnWrite { block: acc.block });
                     }
                     return outcome;
                 }
                 if lease_covers(line.meta.rts, warp_now) {
                     self.stats.accesses += 1;
                     self.stats.hits += 1;
+                    self.tracer.record_with(now, || EventKind::Hit {
+                        block: acc.block,
+                        warp: acc.warp.0,
+                    });
                     let (wts, version) = (line.meta.wts, line.meta.version);
                     let w = Waiter {
                         id: acc.id,
@@ -463,10 +482,16 @@ impl L1Controller for GtscL1 {
                 }
                 // Expired relative to this warp: coherence miss → renewal.
                 let wts = line.meta.wts;
+                let rts = line.meta.rts;
                 let outcome = self.queue_load(acc, Some(wts));
                 if !matches!(outcome, L1Outcome::Reject) {
                     self.stats.accesses += 1;
                     self.stats.expired_misses += 1;
+                    self.tracer.record_with(now, || EventKind::ExpiredMiss {
+                        block: acc.block,
+                        warp_ts: warp_now.0,
+                        rts: rts.0,
+                    });
                 }
                 outcome
             }
@@ -515,11 +540,11 @@ impl L1Controller for GtscL1 {
         }
     }
 
-    fn on_response(&mut self, msg: L2ToL1, _now: Cycle) -> Vec<Completion> {
+    fn on_response(&mut self, msg: L2ToL1, now: Cycle) -> Vec<Completion> {
         let mut done = Vec::new();
         let e = msg.epoch();
         if e > self.epoch {
-            self.enter_epoch(e);
+            self.enter_epoch(e, now);
         } else if e < self.epoch {
             self.on_stale_response(msg, &mut done);
             return done;
@@ -543,10 +568,17 @@ impl L1Controller for GtscL1 {
                         writers: Vec::new(),
                     };
                     match self.tags.fill_if(f.block, meta, |l| !l.meta.locked()) {
-                        Ok(Some(_evicted)) => self.stats.evictions += 1,
+                        Ok(Some(evicted)) => {
+                            self.stats.evictions += 1;
+                            self.tracer.record_with(now, || EventKind::Eviction {
+                                block: evicted.block,
+                            });
+                        }
                         Ok(None) => {}
                         Err(_) => { /* every victim locked: serve from message only */ }
                     }
+                    self.tracer
+                        .record_with(now, || EventKind::FillApplied { block: f.block });
                 }
                 self.serve_waiters(f.block, wts, rts, f.version, &mut done);
             }
@@ -560,6 +592,8 @@ impl L1Controller for GtscL1 {
                 // lets the store ack serve the parked waiters instead; an
                 // evicted line needs a full refetch (renewals carry no
                 // data).
+                self.tracer
+                    .record_with(now, || EventKind::Renewal { block, rts: rts.0 });
                 let state = self.tags.peek_mut(block).map(|line| {
                     if !line.meta.locked() {
                         line.meta.rts = line.meta.rts.max(rts);
@@ -595,6 +629,8 @@ impl L1Controller for GtscL1 {
                 if let Some(c) =
                     self.finish_store(a.block, a.version, Some((wts, rts)), a.epoch, prev)
                 {
+                    self.tracer
+                        .record_with(now, || EventKind::WriteAck { block: a.block });
                     done.push(c);
                 }
                 // The ack may unlock the line: serve parked readers.
@@ -659,6 +695,14 @@ impl L1Controller for GtscL1 {
                 .map(std::collections::VecDeque::len)
                 .sum(),
         }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        Some(&self.tracer)
     }
 }
 

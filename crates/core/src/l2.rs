@@ -13,6 +13,7 @@ use gtsc_protocol::msg::{
     Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteAckResp, WriteReq,
 };
 use gtsc_protocol::{ControllerPressure, L2Controller};
+use gtsc_trace::{EventKind, Tracer};
 use gtsc_types::{
     BlockAddr, CacheGeometry, CacheStats, Cycle, InclusionPolicy, Lease, Timestamp, Version,
 };
@@ -119,6 +120,10 @@ pub struct GtscL2 {
     out_resp: VecDeque<(usize, L2ToL1)>,
     dram_out: VecDeque<(BlockAddr, bool)>,
     stats: CacheStats,
+    tracer: Tracer,
+    /// Last cycle observed on any driving call (stamps events from
+    /// clock-less trait methods like `apply_reset`).
+    clock: Cycle,
 }
 
 impl GtscL2 {
@@ -137,6 +142,8 @@ impl GtscL2 {
             out_resp: VecDeque::new(),
             dram_out: VecDeque::new(),
             stats: CacheStats::default(),
+            tracer: Tracer::disabled(),
+            clock: Cycle(0),
             p,
         }
     }
@@ -228,6 +235,8 @@ impl GtscL2 {
         if let L1ToL2::Write(w) | L1ToL2::Atomic(w) = &msg {
             if self.store_is_replay(block, w.version) {
                 self.stats.replayed_stores += 1;
+                self.tracer
+                    .record_with(self.clock, || EventKind::ReplayDrop { block });
                 return;
             }
         }
@@ -253,6 +262,10 @@ impl GtscL2 {
                     // The L1 already holds this version: renewal, no data
                     // (the Section VI-C traffic saving).
                     self.stats.renewals += 1;
+                    self.tracer.record_with(self.clock, || EventKind::Renewal {
+                        block,
+                        rts: new_rts.0,
+                    });
                     L2ToL1::Renew {
                         block,
                         lease: LeaseInfo::Logical {
@@ -262,11 +275,17 @@ impl GtscL2 {
                         epoch: self.epoch,
                     }
                 } else {
+                    let meta = self.tags.peek(block).map(|l| l.meta).expect("resident");
+                    self.tracer
+                        .record_with(self.clock, || EventKind::LeaseGrant {
+                            block,
+                            wts: meta.wts.0,
+                            rts: meta.rts.0,
+                        });
                     L2ToL1::Fill(FillResp {
                         block,
-                        lease: self
-                            .lease_of(self.tags.peek(block).map(|l| &l.meta).expect("resident")),
-                        version: self.tags.peek(block).expect("resident").meta.version,
+                        lease: self.lease_of(&meta),
+                        version: meta.version,
                         epoch: self.epoch,
                     })
                 };
@@ -290,6 +309,8 @@ impl GtscL2 {
                 };
                 let rts = line.meta.rts;
                 self.stats.stores += 1;
+                self.tracer
+                    .record_with(self.clock, || EventKind::StoreCommit { block, wts: wts.0 });
                 self.note_ts(rts);
                 let ack = WriteAckResp {
                     block,
@@ -348,6 +369,9 @@ impl GtscL2 {
         // memory timestamp — this is what makes non-inclusion sound.
         self.mem_ts = self.mem_ts.max(evicted.meta.rts);
         self.stats.evictions += 1;
+        self.tracer.record_with(self.clock, || EventKind::Eviction {
+            block: evicted.block,
+        });
         if evicted.meta.dirty {
             self.backing.insert(evicted.block, evicted.meta.version);
             self.dram_out.push_back((evicted.block, true));
@@ -371,6 +395,7 @@ impl GtscL2 {
 
 impl L2Controller for GtscL2 {
     fn on_request(&mut self, src: usize, msg: L1ToL2, now: Cycle) {
+        self.clock = self.clock.max(now);
         self.in_queue.push_back((now + self.p.latency, src, msg));
     }
 
@@ -383,6 +408,7 @@ impl L2Controller for GtscL2 {
     }
 
     fn on_dram_response(&mut self, block: BlockAddr, is_write: bool, now: Cycle) {
+        self.clock = self.clock.max(now);
         if is_write {
             return; // write-back completion needs no action
         }
@@ -411,6 +437,7 @@ impl L2Controller for GtscL2 {
     }
 
     fn tick(&mut self, now: Cycle) {
+        self.clock = self.clock.max(now);
         for _ in 0..self.p.ports {
             match self.in_queue.front() {
                 Some((ready, _, msg)) if *ready <= now => {
@@ -442,6 +469,8 @@ impl L2Controller for GtscL2 {
         self.epoch = epoch;
         self.overflow = false;
         self.stats.ts_rollovers += 1;
+        self.tracer
+            .record_with(self.clock, || EventKind::Rollover { epoch });
     }
 
     fn is_idle(&self) -> bool {
@@ -461,6 +490,14 @@ impl L2Controller for GtscL2 {
             out_queue: self.in_queue.len() + self.dram_out.len(),
             waiting: self.out_resp.len(),
         }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        Some(&self.tracer)
     }
 
     fn memory_image(&self) -> Vec<(BlockAddr, Version)> {

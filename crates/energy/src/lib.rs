@@ -175,6 +175,7 @@ mod tests {
                 reads: dram,
                 ..DramStats::default()
             },
+            ..SimStats::default()
         }
     }
 

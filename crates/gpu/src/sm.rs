@@ -5,6 +5,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use gtsc_protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
+use gtsc_trace::{EventKind, Tracer};
 use gtsc_types::{
     BlockAddr, ConsistencyModel, CtaId, Cycle, SmId, SmStats, StallKind, WarpId, WarpScheduler,
 };
@@ -118,6 +119,7 @@ pub struct Sm {
     /// Issue time of each in-flight access (latency accounting).
     issue_time: HashMap<AccessId, Cycle>,
     stats: SmStats,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Sm {
@@ -151,8 +153,22 @@ impl Sm {
             next_access: 0,
             issue_time: HashMap::new(),
             stats: SmStats::default(),
+            tracer: Tracer::disabled(),
             p,
         }
+    }
+
+    /// Installs a configured tracer (the pipeline's warp-issue and
+    /// warp-stall events; the L1 carries its own).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The SM pipeline's tracer (disabled unless the simulator installed
+    /// one).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// This SM's identifier.
@@ -345,6 +361,13 @@ impl Sm {
         }
     }
 
+    /// Counts one issued instruction from warp slot `i` and traces it.
+    fn note_issue(&mut self, i: usize, now: Cycle) {
+        self.stats.issued += 1;
+        self.tracer
+            .record_with(now, || EventKind::WarpIssue { warp: i as u16 });
+    }
+
     fn window_open(&self, slot: &WarpSlot) -> bool {
         match self.p.consistency {
             // SC: memory instructions are blocking.
@@ -379,7 +402,7 @@ impl Sm {
                 self.warps[i].ops.pop_front();
                 self.warps[i].compute_until = now + u64::from(c);
                 self.warps[i].issued_at = now;
-                self.stats.issued += 1;
+                self.note_issue(i, now);
                 true
             }
             Some(WarpOp::Load(_) | WarpOp::Store(_) | WarpOp::Atomic(_)) if front_is_mem => {
@@ -399,7 +422,7 @@ impl Sm {
                 self.warps[i].mem_kind = kind;
                 self.warps[i].mem_blocks = coalesce(&addrs, self.p.block_shift).into();
                 self.warps[i].issued_at = now;
-                self.stats.issued += 1;
+                self.note_issue(i, now);
                 self.stats.mem_issued += 1;
                 if self.warps[i].mem_blocks.is_empty() {
                     return true; // fully divergent-empty instruction
@@ -411,7 +434,7 @@ impl Sm {
                 if self.warps[i].outstanding == 0 && self.l1.fence_ready(WarpId(i as u16), now) => {
                     self.warps[i].ops.pop_front();
                     self.warps[i].issued_at = now;
-                    self.stats.issued += 1;
+                    self.note_issue(i, now);
                     true
                 }
             Some(WarpOp::ReleaseFence)
@@ -422,7 +445,7 @@ impl Sm {
                 => {
                     self.warps[i].ops.pop_front();
                     self.warps[i].issued_at = now;
-                    self.stats.issued += 1;
+                    self.note_issue(i, now);
                     true
                 }
             Some(WarpOp::AcquireFence)
@@ -430,7 +453,7 @@ impl Sm {
                 if self.warps[i].outstanding_reads == 0 => {
                     self.warps[i].ops.pop_front();
                     self.warps[i].issued_at = now;
-                    self.stats.issued += 1;
+                    self.note_issue(i, now);
                     true
                 }
             Some(WarpOp::Barrier) => {
@@ -440,7 +463,7 @@ impl Sm {
                 self.warps[i].at_barrier = true;
                 self.warps[i].issued_at = now;
                 self.ctas[self.warps[i].cta_slot].at_barrier += 1;
-                self.stats.issued += 1;
+                self.note_issue(i, now);
                 self.try_release_barrier(i);
                 true
             }
@@ -552,6 +575,10 @@ impl Sm {
         for i in 0..self.warps.len() {
             if let Some(k) = self.stall_reason(i, now) {
                 self.stats.record_stall(k);
+                self.tracer.record_with(now, || EventKind::WarpStall {
+                    warp: i as u16,
+                    kind: k,
+                });
             }
         }
     }

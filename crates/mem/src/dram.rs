@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use gtsc_faults::{DramFaults, FaultStats};
+use gtsc_trace::{EventKind, Tracer};
 use gtsc_types::{BlockAddr, Cycle, DramConfig, DramStats, PagePolicy};
 
 /// A request handed to the DRAM by an L2 bank.
@@ -76,6 +77,10 @@ pub struct Dram<P> {
     /// Optional fault injector (variable service latency); `None` on the
     /// fault-free fast path.
     faults: Option<DramFaults>,
+    tracer: Tracer,
+    /// Last cycle observed in [`Dram::tick`] (stamps enqueue events —
+    /// [`Dram::enqueue`] itself is clock-less).
+    clock: Cycle,
 }
 
 impl<P> Dram<P> {
@@ -103,8 +108,22 @@ impl<P> Dram<P> {
             last_burst: Cycle(0),
             stats: DramStats::default(),
             faults: None,
+            tracer: Tracer::disabled(),
+            clock: Cycle(0),
             cfg,
         }
+    }
+
+    /// Installs a configured tracer (enqueue/service events).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// This partition's tracer (disabled unless the simulator installed
+    /// one).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Installs (or clears) a fault injector. Faults only ever *extend*
@@ -148,6 +167,11 @@ impl<P> Dram<P> {
             self.stats.queue_full_events += 1;
             return false;
         }
+        self.tracer
+            .record_with(self.clock, || EventKind::DramEnqueue {
+                block: req.block,
+                write: req.is_write,
+            });
         self.queue.push_back(req);
         true
     }
@@ -162,6 +186,7 @@ impl<P> Dram<P> {
     /// banks (FR-FCFS) and returns every response whose data burst has
     /// completed by `now`.
     pub fn tick(&mut self, now: Cycle) -> Vec<DramResponse<P>> {
+        self.clock = self.clock.max(now);
         self.issue(now);
         let mut done = Vec::new();
         let mut i = 0;
@@ -207,6 +232,10 @@ impl<P> Dram<P> {
             } else {
                 self.stats.reads += 1;
             }
+            self.tracer.record_with(now, || EventKind::DramService {
+                block: req.block,
+                write: req.is_write,
+            });
             bank.open_row = match self.cfg.page_policy {
                 PagePolicy::Open => Some(row),
                 PagePolicy::Closed => None,

@@ -32,6 +32,7 @@
 use std::collections::VecDeque;
 
 use gtsc_faults::{FaultStats, NocFaults};
+use gtsc_trace::{EventKind, Tracer};
 use gtsc_types::{Cycle, NocConfig, NocStats, NocTopology};
 
 /// A queued or in-flight packet.
@@ -46,6 +47,7 @@ struct Packet<T> {
 #[derive(Debug, Clone)]
 struct InFlight<T> {
     arrives: Cycle,
+    src: usize,
     dst: usize,
     payload: T,
     enqueued: Cycle,
@@ -82,6 +84,7 @@ pub struct Network<T> {
     /// that (e.g. two stores from one L1 to one block must reach the L2
     /// in program order).
     flow_last: Vec<u64>,
+    tracer: Tracer,
 }
 
 impl<T> Network<T> {
@@ -109,7 +112,20 @@ impl<T> Network<T> {
             stats: NocStats::default(),
             faults: None,
             flow_last: vec![0; n_srcs * n_dsts],
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a configured tracer (packet send/deliver events).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// This network's tracer (disabled unless the simulator installed
+    /// one).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Installs (or clears) a fault injector. Faults only ever *add*
@@ -176,6 +192,11 @@ impl<T> Network<T> {
         } else {
             self.stats.control_packets += 1;
         }
+        self.tracer.record_with(now, || EventKind::PacketSend {
+            src: src as u16,
+            dst: dst as u16,
+            bytes: bytes as u32,
+        });
         self.queues[src].push_back(Packet {
             dst,
             bytes,
@@ -243,6 +264,7 @@ impl<T: Clone> Network<T> {
                         self.flow_last[flow] = dup_at.0;
                         self.inflight.push(InFlight {
                             arrives: dup_at,
+                            src,
                             dst: pkt.dst,
                             payload: pkt.payload.clone(),
                             enqueued: pkt.enqueued,
@@ -252,6 +274,7 @@ impl<T: Clone> Network<T> {
                 }
                 self.inflight.push(InFlight {
                     arrives,
+                    src,
                     dst: pkt.dst,
                     payload: pkt.payload,
                     enqueued: pkt.enqueued,
@@ -267,6 +290,10 @@ impl<T: Clone> Network<T> {
                 let p = self.inflight.swap_remove(i);
                 if !p.is_dup {
                     self.stats.total_packet_latency += now - p.enqueued;
+                    self.tracer.record_with(now, || EventKind::PacketDeliver {
+                        src: p.src as u16,
+                        dst: p.dst as u16,
+                    });
                 }
                 out.push((p.dst, p.payload));
             } else {

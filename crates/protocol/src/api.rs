@@ -9,6 +9,7 @@
 //! * `gtsc_baselines::{BypassL1, PlainL2}` — the no-L1 baseline ("BL");
 //! * `gtsc_baselines::NonCoherentL1` — "Baseline W/L1".
 
+use gtsc_trace::Tracer;
 use gtsc_types::{BlockAddr, CacheStats, Cycle, Timestamp, Version, WarpId};
 
 use crate::msg::{Epoch, L1ToL2, L2ToL1};
@@ -173,6 +174,19 @@ pub trait L1Controller {
     fn pressure(&self) -> ControllerPressure {
         ControllerPressure::default()
     }
+
+    /// Installs a protocol event tracer. Controllers that emit trace
+    /// events override this; the default discards the tracer so plain
+    /// implementations need no tracing plumbing.
+    fn set_tracer(&mut self, tracer: Tracer) {
+        let _ = tracer;
+    }
+
+    /// The installed tracer, for flight-recorder dumps. `None` when the
+    /// controller does not trace.
+    fn tracer(&self) -> Option<&Tracer> {
+        None
+    }
 }
 
 /// A shared-cache bank controller.
@@ -240,6 +254,19 @@ pub trait L2Controller {
     fn pressure(&self) -> ControllerPressure {
         ControllerPressure::default()
     }
+
+    /// Installs a protocol event tracer. Controllers that emit trace
+    /// events override this; the default discards the tracer so plain
+    /// implementations need no tracing plumbing.
+    fn set_tracer(&mut self, tracer: Tracer) {
+        let _ = tracer;
+    }
+
+    /// The installed tracer, for flight-recorder dumps. `None` when the
+    /// controller does not trace.
+    fn tracer(&self) -> Option<&Tracer> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -306,5 +333,11 @@ mod tests {
         assert!(d.pressure().is_empty());
         assert!(d2.pressure().is_empty());
         assert_eq!(d2.pressure().to_string(), "mshr=0 out_queue=0 waiting=0");
+        // Default tracer hooks: discard on install, report nothing.
+        let mut d = d;
+        d.set_tracer(Tracer::default());
+        d2.set_tracer(Tracer::default());
+        assert!(d.tracer().is_none());
+        assert!(d2.tracer().is_none());
     }
 }

@@ -16,6 +16,7 @@ use gtsc_mem::{Dram, DramRequest};
 use gtsc_noc::Network;
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, MsgSizes};
 use gtsc_protocol::{ControllerPressure, L2Controller};
+use gtsc_trace::{merge_tails, IntervalSample, IntervalSampler, Scope, TraceEvent, Tracer};
 use gtsc_types::{BlockAddr, CtaId, Cycle, GpuConfig, SimStats, SmId, Version};
 
 use crate::build::{build_l1, build_l2};
@@ -31,6 +32,9 @@ pub struct RunReport {
     /// sharing workloads, where violations are the expected evidence of
     /// incoherence).
     pub violations: Vec<Violation>,
+    /// Merged flight-recorder tail captured alongside the violations,
+    /// cycle-ordered (empty when tracing is off or the run was clean).
+    pub trace_tail: Vec<TraceEvent>,
 }
 
 /// Why a run could not complete.
@@ -109,6 +113,10 @@ pub struct StallDiagnosis {
     pub epoch: Epoch,
     /// Global rollovers performed so far.
     pub ts_rollovers: u64,
+    /// Merged flight-recorder tail across every component, oldest first
+    /// (empty unless tracing was enabled — see
+    /// [`gtsc_types::TraceConfig`]).
+    pub recent_events: Vec<TraceEvent>,
 }
 
 impl std::fmt::Display for StallDiagnosis {
@@ -143,7 +151,16 @@ impl std::fmt::Display for StallDiagnosis {
             f,
             "  dram: {} queued, {} in service",
             self.dram_queued, self.dram_in_flight
-        )
+        )?;
+        if !self.recent_events.is_empty() {
+            let shown = self.recent_events.len().min(16);
+            let tail = &self.recent_events[self.recent_events.len() - shown..];
+            write!(f, "\n  last {shown} trace events:")?;
+            for e in tail {
+                write!(f, "\n    {e}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -159,6 +176,7 @@ pub struct GpuSim {
     now: Cycle,
     epoch: Epoch,
     checker: Checker,
+    sampler: IntervalSampler,
 }
 
 impl std::fmt::Debug for GpuSim {
@@ -267,7 +285,7 @@ impl SimBuilder {
         // The rollover-storm knob narrows the timestamp width before the
         // banks (and message sizes) are derived from it.
         cfg.ts_bits = plan.effective_ts_bits(cfg.ts_bits);
-        let sms = (0..cfg.n_sms)
+        let mut sms: Vec<Sm> = (0..cfg.n_sms)
             .map(|i| {
                 Sm::new(
                     SmParams {
@@ -284,7 +302,8 @@ impl SimBuilder {
                 )
             })
             .collect();
-        let l2 = (0..cfg.l2_banks).map(|_| (self.l2_factory)(&cfg)).collect();
+        let mut l2: Vec<Box<dyn L2Controller>> =
+            (0..cfg.l2_banks).map(|_| (self.l2_factory)(&cfg)).collect();
         let mut drams: Vec<Dram<()>> = (0..cfg.l2_banks).map(|_| Dram::new(cfg.dram)).collect();
         let mut req_net = Network::new(cfg.n_sms, cfg.l2_banks, cfg.noc);
         let mut resp_net = Network::new(cfg.l2_banks, cfg.n_sms, cfg.noc);
@@ -293,6 +312,26 @@ impl SimBuilder {
         for (i, d) in drams.iter_mut().enumerate() {
             d.set_faults(plan.dram(i as u64));
         }
+        if cfg.trace.is_enabled() {
+            for (i, sm) in sms.iter_mut().enumerate() {
+                sm.set_tracer(Tracer::new(Scope::Sm(i as u16), &cfg.trace));
+                sm.l1_mut()
+                    .set_tracer(Tracer::new(Scope::Sm(i as u16), &cfg.trace));
+            }
+            for (b, bank) in l2.iter_mut().enumerate() {
+                bank.set_tracer(Tracer::new(Scope::L2Bank(b as u16), &cfg.trace));
+            }
+            req_net.set_tracer(Tracer::new(Scope::Noc(0), &cfg.trace));
+            resp_net.set_tracer(Tracer::new(Scope::Noc(1), &cfg.trace));
+            for (d, dram) in drams.iter_mut().enumerate() {
+                dram.set_tracer(Tracer::new(Scope::Dram(d as u16), &cfg.trace));
+            }
+        }
+        let sampler = IntervalSampler::new(if cfg.trace.is_enabled() {
+            cfg.trace.sample_interval
+        } else {
+            0
+        });
         let sizes = MsgSizes::new(cfg.noc.control_bytes, cfg.ts_bits, cfg.l1.block_size());
         Ok(GpuSim {
             cfg,
@@ -305,6 +344,7 @@ impl SimBuilder {
             now: Cycle(0),
             epoch: 0,
             checker: Checker::new(),
+            sampler,
         })
     }
 }
@@ -382,6 +422,11 @@ impl GpuSim {
 
             self.step();
 
+            if self.sampler.due(self.now) {
+                let cumulative = self.cumulative_stats();
+                self.sampler.sample(self.now, &cumulative);
+            }
+
             if next_cta == n_ctas && self.all_idle() {
                 break;
             }
@@ -413,6 +458,8 @@ impl GpuSim {
         for sm in &mut self.sms {
             sm.l1_mut().flush();
         }
+        let cumulative = self.cumulative_stats();
+        self.sampler.finish(self.now, &cumulative);
         Ok(self.report())
     }
 
@@ -429,29 +476,118 @@ impl GpuSim {
         Ok(last.unwrap_or_else(|| self.report()))
     }
 
-    /// The current aggregated statistics and violations.
+    /// The current aggregated statistics and violations. When tracing is
+    /// enabled and the checker found violations, the flight-recorder tail
+    /// rides along for the post-mortem.
     #[must_use]
     pub fn report(&self) -> RunReport {
+        let violations = self.checker.finish_capped(self.cfg.max_violations_reported);
+        let trace_tail = if violations.is_empty() || !self.cfg.trace.is_enabled() {
+            Vec::new()
+        } else {
+            self.flight_tail()
+        };
+        RunReport {
+            stats: self.cumulative_stats(),
+            violations,
+            trace_tail,
+        }
+    }
+
+    /// Cumulative counters at `now`: merged totals plus the per-component
+    /// breakdowns ([`SimStats::per_sm`] and friends, indexed by SM / bank
+    /// / partition).
+    fn cumulative_stats(&self) -> SimStats {
         let mut stats = SimStats {
             cycles: self.now,
             ..SimStats::default()
         };
         for sm in &self.sms {
-            stats.sm.merge(&sm.stats());
-            stats.l1.merge(&sm.l1().stats());
+            let s = sm.stats();
+            let l1 = sm.l1().stats();
+            stats.sm.merge(&s);
+            stats.l1.merge(&l1);
+            stats.per_sm.push(s);
+            stats.per_l1.push(l1);
         }
         for bank in &self.l2 {
-            stats.l2.merge(&bank.stats());
+            let s = bank.stats();
+            stats.l2.merge(&s);
+            stats.per_l2.push(s);
         }
         stats.noc.merge(&self.req_net.stats());
         stats.noc.merge(&self.resp_net.stats());
         for d in &self.drams {
-            stats.dram.merge(&d.stats());
+            let s = d.stats();
+            stats.dram.merge(&s);
+            stats.per_dram.push(s);
         }
-        RunReport {
-            stats,
-            violations: self.checker.finish_capped(self.cfg.max_violations_reported),
+        stats
+    }
+
+    /// Every retained trace event across all components, cycle-ordered
+    /// (empty unless [`gtsc_types::TraceMode::Full`]).
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut all = Vec::new();
+        for sm in &self.sms {
+            all.extend_from_slice(sm.tracer().events());
+            if let Some(t) = sm.l1().tracer() {
+                all.extend_from_slice(t.events());
+            }
         }
+        for bank in &self.l2 {
+            if let Some(t) = bank.tracer() {
+                all.extend_from_slice(t.events());
+            }
+        }
+        all.extend_from_slice(self.req_net.tracer().events());
+        all.extend_from_slice(self.resp_net.tracer().events());
+        for d in &self.drams {
+            all.extend_from_slice(d.tracer().events());
+        }
+        all.sort_by_key(|e| e.cycle);
+        all
+    }
+
+    /// The merged flight-recorder tail across all components, oldest
+    /// first — the post-mortem view dumped into [`StallDiagnosis`] and
+    /// violation-carrying [`RunReport`]s.
+    #[must_use]
+    pub fn flight_tail(&self) -> Vec<TraceEvent> {
+        let mut tails = Vec::new();
+        for sm in &self.sms {
+            tails.push(sm.tracer().flight_tail());
+            if let Some(t) = sm.l1().tracer() {
+                tails.push(t.flight_tail());
+            }
+        }
+        for bank in &self.l2 {
+            if let Some(t) = bank.tracer() {
+                tails.push(t.flight_tail());
+            }
+        }
+        tails.push(self.req_net.tracer().flight_tail());
+        tails.push(self.resp_net.tracer().flight_tail());
+        for d in &self.drams {
+            tails.push(d.tracer().flight_tail());
+        }
+        merge_tails(&tails)
+    }
+
+    /// The interval sampler's time-series (empty unless
+    /// [`gtsc_types::TraceConfig::sample_interval`] is set and tracing is
+    /// enabled).
+    #[must_use]
+    pub fn samples(&self) -> &[IntervalSample] {
+        self.sampler.samples()
+    }
+
+    /// The full event log and time-series as Chrome `trace_event` JSON
+    /// (load via `chrome://tracing` or <https://ui.perfetto.dev>).
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        gtsc_trace::to_chrome_trace(&self.trace_events(), self.samples())
     }
 
     /// Snapshot of every stalled warp, queue, and MSHR, taken when the
@@ -477,6 +613,7 @@ impl GpuSim {
             dram_in_flight: self.drams.iter().map(Dram::in_flight).sum(),
             epoch: self.epoch,
             ts_rollovers: self.l2.iter().map(|b| b.stats().ts_rollovers).sum(),
+            recent_events: self.flight_tail(),
         }
     }
 
@@ -882,6 +1019,141 @@ mod tests {
             Err(SimError::InvalidKernel(msg)) => assert!(msg.contains("wide"), "{msg}"),
             other => panic!("expected InvalidKernel, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn traced_stall_diagnosis_carries_flight_recorder_tail() {
+        use gtsc_types::TraceConfig;
+        // Same starved-DRAM wedge as above, but with the flight recorder
+        // on: the diagnosis must carry (and render) the event tail that
+        // led up to the stall.
+        let mut cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_trace(TraceConfig::flight());
+        cfg.dram.row_hit = 50_000_000;
+        cfg.dram.row_miss = 50_000_000;
+        cfg.watchdog_cycles = 2_000;
+        let kernel = VecKernel::new(
+            "starved",
+            1,
+            vec![vec![WarpProgram(vec![WarpOp::load_coalesced(Addr(0), 32)])]],
+        );
+        let mut sim = GpuSim::new(cfg);
+        match sim.run_kernel(&kernel) {
+            Err(SimError::Stalled { diagnosis, .. }) => {
+                assert!(!diagnosis.recent_events.is_empty());
+                // The wedged load's trail is visible: cold miss at the L1,
+                // packet into the request net, enqueue at DRAM.
+                let kinds: Vec<_> = diagnosis
+                    .recent_events
+                    .iter()
+                    .map(|e| e.kind.name())
+                    .collect();
+                assert!(kinds.contains(&"cold_miss"), "{kinds:?}");
+                assert!(kinds.contains(&"dram_enqueue"), "{kinds:?}");
+                let text = diagnosis.to_string();
+                assert!(text.contains("last 16 trace events:"), "{text}");
+                // The rendered tail is the most recent activity: the
+                // wedged warp's stall, cycle after cycle.
+                assert!(text.contains("stall"), "{text}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untraced_stall_diagnosis_has_no_event_tail() {
+        let mut cfg = GpuConfig::test_small();
+        cfg.dram.row_hit = 50_000_000;
+        cfg.dram.row_miss = 50_000_000;
+        cfg.watchdog_cycles = 2_000;
+        let kernel = VecKernel::new(
+            "starved",
+            1,
+            vec![vec![WarpProgram(vec![WarpOp::load_coalesced(Addr(0), 32)])]],
+        );
+        let mut sim = GpuSim::new(cfg);
+        match sim.run_kernel(&kernel) {
+            Err(SimError::Stalled { diagnosis, .. }) => {
+                assert!(diagnosis.recent_events.is_empty());
+                assert!(!diagnosis.to_string().contains("trace events"));
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_trace_records_protocol_lifecycle_and_exports_chrome_json() {
+        use gtsc_types::TraceConfig;
+        let cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_trace(TraceConfig::full());
+        let mut sim = GpuSim::new(cfg);
+        sim.run_kernel(&store_load_kernel()).expect("completes");
+        let events = sim.trace_events();
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        let kinds: Vec<_> = events.iter().map(|e| e.kind.name()).collect();
+        for needed in [
+            "warp_issue",
+            "cold_miss",
+            "lease_grant",
+            "store_commit",
+            "fill_applied",
+            "packet_send",
+            "packet_deliver",
+            "dram_service",
+        ] {
+            assert!(kinds.contains(&needed), "missing {needed} in {kinds:?}");
+        }
+        let json = sim.chrome_trace();
+        assert!(json.starts_with('{'), "{json}");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.ends_with('}'), "{json}");
+    }
+
+    #[test]
+    fn interval_sampler_covers_the_whole_run() {
+        use gtsc_types::TraceConfig;
+        let cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_trace(TraceConfig::full().with_interval(64));
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&store_load_kernel()).expect("completes");
+        let samples = sim.samples();
+        assert!(!samples.is_empty());
+        // Contiguous coverage from 0 to the final cycle...
+        assert_eq!(samples[0].start, Cycle(0));
+        assert!(samples.windows(2).all(|w| w[0].end == w[1].start));
+        // ...whose deltas sum back to the cumulative totals.
+        let issued: u64 = samples.iter().map(|s| s.delta.sm.issued).sum();
+        assert_eq!(issued, report.stats.sm.issued);
+        let flits: u64 = samples.iter().map(|s| s.delta.noc.flits).sum();
+        assert_eq!(flits, report.stats.noc.flits);
+    }
+
+    #[test]
+    fn report_exposes_per_component_stats_summing_to_totals() {
+        let cfg = GpuConfig::test_small();
+        let n_sms = cfg.n_sms;
+        let banks = cfg.l2_banks;
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&store_load_kernel()).expect("completes");
+        let s = &report.stats;
+        assert_eq!(s.per_sm.len(), n_sms);
+        assert_eq!(s.per_l1.len(), n_sms);
+        assert_eq!(s.per_l2.len(), banks);
+        assert_eq!(s.per_dram.len(), banks);
+        assert_eq!(s.per_sm.iter().map(|x| x.issued).sum::<u64>(), s.sm.issued);
+        assert_eq!(
+            s.per_l1.iter().map(|x| x.accesses).sum::<u64>(),
+            s.l1.accesses
+        );
+        assert_eq!(s.per_l2.iter().map(|x| x.stores).sum::<u64>(), s.l2.stores);
+        assert_eq!(
+            s.per_dram.iter().map(|x| x.reads).sum::<u64>(),
+            s.dram.reads
+        );
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! The protocol event taxonomy.
+//!
+//! Tardis-style protocols are debugged in terms of their timestamp
+//! transitions (lease grants, renewals, expiries, future-scheduled
+//! writes, rollovers), so every event carries the logical-time facts a
+//! post-mortem needs, not just a name. Events are small `Copy` values —
+//! cheap to push into a ring buffer on the protocol paths.
+
+use gtsc_types::{BlockAddr, Cycle, StallKind};
+
+/// Coarse event category; each class owns one bit of
+/// [`gtsc_types::TraceConfig::class_mask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum EventClass {
+    /// Cache lookups: hits, cold misses, expired (coherence) misses,
+    /// accesses blocked on a pending write.
+    Access = 0,
+    /// Logical-lease machinery: grants, renewals, fills.
+    Lease = 1,
+    /// Store lifecycle: commit at L2, ack at L1, replay drops.
+    Store = 2,
+    /// Line evictions (L1 or L2).
+    Eviction = 3,
+    /// Timestamp rollover epochs (Section V-D).
+    Rollover = 4,
+    /// SM pipeline: warp issue and stall.
+    Warp = 5,
+    /// Interconnect packet send/deliver.
+    Noc = 6,
+    /// DRAM enqueue/service.
+    Dram = 7,
+}
+
+impl EventClass {
+    /// All classes enabled.
+    pub const ALL: u16 = 0xFF;
+
+    /// This class's bit in a [`gtsc_types::TraceConfig::class_mask`].
+    #[must_use]
+    pub fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+
+    /// Short lowercase label (`access`, `lease`, ...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::Access => "access",
+            EventClass::Lease => "lease",
+            EventClass::Store => "store",
+            EventClass::Eviction => "eviction",
+            EventClass::Rollover => "rollover",
+            EventClass::Warp => "warp",
+            EventClass::Noc => "noc",
+            EventClass::Dram => "dram",
+        }
+    }
+}
+
+/// Which component recorded an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scope {
+    /// An SM and its private L1 (index = SM id).
+    Sm(u16),
+    /// A shared-cache bank.
+    L2Bank(u16),
+    /// A network: `0` = request net, `1` = response net.
+    Noc(u16),
+    /// A DRAM partition.
+    Dram(u16),
+}
+
+impl Scope {
+    /// The SM index, when this scope is SM-local.
+    #[must_use]
+    pub fn sm(self) -> Option<u16> {
+        match self {
+            Scope::Sm(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scope::Sm(i) => write!(f, "sm{i}"),
+            Scope::L2Bank(i) => write!(f, "l2[{i}]"),
+            Scope::Noc(0) => write!(f, "noc.req"),
+            Scope::Noc(_) => write!(f, "noc.resp"),
+            Scope::Dram(i) => write!(f, "dram[{i}]"),
+        }
+    }
+}
+
+/// One protocol event. Timestamps are raw logical-time values
+/// ([`gtsc_types::Timestamp`]`.0`) so the enum stays `Copy` and free of
+/// protocol-crate dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// L1/L2 lookup hit with a live (unexpired) lease.
+    Hit {
+        /// Block looked up.
+        block: BlockAddr,
+        /// Accessing warp slot.
+        warp: u16,
+    },
+    /// Lookup missed: tag absent.
+    ColdMiss {
+        /// Block looked up.
+        block: BlockAddr,
+        /// Accessing warp slot.
+        warp: u16,
+    },
+    /// Tag matched but the lease had expired — a coherence miss
+    /// (Section II-D).
+    ExpiredMiss {
+        /// Block looked up.
+        block: BlockAddr,
+        /// The accessing warp's logical timestamp.
+        warp_ts: u64,
+        /// The line's (expired) read-timestamp upper bound.
+        rts: u64,
+    },
+    /// Access blocked on a line awaiting its write ack (update
+    /// visibility, Section V-A).
+    BlockedOnWrite {
+        /// Locked block.
+        block: BlockAddr,
+    },
+    /// L2 granted a fresh lease `[wts, rts]` with fill data.
+    LeaseGrant {
+        /// Leased block.
+        block: BlockAddr,
+        /// Write timestamp.
+        wts: u64,
+        /// Read-timestamp upper bound.
+        rts: u64,
+    },
+    /// Lease extended without data (renewal, Section II-D).
+    Renewal {
+        /// Renewed block.
+        block: BlockAddr,
+        /// New read-timestamp upper bound.
+        rts: u64,
+    },
+    /// L1 installed fill data for an earlier miss.
+    FillApplied {
+        /// Filled block.
+        block: BlockAddr,
+    },
+    /// L2 committed a store at logical time `wts` (future-scheduled
+    /// write).
+    StoreCommit {
+        /// Written block.
+        block: BlockAddr,
+        /// Commit write-timestamp.
+        wts: u64,
+    },
+    /// L1 received the global-performance ack for a store.
+    WriteAck {
+        /// Acked block.
+        block: BlockAddr,
+    },
+    /// L2 dropped a duplicate store/atomic via the replay filter.
+    ReplayDrop {
+        /// Affected block.
+        block: BlockAddr,
+    },
+    /// A line was evicted.
+    Eviction {
+        /// Evicted block.
+        block: BlockAddr,
+    },
+    /// Timestamp rollover: the component entered reset epoch `epoch`
+    /// (Section V-D).
+    Rollover {
+        /// New epoch.
+        epoch: u64,
+    },
+    /// A warp issued an instruction.
+    WarpIssue {
+        /// Issuing warp slot.
+        warp: u16,
+    },
+    /// A warp spent this cycle stalled.
+    WarpStall {
+        /// Stalled warp slot.
+        warp: u16,
+        /// Why it could not issue.
+        kind: StallKind,
+    },
+    /// A packet entered a network.
+    PacketSend {
+        /// Source port.
+        src: u16,
+        /// Destination port.
+        dst: u16,
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// A packet left a network.
+    PacketDeliver {
+        /// Source port.
+        src: u16,
+        /// Destination port.
+        dst: u16,
+    },
+    /// A request entered a DRAM partition queue.
+    DramEnqueue {
+        /// Requested block.
+        block: BlockAddr,
+        /// Whether it is a write burst.
+        write: bool,
+    },
+    /// A DRAM bank started servicing a request.
+    DramService {
+        /// Serviced block.
+        block: BlockAddr,
+        /// Whether it is a write burst.
+        write: bool,
+    },
+}
+
+impl EventKind {
+    /// The filter class this event belongs to.
+    #[must_use]
+    pub fn class(&self) -> EventClass {
+        match self {
+            EventKind::Hit { .. }
+            | EventKind::ColdMiss { .. }
+            | EventKind::ExpiredMiss { .. }
+            | EventKind::BlockedOnWrite { .. } => EventClass::Access,
+            EventKind::LeaseGrant { .. }
+            | EventKind::Renewal { .. }
+            | EventKind::FillApplied { .. } => EventClass::Lease,
+            EventKind::StoreCommit { .. }
+            | EventKind::WriteAck { .. }
+            | EventKind::ReplayDrop { .. } => EventClass::Store,
+            EventKind::Eviction { .. } => EventClass::Eviction,
+            EventKind::Rollover { .. } => EventClass::Rollover,
+            EventKind::WarpIssue { .. } | EventKind::WarpStall { .. } => EventClass::Warp,
+            EventKind::PacketSend { .. } | EventKind::PacketDeliver { .. } => EventClass::Noc,
+            EventKind::DramEnqueue { .. } | EventKind::DramService { .. } => EventClass::Dram,
+        }
+    }
+
+    /// The block this event touches, when it has one (address-range
+    /// filtering).
+    #[must_use]
+    pub fn block(&self) -> Option<BlockAddr> {
+        match *self {
+            EventKind::Hit { block, .. }
+            | EventKind::ColdMiss { block, .. }
+            | EventKind::ExpiredMiss { block, .. }
+            | EventKind::BlockedOnWrite { block }
+            | EventKind::LeaseGrant { block, .. }
+            | EventKind::Renewal { block, .. }
+            | EventKind::FillApplied { block }
+            | EventKind::StoreCommit { block, .. }
+            | EventKind::WriteAck { block }
+            | EventKind::ReplayDrop { block }
+            | EventKind::Eviction { block }
+            | EventKind::DramEnqueue { block, .. }
+            | EventKind::DramService { block, .. } => Some(block),
+            EventKind::Rollover { .. }
+            | EventKind::WarpIssue { .. }
+            | EventKind::WarpStall { .. }
+            | EventKind::PacketSend { .. }
+            | EventKind::PacketDeliver { .. } => None,
+        }
+    }
+
+    /// Short stable name (`hit`, `lease_grant`, ...), used by the
+    /// exporters.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Hit { .. } => "hit",
+            EventKind::ColdMiss { .. } => "cold_miss",
+            EventKind::ExpiredMiss { .. } => "expired_miss",
+            EventKind::BlockedOnWrite { .. } => "blocked_on_write",
+            EventKind::LeaseGrant { .. } => "lease_grant",
+            EventKind::Renewal { .. } => "renewal",
+            EventKind::FillApplied { .. } => "fill_applied",
+            EventKind::StoreCommit { .. } => "store_commit",
+            EventKind::WriteAck { .. } => "write_ack",
+            EventKind::ReplayDrop { .. } => "replay_drop",
+            EventKind::Eviction { .. } => "eviction",
+            EventKind::Rollover { .. } => "rollover",
+            EventKind::WarpIssue { .. } => "warp_issue",
+            EventKind::WarpStall { .. } => "warp_stall",
+            EventKind::PacketSend { .. } => "packet_send",
+            EventKind::PacketDeliver { .. } => "packet_deliver",
+            EventKind::DramEnqueue { .. } => "dram_enqueue",
+            EventKind::DramService { .. } => "dram_service",
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            EventKind::Hit { block, warp } => write!(f, "hit block {block} (warp {warp})"),
+            EventKind::ColdMiss { block, warp } => {
+                write!(f, "cold miss block {block} (warp {warp})")
+            }
+            EventKind::ExpiredMiss {
+                block,
+                warp_ts,
+                rts,
+            } => write!(
+                f,
+                "expired miss block {block} (warp_ts {warp_ts} > rts {rts})"
+            ),
+            EventKind::BlockedOnWrite { block } => {
+                write!(f, "blocked on pending write, block {block}")
+            }
+            EventKind::LeaseGrant { block, wts, rts } => {
+                write!(f, "lease grant block {block} [{wts}, {rts}]")
+            }
+            EventKind::Renewal { block, rts } => write!(f, "renewal block {block} rts -> {rts}"),
+            EventKind::FillApplied { block } => write!(f, "fill applied block {block}"),
+            EventKind::StoreCommit { block, wts } => {
+                write!(f, "store commit block {block} at wts {wts}")
+            }
+            EventKind::WriteAck { block } => write!(f, "write ack block {block}"),
+            EventKind::ReplayDrop { block } => write!(f, "replay drop block {block}"),
+            EventKind::Eviction { block } => write!(f, "evict block {block}"),
+            EventKind::Rollover { epoch } => write!(f, "rollover to epoch {epoch}"),
+            EventKind::WarpIssue { warp } => write!(f, "warp {warp} issue"),
+            EventKind::WarpStall { warp, kind } => write!(f, "warp {warp} stall ({kind:?})"),
+            EventKind::PacketSend { src, dst, bytes } => {
+                write!(f, "packet {src} -> {dst} ({bytes} B)")
+            }
+            EventKind::PacketDeliver { src, dst } => write!(f, "deliver {src} -> {dst}"),
+            EventKind::DramEnqueue { block, write } => write!(
+                f,
+                "dram enqueue {} block {block}",
+                if write { "write" } else { "read" }
+            ),
+            EventKind::DramService { block, write } => write!(
+                f,
+                "dram service {} block {block}",
+                if write { "write" } else { "read" }
+            ),
+        }
+    }
+}
+
+/// One recorded event: when, where, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event happened.
+    pub cycle: Cycle,
+    /// Component that recorded it.
+    pub scope: Scope,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.cycle, self.scope, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_have_distinct_bits() {
+        let classes = [
+            EventClass::Access,
+            EventClass::Lease,
+            EventClass::Store,
+            EventClass::Eviction,
+            EventClass::Rollover,
+            EventClass::Warp,
+            EventClass::Noc,
+            EventClass::Dram,
+        ];
+        let mut seen = 0u16;
+        for c in classes {
+            assert_eq!(seen & c.bit(), 0, "{c:?} bit collides");
+            seen |= c.bit();
+        }
+        assert_eq!(seen, EventClass::ALL);
+    }
+
+    #[test]
+    fn kind_class_and_block_are_consistent() {
+        let b = BlockAddr(42);
+        assert_eq!(
+            EventKind::LeaseGrant {
+                block: b,
+                wts: 1,
+                rts: 11
+            }
+            .class(),
+            EventClass::Lease
+        );
+        assert_eq!(EventKind::Eviction { block: b }.block(), Some(b));
+        assert_eq!(EventKind::WarpIssue { warp: 3 }.block(), None);
+        assert_eq!(
+            EventKind::Rollover { epoch: 2 }.class(),
+            EventClass::Rollover
+        );
+    }
+
+    #[test]
+    fn event_renders_scope_and_kind() {
+        let e = TraceEvent {
+            cycle: Cycle(7),
+            scope: Scope::Sm(1),
+            kind: EventKind::ExpiredMiss {
+                block: BlockAddr(3),
+                warp_ts: 9,
+                rts: 5,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("sm1"), "{s}");
+        assert!(s.contains("expired miss"), "{s}");
+        assert!(s.contains("warp_ts 9 > rts 5"), "{s}");
+        assert_eq!(Scope::Noc(0).to_string(), "noc.req");
+        assert_eq!(Scope::Noc(1).to_string(), "noc.resp");
+        assert_eq!(Scope::Dram(2).to_string(), "dram[2]");
+    }
+}

@@ -268,6 +268,139 @@ impl FaultConfig {
     }
 }
 
+/// What the protocol event-tracing subsystem records.
+///
+/// The hot-path hooks compile to a single branch on this enum when
+/// tracing is [`TraceMode::Off`], so the default costs nothing on the
+/// protocol fast paths (verified by the `trace_overhead` benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TraceMode {
+    /// No events recorded (the default).
+    #[default]
+    Off,
+    /// Bounded per-component ring buffers only: the last
+    /// [`TraceConfig::flight_capacity`] events per SM / L2 bank / network
+    /// / DRAM partition are retained for post-mortems (stall diagnoses,
+    /// checker violation reports).
+    Flight,
+    /// Flight recorder *plus* an unbounded in-order event log, suitable
+    /// for Chrome-trace export. Memory grows with run length — use on
+    /// small kernels or with filters.
+    Full,
+}
+
+/// Configuration of the protocol event tracer (see the `gtsc-trace`
+/// crate). Inert by default; probabilistically free when off.
+///
+/// Filters compose conjunctively: an event is kept only if its class bit
+/// is set in `class_mask`, its source SM passes `sm_filter` (events from
+/// non-SM scopes always pass), and its block — when it has one — falls in
+/// `block_range`.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::TraceConfig;
+/// assert!(!TraceConfig::default().is_enabled());
+/// let t = TraceConfig::flight().with_sm(3).with_blocks(0, 64);
+/// assert!(t.is_enabled());
+/// assert_eq!(t.sm_filter, Some(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceConfig {
+    /// What to record.
+    pub mode: TraceMode,
+    /// Ring-buffer capacity per traced component (flight recorder).
+    pub flight_capacity: usize,
+    /// Snapshot [`crate::SimStats`] deltas every this many cycles into a
+    /// time-series; `0` disables the interval sampler.
+    pub sample_interval: u64,
+    /// Bitmask over `gtsc_trace::EventClass` bits; `u16::MAX` keeps all.
+    pub class_mask: u16,
+    /// When `Some(i)`, keep only events from SM `i` (and from non-SM
+    /// scopes: L2 banks, NoC, DRAM).
+    pub sm_filter: Option<u16>,
+    /// When `Some((lo, hi))`, keep only events touching a block address
+    /// in `lo..=hi` (events without a block always pass).
+    pub block_range: Option<(u64, u64)>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mode: TraceMode::Off,
+            flight_capacity: 64,
+            sample_interval: 0,
+            class_mask: u16::MAX,
+            sm_filter: None,
+            block_range: None,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Flight recorder only: bounded memory, post-mortem tails.
+    #[must_use]
+    pub fn flight() -> Self {
+        TraceConfig {
+            mode: TraceMode::Flight,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Full event log (plus flight recorder) with a default 1024-cycle
+    /// stats sampling interval — what the exporters consume.
+    #[must_use]
+    pub fn full() -> Self {
+        TraceConfig {
+            mode: TraceMode::Full,
+            sample_interval: 1024,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Whether any recording is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.mode != TraceMode::Off
+    }
+
+    /// Returns the config with the stats-sampling interval set.
+    #[must_use]
+    pub fn with_interval(mut self, cycles: u64) -> Self {
+        self.sample_interval = cycles;
+        self
+    }
+
+    /// Returns the config keeping only the event classes in `mask`.
+    #[must_use]
+    pub fn with_class_mask(mut self, mask: u16) -> Self {
+        self.class_mask = mask;
+        self
+    }
+
+    /// Returns the config keeping only events from SM `sm`.
+    #[must_use]
+    pub fn with_sm(mut self, sm: u16) -> Self {
+        self.sm_filter = Some(sm);
+        self
+    }
+
+    /// Returns the config keeping only events on blocks in `lo..=hi`.
+    #[must_use]
+    pub fn with_blocks(mut self, lo: u64, hi: u64) -> Self {
+        self.block_range = Some((lo, hi));
+        self
+    }
+
+    /// Returns the config with the per-component ring capacity set.
+    #[must_use]
+    pub fn with_flight_capacity(mut self, events: usize) -> Self {
+        self.flight_capacity = events;
+        self
+    }
+}
+
 /// Complete configuration of the simulated GPU.
 ///
 /// # Examples
@@ -349,6 +482,8 @@ pub struct GpuConfig {
     pub max_violations_reported: usize,
     /// Fault-injection plan (inert by default).
     pub faults: FaultConfig,
+    /// Protocol event tracing (off by default).
+    pub trace: TraceConfig,
 }
 
 impl GpuConfig {
@@ -387,6 +522,7 @@ impl GpuConfig {
             watchdog_cycles: 1_000_000,
             max_violations_reported: 64,
             faults: FaultConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -441,6 +577,13 @@ impl GpuConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns the config with the given event-tracing plan.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -510,6 +653,27 @@ mod tests {
         assert!(chaos.dram_jitter_permille <= 1000);
         let cfg = GpuConfig::test_small().with_faults(chaos);
         assert_eq!(cfg.faults, chaos);
+    }
+
+    #[test]
+    fn trace_default_inert_presets_active() {
+        assert!(!TraceConfig::default().is_enabled());
+        assert!(!GpuConfig::paper_default().trace.is_enabled());
+        assert!(TraceConfig::flight().is_enabled());
+        let full = TraceConfig::full();
+        assert!(full.is_enabled());
+        assert_eq!(full.sample_interval, 1024);
+        let t = TraceConfig::flight()
+            .with_interval(256)
+            .with_class_mask(0b11)
+            .with_blocks(8, 16)
+            .with_flight_capacity(32);
+        assert_eq!(t.sample_interval, 256);
+        assert_eq!(t.class_mask, 0b11);
+        assert_eq!(t.block_range, Some((8, 16)));
+        assert_eq!(t.flight_capacity, 32);
+        let cfg = GpuConfig::test_small().with_trace(t);
+        assert_eq!(cfg.trace, t);
     }
 
     #[test]

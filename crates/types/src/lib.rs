@@ -28,7 +28,8 @@ pub mod value;
 pub use addr::{Addr, BlockAddr, CacheGeometry};
 pub use config::{
     CombinePolicy, ConsistencyModel, DramConfig, FaultConfig, GpuConfig, InclusionPolicy,
-    NocConfig, NocTopology, PagePolicy, ProtocolKind, VisibilityPolicy, WarpScheduler,
+    NocConfig, NocTopology, PagePolicy, ProtocolKind, TraceConfig, TraceMode, VisibilityPolicy,
+    WarpScheduler,
 };
 pub use ids::{BankId, CtaId, GlobalWarpId, KernelId, LaneId, SmId, WarpId};
 pub use stats::{CacheStats, DramStats, LatencyHist, NocStats, SimStats, SmStats, StallKind};

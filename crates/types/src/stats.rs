@@ -35,10 +35,14 @@ pub enum StallKind {
 /// }
 /// assert_eq!(h.count(), 5);
 /// assert!(h.percentile(0.5) >= 4.0);
+/// // The mean is exact (summed samples), not a bucket-edge estimate.
+/// assert_eq!(h.mean(), (1.0 + 3.0 + 100.0 + 300.0 + 10_000.0) / 5.0);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyHist {
     buckets: [u64; 20],
+    /// Exact sum of all recorded samples (for [`LatencyHist::mean`]).
+    sum: u64,
 }
 
 impl LatencyHist {
@@ -46,6 +50,7 @@ impl LatencyHist {
     pub fn record(&mut self, latency: u64) {
         let b = (64 - latency.max(1).leading_zeros()) as usize - 1;
         self.buckets[b.min(self.buckets.len() - 1)] += 1;
+        self.sum = self.sum.saturating_add(latency);
     }
 
     /// Total samples recorded.
@@ -54,23 +59,73 @@ impl LatencyHist {
         self.buckets.iter().sum()
     }
 
+    /// Exact arithmetic mean of all recorded samples (not a bucket-edge
+    /// estimate); `0` with no samples.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gtsc_types::LatencyHist;
+    /// let mut h = LatencyHist::default();
+    /// assert_eq!(h.mean(), 0.0);
+    /// h.record(10);
+    /// h.record(20);
+    /// assert_eq!(h.mean(), 15.0);
+    /// ```
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Upper edge of bucket `i`: bucket 0 covers `[0, 2)`, bucket `i > 0`
+    /// covers `[2^i, 2^(i+1))`.
+    fn upper_edge(i: usize) -> f64 {
+        (1u64 << (i + 1)) as f64
+    }
+
     /// An upper-bound estimate of the `p`-quantile (`p` in `[0, 1]`):
-    /// the upper edge of the bucket containing it. `0` with no samples.
+    /// the upper edge of the *non-empty* bucket containing the target
+    /// sample. `0` with no samples — in particular, `2.0` (bucket 0's
+    /// edge) is reported only when samples were actually recorded in
+    /// `[0, 2)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gtsc_types::LatencyHist;
+    /// let mut h = LatencyHist::default();
+    /// h.record(100); // bucket [64, 128)
+    /// // No samples in [0, 2): even p = 0 resolves to the first
+    /// // non-empty bucket, never to bucket 0's edge.
+    /// assert_eq!(h.percentile(0.0), 128.0);
+    /// h.record(1); // now [0, 2) is populated
+    /// assert_eq!(h.percentile(0.0), 2.0);
+    /// ```
     #[must_use]
     pub fn percentile(&self, p: f64) -> f64 {
         let total = self.count();
         if total == 0 {
             return 0.0;
         }
-        let target = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                // An empty bucket cannot contain the target sample, so it
+                // can never contribute its upper edge.
+                continue;
+            }
             seen += b;
-            if seen >= target.max(1) {
-                return (1u64 << (i + 1)) as f64;
+            if seen >= target {
+                return Self::upper_edge(i);
             }
         }
-        (1u64 << self.buckets.len()) as f64
+        Self::upper_edge(self.buckets.len() - 1)
     }
 
     /// Adds `rhs` into `self`.
@@ -78,6 +133,19 @@ impl LatencyHist {
         for (a, b) in self.buckets.iter_mut().zip(rhs.buckets.iter()) {
             *a += b;
         }
+        self.sum = self.sum.saturating_add(rhs.sum);
+    }
+
+    /// Bucket-wise `self - rhs` (saturating), for interval deltas where
+    /// `rhs` is an earlier snapshot of the same histogram.
+    #[must_use]
+    pub fn diff(&self, rhs: &LatencyHist) -> LatencyHist {
+        let mut out = *self;
+        for (a, b) in out.buckets.iter_mut().zip(rhs.buckets.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out.sum = self.sum.saturating_sub(rhs.sum);
+        out
     }
 }
 
@@ -135,6 +203,31 @@ impl SmStats {
             + self.fence_stall_cycles
             + self.barrier_stall_cycles
             + self.structural_stall_cycles
+    }
+
+    /// Field-wise `self - rhs` (saturating), for interval deltas where
+    /// `rhs` is an earlier snapshot of the same counters.
+    #[must_use]
+    pub fn diff(&self, rhs: &SmStats) -> SmStats {
+        SmStats {
+            issued: self.issued.saturating_sub(rhs.issued),
+            mem_issued: self.mem_issued.saturating_sub(rhs.mem_issued),
+            memory_stall_cycles: self
+                .memory_stall_cycles
+                .saturating_sub(rhs.memory_stall_cycles),
+            fence_stall_cycles: self
+                .fence_stall_cycles
+                .saturating_sub(rhs.fence_stall_cycles),
+            barrier_stall_cycles: self
+                .barrier_stall_cycles
+                .saturating_sub(rhs.barrier_stall_cycles),
+            structural_stall_cycles: self
+                .structural_stall_cycles
+                .saturating_sub(rhs.structural_stall_cycles),
+            idle_cycles: self.idle_cycles.saturating_sub(rhs.idle_cycles),
+            active_cycles: self.active_cycles.saturating_sub(rhs.active_cycles),
+            mem_latency: self.mem_latency.diff(&rhs.mem_latency),
+        }
     }
 }
 
@@ -206,6 +299,33 @@ impl CacheStats {
             self.hits as f64 / self.accesses as f64
         }
     }
+
+    /// Field-wise `self - rhs` (saturating), for interval deltas where
+    /// `rhs` is an earlier snapshot of the same counters.
+    #[must_use]
+    pub fn diff(&self, rhs: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses.saturating_sub(rhs.accesses),
+            hits: self.hits.saturating_sub(rhs.hits),
+            cold_misses: self.cold_misses.saturating_sub(rhs.cold_misses),
+            expired_misses: self.expired_misses.saturating_sub(rhs.expired_misses),
+            blocked_on_pending_write: self
+                .blocked_on_pending_write
+                .saturating_sub(rhs.blocked_on_pending_write),
+            renewals: self.renewals.saturating_sub(rhs.renewals),
+            stores: self.stores.saturating_sub(rhs.stores),
+            evictions: self.evictions.saturating_sub(rhs.evictions),
+            write_stall_cycles: self
+                .write_stall_cycles
+                .saturating_sub(rhs.write_stall_cycles),
+            eviction_stall_cycles: self
+                .eviction_stall_cycles
+                .saturating_sub(rhs.eviction_stall_cycles),
+            ts_rollovers: self.ts_rollovers.saturating_sub(rhs.ts_rollovers),
+            mshr_merges: self.mshr_merges.saturating_sub(rhs.mshr_merges),
+            replayed_stores: self.replayed_stores.saturating_sub(rhs.replayed_stores),
+        }
+    }
 }
 
 /// Interconnect counters (the Figure 15 metric).
@@ -245,6 +365,22 @@ impl NocStats {
             self.total_packet_latency as f64 / self.packets as f64
         }
     }
+
+    /// Field-wise `self - rhs` (saturating), for interval deltas where
+    /// `rhs` is an earlier snapshot of the same counters.
+    #[must_use]
+    pub fn diff(&self, rhs: &NocStats) -> NocStats {
+        NocStats {
+            packets: self.packets.saturating_sub(rhs.packets),
+            flits: self.flits.saturating_sub(rhs.flits),
+            control_packets: self.control_packets.saturating_sub(rhs.control_packets),
+            data_packets: self.data_packets.saturating_sub(rhs.data_packets),
+            total_packet_latency: self
+                .total_packet_latency
+                .saturating_sub(rhs.total_packet_latency),
+            queue_cycles: self.queue_cycles.saturating_sub(rhs.queue_cycles),
+        }
+    }
 }
 
 /// DRAM counters (per partition, merged).
@@ -271,9 +407,27 @@ impl DramStats {
         self.row_misses += rhs.row_misses;
         self.queue_full_events += rhs.queue_full_events;
     }
+
+    /// Field-wise `self - rhs` (saturating), for interval deltas where
+    /// `rhs` is an earlier snapshot of the same counters.
+    #[must_use]
+    pub fn diff(&self, rhs: &DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads.saturating_sub(rhs.reads),
+            writes: self.writes.saturating_sub(rhs.writes),
+            row_hits: self.row_hits.saturating_sub(rhs.row_hits),
+            row_misses: self.row_misses.saturating_sub(rhs.row_misses),
+            queue_full_events: self.queue_full_events.saturating_sub(rhs.queue_full_events),
+        }
+    }
 }
 
 /// Aggregated results of one simulation run.
+///
+/// The `sm`/`l1`/`l2`/`dram` fields are merged across all components;
+/// the `per_*` vectors preserve the per-component structure (one entry
+/// per SM, L1, L2 bank, DRAM partition) for imbalance analyses and the
+/// interval sampler.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Total execution time.
@@ -288,6 +442,15 @@ pub struct SimStats {
     pub noc: NocStats,
     /// DRAM counters.
     pub dram: DramStats,
+    /// Per-SM pipeline counters (index = SM id); empty when the producer
+    /// only had merged totals.
+    pub per_sm: Vec<SmStats>,
+    /// Per-SM private-L1 counters (index = SM id).
+    pub per_l1: Vec<CacheStats>,
+    /// Per-bank shared-L2 counters (index = bank id).
+    pub per_l2: Vec<CacheStats>,
+    /// Per-partition DRAM counters (index = partition id).
+    pub per_dram: Vec<DramStats>,
 }
 
 impl SimStats {
@@ -298,6 +461,31 @@ impl SimStats {
             0.0
         } else {
             self.sm.issued as f64 / self.cycles.0 as f64
+        }
+    }
+
+    /// Field-wise `self - rhs` (saturating), for interval deltas where
+    /// `rhs` is an earlier snapshot of the same run. Per-component
+    /// vectors are diffed element-wise over the common prefix.
+    #[must_use]
+    pub fn diff(&self, rhs: &SimStats) -> SimStats {
+        fn diff_vec<T: Default + Clone>(a: &[T], b: &[T], f: impl Fn(&T, &T) -> T) -> Vec<T> {
+            a.iter()
+                .enumerate()
+                .map(|(i, x)| b.get(i).map_or_else(|| x.clone(), |y| f(x, y)))
+                .collect()
+        }
+        SimStats {
+            cycles: Cycle(self.cycles.0.saturating_sub(rhs.cycles.0)),
+            sm: self.sm.diff(&rhs.sm),
+            l1: self.l1.diff(&rhs.l1),
+            l2: self.l2.diff(&rhs.l2),
+            noc: self.noc.diff(&rhs.noc),
+            dram: self.dram.diff(&rhs.dram),
+            per_sm: diff_vec(&self.per_sm, &rhs.per_sm, |a, b| a.diff(b)),
+            per_l1: diff_vec(&self.per_l1, &rhs.per_l1, |a, b| a.diff(b)),
+            per_l2: diff_vec(&self.per_l2, &rhs.per_l2, |a, b| a.diff(b)),
+            per_dram: diff_vec(&self.per_dram, &rhs.per_dram, |a, b| a.diff(b)),
         }
     }
 }
@@ -363,6 +551,89 @@ mod tests {
         let mut h2 = h;
         h2.merge(&h);
         assert_eq!(h2.count(), 200);
+    }
+
+    #[test]
+    fn latency_hist_mean_is_exact() {
+        let mut h = LatencyHist::default();
+        assert_eq!(h.mean(), 0.0);
+        for l in [7, 9, 14] {
+            h.record(l);
+        }
+        assert!((h.mean() - 10.0).abs() < 1e-12);
+        let mut doubled = h;
+        doubled.merge(&h);
+        assert!((doubled.mean() - 10.0).abs() < 1e-12, "merge keeps sums");
+        // diff against an earlier snapshot recovers the interval mean.
+        let snapshot = h;
+        h.record(100);
+        let delta = h.diff(&snapshot);
+        assert_eq!(delta.count(), 1);
+        assert!((delta.mean() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_hist_bucket0_edge_needs_samples_below_two() {
+        let mut h = LatencyHist::default();
+        h.record(50); // bucket [32, 64)
+                      // No sample in [0,2): no percentile may report bucket 0's edge.
+        assert_eq!(h.percentile(0.0), 64.0);
+        assert_eq!(h.percentile(0.5), 64.0);
+        h.record(1);
+        assert_eq!(h.percentile(0.0), 2.0);
+        assert_eq!(h.percentile(1.0), 64.0);
+    }
+
+    #[test]
+    fn stats_diff_is_field_wise_and_saturating() {
+        let mut later = SmStats {
+            issued: 10,
+            idle_cycles: 5,
+            ..Default::default()
+        };
+        later.record_stall(StallKind::Memory);
+        let earlier = SmStats {
+            issued: 4,
+            idle_cycles: 7, // larger than `later`: diff saturates to 0
+            ..Default::default()
+        };
+        let d = later.diff(&earlier);
+        assert_eq!(d.issued, 6);
+        assert_eq!(d.idle_cycles, 0);
+        assert_eq!(d.memory_stall_cycles, 1);
+
+        let a = CacheStats {
+            accesses: 9,
+            hits: 6,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 4,
+            hits: 1,
+            ..Default::default()
+        };
+        assert_eq!(a.diff(&b).accesses, 5);
+        assert_eq!(a.diff(&b).hits, 5);
+
+        let sim_a = SimStats {
+            cycles: Cycle(100),
+            per_sm: vec![SmStats {
+                issued: 8,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let sim_b = SimStats {
+            cycles: Cycle(60),
+            per_sm: vec![SmStats {
+                issued: 3,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let d = sim_a.diff(&sim_b);
+        assert_eq!(d.cycles.0, 40);
+        assert_eq!(d.per_sm[0].issued, 5);
     }
 
     #[test]
