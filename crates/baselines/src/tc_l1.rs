@@ -148,9 +148,12 @@ impl L1Controller for TcL1 {
                             warp: acc.warp,
                         };
                         let version = line.meta.version;
+                        let expires = line.meta.expires;
                         self.tracer.record_with(now, || EventKind::Hit {
                             block: acc.block,
                             warp: acc.warp.0,
+                            warp_ts: now.0,
+                            rts: expires.0,
                         });
                         return L1Outcome::Hit(self.completion(w, acc.block, version));
                     }
@@ -256,8 +259,10 @@ impl L1Controller for TcL1 {
                 };
                 if let Some(ev) = self.tags.fill(f.block, meta) {
                     self.stats.evictions += 1;
-                    self.tracer
-                        .record_with(now, || EventKind::Eviction { block: ev.block });
+                    self.tracer.record_with(now, || EventKind::Eviction {
+                        block: ev.block,
+                        rts: ev.meta.expires.0,
+                    });
                 }
                 self.tracer
                     .record_with(now, || EventKind::FillApplied { block: f.block });

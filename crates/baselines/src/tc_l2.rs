@@ -18,7 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use gtsc_mem::{Mshr, MshrAlloc, TagArray};
 use gtsc_protocol::msg::{FillResp, L1ToL2, L2ToL1, LeaseInfo, WriteAckResp};
 use gtsc_protocol::L2Controller;
-use gtsc_trace::{EventKind, Tracer};
+use gtsc_trace::{EventKind, Sanitizer, Tracer, Transition};
 use gtsc_types::{BlockAddr, CacheGeometry, CacheStats, Cycle, Version};
 
 use crate::TcMode;
@@ -87,6 +87,7 @@ pub struct TcL2 {
     dram_out: VecDeque<(BlockAddr, bool)>,
     stats: CacheStats,
     tracer: Tracer,
+    sanitizer: Sanitizer,
 }
 
 impl TcL2 {
@@ -104,6 +105,7 @@ impl TcL2 {
             dram_out: VecDeque::new(),
             stats: CacheStats::default(),
             tracer: Tracer::disabled(),
+            sanitizer: Sanitizer::disabled(),
             p,
         }
     }
@@ -122,6 +124,11 @@ impl TcL2 {
             block,
             wts: 0,
             rts: expires.0,
+        });
+        self.sanitizer.check_with(now, || Transition::TcLease {
+            block,
+            now,
+            expires,
         });
         self.out_resp.push_back((
             src,
@@ -147,12 +154,22 @@ impl TcL2 {
             .probe_mut(block)
             .expect("caller checked residency");
         let prev = line.meta.version;
-        let gwct = line.meta.expires.max(now);
+        let pre_expires = line.meta.expires;
+        let gwct = pre_expires.max(now);
         line.meta.version = version;
         line.meta.dirty = true;
         self.stats.stores += 1;
         self.tracer
             .record_with(now, || EventKind::StoreCommit { block, wts: now.0 });
+        if self.p.mode == TcMode::Strong {
+            // Write atomicity: a strong write performs only once every
+            // outstanding lease has run out.
+            self.sanitizer.check_with(now, || Transition::TcWrite {
+                block,
+                now,
+                expires: pre_expires,
+            });
+        }
         let lease = match self.p.mode {
             // Strong: the ack certifies global performance; nothing to carry.
             TcMode::Strong => LeaseInfo::None,
@@ -241,8 +258,10 @@ impl TcL2 {
             Ok(evicted) => {
                 if let Some(ev) = evicted {
                     self.stats.evictions += 1;
-                    self.tracer
-                        .record_with(now, || EventKind::Eviction { block: ev.block });
+                    self.tracer.record_with(now, || EventKind::Eviction {
+                        block: ev.block,
+                        rts: ev.meta.expires.0,
+                    });
                     if ev.meta.dirty {
                         self.backing.insert(ev.block, ev.meta.version);
                         self.dram_out.push_back((ev.block, true));
@@ -430,6 +449,10 @@ impl L2Controller for TcL2 {
 
     fn tracer(&self) -> Option<&Tracer> {
         Some(&self.tracer)
+    }
+
+    fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
+        self.sanitizer = sanitizer;
     }
 
     fn memory_image(&self) -> Vec<(BlockAddr, Version)> {

@@ -9,7 +9,7 @@ use gtsc_core::rules::{extend_rts, lease_covers, load_ts, store_wts};
 use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
 use gtsc_protocol::msg::{FillResp, L1ToL2, LeaseInfo, ReadReq};
 use gtsc_protocol::{AccessId, AccessKind, L1Controller, L2Controller, MemAccess};
-use gtsc_trace::{EventKind, Scope, Tracer};
+use gtsc_trace::{EventKind, Sanitizer, Scope, Tracer, Transition};
 use gtsc_types::{BlockAddr, Cycle, Lease, Timestamp, TraceConfig, Version, WarpId};
 
 fn bench_rules(c: &mut Criterion) {
@@ -187,6 +187,8 @@ fn bench_trace_overhead(c: &mut Criterion) {
                 EventKind::Hit {
                     block: BlockAddr(cyc % 64),
                     warp: (cyc % 4) as u16,
+                    warp_ts: cyc,
+                    rts: cyc + 10,
                 },
             );
             black_box(off.is_enabled())
@@ -198,6 +200,8 @@ fn bench_trace_overhead(c: &mut Criterion) {
             off.record_with(Cycle(cyc), || EventKind::Hit {
                 block: BlockAddr(cyc % 64),
                 warp: (cyc % 4) as u16,
+                warp_ts: cyc,
+                rts: cyc + 10,
             });
             black_box(off.is_enabled())
         })
@@ -211,9 +215,82 @@ fn bench_trace_overhead(c: &mut Criterion) {
                 EventKind::Hit {
                     block: BlockAddr(cyc % 64),
                     warp: (cyc % 4) as u16,
+                    warp_ts: cyc,
+                    rts: cyc + 10,
                 },
             );
             black_box(flight.is_enabled())
+        })
+    });
+}
+
+/// The same budget argument for the sanitizer hook: a disabled
+/// [`Sanitizer::check_with`] is one predicted-not-taken branch and never
+/// builds the [`Transition`]; an enabled one pays the `RefCell` borrow
+/// plus the invariant checks.
+fn bench_sanitize_overhead(c: &mut Criterion) {
+    let off = Sanitizer::disabled();
+    let mut cyc = 0u64;
+    c.bench_function("sanitize_overhead/check_with_disabled", |b| {
+        b.iter(|| {
+            cyc += 1;
+            off.check_with(Cycle(cyc), || Transition::WarpTs {
+                warp: (cyc % 4) as u16,
+                ts: Timestamp(cyc),
+            });
+            black_box(off.is_enabled())
+        })
+    });
+    let on = Sanitizer::enabled(Scope::Sm(0));
+    c.bench_function("sanitize_overhead/check_with_enabled", |b| {
+        b.iter(|| {
+            cyc += 1;
+            on.check_with(Cycle(cyc), || Transition::WarpTs {
+                warp: (cyc % 4) as u16,
+                ts: Timestamp(cyc),
+            });
+            black_box(on.checked())
+        })
+    });
+}
+
+/// End-to-end: the L1 hit path with a disabled sanitizer embedded (the
+/// configuration every non-sanitized run executes) — compare against
+/// `gtsc_l1/load_hit` for the <2% budget.
+fn bench_l1_hit_sanitizer_off(c: &mut Criterion) {
+    let mut l1 = GtscL1::new(L1Params::default());
+    l1.set_sanitizer(Sanitizer::disabled());
+    let warm = MemAccess {
+        id: AccessId(0),
+        warp: WarpId(0),
+        kind: AccessKind::Load,
+        block: BlockAddr(5),
+    };
+    l1.access(warm, Cycle(0));
+    l1.take_request();
+    l1.on_response(
+        gtsc_protocol::msg::L2ToL1::Fill(FillResp {
+            block: BlockAddr(5),
+            lease: LeaseInfo::Logical {
+                wts: Timestamp(1),
+                rts: Timestamp(u64::from(u32::MAX)),
+            },
+            version: Version(9),
+            epoch: 0,
+        }),
+        Cycle(1),
+    );
+    let mut id = 1u64;
+    c.bench_function("gtsc_l1/load_hit_sanitizer_off", |b| {
+        b.iter(|| {
+            id += 1;
+            let acc = MemAccess {
+                id: AccessId(id),
+                warp: WarpId((id % 4) as u16),
+                kind: AccessKind::Load,
+                block: BlockAddr(5),
+            };
+            black_box(l1.access(acc, Cycle(id)))
         })
     });
 }
@@ -267,6 +344,8 @@ criterion_group!(
     bench_l2_serve,
     bench_tc_l1_hit,
     bench_trace_overhead,
-    bench_l1_hit_traced_off
+    bench_l1_hit_traced_off,
+    bench_sanitize_overhead,
+    bench_l1_hit_sanitizer_off
 );
 criterion_main!(benches);

@@ -7,11 +7,18 @@
 //! partitions appear as processes, protocol events as instants, and the
 //! sampled IPC / expired-miss-rate series as counter tracks.
 //!
+//! The run executes with the online transition sanitizer armed;
+//! `--lint` additionally runs the declarative trace lints from
+//! `gtsc-check` over the collected event log and exits nonzero on any
+//! sanitizer violation or error-severity lint finding, making this the
+//! CI sanitize-smoke as well as the worked tracing example.
+//!
 //! Run: `cargo run --release -p gtsc-bench --bin trace_report
-//!       [-- --chrome trace.json] [-- --lines trace.txt]`
+//!       [-- --chrome trace.json] [-- --lines trace.txt] [-- --lint]`
 
 use std::collections::BTreeMap;
 
+use gtsc_check::lint::lint_events;
 use gtsc_sim::GpuSim;
 use gtsc_trace::to_lines;
 use gtsc_types::{ConsistencyModel, GpuConfig, ProtocolKind, TraceConfig};
@@ -30,7 +37,8 @@ fn main() {
     let cfg = GpuConfig::test_small()
         .with_protocol(ProtocolKind::Gtsc)
         .with_consistency(ConsistencyModel::Sc)
-        .with_trace(trace);
+        .with_trace(trace)
+        .with_sanitize(true);
     let kernel = micro::message_passing(3);
     let mut sim = GpuSim::new(cfg);
     let report = match sim.run_kernel(&kernel) {
@@ -98,6 +106,27 @@ fn main() {
                 eprintln!("could not write {path}: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+    if std::env::args().any(|a| a == "--lint") {
+        if !report.violations.is_empty() {
+            for v in &report.violations {
+                println!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        let lint = lint_events(&events);
+        println!(
+            "\ntrace lints: {} event(s) scanned, {} error(s), {} warning(s)",
+            lint.scanned,
+            lint.errors(),
+            lint.warnings()
+        );
+        for f in &lint.findings {
+            println!("  {f}");
+        }
+        if lint.errors() > 0 {
+            std::process::exit(1);
         }
     }
 }

@@ -1,0 +1,76 @@
+//! Exhaustive litmus model checking of the G-TSC controllers.
+//!
+//! Runs every schedule of every suite shape (including IRIW) through
+//! the real `GtscL1`/`GtscL2` controllers and the operational reference
+//! model, printing per-shape schedule counts and outcome sets. Exits
+//! nonzero if any shape fails soundness (`impl ⊆ spec`), shows a
+//! forbidden outcome, misses a required outcome, or trips the
+//! transition sanitizer on any schedule.
+//!
+//! ```text
+//! model_check [--verbose] [--max-schedules N]
+//! ```
+
+use gtsc_check::litmus::{all_litmus, run_litmus};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "--verbose");
+    let max_schedules = arg_value("--max-schedules").map_or(1_000_000, |v| {
+        v.parse().expect("--max-schedules takes a number")
+    });
+
+    let mut failed = 0usize;
+    println!("G-TSC litmus model check (every schedule, real controllers vs reference model)");
+    println!();
+    for litmus in all_litmus() {
+        let r = run_litmus(&litmus, max_schedules);
+        println!("{}", r.summary());
+        if verbose || !r.ok() {
+            for o in &r.impl_outcomes {
+                let tag = if r.spec_outcomes.contains(o) {
+                    "ok  "
+                } else {
+                    "UNEXPLAINED"
+                };
+                println!("    {tag} {o:?}");
+            }
+        }
+        if !r.ok() {
+            failed += 1;
+            if r.truncated {
+                println!(
+                    "    FAIL: exploration truncated at {} schedules",
+                    r.schedules
+                );
+            }
+            for o in &r.unexplained {
+                println!("    FAIL: outcome not producible by the reference model: {o:?}");
+            }
+            for (name, o) in &r.forbidden_hits {
+                println!("    FAIL: forbidden outcome `{name}` observed: {o:?}");
+            }
+            for name in &r.missing_required {
+                println!("    FAIL: required outcome `{name}` never observed");
+            }
+            for v in &r.sanitizer_violations {
+                println!("    FAIL: {v}");
+            }
+        }
+    }
+    println!();
+    if failed > 0 {
+        println!("model check FAILED for {failed} litmus shape(s)");
+        std::process::exit(1);
+    }
+    println!("model check passed");
+}

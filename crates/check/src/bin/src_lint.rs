@@ -1,0 +1,34 @@
+//! Source lints for the protocol crates (see
+//! [`gtsc_check::srclint`]): raw timestamp arithmetic outside
+//! `gtsc_core::rules`, and `unwrap()`/`panic!` in the core, simulator,
+//! and NoC crates. Exits nonzero when anything fires.
+//!
+//! ```text
+//! src_lint [repo-root]      # default: current directory
+//! ```
+
+use std::path::PathBuf;
+
+use gtsc_check::srclint::lint_sources;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    match lint_sources(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("src_lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("src_lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("src_lint: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    }
+}

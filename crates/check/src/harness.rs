@@ -1,0 +1,347 @@
+//! A model-checking harness around the real `GtscL1`/`GtscL2`
+//! controllers.
+//!
+//! [`MicroGtsc`] runs one tiny program per thread (one single-warp SM
+//! and private L1 each) against a single shared L2 bank, exposing
+//! scheduler nondeterminism through [`crate::Schedulable`] so
+//! [`crate::explore_all`] can enumerate every interleaving.
+//!
+//! The key soundness reduction: with one outstanding access per thread,
+//! the *content* of a thread's next request depends only on that
+//! thread's own architectural state — so the only scheduling decision
+//! that can change an outcome is the order in which the L2 bank
+//! **serves** the outstanding requests. The harness therefore issues
+//! eagerly (each thread always has its next access queued) and makes
+//! "serve thread `t`'s pending request to completion" the one scheduler
+//! choice, pumping the L2 (with zero-latency DRAM and the simulator's
+//! rollover protocol) until the response lands back in the requesting
+//! L1. This collapses the schedule space from every per-cycle
+//! interleaving to the per-bank serialization order — exactly the
+//! nondeterminism the protocol's timestamp rules must tolerate.
+//!
+//! Every run executes with an enabled [`Sanitizer`] shared across all
+//! components; its violations are part of the run's outcome, so a
+//! transition-invariant breach on *any* schedule fails the litmus test.
+
+use std::collections::BTreeMap;
+
+use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
+use gtsc_protocol::msg::Epoch;
+use gtsc_protocol::{
+    AccessId, AccessKind, Completion, L1Controller, L1Outcome, L2Controller, MemAccess,
+};
+use gtsc_trace::{Sanitizer, Scope};
+use gtsc_types::{BlockAddr, Cycle, Lease, Version, WarpId};
+
+use crate::explore::Schedulable;
+use crate::litmus::Op;
+
+/// Iteration guard for one L2 serve pump; generously above the bank
+/// latency plus a rollover round.
+const PUMP_CAP: u32 = 10_000;
+
+/// Configuration of a [`MicroGtsc`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessCfg {
+    /// Lease length granted by the L2.
+    pub lease: u64,
+    /// Hardware timestamp width; small values force rollover resets
+    /// mid-litmus (Section V-D).
+    pub ts_bits: u32,
+}
+
+impl Default for HarnessCfg {
+    fn default() -> Self {
+        HarnessCfg {
+            lease: Lease::default().0,
+            ts_bits: 16,
+        }
+    }
+}
+
+/// The micro-simulator: one single-warp `GtscL1` per thread, one
+/// `GtscL2` bank, instant DRAM, and an explicit serve order.
+#[derive(Debug)]
+pub struct MicroGtsc {
+    l1s: Vec<GtscL1>,
+    l2: GtscL2,
+    now: Cycle,
+    epoch: Epoch,
+    programs: Vec<Vec<Op>>,
+    pc: Vec<usize>,
+    /// Whether thread `t` has an access in flight (issued, ack not yet
+    /// delivered).
+    outstanding: Vec<bool>,
+    /// Load id → observed store label.
+    observed: BTreeMap<u32, u32>,
+    /// Per thread: labels of its stores in issue order, aligned with the
+    /// L1's per-warp version counter (see [`MicroGtsc::decode_label`]).
+    store_labels: Vec<Vec<u32>>,
+    sanitizer: Sanitizer,
+}
+
+impl MicroGtsc {
+    /// Builds the machine and eagerly issues each thread's first access.
+    #[must_use]
+    pub fn new(programs: &[Vec<Op>], cfg: HarnessCfg) -> Self {
+        let n = programs.len();
+        assert!(n > 0, "need at least one thread");
+        let sanitizer = Sanitizer::enabled(Scope::Sm(0));
+        let l1s: Vec<GtscL1> = (0..n)
+            .map(|t| {
+                let mut l1 = GtscL1::new(L1Params {
+                    n_warps: 1,
+                    sm_index: t,
+                    ..L1Params::default()
+                });
+                l1.set_sanitizer(sanitizer.for_scope(Scope::Sm(t as u16)));
+                l1
+            })
+            .collect();
+        let mut l2 = GtscL2::new(L2Params {
+            lease: Lease(cfg.lease),
+            ts_bits: cfg.ts_bits,
+            n_sms: n,
+            ..L2Params::default()
+        });
+        l2.set_sanitizer(sanitizer.for_scope(Scope::L2Bank(0)));
+        let mut m = MicroGtsc {
+            l1s,
+            l2,
+            now: Cycle(0),
+            epoch: 0,
+            programs: programs.to_vec(),
+            pc: vec![0; n],
+            outstanding: vec![false; n],
+            observed: BTreeMap::new(),
+            store_labels: vec![Vec::new(); n],
+            sanitizer,
+        };
+        m.auto_issue();
+        m
+    }
+
+    /// Threads whose pending request is waiting to be served, in thread
+    /// order (the scheduler's enabled choices).
+    #[must_use]
+    pub fn enabled(&self) -> Vec<usize> {
+        (0..self.l1s.len())
+            .filter(|&t| self.outstanding[t])
+            .collect()
+    }
+
+    /// Sanitizer violations recorded so far across all components.
+    #[must_use]
+    pub fn sanitizer_violations(&self) -> Vec<String> {
+        self.sanitizer.violations()
+    }
+
+    /// Load observations recorded so far (load id → label).
+    #[must_use]
+    pub fn observations(&self) -> &BTreeMap<u32, u32> {
+        &self.observed
+    }
+
+    /// Issues ops for every thread until it either has an access in
+    /// flight or its program is exhausted. L1 hits (and fences, which
+    /// are trivially ready with one outstanding access per thread)
+    /// complete inline without touching shared state, so they are not
+    /// scheduler choices.
+    fn auto_issue(&mut self) {
+        for t in 0..self.l1s.len() {
+            while !self.outstanding[t] && self.pc[t] < self.programs[t].len() {
+                let op = self.programs[t][self.pc[t]];
+                self.pc[t] += 1;
+                let (kind, block, id) = match op {
+                    Op::Fence => continue,
+                    Op::Load { id, block } => (AccessKind::Load, block, u64::from(id)),
+                    Op::Store { block, label } => {
+                        self.store_labels[t].push(label);
+                        // Stores have no load id; give them a token out
+                        // of the label space (never recorded).
+                        (
+                            AccessKind::Store,
+                            block,
+                            u64::from(u32::MAX) + u64::from(label),
+                        )
+                    }
+                };
+                self.now.0 += 1;
+                let acc = MemAccess {
+                    id: AccessId(id),
+                    warp: WarpId(0),
+                    kind,
+                    block: BlockAddr(block),
+                };
+                match self.l1s[t].access(acc, self.now) {
+                    L1Outcome::Hit(c) => self.record(t, &c),
+                    L1Outcome::Queued => self.outstanding[t] = true,
+                    L1Outcome::Reject => {
+                        unreachable!("litmus configs never fill the MSHR")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serves thread `t`'s pending request at the L2: hands the request
+    /// over, then pumps the bank — advancing time, completing DRAM
+    /// fetches instantly, and applying the simulator's rollover protocol
+    /// — until a response is delivered back to an L1. One serve is one
+    /// L2 round trip; a stale-epoch retry leaves the thread outstanding
+    /// with a fresh request, to be served by a later choice.
+    fn serve(&mut self, t: usize) {
+        assert!(self.outstanding[t], "serve of an idle thread");
+        let req = self.l1s[t]
+            .take_request()
+            .expect("outstanding thread has a queued request");
+        self.now.0 += 1;
+        self.l2.on_request(t, req, self.now);
+        let mut pumped = 0u32;
+        loop {
+            pumped += 1;
+            assert!(pumped < PUMP_CAP, "L2 pump diverged serving thread {t}");
+            self.now.0 += 1;
+            self.l2.tick(self.now);
+            while let Some((block, is_write)) = self.l2.take_dram_request() {
+                self.l2.on_dram_response(block, is_write, self.now);
+            }
+            // The simulator's rollover protocol: any bank requesting a
+            // reset moves every bank (here: the only bank) to the next
+            // epoch. L1s learn of the epoch from response metadata.
+            if self.l2.needs_reset() {
+                self.epoch += 1;
+                self.l2.apply_reset(self.epoch);
+            }
+            let mut delivered = false;
+            while let Some((dst, msg)) = self.l2.take_response() {
+                delivered = true;
+                let done = self.l1s[dst].on_response(msg, self.now);
+                for c in done {
+                    self.record(dst, &c);
+                }
+            }
+            if delivered {
+                break;
+            }
+        }
+        self.auto_issue();
+    }
+
+    /// Records a completion: loads store their decoded label; any
+    /// completion clears the thread's in-flight marker.
+    fn record(&mut self, t: usize, c: &Completion) {
+        if c.kind == AccessKind::Load {
+            let label = self.decode_label(c.version);
+            let id = u32::try_from(c.id.0).expect("load ids fit in u32");
+            self.observed.insert(id, label);
+        }
+        self.outstanding[t] = false;
+    }
+
+    /// Maps an observed [`Version`] back to the litmus store label that
+    /// minted it. `GtscL1::mint_version` encodes
+    /// `((sm + 1) << 40) | (warp << 28) | per-warp store index`, and the
+    /// harness issues thread `t`'s stores through SM `t` warp 0 in
+    /// program order, so the index selects from `store_labels[t]`.
+    fn decode_label(&self, v: Version) -> u32 {
+        if v == Version::ZERO {
+            return 0;
+        }
+        let sm = usize::try_from((v.0 >> 40) - 1).expect("version encodes a valid SM");
+        let nth = usize::try_from(v.0 & ((1 << 28) - 1)).expect("store index fits");
+        assert!(
+            sm < self.store_labels.len() && nth >= 1 && nth <= self.store_labels[sm].len(),
+            "observed version {v:?} does not decode to an issued store"
+        );
+        self.store_labels[sm][nth - 1]
+    }
+}
+
+impl Schedulable for MicroGtsc {
+    /// Load observations plus any sanitizer violations — violations are
+    /// part of the outcome so an invariant breach on any schedule
+    /// surfaces in the explored set.
+    type Outcome = (BTreeMap<u32, u32>, Vec<String>);
+
+    fn fanout(&self) -> usize {
+        self.enabled().len()
+    }
+
+    fn choose(&mut self, idx: usize) {
+        let t = self.enabled()[idx];
+        self.serve(t);
+    }
+
+    fn outcome(&self) -> Self::Outcome {
+        // A finished run must have retired every op.
+        for (t, p) in self.programs.iter().enumerate() {
+            assert!(
+                self.pc[t] == p.len() && !self.outstanding[t],
+                "run ended with thread {t} blocked at pc {}",
+                self.pc[t]
+            );
+        }
+        (self.observed.clone(), self.sanitizer.violations())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore_all;
+    use crate::litmus::Op;
+
+    fn ld(id: u32, block: u64) -> Op {
+        Op::Load { id, block }
+    }
+    fn st(block: u64, label: u32) -> Op {
+        Op::Store { block, label }
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion_and_reads_back() {
+        let progs = vec![vec![st(0, 3), ld(1, 0), ld(2, 0)]];
+        let mut m = MicroGtsc::new(&progs, HarnessCfg::default());
+        while m.fanout() > 0 {
+            m.choose(0);
+        }
+        let (obs, violations) = m.outcome();
+        assert_eq!(obs.get(&1), Some(&3));
+        assert_eq!(obs.get(&2), Some(&3));
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn two_threads_expose_serve_order_nondeterminism() {
+        // T0 stores, T1 loads: depending on serve order the load sees
+        // 0 or 9 — exactly two outcomes, all sanitizer-clean.
+        let progs = vec![vec![st(0, 9)], vec![ld(1, 0)]];
+        let r = explore_all(|| MicroGtsc::new(&progs, HarnessCfg::default()), 1_000);
+        assert!(!r.truncated);
+        assert_eq!(r.schedules, 2, "one store serve × one load serve");
+        let labels: Vec<u32> = r.outcomes.iter().map(|(o, _)| o[&1]).collect();
+        assert_eq!(labels, vec![0, 9]);
+        assert!(r.outcomes.iter().all(|(_, v)| v.is_empty()));
+    }
+
+    #[test]
+    fn tiny_ts_bits_force_rollover_and_stay_clean() {
+        // lease 10 pushes rts past 2^4 = 16 on the first store, forcing
+        // the Section V-D reset mid-run on every schedule.
+        let progs = vec![vec![st(0, 1), st(1, 2)], vec![ld(10, 1), ld(11, 0)]];
+        let cfg = HarnessCfg {
+            lease: 10,
+            ts_bits: 4,
+        };
+        let r = explore_all(|| MicroGtsc::new(&progs, cfg), 100_000);
+        assert!(!r.truncated);
+        for (o, violations) in &r.outcomes {
+            assert!(violations.is_empty(), "{violations:?}");
+            assert!(
+                !(o[&10] == 2 && o[&11] == 0),
+                "rollover leaked the forbidden MP outcome: {o:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Correctness analyses for the G-TSC reproduction.
+//!
+//! Three layers, each catching bugs the others cannot:
+//!
+//! * **Online transition sanitizer** — re-exported from
+//!   [`gtsc_trace::sanitize`]: per-transition invariant checks hooked
+//!   into every GtscL1/GtscL2 (and TC baseline) state change, enabled
+//!   with `GpuConfig::sanitize`. Catches *transient* violations that
+//!   self-heal before the end-of-run value checker looks.
+//! * **Declarative trace lints** ([`lint`]) — an offline rule pass over
+//!   recorded [`gtsc_trace::TraceEvent`] streams. Catches protocol-flow
+//!   mistakes (a hit past its lease, a store scheduled inside one) in
+//!   any trace, including ones captured from full-scale runs where the
+//!   sanitizer was off.
+//! * **Exhaustive litmus model checking** ([`litmus`], [`harness`],
+//!   [`spec`], [`explore`]) — every schedule of tiny two-to-four-thread
+//!   programs driven through the real `GtscL1`/`GtscL2` controllers and
+//!   compared against an operational reference model of the paper's
+//!   timestamp rules. Catches ordering bugs that need a particular
+//!   interleaving the random-traffic tests never draw.
+//!
+//! The crate also ships two binaries: `model_check` (runs the litmus
+//! suites, including IRIW) and `src_lint` (a source-level lint keeping
+//! raw timestamp arithmetic confined to `gtsc_core::rules`).
+
+pub mod explore;
+pub mod harness;
+pub mod lint;
+pub mod litmus;
+pub mod spec;
+pub mod srclint;
+
+pub use explore::{explore_all, Explored, Schedulable};
+pub use gtsc_trace::{Sanitizer, Transition};
+pub use harness::{HarnessCfg, MicroGtsc};
+pub use lint::{lint_events, Finding, LintReport, LintSpec, Severity, LINTS};
+pub use litmus::{all_litmus, run_litmus, Litmus, LitmusRun, Mode, Op};
+pub use spec::SpecMachine;
+pub use srclint::{lint_sources, SrcFinding};

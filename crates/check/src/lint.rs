@@ -1,0 +1,521 @@
+//! Declarative lints over recorded protocol trace streams.
+//!
+//! The online sanitizer checks transitions as they happen, but it must
+//! be enabled *before* the run. Trace lints close the other half: any
+//! event stream captured by `gtsc-trace` (full logs, flight-recorder
+//! tails, merged multi-component dumps) can be checked after the fact
+//! with [`lint_events`] — including traces from runs where nobody
+//! anticipated a problem. The `trace_report --lint` flag and the
+//! crate's integration tests both go through this pass.
+//!
+//! Each lint is a named rule with a fixed severity (see [`LINTS`]);
+//! state is tracked per [`Scope`] and reset at that scope's rollover
+//! events, mirroring the Section V-D timestamp reset.
+
+use std::collections::HashMap;
+
+use gtsc_trace::{EventKind, Scope, TraceEvent};
+use gtsc_types::{BlockAddr, Cycle};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but potentially benign (e.g. wasted work).
+    Warning,
+    /// A protocol invariant was violated.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A lint rule's identity: name, severity, and what it means.
+#[derive(Debug, Clone, Copy)]
+pub struct LintSpec {
+    /// Stable kebab-case rule name.
+    pub name: &'static str,
+    /// Fixed severity of its findings.
+    pub severity: Severity,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The lint catalog.
+pub const LINTS: &[LintSpec] = &[
+    LintSpec {
+        name: "load-past-rts",
+        severity: Severity::Error,
+        description: "a hit was served to a warp whose timestamp exceeds the line's rts \
+                      (Figure 2 hit condition violated)",
+    },
+    LintSpec {
+        name: "wts-gt-rts",
+        severity: Severity::Error,
+        description: "a lease was granted with wts > rts (inverted interval)",
+    },
+    LintSpec {
+        name: "store-before-lease-expiry",
+        severity: Severity::Error,
+        description: "a store committed at a wts inside a previously granted read lease \
+                      (Figure 5 requires wts > every granted rts)",
+    },
+    LintSpec {
+        name: "rollover-ordering",
+        severity: Severity::Error,
+        description: "a component's rollover epochs did not strictly increase",
+    },
+    LintSpec {
+        name: "evict-live-lease",
+        severity: Severity::Warning,
+        description: "an L1 evicted a line whose lease still covered every local warp \
+                      (renewal traffic will follow; tune geometry or lease)",
+    },
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule that fired (a [`LINTS`] name).
+    pub lint: &'static str,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// Cycle of the offending event.
+    pub cycle: Cycle,
+    /// Component that recorded it.
+    pub scope: Scope,
+    /// Human explanation with the relevant timestamps.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}: {} ({})",
+            self.severity, self.cycle, self.scope, self.message, self.lint
+        )
+    }
+}
+
+/// The result of linting one event stream.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Findings in event order.
+    pub findings: Vec<Finding>,
+    /// Events examined.
+    pub scanned: usize,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether no *errors* were found (warnings allowed).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct LintState {
+    /// Per (scope, block): the largest rts granted (fill or renewal)
+    /// since that scope's last rollover.
+    granted_rts: HashMap<(Scope, BlockAddr), u64>,
+    /// Per scope: last rollover epoch seen.
+    last_epoch: HashMap<Scope, u64>,
+    /// Per SM scope: the largest warp timestamp observed in a hit since
+    /// the last rollover (a lower bound on how far the SM's warps have
+    /// advanced).
+    max_warp_ts: HashMap<Scope, u64>,
+}
+
+/// Runs every lint over `events` (one pass, event order).
+///
+/// The stream may interleave scopes (e.g. [`gtsc_trace::merge_tails`]
+/// output); all state is scope-keyed. Events the rules do not consume
+/// are skipped, so partial streams (filtered classes, flight-recorder
+/// tails) are fine — lints simply see less.
+#[must_use]
+pub fn lint_events(events: &[TraceEvent]) -> LintReport {
+    let mut st = LintState::default();
+    let mut report = LintReport {
+        findings: Vec::new(),
+        scanned: events.len(),
+    };
+    let mut emit = |lint: &'static str, e: &TraceEvent, message: String| {
+        let spec = LINTS
+            .iter()
+            .find(|s| s.name == lint)
+            .expect("emit uses a catalogued lint name");
+        report.findings.push(Finding {
+            lint,
+            severity: spec.severity,
+            cycle: e.cycle,
+            scope: e.scope,
+            message,
+        });
+    };
+    for e in events {
+        match e.kind {
+            EventKind::Hit {
+                block,
+                warp,
+                warp_ts,
+                rts,
+            } => {
+                if warp_ts > rts {
+                    emit(
+                        "load-past-rts",
+                        e,
+                        format!(
+                            "hit on block {block} served to warp {warp} at warp_ts \
+                             {warp_ts} past the line's rts {rts}"
+                        ),
+                    );
+                }
+                let m = st.max_warp_ts.entry(e.scope).or_insert(warp_ts);
+                *m = (*m).max(warp_ts);
+            }
+            EventKind::LeaseGrant { block, wts, rts } => {
+                if wts > rts {
+                    emit(
+                        "wts-gt-rts",
+                        e,
+                        format!("lease on block {block} granted with wts {wts} > rts {rts}"),
+                    );
+                }
+                let g = st.granted_rts.entry((e.scope, block)).or_insert(rts);
+                *g = (*g).max(rts);
+            }
+            EventKind::Renewal { block, rts } => {
+                let g = st.granted_rts.entry((e.scope, block)).or_insert(rts);
+                *g = (*g).max(rts);
+            }
+            EventKind::StoreCommit { block, wts } => {
+                if let Some(&granted) = st.granted_rts.get(&(e.scope, block)) {
+                    if wts <= granted {
+                        emit(
+                            "store-before-lease-expiry",
+                            e,
+                            format!(
+                                "store on block {block} committed at wts {wts} inside \
+                                 the granted read lease (rts high-water {granted})"
+                            ),
+                        );
+                    }
+                }
+            }
+            // L1 scopes only: an L2 eviction folding a live lease
+            // into mem_ts is the designed non-inclusion mechanism.
+            EventKind::Eviction { block, rts } if matches!(e.scope, Scope::Sm(_)) && rts > 0 => {
+                let seen = st.max_warp_ts.get(&e.scope).copied().unwrap_or(0);
+                if rts > seen {
+                    emit(
+                        "evict-live-lease",
+                        e,
+                        format!(
+                            "evicted block {block} with rts {rts} still covering \
+                             every local warp (max observed warp_ts {seen})"
+                        ),
+                    );
+                }
+            }
+            EventKind::Rollover { epoch } => {
+                if let Some(&prev) = st.last_epoch.get(&e.scope) {
+                    if epoch <= prev {
+                        emit(
+                            "rollover-ordering",
+                            e,
+                            format!("rollover to epoch {epoch} after epoch {prev}"),
+                        );
+                    }
+                }
+                st.last_epoch.insert(e.scope, epoch);
+                // The reset rebases every timestamp in this scope.
+                st.granted_rts.retain(|(s, _), _| *s != e.scope);
+                st.max_warp_ts.remove(&e.scope);
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, scope: Scope, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle: Cycle(cycle),
+            scope,
+            kind,
+        }
+    }
+    fn b(n: u64) -> BlockAddr {
+        BlockAddr(n)
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        for (i, a) in LINTS.iter().enumerate() {
+            for b in &LINTS[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_stream_yields_no_findings() {
+        let l2 = Scope::L2Bank(0);
+        let events = vec![
+            ev(
+                1,
+                l2,
+                EventKind::LeaseGrant {
+                    block: b(1),
+                    wts: 1,
+                    rts: 11,
+                },
+            ),
+            ev(
+                2,
+                Scope::Sm(0),
+                EventKind::Hit {
+                    block: b(1),
+                    warp: 0,
+                    warp_ts: 5,
+                    rts: 11,
+                },
+            ),
+            ev(
+                3,
+                l2,
+                EventKind::StoreCommit {
+                    block: b(1),
+                    wts: 12,
+                },
+            ),
+            ev(4, l2, EventKind::Rollover { epoch: 1 }),
+            ev(5, l2, EventKind::Rollover { epoch: 2 }),
+        ];
+        let r = lint_events(&events);
+        assert_eq!(r.scanned, 5);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn hit_past_rts_is_an_error() {
+        let events = vec![ev(
+            3,
+            Scope::Sm(1),
+            EventKind::Hit {
+                block: b(2),
+                warp: 1,
+                warp_ts: 20,
+                rts: 10,
+            },
+        )];
+        let r = lint_events(&events);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.findings[0].lint, "load-past-rts");
+        assert!(r.findings[0].to_string().contains("warp_ts 20"));
+    }
+
+    #[test]
+    fn store_inside_granted_lease_is_an_error() {
+        let l2 = Scope::L2Bank(0);
+        let events = vec![
+            ev(
+                1,
+                l2,
+                EventKind::LeaseGrant {
+                    block: b(3),
+                    wts: 1,
+                    rts: 15,
+                },
+            ),
+            ev(
+                2,
+                l2,
+                EventKind::Renewal {
+                    block: b(3),
+                    rts: 25,
+                },
+            ),
+            ev(
+                3,
+                l2,
+                EventKind::StoreCommit {
+                    block: b(3),
+                    wts: 20,
+                },
+            ),
+        ];
+        let r = lint_events(&events);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.findings[0].lint, "store-before-lease-expiry");
+        // A store safely past the high-water lease is fine.
+        let ok = vec![
+            ev(
+                1,
+                l2,
+                EventKind::LeaseGrant {
+                    block: b(3),
+                    wts: 1,
+                    rts: 15,
+                },
+            ),
+            ev(
+                2,
+                l2,
+                EventKind::StoreCommit {
+                    block: b(3),
+                    wts: 16,
+                },
+            ),
+        ];
+        assert!(lint_events(&ok).is_clean());
+    }
+
+    #[test]
+    fn rollover_resets_lease_state_per_scope() {
+        let l2 = Scope::L2Bank(0);
+        let other = Scope::L2Bank(1);
+        let events = vec![
+            ev(
+                1,
+                l2,
+                EventKind::LeaseGrant {
+                    block: b(1),
+                    wts: 1,
+                    rts: 30,
+                },
+            ),
+            ev(
+                1,
+                other,
+                EventKind::LeaseGrant {
+                    block: b(1),
+                    wts: 1,
+                    rts: 30,
+                },
+            ),
+            ev(2, l2, EventKind::Rollover { epoch: 1 }),
+            // Post-reset timestamps restart small: not a violation here...
+            ev(
+                3,
+                l2,
+                EventKind::StoreCommit {
+                    block: b(1),
+                    wts: 11,
+                },
+            ),
+            // ...but the bank that did not roll over still holds its lease.
+            ev(
+                4,
+                other,
+                EventKind::StoreCommit {
+                    block: b(1),
+                    wts: 11,
+                },
+            ),
+        ];
+        let r = lint_events(&events);
+        assert_eq!(r.errors(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].scope, other);
+    }
+
+    #[test]
+    fn rollover_epochs_must_strictly_increase() {
+        let l2 = Scope::L2Bank(0);
+        let events = vec![
+            ev(1, l2, EventKind::Rollover { epoch: 1 }),
+            ev(2, l2, EventKind::Rollover { epoch: 1 }),
+            ev(3, Scope::L2Bank(1), EventKind::Rollover { epoch: 1 }),
+        ];
+        let r = lint_events(&events);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.findings[0].lint, "rollover-ordering");
+    }
+
+    #[test]
+    fn wts_above_rts_and_live_eviction_fire() {
+        let events = vec![
+            ev(
+                1,
+                Scope::L2Bank(0),
+                EventKind::LeaseGrant {
+                    block: b(9),
+                    wts: 12,
+                    rts: 4,
+                },
+            ),
+            ev(
+                2,
+                Scope::Sm(0),
+                EventKind::Hit {
+                    block: b(1),
+                    warp: 0,
+                    warp_ts: 3,
+                    rts: 50,
+                },
+            ),
+            ev(
+                3,
+                Scope::Sm(0),
+                EventKind::Eviction {
+                    block: b(1),
+                    rts: 50,
+                },
+            ),
+            // rts 0 means unknown: never flagged.
+            ev(
+                4,
+                Scope::Sm(0),
+                EventKind::Eviction {
+                    block: b(2),
+                    rts: 0,
+                },
+            ),
+            // L2 evictions are the designed non-inclusion path.
+            ev(
+                5,
+                Scope::L2Bank(0),
+                EventKind::Eviction {
+                    block: b(1),
+                    rts: 50,
+                },
+            ),
+        ];
+        let r = lint_events(&events);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.findings[0].lint, "wts-gt-rts");
+        assert_eq!(r.findings[1].lint, "evict-live-lease");
+        assert!(!r.is_clean());
+    }
+}

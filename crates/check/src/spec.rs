@@ -1,0 +1,271 @@
+//! Operational reference model of the G-TSC timestamp rules.
+//!
+//! A direct transcription of the paper's Figures 2–5 with *atomic*
+//! steps: each load or store takes effect at the shared state in one
+//! indivisible transition, with none of the implementation's pipelining,
+//! MSHRs, renewal round-trips, or timestamp rollover. Timestamps are
+//! unbounded `u64`s, so the model never rolls over — which is exactly
+//! what makes it a specification for the rollover litmus tests: a
+//! correct reset must not let the implementation observe anything the
+//! unbounded model cannot.
+//!
+//! The model tracks, per the paper:
+//!
+//! * per block: the globally visible version's `wts`, the granted read
+//!   lease bound `rts`, and the store label carried by that version;
+//! * per thread: the warp timestamp `warp_ts` (Section III-B) and the
+//!   private copy last filled into its L1, if any (G-TSC L1s are
+//!   write-no-allocate, so a store installs a private copy only when
+//!   the block is already resident);
+//! * per load: the label it observed.
+//!
+//! Scheduler nondeterminism is exposed through [`crate::Schedulable`],
+//! so [`crate::explore_all`] enumerates the model's full outcome set
+//! for comparison against the implementation harness.
+
+use std::collections::BTreeMap;
+
+use crate::explore::Schedulable;
+use crate::litmus::Op;
+
+/// Shared (L2/global) state of one block.
+#[derive(Debug, Clone, Copy)]
+struct GlobalBlock {
+    wts: u64,
+    rts: u64,
+    label: u32,
+}
+
+/// One thread's private (L1) copy of a block.
+#[derive(Debug, Clone, Copy)]
+struct PrivateBlock {
+    wts: u64,
+    rts: u64,
+    label: u32,
+}
+
+/// The reference model: threads stepping atomically over shared
+/// timestamped blocks.
+#[derive(Debug, Clone)]
+pub struct SpecMachine {
+    programs: Vec<Vec<Op>>,
+    pc: Vec<usize>,
+    warp_ts: Vec<u64>,
+    privs: Vec<BTreeMap<u64, PrivateBlock>>,
+    global: BTreeMap<u64, GlobalBlock>,
+    observed: BTreeMap<u32, u32>,
+    lease: u64,
+}
+
+impl SpecMachine {
+    /// A fresh model for `programs` (one op vector per thread) with the
+    /// given lease length. Fences are dropped: the model's steps are
+    /// already atomic and per-thread program order is preserved, so a
+    /// fence adds nothing (reorderings are modelled by permuting the
+    /// program *before* construction, as [`crate::litmus`] does for the
+    /// RC variants).
+    #[must_use]
+    pub fn new(programs: &[Vec<Op>], lease: u64) -> Self {
+        let programs: Vec<Vec<Op>> = programs
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .filter(|op| !matches!(op, Op::Fence))
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        let n = programs.len();
+        SpecMachine {
+            programs,
+            pc: vec![0; n],
+            // All warp timestamps start at 1 (Section III-B).
+            warp_ts: vec![1; n],
+            privs: vec![BTreeMap::new(); n],
+            global: BTreeMap::new(),
+            observed: BTreeMap::new(),
+            lease,
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.programs.len())
+            .filter(|&t| self.pc[t] < self.programs[t].len())
+            .collect()
+    }
+
+    /// Fetches the block's global state, initialising it the way a DRAM
+    /// fill does: `wts = mem_ts = 1`, `rts = mem_ts + lease`, label 0
+    /// (the pre-initialised contents of all memory).
+    fn global_entry(&mut self, block: u64) -> &mut GlobalBlock {
+        let lease = self.lease;
+        self.global.entry(block).or_insert(GlobalBlock {
+            wts: 1,
+            rts: 1 + lease,
+            label: 0,
+        })
+    }
+
+    /// Executes thread `t`'s next op atomically.
+    fn step(&mut self, t: usize) {
+        let op = self.programs[t][self.pc[t]];
+        self.pc[t] += 1;
+        match op {
+            Op::Fence => unreachable!("fences are stripped at construction"),
+            Op::Load { id, block } => {
+                let warp_ts = self.warp_ts[t];
+                // L1 hit (Figure 2): a private copy whose lease covers
+                // the warp is read locally.
+                if let Some(p) = self.privs[t].get(&block) {
+                    if warp_ts <= p.rts {
+                        self.observed.insert(id, p.label);
+                        self.warp_ts[t] = warp_ts.max(p.wts);
+                        return;
+                    }
+                }
+                // Miss or expired: fetch from the shared state. The L2
+                // extends the lease to cover the requester (Figure 4)
+                // and the warp moves up to the version's wts.
+                let lease = self.lease;
+                let g = self.global_entry(block);
+                g.rts = g.rts.max(warp_ts + lease);
+                let snap = *g;
+                self.privs[t].insert(
+                    block,
+                    PrivateBlock {
+                        wts: snap.wts,
+                        rts: snap.rts,
+                        label: snap.label,
+                    },
+                );
+                self.observed.insert(id, snap.label);
+                self.warp_ts[t] = warp_ts.max(snap.wts);
+            }
+            Op::Store { block, label } => {
+                // Figure 5: the store is scheduled after every granted
+                // lease and after the writer's own past, and the new
+                // version gets a fresh lease.
+                let warp_ts = self.warp_ts[t];
+                let lease = self.lease;
+                let g = self.global_entry(block);
+                let wts = (g.rts + 1).max(warp_ts);
+                *g = GlobalBlock {
+                    wts,
+                    rts: wts + lease,
+                    label,
+                };
+                // The writer observes its own commit timestamp.
+                self.warp_ts[t] = wts;
+                // Write-no-allocate: only an already-resident private
+                // copy is updated (Figure 7b).
+                if self.privs[t].contains_key(&block) {
+                    self.privs[t].insert(
+                        block,
+                        PrivateBlock {
+                            wts,
+                            rts: wts + lease,
+                            label,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Schedulable for SpecMachine {
+    type Outcome = BTreeMap<u32, u32>;
+
+    fn fanout(&self) -> usize {
+        self.runnable().len()
+    }
+
+    fn choose(&mut self, idx: usize) {
+        let t = self.runnable()[idx];
+        self.step(t);
+    }
+
+    fn outcome(&self) -> BTreeMap<u32, u32> {
+        self.observed.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore_all;
+
+    fn ld(id: u32, block: u64) -> Op {
+        Op::Load { id, block }
+    }
+    fn st(block: u64, label: u32) -> Op {
+        Op::Store { block, label }
+    }
+
+    #[test]
+    fn sequential_thread_reads_its_own_store() {
+        let progs = vec![vec![st(0, 7), ld(1, 0)]];
+        let mut m = SpecMachine::new(&progs, 10);
+        assert_eq!(m.fanout(), 1);
+        m.choose(0);
+        m.choose(0);
+        assert_eq!(m.fanout(), 0);
+        assert_eq!(m.outcome().get(&1), Some(&7));
+    }
+
+    #[test]
+    fn store_timestamps_follow_figure5() {
+        // Store into a freshly fetched block: wts = max(rts + 1, warp_ts)
+        // with rts = 1 + lease = 11, so wts = 12 (the Figure 9 value).
+        let progs = vec![vec![st(0, 1), ld(9, 0)]];
+        let mut m = SpecMachine::new(&progs, 10);
+        m.choose(0);
+        assert_eq!(m.warp_ts[0], 12);
+        assert_eq!(m.global[&0].wts, 12);
+        assert_eq!(m.global[&0].rts, 22);
+        // Write-no-allocate: no private copy, the read-back fetches.
+        m.choose(0);
+        assert_eq!(m.outcome().get(&9), Some(&1));
+    }
+
+    #[test]
+    fn mp_spec_outcomes_exclude_stale_data_after_flag() {
+        // Message passing: T0 stores data then flag; T1 loads flag then
+        // data. The model must never show flag=new with data=old.
+        let progs = vec![vec![st(0, 1), st(1, 2)], vec![ld(10, 1), ld(11, 0)]];
+        let r = explore_all(|| SpecMachine::new(&progs, 10), 10_000);
+        assert!(!r.truncated);
+        // C(4,2) = 6 schedules.
+        assert_eq!(r.schedules, 6);
+        for o in &r.outcomes {
+            let flag = o[&10];
+            let data = o[&11];
+            assert!(
+                !(flag == 2 && data == 0),
+                "spec produced the forbidden MP outcome: {o:?}"
+            );
+        }
+        // The fully sequential outcome must be present.
+        assert!(r.outcomes.iter().any(|o| o[&10] == 2 && o[&11] == 1));
+        // And some schedule shows both loads early (flag unset).
+        assert!(r.outcomes.iter().any(|o| o[&10] == 0 && o[&11] == 0));
+    }
+
+    #[test]
+    fn private_hits_can_hold_a_block_stable_within_a_lease() {
+        // T1 loads twice; T0 stores in between on some schedules. The
+        // second load may legitimately return the old label (a timestamp
+        // hit inside the lease) but must never go *backwards* (new then
+        // old).
+        let progs = vec![vec![st(0, 5)], vec![ld(20, 0), ld(21, 0)]];
+        let r = explore_all(|| SpecMachine::new(&progs, 10), 10_000);
+        for o in &r.outcomes {
+            assert!(
+                !(o[&20] == 5 && o[&21] == 0),
+                "coherence went backwards: {o:?}"
+            );
+        }
+        // The lease-protected stale second read exists on some schedule.
+        assert!(r.outcomes.iter().any(|o| o[&20] == 0 && o[&21] == 0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Source-level lints over the protocol crates.
+//!
+//! Two rules, both protecting review invariants that `rustc` cannot:
+//!
+//! * `raw-ts-arith` — logical-timestamp arithmetic (`.succ()`,
+//!   `+ lease`, `max` over `wts`/`rts`/`warp_ts`/`mem_ts`) belongs in
+//!   `gtsc_core::rules`, where each rule cites its figure and carries
+//!   property tests. Scattered copies are how subtly-divergent
+//!   timestamp math creeps in. Scanned: `crates/core/src`, minus
+//!   `rules.rs` itself.
+//! * `unwrap` / `panic` — the protocol and simulator crates
+//!   (`crates/core`, `crates/sim`, `crates/noc`) must surface errors
+//!   through results or documented invariants, not ad-hoc panics, so
+//!   the fault-injection harness can exercise error paths.
+//!
+//! Suppression: a `// lint: allow(<rule>)` comment on the offending
+//! line or one of the two lines above it. Test modules (everything
+//! after the file's `#[cfg(test)]` marker, which this workspace keeps
+//! at the bottom of each file) and comment-only lines are skipped.
+//!
+//! Deliberately line-based and dependency-free (no syn in the vendored
+//! set): crude, but auditable, fast, and good enough for the
+//! whitelisted directories it scans. The `src_lint` binary wires it
+//! into CI; a unit test keeps the repo itself clean.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source-lint finding.
+#[derive(Debug, Clone)]
+pub struct SrcFinding {
+    /// File containing the offending line.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (`raw-ts-arith`, `unwrap`, `panic`).
+    pub rule: &'static str,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for SrcFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.snippet
+        )
+    }
+}
+
+/// Directories (relative to the repo root) scanned for raw timestamp
+/// arithmetic, and the files inside them that are allowed to have it.
+const TS_ARITH_DIRS: &[&str] = &["crates/core/src"];
+const TS_ARITH_ALLOWED_FILES: &[&str] = &["rules.rs"];
+
+/// Directories scanned for `unwrap()` / `panic!` in non-test code.
+const NO_PANIC_DIRS: &[&str] = &["crates/core/src", "crates/sim/src", "crates/noc/src"];
+
+/// Timestamp-bearing identifiers whose combination with arithmetic
+/// marks a line as timestamp math.
+const TS_WORDS: &[&str] = &["wts", "rts", "warp_ts", "mem_ts"];
+
+fn mentions_ts(line: &str) -> bool {
+    TS_WORDS.iter().any(|w| line.contains(w))
+}
+
+fn is_ts_arith(line: &str) -> bool {
+    if line.contains(".succ()") || line.contains("+ lease") || line.contains("+ Lease") {
+        return true;
+    }
+    mentions_ts(line) && (line.contains(".max(") || line.contains("+ 1"))
+}
+
+/// Whether `lines[idx]` (or one of the two lines above) carries a
+/// `// lint: allow(<rule>)` suppression for `rule`.
+fn allowed(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let lo = idx.saturating_sub(2);
+    lines[lo..=idx].iter().any(|l| {
+        l.find("lint: allow(").is_some_and(|start| {
+            let rest = &l[start + "lint: allow(".len()..];
+            rest.split(')').next() == Some(rule)
+        })
+    })
+}
+
+fn lint_file(path: &Path, ts_arith: bool, no_panic: bool, out: &mut Vec<SrcFinding>) {
+    let Ok(text) = fs::read_to_string(path) else {
+        return;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    // This workspace keeps test modules at the bottom of each file; stop
+    // scanning at the first test-configuration marker.
+    let end = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    for (idx, raw) in lines[..end].iter().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("//") {
+            continue;
+        }
+        let mut push = |rule: &'static str| {
+            if !allowed(&lines, idx, rule) {
+                out.push(SrcFinding {
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    rule,
+                    snippet: line.to_string(),
+                });
+            }
+        };
+        if ts_arith && is_ts_arith(line) {
+            push("raw-ts-arith");
+        }
+        if no_panic {
+            if line.contains(".unwrap()") {
+                push("unwrap");
+            }
+            if line.contains("panic!(") {
+                push("panic");
+            }
+        }
+    }
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the repository rooted at `root`. Findings are sorted by file
+/// then line.
+///
+/// # Errors
+///
+/// Propagates directory-walk failures; a scanned directory that does
+/// not exist is an error (the whitelist above must track the layout).
+pub fn lint_sources(root: &Path) -> io::Result<Vec<SrcFinding>> {
+    let mut findings = Vec::new();
+    for (dirs, ts_arith, no_panic) in [(TS_ARITH_DIRS, true, false), (NO_PANIC_DIRS, false, true)] {
+        for dir in dirs {
+            let mut files = Vec::new();
+            rs_files(&root.join(dir), &mut files)?;
+            for f in files {
+                if ts_arith
+                    && TS_ARITH_ALLOWED_FILES
+                        .iter()
+                        .any(|a| f.file_name().is_some_and(|n| n == *a))
+                {
+                    continue;
+                }
+                // core/src is in both whitelists; each pass applies only
+                // its own rule so findings stay attributable.
+                lint_file(&f, ts_arith, no_panic, &mut findings);
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_arith_heuristics() {
+        assert!(is_ts_arith("let wts = rts.succ().max(warp_ts);"));
+        assert!(is_ts_arith("line.meta.rts = wts + lease;"));
+        assert!(is_ts_arith("let r = x + Lease(10);"));
+        assert!(is_ts_arith("self.mem_ts = self.mem_ts.max(evicted);"));
+        assert!(!is_ts_arith("let count = count + 1;"));
+        assert!(!is_ts_arith("self.clock = self.clock.max(now);"));
+        assert!(!is_ts_arith("let rts = line.meta.rts;"));
+    }
+
+    #[test]
+    fn allow_comment_suppresses_on_line_or_above() {
+        let lines = vec![
+            "// lint: allow(panic): documented invariant.",
+            "panic!(\"boom\");",
+            "",
+            "panic!(\"boom\");",
+            "x.unwrap(); // lint: allow(unwrap): length checked above",
+        ];
+        assert!(allowed(&lines, 1, "panic"));
+        assert!(!allowed(&lines, 3, "panic"));
+        assert!(allowed(&lines, 4, "unwrap"));
+        assert!(!allowed(&lines, 1, "unwrap"), "rule names must match");
+    }
+
+    /// The gate itself: the protocol crates stay clean. Run from the
+    /// crate directory, the workspace root is two levels up.
+    #[test]
+    fn repo_sources_are_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = lint_sources(&root).expect("workspace layout matches whitelists");
+        assert!(
+            findings.is_empty(),
+            "source lints fired:\n{}",
+            findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

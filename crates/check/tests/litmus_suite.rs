@@ -1,0 +1,56 @@
+//! Exhaustive model checking of the full litmus catalog — the test-suite
+//! twin of the `model_check` binary. Every schedule of every shape runs
+//! through the real `GtscL1`/`GtscL2` controllers and the operational
+//! reference model; a failure prints the full run summary so the
+//! offending outcome is visible in CI logs.
+
+use gtsc_check::litmus::{all_litmus, run_litmus};
+
+/// Plenty for the current catalog (the largest shape, iriw-sc, explores
+/// 180 schedules); a new shape that blows past this should raise the cap
+/// deliberately, not silently truncate.
+const MAX_SCHEDULES: u64 = 1_000_000;
+
+#[test]
+fn every_litmus_shape_passes_exhaustively() {
+    let mut failures = Vec::new();
+    for litmus in all_litmus() {
+        let r = run_litmus(&litmus, MAX_SCHEDULES);
+        assert!(
+            !r.truncated,
+            "{}: truncated at {} schedules — raise MAX_SCHEDULES deliberately",
+            r.name, r.schedules
+        );
+        if !r.ok() {
+            failures.push(format!(
+                "{}\n  unexplained: {:?}\n  forbidden hits: {:?}\n  missing required: {:?}\n  \
+                 sanitizer: {:?}",
+                r.summary(),
+                r.unexplained,
+                r.forbidden_hits,
+                r.missing_required,
+                r.sanitizer_violations
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "litmus failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn suite_covers_both_modes_and_rollover() {
+    // Guard the catalog's breadth: dropping the RC shapes or the tiny
+    // timestamp-width shapes would quietly shrink what CI proves.
+    let suite = all_litmus();
+    assert!(suite.len() >= 10, "catalog shrank to {}", suite.len());
+    assert!(suite
+        .iter()
+        .any(|l| matches!(l.mode, gtsc_check::litmus::Mode::Rc)));
+    assert!(
+        suite.iter().any(|l| l.cfg.ts_bits <= 5),
+        "no shape forces Section V-D rollover any more"
+    );
+}

@@ -1,0 +1,92 @@
+//! End-to-end check of the analysis stack against the full simulator:
+//! a traced `GpuSim` run under G-TSC must come back clean from both the
+//! online transition sanitizer and the offline trace lints — including
+//! under 6-bit timestamps, where Section V-D rollovers exercise the
+//! `rollover-ordering` lint on a real event stream.
+
+use gtsc_check::lint::lint_events;
+use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
+use gtsc_sim::GpuSim;
+use gtsc_types::{Addr, ConsistencyModel, GpuConfig, ProtocolKind, TraceConfig};
+use gtsc_workloads::micro;
+
+#[test]
+fn traced_gtsc_run_passes_sanitizer_and_lints() {
+    for m in [ConsistencyModel::Sc, ConsistencyModel::Rc] {
+        let cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_consistency(m)
+            .with_trace(TraceConfig::full())
+            .with_sanitize(true);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim
+            .run_kernel(&micro::message_passing(3))
+            .unwrap_or_else(|e| panic!("{m:?}: {e}"));
+        assert!(
+            report.violations.is_empty(),
+            "{m:?}: {:?}",
+            report.violations
+        );
+        assert!(sim.sanitizer().checked() > 0, "{m:?}: sanitizer idle");
+
+        let events = sim.trace_events();
+        assert!(!events.is_empty(), "{m:?}: tracing produced no events");
+        let lint = lint_events(&events);
+        assert!(
+            lint.errors() == 0,
+            "{m:?}: trace lints fired:\n{}",
+            lint.findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(lint.scanned > 0);
+    }
+}
+
+#[test]
+fn traced_rollover_run_passes_lints() {
+    // 6-bit timestamps roll the L2 banks over repeatedly; the Rollover
+    // events land in the trace and the per-scope epoch-monotonicity lint
+    // (plus all timestamp lints across the resets) must stay quiet.
+    let mut cfg = GpuConfig::test_small()
+        .with_protocol(ProtocolKind::Gtsc)
+        .with_trace(TraceConfig::full())
+        .with_sanitize(true);
+    cfg.ts_bits = 6;
+    let prog = |s: u64| {
+        WarpProgram(
+            (0..30)
+                .map(|i| {
+                    if (i + s).is_multiple_of(4) {
+                        WarpOp::store_coalesced(Addr((i % 3) * 128), 32)
+                    } else {
+                        WarpOp::load_coalesced(Addr((i % 3) * 128), 32)
+                    }
+                })
+                .collect(),
+        )
+    };
+    let kernel = VecKernel::new("rollover", 1, vec![vec![prog(0)], vec![prog(1)]]);
+    let mut sim = GpuSim::new(cfg);
+    let report = sim.run_kernel(&kernel).expect("completes");
+    assert!(report.stats.l2.ts_rollovers > 0, "rollover never fired");
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+    let events = sim.trace_events();
+    let saw_rollover = events
+        .iter()
+        .any(|e| matches!(e.kind, gtsc_trace::EventKind::Rollover { .. }));
+    assert!(saw_rollover, "no Rollover event reached the trace");
+    let lint = lint_events(&events);
+    assert!(
+        lint.errors() == 0,
+        "trace lints fired across rollover:\n{}",
+        lint.findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -22,13 +22,13 @@ use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
 use gtsc_protocol::{
     AccessId, AccessKind, Completion, ControllerPressure, L1Controller, L1Outcome, MemAccess,
 };
-use gtsc_trace::{EventKind, Tracer};
+use gtsc_trace::{EventKind, Sanitizer, Tracer, Transition};
 use gtsc_types::{
     BlockAddr, CacheGeometry, CacheStats, CombinePolicy, Cycle, Timestamp, Version,
     VisibilityPolicy, WarpId,
 };
 
-use crate::rules::{lease_covers, load_ts};
+use crate::rules::{lease_covers, load_ts, merge_rts};
 
 /// A retained pre-store copy (the `DualCopy` visibility policy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +136,7 @@ pub struct GtscL1 {
     version_ctr: Vec<u64>,
     stats: CacheStats,
     tracer: Tracer,
+    sanitizer: Sanitizer,
 }
 
 impl GtscL1 {
@@ -153,6 +154,7 @@ impl GtscL1 {
             version_ctr: vec![0; p.n_warps],
             stats: CacheStats::default(),
             tracer: Tracer::disabled(),
+            sanitizer: Sanitizer::disabled(),
             p,
         }
     }
@@ -188,9 +190,13 @@ impl GtscL1 {
         block: BlockAddr,
         wts: Timestamp,
         version: Version,
+        now: Cycle,
     ) -> Completion {
         let slot = &mut self.warp_ts[w.warp.0 as usize];
         *slot = load_ts(*slot, wts);
+        let ts = *slot;
+        self.sanitizer
+            .check_with(now, || Transition::WarpTs { warp: w.warp.0, ts });
         Completion {
             id: w.id,
             warp: w.warp,
@@ -256,6 +262,7 @@ impl GtscL1 {
         rts: Timestamp,
         version: Version,
         done: &mut Vec<Completion>,
+        now: Cycle,
     ) {
         let waiters = self.mshr.take(block);
         if waiters.is_empty() {
@@ -264,7 +271,7 @@ impl GtscL1 {
         let mut uncovered = Vec::new();
         for w in waiters {
             if lease_covers(rts, self.warp_ts[w.warp.0 as usize]) {
-                done.push(self.complete_load(w, block, wts, version));
+                done.push(self.complete_load(w, block, wts, version, now));
             } else {
                 uncovered.push(w);
             }
@@ -295,6 +302,8 @@ impl GtscL1 {
         self.stats.ts_rollovers += 1;
         self.tracer
             .record_with(now, || EventKind::Rollover { epoch });
+        self.sanitizer
+            .check_with(now, || Transition::EpochEnter { epoch });
         // Parked loads (no BusRd in flight) will be re-driven by the store
         // acks that still owe them service; in-flight reads will be
         // answered in the new epoch by the (already reset) L2.
@@ -305,7 +314,7 @@ impl GtscL1 {
     /// store ack still certifies a commit at `(old epoch, wts)` — that
     /// key must reach the checker, or loads that observed the version
     /// would be flagged. Loads are retried from scratch.
-    fn on_stale_response(&mut self, msg: L2ToL1, done: &mut Vec<Completion>) {
+    fn on_stale_response(&mut self, msg: L2ToL1, done: &mut Vec<Completion>, now: Cycle) {
         match msg {
             L2ToL1::Fill(f) => self.retry_reads_fresh(f.block),
             L2ToL1::Renew { block, .. } => self.retry_reads_fresh(block),
@@ -320,7 +329,7 @@ impl GtscL1 {
                     _ => None,
                 };
                 if let Some(c) =
-                    self.finish_store_at(a.block, a.version, stale_lease, a.epoch, prev, false)
+                    self.finish_store_at(a.block, a.version, stale_lease, a.epoch, prev, false, now)
                 {
                     done.push(c);
                 }
@@ -348,14 +357,16 @@ impl GtscL1 {
         lease: Option<(Timestamp, Timestamp)>,
         epoch: Epoch,
         prev: Option<Version>,
+        now: Cycle,
     ) -> Option<Completion> {
-        self.finish_store_at(block, version, lease, epoch, prev, true)
+        self.finish_store_at(block, version, lease, epoch, prev, true, now)
     }
 
     /// Like [`GtscL1::finish_store`]; `apply` controls whether the
     /// warp-timestamp bump and line updates happen (they must not for a
     /// stale-epoch ack, whose lease coordinates predate this L1's reset —
     /// the lease still stamps the returned [`Completion`]).
+    #[allow(clippy::too_many_arguments)]
     fn finish_store_at(
         &mut self,
         block: BlockAddr,
@@ -364,6 +375,7 @@ impl GtscL1 {
         epoch: Epoch,
         prev: Option<Version>,
         apply: bool,
+        now: Cycle,
     ) -> Option<Completion> {
         let q = self.store_acks.get_mut(&block)?;
         let pos = q.iter().position(|s| s.version == version)?;
@@ -375,10 +387,18 @@ impl GtscL1 {
         if let Some((wts, _)) = lease {
             if apply {
                 let slot = &mut self.warp_ts[sw.warp.0 as usize];
-                *slot = (*slot).max(wts);
+                // Same advance rule as a load: the warp observes its own
+                // store's commit timestamp.
+                *slot = load_ts(*slot, wts);
+                let ts = *slot;
+                self.sanitizer.check_with(now, || Transition::WarpTs {
+                    warp: sw.warp.0,
+                    ts,
+                });
             }
             completion_ts = Some(wts);
         }
+        let mut installed = None;
         if let Some(line) = self.tags.peek_mut(block).filter(|_| apply) {
             if sw.locked_line {
                 line.meta.pending_stores = line.meta.pending_stores.saturating_sub(1);
@@ -394,11 +414,20 @@ impl GtscL1 {
                     // already-extended lease, which must not shrink.)
                     line.meta.wts = wts;
                     line.meta.rts = rts;
+                    installed = Some((wts, rts));
                 }
             }
             if !line.meta.locked() {
                 line.meta.old = None;
             }
+        }
+        if let Some((wts, rts)) = installed {
+            self.sanitizer.check_with(now, || Transition::L1Lease {
+                block,
+                wts,
+                rts,
+                epoch: self.epoch,
+            });
         }
         Some(Completion {
             id: sw.id,
@@ -446,12 +475,14 @@ impl L1Controller for GtscL1 {
                                 self.tracer.record_with(now, || EventKind::Hit {
                                     block: acc.block,
                                     warp: acc.warp.0,
+                                    warp_ts: warp_now.0,
+                                    rts: old.rts.0,
                                 });
                                 let w = Waiter {
                                     id: acc.id,
                                     warp: acc.warp,
                                 };
-                                let c = self.complete_load(w, acc.block, old.wts, old.version);
+                                let c = self.complete_load(w, acc.block, old.wts, old.version, now);
                                 return L1Outcome::Hit(c);
                             }
                         }
@@ -469,16 +500,19 @@ impl L1Controller for GtscL1 {
                 if lease_covers(line.meta.rts, warp_now) {
                     self.stats.accesses += 1;
                     self.stats.hits += 1;
+                    let line_rts = line.meta.rts;
                     self.tracer.record_with(now, || EventKind::Hit {
                         block: acc.block,
                         warp: acc.warp.0,
+                        warp_ts: warp_now.0,
+                        rts: line_rts.0,
                     });
                     let (wts, version) = (line.meta.wts, line.meta.version);
                     let w = Waiter {
                         id: acc.id,
                         warp: acc.warp,
                     };
-                    return L1Outcome::Hit(self.complete_load(w, acc.block, wts, version));
+                    return L1Outcome::Hit(self.complete_load(w, acc.block, wts, version, now));
                 }
                 // Expired relative to this warp: coherence miss → renewal.
                 let wts = line.meta.wts;
@@ -546,7 +580,7 @@ impl L1Controller for GtscL1 {
         if e > self.epoch {
             self.enter_epoch(e, now);
         } else if e < self.epoch {
-            self.on_stale_response(msg, &mut done);
+            self.on_stale_response(msg, &mut done, now);
             return done;
         }
         match msg {
@@ -572,6 +606,7 @@ impl L1Controller for GtscL1 {
                             self.stats.evictions += 1;
                             self.tracer.record_with(now, || EventKind::Eviction {
                                 block: evicted.block,
+                                rts: evicted.meta.rts.0,
                             });
                         }
                         Ok(None) => {}
@@ -579,8 +614,14 @@ impl L1Controller for GtscL1 {
                     }
                     self.tracer
                         .record_with(now, || EventKind::FillApplied { block: f.block });
+                    self.sanitizer.check_with(now, || Transition::L1Lease {
+                        block: f.block,
+                        wts,
+                        rts,
+                        epoch: f.epoch,
+                    });
                 }
-                self.serve_waiters(f.block, wts, rts, f.version, &mut done);
+                self.serve_waiters(f.block, wts, rts, f.version, &mut done, now);
             }
             L2ToL1::Renew { block, lease, .. } => {
                 self.rd_inflight.remove(&block);
@@ -594,9 +635,14 @@ impl L1Controller for GtscL1 {
                 // data).
                 self.tracer
                     .record_with(now, || EventKind::Renewal { block, rts: rts.0 });
+                self.sanitizer.check_with(now, || Transition::L1Renew {
+                    block,
+                    rts,
+                    epoch: self.epoch,
+                });
                 let state = self.tags.peek_mut(block).map(|line| {
                     if !line.meta.locked() {
-                        line.meta.rts = line.meta.rts.max(rts);
+                        line.meta.rts = merge_rts(line.meta.rts, rts);
                     }
                     (
                         line.meta.locked(),
@@ -607,7 +653,7 @@ impl L1Controller for GtscL1 {
                 });
                 match state {
                     Some((false, wts, new_rts, version)) => {
-                        self.serve_waiters(block, wts, new_rts, version, &mut done);
+                        self.serve_waiters(block, wts, new_rts, version, &mut done, now);
                     }
                     Some((true, ..)) => {}
                     None => {
@@ -627,7 +673,7 @@ impl L1Controller for GtscL1 {
                     None
                 };
                 if let Some(c) =
-                    self.finish_store(a.block, a.version, Some((wts, rts)), a.epoch, prev)
+                    self.finish_store(a.block, a.version, Some((wts, rts)), a.epoch, prev, now)
                 {
                     self.tracer
                         .record_with(now, || EventKind::WriteAck { block: a.block });
@@ -640,7 +686,7 @@ impl L1Controller for GtscL1 {
                     .map(|l| (l.meta.locked(), l.meta.wts, l.meta.rts, l.meta.version));
                 match line_state {
                     Some((false, lwts, lrts, lver)) => {
-                        self.serve_waiters(a.block, lwts, lrts, lver, &mut done);
+                        self.serve_waiters(a.block, lwts, lrts, lver, &mut done, now);
                     }
                     Some((true, ..)) => {} // still locked by another store
                     None => {
@@ -703,6 +749,10 @@ impl L1Controller for GtscL1 {
 
     fn tracer(&self) -> Option<&Tracer> {
         Some(&self.tracer)
+    }
+
+    fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
+        self.sanitizer = sanitizer;
     }
 }
 

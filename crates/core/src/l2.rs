@@ -13,12 +13,12 @@ use gtsc_protocol::msg::{
     Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteAckResp, WriteReq,
 };
 use gtsc_protocol::{ControllerPressure, L2Controller};
-use gtsc_trace::{EventKind, Tracer};
+use gtsc_trace::{EventKind, Sanitizer, Tracer, Transition};
 use gtsc_types::{
     BlockAddr, CacheGeometry, CacheStats, Cycle, InclusionPolicy, Lease, Timestamp, Version,
 };
 
-use crate::rules::{extend_rts, store_wts};
+use crate::rules::{extend_rts, fold_mem_ts, grant_rts, store_wts};
 
 /// Per-line L2 coherence state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +121,7 @@ pub struct GtscL2 {
     dram_out: VecDeque<(BlockAddr, bool)>,
     stats: CacheStats,
     tracer: Tracer,
+    sanitizer: Sanitizer,
     /// Last cycle observed on any driving call (stamps events from
     /// clock-less trait methods like `apply_reset`).
     clock: Cycle,
@@ -143,6 +144,7 @@ impl GtscL2 {
             dram_out: VecDeque::new(),
             stats: CacheStats::default(),
             tracer: Tracer::disabled(),
+            sanitizer: Sanitizer::disabled(),
             clock: Cycle(0),
             p,
         }
@@ -258,6 +260,7 @@ impl GtscL2 {
                 }
                 line.meta.rts = extend_rts(line.meta.rts, r.warp_ts, eff);
                 let new_rts = line.meta.rts;
+                let grant_wts = line.meta.wts;
                 let resp = if r.wts == line.meta.wts {
                     // The L1 already holds this version: renewal, no data
                     // (the Section VI-C traffic saving).
@@ -290,6 +293,14 @@ impl GtscL2 {
                     })
                 };
                 self.note_ts(new_rts);
+                let epoch = self.epoch;
+                self.sanitizer
+                    .check_with(self.clock, || Transition::L2Grant {
+                        block,
+                        wts: grant_wts,
+                        rts: new_rts,
+                        epoch,
+                    });
                 self.out_resp.push_back((src, resp));
             }
             L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
@@ -299,7 +310,7 @@ impl GtscL2 {
                 let prev = line.meta.version;
                 let wts = store_wts(line.meta.rts, w.warp_ts);
                 line.meta.wts = wts;
-                line.meta.rts = wts + lease;
+                line.meta.rts = grant_rts(wts, lease);
                 line.meta.renew_streak = 0;
                 line.meta.version = w.version;
                 line.meta.dirty = true;
@@ -312,6 +323,14 @@ impl GtscL2 {
                 self.tracer
                     .record_with(self.clock, || EventKind::StoreCommit { block, wts: wts.0 });
                 self.note_ts(rts);
+                let epoch = self.epoch;
+                self.sanitizer
+                    .check_with(self.clock, || Transition::L2Store {
+                        block,
+                        wts,
+                        rts,
+                        epoch,
+                    });
                 let ack = WriteAckResp {
                     block,
                     lease: ack_lease,
@@ -367,11 +386,19 @@ impl GtscL2 {
     fn evict(&mut self, evicted: gtsc_mem::EvictedLine<L2Meta>) {
         // Figure 6: the evicted lease folds into the single per-bank
         // memory timestamp — this is what makes non-inclusion sound.
-        self.mem_ts = self.mem_ts.max(evicted.meta.rts);
+        self.mem_ts = fold_mem_ts(self.mem_ts, evicted.meta.rts);
         self.stats.evictions += 1;
         self.tracer.record_with(self.clock, || EventKind::Eviction {
             block: evicted.block,
+            rts: evicted.meta.rts.0,
         });
+        let mem_ts = self.mem_ts;
+        self.sanitizer
+            .check_with(self.clock, || Transition::L2Evict {
+                block: evicted.block,
+                rts: evicted.meta.rts,
+                mem_ts,
+            });
         if evicted.meta.dirty {
             self.backing.insert(evicted.block, evicted.meta.version);
             self.dram_out.push_back((evicted.block, true));
@@ -416,12 +443,19 @@ impl L2Controller for GtscL2 {
         let version = self.backing.get(&block).copied().unwrap_or(Version::ZERO);
         let meta = L2Meta {
             wts: self.mem_ts,
-            rts: self.mem_ts + self.p.lease,
+            rts: grant_rts(self.mem_ts, self.p.lease),
             version,
             dirty: false,
             renew_streak: 0,
         };
         self.note_ts(meta.rts);
+        let epoch = self.epoch;
+        self.sanitizer.check_with(now, || Transition::L2Grant {
+            block,
+            wts: meta.wts,
+            rts: meta.rts,
+            epoch,
+        });
         match self.tags.fill_if(block, meta, |_| true) {
             Ok(Some(ev)) => self.evict(ev),
             Ok(None) => {}
@@ -471,6 +505,8 @@ impl L2Controller for GtscL2 {
         self.stats.ts_rollovers += 1;
         self.tracer
             .record_with(self.clock, || EventKind::Rollover { epoch });
+        self.sanitizer
+            .check_with(self.clock, || Transition::EpochEnter { epoch });
     }
 
     fn is_idle(&self) -> bool {
@@ -498,6 +534,10 @@ impl L2Controller for GtscL2 {
 
     fn tracer(&self) -> Option<&Tracer> {
         Some(&self.tracer)
+    }
+
+    fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
+        self.sanitizer = sanitizer;
     }
 
     fn memory_image(&self) -> Vec<(BlockAddr, Version)> {

@@ -65,6 +65,31 @@ pub fn load_ts(warp_ts: Timestamp, wts: Timestamp) -> Timestamp {
     warp_ts.max(wts)
 }
 
+/// The lease a newly-created version is granted (Figure 5 / Section
+/// V-C): readable for `lease` logical ticks past its write timestamp.
+/// Used both for store commits and for DRAM fills (whose `wts` is the
+/// bank's `mem_ts`).
+#[must_use]
+pub fn grant_rts(wts: Timestamp, lease: Lease) -> Timestamp {
+    wts + lease
+}
+
+/// Renewal merge rule (Figure 7a): an L1 folding a data-less renewal
+/// into a resident lease keeps the larger read timestamp — a racing
+/// fill may already have extended the line beyond the renewal.
+#[must_use]
+pub fn merge_rts(resident_rts: Timestamp, renewed_rts: Timestamp) -> Timestamp {
+    resident_rts.max(renewed_rts)
+}
+
+/// Non-inclusion rule (Section V-C): evicting an L2 line folds its
+/// read lease into the bank's memory timestamp, so a later refetch can
+/// never be stamped below a lease that may still be cached in an L1.
+#[must_use]
+pub fn fold_mem_ts(mem_ts: Timestamp, evicted_rts: Timestamp) -> Timestamp {
+    mem_ts.max(evicted_rts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +122,16 @@ mod tests {
     fn load_ts_moves_warp_forward_only() {
         assert_eq!(load_ts(Timestamp(4), Timestamp(9)), Timestamp(9));
         assert_eq!(load_ts(Timestamp(9), Timestamp(4)), Timestamp(9));
+    }
+
+    #[test]
+    fn grant_merge_and_fold_helpers() {
+        assert_eq!(grant_rts(Timestamp(12), Lease(10)), Timestamp(22));
+        assert_eq!(merge_rts(Timestamp(9), Timestamp(4)), Timestamp(9));
+        assert_eq!(merge_rts(Timestamp(4), Timestamp(9)), Timestamp(9));
+        assert_eq!(fold_mem_ts(Timestamp(3), Timestamp(7)), Timestamp(7));
+        // fold never shrinks mem_ts.
+        assert_eq!(fold_mem_ts(Timestamp(7), Timestamp(3)), Timestamp(7));
     }
 
     proptest! {

@@ -9,7 +9,7 @@
 //! * `gtsc_baselines::{BypassL1, PlainL2}` — the no-L1 baseline ("BL");
 //! * `gtsc_baselines::NonCoherentL1` — "Baseline W/L1".
 
-use gtsc_trace::Tracer;
+use gtsc_trace::{Sanitizer, Tracer};
 use gtsc_types::{BlockAddr, CacheStats, Cycle, Timestamp, Version, WarpId};
 
 use crate::msg::{Epoch, L1ToL2, L2ToL1};
@@ -187,6 +187,14 @@ pub trait L1Controller {
     fn tracer(&self) -> Option<&Tracer> {
         None
     }
+
+    /// Installs an online transition sanitizer (see
+    /// `gtsc_trace::Sanitizer`). Controllers that report transitions
+    /// override this; the default discards the handle so plain
+    /// implementations need no checking plumbing.
+    fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
+        let _ = sanitizer;
+    }
 }
 
 /// A shared-cache bank controller.
@@ -267,6 +275,14 @@ pub trait L2Controller {
     fn tracer(&self) -> Option<&Tracer> {
         None
     }
+
+    /// Installs an online transition sanitizer (see
+    /// `gtsc_trace::Sanitizer`). Controllers that report transitions
+    /// override this; the default discards the handle so plain
+    /// implementations need no checking plumbing.
+    fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
+        let _ = sanitizer;
+    }
 }
 
 #[cfg(test)]
@@ -339,5 +355,8 @@ mod tests {
         d2.set_tracer(Tracer::default());
         assert!(d.tracer().is_none());
         assert!(d2.tracer().is_none());
+        // Default sanitizer hooks likewise discard the handle.
+        d.set_sanitizer(Sanitizer::default());
+        d2.set_sanitizer(Sanitizer::default());
     }
 }

@@ -63,6 +63,17 @@ pub struct Checker {
     written: BTreeMap<BlockAddr, HashSet<Version>>,
     loads: BTreeMap<BlockAddr, Vec<LoadEv>>,
     n_events: u64,
+    /// Highest completion key observed per SM (drives [`Checker::compact`]).
+    frontier: BTreeMap<usize, (Epoch, Timestamp)>,
+    /// Per block: the store key history was pruned up to. Loads arriving
+    /// below it can no longer be validated exactly.
+    horizon: BTreeMap<BlockAddr, (Epoch, Timestamp)>,
+    /// Violations found by eager validation during [`Checker::compact`].
+    early: Vec<Violation>,
+    /// Keyed loads accepted without exact validation because their key
+    /// fell below a compaction horizon (counted in `finish`, which is
+    /// `&self` — hence the `Cell`).
+    horizon_accepts: std::cell::Cell<u64>,
 }
 
 impl Checker {
@@ -81,6 +92,10 @@ impl Checker {
     /// Feeds one completed access from SM `sm` at cycle `now`.
     pub fn on_completion(&mut self, sm: usize, c: &Completion, now: Cycle) {
         self.n_events += 1;
+        if let Some(ts) = c.ts {
+            let f = self.frontier.entry(sm).or_insert((c.epoch, ts));
+            *f = (*f).max((c.epoch, ts));
+        }
         match c.kind {
             AccessKind::Store => {
                 self.written.entry(c.block).or_default().insert(c.version);
@@ -150,32 +165,22 @@ impl Checker {
     /// Validates all collected events; returns every violation found.
     #[must_use]
     pub fn finish(&self) -> Vec<Violation> {
-        let mut out = Vec::new();
+        let mut out = self.early.clone();
         for (block, loads) in &self.loads {
             let stores = self.stores.get(block);
             let written = self.written.get(block);
+            let horizon = self.horizon.get(block).copied();
             for ld in loads {
                 match ld.key {
                     Some(key) => {
-                        // Timestamp-ordering invariant: expected version is
-                        // the latest store at or before the load's logical
-                        // time (strictly before, for an atomic's read half).
-                        let expected = if ld.exclusive {
-                            stores
-                                .and_then(|m| m.range(..key).next_back())
-                                .map_or(Version::ZERO, |(_, v)| *v)
-                        } else {
-                            stores
-                                .and_then(|m| m.range(..=key).next_back())
-                                .map_or(Version::ZERO, |(_, v)| *v)
-                        };
-                        if ld.version != expected {
-                            out.push(Violation(format!(
-                                "timestamp-order violation at {block}: load by sm{} at {} \
-                                 with key (e{}, {}) observed {} but the latest store ≤ key wrote {}",
-                                ld.sm, ld.at, key.0, key.1, ld.version, expected
-                            )));
+                        if horizon.is_some_and(|h| key < h) {
+                            // The stores this load could legally observe
+                            // were pruned by `compact`: accept leniently
+                            // and count the imprecision.
+                            self.horizon_accepts.set(self.horizon_accepts.get() + 1);
+                            continue;
                         }
+                        out.extend(keyed_violation(*block, ld, key, stores));
                     }
                     None => {
                         // Functional fallback: the version must exist.
@@ -195,13 +200,32 @@ impl Checker {
         out
     }
 
-    /// Like [`Checker::finish`], but truncates the report to at most
-    /// `cap` violations, replacing the overflow with a one-line summary.
-    /// A stuck protocol can emit a violation per access; the cap keeps
+    /// Like [`Checker::finish`], but first collapses *identical*
+    /// violation lines (a fault-injected replay can make the same faulty
+    /// message produce the same violation several times) into one line
+    /// with a multiplicity, then truncates to at most `cap` distinct
+    /// violations, replacing the overflow with a one-line summary. A
+    /// stuck protocol can emit a violation per access; the cap keeps
     /// reports (and test logs) readable without hiding that more exist.
     #[must_use]
     pub fn finish_capped(&self, cap: usize) -> Vec<Violation> {
-        let mut out = self.finish();
+        let mut out: Vec<Violation> = Vec::new();
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for v in self.finish() {
+            if let Some(&i) = index.get(&v.0) {
+                counts[i] += 1;
+            } else {
+                index.insert(v.0.clone(), out.len());
+                counts.push(1);
+                out.push(v);
+            }
+        }
+        for (v, &n) in out.iter_mut().zip(&counts) {
+            if n > 1 {
+                v.0.push_str(&format!(" (×{n} identical)"));
+            }
+        }
         if cap > 0 && out.len() > cap {
             let extra = out.len() - cap;
             out.truncate(cap);
@@ -212,6 +236,102 @@ impl Checker {
         }
         out
     }
+
+    /// Number of retained store and load records (the checker's memory
+    /// footprint, which [`Checker::compact`] bounds on long soaks).
+    #[must_use]
+    pub fn retained_events(&self) -> usize {
+        self.stores.values().map(BTreeMap::len).sum::<usize>()
+            + self.loads.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Keyed loads accepted without exact validation because a
+    /// [`Checker::compact`] horizon had pruned their candidate stores
+    /// (0 unless `compact` ran; populated by `finish`).
+    #[must_use]
+    pub fn horizon_accepts(&self) -> u64 {
+        self.horizon_accepts.get()
+    }
+
+    /// Bounds the checker's memory on long runs by pruning history that
+    /// is globally visible.
+    ///
+    /// For each SM the checker tracks the highest completion key it has
+    /// produced; the minimum over those frontiers is taken as *globally
+    /// visible*: every SM has logically advanced past it. Per block, the
+    /// latest store at or below that frontier becomes the new base:
+    /// loads strictly below the base are validated eagerly (their
+    /// candidate stores are all still present) and drained, and stores
+    /// strictly below the base are pruned. The base key is remembered as
+    /// the block's *horizon*; a keyed load that later arrives below it
+    /// (possible — per-SM frontiers are maxima over warps, and a lagging
+    /// warp can complete out of order) is accepted without exact
+    /// validation and counted in [`Checker::horizon_accepts`]. This is
+    /// the documented incompleteness that buys bounded memory; `finish`
+    /// on an uncompacted checker is exact.
+    ///
+    /// Everything here iterates ordered maps, so a compacted run remains
+    /// byte-for-byte reproducible for a given seed.
+    pub fn compact(&mut self) {
+        let Some(visible) = self.frontier.values().min().copied() else {
+            return;
+        };
+        for (block, stores) in &mut self.stores {
+            let Some((&base, _)) = stores.range(..=visible).next_back() else {
+                continue;
+            };
+            if let Some(loads) = self.loads.get_mut(block) {
+                let mut kept = Vec::with_capacity(loads.len());
+                for ld in loads.drain(..) {
+                    match ld.key {
+                        Some(key) if key < base => {
+                            self.early
+                                .extend(keyed_violation(*block, &ld, key, Some(stores)));
+                        }
+                        _ => kept.push(ld),
+                    }
+                }
+                *loads = kept;
+            }
+            // Retain the base store itself: it is the expected value for
+            // every remaining load at or above the horizon.
+            let keep = stores.split_off(&base);
+            if let Some(w) = self.written.get_mut(block) {
+                for v in stores.values() {
+                    w.remove(v);
+                }
+            }
+            *stores = keep;
+            self.horizon.insert(*block, base);
+        }
+    }
+}
+
+/// The timestamp-ordering check for one keyed load: the expected version
+/// is the latest store at or before the load's logical time (strictly
+/// before, for an atomic's read half).
+fn keyed_violation(
+    block: BlockAddr,
+    ld: &LoadObservation,
+    key: (Epoch, Timestamp),
+    stores: Option<&BTreeMap<(Epoch, Timestamp), Version>>,
+) -> Option<Violation> {
+    let expected = if ld.exclusive {
+        stores
+            .and_then(|m| m.range(..key).next_back())
+            .map_or(Version::ZERO, |(_, v)| *v)
+    } else {
+        stores
+            .and_then(|m| m.range(..=key).next_back())
+            .map_or(Version::ZERO, |(_, v)| *v)
+    };
+    (ld.version != expected).then(|| {
+        Violation(format!(
+            "timestamp-order violation at {block}: load by sm{} at {} \
+             with key (e{}, {}) observed {} but the latest store ≤ key wrote {}",
+            ld.sm, ld.at, key.0, key.1, ld.version, expected
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -358,6 +478,88 @@ mod tests {
         assert_eq!(ch.finish_capped(0).len(), 10);
         // Under the cap: untouched.
         assert_eq!(ch.finish_capped(100).len(), 10);
+    }
+
+    #[test]
+    fn finish_capped_collapses_identical_violations() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 12, 100, 0), Cycle(10));
+        // Three byte-identical future-reads (same cycle, same key) plus
+        // one distinct: the report shows two lines, not four.
+        for _ in 0..3 {
+            ch.on_completion(1, &load(5, 6, 100, 0), Cycle(3));
+        }
+        ch.on_completion(1, &load(5, 7, 100, 0), Cycle(3));
+        assert_eq!(ch.finish().len(), 4);
+        let capped = ch.finish_capped(64);
+        assert_eq!(capped.len(), 2);
+        assert!(capped[0].0.contains("(×3 identical)"), "{:?}", capped[0]);
+        assert!(!capped[1].0.contains("identical"), "{:?}", capped[1]);
+    }
+
+    #[test]
+    fn compact_prunes_history_and_keeps_exactness_above_base() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 10, 100, 0), Cycle(1));
+        ch.on_completion(0, &store(5, 20, 200, 0), Cycle(2));
+        ch.on_completion(0, &store(5, 30, 300, 0), Cycle(3));
+        ch.on_completion(1, &load(5, 15, 100, 0), Cycle(4));
+        // Frontiers: sm0 = (0,30), sm1 = (0,25) ⇒ visible = (0,25),
+        // base = the store at (0,20).
+        ch.on_completion(1, &load(5, 25, 200, 0), Cycle(5));
+        let before = ch.retained_events();
+        ch.compact();
+        assert!(ch.retained_events() < before);
+        // The store at wts 10 and the validated load at ts 15 are gone;
+        // the base store (wts 20) and everything above it remain.
+        assert_eq!(
+            ch.store_order(BlockAddr(5)),
+            vec![Version(200), Version(300)]
+        );
+        // Validation above the base stays exact.
+        ch.on_completion(1, &load(5, 35, 200, 0), Cycle(6)); // stale: must see 300
+        assert_eq!(ch.finish().len(), 1);
+        assert_eq!(ch.horizon_accepts(), 0);
+    }
+
+    #[test]
+    fn compact_validates_drained_loads_eagerly() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 10, 100, 0), Cycle(1));
+        ch.on_completion(0, &store(5, 20, 200, 0), Cycle(2));
+        // Future-read below the eventual base: flagged at compact time.
+        ch.on_completion(1, &load(5, 5, 100, 0), Cycle(3));
+        ch.on_completion(1, &load(5, 25, 200, 0), Cycle(4));
+        ch.compact();
+        let v = ch.finish();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].0.contains("timestamp-order violation"), "{:?}", v[0]);
+    }
+
+    #[test]
+    fn late_load_below_horizon_is_accepted_and_counted() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 10, 100, 0), Cycle(1));
+        ch.on_completion(0, &store(5, 20, 200, 0), Cycle(2));
+        ch.on_completion(1, &load(5, 25, 200, 0), Cycle(3));
+        ch.compact();
+        // A lagging warp completes a load below the horizon with a value
+        // the pruned history can no longer validate: accepted leniently.
+        ch.on_completion(1, &load(5, 5, 100, 0), Cycle(4));
+        assert!(ch.finish().is_empty());
+        assert_eq!(ch.horizon_accepts(), 1);
+    }
+
+    #[test]
+    fn compact_is_idempotent_on_clean_history() {
+        let mut ch = Checker::new();
+        ch.on_completion(0, &store(5, 10, 100, 0), Cycle(1));
+        ch.on_completion(1, &load(5, 15, 100, 0), Cycle(2));
+        ch.compact();
+        ch.compact();
+        assert!(ch.finish().is_empty());
+        // An empty checker compacts without panicking.
+        Checker::new().compact();
     }
 
     #[test]

@@ -16,7 +16,9 @@ use gtsc_mem::{Dram, DramRequest};
 use gtsc_noc::Network;
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, MsgSizes};
 use gtsc_protocol::{ControllerPressure, L2Controller};
-use gtsc_trace::{merge_tails, IntervalSample, IntervalSampler, Scope, TraceEvent, Tracer};
+use gtsc_trace::{
+    merge_tails, IntervalSample, IntervalSampler, Sanitizer, Scope, TraceEvent, Tracer,
+};
 use gtsc_types::{BlockAddr, CtaId, Cycle, GpuConfig, SimStats, SmId, Version};
 
 use crate::build::{build_l1, build_l2};
@@ -177,7 +179,17 @@ pub struct GpuSim {
     epoch: Epoch,
     checker: Checker,
     sampler: IntervalSampler,
+    /// Root handle on the shared transition sanitizer (disabled unless
+    /// `cfg.sanitize`); the L1s and L2 banks hold scoped clones.
+    sanitizer: Sanitizer,
 }
+
+/// Retained checker events above which [`Checker::compact`] runs (large
+/// enough that short litmus runs — whose tests read exact
+/// `load_observations` — are never compacted).
+const COMPACT_RETAINED_THRESHOLD: usize = 1 << 20;
+/// How often (in cycles) the run loop polls the checker's footprint.
+const COMPACT_POLL_CYCLES: u64 = 4096;
 
 impl std::fmt::Debug for GpuSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -261,6 +273,7 @@ impl SimBuilder {
     /// [`SimBuilder::try_build`] for a structured error instead.
     #[must_use]
     pub fn build(self) -> GpuSim {
+        // lint: allow(panic): the documented infallible shorthand.
         self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -327,6 +340,20 @@ impl SimBuilder {
                 dram.set_tracer(Tracer::new(Scope::Dram(d as u16), &cfg.trace));
             }
         }
+        let sanitizer = if cfg.sanitize {
+            Sanitizer::enabled(Scope::Sm(0))
+        } else {
+            Sanitizer::disabled()
+        };
+        if sanitizer.is_enabled() {
+            for (i, sm) in sms.iter_mut().enumerate() {
+                sm.l1_mut()
+                    .set_sanitizer(sanitizer.for_scope(Scope::Sm(i as u16)));
+            }
+            for (b, bank) in l2.iter_mut().enumerate() {
+                bank.set_sanitizer(sanitizer.for_scope(Scope::L2Bank(b as u16)));
+            }
+        }
         let sampler = IntervalSampler::new(if cfg.trace.is_enabled() {
             cfg.trace.sample_interval
         } else {
@@ -345,6 +372,7 @@ impl SimBuilder {
             epoch: 0,
             checker: Checker::new(),
             sampler,
+            sanitizer,
         })
     }
 }
@@ -427,6 +455,15 @@ impl GpuSim {
                 self.sampler.sample(self.now, &cumulative);
             }
 
+            // Bound the checker's memory on soaks: prune globally visible
+            // history once the retained set is large (never on the short
+            // litmus runs whose tests read exact observations).
+            if self.now.0.is_multiple_of(COMPACT_POLL_CYCLES)
+                && self.checker.retained_events() >= COMPACT_RETAINED_THRESHOLD
+            {
+                self.checker.compact();
+            }
+
             if next_cta == n_ctas && self.all_idle() {
                 break;
             }
@@ -481,7 +518,16 @@ impl GpuSim {
     /// rides along for the post-mortem.
     #[must_use]
     pub fn report(&self) -> RunReport {
-        let violations = self.checker.finish_capped(self.cfg.max_violations_reported);
+        let mut violations = self.checker.finish_capped(self.cfg.max_violations_reported);
+        // Sanitizer findings (transition-level invariant breaks) ride in
+        // the same report, after the end-to-end checker's.
+        violations.extend(self.sanitizer.violations().into_iter().map(Violation));
+        let suppressed = self.sanitizer.suppressed();
+        if suppressed > 0 {
+            violations.push(Violation(format!(
+                "…and {suppressed} more sanitizer violation(s) suppressed (retention cap)"
+            )));
+        }
         let trace_tail = if violations.is_empty() || !self.cfg.trace.is_enabled() {
             Vec::new()
         } else {
@@ -639,6 +685,13 @@ impl GpuSim {
     #[must_use]
     pub fn checker(&self) -> &Checker {
         &self.checker
+    }
+
+    /// The root handle on the transition sanitizer (disabled unless the
+    /// config set [`gtsc_types::GpuConfig::sanitize`]).
+    #[must_use]
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
     }
 
     /// The functional memory image across all banks (for cross-protocol
@@ -1157,10 +1210,47 @@ mod tests {
     }
 
     #[test]
+    fn sanitized_run_is_clean_and_checks_transitions() {
+        for p in [ProtocolKind::Gtsc, ProtocolKind::Tc] {
+            for m in [ConsistencyModel::Sc, ConsistencyModel::Rc] {
+                let cfg = GpuConfig::test_small()
+                    .with_protocol(p)
+                    .with_consistency(m)
+                    .with_sanitize(true);
+                let mut sim = GpuSim::new(cfg);
+                let report = sim
+                    .run_kernel(&store_load_kernel())
+                    .unwrap_or_else(|e| panic!("{p:?}/{m:?}: {e}"));
+                assert!(
+                    report.violations.is_empty(),
+                    "{p:?}/{m:?}: {:?}",
+                    report.violations
+                );
+                assert!(
+                    sim.sanitizer().checked() > 0,
+                    "{p:?}/{m:?}: sanitizer saw no transitions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsanitized_run_keeps_sanitizer_disabled() {
+        let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        let mut sim = GpuSim::new(cfg);
+        sim.run_kernel(&store_load_kernel()).expect("completes");
+        assert!(!sim.sanitizer().is_enabled());
+        assert_eq!(sim.sanitizer().checked(), 0);
+    }
+
+    #[test]
     fn rollover_under_tiny_timestamps_stays_coherent() {
         // 6-bit timestamps force frequent rollovers; the Section V-D
-        // protocol must keep the run coherent.
-        let mut cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        // protocol must keep the run coherent — with the transition
+        // sanitizer watching every epoch entry and lease grant.
+        let mut cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_sanitize(true);
         cfg.ts_bits = 6;
         let prog = |s: u64| {
             WarpProgram(
@@ -1183,5 +1273,6 @@ mod tests {
             "rollover should have fired"
         );
         assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(sim.sanitizer().checked() > 0);
     }
 }

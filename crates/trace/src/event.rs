@@ -105,6 +105,14 @@ pub enum EventKind {
         block: BlockAddr,
         /// Accessing warp slot.
         warp: u16,
+        /// The accessor's logical timestamp at lookup (physical `now`
+        /// for the TC baselines).
+        warp_ts: u64,
+        /// The hit line's read-timestamp upper bound (lease expiry
+        /// cycle for the TC baselines). A live hit requires
+        /// `warp_ts <= rts`; the `load-past-rts` trace lint enforces
+        /// this offline.
+        rts: u64,
     },
     /// Lookup missed: tag absent.
     ColdMiss {
@@ -172,6 +180,11 @@ pub enum EventKind {
     Eviction {
         /// Evicted block.
         block: BlockAddr,
+        /// The evicted line's read-timestamp upper bound (lease expiry
+        /// cycle for the TC baselines); `0` when unknown. Lets the
+        /// `evict-live-lease` trace lint spot evictions that dropped an
+        /// unexpired lease.
+        rts: u64,
     },
     /// Timestamp rollover: the component entered reset epoch `epoch`
     /// (Section V-D).
@@ -261,7 +274,7 @@ impl EventKind {
             | EventKind::StoreCommit { block, .. }
             | EventKind::WriteAck { block }
             | EventKind::ReplayDrop { block }
-            | EventKind::Eviction { block }
+            | EventKind::Eviction { block, .. }
             | EventKind::DramEnqueue { block, .. }
             | EventKind::DramService { block, .. } => Some(block),
             EventKind::Rollover { .. }
@@ -302,7 +315,15 @@ impl EventKind {
 impl std::fmt::Display for EventKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
-            EventKind::Hit { block, warp } => write!(f, "hit block {block} (warp {warp})"),
+            EventKind::Hit {
+                block,
+                warp,
+                warp_ts,
+                rts,
+            } => write!(
+                f,
+                "hit block {block} (warp {warp}, warp_ts {warp_ts} <= rts {rts})"
+            ),
             EventKind::ColdMiss { block, warp } => {
                 write!(f, "cold miss block {block} (warp {warp})")
             }
@@ -327,7 +348,7 @@ impl std::fmt::Display for EventKind {
             }
             EventKind::WriteAck { block } => write!(f, "write ack block {block}"),
             EventKind::ReplayDrop { block } => write!(f, "replay drop block {block}"),
-            EventKind::Eviction { block } => write!(f, "evict block {block}"),
+            EventKind::Eviction { block, rts } => write!(f, "evict block {block} (rts {rts})"),
             EventKind::Rollover { epoch } => write!(f, "rollover to epoch {epoch}"),
             EventKind::WarpIssue { warp } => write!(f, "warp {warp} issue"),
             EventKind::WarpStall { warp, kind } => write!(f, "warp {warp} stall ({kind:?})"),
@@ -402,7 +423,17 @@ mod tests {
             .class(),
             EventClass::Lease
         );
-        assert_eq!(EventKind::Eviction { block: b }.block(), Some(b));
+        assert_eq!(EventKind::Eviction { block: b, rts: 9 }.block(), Some(b));
+        assert_eq!(
+            EventKind::Hit {
+                block: b,
+                warp: 1,
+                warp_ts: 4,
+                rts: 10
+            }
+            .block(),
+            Some(b)
+        );
         assert_eq!(EventKind::WarpIssue { warp: 3 }.block(), None);
         assert_eq!(
             EventKind::Rollover { epoch: 2 }.class(),

@@ -38,11 +38,13 @@ pub mod event;
 pub mod export;
 pub mod recorder;
 pub mod sampler;
+pub mod sanitize;
 
 pub use event::{EventClass, EventKind, Scope, TraceEvent};
 pub use export::{json_escape, to_chrome_trace, to_lines};
 pub use recorder::FlightRecorder;
 pub use sampler::{IntervalSample, IntervalSampler};
+pub use sanitize::{Sanitizer, Transition};
 
 use gtsc_types::{Cycle, TraceConfig, TraceMode};
 

@@ -484,6 +484,12 @@ pub struct GpuConfig {
     pub faults: FaultConfig,
     /// Protocol event tracing (off by default).
     pub trace: TraceConfig,
+    /// Online transition sanitizer (off by default): every protocol
+    /// state transition is checked against the logical-time invariant
+    /// catalog (DESIGN.md §12) and violations are appended to the run
+    /// report. Costs one predicted-not-taken branch per transition when
+    /// off, same as tracing.
+    pub sanitize: bool,
 }
 
 impl GpuConfig {
@@ -523,6 +529,7 @@ impl GpuConfig {
             max_violations_reported: 64,
             faults: FaultConfig::default(),
             trace: TraceConfig::default(),
+            sanitize: false,
         }
     }
 
@@ -584,6 +591,13 @@ impl GpuConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns the config with the online transition sanitizer toggled.
+    #[must_use]
+    pub fn with_sanitize(mut self, on: bool) -> Self {
+        self.sanitize = on;
         self
     }
 
@@ -674,6 +688,13 @@ mod tests {
         assert_eq!(t.flight_capacity, 32);
         let cfg = GpuConfig::test_small().with_trace(t);
         assert_eq!(cfg.trace, t);
+    }
+
+    #[test]
+    fn sanitizer_defaults_off() {
+        assert!(!GpuConfig::paper_default().sanitize);
+        assert!(!GpuConfig::test_small().sanitize);
+        assert!(GpuConfig::test_small().with_sanitize(true).sanitize);
     }
 
     #[test]
