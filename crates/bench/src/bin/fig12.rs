@@ -36,6 +36,9 @@ fn main() {
             let out = run_benchmark(b, pc.protocol, pc.consistency, scale);
             cycles.insert(pc.label, out.stats.cycles.0);
             row.push(bl.stats.cycles.0 as f64 / out.stats.cycles.0 as f64);
+            // Transport/loss bins ride the stable --json schema (all
+            // zero here: figure runs are fault-free by construction).
+            table.transport_counters(&out);
         }
         if b.requires_coherence() {
             if let (Some(g), Some(t)) = (cycles.get("G-TSC-RC"), cycles.get("TC-RC")) {

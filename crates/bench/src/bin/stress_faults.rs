@@ -10,7 +10,13 @@
 //! ```
 //!
 //! Run: `cargo run --release -p gtsc-bench --bin stress_faults
-//!       [-- --seeds N] [-- --start S]`
+//!       [-- --seeds N] [-- --start S] [-- --drop-rate PERMILLE]`
+//!
+//! `--drop-rate` switches the storm from `FaultConfig::chaos` to
+//! `FaultConfig::lossy`: flits are dropped at the given rate (and
+//! corrupted at half of it) on top of the chaos perturbations, which
+//! arms the reliable-transport layer. `FAULT_SEED` repros compose with
+//! it — the failure line prints the exact flag combination to replay.
 //!
 //! Exits nonzero if any run produced a checker violation, stalled, or hit
 //! the cycle limit.
@@ -18,6 +24,7 @@
 use gtsc_faults::FaultStats;
 use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
 use gtsc_sim::GpuSim;
+use gtsc_trace::{EventKind, TraceEvent};
 use gtsc_types::{
     Addr, ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind, SimStats, TraceConfig,
 };
@@ -102,13 +109,71 @@ fn hotspots(stats: &SimStats) -> String {
         .enumerate()
         .map(|(b, c)| format!("bank{b}={}st", c.stores))
         .collect();
-    format!("hotspots: l1 [{}], l2 [{}]", l1.join(" "), l2.join(" "))
+    let t = &stats.transport;
+    format!(
+        "hotspots: l1 [{}], l2 [{}], transport [{}rtx {}nack {}dup {}reset {}rec]",
+        l1.join(" "),
+        l2.join(" "),
+        t.retransmits,
+        t.nacks,
+        t.dup_dropped,
+        t.flows_reset,
+        t.bank_recoveries,
+    )
+}
+
+/// Transport hotspots from the flight-recorder tail: which flows were
+/// dropping, NACKing, and retransmitting when the run went wrong. The
+/// counter totals say *how much* the transport worked; this says *where*.
+fn transport_hotspots(tail: &[TraceEvent]) -> Option<String> {
+    use std::collections::BTreeMap;
+    // (retransmits, nacks, drops+corruptions) per (src, dst) flow.
+    let mut flows: BTreeMap<(u16, u16), (u64, u64, u64)> = BTreeMap::new();
+    let mut resets = 0u64;
+    for e in tail {
+        match e.kind {
+            EventKind::Retransmit { src, dst, .. } => flows.entry((src, dst)).or_default().0 += 1,
+            EventKind::Nack { src, dst, .. } => flows.entry((src, dst)).or_default().1 += 1,
+            EventKind::PacketDrop { src, dst } | EventKind::PacketCorrupt { src, dst } => {
+                flows.entry((src, dst)).or_default().2 += 1;
+            }
+            EventKind::BankReset { .. } => resets += 1,
+            _ => {}
+        }
+    }
+    if flows.is_empty() && resets == 0 {
+        return None;
+    }
+    let mut items: Vec<_> = flows.into_iter().collect();
+    items.sort_by_key(|&(_, (r, n, d))| std::cmp::Reverse(r + n + d));
+    let shown: Vec<String> = items
+        .iter()
+        .take(6)
+        .map(|((s, d), (r, n, d2))| format!("{s}->{d}:{r}rtx/{n}nack/{d2}drop"))
+        .collect();
+    let reset_note = if resets > 0 {
+        format!(", {resets} bank reset(s) in tail")
+    } else {
+        String::new()
+    };
+    Some(format!(
+        "transport tail hotspots: [{}]{reset_note}",
+        shown.join(" ")
+    ))
 }
 
 /// Runs one (seed, scenario) storm; returns an error description if the
-/// run violated coherence or failed to complete.
-fn run_one(seed: u64, sc: &Scenario) -> (Option<String>, Option<FaultStats>) {
-    let mut faults = FaultConfig::chaos(seed);
+/// run violated coherence or failed to complete. `drop_permille` swaps
+/// the chaos storm for a lossy one (drops + corruption + transport).
+fn run_one(
+    seed: u64,
+    sc: &Scenario,
+    drop_permille: Option<u16>,
+) -> (Option<String>, Option<FaultStats>) {
+    let mut faults = match drop_permille {
+        Some(p) => FaultConfig::lossy(seed, p),
+        None => FaultConfig::chaos(seed),
+    };
     if let Some(bits) = sc.ts_bits_cap {
         faults.ts_bits_cap = bits;
     }
@@ -137,6 +202,9 @@ fn run_one(seed: u64, sc: &Scenario) -> (Option<String>, Option<FaultStats>) {
                 }
             }
             why.push_str(&format!("\n  {}", hotspots(&report.stats)));
+            if let Some(t) = transport_hotspots(tail) {
+                why.push_str(&format!("\n  {t}"));
+            }
             Some(why)
         }
         Err(e) => Some(format!("did not complete: {e}")),
@@ -173,9 +241,19 @@ fn main() {
         eprintln!("error: empty seed sweep (--seeds 0) would vacuously pass");
         std::process::exit(2);
     }
+    let drop_rate = arg_value("--drop-rate").map(|p| {
+        u16::try_from(p).unwrap_or_else(|_| {
+            eprintln!("error: --drop-rate {p} does not fit in permille (u16)");
+            std::process::exit(2);
+        })
+    });
     let scenarios = scenarios();
+    let storm_kind = match drop_rate {
+        Some(p) => format!("lossy storms ({p} permille drop)"),
+        None => "chaos storms".to_string(),
+    };
     println!(
-        "== fault soak: {} seeds x {} scenarios = {} storms ==",
+        "== fault soak: {} seeds x {} scenarios = {} {storm_kind} ==",
         seeds.len(),
         scenarios.len(),
         seeds.len() * scenarios.len()
@@ -186,14 +264,19 @@ fn main() {
     let mut failures = Vec::new();
     for &seed in &seeds {
         for sc in &scenarios {
-            let (failure, stats) = run_one(seed, sc);
+            let (failure, stats) = run_one(seed, sc, drop_rate);
             runs += 1;
             if let Some(s) = stats {
                 total.merge(&s);
             }
             if let Some(why) = failure {
                 println!("FAIL seed {seed} [{}]: {why}", sc.name);
-                println!("  repro: FAULT_SEED={seed} cargo run --release -p gtsc-bench --bin stress_faults");
+                let drop_flag = drop_rate
+                    .map(|p| format!(" -- --drop-rate {p}"))
+                    .unwrap_or_default();
+                println!(
+                    "  repro: FAULT_SEED={seed} cargo run --release -p gtsc-bench --bin stress_faults{drop_flag}"
+                );
                 failures.push((seed, sc.name));
             }
         }
@@ -203,6 +286,15 @@ fn main() {
         "{runs} storms: {} packets jittered (+{} cycles), {} reordered, {} duplicated",
         total.jittered, total.extra_cycles, total.reordered, total.duplicated
     );
+    if drop_rate.is_some() {
+        println!(
+            "loss layer: {} dropped, {} corrupted, {} bank reset(s)",
+            total.dropped, total.corrupted, total.bank_resets
+        );
+        if total.dropped == 0 && total.corrupted == 0 {
+            println!("WARN: lossy sweep never lost a packet — rate too low for this workload");
+        }
+    }
     if failures.is_empty() {
         println!("OK: zero coherence violations, zero stalls");
     } else {

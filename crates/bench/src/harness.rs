@@ -2,6 +2,7 @@
 //! evaluated systems, the run loop, and text-table rendering.
 
 use gtsc_energy::{EnergyBreakdown, EnergyModel, EnergyParams};
+use gtsc_faults::FaultStats;
 use gtsc_sim::GpuSim;
 use gtsc_types::{ConsistencyModel, GpuConfig, ProtocolKind, SimStats};
 use gtsc_workloads::{Benchmark, Scale};
@@ -71,6 +72,10 @@ pub struct RunOutcome {
     /// Coherence violations (expected nonzero only for the non-coherent
     /// baseline on group-A workloads).
     pub violations: usize,
+    /// Aggregated fault-injection counters, when a fault plan was active
+    /// (`None` for clean runs). Carries the NoC loss counters that pair
+    /// with `stats.transport`.
+    pub faults: Option<FaultStats>,
 }
 
 /// Runs `benchmark` under an explicit config.
@@ -87,10 +92,12 @@ pub fn run_with_config(benchmark: Benchmark, cfg: GpuConfig, scale: Scale) -> Ru
         .run_kernel(kernel.as_ref())
         .unwrap_or_else(|e| panic!("{} deadlocked: {e}", benchmark.name()));
     let energy = EnergyModel::new(EnergyParams::default()).estimate(&report.stats);
+    let faults = sim.fault_stats();
     RunOutcome {
         stats: report.stats,
         energy,
         violations: report.violations.len(),
+        faults,
     }
 }
 
@@ -130,6 +137,9 @@ pub struct Table {
     title: String,
     columns: Vec<String>,
     rows: Vec<(String, Vec<f64>)>,
+    /// Named whole-run counters (insertion-ordered, accumulating), e.g.
+    /// the transport/loss bins. Rendered as the JSON `counters` object.
+    counters: Vec<(String, u64)>,
     precision: usize,
 }
 
@@ -141,8 +151,40 @@ impl Table {
             title: title.to_owned(),
             columns: columns.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
+            counters: Vec::new(),
             precision: 3,
         }
+    }
+
+    /// Adds `value` to the named whole-run counter (creating it at zero
+    /// on first use). Counters keep their first-insertion order so the
+    /// JSON schema stays byte-stable across runs.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        if let Some((_, v)) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            *v += value;
+        } else {
+            self.counters.push((name.to_owned(), value));
+        }
+    }
+
+    /// Accumulates the reliable-transport and NoC-loss bins of one run
+    /// into the table's counters, under the stable `transport.*` names.
+    /// Fault-free runs contribute zeros, so the schema is identical
+    /// whether or not a storm was active.
+    pub fn transport_counters(&mut self, out: &RunOutcome) {
+        let f = out.faults.unwrap_or_default();
+        self.counter("transport.dropped", f.dropped);
+        self.counter("transport.corrupted", f.corrupted);
+        let t = &out.stats.transport;
+        self.counter("transport.delivered", t.delivered);
+        self.counter("transport.retransmits", t.retransmits);
+        self.counter("transport.timeouts", t.timeouts);
+        self.counter("transport.nacks", t.nacks);
+        self.counter("transport.acks", t.acks);
+        self.counter("transport.dup_dropped", t.dup_dropped);
+        self.counter("transport.max_backoff_hits", t.max_backoff_hits);
+        self.counter("transport.flows_reset", t.flows_reset);
+        self.counter("transport.bank_recoveries", t.bank_recoveries);
     }
 
     /// Sets the number of decimals (default 3).
@@ -202,8 +244,10 @@ impl Table {
     }
 
     /// Renders the table as JSON with a stable schema: `title`,
-    /// `columns`, and one object per benchmark row mapping each column
-    /// label to its value (`null` for NaN/missing cells).
+    /// `columns`, one object per benchmark row mapping each column
+    /// label to its value (`null` for NaN/missing cells), and a
+    /// `counters` object of whole-run integer bins (always present,
+    /// possibly empty; see [`transport_counters`](Table::transport_counters)).
     #[must_use]
     pub fn to_json(&self) -> String {
         use gtsc_trace::json_escape;
@@ -238,7 +282,16 @@ impl Table {
             }
             out.push('}');
         }
-        out.push_str("]}\n");
+        out.push_str("],\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&json_escape(name));
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("}}\n");
         out
     }
 
@@ -322,6 +375,68 @@ mod tests {
         assert!(json.contains(r#""bench":"x""#));
         assert!(json.contains(r#""a":1.000000"#));
         assert!(json.contains(r#""b":null"#));
+        // `counters` is part of the stable schema even when nothing was
+        // recorded, so downstream parsers need no feature detection.
+        assert!(json.trim_end().ends_with(r#""counters":{}}"#));
+    }
+
+    /// The transport bins: stable names, accumulation across runs, and a
+    /// schema that is identical with and without an active fault plan.
+    #[test]
+    fn transport_counters_have_a_stable_json_schema() {
+        use gtsc_types::{FaultConfig, GpuConfig, ProtocolKind};
+
+        let mut t = Table::new("demo", &["a"]);
+        t.counter("transport.retransmits", 2);
+        t.counter("transport.retransmits", 3);
+        assert!(
+            t.to_json()
+                .contains(r#""counters":{"transport.retransmits":5}"#),
+            "counters must accumulate: {}",
+            t.to_json()
+        );
+
+        let cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_faults(FaultConfig::lossy(11, 50));
+        let out = run_with_config(Benchmark::Hs, cfg, Scale::Tiny);
+        let mut lossy = Table::new("demo", &["a"]);
+        lossy.transport_counters(&out);
+        let json = lossy.to_json();
+        for key in [
+            "transport.dropped",
+            "transport.corrupted",
+            "transport.delivered",
+            "transport.retransmits",
+            "transport.timeouts",
+            "transport.nacks",
+            "transport.acks",
+            "transport.dup_dropped",
+            "transport.max_backoff_hits",
+            "transport.flows_reset",
+            "transport.bank_recoveries",
+        ] {
+            assert!(
+                json.contains(&format!("\"{key}\":")),
+                "missing {key}: {json}"
+            );
+        }
+        assert!(
+            out.stats.transport.delivered > 0,
+            "lossy run should exercise the transport"
+        );
+
+        // A clean run emits the same bins (all zero), so the schema does
+        // not depend on whether faults were configured.
+        let clean = run_benchmark(
+            Benchmark::Hs,
+            ProtocolKind::Gtsc,
+            ConsistencyModel::Rc,
+            Scale::Tiny,
+        );
+        let mut zeroes = Table::new("demo", &["a"]);
+        zeroes.transport_counters(&clean);
+        assert!(zeroes.to_json().contains(r#""transport.dropped":0"#));
     }
 
     #[test]

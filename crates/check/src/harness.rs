@@ -48,6 +48,15 @@ pub struct HarnessCfg {
     /// Hardware timestamp width; small values force rollover resets
     /// mid-litmus (Section V-D).
     pub ts_bits: u32,
+    /// Crash the L2 bank once, just before this many requests have been
+    /// served: tags, MSHRs, and queues are wiped (data survives via
+    /// DRAM) and recovery runs the global epoch bump. `None` never
+    /// crashes.
+    pub crash_after_serves: Option<u32>,
+    /// Deliver every served request to the L2 twice — an end-to-end
+    /// retry racing its original. The protocol must stay idempotent
+    /// under duplicated reads, stores, and their doubled responses.
+    pub duplicate_serves: bool,
 }
 
 impl Default for HarnessCfg {
@@ -55,6 +64,8 @@ impl Default for HarnessCfg {
         HarnessCfg {
             lease: Lease::default().0,
             ts_bits: 16,
+            crash_after_serves: None,
+            duplicate_serves: false,
         }
     }
 }
@@ -78,6 +89,13 @@ pub struct MicroGtsc {
     /// L1's per-warp version counter (see [`MicroGtsc::decode_label`]).
     store_labels: Vec<Vec<u32>>,
     sanitizer: Sanitizer,
+    /// Serves performed so far (the crash trigger counts these).
+    serves: u32,
+    /// Remaining crash trigger, from [`HarnessCfg::crash_after_serves`].
+    crash_after: Option<u32>,
+    /// Whether every serve is delivered twice
+    /// ([`HarnessCfg::duplicate_serves`]).
+    duplicate: bool,
 }
 
 impl MicroGtsc {
@@ -116,6 +134,9 @@ impl MicroGtsc {
             observed: BTreeMap::new(),
             store_labels: vec![Vec::new(); n],
             sanitizer,
+            serves: 0,
+            crash_after: cfg.crash_after_serves,
+            duplicate: cfg.duplicate_serves,
         };
         m.auto_issue();
         m
@@ -192,11 +213,31 @@ impl MicroGtsc {
     /// with a fresh request, to be served by a later choice.
     fn serve(&mut self, t: usize) {
         assert!(self.outstanding[t], "serve of an idle thread");
+        self.serves += 1;
+        if self.crash_after == Some(self.serves) {
+            // The bank dies between serves: tags, MSHRs, and queues are
+            // wiped (data survives via DRAM) and the simulator's global
+            // rollover protocol rebuilds coherence behind an epoch bump.
+            // The L1s keep their (now orphaned) leases — logical time
+            // only moves forward, so they stay safe until renewal.
+            self.crash_after = None;
+            self.now.0 += 1;
+            self.l2.crash(self.now);
+            if self.l2.needs_reset() {
+                self.epoch += 1;
+                self.l2.apply_reset(self.epoch);
+            }
+        }
         let req = self.l1s[t]
             .take_request()
             .expect("outstanding thread has a queued request");
         self.now.0 += 1;
         self.l2.on_request(t, req, self.now);
+        if self.duplicate {
+            // An end-to-end retry racing its original: the bank sees the
+            // byte-identical request twice and must stay idempotent.
+            self.l2.on_request(t, req, self.now);
+        }
         let mut pumped = 0u32;
         loop {
             pumped += 1;
@@ -223,6 +264,31 @@ impl MicroGtsc {
             }
             if delivered {
                 break;
+            }
+        }
+        if self.duplicate {
+            // Drain the duplicate's response too: the doubled fill or
+            // ack must be a no-op at the L1 (the first one already
+            // completed the access).
+            let mut pumped = 0u32;
+            while !self.l2.is_idle() {
+                pumped += 1;
+                assert!(pumped < PUMP_CAP, "duplicate drain diverged for thread {t}");
+                self.now.0 += 1;
+                self.l2.tick(self.now);
+                while let Some((block, is_write)) = self.l2.take_dram_request() {
+                    self.l2.on_dram_response(block, is_write, self.now);
+                }
+                if self.l2.needs_reset() {
+                    self.epoch += 1;
+                    self.l2.apply_reset(self.epoch);
+                }
+                while let Some((dst, msg)) = self.l2.take_response() {
+                    let done = self.l1s[dst].on_response(msg, self.now);
+                    for c in done {
+                        self.record(dst, &c);
+                    }
+                }
             }
         }
         self.auto_issue();
@@ -333,6 +399,7 @@ mod tests {
         let cfg = HarnessCfg {
             lease: 10,
             ts_bits: 4,
+            ..HarnessCfg::default()
         };
         let r = explore_all(|| MicroGtsc::new(&progs, cfg), 100_000);
         assert!(!r.truncated);
@@ -342,6 +409,46 @@ mod tests {
                 !(o[&10] == 2 && o[&11] == 0),
                 "rollover leaked the forbidden MP outcome: {o:?}"
             );
+        }
+    }
+
+    #[test]
+    fn bank_crash_mid_run_recovers_and_stays_clean() {
+        // T0 stores then re-reads its own block; T1 reads it cold. The
+        // crash lands before the second serve on every schedule; the
+        // rebuilt bank must still serve T0's committed store.
+        let progs = vec![vec![st(0, 3), ld(1, 0)], vec![ld(2, 0)]];
+        let cfg = HarnessCfg {
+            crash_after_serves: Some(2),
+            ..HarnessCfg::default()
+        };
+        let r = explore_all(|| MicroGtsc::new(&progs, cfg), 10_000);
+        assert!(!r.truncated);
+        assert!(r.schedules >= 2);
+        for (o, violations) in &r.outcomes {
+            assert!(violations.is_empty(), "{violations:?}");
+            assert_eq!(o[&1], 3, "own store must survive the crash: {o:?}");
+            assert!(o[&2] == 0 || o[&2] == 3, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_serves_are_idempotent() {
+        // Every request (reads, stores) reaches the L2 twice, so every
+        // response comes back doubled: the replay filter and the L1s'
+        // waiter bookkeeping must absorb the copies.
+        let progs = vec![vec![st(0, 3), ld(1, 0)], vec![ld(2, 0), st(0, 4)]];
+        let cfg = HarnessCfg {
+            duplicate_serves: true,
+            ..HarnessCfg::default()
+        };
+        let r = explore_all(|| MicroGtsc::new(&progs, cfg), 10_000);
+        assert!(!r.truncated);
+        for (o, violations) in &r.outcomes {
+            assert!(violations.is_empty(), "{violations:?}");
+            // T0 reads its own store back — or T1's later one — but can
+            // never slide back to the initial value.
+            assert!(o[&1] == 3 || o[&1] == 4, "{o:?}");
         }
     }
 }

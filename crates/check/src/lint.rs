@@ -76,6 +76,13 @@ pub const LINTS: &[LintSpec] = &[
         description: "an L1 evicted a line whose lease still covered every local warp \
                       (renewal traffic will follow; tune geometry or lease)",
     },
+    LintSpec {
+        name: "retransmit-without-timeout",
+        severity: Severity::Error,
+        description: "the transport re-sent a segment that had neither timed out nor been \
+                      NACKed (a spurious retransmission masks timer bugs and wastes NoC \
+                      bandwidth)",
+    },
 ];
 
 /// One lint finding.
@@ -149,6 +156,9 @@ struct LintState {
     /// the last rollover (a lower bound on how far the SM's warps have
     /// advanced).
     max_warp_ts: HashMap<Scope, u64>,
+    /// Transport flows (scope, flow src, flow dst) that have been NACKed
+    /// at least once — the only flows allowed NACK-driven retransmits.
+    nacked_flows: std::collections::HashSet<(Scope, u16, u16)>,
 }
 
 /// Runs every lint over `events` (one pass, event order).
@@ -238,6 +248,44 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
                         format!(
                             "evicted block {block} with rts {rts} still covering \
                              every local warp (max observed warp_ts {seen})"
+                        ),
+                    );
+                }
+            }
+            EventKind::Nack { src, dst, .. } => {
+                st.nacked_flows.insert((e.scope, src, dst));
+            }
+            EventKind::Retransmit {
+                src,
+                dst,
+                seq,
+                age,
+                timeout,
+                nack,
+            } => {
+                if nack {
+                    // NACK-driven: legitimate only after the receiver
+                    // actually asked (a Nack on the same flow, earlier in
+                    // the stream).
+                    if !st.nacked_flows.contains(&(e.scope, src, dst)) {
+                        emit(
+                            "retransmit-without-timeout",
+                            e,
+                            format!(
+                                "nack-driven retransmit of {src} -> {dst} seq {seq} with \
+                                 no preceding NACK on that flow"
+                            ),
+                        );
+                    }
+                } else if timeout == 0 || age < timeout {
+                    // Timer-driven: the (backed-off) deadline must really
+                    // have elapsed.
+                    emit(
+                        "retransmit-without-timeout",
+                        e,
+                        format!(
+                            "retransmit of {src} -> {dst} seq {seq} at age {age}, before \
+                             its timeout {timeout} elapsed"
                         ),
                     );
                 }
@@ -460,6 +508,107 @@ mod tests {
         let r = lint_events(&events);
         assert_eq!(r.errors(), 1);
         assert_eq!(r.findings[0].lint, "rollover-ordering");
+    }
+
+    #[test]
+    fn retransmit_lint_demands_a_timeout_or_a_nack() {
+        let noc = Scope::Noc(0);
+        // Legitimate: a timer-driven retransmit past its deadline, and a
+        // NACK-driven one preceded by the receiver's NACK.
+        let clean = vec![
+            ev(
+                300,
+                noc,
+                EventKind::Retransmit {
+                    src: 0,
+                    dst: 1,
+                    seq: 4,
+                    age: 280,
+                    timeout: 256,
+                    nack: false,
+                },
+            ),
+            ev(
+                310,
+                noc,
+                EventKind::Nack {
+                    src: 2,
+                    dst: 1,
+                    expected: 9,
+                },
+            ),
+            ev(
+                311,
+                noc,
+                EventKind::Retransmit {
+                    src: 2,
+                    dst: 1,
+                    seq: 9,
+                    age: 20,
+                    timeout: 0,
+                    nack: true,
+                },
+            ),
+        ];
+        assert!(
+            lint_events(&clean).is_clean(),
+            "{:?}",
+            lint_events(&clean).findings
+        );
+
+        // Spurious: fired before the deadline.
+        let early = vec![ev(
+            100,
+            noc,
+            EventKind::Retransmit {
+                src: 0,
+                dst: 1,
+                seq: 4,
+                age: 100,
+                timeout: 256,
+                nack: false,
+            },
+        )];
+        let r = lint_events(&early);
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.findings[0].lint, "retransmit-without-timeout");
+        assert!(
+            r.findings[0].message.contains("before"),
+            "{:?}",
+            r.findings[0]
+        );
+
+        // Spurious: claims a NACK that never happened (or on another flow).
+        let phantom = vec![
+            ev(
+                50,
+                noc,
+                EventKind::Nack {
+                    src: 0,
+                    dst: 2,
+                    expected: 1,
+                },
+            ),
+            ev(
+                60,
+                noc,
+                EventKind::Retransmit {
+                    src: 0,
+                    dst: 1,
+                    seq: 4,
+                    age: 10,
+                    timeout: 0,
+                    nack: true,
+                },
+            ),
+        ];
+        let r = lint_events(&phantom);
+        assert_eq!(r.errors(), 1);
+        assert!(
+            r.findings[0].message.contains("no preceding NACK"),
+            "{:?}",
+            r.findings[0]
+        );
     }
 
     #[test]

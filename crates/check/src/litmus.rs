@@ -443,6 +443,7 @@ pub fn mp_rollover_sc() -> Litmus {
         cfg: HarnessCfg {
             lease: 10,
             ts_bits: 4,
+            ..HarnessCfg::default()
         },
         forbidden: vec![("flag-without-data", |o| o[&10] == 2 && o[&11] == 0)],
         required: vec![("sequential", |o| o[&10] == 2 && o[&11] == 1)],
@@ -474,11 +475,83 @@ pub fn corr_rollover_sc() -> Litmus {
         cfg: HarnessCfg {
             lease: 10,
             ts_bits: 5,
+            ..HarnessCfg::default()
         },
         forbidden: vec![("read-backwards", |o| {
             rank(o[&41]) < rank(o[&40]) || rank(o[&42]) < rank(o[&41])
         })],
         required: vec![("final", |o| o[&42] == 8)],
+    }
+}
+
+/// Message passing across an L2 bank crash: just before the second
+/// serve the bank loses its tag array and in-flight state mid-litmus.
+/// Recovery (DRAM rebuild behind a global epoch bump) must neither let
+/// the forbidden MP outcome through nor manufacture any outcome the
+/// never-crashing reference model cannot produce (`impl ⊆ spec` across
+/// the reset).
+#[must_use]
+pub fn mp_bank_crash_sc() -> Litmus {
+    Litmus {
+        name: "mp-crash-sc",
+        threads: vec![vec![st(0, 1), st(1, 2)], vec![ld(10, 1), ld(11, 0)]],
+        mode: Mode::Sc,
+        cfg: HarnessCfg {
+            crash_after_serves: Some(2),
+            ..HarnessCfg::default()
+        },
+        forbidden: vec![("flag-without-data", |o| o[&10] == 2 && o[&11] == 0)],
+        required: vec![("sequential", |o| o[&10] == 2 && o[&11] == 1)],
+    }
+}
+
+/// Coherent read-read across an L2 bank crash: the reader's two loads
+/// straddle the reset and must still never observe the two stores
+/// moving backwards — the recovered bank serves only versions at least
+/// as new as what DRAM durably holds.
+#[must_use]
+pub fn corr_bank_crash_sc() -> Litmus {
+    fn rank(label: u32) -> u32 {
+        match label {
+            0 => 0,
+            5 => 1,
+            6 => 2,
+            _ => unreachable!("corr-crash labels are 0/5/6"),
+        }
+    }
+    Litmus {
+        name: "corr-crash-sc",
+        threads: vec![vec![st(0, 5), st(0, 6)], vec![ld(40, 0), ld(41, 0)]],
+        mode: Mode::Sc,
+        cfg: HarnessCfg {
+            crash_after_serves: Some(2),
+            ..HarnessCfg::default()
+        },
+        forbidden: vec![("read-backwards", |o| rank(o[&41]) < rank(o[&40]))],
+        required: vec![("final", |o| o[&40] == 6 && o[&41] == 6)],
+    }
+}
+
+/// Message passing under a retransmit storm: every request reaches the
+/// bank twice (an end-to-end retry racing its original), so every ack
+/// and fill comes back doubled. The replay filter and waiter
+/// bookkeeping must keep the duplicates invisible — same outcome set as
+/// plain `mp-sc`.
+#[must_use]
+pub fn mp_retransmit_storm_sc() -> Litmus {
+    Litmus {
+        name: "mp-dup-sc",
+        threads: vec![vec![st(0, 1), st(1, 2)], vec![ld(10, 1), ld(11, 0)]],
+        mode: Mode::Sc,
+        cfg: HarnessCfg {
+            duplicate_serves: true,
+            ..HarnessCfg::default()
+        },
+        forbidden: vec![("flag-without-data", |o| o[&10] == 2 && o[&11] == 0)],
+        required: vec![
+            ("sequential", |o| o[&10] == 2 && o[&11] == 1),
+            ("both-early", |o| o[&10] == 0 && o[&11] == 0),
+        ],
     }
 }
 
@@ -496,6 +569,9 @@ pub fn all_litmus() -> Vec<Litmus> {
         sb_rc_relaxed(),
         mp_rollover_sc(),
         corr_rollover_sc(),
+        mp_bank_crash_sc(),
+        corr_bank_crash_sc(),
+        mp_retransmit_storm_sc(),
         iriw_sc(),
     ]
 }

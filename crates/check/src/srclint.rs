@@ -1,6 +1,6 @@
 //! Source-level lints over the protocol crates.
 //!
-//! Two rules, both protecting review invariants that `rustc` cannot:
+//! Four rules, all protecting review invariants that `rustc` cannot:
 //!
 //! * `raw-ts-arith` — logical-timestamp arithmetic (`.succ()`,
 //!   `+ lease`, `max` over `wts`/`rts`/`warp_ts`/`mem_ts`) belongs in
@@ -12,6 +12,15 @@
 //!   (`crates/core`, `crates/sim`, `crates/noc`) must surface errors
 //!   through results or documented invariants, not ad-hoc panics, so
 //!   the fault-injection harness can exercise error paths.
+//! * `noc-inject` — inside `crates/noc/src`, pushing directly onto a
+//!   network injection queue bypasses the reliable-transport layer's
+//!   sequencing and retransmit bookkeeping; the only legitimate
+//!   producer is `Network::send` itself (which carries the allow
+//!   comment).
+//! * `raw-network` — the simulator (`crates/sim/src`) must talk to the
+//!   interconnect through `ReliableNet`, never the raw `Network`; a raw
+//!   network silently loses packets under fault injection with no
+//!   recovery path.
 //!
 //! Suppression: a `// lint: allow(<rule>)` comment on the offending
 //! line or one of the two lines above it. Test modules (everything
@@ -34,7 +43,8 @@ pub struct SrcFinding {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
-    /// Rule name (`raw-ts-arith`, `unwrap`, `panic`).
+    /// Rule name (`raw-ts-arith`, `unwrap`, `panic`, `noc-inject`,
+    /// `raw-network`).
     pub rule: &'static str,
     /// The offending line, trimmed.
     pub snippet: String,
@@ -61,6 +71,16 @@ const TS_ARITH_ALLOWED_FILES: &[&str] = &["rules.rs"];
 /// Directories scanned for `unwrap()` / `panic!` in non-test code.
 const NO_PANIC_DIRS: &[&str] = &["crates/core/src", "crates/sim/src", "crates/noc/src"];
 
+/// Directories where direct pushes onto NoC injection queues are banned:
+/// everything must route through `ReliableNet` so sequencing, dedup, and
+/// retransmit state stay coherent. `Network::send` is the one sanctioned
+/// producer and carries the allow comment.
+const NOC_INJECT_DIRS: &[&str] = &["crates/noc/src"];
+
+/// Directories that must build on `ReliableNet` rather than the raw,
+/// lossy `Network` type.
+const RAW_NETWORK_DIRS: &[&str] = &["crates/sim/src"];
+
 /// Timestamp-bearing identifiers whose combination with arithmetic
 /// marks a line as timestamp math.
 const TS_WORDS: &[&str] = &["wts", "rts", "warp_ts", "mem_ts"];
@@ -76,6 +96,18 @@ fn is_ts_arith(line: &str) -> bool {
     mentions_ts(line) && (line.contains(".max(") || line.contains("+ 1"))
 }
 
+/// A direct push onto a network injection queue (`queues[..].push*`),
+/// sidestepping the transport layer's sequence numbers.
+fn is_noc_inject(line: &str) -> bool {
+    line.contains("queues[") && line.contains(".push")
+}
+
+/// A use of the raw `Network` type. `ReliableNet` does not contain the
+/// substring `Network`, so transport-based code never trips this.
+fn is_raw_network(line: &str) -> bool {
+    line.contains("Network<") || line.contains("Network::") || line.contains("gtsc_noc::Network")
+}
+
 /// Whether `lines[idx]` (or one of the two lines above) carries a
 /// `// lint: allow(<rule>)` suppression for `rule`.
 fn allowed(lines: &[&str], idx: usize, rule: &str) -> bool {
@@ -88,7 +120,18 @@ fn allowed(lines: &[&str], idx: usize, rule: &str) -> bool {
     })
 }
 
-fn lint_file(path: &Path, ts_arith: bool, no_panic: bool, out: &mut Vec<SrcFinding>) {
+/// Which rules a scan pass applies. `core/src` sits in several
+/// whitelists; each pass applies only its own rules so findings stay
+/// attributable to the directory list that requested them.
+#[derive(Clone, Copy, Default)]
+struct RuleSet {
+    ts_arith: bool,
+    no_panic: bool,
+    noc_inject: bool,
+    raw_network: bool,
+}
+
+fn lint_file(path: &Path, rules: RuleSet, out: &mut Vec<SrcFinding>) {
     let Ok(text) = fs::read_to_string(path) else {
         return;
     };
@@ -114,16 +157,22 @@ fn lint_file(path: &Path, ts_arith: bool, no_panic: bool, out: &mut Vec<SrcFindi
                 });
             }
         };
-        if ts_arith && is_ts_arith(line) {
+        if rules.ts_arith && is_ts_arith(line) {
             push("raw-ts-arith");
         }
-        if no_panic {
+        if rules.no_panic {
             if line.contains(".unwrap()") {
                 push("unwrap");
             }
             if line.contains("panic!(") {
                 push("panic");
             }
+        }
+        if rules.noc_inject && is_noc_inject(line) {
+            push("noc-inject");
+        }
+        if rules.raw_network && is_raw_network(line) {
+            push("raw-network");
         }
     }
 }
@@ -149,21 +198,49 @@ fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// not exist is an error (the whitelist above must track the layout).
 pub fn lint_sources(root: &Path) -> io::Result<Vec<SrcFinding>> {
     let mut findings = Vec::new();
-    for (dirs, ts_arith, no_panic) in [(TS_ARITH_DIRS, true, false), (NO_PANIC_DIRS, false, true)] {
+    let passes = [
+        (
+            TS_ARITH_DIRS,
+            RuleSet {
+                ts_arith: true,
+                ..RuleSet::default()
+            },
+        ),
+        (
+            NO_PANIC_DIRS,
+            RuleSet {
+                no_panic: true,
+                ..RuleSet::default()
+            },
+        ),
+        (
+            NOC_INJECT_DIRS,
+            RuleSet {
+                noc_inject: true,
+                ..RuleSet::default()
+            },
+        ),
+        (
+            RAW_NETWORK_DIRS,
+            RuleSet {
+                raw_network: true,
+                ..RuleSet::default()
+            },
+        ),
+    ];
+    for (dirs, rules) in passes {
         for dir in dirs {
             let mut files = Vec::new();
             rs_files(&root.join(dir), &mut files)?;
             for f in files {
-                if ts_arith
+                if rules.ts_arith
                     && TS_ARITH_ALLOWED_FILES
                         .iter()
                         .any(|a| f.file_name().is_some_and(|n| n == *a))
                 {
                     continue;
                 }
-                // core/src is in both whitelists; each pass applies only
-                // its own rule so findings stay attributable.
-                lint_file(&f, ts_arith, no_panic, &mut findings);
+                lint_file(&f, rules, &mut findings);
             }
         }
     }
@@ -184,6 +261,22 @@ mod tests {
         assert!(!is_ts_arith("let count = count + 1;"));
         assert!(!is_ts_arith("self.clock = self.clock.max(now);"));
         assert!(!is_ts_arith("let rts = line.meta.rts;"));
+    }
+
+    #[test]
+    fn noc_inject_and_raw_network_heuristics() {
+        assert!(is_noc_inject("self.queues[src].push_back(Packet {"));
+        assert!(is_noc_inject("net.queues[0].push(p);"));
+        assert!(!is_noc_inject("self.queues[src].pop_front()"));
+        assert!(!is_noc_inject("out.push((dst, payload));"));
+
+        assert!(is_raw_network("req_net: Network<(usize, L1ToL2)>,"));
+        assert!(is_raw_network("let net = Network::new(4, 8, cfg);"));
+        assert!(is_raw_network("use gtsc_noc::Network;"));
+        assert!(!is_raw_network("req_net: ReliableNet<(usize, L1ToL2)>,"));
+        assert!(!is_raw_network(
+            "let net = ReliableNet::new(4, 8, cfg, tp);"
+        ));
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn random_rollover_schedules_stay_within_spec() {
     let cfg = HarnessCfg {
         lease: 10,
         ts_bits: 4,
+        ..HarnessCfg::default()
     };
     let spec = {
         let r = explore_all(|| SpecMachine::new(&shape(), cfg.lease), 1_000_000);

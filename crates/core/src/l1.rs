@@ -15,7 +15,7 @@
 //!   `ForwardAll` policy sends every request instead (ablation).
 //! * **Write-through, write-no-allocate** L1, as in GPGPU-Sim.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use gtsc_mem::{Mshr, MshrAlloc, TagArray};
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
@@ -80,6 +80,9 @@ struct StoreWaiter {
     /// count of a line installed in between, or a newer pending store's
     /// data would become readable under a stale lease.
     locked_line: bool,
+    /// Cycle the request (or its latest retry) went out, for the
+    /// end-to-end retry timer.
+    sent: Cycle,
 }
 
 /// Construction parameters for [`GtscL1`].
@@ -127,10 +130,18 @@ pub struct GtscL1 {
     /// The warp timestamp table of Section III-B.
     warp_ts: Vec<Timestamp>,
     mshr: Mshr<Waiter>,
-    /// Blocks with a `BusRd` currently in flight (an MSHR entry without
-    /// one is waiting on a store ack instead).
-    rd_inflight: HashSet<BlockAddr>,
+    /// Blocks with a `BusRd` currently in flight, with the cycle it (or
+    /// its latest retry) was sent (an MSHR entry without one is waiting
+    /// on a store ack instead).
+    rd_inflight: HashMap<BlockAddr, Cycle>,
     store_acks: HashMap<BlockAddr, VecDeque<StoreWaiter>>,
+    /// End-to-end retry timer: requests unanswered this many cycles are
+    /// re-sent. `None` (the default) disables retry — only enabled when
+    /// the run injects loss faults, where a request can vanish with its
+    /// transport flow (an L2-bank crash wipes undelivered segments).
+    /// Idempotency makes the re-send safe: duplicate reads are
+    /// natural renewals, duplicate stores hit the L2 replay filter.
+    retry_timeout: Option<u64>,
     out: VecDeque<L1ToL2>,
     epoch: Epoch,
     version_ctr: Vec<u64>,
@@ -147,8 +158,9 @@ impl GtscL1 {
             tags: TagArray::new(p.geometry),
             warp_ts: vec![Timestamp::INIT; p.n_warps],
             mshr: Mshr::new(p.mshr_entries, p.mshr_merges),
-            rd_inflight: HashSet::new(),
+            rd_inflight: HashMap::new(),
             store_acks: HashMap::new(),
+            retry_timeout: None,
             out: VecDeque::new(),
             epoch: 0,
             version_ctr: vec![0; p.n_warps],
@@ -173,6 +185,18 @@ impl GtscL1 {
     #[must_use]
     pub fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    /// Turns on the end-to-end retry timer: any read or store
+    /// unanswered for `timeout` cycles is re-sent from [`GtscL1::tick`].
+    /// The simulator enables this only when loss faults are active —
+    /// an L2-bank crash discards undelivered request segments, and only
+    /// this retry closes that gap (the transport cannot: its flow state
+    /// died with the bank). Must stay off otherwise, or a run that is
+    /// *supposed* to stall (e.g. a starved DRAM) would mask the stall
+    /// with an endless retry stream.
+    pub fn enable_retry(&mut self, timeout: u64) {
+        self.retry_timeout = Some(timeout.max(1));
     }
 
     /// Mints a version id stable across protocols and timings: it encodes
@@ -209,11 +233,11 @@ impl GtscL1 {
         }
     }
 
-    fn send_read(&mut self, block: BlockAddr, wts: Timestamp, warp: WarpId) {
+    fn send_read(&mut self, block: BlockAddr, wts: Timestamp, warp: WarpId, now: Cycle) {
         if wts != Timestamp(0) {
             self.stats.renewals += 1;
         }
-        self.rd_inflight.insert(block);
+        self.rd_inflight.insert(block, now);
         self.out.push_back(L1ToL2::Read(ReadReq {
             block,
             wts,
@@ -226,7 +250,12 @@ impl GtscL1 {
     /// `request_wts` is `Some(wts)` when a `BusRd` should go out
     /// (`None` for loads parked on a locked line, which the store ack will
     /// serve).
-    fn queue_load(&mut self, acc: MemAccess, request_wts: Option<Timestamp>) -> L1Outcome {
+    fn queue_load(
+        &mut self,
+        acc: MemAccess,
+        request_wts: Option<Timestamp>,
+        now: Cycle,
+    ) -> L1Outcome {
         let waiter = Waiter {
             id: acc.id,
             warp: acc.warp,
@@ -235,7 +264,7 @@ impl GtscL1 {
             MshrAlloc::Full => L1Outcome::Reject,
             MshrAlloc::AllocatedNew => {
                 if let Some(wts) = request_wts {
-                    self.send_read(acc.block, wts, acc.warp);
+                    self.send_read(acc.block, wts, acc.warp, now);
                 }
                 L1Outcome::Queued
             }
@@ -243,7 +272,7 @@ impl GtscL1 {
                 self.stats.mshr_merges += 1;
                 if self.p.combine == CombinePolicy::ForwardAll {
                     if let Some(wts) = request_wts {
-                        self.send_read(acc.block, wts, acc.warp);
+                        self.send_read(acc.block, wts, acc.warp, now);
                     }
                 }
                 L1Outcome::Queued
@@ -285,8 +314,8 @@ impl GtscL1 {
                 .max_by_key(|w| self.warp_ts[w.warp.0 as usize])
                 .expect("nonempty");
             self.mshr.requeue(block, uncovered);
-            if !self.rd_inflight.contains(&block) {
-                self.send_read(block, wts, furthest.warp);
+            if !self.rd_inflight.contains_key(&block) {
+                self.send_read(block, wts, furthest.warp, now);
             }
         }
     }
@@ -316,8 +345,8 @@ impl GtscL1 {
     /// would be flagged. Loads are retried from scratch.
     fn on_stale_response(&mut self, msg: L2ToL1, done: &mut Vec<Completion>, now: Cycle) {
         match msg {
-            L2ToL1::Fill(f) => self.retry_reads_fresh(f.block),
-            L2ToL1::Renew { block, .. } => self.retry_reads_fresh(block),
+            L2ToL1::Fill(f) => self.retry_reads_fresh(f.block, now),
+            L2ToL1::Renew { block, .. } => self.retry_reads_fresh(block, now),
             L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
                 let prev = if let L2ToL1::AtomicAck { prev, .. } = msg {
                     Some(prev)
@@ -333,17 +362,17 @@ impl GtscL1 {
                 {
                     done.push(c);
                 }
-                self.retry_reads_fresh(a.block);
+                self.retry_reads_fresh(a.block, now);
             }
             L2ToL1::Invalidate { .. } => {}
         }
     }
 
-    fn retry_reads_fresh(&mut self, block: BlockAddr) {
+    fn retry_reads_fresh(&mut self, block: BlockAddr, now: Cycle) {
         self.rd_inflight.remove(&block);
-        if self.mshr.contains(block) && !self.rd_inflight.contains(&block) {
+        if self.mshr.contains(block) {
             let warp = WarpId(0);
-            self.send_read(block, Timestamp(0), warp);
+            self.send_read(block, Timestamp(0), warp, now);
         }
     }
 
@@ -443,6 +472,10 @@ impl GtscL1 {
 }
 
 impl L1Controller for GtscL1 {
+    fn enable_retry(&mut self, timeout: u64) {
+        GtscL1::enable_retry(self, timeout);
+    }
+
     fn access(&mut self, acc: MemAccess, now: Cycle) -> L1Outcome {
         // Counters are bumped only for *accepted* accesses: a rejected
         // access is retried by the SM and would otherwise be counted on
@@ -452,7 +485,7 @@ impl L1Controller for GtscL1 {
                 let warp_now = self.warp_ts[acc.warp.0 as usize];
                 let Some(line) = self.tags.probe_mut(acc.block) else {
                     // Tag miss (Figure 2): BusRd with wts = 0.
-                    let outcome = self.queue_load(acc, Some(Timestamp(0)));
+                    let outcome = self.queue_load(acc, Some(Timestamp(0)), now);
                     if !matches!(outcome, L1Outcome::Reject) {
                         self.stats.accesses += 1;
                         self.stats.cold_misses += 1;
@@ -488,7 +521,7 @@ impl L1Controller for GtscL1 {
                         }
                     }
                     // Park in the MSHR; the store ack will serve it.
-                    let outcome = self.queue_load(acc, None);
+                    let outcome = self.queue_load(acc, None, now);
                     if !matches!(outcome, L1Outcome::Reject) {
                         self.stats.accesses += 1;
                         self.stats.blocked_on_pending_write += 1;
@@ -517,7 +550,7 @@ impl L1Controller for GtscL1 {
                 // Expired relative to this warp: coherence miss → renewal.
                 let wts = line.meta.wts;
                 let rts = line.meta.rts;
-                let outcome = self.queue_load(acc, Some(wts));
+                let outcome = self.queue_load(acc, Some(wts), now);
                 if !matches!(outcome, L1Outcome::Reject) {
                     self.stats.accesses += 1;
                     self.stats.expired_misses += 1;
@@ -568,6 +601,7 @@ impl L1Controller for GtscL1 {
                         kind: acc.kind,
                         version,
                         locked_line,
+                        sent: now,
                     });
                 L1Outcome::Queued
             }
@@ -658,7 +692,7 @@ impl L1Controller for GtscL1 {
                     Some((true, ..)) => {}
                     None => {
                         if self.mshr.contains(block) {
-                            self.send_read(block, Timestamp(0), WarpId(0));
+                            self.send_read(block, Timestamp(0), WarpId(0), now);
                         }
                     }
                 }
@@ -692,16 +726,16 @@ impl L1Controller for GtscL1 {
                     None => {
                         // Not resident (write-no-allocate / recalled):
                         // parked readers must refetch.
-                        if self.mshr.contains(a.block) && !self.rd_inflight.contains(&a.block) {
-                            self.send_read(a.block, Timestamp(0), WarpId(0));
+                        if self.mshr.contains(a.block) && !self.rd_inflight.contains_key(&a.block) {
+                            self.send_read(a.block, Timestamp(0), WarpId(0), now);
                         }
                     }
                 }
             }
             L2ToL1::Invalidate { block, .. } => {
                 self.tags.invalidate(block);
-                if self.mshr.contains(block) && !self.rd_inflight.contains(&block) {
-                    self.send_read(block, Timestamp(0), WarpId(0));
+                if self.mshr.contains(block) && !self.rd_inflight.contains_key(&block) {
+                    self.send_read(block, Timestamp(0), WarpId(0), now);
                 }
             }
         }
@@ -712,7 +746,59 @@ impl L1Controller for GtscL1 {
         self.out.pop_front()
     }
 
-    fn tick(&mut self, _now: Cycle) -> Vec<Completion> {
+    fn tick(&mut self, now: Cycle) -> Vec<Completion> {
+        let Some(timeout) = self.retry_timeout else {
+            return Vec::new();
+        };
+        // End-to-end retry: requests unanswered past the timeout are
+        // re-sent. Overdue reads restart from scratch (wts = 0 — the
+        // lease situation may have changed arbitrarily since); the fill
+        // they fetch serves the parked MSHR waiters, with renewals
+        // covering any the lease misses.
+        let overdue: Vec<BlockAddr> = self
+            .rd_inflight
+            .iter()
+            .filter(|&(_, &sent)| now.0.saturating_sub(sent.0) >= timeout)
+            .map(|(&b, _)| b)
+            .collect();
+        for block in overdue {
+            self.stats.retries += 1;
+            self.rd_inflight.insert(block, now);
+            self.out.push_back(L1ToL2::Read(ReadReq {
+                block,
+                wts: Timestamp(0),
+                warp_ts: Timestamp::INIT,
+                epoch: self.epoch,
+            }));
+        }
+        // Overdue stores re-send the identical (block, version) request:
+        // the L2 replay filter makes the duplicate harmless if the
+        // original did land, and the ack satisfies this waiter either
+        // way. The warp timestamp is re-read (>= the original; the L2
+        // takes the max anyway) and the epoch is current — a request
+        // from a pre-crash epoch would only be degraded by the L2.
+        let mut resend: Vec<L1ToL2> = Vec::new();
+        for (&block, q) in &mut self.store_acks {
+            for sw in q.iter_mut() {
+                if now.0.saturating_sub(sw.sent.0) < timeout {
+                    continue;
+                }
+                sw.sent = now;
+                self.stats.retries += 1;
+                let req = WriteReq {
+                    block,
+                    warp_ts: self.warp_ts[sw.warp.0 as usize],
+                    version: sw.version,
+                    epoch: self.epoch,
+                };
+                resend.push(if sw.kind == AccessKind::Atomic {
+                    L1ToL2::Atomic(req)
+                } else {
+                    L1ToL2::Write(req)
+                });
+            }
+        }
+        self.out.extend(resend);
         Vec::new()
     }
 
@@ -1166,6 +1252,96 @@ mod tests {
         let ld = done.iter().find(|d| d.kind == AccessKind::Load).unwrap();
         assert_eq!(ld.version, w.version, "parked reader sees the RMW result");
         assert!(c.is_idle());
+    }
+
+    #[test]
+    fn retry_resends_overdue_reads_and_stores_only_when_enabled() {
+        // Disabled (the default): a lost request stays lost.
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        assert!(c.take_request().is_some());
+        assert!(c.tick(Cycle(100_000)).is_empty());
+        assert!(c.take_request().is_none(), "no retry unless enabled");
+        assert_eq!(c.stats().retries, 0);
+
+        // Enabled: both reads and stores are re-sent after the timeout.
+        let mut c = l1();
+        c.enable_retry(100);
+        c.access(load(1, 0, 5), Cycle(0));
+        c.access(store(2, 1, 9), Cycle(0));
+        let first_read = c.take_request().unwrap();
+        let L1ToL2::Write(first_store) = c.take_request().unwrap() else {
+            panic!("expected store");
+        };
+        c.tick(Cycle(50));
+        assert!(c.take_request().is_none(), "not overdue yet");
+        c.tick(Cycle(120));
+        let mut retried = Vec::new();
+        while let Some(r) = c.take_request() {
+            retried.push(r);
+        }
+        assert_eq!(retried.len(), 2, "one read + one store retried");
+        assert_eq!(c.stats().retries, 2);
+        let read_retry = retried
+            .iter()
+            .find_map(|r| {
+                if let L1ToL2::Read(rd) = r {
+                    Some(*rd)
+                } else {
+                    None
+                }
+            })
+            .expect("read retried");
+        assert_eq!(read_retry.block, first_read.block());
+        assert_eq!(read_retry.wts, Timestamp(0), "retried read starts fresh");
+        let store_retry = retried
+            .iter()
+            .find_map(|r| {
+                if let L1ToL2::Write(w) = r {
+                    Some(*w)
+                } else {
+                    None
+                }
+            })
+            .expect("store retried");
+        assert_eq!(
+            store_retry.version, first_store.version,
+            "store retry carries the same version for the replay filter"
+        );
+        // The (possibly duplicate) responses complete the accesses once.
+        let done = c.on_response(fill(5, 1, 11, Version(7)), Cycle(130));
+        assert_eq!(done.len(), 1);
+        let done = c.on_response(
+            L2ToL1::WriteAck(WriteAckResp {
+                block: BlockAddr(9),
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(12),
+                    rts: Timestamp(22),
+                },
+                version: first_store.version,
+                epoch: 0,
+            }),
+            Cycle(140),
+        );
+        assert_eq!(done.len(), 1);
+        // A duplicate ack (the retried copy) is a no-op.
+        let done = c.on_response(
+            L2ToL1::WriteAck(WriteAckResp {
+                block: BlockAddr(9),
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(12),
+                    rts: Timestamp(22),
+                },
+                version: first_store.version,
+                epoch: 0,
+            }),
+            Cycle(150),
+        );
+        assert!(done.is_empty(), "duplicate ack completes nothing");
+        assert!(c.is_idle());
+        // Nothing pending: ticks stay quiet.
+        c.tick(Cycle(10_000));
+        assert!(c.take_request().is_none());
     }
 
     #[test]

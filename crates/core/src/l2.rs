@@ -509,6 +509,48 @@ impl L2Controller for GtscL2 {
             .check_with(self.clock, || Transition::EpochEnter { epoch });
     }
 
+    fn crash(&mut self, now: Cycle) -> bool {
+        self.clock = self.clock.max(now);
+        // Models a coherence-state upset: the tag array and every
+        // in-flight transaction vanish, but the functional data image
+        // survives (as if line data were ECC-protected and recoverable
+        // from DRAM). Resident versions fold into the backing store so
+        // post-recovery fetches observe them.
+        for line in self.tags.flush() {
+            self.backing.insert(line.block, line.meta.version);
+        }
+        let in_flight: Vec<BlockAddr> = self.pending.blocks().collect();
+        for block in in_flight {
+            let _ = self.pending.take(block);
+        }
+        self.in_queue.clear();
+        self.out_resp.clear();
+        self.dram_out.clear();
+        // The replay filter dies with the bank. Safe only because the
+        // transport resets the bank's flows in the same cycle: a store
+        // duplicate from before the crash can no longer be delivered
+        // (stale generation), so nothing needs replay filtering. The
+        // end-to-end atomic caveat is documented in DESIGN.md §13.
+        self.applied_stores.clear();
+        let epoch = self.epoch;
+        let bank = match self.tracer.scope() {
+            gtsc_trace::Scope::L2Bank(b) => b,
+            _ => 0,
+        };
+        self.tracer
+            .record_with(self.clock, || EventKind::BankReset { bank, epoch });
+        self.sanitizer
+            .check_with(self.clock, || Transition::BankReset { epoch });
+        // Recovery rides the Section V-D machinery: forcing the
+        // overflow flag makes the simulator bump the *global* epoch and
+        // apply_reset() every bank. L1-held leases stay safe because
+        // logical time only moves forward across the bump — stale-epoch
+        // requests degrade to fresh fills, stale-epoch responses are
+        // discarded.
+        self.overflow = true;
+        true
+    }
+
     fn is_idle(&self) -> bool {
         self.in_queue.is_empty()
             && self.pending.is_empty()
@@ -803,6 +845,60 @@ mod tests {
             }
         );
         assert_eq!(l2.stats().ts_rollovers, 1);
+    }
+
+    #[test]
+    fn crash_preserves_data_and_forces_global_reset() {
+        let mut l2 = GtscL2::new(L2Params::default());
+        // Write some data, leave the line resident and dirty.
+        l2.on_request(0, write(5, 1, 42), Cycle(0));
+        settle(&mut l2, Cycle(0));
+        // Leave a request in flight so the crash has state to wipe.
+        l2.on_request(1, read(9, 0, 1), Cycle(50));
+        l2.tick(Cycle(60));
+        assert!(!l2.is_idle(), "a DRAM fetch is outstanding");
+        assert!(l2.crash(Cycle(70)), "G-TSC supports crash/recovery");
+        // The crash wiped all transaction state and requests the global
+        // Section V-D reset.
+        assert!(l2.needs_reset(), "recovery must force the epoch bump");
+        l2.apply_reset(1);
+        assert_eq!(l2.epoch(), 1);
+        assert!(l2.is_idle(), "no transaction survives the crash");
+        // The written version survives "via DRAM": a post-recovery read
+        // refetches it with a fresh epoch-1 lease.
+        l2.on_request(0, read(5, 0, 1), Cycle(100));
+        let resps = settle(&mut l2, Cycle(100));
+        let (_, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("expected fill")
+        };
+        assert_eq!(f.version, Version(42), "data must survive the crash");
+        assert_eq!(f.epoch, 1);
+        assert_eq!(
+            f.lease,
+            LeaseInfo::Logical {
+                wts: Timestamp(1),
+                rts: Timestamp(11)
+            }
+        );
+    }
+
+    #[test]
+    fn crash_recovery_passes_the_sanitizer() {
+        use gtsc_trace::Scope;
+        let mut l2 = GtscL2::new(L2Params::default());
+        let root = Sanitizer::enabled(Scope::Sm(0));
+        l2.set_sanitizer(root.for_scope(Scope::L2Bank(0)));
+        l2.on_request(0, write(5, 1, 42), Cycle(0));
+        settle(&mut l2, Cycle(0));
+        l2.crash(Cycle(50));
+        l2.apply_reset(1);
+        // Post-recovery activity is all epoch 1: no pre-crash lease may
+        // reappear.
+        l2.on_request(0, read(5, 0, 1), Cycle(100));
+        l2.on_request(1, write(5, 2, 43), Cycle(120));
+        settle(&mut l2, Cycle(100));
+        assert!(root.violations().is_empty(), "{:?}", root.violations());
+        assert!(root.checked() > 0);
     }
 
     #[test]

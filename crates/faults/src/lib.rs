@@ -5,11 +5,17 @@
 //! and timestamps order accesses regardless of physical delays. This
 //! crate turns that obligation into an executable test surface: a
 //! [`FaultPlan`] derived from a [`FaultConfig`](gtsc_types::FaultConfig)
-//! hands each perturbable component (NoC direction, DRAM partition) its
-//! own [`NocFaults`] / [`DramFaults`] injector. Injectors only *delay*,
-//! *reorder within a bounded window*, or *duplicate* — never drop —
-//! so liveness is preserved and a correct protocol must stay
-//! violation-free under every seed.
+//! hands each perturbable component (NoC direction, DRAM partition, L2
+//! bank) its own [`NocFaults`] / [`DramFaults`] / [`BankFaults`]
+//! injector. The classic NoC faults *delay*, *reorder within a bounded
+//! window*, or *duplicate* — eventual delivery is preserved, so a
+//! correct protocol must stay violation-free under every seed on the
+//! raw NoC. The *loss* faults go further: packets may be **dropped** or
+//! their payload **corrupted**, and a whole L2 bank may **crash**
+//! (losing its tag array and transport state). Those are only
+//! survivable with the reliable-transport layer in `gtsc-noc`, which
+//! the simulator enables automatically whenever a loss fault is
+//! configured.
 //!
 //! Determinism is the load-bearing property: every decision comes from a
 //! [`SplitMix64`] stream seeded from the plan's master seed and the
@@ -82,6 +88,12 @@ pub struct FaultStats {
     pub reordered: u64,
     /// Packets delivered twice.
     pub duplicated: u64,
+    /// Packets dropped at injection (loss fault).
+    pub dropped: u64,
+    /// Packets whose payload was corrupted in flight (loss fault).
+    pub corrupted: u64,
+    /// L2-bank crash/recovery events fired.
+    pub bank_resets: u64,
     /// Total extra cycles injected across all perturbations.
     pub extra_cycles: u64,
 }
@@ -92,6 +104,9 @@ impl FaultStats {
         self.jittered += other.jittered;
         self.reordered += other.reordered;
         self.duplicated += other.duplicated;
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.bank_resets += other.bank_resets;
         self.extra_cycles += other.extra_cycles;
     }
 }
@@ -104,6 +119,12 @@ pub struct PacketFate {
     /// When `Some(lag)`, deliver a second copy `lag` cycles after the
     /// (already delayed) original.
     pub duplicate: Option<u64>,
+    /// The packet vanishes at injection (loss fault; overrides the
+    /// other fields — nothing is delivered, not even a duplicate).
+    pub dropped: bool,
+    /// The payload arrives unusable; the header survives, so the
+    /// receiver still learns `(src, dst)` and can NACK the flow.
+    pub corrupted: bool,
 }
 
 /// Per-network fault injector (jitter, bounded reorder, duplication).
@@ -136,10 +157,22 @@ impl NocFaults {
         } else {
             None
         };
+        // Loss-fault draws are appended after the classic ones so the
+        // classic sub-streams keep their alignment; both draws happen
+        // unconditionally to keep the per-call draw count fixed.
+        let dropped = self.rng.chance(self.cfg.noc_drop_permille);
+        let corrupted = self.rng.chance(self.cfg.noc_corrupt_permille) && !dropped;
+        if dropped {
+            self.stats.dropped += 1;
+        } else if corrupted {
+            self.stats.corrupted += 1;
+        }
         self.stats.extra_cycles += extra + duplicate.unwrap_or(0);
         PacketFate {
             extra_delay: extra,
             duplicate,
+            dropped,
+            corrupted,
         }
     }
 
@@ -181,10 +214,50 @@ impl DramFaults {
     }
 }
 
+/// Per-L2-bank crash scheduler: `l2_crash_count` crash cycles drawn
+/// uniformly in `[1, l2_crash_window]` from the bank's stream, sorted,
+/// and popped as simulated time passes them. Crashes are distributed
+/// round-robin across banks so a multi-bank config sees every bank
+/// exercised before any bank crashes twice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankFaults {
+    /// Pending crash cycles, ascending.
+    schedule: Vec<u64>,
+    stats: FaultStats,
+}
+
+impl BankFaults {
+    /// Whether a crash is due at or before `now`; consumes the event.
+    /// At most one event fires per call (back-to-back crashes surface
+    /// on consecutive calls).
+    pub fn due(&mut self, now: u64) -> bool {
+        if self.schedule.first().is_some_and(|&c| c <= now) {
+            self.schedule.remove(0);
+            self.stats.bank_resets += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Crash events not yet fired.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
 /// Factory deriving independent, reproducible injector streams from one
 /// master seed. Stream indices are caller-chosen (the simulator uses
-/// `noc(0)` for requests, `noc(1)` for responses, and `dram(i)` per
-/// partition) so adding components never shifts existing streams.
+/// `noc(0)`/`noc(1)` for request/response data, `noc(2)`/`noc(3)` for
+/// the matching transport control channels, `dram(i)` per partition,
+/// and `bank(i)` per L2 bank) so adding components never shifts
+/// existing streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     cfg: FaultConfig,
@@ -224,10 +297,36 @@ impl FaultPlan {
     pub fn noc(&self, index: u64) -> Option<NocFaults> {
         let active = self.cfg.noc_jitter_permille > 0
             || self.cfg.noc_reorder_permille > 0
-            || self.cfg.noc_duplicate_permille > 0;
+            || self.cfg.noc_duplicate_permille > 0
+            || self.cfg.noc_drop_permille > 0
+            || self.cfg.noc_corrupt_permille > 0;
         active.then(|| NocFaults {
             cfg: self.cfg,
             rng: SplitMix64::new(self.stream_seed(0x004E_4F43, index)),
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// Crash scheduler for L2 bank `index` of `n_banks`, or `None` when
+    /// bank crashes are disabled. The configured crash budget is split
+    /// round-robin across banks (bank `i` takes crashes `i, i+n, …`).
+    #[must_use]
+    pub fn bank(&self, index: u64, n_banks: u64) -> Option<BankFaults> {
+        let count = u64::from(self.cfg.l2_crash_count);
+        if count == 0 || self.cfg.l2_crash_window == 0 || n_banks == 0 {
+            return None;
+        }
+        let mut rng = SplitMix64::new(self.stream_seed(0x4C32_424B, 0));
+        let mut schedule = Vec::new();
+        for i in 0..count {
+            let cycle = 1 + rng.below(self.cfg.l2_crash_window);
+            if i % n_banks == index {
+                schedule.push(cycle);
+            }
+        }
+        schedule.sort_unstable();
+        Some(BankFaults {
+            schedule,
             stats: FaultStats::default(),
         })
     }
@@ -364,13 +463,19 @@ mod tests {
             jittered: 1,
             reordered: 2,
             duplicated: 3,
-            extra_cycles: 4,
+            dropped: 4,
+            corrupted: 5,
+            bank_resets: 6,
+            extra_cycles: 7,
         };
         let b = FaultStats {
             jittered: 10,
             reordered: 20,
             duplicated: 30,
-            extra_cycles: 40,
+            dropped: 40,
+            corrupted: 50,
+            bank_resets: 60,
+            extra_cycles: 70,
         };
         a.merge(&b);
         assert_eq!(
@@ -379,8 +484,92 @@ mod tests {
                 jittered: 11,
                 reordered: 22,
                 duplicated: 33,
-                extra_cycles: 44
+                dropped: 44,
+                corrupted: 55,
+                bank_resets: 66,
+                extra_cycles: 77,
             }
         );
+    }
+
+    #[test]
+    fn chaos_never_drops_lossy_does() {
+        let plan = FaultPlan::new(FaultConfig::chaos(8));
+        let mut f = plan.noc(0).unwrap();
+        for _ in 0..2000 {
+            let fate = f.perturb();
+            assert!(!fate.dropped && !fate.corrupted, "chaos must not lose");
+        }
+        assert_eq!(f.stats().dropped, 0);
+        assert_eq!(f.stats().corrupted, 0);
+
+        let lossy = FaultPlan::new(FaultConfig::lossy(8, 100));
+        let mut f = lossy.noc(0).unwrap();
+        let mut both = 0u64;
+        for _ in 0..2000 {
+            let fate = f.perturb();
+            both += u64::from(fate.dropped && fate.corrupted);
+        }
+        assert_eq!(both, 0, "drop and corrupt are mutually exclusive");
+        let s = f.stats();
+        assert!(s.dropped > 0, "10% drop rate must fire in 2000 draws");
+        assert!(s.corrupted > 0, "5% corrupt rate must fire in 2000 draws");
+        assert!(s.jittered > 0, "chaos layer stays active underneath");
+    }
+
+    #[test]
+    fn drop_only_config_enables_noc_injector() {
+        let cfg = FaultConfig {
+            seed: 1,
+            noc_drop_permille: 50,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::new(cfg);
+        assert!(plan.is_active());
+        assert!(plan.noc(0).is_some(), "drops alone need an injector");
+        assert!(plan.dram(0).is_none());
+    }
+
+    #[test]
+    fn bank_crashes_are_scheduled_deterministically_and_split() {
+        let cfg = FaultConfig::default().with_bank_crashes(4, 10_000);
+        let plan = FaultPlan::new(FaultConfig { seed: 9, ..cfg });
+        assert!(plan.is_active());
+        let mut a = plan.bank(0, 2).unwrap();
+        let b = plan.bank(0, 2).unwrap();
+        assert_eq!(a, b, "same stream replays identically");
+        let c = plan.bank(1, 2).unwrap();
+        assert_eq!(a.pending() + c.pending(), 4, "budget split across banks");
+        assert_eq!(a.pending(), 2, "round-robin split");
+        // Walking time past the window fires every scheduled crash.
+        let mut fired = 0;
+        for now in 0..=10_000u64 {
+            fired += u64::from(a.due(now));
+        }
+        assert_eq!(fired, 2);
+        assert_eq!(a.stats().bank_resets, 2);
+        assert_eq!(a.pending(), 0);
+        assert!(!a.due(u64::MAX), "exhausted schedule stays quiet");
+        // Disabled configs yield no scheduler.
+        assert!(FaultPlan::new(FaultConfig::default()).bank(0, 2).is_none());
+        let no_window = FaultConfig::default().with_bank_crashes(3, 0);
+        assert!(FaultPlan::new(no_window).bank(0, 2).is_none());
+    }
+
+    #[test]
+    fn loss_draws_do_not_shift_classic_substreams() {
+        // The appended drop/corrupt draws must leave the per-call draw
+        // count fixed: two NocFaults over configs differing only in
+        // loss rates decide jitter/reorder/duplicate identically.
+        let chaos = FaultPlan::new(FaultConfig::chaos(21));
+        let lossy = FaultPlan::new(FaultConfig::lossy(21, 200));
+        let mut a = chaos.noc(0).unwrap();
+        let mut b = lossy.noc(0).unwrap();
+        for _ in 0..500 {
+            let fa = a.perturb();
+            let fb = b.perturb();
+            assert_eq!(fa.extra_delay, fb.extra_delay);
+            assert_eq!(fa.duplicate, fb.duplicate);
+        }
     }
 }

@@ -29,6 +29,10 @@
 //! assert_eq!(arrived, vec![(3, "hello")]);
 //! ```
 
+pub mod transport;
+
+pub use transport::{FlowDiag, ReliableNet};
+
 use std::collections::VecDeque;
 
 use gtsc_faults::{FaultStats, NocFaults};
@@ -54,6 +58,10 @@ struct InFlight<T> {
     /// Fault-injected duplicate: delivered like any packet but excluded
     /// from the latency counters (it is not a real packet).
     is_dup: bool,
+    /// Fault-injected corruption: the payload is unusable on arrival;
+    /// only the `(src, dst)` header is surfaced, via
+    /// [`Network::take_corrupted`].
+    is_corrupt: bool,
 }
 
 /// One direction of the SM ⇄ L2 interconnect.
@@ -84,6 +92,9 @@ pub struct Network<T> {
     /// that (e.g. two stores from one L1 to one block must reach the L2
     /// in program order).
     flow_last: Vec<u64>,
+    /// Headers of corrupted packets that arrived since the last
+    /// [`Network::take_corrupted`] call.
+    corrupted: Vec<(usize, usize)>,
     tracer: Tracer,
 }
 
@@ -112,6 +123,7 @@ impl<T> Network<T> {
             stats: NocStats::default(),
             faults: None,
             flow_last: vec![0; n_srcs * n_dsts],
+            corrupted: Vec::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -128,12 +140,23 @@ impl<T> Network<T> {
         &self.tracer
     }
 
-    /// Installs (or clears) a fault injector. Faults only ever *add*
-    /// latency or duplicate deliveries — a packet still arrives no
-    /// earlier than its fault-free schedule, so [`Network::is_idle`]
-    /// remains a liveness guarantee.
+    /// Installs (or clears) a fault injector. The classic faults only
+    /// ever *add* latency or duplicate deliveries — a packet still
+    /// arrives no earlier than its fault-free schedule. Loss faults
+    /// (drop/corrupt permille in the config) may additionally make a
+    /// packet vanish at injection or arrive with an unusable payload
+    /// (surfaced via [`Network::take_corrupted`]); a raw `Network`
+    /// under loss faults is *not* live — wrap it in
+    /// [`ReliableNet`](crate::ReliableNet) for that.
     pub fn set_faults(&mut self, faults: Option<NocFaults>) {
         self.faults = faults;
+    }
+
+    /// Drains the headers `(src, dst)` of corrupted packets that
+    /// arrived since the last call. The payloads are gone — the
+    /// reliable-transport layer uses the headers to NACK the flows.
+    pub fn take_corrupted(&mut self) -> Vec<(usize, usize)> {
+        std::mem::take(&mut self.corrupted)
     }
 
     /// Fault-injection counters, when an injector is installed.
@@ -197,6 +220,9 @@ impl<T> Network<T> {
             dst: dst as u16,
             bytes: bytes as u32,
         });
+        // The raw injection queue: every other send in the tree must go
+        // through `ReliableNet` — this is the one legitimate producer.
+        // lint: allow(noc-inject)
         self.queues[src].push_back(Packet {
             dst,
             bytes,
@@ -250,8 +276,20 @@ impl<T: Clone> Network<T> {
                 let done = start + inject_cycles;
                 self.port_free[src] = done;
                 let mut arrives = done + wire(src, pkt.dst);
+                let mut corrupt = false;
                 if let Some(f) = &mut self.faults {
                     let fate = f.perturb();
+                    if fate.dropped {
+                        // Loss fault: the packet (and any duplicate it
+                        // would have spawned) vanishes on the wire. The
+                        // injection bandwidth was still consumed.
+                        self.tracer.record_with(now, || EventKind::PacketDrop {
+                            src: src as u16,
+                            dst: pkt.dst as u16,
+                        });
+                        continue;
+                    }
+                    corrupt = fate.corrupted;
                     arrives += fate.extra_delay;
                     // Per-flow FIFO clamp: delayed or replayed, a packet
                     // never overtakes earlier traffic of its own flow
@@ -269,6 +307,8 @@ impl<T: Clone> Network<T> {
                             payload: pkt.payload.clone(),
                             enqueued: pkt.enqueued,
                             is_dup: true,
+                            // Corruption hits the original copy only.
+                            is_corrupt: false,
                         });
                     }
                 }
@@ -279,6 +319,7 @@ impl<T: Clone> Network<T> {
                     payload: pkt.payload,
                     enqueued: pkt.enqueued,
                     is_dup: false,
+                    is_corrupt: corrupt,
                 });
             }
         }
@@ -288,6 +329,15 @@ impl<T: Clone> Network<T> {
         while i < self.inflight.len() {
             if self.inflight[i].arrives <= now {
                 let p = self.inflight.swap_remove(i);
+                if p.is_corrupt {
+                    // The header survives; the payload does not.
+                    self.tracer.record_with(now, || EventKind::PacketCorrupt {
+                        src: p.src as u16,
+                        dst: p.dst as u16,
+                    });
+                    self.corrupted.push((p.src, p.dst));
+                    continue;
+                }
                 if !p.is_dup {
                     self.stats.total_packet_latency += now - p.enqueued;
                     self.tracer.record_with(now, || EventKind::PacketDeliver {
@@ -522,39 +572,68 @@ mod tests {
             sends in proptest::collection::vec((0usize..3, 0usize..3, 1usize..200, 0u64..10), 1..60),
             seed in 0u64..1000,
         ) {
-            use gtsc_faults::FaultPlan;
             use gtsc_types::FaultConfig;
-            let mut net: Network<usize> = Network::new(3, 3, NocConfig::default());
-            net.set_faults(FaultPlan::new(FaultConfig::chaos(seed)).noc(0));
-            let mut cycle = 0u64;
-            let mut flows: Vec<(usize, usize)> = Vec::new();
-            let mut delivered: Vec<usize> = Vec::new();
-            for (seq, (src, dst, bytes, delay)) in sends.iter().enumerate() {
-                for c in cycle..cycle + delay {
-                    delivered.extend(net.tick(Cycle(c)).into_iter().map(|(_, p)| p));
+            // Classic perturbations (jitter/reorder/duplicate) preserve
+            // eventual delivery; loss faults drop packets outright. The
+            // per-flow FIFO clamp must hold in both regimes: whatever
+            // *does* arrive on a flow arrives in send order.
+            for cfg in [FaultConfig::chaos(seed), FaultConfig::lossy(seed, 100)] {
+                let lossless = !cfg.lossy_active();
+                let delivered = run_faulted(&sends, cfg);
+                if lossless {
+                    // Without drops, every payload arrives at least once.
+                    let mut uniq: Vec<usize> = delivered.clone();
+                    uniq.sort_unstable();
+                    uniq.dedup();
+                    prop_assert_eq!(uniq.len(), sends.len(), "lossless faults must deliver all");
                 }
-                cycle += delay;
-                net.send(*src, *dst, *bytes, seq, Cycle(cycle));
-                flows.push((*src, *dst));
-            }
-            for c in cycle..cycle + 500_000 {
-                delivered.extend(net.tick(Cycle(c)).into_iter().map(|(_, p)| p));
-                if net.is_idle() { break; }
-            }
-            prop_assert!(net.is_idle(), "faults must preserve liveness");
-            for a in 0..delivered.len() {
-                for b in a + 1..delivered.len() {
-                    let (qa, qb) = (delivered[a], delivered[b]);
-                    if flows[qa] == flows[qb] {
-                        prop_assert!(
-                            qa <= qb,
-                            "flow {:?} order broken under seed {}: {} after {}",
-                            flows[qa], seed, qa, qb
-                        );
+                for a in 0..delivered.len() {
+                    for b in a + 1..delivered.len() {
+                        let (qa, qb) = (delivered[a], delivered[b]);
+                        if flows_of(&sends)[qa] == flows_of(&sends)[qb] {
+                            prop_assert!(
+                                qa <= qb,
+                                "flow {:?} order broken under seed {}: {} after {}",
+                                flows_of(&sends)[qa], seed, qa, qb
+                            );
+                        }
                     }
                 }
             }
         }
+    }
+
+    fn flows_of(sends: &[(usize, usize, usize, u64)]) -> Vec<(usize, usize)> {
+        sends.iter().map(|&(src, dst, _, _)| (src, dst)).collect()
+    }
+
+    /// Pushes `sends` through a faulted 3x3 network and returns the
+    /// payloads that survive, in delivery order. Panics if the network
+    /// fails to drain (dropped packets must vanish, not linger).
+    fn run_faulted(
+        sends: &[(usize, usize, usize, u64)],
+        cfg: gtsc_types::FaultConfig,
+    ) -> Vec<usize> {
+        use gtsc_faults::FaultPlan;
+        let mut net: Network<usize> = Network::new(3, 3, NocConfig::default());
+        net.set_faults(FaultPlan::new(cfg).noc(0));
+        let mut cycle = 0u64;
+        let mut delivered: Vec<usize> = Vec::new();
+        for (seq, (src, dst, bytes, delay)) in sends.iter().enumerate() {
+            for c in cycle..cycle + delay {
+                delivered.extend(net.tick(Cycle(c)).into_iter().map(|(_, p)| p));
+            }
+            cycle += delay;
+            net.send(*src, *dst, *bytes, seq, Cycle(cycle));
+        }
+        for c in cycle..cycle + 500_000 {
+            delivered.extend(net.tick(Cycle(c)).into_iter().map(|(_, p)| p));
+            if net.is_idle() {
+                break;
+            }
+        }
+        assert!(net.is_idle(), "faults must preserve network drain");
+        delivered
     }
 
     #[test]

@@ -1,0 +1,922 @@
+//! Reliable transport over a lossy NoC.
+//!
+//! The raw [`Network`] is only live when every packet eventually
+//! arrives. The loss faults in `gtsc-faults` (drop, payload corruption,
+//! L2-bank crash) break that assumption on purpose; [`ReliableNet`]
+//! restores it with the classic machinery — per-flow sequence numbers,
+//! a receiver-side dedup/reorder window, cumulative ACKs on a reverse
+//! control network, explicit NACKs for observed gaps and corrupted
+//! arrivals, and sender retransmit queues driven by cycle-based
+//! timeouts with exponential backoff plus seeded jitter. The coherence
+//! protocols above see **exactly-once, per-flow-FIFO** delivery no
+//! matter what the wire does.
+//!
+//! Two properties matter beyond correctness:
+//!
+//! * **Passthrough is free.** Until [`ReliableNet::enable`] is called
+//!   (the simulator calls it only when a loss fault is configured), the
+//!   wrapper forwards straight to the data network: no sequence
+//!   numbers, no control traffic, no per-flow state — the fault-free
+//!   hot path is byte-identical to the raw network's.
+//! * **Determinism.** All jitter comes from a [`SplitMix64`] stream
+//!   seeded by the caller, and all timeouts are cycle-based, so a
+//!   `(config, kernel, seed)` triple replays byte-for-byte.
+//!
+//! Crash/recovery: when an endpoint loses its transport state (an L2
+//! bank reset), [`ReliableNet::reset_flows_to_dst`] /
+//! [`ReliableNet::reset_flows_from_src`] reset *both* ends of every
+//! affected flow and bump the flow generation; segments and control
+//! messages of older generations still in flight are discarded on
+//! arrival, so a reset can never wedge a flow on mismatched sequence
+//! numbers. Messages unacked at reset time are dropped — re-issuing
+//! them is the job of the end-to-end retry in the L1 (see DESIGN.md
+//! §13).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use gtsc_faults::{FaultStats, NocFaults, SplitMix64};
+use gtsc_trace::{merge_tails, EventKind, TraceEvent, Tracer};
+use gtsc_types::{Cycle, NocConfig, NocStats, TransportConfig, TransportStats};
+
+use crate::Network;
+
+/// A payload plus the transport header riding the data network.
+///
+/// `src` repeats the source port (the raw network hands receivers only
+/// the destination), `gen` is the flow generation (bumped on flow
+/// reset), `seq` the per-flow sequence number. The header fields fit
+/// the existing per-packet header byte budget (`NocConfig::
+/// control_bytes`), so wire sizes are unchanged — see DESIGN.md §13.
+#[derive(Debug, Clone)]
+struct DataSeg<T> {
+    src: usize,
+    gen: u32,
+    seq: u64,
+    payload: T,
+}
+
+/// What a control message says about its flow.
+#[derive(Debug, Clone, Copy)]
+enum CtlKind {
+    /// Cumulative: every `seq <= cum` was delivered.
+    Ack { cum: u64 },
+    /// The receiver is missing `expected` (gap or corrupted payload).
+    Nack { expected: u64 },
+}
+
+/// A control message on the reverse network, addressed by *data-flow*
+/// `(src, dst)` so the sender can find the right retransmit queue.
+#[derive(Debug, Clone, Copy)]
+struct CtlMsg {
+    flow_src: usize,
+    flow_dst: usize,
+    gen: u32,
+    kind: CtlKind,
+}
+
+/// One unacked segment in a sender's retransmit queue.
+#[derive(Debug, Clone)]
+struct Sent<T> {
+    seq: u64,
+    bytes: usize,
+    payload: T,
+    /// First transmission cycle (for oldest-unacked diagnostics).
+    first_sent: Cycle,
+    /// When the retransmit timer fires next (backoff + jitter applied).
+    deadline: Cycle,
+    retries: u32,
+}
+
+/// Sender-side state of one `(src, dst)` flow.
+#[derive(Debug, Clone)]
+struct TxFlow<T> {
+    gen: u32,
+    next_seq: u64,
+    unacked: VecDeque<Sent<T>>,
+}
+
+impl<T> TxFlow<T> {
+    fn new() -> Self {
+        TxFlow {
+            gen: 0,
+            next_seq: 0,
+            unacked: VecDeque::new(),
+        }
+    }
+}
+
+/// Receiver-side state of one `(src, dst)` flow.
+#[derive(Debug, Clone)]
+struct RxFlow<T> {
+    gen: u32,
+    next_expected: u64,
+    /// Out-of-order arrivals waiting for the gap to fill.
+    buffer: BTreeMap<u64, T>,
+    /// Last cycle a NACK went out (rate limiting).
+    last_nack: Option<Cycle>,
+}
+
+impl<T> RxFlow<T> {
+    fn new() -> Self {
+        RxFlow {
+            gen: 0,
+            next_expected: 0,
+            buffer: BTreeMap::new(),
+            last_nack: None,
+        }
+    }
+}
+
+/// Per-flow sender diagnostics for watchdog stall reports: lets a
+/// retransmit storm be told apart from a genuine protocol deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowDiag {
+    /// Source port of the flow.
+    pub src: usize,
+    /// Destination port of the flow.
+    pub dst: usize,
+    /// Segments awaiting an ACK.
+    pub unacked: usize,
+    /// Cycles since the oldest unacked segment was first sent.
+    pub oldest_age: u64,
+    /// Largest retry count among the unacked segments.
+    pub max_retries: u32,
+}
+
+impl std::fmt::Display for FlowDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flow {} -> {}: {} unacked, oldest {} cycles, {} retries",
+            self.src, self.dst, self.unacked, self.oldest_age, self.max_retries
+        )
+    }
+}
+
+/// One direction of the interconnect with exactly-once, per-flow-FIFO
+/// delivery over a lossy wire: a data [`Network`] carrying sequenced
+/// segments plus a reverse control [`Network`] carrying ACKs/NACKs.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_noc::ReliableNet;
+/// use gtsc_types::{Cycle, NocConfig, TransportConfig};
+///
+/// let mut net: ReliableNet<&str> =
+///     ReliableNet::new(2, 2, NocConfig::default(), TransportConfig::default());
+/// // Passthrough until enabled: behaves exactly like a raw Network.
+/// net.send(0, 1, 8, "hello", Cycle(0));
+/// let mut got = Vec::new();
+/// for c in 0..=30 {
+///     got.extend(net.tick(Cycle(c)));
+/// }
+/// assert_eq!(got, vec![(1, "hello")]);
+/// assert_eq!(net.transport_stats(), Default::default());
+/// ```
+#[derive(Debug)]
+pub struct ReliableNet<T> {
+    data: Network<DataSeg<T>>,
+    ctl: Network<CtlMsg>,
+    n_dsts: usize,
+    enabled: bool,
+    tcfg: TransportConfig,
+    ctl_bytes: usize,
+    tx: Vec<TxFlow<T>>,
+    rx: Vec<RxFlow<T>>,
+    rng: SplitMix64,
+    stats: TransportStats,
+    tracer: Tracer,
+}
+
+impl<T: Clone> ReliableNet<T> {
+    /// Creates the wrapper in passthrough mode: data traffic flows
+    /// `n_srcs` source ports to `n_dsts` destination ports, control
+    /// traffic the other way.
+    #[must_use]
+    pub fn new(n_srcs: usize, n_dsts: usize, cfg: NocConfig, tcfg: TransportConfig) -> Self {
+        ReliableNet {
+            data: Network::new(n_srcs, n_dsts, cfg),
+            ctl: Network::new(n_dsts, n_srcs, cfg),
+            n_dsts,
+            enabled: false,
+            tcfg,
+            ctl_bytes: cfg.control_bytes,
+            tx: (0..n_srcs * n_dsts).map(|_| TxFlow::new()).collect(),
+            rx: (0..n_srcs * n_dsts).map(|_| RxFlow::new()).collect(),
+            rng: SplitMix64::new(0),
+            stats: TransportStats::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Switches from passthrough to reliable delivery, seeding the
+    /// backoff-jitter stream. Call before any traffic is injected (the
+    /// simulator enables at build time when a loss fault is active).
+    pub fn enable(&mut self, seed: u64) {
+        self.enabled = true;
+        self.rng = SplitMix64::new(seed);
+    }
+
+    /// Whether reliable delivery (vs passthrough) is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Installs fault injectors: `data` perturbs the forward segments,
+    /// `ctl` the reverse ACK/NACK channel (they must be distinct
+    /// streams or the two networks would fault in lockstep).
+    pub fn set_faults(&mut self, data: Option<NocFaults>, ctl: Option<NocFaults>) {
+        self.data.set_faults(data);
+        self.ctl.set_faults(ctl);
+    }
+
+    /// Installs a tracer: a clone goes to the data network (packet
+    /// send/deliver/drop/corrupt events) and one stays here for the
+    /// transport events (retransmits, NACKs).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.data.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Combined flight-recorder tail of the data network and the
+    /// transport layer, cycle-ordered.
+    #[must_use]
+    pub fn flight_tail(&self) -> Vec<TraceEvent> {
+        merge_tails(&[self.data.tracer().flight_tail(), self.tracer.flight_tail()])
+    }
+
+    /// The full in-order transport event log (empty unless tracing in
+    /// `Full` mode).
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self.data.tracer().events().to_vec();
+        all.extend_from_slice(self.tracer.events());
+        all.sort_by_key(|e| e.cycle);
+        all
+    }
+
+    /// Merged NoC counters (data + control traffic).
+    #[must_use]
+    pub fn stats(&self) -> NocStats {
+        let mut s = self.data.stats();
+        s.merge(&self.ctl.stats());
+        s
+    }
+
+    /// Transport counters (all zero in passthrough mode).
+    #[must_use]
+    pub fn transport_stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// Merged fault counters of both underlying networks, when any
+    /// injector is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match (self.data.fault_stats(), self.ctl.fault_stats()) {
+            (None, None) => None,
+            (a, b) => {
+                let mut s = a.unwrap_or_default();
+                s.merge(&b.unwrap_or_default());
+                Some(s)
+            }
+        }
+    }
+
+    /// Packets on a wire in either direction (stall diagnostics).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.data.in_flight() + self.ctl.in_flight()
+    }
+
+    /// Packets queued for injection in either direction.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.data.queued() + self.ctl.queued()
+    }
+
+    /// Segments awaiting an ACK across all flows.
+    #[must_use]
+    pub fn unacked(&self) -> usize {
+        self.tx.iter().map(|f| f.unacked.len()).sum()
+    }
+
+    /// A monotone progress mark for the forward-progress watchdog:
+    /// advances on exactly-once deliveries, retired ACKs, and flow
+    /// resets — deliberately *not* on retransmits, so an unproductive
+    /// retransmit storm still counts as a stall.
+    #[must_use]
+    pub fn progress_mark(&self) -> u64 {
+        self.stats.delivered + self.stats.acks + self.stats.flows_reset
+    }
+
+    /// Per-flow retransmit-queue diagnostics, busiest flows first
+    /// (flows with nothing unacked are omitted).
+    #[must_use]
+    pub fn flow_diagnostics(&self, now: Cycle) -> Vec<FlowDiag> {
+        let mut out: Vec<FlowDiag> = self
+            .tx
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.unacked.is_empty())
+            .map(|(i, f)| FlowDiag {
+                src: i / self.n_dsts,
+                dst: i % self.n_dsts,
+                unacked: f.unacked.len(),
+                oldest_age: f
+                    .unacked
+                    .iter()
+                    .map(|s| now.0.saturating_sub(s.first_sent.0))
+                    .max()
+                    .unwrap_or(0),
+                max_retries: f.unacked.iter().map(|s| s.retries).max().unwrap_or(0),
+            })
+            .collect();
+        out.sort_by_key(|d| (std::cmp::Reverse(d.oldest_age), d.src, d.dst));
+        out
+    }
+
+    /// Whether every queue, wire, retransmit queue, and reorder buffer
+    /// is drained. Only then has every sent payload been delivered and
+    /// acknowledged.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.data.is_idle()
+            && self.ctl.is_idle()
+            && (!self.enabled
+                || (self.tx.iter().all(|f| f.unacked.is_empty())
+                    && self.rx.iter().all(|f| f.buffer.is_empty())))
+    }
+
+    /// Resets both ends of every flow *into* destination port `dst`
+    /// (e.g. the request net's flows into a crashed L2 bank). Returns
+    /// the number of flows that carried state.
+    pub fn reset_flows_to_dst(&mut self, dst: usize) -> usize {
+        let n_dsts = self.n_dsts;
+        let flows: Vec<usize> = (0..self.tx.len()).filter(|f| f % n_dsts == dst).collect();
+        self.reset_flows(&flows)
+    }
+
+    /// Resets both ends of every flow *out of* source port `src` (e.g.
+    /// the response net's flows from a crashed L2 bank).
+    pub fn reset_flows_from_src(&mut self, src: usize) -> usize {
+        let n_dsts = self.n_dsts;
+        let flows: Vec<usize> = (0..self.tx.len()).filter(|f| f / n_dsts == src).collect();
+        self.reset_flows(&flows)
+    }
+
+    fn reset_flows(&mut self, flows: &[usize]) -> usize {
+        let mut touched = 0;
+        for &f in flows {
+            let tx = &mut self.tx[f];
+            let rx = &mut self.rx[f];
+            let had_state = tx.next_seq > 0 || rx.next_expected > 0 || !rx.buffer.is_empty();
+            // Generation bump: segments and control messages of the old
+            // generation still in flight are discarded on arrival, so
+            // the restarted sequence space can never collide with them.
+            tx.gen += 1;
+            tx.next_seq = 0;
+            tx.unacked.clear();
+            rx.gen += 1;
+            rx.next_expected = 0;
+            rx.buffer.clear();
+            rx.last_nack = None;
+            if had_state {
+                touched += 1;
+                self.stats.flows_reset += 1;
+            }
+        }
+        touched
+    }
+
+    /// Sends `payload` from `src` to `dst`. In passthrough mode this is
+    /// a plain [`Network::send`]; when enabled, the payload is
+    /// sequenced and tracked until acknowledged.
+    pub fn send(&mut self, src: usize, dst: usize, bytes: usize, payload: T, now: Cycle) {
+        if !self.enabled {
+            let seg = DataSeg {
+                src,
+                gen: 0,
+                seq: 0,
+                payload,
+            };
+            self.data.send(src, dst, bytes, seg, now);
+            return;
+        }
+        let flow = src * self.n_dsts + dst;
+        let f = &mut self.tx[flow];
+        let seq = f.next_seq;
+        f.next_seq += 1;
+        let seg = DataSeg {
+            src,
+            gen: f.gen,
+            seq,
+            payload: payload.clone(),
+        };
+        let deadline = now + self.tcfg.retransmit_timeout + self.jitter();
+        self.tx[flow].unacked.push_back(Sent {
+            seq,
+            bytes,
+            payload,
+            first_sent: now,
+            deadline,
+            retries: 0,
+        });
+        self.data.send(src, dst, bytes, seg, now);
+    }
+
+    /// Seeded retransmit-timer jitter (decorrelates flows that would
+    /// otherwise back off in lockstep).
+    fn jitter(&mut self) -> u64 {
+        self.rng.below(self.tcfg.retransmit_timeout / 8 + 1)
+    }
+
+    fn send_ack(&mut self, flow_src: usize, flow_dst: usize, gen: u32, cum: u64, now: Cycle) {
+        let msg = CtlMsg {
+            flow_src,
+            flow_dst,
+            gen,
+            kind: CtlKind::Ack { cum },
+        };
+        self.ctl.send(flow_dst, flow_src, self.ctl_bytes, msg, now);
+    }
+
+    /// Sends a rate-limited NACK for the flow's next expected sequence
+    /// number.
+    fn send_nack(&mut self, flow_src: usize, flow_dst: usize, now: Cycle) {
+        let flow = flow_src * self.n_dsts + flow_dst;
+        let gap = self.tcfg.nack_min_gap;
+        let rxf = &mut self.rx[flow];
+        if rxf.last_nack.is_some_and(|t| now.0 - t.0 < gap) {
+            return;
+        }
+        rxf.last_nack = Some(now);
+        let expected = rxf.next_expected;
+        let gen = rxf.gen;
+        self.stats.nacks += 1;
+        self.tracer.record_with(now, || EventKind::Nack {
+            src: flow_src as u16,
+            dst: flow_dst as u16,
+            expected,
+        });
+        let msg = CtlMsg {
+            flow_src,
+            flow_dst,
+            gen,
+            kind: CtlKind::Nack { expected },
+        };
+        self.ctl.send(flow_dst, flow_src, self.ctl_bytes, msg, now);
+    }
+
+    /// Re-sends one unacked segment of `flow` (found by `seq`), either
+    /// NACK-driven (`timeout == 0`) or after its timer expired.
+    fn retransmit(&mut self, flow: usize, seq: u64, now: Cycle, via_nack: bool) {
+        let (src, dst) = (flow / self.n_dsts, flow % self.n_dsts);
+        let jitter = self.jitter();
+        let gen = self.tx[flow].gen;
+        let max_exp = self.tcfg.max_backoff_exp;
+        let base = self.tcfg.retransmit_timeout;
+        let Some(entry) = self.tx[flow].unacked.iter_mut().find(|s| s.seq == seq) else {
+            return; // already acked or flow was reset
+        };
+        let expired_timeout = base << entry.retries.min(max_exp);
+        entry.retries += 1;
+        if entry.retries >= max_exp {
+            self.stats.max_backoff_hits += 1;
+        }
+        entry.deadline = now + (base << entry.retries.min(max_exp)) + jitter;
+        let age = now.0.saturating_sub(entry.first_sent.0);
+        let (bytes, payload) = (entry.bytes, entry.payload.clone());
+        self.stats.retransmits += 1;
+        if !via_nack {
+            self.stats.timeouts += 1;
+        }
+        self.tracer.record_with(now, || EventKind::Retransmit {
+            src: src as u16,
+            dst: dst as u16,
+            seq,
+            age,
+            timeout: if via_nack { 0 } else { expired_timeout },
+            nack: via_nack,
+        });
+        let seg = DataSeg {
+            src,
+            gen,
+            seq,
+            payload,
+        };
+        self.data.send(src, dst, bytes, seg, now);
+    }
+
+    /// Advances both networks to `now` and returns the payloads the
+    /// transport releases this cycle: exactly once each, in per-flow
+    /// FIFO order, as `(dst, payload)`.
+    pub fn tick(&mut self, now: Cycle) -> Vec<(usize, T)> {
+        if !self.enabled {
+            return self
+                .data
+                .tick(now)
+                .into_iter()
+                .map(|(dst, seg)| (dst, seg.payload))
+                .collect();
+        }
+        // 1. Control plane first: ACKs retire retransmit state before
+        //    the timer scan below, NACKs trigger immediate resends.
+        let ctl_msgs = self.ctl.tick(now);
+        for (_, msg) in ctl_msgs {
+            let flow = msg.flow_src * self.n_dsts + msg.flow_dst;
+            if msg.gen != self.tx[flow].gen {
+                continue; // stale generation: flow was reset since
+            }
+            match msg.kind {
+                CtlKind::Ack { cum } => {
+                    let f = &mut self.tx[flow];
+                    while f.unacked.front().is_some_and(|s| s.seq <= cum) {
+                        f.unacked.pop_front();
+                        self.stats.acks += 1;
+                    }
+                }
+                CtlKind::Nack { expected } => {
+                    self.retransmit(flow, expected, now, true);
+                }
+            }
+        }
+        // Corrupted control messages carry nothing actionable; the
+        // retransmit timers cover the lost ACK/NACK.
+        let _ = self.ctl.take_corrupted();
+
+        // 2. Data plane: sequence-check every arrival.
+        let mut out = Vec::new();
+        let arrivals = self.data.tick(now);
+        for (dst, seg) in arrivals {
+            let flow = seg.src * self.n_dsts + dst;
+            if seg.gen != self.rx[flow].gen {
+                self.stats.dup_dropped += 1; // stale generation
+                continue;
+            }
+            let next = self.rx[flow].next_expected;
+            if seg.seq < next {
+                // Duplicate of something already released: the ACK may
+                // have been lost, so re-ACK cumulatively.
+                self.stats.dup_dropped += 1;
+                let gen = seg.gen;
+                self.send_ack(seg.src, dst, gen, next - 1, now);
+            } else if seg.seq == next {
+                // In-order: release it and everything it unblocks.
+                let src = seg.src;
+                let gen = seg.gen;
+                out.push((dst, seg.payload));
+                self.stats.delivered += 1;
+                let rxf = &mut self.rx[flow];
+                rxf.next_expected += 1;
+                while let Some(payload) = rxf.buffer.remove(&rxf.next_expected) {
+                    out.push((dst, payload));
+                    rxf.next_expected += 1;
+                    self.stats.delivered += 1;
+                }
+                let cum = self.rx[flow].next_expected - 1;
+                self.send_ack(src, dst, gen, cum, now);
+            } else {
+                // Gap: hold out-of-order arrival, ask for the missing
+                // segment (rate-limited).
+                let src = seg.src;
+                let rxf = &mut self.rx[flow];
+                if rxf.buffer.insert(seg.seq, seg.payload).is_some() {
+                    self.stats.dup_dropped += 1;
+                }
+                self.send_nack(src, dst, now);
+            }
+        }
+        // 3. Corrupted data arrivals: header survives, payload did not
+        //    — NACK so the sender re-sends without waiting a timeout.
+        for (src, dst) in self.data.take_corrupted() {
+            self.send_nack(src, dst, now);
+        }
+        // 4. Retransmit timers (after ACK processing so nothing just
+        //    acked re-fires).
+        let mut due: Vec<(usize, u64)> = Vec::new();
+        for (flow, f) in self.tx.iter().enumerate() {
+            for s in &f.unacked {
+                if now >= s.deadline {
+                    due.push((flow, s.seq));
+                }
+            }
+        }
+        for (flow, seq) in due {
+            self.retransmit(flow, seq, now, false);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_faults::FaultPlan;
+    use gtsc_types::FaultConfig;
+    use proptest::prelude::*;
+
+    /// Small timeouts so drained test runs stay fast.
+    fn test_tcfg() -> TransportConfig {
+        TransportConfig {
+            retransmit_timeout: 64,
+            max_backoff_exp: 4,
+            nack_min_gap: 32,
+            retry_timeout: 2048,
+        }
+    }
+
+    fn lossy_net(seed: u64, drop_permille: u16) -> ReliableNet<usize> {
+        let mut net = ReliableNet::new(3, 3, NocConfig::default(), test_tcfg());
+        let plan = FaultPlan::new(FaultConfig::lossy(seed, drop_permille));
+        net.set_faults(plan.noc(0), plan.noc(2));
+        net.enable(seed ^ 0x7261_6E64);
+        net
+    }
+
+    /// Drives `net` until idle (or the horizon trips), collecting
+    /// deliveries as `(cycle, dst, payload)`.
+    fn drain(net: &mut ReliableNet<usize>, from: u64, horizon: u64) -> Vec<(u64, usize, usize)> {
+        let mut out = Vec::new();
+        for c in from..from + horizon {
+            for (d, p) in net.tick(Cycle(c)) {
+                out.push((c, d, p));
+            }
+            if net.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The satellite contract: across many seeds, heavy drop/corrupt
+    /// storms still deliver every payload exactly once, in per-flow
+    /// FIFO order, and the transport drains to idle.
+    fn exactly_once_one_seed(seed: u64, drop_permille: u16) {
+        let mut net = lossy_net(seed, drop_permille);
+        let mut flows = Vec::new();
+        for i in 0..40usize {
+            let (src, dst) = (i % 3, (i / 3) % 3);
+            net.send(src, dst, 8 + (i % 160), i, Cycle(i as u64));
+            flows.push((src, dst));
+        }
+        let got = drain(&mut net, 40, 2_000_000);
+        assert!(net.is_idle(), "seed {seed}: transport failed to drain");
+        let mut seen = vec![0u32; flows.len()];
+        for &(_, dst, p) in &got {
+            assert_eq!(dst, flows[p].1, "seed {seed}: misrouted payload {p}");
+            seen[p] += 1;
+        }
+        for (p, &n) in seen.iter().enumerate() {
+            assert_eq!(n, 1, "seed {seed}: payload {p} delivered {n} times");
+        }
+        // Per-flow FIFO: payload indices are send-ordered per flow.
+        let order: Vec<usize> = got.iter().map(|&(_, _, p)| p).collect();
+        for a in 0..order.len() {
+            for b in a + 1..order.len() {
+                if flows[order[a]] == flows[order[b]] {
+                    assert!(
+                        order[a] < order[b],
+                        "seed {seed}: flow {:?} reordered — {} after {}",
+                        flows[order[a]],
+                        order[a],
+                        order[b],
+                    );
+                }
+            }
+        }
+        let ts = net.transport_stats();
+        assert_eq!(ts.delivered, flows.len() as u64);
+    }
+
+    #[test]
+    fn exactly_once_across_100_plus_seeds_at_5_percent_drop() {
+        for seed in 0..104u64 {
+            exactly_once_one_seed(seed, 50);
+        }
+    }
+
+    #[test]
+    fn exactly_once_survives_30_percent_drop() {
+        for seed in 0..8u64 {
+            exactly_once_one_seed(seed, 300);
+        }
+    }
+
+    #[test]
+    fn passthrough_mode_is_transparent_and_silent() {
+        let mut net: ReliableNet<usize> =
+            ReliableNet::new(2, 2, NocConfig::default(), TransportConfig::default());
+        assert!(!net.is_enabled());
+        for i in 0..10 {
+            net.send(i % 2, (i / 2) % 2, 64, i, Cycle(0));
+        }
+        let got = drain(&mut net, 0, 10_000);
+        assert_eq!(got.len(), 10);
+        assert!(net.is_idle());
+        assert_eq!(net.transport_stats(), TransportStats::default());
+        assert_eq!(net.unacked(), 0);
+        // No control traffic was ever generated.
+        assert_eq!(net.stats().packets, 10);
+        assert!(net.flow_diagnostics(Cycle(10_000)).is_empty());
+    }
+
+    #[test]
+    fn enabled_fault_free_path_stays_exact_with_acks() {
+        let mut net: ReliableNet<usize> = ReliableNet::new(2, 2, NocConfig::default(), test_tcfg());
+        net.enable(7);
+        for i in 0..12 {
+            net.send(i % 2, (i / 2) % 2, 64, i, Cycle(0));
+        }
+        let got = drain(&mut net, 0, 100_000);
+        assert_eq!(got.len(), 12, "each payload exactly once");
+        assert!(net.is_idle(), "all segments acked");
+        let ts = net.transport_stats();
+        assert_eq!(ts.delivered, 12);
+        assert_eq!(ts.acks, 12);
+        assert_eq!(ts.dup_dropped, 0);
+        // Data + ACK packets both count as NoC traffic.
+        assert!(net.stats().packets >= 24);
+    }
+
+    #[test]
+    fn corruption_triggers_nack_driven_retransmit() {
+        // Corrupt-only faults (no drops): every corrupted arrival must
+        // be recovered via NACK + retransmit.
+        let cfg = FaultConfig {
+            seed: 5,
+            noc_corrupt_permille: 400,
+            ..FaultConfig::default()
+        };
+        let mut net: ReliableNet<usize> = ReliableNet::new(2, 2, NocConfig::default(), test_tcfg());
+        let plan = FaultPlan::new(cfg);
+        net.set_faults(plan.noc(0), None);
+        net.enable(5);
+        for i in 0..30 {
+            net.send(i % 2, (i / 2) % 2, 64, i, Cycle(i as u64));
+        }
+        let got = drain(&mut net, 30, 1_000_000);
+        assert_eq!(got.len(), 30);
+        assert!(net.is_idle());
+        let ts = net.transport_stats();
+        assert!(ts.retransmits > 0, "corruption must force retransmits");
+        assert!(ts.nacks > 0, "corrupted arrivals must be NACKed");
+        let fs = net.fault_stats().unwrap();
+        assert!(fs.corrupted > 0, "the injector must actually corrupt");
+    }
+
+    #[test]
+    fn flow_reset_discards_stale_traffic_and_recovers() {
+        let mut net = lossy_net(3, 100);
+        for i in 0..12usize {
+            net.send(i % 3, 1, 64, i, Cycle(0)); // everything to dst 1
+        }
+        // Let some (but not necessarily all) traffic land, then crash
+        // destination port 1 mid-flight.
+        let mut pre = Vec::new();
+        for c in 0..200u64 {
+            pre.extend(net.tick(Cycle(c)));
+        }
+        let touched = net.reset_flows_to_dst(1);
+        assert!(touched > 0, "flows into dst 1 carried state");
+        assert!(net.transport_stats().flows_reset > 0);
+        // Post-reset traffic restarts at seq 0 on a new generation and
+        // must still deliver exactly once despite stale in-flight
+        // segments and ACKs of the old generation.
+        for i in 100..112usize {
+            net.send(i % 3, 1, 64, i, Cycle(200));
+        }
+        let post = drain(&mut net, 200, 2_000_000);
+        assert!(net.is_idle(), "reset must not wedge the transport");
+        let fresh: Vec<usize> = post
+            .iter()
+            .map(|&(_, _, p)| p)
+            .filter(|&p| p >= 100)
+            .collect();
+        let mut uniq = fresh.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 12, "every post-reset payload arrives");
+        assert_eq!(fresh.len(), 12, "exactly once each");
+    }
+
+    #[test]
+    fn reset_from_src_clears_response_flows() {
+        let mut net = lossy_net(11, 80);
+        for i in 0..9usize {
+            net.send(1, i % 3, 64, i, Cycle(0)); // everything from src 1
+        }
+        for c in 0..150u64 {
+            net.tick(Cycle(c));
+        }
+        net.reset_flows_from_src(1);
+        for i in 50..59usize {
+            net.send(1, i % 3, 64, i, Cycle(150));
+        }
+        let post = drain(&mut net, 150, 2_000_000);
+        assert!(net.is_idle());
+        let fresh: Vec<usize> = post
+            .iter()
+            .map(|&(_, _, p)| p)
+            .filter(|&p| p >= 50)
+            .collect();
+        assert_eq!(fresh.len(), 9, "exactly once each after src reset");
+    }
+
+    #[test]
+    fn backoff_escalates_and_is_capped() {
+        // 100% drop on data: nothing ever arrives, every timeout fires,
+        // retries climb into the backoff cap.
+        let cfg = FaultConfig {
+            seed: 2,
+            noc_drop_permille: 1000,
+            ..FaultConfig::default()
+        };
+        let mut net: ReliableNet<usize> = ReliableNet::new(2, 2, NocConfig::default(), test_tcfg());
+        let plan = FaultPlan::new(cfg);
+        net.set_faults(plan.noc(0), None);
+        net.enable(2);
+        net.send(0, 1, 64, 9, Cycle(0));
+        for c in 0..30_000u64 {
+            let out = net.tick(Cycle(c));
+            assert!(out.is_empty(), "nothing can arrive at 100% drop");
+        }
+        let ts = net.transport_stats();
+        assert!(ts.timeouts >= 3, "timer must keep firing");
+        assert!(ts.max_backoff_hits > 0, "cap must be reached");
+        // Backoff bounds the storm: with base 64 and cap 2^4, 30k
+        // cycles admit at most ~35 sends of this one segment.
+        assert!(ts.retransmits < 40, "backoff failed: {ts:?}");
+        let diags = net.flow_diagnostics(Cycle(30_000));
+        assert_eq!(diags.len(), 1);
+        assert_eq!((diags[0].src, diags[0].dst), (0, 1));
+        assert_eq!(diags[0].unacked, 1);
+        assert!(diags[0].oldest_age >= 29_000);
+        assert!(diags[0].max_retries > 3);
+        assert!(!net.is_idle(), "unacked segment holds idle off");
+    }
+
+    proptest! {
+        /// Proptest form of the exactly-once contract: random traffic
+        /// patterns, random seeds, random loss rates.
+        #[test]
+        fn exactly_once_delivery_proptest(
+            sends in proptest::collection::vec((0usize..3, 0usize..3, 1usize..200, 0u64..20), 1..50),
+            seed in 0u64..10_000,
+            drop in 1u16..200,
+        ) {
+            let mut net = lossy_net(seed, drop);
+            let mut cycle = 0u64;
+            let mut flows = Vec::new();
+            let mut got = Vec::new();
+            for (p, (src, dst, bytes, gap)) in sends.iter().enumerate() {
+                for c in cycle..cycle + gap {
+                    got.extend(net.tick(Cycle(c)).into_iter().map(|(d, x)| (c, d, x)));
+                }
+                cycle += gap;
+                net.send(*src, *dst, *bytes, p, Cycle(cycle));
+                flows.push((*src, *dst));
+            }
+            got.extend(drain(&mut net, cycle, 3_000_000));
+            prop_assert!(net.is_idle(), "transport failed to drain");
+            let mut seen = vec![0u32; flows.len()];
+            for &(_, dst, p) in &got {
+                prop_assert_eq!(dst, flows[p].1);
+                seen[p] += 1;
+            }
+            for (p, &n) in seen.iter().enumerate() {
+                prop_assert_eq!(n, 1, "payload {} delivered {} times", p, n);
+            }
+            // Per-flow FIFO over the released order.
+            let order: Vec<usize> = got.iter().map(|&(_, _, p)| p).collect();
+            for a in 0..order.len() {
+                for b in a + 1..order.len() {
+                    if flows[order[a]] == flows[order[b]] {
+                        prop_assert!(order[a] < order[b]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transport_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut net = lossy_net(seed, 120);
+            for i in 0..30usize {
+                net.send(i % 3, (i / 3) % 3, 8 + i, i, Cycle(i as u64));
+            }
+            let log = drain(&mut net, 30, 2_000_000);
+            (log, net.transport_stats(), net.fault_stats().unwrap())
+        };
+        let (la, ta, fa) = run(17);
+        let (lb, tb, fb) = run(17);
+        assert_eq!(la, lb, "same seed replays byte-for-byte");
+        assert_eq!(ta, tb);
+        assert_eq!(fa, fb);
+        let (lc, _, _) = run(18);
+        assert_ne!(la, lc, "different seeds should differ");
+    }
+}

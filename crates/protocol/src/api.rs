@@ -159,6 +159,16 @@ pub trait L1Controller {
         true
     }
 
+    /// Arms end-to-end retry: requests unanswered for `timeout` cycles
+    /// are re-sent from [`tick`](L1Controller::tick). The simulator calls
+    /// this only under loss-fault injection (a crashed bank consumes a
+    /// request and then forgets it — only the requester can recover it).
+    /// The default ignores the knob; controllers whose protocol tolerates
+    /// duplicate requests override.
+    fn enable_retry(&mut self, timeout: u64) {
+        let _ = timeout;
+    }
+
     /// Invalidates the entire cache and resets per-warp protocol state
     /// (kernel boundary).
     fn flush(&mut self);
@@ -242,6 +252,19 @@ pub trait L2Controller {
     /// Performs the Section V-D timestamp reset, entering `epoch`.
     fn apply_reset(&mut self, epoch: Epoch) {
         let _ = epoch;
+    }
+
+    /// Crashes the bank: models a transient fault that wipes the tag
+    /// array and all in-flight transaction state (data survives via
+    /// DRAM / the functional backing image). Returns `true` if the
+    /// controller supports crash/recovery — it must then report
+    /// [`needs_reset`](L2Controller::needs_reset) so the simulator runs
+    /// the global epoch bump that makes recovery safe. The default
+    /// (timing baselines, plain protocols) ignores the fault and
+    /// returns `false`.
+    fn crash(&mut self, now: Cycle) -> bool {
+        let _ = now;
+        false
     }
 
     /// Whether no transaction is pending inside the bank.
@@ -346,6 +369,8 @@ mod tests {
         assert!(!d2.needs_reset());
         d2.apply_reset(1);
         d2.dram_ready(true);
+        // Default crash hook: fault is ignored, no recovery advertised.
+        assert!(!d2.crash(Cycle(3)));
         assert!(d.pressure().is_empty());
         assert!(d2.pressure().is_empty());
         assert_eq!(d2.pressure().to_string(), "mshr=0 out_queue=0 waiting=0");

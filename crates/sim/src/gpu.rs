@@ -10,10 +10,10 @@
 
 use std::collections::BTreeMap;
 
-use gtsc_faults::FaultPlan;
+use gtsc_faults::{BankFaults, FaultPlan};
 use gtsc_gpu::{Kernel, Sm, SmParams, WarpStallInfo};
 use gtsc_mem::{Dram, DramRequest};
-use gtsc_noc::Network;
+use gtsc_noc::{FlowDiag, ReliableNet};
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, MsgSizes};
 use gtsc_protocol::{ControllerPressure, L2Controller};
 use gtsc_trace::{
@@ -107,6 +107,17 @@ pub struct StallDiagnosis {
     pub resp_net_in_flight: usize,
     /// Flits waiting at response-network injection ports.
     pub resp_net_queued: usize,
+    /// Data segments sent but not yet cumulatively acked, across both
+    /// networks (zero unless the reliable-transport layer is armed).
+    pub transport_unacked: usize,
+    /// Per-flow transport pressure on the request network (SM → bank):
+    /// pending-retransmit queue depth and oldest-unacked age, worst
+    /// (oldest) first.
+    pub req_transport_flows: Vec<FlowDiag>,
+    /// Same for the response network (bank → SM).
+    pub resp_transport_flows: Vec<FlowDiag>,
+    /// Retransmissions performed so far (timeout- plus NACK-driven).
+    pub retransmits: u64,
     /// Requests waiting in DRAM controller queues (all partitions).
     pub dram_queued: usize,
     /// Requests being serviced by DRAM banks (all partitions).
@@ -149,6 +160,19 @@ impl std::fmt::Display for StallDiagnosis {
             self.resp_net_in_flight,
             self.resp_net_queued
         )?;
+        if self.transport_unacked > 0 || self.retransmits > 0 {
+            writeln!(
+                f,
+                "  transport: {} unacked, {} retransmits so far",
+                self.transport_unacked, self.retransmits
+            )?;
+            for d in self.req_transport_flows.iter().take(4) {
+                writeln!(f, "    req {d}")?;
+            }
+            for d in self.resp_transport_flows.iter().take(4) {
+                writeln!(f, "    resp {d}")?;
+            }
+        }
         write!(
             f,
             "  dram: {} queued, {} in service",
@@ -172,8 +196,14 @@ pub struct GpuSim {
     sms: Vec<Sm>,
     l2: Vec<Box<dyn L2Controller>>,
     drams: Vec<Dram<()>>,
-    req_net: Network<(usize, L1ToL2)>,
-    resp_net: Network<L2ToL1>,
+    req_net: ReliableNet<(usize, L1ToL2)>,
+    resp_net: ReliableNet<L2ToL1>,
+    /// Per-bank crash schedulers (loss-fault injection); `None` when
+    /// bank crashes are disabled.
+    bank_faults: Vec<Option<BankFaults>>,
+    /// Banks crash-recovered so far (surfaces as
+    /// [`gtsc_types::TransportStats::bank_recoveries`]).
+    bank_recoveries: u64,
     sizes: MsgSizes,
     now: Cycle,
     epoch: Epoch,
@@ -278,9 +308,13 @@ impl SimBuilder {
     }
 
     /// Assembles the GPU, validating the configuration. Also installs the
-    /// fault plan derived from `cfg.faults`: request network = NoC stream
-    /// 0, response network = stream 1, one DRAM stream per partition, and
-    /// the timestamp-width cap applied before the L2 banks are built.
+    /// fault plan derived from `cfg.faults`: request network = NoC
+    /// streams 0 (data) and 2 (transport control), response network =
+    /// streams 1 and 3, one DRAM stream per partition, per-bank crash
+    /// schedules, and the timestamp-width cap applied before the L2
+    /// banks are built. When any loss fault is enabled
+    /// ([`gtsc_types::FaultConfig::lossy_active`]) the networks' reliable
+    /// transport and the L1s' end-to-end retry are armed.
     ///
     /// # Errors
     ///
@@ -318,10 +352,25 @@ impl SimBuilder {
         let mut l2: Vec<Box<dyn L2Controller>> =
             (0..cfg.l2_banks).map(|_| (self.l2_factory)(&cfg)).collect();
         let mut drams: Vec<Dram<()>> = (0..cfg.l2_banks).map(|_| Dram::new(cfg.dram)).collect();
-        let mut req_net = Network::new(cfg.n_sms, cfg.l2_banks, cfg.noc);
-        let mut resp_net = Network::new(cfg.l2_banks, cfg.n_sms, cfg.noc);
-        req_net.set_faults(plan.noc(0));
-        resp_net.set_faults(plan.noc(1));
+        let mut req_net = ReliableNet::new(cfg.n_sms, cfg.l2_banks, cfg.noc, cfg.transport);
+        let mut resp_net = ReliableNet::new(cfg.l2_banks, cfg.n_sms, cfg.noc, cfg.transport);
+        req_net.set_faults(plan.noc(0), plan.noc(2));
+        resp_net.set_faults(plan.noc(1), plan.noc(3));
+        if cfg.faults.lossy_active() {
+            // Loss faults make the raw NoC unreliable: arm the transport
+            // layer (ack/retransmit/dedup) and the L1s' end-to-end retry.
+            // Both stay off otherwise so the lossless hot path — and the
+            // watchdog's ability to catch genuine protocol stalls — are
+            // untouched.
+            req_net.enable(cfg.faults.seed ^ 0x5245_515F);
+            resp_net.enable(cfg.faults.seed ^ 0x5245_5350);
+            for sm in &mut sms {
+                sm.l1_mut().enable_retry(cfg.transport.retry_timeout);
+            }
+        }
+        let bank_faults: Vec<Option<BankFaults>> = (0..cfg.l2_banks)
+            .map(|b| plan.bank(b as u64, cfg.l2_banks as u64))
+            .collect();
         for (i, d) in drams.iter_mut().enumerate() {
             d.set_faults(plan.dram(i as u64));
         }
@@ -367,6 +416,8 @@ impl SimBuilder {
             drams,
             req_net,
             resp_net,
+            bank_faults,
+            bank_recoveries: 0,
             sizes,
             now: Cycle(0),
             epoch: 0,
@@ -425,8 +476,11 @@ impl GpuSim {
         let n_ctas = kernel.n_ctas();
         // Forward-progress watchdog: a fingerprint that moves whenever the
         // machine does useful work. Completions and issues cover draining;
-        // dispatch covers the ramp-up; resident covers retirement.
-        let mut last_fingerprint = (0u64, 0u64, usize::MAX, usize::MAX);
+        // dispatch covers the ramp-up; resident covers retirement; the
+        // transport mark (deliveries + acks + flow resets — deliberately
+        // not retransmits, which can spin forever) keeps lossy runs alive
+        // while recovery is genuinely advancing.
+        let mut last_fingerprint = (0u64, 0u64, usize::MAX, usize::MAX, u64::MAX);
         let mut last_progress = self.now;
         loop {
             // CTA dispatch: round-robin across SMs (as GPGPU-Sim does),
@@ -472,6 +526,7 @@ impl GpuSim {
                 self.sms.iter().map(Sm::issued_count).sum::<u64>(),
                 next_cta,
                 self.sms.iter().map(Sm::resident_warps).sum::<usize>(),
+                self.req_net.progress_mark() + self.resp_net.progress_mark(),
             );
             if fingerprint != last_fingerprint {
                 last_fingerprint = fingerprint;
@@ -563,6 +618,10 @@ impl GpuSim {
         }
         stats.noc.merge(&self.req_net.stats());
         stats.noc.merge(&self.resp_net.stats());
+        let mut transport = self.req_net.transport_stats();
+        transport.merge(&self.resp_net.transport_stats());
+        transport.bank_recoveries = self.bank_recoveries;
+        stats.transport = transport;
         for d in &self.drams {
             let s = d.stats();
             stats.dram.merge(&s);
@@ -587,8 +646,8 @@ impl GpuSim {
                 all.extend_from_slice(t.events());
             }
         }
-        all.extend_from_slice(self.req_net.tracer().events());
-        all.extend_from_slice(self.resp_net.tracer().events());
+        all.extend(self.req_net.events());
+        all.extend(self.resp_net.events());
         for d in &self.drams {
             all.extend_from_slice(d.tracer().events());
         }
@@ -613,8 +672,8 @@ impl GpuSim {
                 tails.push(t.flight_tail());
             }
         }
-        tails.push(self.req_net.tracer().flight_tail());
-        tails.push(self.resp_net.tracer().flight_tail());
+        tails.push(self.req_net.flight_tail());
+        tails.push(self.resp_net.flight_tail());
         for d in &self.drams {
             tails.push(d.tracer().flight_tail());
         }
@@ -655,6 +714,11 @@ impl GpuSim {
             req_net_queued: self.req_net.queued(),
             resp_net_in_flight: self.resp_net.in_flight(),
             resp_net_queued: self.resp_net.queued(),
+            transport_unacked: self.req_net.unacked() + self.resp_net.unacked(),
+            req_transport_flows: self.req_net.flow_diagnostics(now),
+            resp_transport_flows: self.resp_net.flow_diagnostics(now),
+            retransmits: self.req_net.transport_stats().retransmits
+                + self.resp_net.transport_stats().retransmits,
             dram_queued: self.drams.iter().map(Dram::queued).sum(),
             dram_in_flight: self.drams.iter().map(Dram::in_flight).sum(),
             epoch: self.epoch,
@@ -663,8 +727,9 @@ impl GpuSim {
         }
     }
 
-    /// Aggregated fault-injection counters across both networks and all
-    /// DRAM partitions; `None` when the run is fault-free.
+    /// Aggregated fault-injection counters across both networks (data
+    /// and transport-control channels), all DRAM partitions, and the
+    /// bank-crash schedulers; `None` when the run is fault-free.
     #[must_use]
     pub fn fault_stats(&self) -> Option<gtsc_faults::FaultStats> {
         let mut any = false;
@@ -673,6 +738,7 @@ impl GpuSim {
             .into_iter()
             .flatten()
             .chain(self.drams.iter().filter_map(Dram::fault_stats))
+            .chain(self.bank_faults.iter().flatten().map(BankFaults::stats))
         {
             total.merge(&s);
             any = true;
@@ -727,8 +793,14 @@ impl GpuSim {
             }
         }
 
-        // 2. L1 → request network.
+        // 2. L1 housekeeping (end-to-end retry scans may re-queue overdue
+        //    requests and complete long-parked waiters), then L1 →
+        //    request network.
         for (i, sm) in self.sms.iter_mut().enumerate() {
+            for c in sm.l1_mut().tick(now) {
+                sm.on_completion_at(&c, Some(now));
+                self.checker.on_completion(i, &c, now);
+            }
             while let Some(req) = sm.l1_mut().take_request() {
                 let bank = req.block().bank(n_banks);
                 let bytes = self.sizes.request_bytes(&req);
@@ -758,6 +830,28 @@ impl GpuSim {
             }
             for resp in self.drams[b].tick(now) {
                 bank.on_dram_response(resp.block, resp.is_write, now);
+            }
+        }
+
+        // 4b. Scheduled bank crashes (loss-fault injection): the bank's
+        //     tags, MSHRs, and queues vanish mid-cycle. Its transport
+        //     flows are reset on both networks in the same cycle (stale
+        //     generations are discarded, so pre-crash sequence state can
+        //     never collide with the rebuilt bank), and the crash forces
+        //     `needs_reset`, so the Section V-D broadcast below rebuilds
+        //     coherence from DRAM behind a global epoch bump. Requests
+        //     the bank had consumed are recovered by the L1s' end-to-end
+        //     retry.
+        for b in 0..self.l2.len() {
+            let due = self
+                .bank_faults
+                .get_mut(b)
+                .and_then(Option::as_mut)
+                .is_some_and(|f| f.due(now.0));
+            if due && self.l2[b].crash(now) {
+                self.bank_recoveries += 1;
+                self.req_net.reset_flows_to_dst(b);
+                self.resp_net.reset_flows_from_src(b);
             }
         }
 
@@ -1241,6 +1335,94 @@ mod tests {
         sim.run_kernel(&store_load_kernel()).expect("completes");
         assert!(!sim.sanitizer().is_enabled());
         assert_eq!(sim.sanitizer().checked(), 0);
+    }
+
+    /// Data-race-free traffic generator: each CTA stores to its own
+    /// blocks then reads them back, with enough packets on the wire that
+    /// a seeded loss plan reliably bites.
+    fn drf_traffic_kernel(n_ctas: usize) -> VecKernel {
+        let ctas = (0..n_ctas)
+            .map(|c| {
+                let base = (c as u64) * 1024;
+                vec![WarpProgram(
+                    (0..6)
+                        .flat_map(|i| {
+                            [
+                                WarpOp::store_coalesced(Addr(base + i * 128), 32),
+                                WarpOp::Fence,
+                                WarpOp::load_coalesced(Addr(base + i * 128), 32),
+                            ]
+                        })
+                        .collect(),
+                )]
+            })
+            .collect();
+        VecKernel::new("drf-traffic", 1, ctas)
+    }
+
+    #[test]
+    fn fault_free_run_keeps_transport_dark() {
+        use gtsc_types::TransportStats;
+        let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&store_load_kernel()).expect("completes");
+        assert_eq!(report.stats.transport, TransportStats::default());
+        assert!(sim.fault_stats().is_none());
+    }
+
+    #[test]
+    fn lossy_noc_preserves_coherence_and_memory_image() {
+        use gtsc_types::FaultConfig;
+        let kernel = drf_traffic_kernel(6);
+        let mut clean = GpuSim::new(GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc));
+        clean.run_kernel(&kernel).expect("clean run");
+        let want = clean.memory_image();
+
+        let mut cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_sanitize(true);
+        cfg.faults = FaultConfig::lossy(7, 100);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&kernel).expect("lossy run completes");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(sim.memory_image(), want, "image must match fault-free run");
+        let t = &report.stats.transport;
+        assert!(t.delivered > 0, "{t:?}");
+        let f = sim.fault_stats().expect("faults active");
+        assert!(
+            f.dropped + f.corrupted > 0,
+            "10% loss over this much traffic must bite: {f:?}"
+        );
+        assert!(
+            t.retransmits > 0 && t.acks > 0,
+            "every loss must be repaired by a retransmit: {t:?}"
+        );
+    }
+
+    #[test]
+    fn bank_crash_recovers_behind_epoch_bump() {
+        use gtsc_types::FaultConfig;
+        let kernel = drf_traffic_kernel(8);
+        let mut clean = GpuSim::new(GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc));
+        clean.run_kernel(&kernel).expect("clean run");
+        let want = clean.memory_image();
+
+        let mut cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_sanitize(true);
+        cfg.faults = FaultConfig::default().with_bank_crashes(3, 250);
+        let mut sim = GpuSim::new(cfg);
+        let report = sim.run_kernel(&kernel).expect("crashed run recovers");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let t = &report.stats.transport;
+        assert!(t.bank_recoveries >= 1, "{t:?}");
+        assert!(
+            report.stats.l2.ts_rollovers >= 1,
+            "a crash must force the global Section V-D reset"
+        );
+        assert_eq!(sim.memory_image(), want, "data survives the crash via DRAM");
+        let f = sim.fault_stats().expect("bank faults active");
+        assert!(f.bank_resets >= 1, "{f:?}");
     }
 
     #[test]

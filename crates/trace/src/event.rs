@@ -30,11 +30,14 @@ pub enum EventClass {
     Noc = 6,
     /// DRAM enqueue/service.
     Dram = 7,
+    /// Reliable transport: drops, corruption, retransmits, NACKs, and
+    /// bank crash/recovery.
+    Transport = 8,
 }
 
 impl EventClass {
     /// All classes enabled.
-    pub const ALL: u16 = 0xFF;
+    pub const ALL: u16 = 0x1FF;
 
     /// This class's bit in a [`gtsc_types::TraceConfig::class_mask`].
     #[must_use]
@@ -54,6 +57,7 @@ impl EventClass {
             EventClass::Warp => "warp",
             EventClass::Noc => "noc",
             EventClass::Dram => "dram",
+            EventClass::Transport => "transport",
         }
     }
 }
@@ -220,6 +224,53 @@ pub enum EventKind {
         /// Destination port.
         dst: u16,
     },
+    /// A packet vanished on the wire (loss fault).
+    PacketDrop {
+        /// Source port.
+        src: u16,
+        /// Destination port.
+        dst: u16,
+    },
+    /// A packet arrived with an unusable payload (loss fault); only the
+    /// header survived.
+    PacketCorrupt {
+        /// Source port.
+        src: u16,
+        /// Destination port.
+        dst: u16,
+    },
+    /// The transport re-sent an unacked segment.
+    Retransmit {
+        /// Source port of the flow.
+        src: u16,
+        /// Destination port of the flow.
+        dst: u16,
+        /// Sequence number re-sent.
+        seq: u64,
+        /// Cycles since the segment was last sent.
+        age: u64,
+        /// The (backed-off) timeout that expired; `0` for NACK-driven
+        /// retransmits, which do not wait for a timeout.
+        timeout: u64,
+        /// Whether a NACK (rather than a timeout) triggered it.
+        nack: bool,
+    },
+    /// A receiver asked for a missing/corrupted segment.
+    Nack {
+        /// Source port of the flow being NACKed (the sender).
+        src: u16,
+        /// Destination port of the flow (the NACKing receiver).
+        dst: u16,
+        /// The sequence number the receiver expects next.
+        expected: u64,
+    },
+    /// An L2 bank crashed and re-entered service empty at `epoch`.
+    BankReset {
+        /// Crashed bank.
+        bank: u16,
+        /// The reset epoch the recovery bumped the system into.
+        epoch: u64,
+    },
     /// A request entered a DRAM partition queue.
     DramEnqueue {
         /// Requested block.
@@ -255,6 +306,11 @@ impl EventKind {
             EventKind::Rollover { .. } => EventClass::Rollover,
             EventKind::WarpIssue { .. } | EventKind::WarpStall { .. } => EventClass::Warp,
             EventKind::PacketSend { .. } | EventKind::PacketDeliver { .. } => EventClass::Noc,
+            EventKind::PacketDrop { .. }
+            | EventKind::PacketCorrupt { .. }
+            | EventKind::Retransmit { .. }
+            | EventKind::Nack { .. }
+            | EventKind::BankReset { .. } => EventClass::Transport,
             EventKind::DramEnqueue { .. } | EventKind::DramService { .. } => EventClass::Dram,
         }
     }
@@ -281,7 +337,12 @@ impl EventKind {
             | EventKind::WarpIssue { .. }
             | EventKind::WarpStall { .. }
             | EventKind::PacketSend { .. }
-            | EventKind::PacketDeliver { .. } => None,
+            | EventKind::PacketDeliver { .. }
+            | EventKind::PacketDrop { .. }
+            | EventKind::PacketCorrupt { .. }
+            | EventKind::Retransmit { .. }
+            | EventKind::Nack { .. }
+            | EventKind::BankReset { .. } => None,
         }
     }
 
@@ -306,6 +367,11 @@ impl EventKind {
             EventKind::WarpStall { .. } => "warp_stall",
             EventKind::PacketSend { .. } => "packet_send",
             EventKind::PacketDeliver { .. } => "packet_deliver",
+            EventKind::PacketDrop { .. } => "packet_drop",
+            EventKind::PacketCorrupt { .. } => "packet_corrupt",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::Nack { .. } => "nack",
+            EventKind::BankReset { .. } => "bank_reset",
             EventKind::DramEnqueue { .. } => "dram_enqueue",
             EventKind::DramService { .. } => "dram_service",
         }
@@ -356,6 +422,30 @@ impl std::fmt::Display for EventKind {
                 write!(f, "packet {src} -> {dst} ({bytes} B)")
             }
             EventKind::PacketDeliver { src, dst } => write!(f, "deliver {src} -> {dst}"),
+            EventKind::PacketDrop { src, dst } => write!(f, "DROP {src} -> {dst}"),
+            EventKind::PacketCorrupt { src, dst } => write!(f, "CORRUPT {src} -> {dst}"),
+            EventKind::Retransmit {
+                src,
+                dst,
+                seq,
+                age,
+                timeout,
+                nack,
+            } => write!(
+                f,
+                "retransmit {src} -> {dst} seq {seq} (age {age}{})",
+                if nack {
+                    ", nack-driven".to_string()
+                } else {
+                    format!(" >= timeout {timeout}")
+                }
+            ),
+            EventKind::Nack { src, dst, expected } => {
+                write!(f, "nack flow {src} -> {dst}, expected seq {expected}")
+            }
+            EventKind::BankReset { bank, epoch } => {
+                write!(f, "bank {bank} crash/reset -> epoch {epoch}")
+            }
             EventKind::DramEnqueue { block, write } => write!(
                 f,
                 "dram enqueue {} block {block}",
@@ -402,6 +492,7 @@ mod tests {
             EventClass::Warp,
             EventClass::Noc,
             EventClass::Dram,
+            EventClass::Transport,
         ];
         let mut seen = 0u16;
         for c in classes {
@@ -439,6 +530,46 @@ mod tests {
             EventKind::Rollover { epoch: 2 }.class(),
             EventClass::Rollover
         );
+    }
+
+    #[test]
+    fn transport_events_class_and_render() {
+        let retx = EventKind::Retransmit {
+            src: 1,
+            dst: 0,
+            seq: 7,
+            age: 300,
+            timeout: 256,
+            nack: false,
+        };
+        assert_eq!(retx.class(), EventClass::Transport);
+        assert_eq!(retx.block(), None);
+        assert_eq!(retx.name(), "retransmit");
+        assert!(retx.to_string().contains("seq 7"), "{retx}");
+        assert!(retx.to_string().contains("timeout 256"), "{retx}");
+        let nacked = EventKind::Retransmit {
+            src: 1,
+            dst: 0,
+            seq: 7,
+            age: 300,
+            timeout: 0,
+            nack: true,
+        };
+        assert!(nacked.to_string().contains("nack-driven"), "{nacked}");
+        for k in [
+            EventKind::PacketDrop { src: 0, dst: 1 },
+            EventKind::PacketCorrupt { src: 0, dst: 1 },
+            EventKind::Nack {
+                src: 0,
+                dst: 1,
+                expected: 3,
+            },
+            EventKind::BankReset { bank: 1, epoch: 2 },
+        ] {
+            assert_eq!(k.class(), EventClass::Transport, "{k:?}");
+        }
+        assert_eq!(EventClass::Transport.name(), "transport");
+        assert_eq!(EventClass::Transport.bit(), 1 << 8);
     }
 
     #[test]

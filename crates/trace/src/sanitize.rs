@@ -104,6 +104,16 @@ pub enum Transition {
         /// The bank's `mem_ts` after folding the eviction in.
         mem_ts: Timestamp,
     },
+    /// An L2 bank crashed and reset its tag array and transport state
+    /// while at `epoch`. Recovery rebuilds coherence from DRAM behind a
+    /// global epoch bump, so no grant or store may ever be observed at
+    /// this scope in `epoch` (or older) again — logical time only moves
+    /// forward across a reset, which is exactly why L1-held leases stay
+    /// safe (DESIGN.md §13).
+    BankReset {
+        /// The epoch the bank was in when it crashed.
+        epoch: u64,
+    },
     /// TC baseline: a physical lease was granted, expiring at
     /// `expires`.
     TcLease {
@@ -139,6 +149,9 @@ struct SanitizerCore {
     warp_ts: HashMap<(Scope, u16), Timestamp>,
     /// Last observed epoch per component scope.
     epochs: HashMap<Scope, u64>,
+    /// Highest epoch at which each scope crashed ([`Transition::
+    /// BankReset`]): grants/stores at or below it are violations.
+    crashed_at_epoch: HashMap<Scope, u64>,
     violations: Vec<String>,
     suppressed: u64,
     checked: u64,
@@ -151,6 +164,30 @@ impl SanitizerCore {
                 .push(format!("sanitizer: [{cycle}] {scope}: {msg}"));
         } else {
             self.suppressed += 1;
+        }
+    }
+
+    /// The no-lease-regression-across-a-reset rule: once a scope has
+    /// reported [`Transition::BankReset`] at epoch `E`, any grant or
+    /// store it performs at an epoch `<= E` would hand out logical time
+    /// the pre-crash world already used — flagged as a violation.
+    fn check_not_pre_crash(
+        &mut self,
+        cycle: Cycle,
+        scope: Scope,
+        what: &str,
+        block: BlockAddr,
+        epoch: u64,
+    ) {
+        if let Some(&crashed) = self.crashed_at_epoch.get(&scope) {
+            if epoch <= crashed {
+                let m = format!(
+                    "L2 {what} on block {block} at epoch {epoch}, at or before \
+                     this bank's reset epoch {crashed}: leases must not regress \
+                     across a reset"
+                );
+                self.violate(cycle, scope, &m);
+            }
         }
     }
 
@@ -229,6 +266,7 @@ impl SanitizerCore {
                     );
                     self.violate(cycle, scope, &m);
                 }
+                self.check_not_pre_crash(cycle, scope, "grant", block, epoch);
                 let hwm = self.l2_rts.get(&block).copied().unwrap_or((epoch, rts));
                 if hwm.0 == epoch {
                     if rts < hwm.1 {
@@ -269,6 +307,7 @@ impl SanitizerCore {
                     );
                     self.violate(cycle, scope, &m);
                 }
+                self.check_not_pre_crash(cycle, scope, "store", block, epoch);
                 if let Some(&(e, last)) = self.l2_wts.get(&block) {
                     if e == epoch && wts <= last {
                         let m = format!(
@@ -296,6 +335,10 @@ impl SanitizerCore {
                     );
                     self.violate(cycle, scope, &m);
                 }
+            }
+            Transition::BankReset { epoch } => {
+                let prev = self.crashed_at_epoch.get(&scope).copied().unwrap_or(0);
+                self.crashed_at_epoch.insert(scope, prev.max(epoch));
             }
             Transition::TcLease {
                 block,
@@ -575,6 +618,53 @@ mod tests {
         });
         assert_eq!(s.violations().len(), 2);
         assert!(s.violations()[1].contains("smaller mem_ts"));
+    }
+
+    #[test]
+    fn grants_must_not_regress_across_a_bank_reset() {
+        let root = Sanitizer::enabled(Scope::Sm(0));
+        let bank = root.for_scope(Scope::L2Bank(2));
+        let other = root.for_scope(Scope::L2Bank(3));
+        bank.check_with(Cycle(1), || Transition::L2Grant {
+            block: b(4),
+            wts: Timestamp(1),
+            rts: Timestamp(9),
+            epoch: 0,
+        });
+        bank.check_with(Cycle(5), || Transition::BankReset { epoch: 0 });
+        bank.check_with(Cycle(6), || Transition::EpochEnter { epoch: 1 });
+        // Post-recovery grants in the bumped epoch are fine.
+        bank.check_with(Cycle(7), || Transition::L2Grant {
+            block: b(4),
+            wts: Timestamp(0),
+            rts: Timestamp(5),
+            epoch: 1,
+        });
+        assert!(root.violations().is_empty(), "{:?}", root.violations());
+        // A grant or store at the crash epoch (or older) regresses.
+        bank.check_with(Cycle(8), || Transition::L2Grant {
+            block: b(4),
+            wts: Timestamp(1),
+            rts: Timestamp(9),
+            epoch: 0,
+        });
+        bank.check_with(Cycle(9), || Transition::L2Store {
+            block: b(5),
+            wts: Timestamp(3),
+            rts: Timestamp(9),
+            epoch: 0,
+        });
+        let v = root.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("must not regress across a reset"), "{v:?}");
+        // Scopes that never crashed are unaffected.
+        other.check_with(Cycle(10), || Transition::L2Grant {
+            block: b(6),
+            wts: Timestamp(1),
+            rts: Timestamp(9),
+            epoch: 0,
+        });
+        assert_eq!(root.violations().len(), 2);
     }
 
     #[test]

@@ -201,14 +201,19 @@ impl Default for DramConfig {
 /// Seeded fault-injection plan (robustness testing, not part of the
 /// paper's evaluation platform).
 ///
-/// All perturbations are *delays or duplications*, never drops: G-TSC's
-/// correctness argument (Section III) assumes eventual delivery, and the
-/// injector honours that so a coherent protocol must stay violation-free
-/// under any seed. Probabilities are in permille (0–1000) so the struct
-/// stays `Copy + Eq`. The default is fully inert; [`FaultConfig::chaos`]
-/// is the preset the fault-sweep tests and the `stress_faults` soak
-/// binary use. Every random decision derives from `seed` alone, so a
-/// given `(config, kernel, seed)` triple replays byte-for-byte.
+/// The classic perturbations are *delays or duplications*: G-TSC's
+/// correctness argument (Section III) assumes eventual delivery, and
+/// those injectors honour that so a coherent protocol must stay
+/// violation-free under any seed with the raw NoC alone. The *loss*
+/// faults — packet drop, payload corruption, and L2-bank crash — break
+/// that assumption on purpose: they are only survivable with the
+/// reliable-transport layer (`gtsc_noc::ReliableNet`), which the
+/// simulator enables automatically whenever a loss fault is configured.
+/// Probabilities are in permille (0–1000) so the struct stays
+/// `Copy + Eq`. The default is fully inert; [`FaultConfig::chaos`] is
+/// the delay-only preset and [`FaultConfig::lossy`] layers drops and
+/// corruption on top. Every random decision derives from `seed` alone,
+/// so a given `(config, kernel, seed)` triple replays byte-for-byte.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct FaultConfig {
     /// Master seed; every injector stream is derived from it.
@@ -235,6 +240,19 @@ pub struct FaultConfig {
     /// the timestamp epoch budget to force frequent Section V-D rollover
     /// storms. `0` leaves `ts_bits` untouched.
     pub ts_bits_cap: u32,
+    /// Permille chance a NoC packet is *dropped* at injection (loss
+    /// fault: requires the reliable-transport layer for liveness).
+    pub noc_drop_permille: u16,
+    /// Permille chance a NoC packet's payload is *corrupted* in flight
+    /// (the header survives, so the receiver can NACK the flow).
+    pub noc_corrupt_permille: u16,
+    /// Number of L2-bank crash/recovery events injected over the run
+    /// (each resets one bank's tag array and transport state mid-run).
+    pub l2_crash_count: u16,
+    /// Cycle window `[1, window]` within which the bank crashes are
+    /// scheduled (uniformly, from the seed). `0` disables crashes even
+    /// when `l2_crash_count` is nonzero.
+    pub l2_crash_window: u64,
 }
 
 impl FaultConfig {
@@ -254,7 +272,31 @@ impl FaultConfig {
             dram_jitter_permille: 250,
             dram_jitter_max: 300,
             ts_bits_cap: 8,
+            ..FaultConfig::default()
         }
+    }
+
+    /// The loss preset: the full [`FaultConfig::chaos`] storm *plus*
+    /// packet drops at `drop_permille` and payload corruption at half
+    /// that rate. Any nonzero drop rate makes the simulator switch the
+    /// NoC to reliable transport (ack/retransmit), so these runs must
+    /// still complete with zero violations.
+    #[must_use]
+    pub fn lossy(seed: u64, drop_permille: u16) -> Self {
+        FaultConfig {
+            noc_drop_permille: drop_permille,
+            noc_corrupt_permille: drop_permille / 2,
+            ..FaultConfig::chaos(seed)
+        }
+    }
+
+    /// Returns the config with `count` L2-bank crash/recovery events
+    /// scheduled uniformly in cycles `[1, window]`.
+    #[must_use]
+    pub fn with_bank_crashes(mut self, count: u16, window: u64) -> Self {
+        self.l2_crash_count = count;
+        self.l2_crash_window = window;
+        self
     }
 
     /// Whether any perturbation is enabled.
@@ -265,6 +307,52 @@ impl FaultConfig {
             || self.noc_duplicate_permille > 0
             || self.dram_jitter_permille > 0
             || self.ts_bits_cap > 0
+            || self.lossy_active()
+    }
+
+    /// Whether any *loss* fault (drop, corruption, bank crash) is
+    /// enabled — exactly the condition under which the simulator runs
+    /// the NoC through the reliable-transport layer.
+    #[must_use]
+    pub fn lossy_active(&self) -> bool {
+        self.noc_drop_permille > 0
+            || self.noc_corrupt_permille > 0
+            || (self.l2_crash_count > 0 && self.l2_crash_window > 0)
+    }
+}
+
+/// Parameters of the reliable-transport layer (`gtsc_noc::ReliableNet`):
+/// retransmit timing, backoff, NACK pacing, and the end-to-end L1 retry
+/// timeout. Only consulted when a loss fault is active; see DESIGN.md
+/// §13 for how the constants were sized against `ts_bits` and the NoC
+/// round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransportConfig {
+    /// Base retransmit timeout in cycles (before backoff). Must exceed
+    /// one NoC round-trip including injection serialization; the default
+    /// is ~6× the default 20-cycle pipeline latency each way.
+    pub retransmit_timeout: u64,
+    /// Exponential-backoff cap: the timeout doubles per retry up to
+    /// `base << max_backoff_exp`.
+    pub max_backoff_exp: u32,
+    /// Minimum cycles between NACKs for one flow (paces NACK storms
+    /// when a gap persists).
+    pub nack_min_gap: u64,
+    /// End-to-end L1 retry timeout: an un-answered read or store is
+    /// re-issued after this many cycles. Covers losses the transport
+    /// cannot see (a bank crash wiping an already-delivered request);
+    /// must comfortably exceed the worst-case transport backoff.
+    pub retry_timeout: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            retransmit_timeout: 256,
+            max_backoff_exp: 6,
+            nack_min_gap: 64,
+            retry_timeout: 4096,
+        }
     }
 }
 
@@ -482,6 +570,9 @@ pub struct GpuConfig {
     pub max_violations_reported: usize,
     /// Fault-injection plan (inert by default).
     pub faults: FaultConfig,
+    /// Reliable-transport parameters; only consulted when a loss fault
+    /// (`FaultConfig::lossy_active`) makes the NoC unreliable.
+    pub transport: TransportConfig,
     /// Protocol event tracing (off by default).
     pub trace: TraceConfig,
     /// Online transition sanitizer (off by default): every protocol
@@ -528,6 +619,7 @@ impl GpuConfig {
             watchdog_cycles: 1_000_000,
             max_violations_reported: 64,
             faults: FaultConfig::default(),
+            transport: TransportConfig::default(),
             trace: TraceConfig::default(),
             sanitize: false,
         }
@@ -591,6 +683,13 @@ impl GpuConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns the config with the given reliable-transport parameters.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -688,6 +787,45 @@ mod tests {
         assert_eq!(t.flight_capacity, 32);
         let cfg = GpuConfig::test_small().with_trace(t);
         assert_eq!(cfg.trace, t);
+    }
+
+    #[test]
+    fn loss_faults_are_off_in_chaos_and_on_in_lossy() {
+        let chaos = FaultConfig::chaos(3);
+        assert!(!chaos.lossy_active(), "chaos never drops");
+        assert_eq!(chaos.noc_drop_permille, 0);
+        assert_eq!(chaos.l2_crash_count, 0);
+        let lossy = FaultConfig::lossy(3, 50);
+        assert!(lossy.lossy_active() && lossy.is_active());
+        assert_eq!(lossy.noc_drop_permille, 50);
+        assert_eq!(lossy.noc_corrupt_permille, 25);
+        // Everything chaos perturbs stays on underneath.
+        assert_eq!(lossy.noc_jitter_permille, chaos.noc_jitter_permille);
+        let crashy = FaultConfig::default().with_bank_crashes(2, 10_000);
+        assert!(crashy.lossy_active() && crashy.is_active());
+        assert!(
+            !FaultConfig::default()
+                .with_bank_crashes(2, 0)
+                .lossy_active(),
+            "a zero window schedules nothing"
+        );
+    }
+
+    #[test]
+    fn transport_defaults_are_sane() {
+        let t = TransportConfig::default();
+        assert!(t.retransmit_timeout > 2 * NocConfig::default().latency);
+        assert!(
+            t.retry_timeout >= t.retransmit_timeout << t.max_backoff_exp.min(4),
+            "end-to-end retry must outlast several transport backoffs"
+        );
+        assert_eq!(GpuConfig::paper_default().transport, t);
+        let custom = TransportConfig {
+            retransmit_timeout: 128,
+            ..t
+        };
+        let cfg = GpuConfig::test_small().with_transport(custom);
+        assert_eq!(cfg.transport.retransmit_timeout, 128);
     }
 
     #[test]

@@ -28,10 +28,12 @@ pub mod value;
 pub use addr::{Addr, BlockAddr, CacheGeometry};
 pub use config::{
     CombinePolicy, ConsistencyModel, DramConfig, FaultConfig, GpuConfig, InclusionPolicy,
-    NocConfig, NocTopology, PagePolicy, ProtocolKind, TraceConfig, TraceMode, VisibilityPolicy,
-    WarpScheduler,
+    NocConfig, NocTopology, PagePolicy, ProtocolKind, TraceConfig, TraceMode, TransportConfig,
+    VisibilityPolicy, WarpScheduler,
 };
 pub use ids::{BankId, CtaId, GlobalWarpId, KernelId, LaneId, SmId, WarpId};
-pub use stats::{CacheStats, DramStats, LatencyHist, NocStats, SimStats, SmStats, StallKind};
+pub use stats::{
+    CacheStats, DramStats, LatencyHist, NocStats, SimStats, SmStats, StallKind, TransportStats,
+};
 pub use time::{Cycle, Lease, Timestamp};
 pub use value::Version;

@@ -264,6 +264,10 @@ pub struct CacheStats {
     /// Duplicate store/atomic requests dropped by the L2 replay filter
     /// (nonzero only under fault injection's at-least-once delivery).
     pub replayed_stores: u64,
+    /// End-to-end retries: requests re-issued by the L1 after the
+    /// `TransportConfig::retry_timeout` elapsed without an answer
+    /// (nonzero only under loss-fault injection).
+    pub retries: u64,
 }
 
 impl CacheStats {
@@ -282,6 +286,7 @@ impl CacheStats {
         self.ts_rollovers += rhs.ts_rollovers;
         self.mshr_merges += rhs.mshr_merges;
         self.replayed_stores += rhs.replayed_stores;
+        self.retries += rhs.retries;
     }
 
     /// All misses (cold + expired).
@@ -324,6 +329,66 @@ impl CacheStats {
             ts_rollovers: self.ts_rollovers.saturating_sub(rhs.ts_rollovers),
             mshr_merges: self.mshr_merges.saturating_sub(rhs.mshr_merges),
             replayed_stores: self.replayed_stores.saturating_sub(rhs.replayed_stores),
+            retries: self.retries.saturating_sub(rhs.retries),
+        }
+    }
+}
+
+/// Reliable-transport counters (`gtsc_noc::ReliableNet`), all zero on
+/// the fault-free fast path where the transport runs in passthrough
+/// mode. `bank_recoveries` is filled in by the simulator (crash events
+/// are injected above the NoC).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Payloads delivered to the protocol exactly once, in per-flow
+    /// FIFO order (the transport's contract).
+    pub delivered: u64,
+    /// Data segments re-sent (timeout- or NACK-driven).
+    pub retransmits: u64,
+    /// Retransmits triggered by a timeout expiry specifically.
+    pub timeouts: u64,
+    /// NACKs sent by receivers (gap observed or payload corrupted).
+    pub nacks: u64,
+    /// Unacked segments retired by cumulative ACKs.
+    pub acks: u64,
+    /// Duplicate or stale segments discarded by the receive window.
+    pub dup_dropped: u64,
+    /// Retransmits that hit the exponential-backoff cap.
+    pub max_backoff_hits: u64,
+    /// Per-flow transport resets (both ends), e.g. around a bank crash.
+    pub flows_reset: u64,
+    /// L2-bank crash/recovery events completed.
+    pub bank_recoveries: u64,
+}
+
+impl TransportStats {
+    /// Adds `rhs` into `self`.
+    pub fn merge(&mut self, rhs: &TransportStats) {
+        self.delivered += rhs.delivered;
+        self.retransmits += rhs.retransmits;
+        self.timeouts += rhs.timeouts;
+        self.nacks += rhs.nacks;
+        self.acks += rhs.acks;
+        self.dup_dropped += rhs.dup_dropped;
+        self.max_backoff_hits += rhs.max_backoff_hits;
+        self.flows_reset += rhs.flows_reset;
+        self.bank_recoveries += rhs.bank_recoveries;
+    }
+
+    /// Field-wise `self - rhs` (saturating), for interval deltas where
+    /// `rhs` is an earlier snapshot of the same counters.
+    #[must_use]
+    pub fn diff(&self, rhs: &TransportStats) -> TransportStats {
+        TransportStats {
+            delivered: self.delivered.saturating_sub(rhs.delivered),
+            retransmits: self.retransmits.saturating_sub(rhs.retransmits),
+            timeouts: self.timeouts.saturating_sub(rhs.timeouts),
+            nacks: self.nacks.saturating_sub(rhs.nacks),
+            acks: self.acks.saturating_sub(rhs.acks),
+            dup_dropped: self.dup_dropped.saturating_sub(rhs.dup_dropped),
+            max_backoff_hits: self.max_backoff_hits.saturating_sub(rhs.max_backoff_hits),
+            flows_reset: self.flows_reset.saturating_sub(rhs.flows_reset),
+            bank_recoveries: self.bank_recoveries.saturating_sub(rhs.bank_recoveries),
         }
     }
 }
@@ -440,6 +505,8 @@ pub struct SimStats {
     pub l2: CacheStats,
     /// Interconnect counters.
     pub noc: NocStats,
+    /// Reliable-transport counters (all zero without loss faults).
+    pub transport: TransportStats,
     /// DRAM counters.
     pub dram: DramStats,
     /// Per-SM pipeline counters (index = SM id); empty when the producer
@@ -481,6 +548,7 @@ impl SimStats {
             l1: self.l1.diff(&rhs.l1),
             l2: self.l2.diff(&rhs.l2),
             noc: self.noc.diff(&rhs.noc),
+            transport: self.transport.diff(&rhs.transport),
             dram: self.dram.diff(&rhs.dram),
             per_sm: diff_vec(&self.per_sm, &rhs.per_sm, |a, b| a.diff(b)),
             per_l1: diff_vec(&self.per_l1, &rhs.per_l1, |a, b| a.diff(b)),
@@ -634,6 +702,30 @@ mod tests {
         let d = sim_a.diff(&sim_b);
         assert_eq!(d.cycles.0, 40);
         assert_eq!(d.per_sm[0].issued, 5);
+    }
+
+    #[test]
+    fn transport_stats_merge_and_diff() {
+        let mut a = TransportStats {
+            delivered: 10,
+            retransmits: 3,
+            timeouts: 2,
+            nacks: 1,
+            acks: 9,
+            dup_dropped: 4,
+            max_backoff_hits: 1,
+            flows_reset: 2,
+            bank_recoveries: 1,
+        };
+        let snapshot = a;
+        a.merge(&snapshot);
+        assert_eq!(a.delivered, 20);
+        assert_eq!(a.retransmits, 6);
+        assert_eq!(a.bank_recoveries, 2);
+        let d = a.diff(&snapshot);
+        assert_eq!(d, snapshot, "diff recovers the interval");
+        // Saturating on reversed order.
+        assert_eq!(snapshot.diff(&a).delivered, 0);
     }
 
     #[test]

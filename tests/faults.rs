@@ -13,7 +13,9 @@
 use gtsc::faults::FaultStats;
 use gtsc::gpu::{VecKernel, WarpOp, WarpProgram};
 use gtsc::sim::{GpuSim, RunReport, SimBuilder};
-use gtsc::types::{Addr, ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind, Version};
+use gtsc::types::{
+    Addr, ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind, TransportStats, Version,
+};
 use gtsc::workloads::micro;
 
 /// Seeds swept by every storm test (≥100 per the robustness harness
@@ -181,6 +183,113 @@ fn incoherent_baseline_still_shows_stale_reads_under_faults() {
         stale_runs > 0,
         "the incoherent baseline never exhibited the forbidden MP outcome \
          across the sweep — the harness is masking incoherence"
+    );
+}
+
+/// The fault-free reference image for `kernel`: loss soaks must leave
+/// memory byte-identical to this, or the transport dropped or replayed
+/// a write somewhere.
+fn clean_image(model: ConsistencyModel, kernel: &VecKernel) -> String {
+    let cfg = GpuConfig::test_small()
+        .with_protocol(ProtocolKind::Gtsc)
+        .with_consistency(model);
+    let mut sim = GpuSim::new(cfg);
+    sim.run_kernel(kernel).expect("fault-free run completes");
+    format!("{:?}", sim.memory_image())
+}
+
+/// Loss soak: every seed runs the full chaos storm plus flit drops at
+/// `drop_permille` (and corruption at half that). Each run must complete
+/// — the watchdog turns a lost-packet stall into an error, so liveness
+/// is asserted by the unwrap — with zero checker violations and a
+/// memory image identical to the fault-free run. Across the sweep the
+/// harness must show its work: packets actually dropped, transport
+/// actually retransmitted.
+fn lossy_sweep(drop_permille: u16) {
+    let kernel = micro::message_passing(3);
+    let reference = clean_image(ConsistencyModel::Sc, &kernel);
+    let mut faults = FaultStats::default();
+    let mut transport = TransportStats::default();
+    for seed in SEEDS {
+        let cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_faults(FaultConfig::lossy(seed, drop_permille));
+        let mut sim = GpuSim::new(cfg);
+        let report = sim
+            .run_kernel(&kernel)
+            .unwrap_or_else(|e| panic!("seed {seed} at {drop_permille}permille drop: {e}"));
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed} at {drop_permille}permille drop: {:?}",
+            report.violations
+        );
+        assert_eq!(
+            format!("{:?}", sim.memory_image()),
+            reference,
+            "seed {seed} at {drop_permille}permille drop: memory image diverged \
+             from the fault-free run"
+        );
+        faults.merge(&sim.fault_stats().expect("lossy config is active"));
+        transport.merge(&report.stats.transport);
+    }
+    assert!(faults.dropped > 0, "soak never dropped a packet");
+    assert!(faults.corrupted > 0, "soak never corrupted a packet");
+    assert!(
+        transport.retransmits > 0 && transport.acks > 0,
+        "transport never earned its keep: {transport:?}"
+    );
+    assert!(transport.delivered > 0);
+}
+
+#[test]
+fn gtsc_survives_1pct_flit_drop_soak() {
+    lossy_sweep(10);
+}
+
+#[test]
+fn gtsc_survives_5pct_flit_drop_soak() {
+    lossy_sweep(50);
+}
+
+/// L2-bank crash/recovery storms on top of a lossy NoC: a crashed bank
+/// forgets its tag array and every in-flight conversation, recovery
+/// rebuilds from DRAM behind a global epoch bump, and the L1s' leases
+/// stay safe because logical time only moves forward. Memory must still
+/// match the fault-free run.
+#[test]
+fn bank_crash_storms_recover_behind_epoch_bumps() {
+    let kernel = micro::message_passing(3);
+    let reference = clean_image(ConsistencyModel::Sc, &kernel);
+    let mut recoveries = 0u64;
+    let mut rollovers = 0u64;
+    for seed in 0..32u64 {
+        let cfg = GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_faults(FaultConfig::lossy(seed, 10).with_bank_crashes(2, 400));
+        let mut sim = GpuSim::new(cfg);
+        let report = sim
+            .run_kernel(&kernel)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.violations
+        );
+        assert_eq!(
+            format!("{:?}", sim.memory_image()),
+            reference,
+            "seed {seed}: bank crash corrupted the memory image"
+        );
+        recoveries += report.stats.transport.bank_recoveries;
+        rollovers += report.stats.l2.ts_rollovers;
+    }
+    assert!(
+        recoveries > 0,
+        "no bank crash ever fired across the sweep — the schedule is inert"
+    );
+    assert!(
+        rollovers > 0,
+        "bank recoveries must ride the Section V-D epoch-bump protocol"
     );
 }
 
