@@ -1,0 +1,189 @@
+//! Performance baseline — machine-readable simulator throughput numbers.
+//!
+//! Produces `BENCH_<date>.json` (schema `gtsc-bench-baseline-v1`) so
+//! future PRs can diff simulator performance against a committed
+//! baseline instead of anecdotes. Three metrics:
+//!
+//! * `sim_cycles_per_second` — simulated cycles per wall-clock second
+//!   running KM at small scale under G-TSC/RC on the paper platform
+//!   (median of `RUNS` runs). The headline "how fast is the simulator"
+//!   number.
+//! * `ns_per_l1_hit` — wall nanoseconds per private-L1 hit on an
+//!   L1-hit-saturated single-warp microkernel (median of `RUNS`). The
+//!   protocol hot path in isolation.
+//! * `fig12_wall_seconds` — wall time for a full Figure-12 sweep
+//!   (12 benchmarks × BL + 5 systems) at tiny scale, single run. The
+//!   end-to-end experiment-harness latency.
+//!
+//! JSON schema (`gtsc-bench-baseline-v1`): a flat object with `schema`,
+//! `date` (ISO, from `--date` or system clock), `build` (`release` or
+//! `debug`), `host` {`os`, `arch`}, and `metrics`, where each metric is
+//! {`value`, `unit`, `workload`, `runs`, `stat`}. Values are plain JSON
+//! numbers; nothing nested deeper than two levels, so `grep`+`jq`-free
+//! scripts can parse it.
+//!
+//! Run: `cargo run --release -p gtsc-bench --bin perf_baseline`
+//! (writes `BENCH_<date>.json` in the current directory; pass an
+//! argument to change the output path).
+
+use std::time::Instant;
+
+use gtsc_bench::{paper_configs, run_benchmark};
+use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
+use gtsc_sim::GpuSim;
+use gtsc_types::{Addr, ConsistencyModel, GpuConfig, ProtocolKind};
+use gtsc_workloads::{Benchmark, Scale};
+
+/// Runs per timed metric; the median filters scheduler noise.
+const RUNS: usize = 5;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Simulated cycles per wall second: KM/small, G-TSC/RC, paper machine.
+fn cycles_per_second() -> f64 {
+    let mut samples = Vec::new();
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let out = run_benchmark(
+            Benchmark::Km,
+            ProtocolKind::Gtsc,
+            ConsistencyModel::Rc,
+            Scale::Small,
+        );
+        let dt = t0.elapsed().as_secs_f64();
+        samples.push(out.stats.cycles.0 as f64 / dt);
+    }
+    median(samples)
+}
+
+/// Wall nanoseconds per private-L1 hit on a hit-saturated microkernel:
+/// one warp stores a handful of blocks once, then loads them over and
+/// over; virtually every access after warm-up hits the L1.
+fn ns_per_l1_hit() -> f64 {
+    let blocks = 4u64;
+    let mut ops = Vec::new();
+    for b in 0..blocks {
+        ops.push(WarpOp::store_coalesced(Addr(b * 128), 32));
+    }
+    for i in 0..4000u64 {
+        ops.push(WarpOp::load_coalesced(Addr((i % blocks) * 128), 32));
+    }
+    let kernel = VecKernel::new("l1-hit-soak", 1, vec![vec![WarpProgram(ops)]]);
+    let cfg = GpuConfig::test_small()
+        .with_protocol(ProtocolKind::Gtsc)
+        .with_consistency(ConsistencyModel::Rc);
+
+    let mut samples = Vec::new();
+    for _ in 0..RUNS {
+        let mut sim = GpuSim::new(cfg.clone());
+        let t0 = Instant::now();
+        let report = sim.run_kernel(&kernel).expect("microkernel completes");
+        let dt_ns = t0.elapsed().as_nanos() as f64;
+        assert!(report.stats.l1.hits > 0, "microkernel produced no L1 hits");
+        samples.push(dt_ns / report.stats.l1.hits as f64);
+    }
+    median(samples)
+}
+
+/// Wall seconds for one full Figure-12 sweep at tiny scale.
+fn fig12_wall_seconds() -> f64 {
+    let t0 = Instant::now();
+    for b in Benchmark::all() {
+        let _bl = run_benchmark(b, ProtocolKind::NoL1, ConsistencyModel::Rc, Scale::Tiny);
+        for pc in paper_configs() {
+            if pc.protocol == ProtocolKind::L1NoCoherence && b.requires_coherence() {
+                continue;
+            }
+            let _ = run_benchmark(b, pc.protocol, pc.consistency, Scale::Tiny);
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// `days` since 1970-01-01 → (year, month, day). Howard Hinnant's
+/// `civil_from_days`, avoiding a date-crate dependency.
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m as u32, d as u32)
+}
+
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(secs / 86_400);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn metric(name: &str, value: f64, unit: &str, workload: &str, runs: usize, stat: &str) -> String {
+    format!(
+        "    \"{name}\": {{ \"value\": {value:.1}, \"unit\": \"{unit}\", \"workload\": \"{workload}\", \"runs\": {runs}, \"stat\": \"{stat}\" }}"
+    )
+}
+
+fn main() {
+    let date = today();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let build = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    if build == "debug" {
+        eprintln!("warning: baseline from a debug build; use --release for comparable numbers");
+    }
+
+    eprintln!("measuring sim_cycles_per_second ({RUNS} runs)...");
+    let cps = cycles_per_second();
+    eprintln!("measuring ns_per_l1_hit ({RUNS} runs)...");
+    let l1 = ns_per_l1_hit();
+    eprintln!("measuring fig12_wall_seconds (1 run)...");
+    let fig12 = fig12_wall_seconds();
+
+    let json = format!(
+        "{{\n  \"schema\": \"gtsc-bench-baseline-v1\",\n  \"date\": \"{date}\",\n  \"build\": \"{build}\",\n  \"host\": {{ \"os\": \"{}\", \"arch\": \"{}\" }},\n  \"metrics\": {{\n{},\n{},\n{}\n  }}\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        metric(
+            "sim_cycles_per_second",
+            cps,
+            "cycles/s",
+            "KM small, G-TSC/RC, paper platform",
+            RUNS,
+            "median"
+        ),
+        metric(
+            "ns_per_l1_hit",
+            l1,
+            "ns",
+            "single-warp L1-hit soak, G-TSC/RC, test platform",
+            RUNS,
+            "median"
+        ),
+        metric(
+            "fig12_wall_seconds",
+            fig12,
+            "s",
+            "Figure 12 sweep, 12 benchmarks x 6 systems, tiny scale",
+            1,
+            "single"
+        ),
+    );
+    std::fs::write(&out_path, &json).expect("write baseline");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

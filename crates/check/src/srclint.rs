@@ -69,7 +69,13 @@ const TS_ARITH_DIRS: &[&str] = &["crates/core/src"];
 const TS_ARITH_ALLOWED_FILES: &[&str] = &["rules.rs"];
 
 /// Directories scanned for `unwrap()` / `panic!` in non-test code.
-const NO_PANIC_DIRS: &[&str] = &["crates/core/src", "crates/sim/src", "crates/noc/src"];
+const NO_PANIC_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/sim/src",
+    "crates/noc/src",
+    "crates/sweep/src",
+    "crates/types/src",
+];
 
 /// Directories where direct pushes onto NoC injection queues are banned:
 /// everything must route through `ReliableNet` so sequencing, dedup, and

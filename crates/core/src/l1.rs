@@ -15,7 +15,7 @@
 //!   `ForwardAll` policy sends every request instead (ablation).
 //! * **Write-through, write-no-allocate** L1, as in GPGPU-Sim.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use gtsc_mem::{Mshr, MshrAlloc, TagArray};
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
@@ -132,9 +132,11 @@ pub struct GtscL1 {
     mshr: Mshr<Waiter>,
     /// Blocks with a `BusRd` currently in flight, with the cycle it (or
     /// its latest retry) was sent (an MSHR entry without one is waiting
-    /// on a store ack instead).
-    rd_inflight: HashMap<BlockAddr, Cycle>,
-    store_acks: HashMap<BlockAddr, VecDeque<StoreWaiter>>,
+    /// on a store ack instead). Ordered map: the retry scan in
+    /// [`GtscL1::tick`] iterates it, and the emission order must be
+    /// identical across processes for checkpoint determinism.
+    rd_inflight: BTreeMap<BlockAddr, Cycle>,
+    store_acks: BTreeMap<BlockAddr, VecDeque<StoreWaiter>>,
     /// End-to-end retry timer: requests unanswered this many cycles are
     /// re-sent. `None` (the default) disables retry — only enabled when
     /// the run injects loss faults, where a request can vanish with its
@@ -158,8 +160,8 @@ impl GtscL1 {
             tags: TagArray::new(p.geometry),
             warp_ts: vec![Timestamp::INIT; p.n_warps],
             mshr: Mshr::new(p.mshr_entries, p.mshr_merges),
-            rd_inflight: HashMap::new(),
-            store_acks: HashMap::new(),
+            rd_inflight: BTreeMap::new(),
+            store_acks: BTreeMap::new(),
             retry_timeout: None,
             out: VecDeque::new(),
             epoch: 0,
@@ -471,9 +473,74 @@ impl GtscL1 {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+gtsc_types::snap_fields!(OldCopy { wts, rts, version });
+
+gtsc_types::snap_fields!(L1Meta {
+    wts,
+    rts,
+    version,
+    pending_stores,
+    old,
+    writers,
+});
+
+gtsc_types::snap_fields!(Waiter { id, warp });
+
+gtsc_types::snap_fields!(StoreWaiter {
+    id,
+    warp,
+    kind,
+    version,
+    locked_line,
+    sent,
+});
+
 impl L1Controller for GtscL1 {
     fn enable_retry(&mut self, timeout: u64) {
         GtscL1::enable_retry(self, timeout);
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        self.tags.save_state(w);
+        self.warp_ts.save(w);
+        self.mshr.save_state(w);
+        self.rd_inflight.save(w);
+        self.store_acks.save(w);
+        self.retry_timeout.save(w);
+        self.out.save(w);
+        self.epoch.save(w);
+        self.version_ctr.save(w);
+        self.stats.save(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tags.load_state(r)?;
+        let warp_ts: Vec<Timestamp> = Snap::load(r)?;
+        let n_warps = self.warp_ts.len();
+        if warp_ts.len() != n_warps {
+            return Err(SnapshotError::Mismatch {
+                what: "L1 warp-timestamp table size".into(),
+            });
+        }
+        self.warp_ts = warp_ts;
+        self.mshr.load_state(r)?;
+        self.rd_inflight = Snap::load(r)?;
+        self.store_acks = Snap::load(r)?;
+        self.retry_timeout = Snap::load(r)?;
+        self.out = Snap::load(r)?;
+        self.epoch = Snap::load(r)?;
+        let version_ctr: Vec<u64> = Snap::load(r)?;
+        if version_ctr.len() != n_warps {
+            return Err(SnapshotError::Mismatch {
+                what: "L1 version-counter table size".into(),
+            });
+        }
+        self.version_ctr = version_ctr;
+        self.stats = Snap::load(r)?;
+        Ok(())
     }
 
     fn access(&mut self, acc: MemAccess, now: Cycle) -> L1Outcome {

@@ -420,7 +420,51 @@ impl GtscL2 {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+gtsc_types::snap_fields!(L2Meta {
+    wts,
+    rts,
+    version,
+    dirty,
+    renew_streak,
+});
+
+gtsc_types::snap_fields!(PendingReq { src, msg });
+
 impl L2Controller for GtscL2 {
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        self.tags.save_state(w);
+        self.mem_ts.save(w);
+        self.epoch.save(w);
+        self.overflow.save(w);
+        self.backing.save(w);
+        self.pending.save_state(w);
+        self.applied_stores.save(w);
+        self.in_queue.save(w);
+        self.out_resp.save(w);
+        self.dram_out.save(w);
+        self.stats.save(w);
+        self.clock.save(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tags.load_state(r)?;
+        self.mem_ts = Snap::load(r)?;
+        self.epoch = Snap::load(r)?;
+        self.overflow = Snap::load(r)?;
+        self.backing = Snap::load(r)?;
+        self.pending.load_state(r)?;
+        self.applied_stores = Snap::load(r)?;
+        self.in_queue = Snap::load(r)?;
+        self.out_resp = Snap::load(r)?;
+        self.dram_out = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        self.clock = Snap::load(r)?;
+        Ok(())
+    }
+
     fn on_request(&mut self, src: usize, msg: L1ToL2, now: Cycle) {
         self.clock = self.clock.max(now);
         self.in_queue.push_back((now + self.p.latency, src, msg));

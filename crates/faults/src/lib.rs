@@ -353,6 +353,23 @@ impl FaultPlan {
     }
 }
 
+// Snapshot encodings (DESIGN.md §14): an armed injector is pure data —
+// its config, its RNG position, and its counters — so checkpointing it
+// mid-run and restoring reproduces the exact same future fault stream.
+gtsc_types::snap_fields!(SplitMix64 { state });
+gtsc_types::snap_fields!(FaultStats {
+    jittered,
+    reordered,
+    duplicated,
+    dropped,
+    corrupted,
+    bank_resets,
+    extra_cycles,
+});
+gtsc_types::snap_fields!(NocFaults { cfg, rng, stats });
+gtsc_types::snap_fields!(DramFaults { cfg, rng, stats });
+gtsc_types::snap_fields!(BankFaults { schedule, stats });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +571,35 @@ mod tests {
         assert!(FaultPlan::new(FaultConfig::default()).bank(0, 2).is_none());
         let no_window = FaultConfig::default().with_bank_crashes(3, 0);
         assert!(FaultPlan::new(no_window).bank(0, 2).is_none());
+    }
+
+    #[test]
+    fn injector_snapshots_resume_the_exact_stream() {
+        use gtsc_types::{Snap, SnapReader, SnapWriter};
+        let plan = FaultPlan::new(FaultConfig::lossy(33, 150));
+        let mut f = plan.noc(0).unwrap();
+        for _ in 0..137 {
+            f.perturb();
+        }
+        let mut w = SnapWriter::new();
+        f.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut g = NocFaults::load(&mut r).unwrap();
+        assert_eq!(f.stats(), g.stats(), "counters survive the round trip");
+        for _ in 0..200 {
+            assert_eq!(f.perturb(), g.perturb(), "future stream is identical");
+        }
+
+        let crash_plan = FaultPlan::new(FaultConfig::default().with_bank_crashes(4, 10_000));
+        let mut b = crash_plan.bank(0, 1).unwrap();
+        let _ = b.due(2_500); // consume any early crash before snapshotting
+        let mut w = SnapWriter::new();
+        b.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let restored = BankFaults::load(&mut r).unwrap();
+        assert_eq!(b, restored);
     }
 
     #[test]

@@ -190,6 +190,51 @@ impl Kernel for VecKernel {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+impl Snap for WarpOp {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            WarpOp::Load(a) => {
+                w.u8(0);
+                a.save(w);
+            }
+            WarpOp::Store(a) => {
+                w.u8(1);
+                a.save(w);
+            }
+            WarpOp::Atomic(a) => {
+                w.u8(2);
+                a.save(w);
+            }
+            WarpOp::Compute(c) => {
+                w.u8(3);
+                c.save(w);
+            }
+            WarpOp::Fence => w.u8(4),
+            WarpOp::ReleaseFence => w.u8(5),
+            WarpOp::AcquireFence => w.u8(6),
+            WarpOp::Barrier => w.u8(7),
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(WarpOp::Load(Snap::load(r)?)),
+            1 => Ok(WarpOp::Store(Snap::load(r)?)),
+            2 => Ok(WarpOp::Atomic(Snap::load(r)?)),
+            3 => Ok(WarpOp::Compute(Snap::load(r)?)),
+            4 => Ok(WarpOp::Fence),
+            5 => Ok(WarpOp::ReleaseFence),
+            6 => Ok(WarpOp::AcquireFence),
+            7 => Ok(WarpOp::Barrier),
+            other => Err(SnapshotError::Malformed {
+                context: format!("WarpOp tag {other}"),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

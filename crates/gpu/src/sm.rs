@@ -610,6 +610,81 @@ impl Sm {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+gtsc_types::snap_fields!(WarpSlot {
+    active,
+    cta_slot,
+    ops,
+    mem_blocks,
+    mem_kind,
+    outstanding,
+    outstanding_writes,
+    outstanding_reads,
+    compute_until,
+    at_barrier,
+    atomic_pending,
+    issued_at,
+    age,
+});
+
+gtsc_types::snap_fields!(CtaSlot {
+    warps_total,
+    warps_done,
+    at_barrier,
+    occupied,
+});
+
+impl Sm {
+    /// Serializes the pipeline's dynamic state — warp and CTA slots,
+    /// scheduler cursors, access-id counter, latency bookkeeping, and
+    /// counters — followed by the L1 controller's state via its trait
+    /// hook. `SmParams` and the tracer are config-derived and come from
+    /// the SM being restored into.
+    ///
+    /// # Errors
+    ///
+    /// [`gtsc_types::SnapshotError::Unsupported`] if the installed L1
+    /// controller does not implement checkpointing.
+    pub fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        self.warps.save(w);
+        self.ctas.save(w);
+        self.rr_cursor.save(w);
+        self.greedy_warp.save(w);
+        self.next_age.save(w);
+        self.next_access.save(w);
+        self.issue_time.save(w);
+        self.stats.save(w);
+        self.l1.save_state(w)
+    }
+
+    /// Restores state saved by [`Sm::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`gtsc_types::SnapshotError::Mismatch`] if the slot geometry
+    /// differs; `Unsupported` if the L1 cannot checkpoint; any decoding
+    /// error on corrupt input.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let warps: Vec<WarpSlot> = Snap::load(r)?;
+        let ctas: Vec<CtaSlot> = Snap::load(r)?;
+        if warps.len() != self.warps.len() || ctas.len() != self.ctas.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "SM warp/CTA slot geometry".into(),
+            });
+        }
+        self.warps = warps;
+        self.ctas = ctas;
+        self.rr_cursor = Snap::load(r)?;
+        self.greedy_warp = Snap::load(r)?;
+        self.next_age = Snap::load(r)?;
+        self.next_access = Snap::load(r)?;
+        self.issue_time = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        self.l1.load_state(r)
+    }
+}
+
 /// One stalled warp in a forward-progress diagnosis (see
 /// [`Sm::stalled_warps`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -281,6 +281,97 @@ impl<P> Dram<P> {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+impl<P: Snap> Snap for DramRequest<P> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.block.save(w);
+        w.bool(self.is_write);
+        self.payload.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DramRequest {
+            block: Snap::load(r)?,
+            is_write: r.bool()?,
+            payload: Snap::load(r)?,
+        })
+    }
+}
+
+impl<P: Snap> Snap for DramResponse<P> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.block.save(w);
+        w.bool(self.is_write);
+        self.payload.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DramResponse {
+            block: Snap::load(r)?,
+            is_write: r.bool()?,
+            payload: Snap::load(r)?,
+        })
+    }
+}
+
+gtsc_types::snap_fields!(Bank {
+    open_row,
+    busy_until
+});
+
+impl<P: Snap> Snap for InFlight<P> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.ready_at.save(w);
+        self.resp.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(InFlight {
+            ready_at: Snap::load(r)?,
+            resp: Snap::load(r)?,
+        })
+    }
+}
+
+impl<P: Snap> Dram<P> {
+    /// Serializes all dynamic state: bank rows/timers, the request
+    /// queue, in-flight bursts (in their exact `Vec` order — completion
+    /// uses `swap_remove`, so order is observable), bus/burst timing,
+    /// counters, and the armed fault injector. The config and tracer
+    /// are rebuilt on restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.banks.save(w);
+        self.queue.save(w);
+        self.inflight.save(w);
+        self.last_burst.save(w);
+        self.stats.save(w);
+        self.faults.save(w);
+        self.clock.save(w);
+    }
+
+    /// Restores dynamic state into a partition built from the same
+    /// config.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] if the bank count differs; any
+    /// decoding error on corrupt input.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let banks: Vec<Bank> = Snap::load(r)?;
+        if banks.len() != self.banks.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "DRAM bank count".to_owned(),
+            });
+        }
+        self.banks = banks;
+        self.queue = Snap::load(r)?;
+        self.inflight = Snap::load(r)?;
+        self.last_burst = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        self.faults = Snap::load(r)?;
+        self.clock = Snap::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -149,6 +149,27 @@ impl<W> Mshr<W> {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+impl<W: Snap> Mshr<W> {
+    /// Serializes the outstanding entries (sorted by block for byte
+    /// stability). The entry/merge limits are config-derived and come
+    /// from the table being restored into.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.entries.save(w);
+    }
+
+    /// Restores outstanding entries into this table.
+    ///
+    /// # Errors
+    ///
+    /// Any decoding error on corrupt input.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.entries = Snap::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -219,6 +219,56 @@ impl<M> TagArray<M> {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+impl<M: Snap> Snap for Line<M> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.block.save(w);
+        self.meta.save(w);
+        w.u64(self.last_use);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Line {
+            block: Snap::load(r)?,
+            meta: Snap::load(r)?,
+            last_use: r.u64()?,
+        })
+    }
+}
+
+impl<M: Snap> TagArray<M> {
+    /// Serializes the dynamic state (resident lines + LRU counter). The
+    /// geometry is config-derived and must be re-supplied on restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.u64(self.use_counter);
+        self.sets.save(w);
+    }
+
+    /// Restores the dynamic state into an array of matching geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] if the saved set/way shape differs
+    /// from this array's geometry; any decoding error on corrupt input.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let use_counter = r.u64()?;
+        let sets: Vec<Vec<Option<Line<M>>>> = Snap::load(r)?;
+        if sets.len() != self.sets.len()
+            || sets
+                .iter()
+                .zip(self.sets.iter())
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(SnapshotError::Mismatch {
+                what: "tag array geometry".to_owned(),
+            });
+        }
+        self.use_counter = use_counter;
+        self.sets = sets;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -354,6 +354,101 @@ impl<T: Clone> Network<T> {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+impl<T: Snap> Snap for Packet<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.dst.save(w);
+        self.bytes.save(w);
+        self.payload.save(w);
+        self.enqueued.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Packet {
+            dst: Snap::load(r)?,
+            bytes: Snap::load(r)?,
+            payload: Snap::load(r)?,
+            enqueued: Snap::load(r)?,
+        })
+    }
+}
+
+impl<T: Snap> Snap for InFlight<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.arrives.save(w);
+        self.src.save(w);
+        self.dst.save(w);
+        self.payload.save(w);
+        self.enqueued.save(w);
+        self.is_dup.save(w);
+        self.is_corrupt.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(InFlight {
+            arrives: Snap::load(r)?,
+            src: Snap::load(r)?,
+            dst: Snap::load(r)?,
+            payload: Snap::load(r)?,
+            enqueued: Snap::load(r)?,
+            is_dup: Snap::load(r)?,
+            is_corrupt: Snap::load(r)?,
+        })
+    }
+}
+
+impl<T: Snap> Network<T> {
+    /// Serializes the dynamic state: queues, port schedules, wire
+    /// traffic, counters, fault-injector streams, flow clamps, and
+    /// pending corruption headers. The geometry (`cfg`, port counts)
+    /// and tracer are config-derived and come from the network being
+    /// restored into. `inflight` is written in its exact `Vec` order —
+    /// delivery uses `swap_remove`, so the order is observable and must
+    /// survive a round trip byte-for-byte.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.queues.save(w);
+        self.port_free.save(w);
+        self.inflight.save(w);
+        self.stats.save(w);
+        self.faults.save(w);
+        self.flow_last.save(w);
+        self.corrupted.save(w);
+    }
+
+    /// Restores dynamic state saved by [`Network::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] if the snapshot's port geometry does
+    /// not match this network's; any decoding error on corrupt input.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let queues: Vec<VecDeque<Packet<T>>> = Snap::load(r)?;
+        let port_free: Vec<Cycle> = Snap::load(r)?;
+        let inflight: Vec<InFlight<T>> = Snap::load(r)?;
+        let stats: NocStats = Snap::load(r)?;
+        let faults: Option<NocFaults> = Snap::load(r)?;
+        let flow_last: Vec<u64> = Snap::load(r)?;
+        let corrupted: Vec<(usize, usize)> = Snap::load(r)?;
+        if queues.len() != self.n_srcs
+            || port_free.len() != self.n_srcs
+            || flow_last.len() != self.n_srcs * self.n_dsts
+        {
+            return Err(SnapshotError::Mismatch {
+                what: "network port geometry".into(),
+            });
+        }
+        self.queues = queues;
+        self.port_free = port_free;
+        self.inflight = inflight;
+        self.stats = stats;
+        self.faults = faults;
+        self.flow_last = flow_last;
+        self.corrupted = corrupted;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -611,6 +611,163 @@ impl<T: Clone> ReliableNet<T> {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+impl<T: Snap> Snap for DataSeg<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.src.save(w);
+        self.gen.save(w);
+        self.seq.save(w);
+        self.payload.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DataSeg {
+            src: Snap::load(r)?,
+            gen: Snap::load(r)?,
+            seq: Snap::load(r)?,
+            payload: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for CtlKind {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            CtlKind::Ack { cum } => {
+                w.u8(0);
+                cum.save(w);
+            }
+            CtlKind::Nack { expected } => {
+                w.u8(1);
+                expected.save(w);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(CtlKind::Ack {
+                cum: Snap::load(r)?,
+            }),
+            1 => Ok(CtlKind::Nack {
+                expected: Snap::load(r)?,
+            }),
+            t => Err(SnapshotError::Malformed {
+                context: format!("CtlKind tag {t}"),
+            }),
+        }
+    }
+}
+
+gtsc_types::snap_fields!(CtlMsg {
+    flow_src,
+    flow_dst,
+    gen,
+    kind,
+});
+
+impl<T: Snap> Snap for Sent<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.seq.save(w);
+        self.bytes.save(w);
+        self.payload.save(w);
+        self.first_sent.save(w);
+        self.deadline.save(w);
+        self.retries.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Sent {
+            seq: Snap::load(r)?,
+            bytes: Snap::load(r)?,
+            payload: Snap::load(r)?,
+            first_sent: Snap::load(r)?,
+            deadline: Snap::load(r)?,
+            retries: Snap::load(r)?,
+        })
+    }
+}
+
+impl<T: Snap> Snap for TxFlow<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.gen.save(w);
+        self.next_seq.save(w);
+        self.unacked.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TxFlow {
+            gen: Snap::load(r)?,
+            next_seq: Snap::load(r)?,
+            unacked: Snap::load(r)?,
+        })
+    }
+}
+
+impl<T: Snap> Snap for RxFlow<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.gen.save(w);
+        self.next_expected.save(w);
+        self.buffer.save(w);
+        self.last_nack.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RxFlow {
+            gen: Snap::load(r)?,
+            next_expected: Snap::load(r)?,
+            buffer: Snap::load(r)?,
+            last_nack: Snap::load(r)?,
+        })
+    }
+}
+
+impl<T: Snap> ReliableNet<T> {
+    /// Serializes the dynamic transport state: both underlying networks,
+    /// the enabled flag, every sender/receiver flow (retransmit queues,
+    /// reorder buffers, generations), the backoff-jitter RNG stream, and
+    /// the counters. `tcfg`, `ctl_bytes`, the port geometry, and the
+    /// tracers are config-derived and come from the wrapper being
+    /// restored into.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.data.save_state(w);
+        self.ctl.save_state(w);
+        self.enabled.save(w);
+        self.tx.save(w);
+        self.rx.save(w);
+        self.rng.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores state saved by [`ReliableNet::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] if the flow geometry differs; any
+    /// decoding error on corrupt input.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.data.load_state(r)?;
+        self.ctl.load_state(r)?;
+        let enabled: bool = Snap::load(r)?;
+        let tx: Vec<TxFlow<T>> = Snap::load(r)?;
+        let rx: Vec<RxFlow<T>> = Snap::load(r)?;
+        let rng: SplitMix64 = Snap::load(r)?;
+        let stats: TransportStats = Snap::load(r)?;
+        if tx.len() != self.tx.len() || rx.len() != self.rx.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "transport flow geometry".into(),
+            });
+        }
+        self.enabled = enabled;
+        self.tx = tx;
+        self.rx = rx;
+        self.rng = rng;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -899,6 +1056,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn snapshot_mid_storm_resumes_byte_identically() {
+        use gtsc_types::snap::{SnapReader, SnapWriter};
+        // Drive a lossy transport into the middle of a retransmit storm,
+        // snapshot, restore into a freshly-built wrapper, and check that
+        // both copies replay the identical future.
+        let build = || lossy_net(23, 200);
+        let mut orig = build();
+        for i in 0..30usize {
+            orig.send(i % 3, (i / 3) % 3, 8 + i, i, Cycle(i as u64));
+        }
+        for c in 30..400u64 {
+            orig.tick(Cycle(c)); // leave unacked segments + reorder state
+        }
+        let mut w = SnapWriter::new();
+        orig.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut copy = build();
+        let mut r = SnapReader::new(&bytes);
+        copy.load_state(&mut r).expect("restore");
+        r.expect_end("transport snapshot").expect("fully consumed");
+
+        // A second save must be byte-identical (the S3 contract).
+        let mut w2 = SnapWriter::new();
+        copy.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "save -> load -> save is stable");
+
+        let mut log_a = Vec::new();
+        let mut log_b = Vec::new();
+        for c in 400..2_000_400u64 {
+            log_a.extend(orig.tick(Cycle(c)).into_iter().map(|(d, p)| (c, d, p)));
+            log_b.extend(copy.tick(Cycle(c)).into_iter().map(|(d, p)| (c, d, p)));
+            if orig.is_idle() && copy.is_idle() {
+                break;
+            }
+        }
+        assert!(orig.is_idle() && copy.is_idle());
+        assert_eq!(log_a, log_b, "restored transport replays the future");
+        assert_eq!(orig.transport_stats(), copy.transport_stats());
+        assert_eq!(orig.fault_stats(), copy.fault_stats());
+        // Everything sent pre-snapshot is delivered exactly once across
+        // the pre-snapshot and post-restore halves combined.
+        let ts = copy.transport_stats();
+        assert_eq!(ts.delivered, 30);
+    }
+
+    #[test]
+    fn snapshot_geometry_mismatch_is_rejected() {
+        use gtsc_types::snap::{SnapReader, SnapWriter, SnapshotError};
+        let orig = lossy_net(1, 100); // 3x3
+        let mut w = SnapWriter::new();
+        orig.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other: ReliableNet<usize> =
+            ReliableNet::new(2, 2, NocConfig::default(), test_tcfg());
+        let mut r = SnapReader::new(&bytes);
+        let err = other.load_state(&mut r);
+        assert!(
+            matches!(
+                err,
+                Err(SnapshotError::Mismatch { .. } | SnapshotError::Malformed { .. })
+            ),
+            "wrong geometry must be rejected: {err:?}"
+        );
     }
 
     #[test]

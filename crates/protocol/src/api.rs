@@ -10,6 +10,7 @@
 //! * `gtsc_baselines::NonCoherentL1` — "Baseline W/L1".
 
 use gtsc_trace::{Sanitizer, Tracer};
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
 use gtsc_types::{BlockAddr, CacheStats, Cycle, Timestamp, Version, WarpId};
 
 use crate::msg::{Epoch, L1ToL2, L2ToL1};
@@ -205,6 +206,35 @@ pub trait L1Controller {
     fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
         let _ = sanitizer;
     }
+
+    /// Serializes the controller's dynamic state for a whole-simulator
+    /// checkpoint (DESIGN.md §14). The default declines: only
+    /// controllers that also implement
+    /// [`load_state`](L1Controller::load_state) support checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] from the default implementation.
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        let _ = w;
+        Err(SnapshotError::Unsupported {
+            what: "this L1 controller does not checkpoint",
+        })
+    }
+
+    /// Restores state saved by [`save_state`](L1Controller::save_state)
+    /// into a controller freshly built from the same config.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] from the default implementation;
+    /// decoding or mismatch errors from implementations.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Err(SnapshotError::Unsupported {
+            what: "this L1 controller does not checkpoint",
+        })
+    }
 }
 
 /// A shared-cache bank controller.
@@ -306,7 +336,82 @@ pub trait L2Controller {
     fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
         let _ = sanitizer;
     }
+
+    /// Serializes the bank's dynamic state for a whole-simulator
+    /// checkpoint (DESIGN.md §14). The default declines: only banks that
+    /// also implement [`load_state`](L2Controller::load_state) support
+    /// checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] from the default implementation.
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+        let _ = w;
+        Err(SnapshotError::Unsupported {
+            what: "this L2 controller does not checkpoint",
+        })
+    }
+
+    /// Restores state saved by [`save_state`](L2Controller::save_state)
+    /// into a bank freshly built from the same config.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] from the default implementation;
+    /// decoding or mismatch errors from implementations.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Err(SnapshotError::Unsupported {
+            what: "this L2 controller does not checkpoint",
+        })
+    }
 }
+
+impl Snap for AccessId {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(AccessId(r.u64()?))
+    }
+}
+
+impl Snap for AccessKind {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            AccessKind::Load => 0,
+            AccessKind::Store => 1,
+            AccessKind::Atomic => 2,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(AccessKind::Load),
+            1 => Ok(AccessKind::Store),
+            2 => Ok(AccessKind::Atomic),
+            other => Err(SnapshotError::Malformed {
+                context: format!("AccessKind tag {other}"),
+            }),
+        }
+    }
+}
+
+gtsc_types::snap_fields!(MemAccess {
+    id,
+    warp,
+    kind,
+    block
+});
+gtsc_types::snap_fields!(Completion {
+    id,
+    warp,
+    kind,
+    block,
+    version,
+    ts,
+    epoch,
+    prev,
+});
 
 #[cfg(test)]
 mod tests {

@@ -253,6 +253,154 @@ impl MsgSizes {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+// Snapshot encodings (DESIGN.md §14): messages sit inside checkpointed
+// queues (L1 out-queues, NoC in-flight sets, transport retransmit
+// buffers), so the whole wire vocabulary must round-trip.
+impl Snap for LeaseInfo {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            LeaseInfo::Logical { wts, rts } => {
+                w.u8(0);
+                wts.save(w);
+                rts.save(w);
+            }
+            LeaseInfo::Physical { expires } => {
+                w.u8(1);
+                expires.save(w);
+            }
+            LeaseInfo::None => w.u8(2),
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(LeaseInfo::Logical {
+                wts: Snap::load(r)?,
+                rts: Snap::load(r)?,
+            }),
+            1 => Ok(LeaseInfo::Physical {
+                expires: Snap::load(r)?,
+            }),
+            2 => Ok(LeaseInfo::None),
+            other => Err(SnapshotError::Malformed {
+                context: format!("LeaseInfo tag {other}"),
+            }),
+        }
+    }
+}
+
+gtsc_types::snap_fields!(ReadReq {
+    block,
+    wts,
+    warp_ts,
+    epoch
+});
+gtsc_types::snap_fields!(WriteReq {
+    block,
+    warp_ts,
+    version,
+    epoch
+});
+gtsc_types::snap_fields!(FillResp {
+    block,
+    lease,
+    version,
+    epoch
+});
+gtsc_types::snap_fields!(WriteAckResp {
+    block,
+    lease,
+    version,
+    epoch
+});
+
+impl Snap for L1ToL2 {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            L1ToL2::Read(m) => {
+                w.u8(0);
+                m.save(w);
+            }
+            L1ToL2::Write(m) => {
+                w.u8(1);
+                m.save(w);
+            }
+            L1ToL2::Atomic(m) => {
+                w.u8(2);
+                m.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(L1ToL2::Read(Snap::load(r)?)),
+            1 => Ok(L1ToL2::Write(Snap::load(r)?)),
+            2 => Ok(L1ToL2::Atomic(Snap::load(r)?)),
+            other => Err(SnapshotError::Malformed {
+                context: format!("L1ToL2 tag {other}"),
+            }),
+        }
+    }
+}
+
+impl Snap for L2ToL1 {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            L2ToL1::Fill(m) => {
+                w.u8(0);
+                m.save(w);
+            }
+            L2ToL1::Renew {
+                block,
+                lease,
+                epoch,
+            } => {
+                w.u8(1);
+                block.save(w);
+                lease.save(w);
+                epoch.save(w);
+            }
+            L2ToL1::WriteAck(m) => {
+                w.u8(2);
+                m.save(w);
+            }
+            L2ToL1::AtomicAck { ack, prev } => {
+                w.u8(3);
+                ack.save(w);
+                prev.save(w);
+            }
+            L2ToL1::Invalidate { block, epoch } => {
+                w.u8(4);
+                block.save(w);
+                epoch.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(L2ToL1::Fill(Snap::load(r)?)),
+            1 => Ok(L2ToL1::Renew {
+                block: Snap::load(r)?,
+                lease: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            }),
+            2 => Ok(L2ToL1::WriteAck(Snap::load(r)?)),
+            3 => Ok(L2ToL1::AtomicAck {
+                ack: Snap::load(r)?,
+                prev: Snap::load(r)?,
+            }),
+            4 => Ok(L2ToL1::Invalidate {
+                block: Snap::load(r)?,
+                epoch: Snap::load(r)?,
+            }),
+            other => Err(SnapshotError::Malformed {
+                context: format!("L2ToL1 tag {other}"),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

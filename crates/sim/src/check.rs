@@ -307,6 +307,54 @@ impl Checker {
     }
 }
 
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+
+impl Snap for Violation {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Violation(Snap::load(r)?))
+    }
+}
+
+gtsc_types::snap_fields!(LoadObservation {
+    key,
+    version,
+    at,
+    sm,
+    exclusive,
+});
+
+// Manual rather than `snap_fields!` because `horizon_accepts` lives in a
+// `Cell` (saved/restored by value).
+impl Snap for Checker {
+    fn save(&self, w: &mut SnapWriter) {
+        self.stores.save(w);
+        self.written.save(w);
+        self.loads.save(w);
+        self.n_events.save(w);
+        self.frontier.save(w);
+        self.horizon.save(w);
+        self.early.save(w);
+        self.horizon_accepts.get().save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Checker {
+            stores: Snap::load(r)?,
+            written: Snap::load(r)?,
+            loads: Snap::load(r)?,
+            n_events: Snap::load(r)?,
+            frontier: Snap::load(r)?,
+            horizon: Snap::load(r)?,
+            early: Snap::load(r)?,
+            horizon_accepts: std::cell::Cell::new(Snap::load(r)?),
+        })
+    }
+}
+
 /// The timestamp-ordering check for one keyed load: the expected version
 /// is the latest store at or before the load's logical time (strictly
 /// before, for an atomic's read half).

@@ -1,0 +1,269 @@
+//! Crash-safe checkpoint files.
+//!
+//! A [`CheckpointStore`] persists snapshot images (from
+//! [`crate::GpuSim::save_snapshot`]) so a killed process can resume.
+//! Writes are atomic — the new image lands in a temp file, is fsync'd,
+//! and is renamed over the previous one — and the displaced image is
+//! kept as `<path>.prev`, so at every instant at least one complete,
+//! CRC-verified checkpoint exists on disk. [`CheckpointStore::load_latest`]
+//! tries the primary image first and falls back to `.prev` when the
+//! primary is corrupt or truncated (e.g. `kill -9` raced an older
+//! non-atomic writer, or the disk ate bits); only when *both* images are
+//! damaged does it report an error.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use gtsc_types::snap::SnapshotError;
+
+/// Where a successfully loaded checkpoint came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointSource {
+    /// The primary checkpoint file.
+    Primary,
+    /// The `.prev` fallback (the primary was missing or damaged).
+    Previous,
+}
+
+/// Why no checkpoint could be loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (not corruption — reading the bytes failed).
+    Io(io::Error),
+    /// Every on-disk image failed validation.
+    AllCorrupt {
+        /// Why the primary image was rejected (`None` if absent).
+        primary: Option<SnapshotError>,
+        /// Why the `.prev` image was rejected (`None` if absent).
+        fallback: Option<SnapshotError>,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::AllCorrupt { primary, fallback } => {
+                write!(f, "no loadable checkpoint:")?;
+                match primary {
+                    Some(e) => write!(f, " primary rejected ({e});")?,
+                    None => write!(f, " primary absent;")?,
+                }
+                match fallback {
+                    Some(e) => write!(f, " fallback rejected ({e})"),
+                    None => write!(f, " fallback absent"),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// An atomically-updated checkpoint file with one-deep history.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    path: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store writing to `path` (and `<path>.prev`, `<path>.tmp`).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointStore { path: path.into() }
+    }
+
+    /// The primary checkpoint path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn prev_path(&self) -> PathBuf {
+        let mut p = self.path.as_os_str().to_owned();
+        p.push(".prev");
+        PathBuf::from(p)
+    }
+
+    fn tmp_path(&self) -> PathBuf {
+        let mut p = self.path.as_os_str().to_owned();
+        p.push(".tmp");
+        PathBuf::from(p)
+    }
+
+    /// Atomically replaces the checkpoint with `bytes`, demoting the
+    /// previous image to `.prev`. After the fsync'd rename either the
+    /// old or the new complete image is on disk — never a torn mix.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error; the previous checkpoint (if one existed)
+    /// survives a failed save.
+    pub fn save(&self, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.tmp_path();
+        {
+            let mut f = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, bytes)?;
+            f.sync_all()?;
+        }
+        // Demote the current image before the rename lands the new one.
+        match fs::rename(&self.path, self.prev_path()) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        fs::rename(&tmp, &self.path)?;
+        // Persist both renames: fsync the containing directory so a
+        // machine crash cannot roll back to a state with no checkpoint.
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest image `parse` accepts: primary first, then the
+    /// `.prev` fallback. `parse` should fully validate the bytes (e.g.
+    /// build a sim and call [`crate::GpuSim::restore_snapshot`]).
+    ///
+    /// Returns `Ok(None)` when no checkpoint has ever been written.
+    ///
+    /// # Errors
+    ///
+    /// * [`CheckpointError::Io`] if reading an existing file failed.
+    /// * [`CheckpointError::AllCorrupt`] if images exist but every one
+    ///   was rejected by `parse`.
+    pub fn load_latest<T>(
+        &self,
+        mut parse: impl FnMut(&[u8]) -> Result<T, SnapshotError>,
+    ) -> Result<Option<(T, CheckpointSource)>, CheckpointError> {
+        let mut primary_err = None;
+        if let Some(bytes) = read_optional(&self.path)? {
+            match parse(&bytes) {
+                Ok(t) => return Ok(Some((t, CheckpointSource::Primary))),
+                Err(e) => primary_err = Some(e),
+            }
+        }
+        let mut fallback_err = None;
+        if let Some(bytes) = read_optional(&self.prev_path())? {
+            match parse(&bytes) {
+                Ok(t) => return Ok(Some((t, CheckpointSource::Previous))),
+                Err(e) => fallback_err = Some(e),
+            }
+        }
+        if primary_err.is_none() && fallback_err.is_none() {
+            return Ok(None);
+        }
+        Err(CheckpointError::AllCorrupt {
+            primary: primary_err,
+            fallback: fallback_err,
+        })
+    }
+
+    /// Removes every file this store manages (primary, `.prev`, `.tmp`).
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error other than the files already being absent.
+    pub fn clear(&self) -> io::Result<()> {
+        for p in [self.path.clone(), self.prev_path(), self.tmp_path()] {
+            match fs::remove_file(&p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn read_optional(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match fs::read(path) {
+        Ok(b) => Ok(Some(b)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gtsc-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn parse_magic(bytes: &[u8]) -> Result<Vec<u8>, SnapshotError> {
+        if bytes.first() == Some(&0xAB) {
+            Ok(bytes.to_vec())
+        } else {
+            Err(SnapshotError::BadMagic)
+        }
+    }
+
+    #[test]
+    fn save_then_load_round_trips_and_keeps_history() {
+        let dir = tmp_dir("roundtrip");
+        let store = CheckpointStore::new(dir.join("ck.snap"));
+        assert!(store.load_latest(parse_magic).unwrap().is_none());
+        store.save(&[0xAB, 1]).unwrap();
+        let (got, src) = store.load_latest(parse_magic).unwrap().unwrap();
+        assert_eq!(
+            (got.as_slice(), src),
+            (&[0xAB, 1][..], CheckpointSource::Primary)
+        );
+        store.save(&[0xAB, 2]).unwrap();
+        let (got, _) = store.load_latest(parse_magic).unwrap().unwrap();
+        assert_eq!(got, vec![0xAB, 2]);
+        // History: the displaced image is retained as .prev.
+        assert_eq!(fs::read(store.prev_path()).unwrap(), vec![0xAB, 1]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_primary_falls_back_to_prev() {
+        let dir = tmp_dir("fallback");
+        let store = CheckpointStore::new(dir.join("ck.snap"));
+        store.save(&[0xAB, 1]).unwrap();
+        store.save(&[0xAB, 2]).unwrap();
+        // Truncate/scribble the primary; .prev must still load.
+        fs::write(store.path(), [0x00]).unwrap();
+        let (got, src) = store.load_latest(parse_magic).unwrap().unwrap();
+        assert_eq!(
+            (got.as_slice(), src),
+            (&[0xAB, 1][..], CheckpointSource::Previous)
+        );
+        // Scribble .prev too: structured error, not a panic.
+        fs::write(store.prev_path(), [0x00]).unwrap();
+        match store.load_latest(parse_magic) {
+            Err(CheckpointError::AllCorrupt { primary, fallback }) => {
+                assert!(primary.is_some() && fallback.is_some());
+            }
+            other => panic!("expected AllCorrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn clear_removes_all_files() {
+        let dir = tmp_dir("clear");
+        let store = CheckpointStore::new(dir.join("ck.snap"));
+        store.save(&[0xAB]).unwrap();
+        store.save(&[0xAB, 9]).unwrap();
+        store.clear().unwrap();
+        assert!(store.load_latest(parse_magic).unwrap().is_none());
+        // Idempotent.
+        store.clear().unwrap();
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -19,6 +19,7 @@ use gtsc_protocol::{ControllerPressure, L2Controller};
 use gtsc_trace::{
     merge_tails, IntervalSample, IntervalSampler, Sanitizer, Scope, TraceEvent, Tracer,
 };
+use gtsc_types::snap::{crc32, Snap, SnapWriter, SnapshotBuilder, SnapshotError, SnapshotFile};
 use gtsc_types::{BlockAddr, CtaId, Cycle, GpuConfig, SimStats, SmId, Version};
 
 use crate::build::{build_l1, build_l2};
@@ -189,6 +190,79 @@ impl std::fmt::Display for StallDiagnosis {
         Ok(())
     }
 }
+
+/// Resumable dispatch state of one in-flight kernel: everything
+/// [`GpuSim::advance_kernel`] needs between slices that is not part of
+/// the machine itself — the CTA dispatch cursor, the round-robin SM
+/// cursor, and the forward-progress watchdog's fingerprint. Snapshot it
+/// alongside the [`GpuSim`] (via [`GpuSim::save_snapshot`]) to checkpoint
+/// a run mid-kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelProgress {
+    /// Identity of the kernel this progress belongs to; resuming with a
+    /// different kernel is rejected.
+    kernel_name: String,
+    n_ctas: usize,
+    warps_per_cta: usize,
+    /// Next CTA to dispatch.
+    next_cta: usize,
+    /// Round-robin dispatch cursor across SMs.
+    sm_cursor: usize,
+    /// Forward-progress watchdog fingerprint: moves whenever the machine
+    /// does useful work (completions, issues, dispatch, retirement,
+    /// transport progress). Seeded with sentinels so the first cycle of
+    /// a fresh run always registers progress.
+    last_fingerprint: (u64, u64, usize, usize, u64),
+    /// Cycle at which the fingerprint last moved.
+    last_progress: Cycle,
+}
+
+impl KernelProgress {
+    /// Fresh progress for `kernel` (nothing dispatched yet).
+    #[must_use]
+    pub fn new(kernel: &dyn Kernel) -> Self {
+        KernelProgress {
+            kernel_name: kernel.name().to_owned(),
+            n_ctas: kernel.n_ctas(),
+            warps_per_cta: kernel.warps_per_cta(),
+            next_cta: 0,
+            sm_cursor: 0,
+            last_fingerprint: (0, 0, usize::MAX, usize::MAX, u64::MAX),
+            last_progress: Cycle(0),
+        }
+    }
+
+    /// CTAs dispatched so far.
+    #[must_use]
+    pub fn dispatched(&self) -> usize {
+        self.next_cta
+    }
+
+    /// Whether every CTA of the grid has been dispatched (warps may
+    /// still be resident).
+    #[must_use]
+    pub fn fully_dispatched(&self) -> bool {
+        self.next_cta == self.n_ctas
+    }
+
+    /// Whether `kernel` is the kernel this progress was created for.
+    #[must_use]
+    pub fn matches(&self, kernel: &dyn Kernel) -> bool {
+        self.kernel_name == kernel.name()
+            && self.n_ctas == kernel.n_ctas()
+            && self.warps_per_cta == kernel.warps_per_cta()
+    }
+}
+
+gtsc_types::snap_fields!(KernelProgress {
+    kernel_name,
+    n_ctas,
+    warps_per_cta,
+    next_cta,
+    sm_cursor,
+    last_fingerprint,
+    last_progress,
+});
 
 /// The assembled GPU.
 pub struct GpuSim {
@@ -463,6 +537,43 @@ impl GpuSim {
     ///   [`StallDiagnosis`] explaining where work is stuck.
     /// * [`SimError::CycleLimit`] if `cfg.max_cycles` elapses first.
     pub fn run_kernel(&mut self, kernel: &dyn Kernel) -> Result<RunReport, SimError> {
+        let mut progress = KernelProgress::new(kernel);
+        let report = self.advance_kernel(kernel, &mut progress, 0)?;
+        // A zero budget is unbounded: advance_kernel only parks (None) on
+        // an exhausted budget, so the report is always present here.
+        report.map_or_else(
+            || {
+                Err(SimError::InvalidConfig(
+                    "unbounded advance_kernel yielded no report".to_owned(),
+                ))
+            },
+            Ok,
+        )
+    }
+
+    /// Advances `kernel` by at most `max_cycles` cycles (`0` =
+    /// unbounded), carrying dispatch and watchdog state in `progress` so
+    /// a run can be executed in slices — and checkpointed between them
+    /// via [`GpuSim::save_snapshot`]. Slicing is *invisible* to the
+    /// simulation: any sequence of budgets produces the machine state,
+    /// stats, and report of one uninterrupted run.
+    ///
+    /// Returns `Ok(Some(report))` when the kernel drained (private caches
+    /// flushed, kernel boundary of Section V-D), or `Ok(None)` when the
+    /// budget elapsed with work still pending.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidKernel`] if a CTA is wider than an SM, or if
+    ///   `progress` belongs to a different kernel.
+    /// * [`SimError::Stalled`] / [`SimError::CycleLimit`] as for
+    ///   [`GpuSim::run_kernel`].
+    pub fn advance_kernel(
+        &mut self,
+        kernel: &dyn Kernel,
+        progress: &mut KernelProgress,
+        max_cycles: u64,
+    ) -> Result<Option<RunReport>, SimError> {
         if kernel.warps_per_cta() > self.cfg.warps_per_sm {
             return Err(SimError::InvalidKernel(format!(
                 "CTA wider than an SM: kernel '{}' needs {} warps per CTA but SMs have {} slots",
@@ -471,35 +582,38 @@ impl GpuSim {
                 self.cfg.warps_per_sm
             )));
         }
-        let mut next_cta = 0usize;
-        let mut sm_cursor = 0usize;
+        if !progress.matches(kernel) {
+            return Err(SimError::InvalidKernel(format!(
+                "progress for kernel '{}' ({} CTAs × {} warps) cannot resume kernel '{}' \
+                 ({} CTAs × {} warps)",
+                progress.kernel_name,
+                progress.n_ctas,
+                progress.warps_per_cta,
+                kernel.name(),
+                kernel.n_ctas(),
+                kernel.warps_per_cta()
+            )));
+        }
         let n_ctas = kernel.n_ctas();
-        // Forward-progress watchdog: a fingerprint that moves whenever the
-        // machine does useful work. Completions and issues cover draining;
-        // dispatch covers the ramp-up; resident covers retirement; the
-        // transport mark (deliveries + acks + flow resets — deliberately
-        // not retransmits, which can spin forever) keeps lossy runs alive
-        // while recovery is genuinely advancing.
-        let mut last_fingerprint = (0u64, 0u64, usize::MAX, usize::MAX, u64::MAX);
-        let mut last_progress = self.now;
+        let mut budget = max_cycles;
         loop {
             // CTA dispatch: round-robin across SMs (as GPGPU-Sim does),
             // so the grid spreads over the whole chip instead of packing
             // the first SMs.
-            'dispatch: while next_cta < n_ctas {
-                let cta = CtaId(next_cta as u32);
+            'dispatch: while progress.next_cta < n_ctas {
+                let cta = CtaId(progress.next_cta as u32);
                 let warps = kernel.warps_per_cta();
                 let n_sms = self.sms.len();
-                let Some(offset) =
-                    (0..n_sms).find(|k| self.sms[(sm_cursor + k) % n_sms].can_accept_cta(warps))
+                let Some(offset) = (0..n_sms)
+                    .find(|k| self.sms[(progress.sm_cursor + k) % n_sms].can_accept_cta(warps))
                 else {
                     break 'dispatch;
                 };
-                let picked = (sm_cursor + offset) % n_sms;
-                sm_cursor = (picked + 1) % n_sms;
+                let picked = (progress.sm_cursor + offset) % n_sms;
+                progress.sm_cursor = (picked + 1) % n_sms;
                 let programs = (0..warps).map(|w| kernel.program(cta, w)).collect();
                 self.sms[picked].assign_cta(cta, programs);
-                next_cta += 1;
+                progress.next_cta += 1;
             }
 
             self.step();
@@ -518,25 +632,32 @@ impl GpuSim {
                 self.checker.compact();
             }
 
-            if next_cta == n_ctas && self.all_idle() {
+            if progress.next_cta == n_ctas && self.all_idle() {
                 break;
             }
+            // Forward-progress watchdog: a fingerprint that moves whenever
+            // the machine does useful work. Completions and issues cover
+            // draining; dispatch covers the ramp-up; resident covers
+            // retirement; the transport mark (deliveries + acks + flow
+            // resets — deliberately not retransmits, which can spin
+            // forever) keeps lossy runs alive while recovery is genuinely
+            // advancing.
             let fingerprint = (
                 self.checker.n_events(),
                 self.sms.iter().map(Sm::issued_count).sum::<u64>(),
-                next_cta,
+                progress.next_cta,
                 self.sms.iter().map(Sm::resident_warps).sum::<usize>(),
                 self.req_net.progress_mark() + self.resp_net.progress_mark(),
             );
-            if fingerprint != last_fingerprint {
-                last_fingerprint = fingerprint;
-                last_progress = self.now;
+            if fingerprint != progress.last_fingerprint {
+                progress.last_fingerprint = fingerprint;
+                progress.last_progress = self.now;
             } else if self.cfg.watchdog_cycles > 0
-                && self.now - last_progress >= self.cfg.watchdog_cycles
+                && self.now - progress.last_progress >= self.cfg.watchdog_cycles
             {
                 return Err(SimError::Stalled {
                     at: self.now,
-                    diagnosis: Box::new(self.diagnose_stall(self.now - last_progress)),
+                    diagnosis: Box::new(self.diagnose_stall(self.now - progress.last_progress)),
                 });
             }
             self.now += 1;
@@ -546,13 +667,19 @@ impl GpuSim {
                     resident_warps: self.sms.iter().map(Sm::resident_warps).sum(),
                 });
             }
+            if max_cycles > 0 {
+                budget -= 1;
+                if budget == 0 {
+                    return Ok(None);
+                }
+            }
         }
         for sm in &mut self.sms {
             sm.l1_mut().flush();
         }
         let cumulative = self.cumulative_stats();
         self.sampler.finish(self.now, &cumulative);
-        Ok(self.report())
+        Ok(Some(self.report()))
     }
 
     /// Runs several kernels back to back (private caches flushed between).
@@ -771,6 +898,192 @@ impl GpuSim {
             }
         }
         img
+    }
+
+    /// A cheap structural fingerprint of the build configuration, stored
+    /// in snapshots so a restore into a differently-configured machine is
+    /// rejected up front instead of failing deep inside a section.
+    fn config_fingerprint(&self) -> u64 {
+        // Derived Debug output is deterministic for identical configs
+        // across processes, which is all a mismatch check needs.
+        let repr = format!("{:?}", self.cfg);
+        (u64::from(crc32(repr.as_bytes())) << 32) | u64::from(crc32(self.cfg.label().as_bytes()))
+    }
+
+    /// Serializes the complete dynamic state of the machine — SMs and
+    /// warp slots, L1/L2 tag arrays and leases, MSHRs, queues, transport
+    /// flows, DRAM, fault-injector RNG streams, checker, sampler, and
+    /// cumulative counters — into a versioned, per-section-CRC'd snapshot
+    /// (DESIGN.md §14). Pass the in-flight [`KernelProgress`] to
+    /// checkpoint mid-kernel; `None` snapshots a machine at a kernel
+    /// boundary.
+    ///
+    /// Structure that is derivable from the [`GpuConfig`] (geometries,
+    /// timing parameters, tracer and sanitizer wiring, fault arming) is
+    /// *not* serialized: [`GpuSim::restore_snapshot`] requires a target
+    /// freshly built from the same config. Flight-recorder rings restart
+    /// empty after a restore — they only feed post-mortem displays, never
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Unsupported`] if a cache controller in this build
+    /// does not implement checkpointing (the non-G-TSC baselines).
+    pub fn save_snapshot(
+        &self,
+        progress: Option<&KernelProgress>,
+    ) -> Result<Vec<u8>, SnapshotError> {
+        let mut b = SnapshotBuilder::new();
+
+        let mut w = SnapWriter::new();
+        self.config_fingerprint().save(&mut w);
+        b.section("meta", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.now.save(&mut w);
+        self.epoch.save(&mut w);
+        self.bank_recoveries.save(&mut w);
+        self.bank_faults.save(&mut w);
+        self.sanitizer.save_state(&mut w);
+        b.section("sim", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        w.usize(self.sms.len());
+        for sm in &self.sms {
+            sm.save_state(&mut w)?;
+        }
+        b.section("sms", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        w.usize(self.l2.len());
+        for bank in &self.l2 {
+            bank.save_state(&mut w)?;
+        }
+        b.section("l2", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        w.usize(self.drams.len());
+        for d in &self.drams {
+            d.save_state(&mut w);
+        }
+        b.section("dram", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.req_net.save_state(&mut w);
+        self.resp_net.save_state(&mut w);
+        b.section("net", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.checker.save(&mut w);
+        b.section("checker", w.into_bytes());
+
+        let mut w = SnapWriter::new();
+        self.sampler.save(&mut w);
+        b.section("sampler", w.into_bytes());
+
+        if let Some(p) = progress {
+            let mut w = SnapWriter::new();
+            p.save(&mut w);
+            b.section("progress", w.into_bytes());
+        }
+        Ok(b.finish())
+    }
+
+    /// Restores a snapshot produced by [`GpuSim::save_snapshot`] into
+    /// this machine, which must have been freshly built from the same
+    /// [`GpuConfig`] (checked via a config fingerprint). Returns the
+    /// [`KernelProgress`] embedded in mid-kernel checkpoints, to be
+    /// passed back to [`GpuSim::advance_kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] on a damaged, truncated, or mismatched
+    /// snapshot — always an error, never a panic. On error the target may
+    /// be partially overwritten: discard it and rebuild from config
+    /// (falling back to an older checkpoint if one exists).
+    pub fn restore_snapshot(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<Option<KernelProgress>, SnapshotError> {
+        let file = SnapshotFile::parse(bytes)?;
+
+        let mut r = file.section("meta")?;
+        let fingerprint: u64 = Snap::load(&mut r)?;
+        r.expect_end("meta section")?;
+        if fingerprint != self.config_fingerprint() {
+            return Err(SnapshotError::Mismatch {
+                what: "config fingerprint".into(),
+            });
+        }
+
+        let mut r = file.section("sim")?;
+        self.now = Snap::load(&mut r)?;
+        self.epoch = Snap::load(&mut r)?;
+        self.bank_recoveries = Snap::load(&mut r)?;
+        let bank_faults: Vec<Option<BankFaults>> = Snap::load(&mut r)?;
+        if bank_faults.len() != self.bank_faults.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "bank-fault scheduler count".into(),
+            });
+        }
+        self.bank_faults = bank_faults;
+        self.sanitizer.load_state(&mut r)?;
+        r.expect_end("sim section")?;
+
+        let mut r = file.section("sms")?;
+        if r.usize()? != self.sms.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "SM count".into(),
+            });
+        }
+        for sm in &mut self.sms {
+            sm.load_state(&mut r)?;
+        }
+        r.expect_end("sms section")?;
+
+        let mut r = file.section("l2")?;
+        if r.usize()? != self.l2.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "L2 bank count".into(),
+            });
+        }
+        for bank in &mut self.l2 {
+            bank.load_state(&mut r)?;
+        }
+        r.expect_end("l2 section")?;
+
+        let mut r = file.section("dram")?;
+        if r.usize()? != self.drams.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "DRAM partition count".into(),
+            });
+        }
+        for d in &mut self.drams {
+            d.load_state(&mut r)?;
+        }
+        r.expect_end("dram section")?;
+
+        let mut r = file.section("net")?;
+        self.req_net.load_state(&mut r)?;
+        self.resp_net.load_state(&mut r)?;
+        r.expect_end("net section")?;
+
+        let mut r = file.section("checker")?;
+        self.checker = Snap::load(&mut r)?;
+        r.expect_end("checker section")?;
+
+        let mut r = file.section("sampler")?;
+        self.sampler = Snap::load(&mut r)?;
+        r.expect_end("sampler section")?;
+
+        if file.section_names().contains(&"progress") {
+            let mut r = file.section("progress")?;
+            let p = KernelProgress::load(&mut r)?;
+            r.expect_end("progress section")?;
+            Ok(Some(p))
+        } else {
+            Ok(None)
+        }
     }
 
     fn all_idle(&self) -> bool {
@@ -1423,6 +1736,151 @@ mod tests {
         assert_eq!(sim.memory_image(), want, "data survives the crash via DRAM");
         let f = sim.fault_stats().expect("bank faults active");
         assert!(f.bank_resets >= 1, "{f:?}");
+    }
+
+    #[test]
+    fn advance_kernel_in_slices_matches_run_kernel() {
+        // Slicing the run loop must be invisible: any budget sequence
+        // yields the stats of one uninterrupted run.
+        let kernel = drf_traffic_kernel(6);
+        let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        let mut whole = GpuSim::new(cfg.clone());
+        let want = whole.run_kernel(&kernel).expect("whole run");
+
+        let mut sliced = GpuSim::new(cfg);
+        let mut progress = KernelProgress::new(&kernel);
+        let mut report = None;
+        for _ in 0..100_000 {
+            if let Some(r) = sliced
+                .advance_kernel(&kernel, &mut progress, 37)
+                .expect("slice")
+            {
+                report = Some(r);
+                break;
+            }
+        }
+        let got = report.expect("sliced run completes");
+        assert_eq!(got.stats, want.stats);
+        assert_eq!(sliced.memory_image(), whole.memory_image());
+    }
+
+    #[test]
+    fn advance_kernel_rejects_foreign_progress() {
+        let cfg = GpuConfig::test_small();
+        let mut sim = GpuSim::new(cfg);
+        let mut progress = KernelProgress::new(&store_load_kernel());
+        let other = drf_traffic_kernel(2);
+        match sim.advance_kernel(&other, &mut progress, 10) {
+            Err(SimError::InvalidKernel(msg)) => {
+                assert!(msg.contains("cannot resume"), "{msg}");
+            }
+            other => panic!("expected InvalidKernel, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn mid_kernel_snapshot_resumes_byte_identically_under_faults() {
+        use gtsc_types::FaultConfig;
+        // The flagship determinism property: checkpoint at cycle N,
+        // restore into a fresh build, continue — and get the SimStats
+        // and memory image of the uninterrupted run, with a lossy NoC
+        // and bank crashes active across the checkpoint.
+        let kernel = drf_traffic_kernel(8);
+        let mut cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        cfg.faults = FaultConfig::lossy(42, 80).with_bank_crashes(2, 400);
+
+        let mut whole = GpuSim::new(cfg.clone());
+        let want = whole.run_kernel(&kernel).expect("uninterrupted run");
+
+        // Run half-interrupted: slice, snapshot mid-flight, abandon the
+        // original machine, restore, finish.
+        let mut first = GpuSim::new(cfg.clone());
+        let mut progress = KernelProgress::new(&kernel);
+        let parked = first
+            .advance_kernel(&kernel, &mut progress, 300)
+            .expect("first slice");
+        assert!(parked.is_none(), "300 cycles must not drain this kernel");
+        let snap = first.save_snapshot(Some(&progress)).expect("snapshot");
+        drop(first);
+
+        let mut resumed = SimBuilder::new(cfg).try_build().expect("rebuild");
+        let mut progress2 = resumed
+            .restore_snapshot(&snap)
+            .expect("restore")
+            .expect("mid-kernel snapshot carries progress");
+        assert_eq!(progress2, progress);
+        // A snapshot of the restored machine is byte-identical to the
+        // original snapshot (save → restore → save stability).
+        let snap2 = resumed
+            .save_snapshot(Some(&progress2))
+            .expect("re-snapshot");
+        assert_eq!(snap, snap2, "restored state must re-serialize identically");
+        let mut report = None;
+        for _ in 0..100_000 {
+            if let Some(r) = resumed
+                .advance_kernel(&kernel, &mut progress2, 111)
+                .expect("resumed slice")
+            {
+                report = Some(r);
+                break;
+            }
+        }
+        let got = report.expect("resumed run completes");
+        assert_eq!(got.stats, want.stats);
+        assert!(got.violations.is_empty(), "{:?}", got.violations);
+        assert_eq!(resumed.memory_image(), whole.memory_image());
+    }
+
+    #[test]
+    fn snapshot_corruption_is_an_error_never_a_panic() {
+        let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        let mut sim = GpuSim::new(cfg.clone());
+        sim.run_kernel(&store_load_kernel()).expect("completes");
+        let snap = sim.save_snapshot(None).expect("snapshot");
+
+        // Truncation at every eighth boundary and a bit flip in every
+        // 97th byte: all must fail cleanly.
+        for cut in (0..8).map(|i| snap.len() * i / 8) {
+            let mut fresh = SimBuilder::new(cfg.clone()).try_build().expect("build");
+            assert!(fresh.restore_snapshot(&snap[..cut]).is_err());
+        }
+        for i in (0..snap.len()).step_by(97) {
+            let mut bad = snap.clone();
+            bad[i] ^= 0x40;
+            let mut fresh = SimBuilder::new(cfg.clone()).try_build().expect("build");
+            assert!(
+                fresh.restore_snapshot(&bad).is_err(),
+                "bit flip at byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_config_mismatch_is_rejected() {
+        let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        let mut sim = GpuSim::new(cfg);
+        sim.run_kernel(&store_load_kernel()).expect("completes");
+        let snap = sim.save_snapshot(None).expect("snapshot");
+        let mut other_cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Gtsc);
+        other_cfg.warps_per_sm += 1;
+        let mut other = SimBuilder::new(other_cfg).try_build().expect("build");
+        match other.restore_snapshot(&snap) {
+            Err(gtsc_types::snap::SnapshotError::Mismatch { what }) => {
+                assert!(what.contains("fingerprint"), "{what}");
+            }
+            other => panic!("expected Mismatch, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn baseline_protocols_report_unsupported_snapshot() {
+        let cfg = GpuConfig::test_small().with_protocol(ProtocolKind::Tc);
+        let mut sim = GpuSim::new(cfg);
+        sim.run_kernel(&store_load_kernel()).expect("completes");
+        match sim.save_snapshot(None) {
+            Err(gtsc_types::snap::SnapshotError::Unsupported { .. }) => {}
+            other => panic!("expected Unsupported, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

@@ -34,8 +34,10 @@
 
 pub mod build;
 pub mod check;
+pub mod checkpoint;
 pub mod gpu;
 
 pub use build::{build_l1, build_l2};
 pub use check::{Checker, LoadObservation, Violation};
-pub use gpu::{GpuSim, RunReport, SimBuilder, SimError, StallDiagnosis};
+pub use checkpoint::{CheckpointError, CheckpointSource, CheckpointStore};
+pub use gpu::{GpuSim, KernelProgress, RunReport, SimBuilder, SimError, StallDiagnosis};

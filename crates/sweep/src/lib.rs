@@ -1,0 +1,38 @@
+//! Resumable, self-healing parameter sweeps over the G-TSC simulator.
+//!
+//! This crate turns the deterministic checkpoint/restore machinery of
+//! [`gtsc_sim`] into a batch service: a set of (benchmark, config,
+//! seed) jobs runs across work-stealing worker threads, every finished
+//! shard is journaled crash-safely, long jobs checkpoint themselves
+//! mid-kernel, and a process killed with `kill -9` at any instant can
+//! be restarted to produce the **byte-identical** aggregate report an
+//! uninterrupted run would have produced — without re-running any
+//! journaled shard (see `tests/resume.rs` for the proof).
+//!
+//! Layer map:
+//!
+//! * [`job`] — one deterministic simulation shard ([`JobSpec`] →
+//!   [`JobResult`]), sliced and checkpointed via
+//!   [`gtsc_sim::CheckpointStore`].
+//! * [`journal`] — append-only fsync'd record log with torn-tail
+//!   recovery; the source of truth for which shards are done.
+//! * [`service`] — the worker pool: stealing, bounded retry with
+//!   exponential backoff, and graceful degradation under disk/memory
+//!   budgets (shed work is reported, never silent).
+//!
+//! The `sweep` binary (`src/bin/sweep.rs`) wraps [`run_sweep`] in a
+//! CLI; see the README quick-start.
+
+pub mod job;
+pub mod journal;
+pub mod service;
+
+pub use job::{
+    benchmark_from_name, consistency_from_name, protocol_from_name, run_job, scale_from_name,
+    scale_name, JobOutcome, JobResult, JobRun, JobSpec,
+};
+pub use journal::{replay, Journal, Record};
+pub use service::{
+    batch_fingerprint, run_sweep, SweepConfig, SweepError, SweepOutcome, TransientFaultPlan,
+    EST_JOB_BYTES,
+};

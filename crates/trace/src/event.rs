@@ -86,6 +86,35 @@ impl Scope {
     }
 }
 
+impl gtsc_types::snap::Snap for Scope {
+    fn save(&self, w: &mut gtsc_types::snap::SnapWriter) {
+        let (tag, i) = match self {
+            Scope::Sm(i) => (0u8, *i),
+            Scope::L2Bank(i) => (1, *i),
+            Scope::Noc(i) => (2, *i),
+            Scope::Dram(i) => (3, *i),
+        };
+        w.u8(tag);
+        w.u16(i);
+    }
+
+    fn load(
+        r: &mut gtsc_types::snap::SnapReader<'_>,
+    ) -> Result<Self, gtsc_types::snap::SnapshotError> {
+        let tag = r.u8()?;
+        let i = r.u16()?;
+        match tag {
+            0 => Ok(Scope::Sm(i)),
+            1 => Ok(Scope::L2Bank(i)),
+            2 => Ok(Scope::Noc(i)),
+            3 => Ok(Scope::Dram(i)),
+            other => Err(gtsc_types::snap::SnapshotError::Malformed {
+                context: format!("Scope tag {other}"),
+            }),
+        }
+    }
+}
+
 impl std::fmt::Display for Scope {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -193,13 +193,24 @@ impl Tracer {
 
 /// Merges several flight-recorder tails into one cycle-ordered sequence
 /// (the post-mortem view across SMs, banks, networks, and DRAM).
+///
+/// Events are totally ordered by `(cycle, scope, within-tail sequence)`,
+/// so the merged tail is byte-stable regardless of the order the caller
+/// assembled `tails` in — same-cycle events from different components
+/// sort by component identity, and same-cycle events from one recorder
+/// keep their recording order.
 #[must_use]
 pub fn merge_tails(tails: &[Vec<TraceEvent>]) -> Vec<TraceEvent> {
-    let mut all: Vec<TraceEvent> = tails.iter().flatten().copied().collect();
-    // Stable by cycle: same-cycle events keep component order, which
-    // follows the simulator's fixed phase order within a cycle.
-    all.sort_by_key(|e| e.cycle);
-    all
+    let mut all: Vec<(Cycle, Scope, usize, TraceEvent)> = tails
+        .iter()
+        .flat_map(|tail| {
+            tail.iter()
+                .enumerate()
+                .map(|(i, e)| (e.cycle, e.scope, i, *e))
+        })
+        .collect();
+    all.sort_by_key(|&(cycle, scope, seq, _)| (cycle, scope, seq));
+    all.into_iter().map(|(_, _, _, e)| e).collect()
 }
 
 #[cfg(test)]
@@ -299,5 +310,30 @@ mod tests {
         let merged = merge_tails(&[a.flight_tail(), b.flight_tail()]);
         let cycles: Vec<u64> = merged.iter().map(|e| e.cycle.0).collect();
         assert_eq!(cycles, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn merge_tails_is_stable_on_cycle_ties() {
+        // Three components all record at the same cycles; the merged
+        // tail must come out identical however the caller orders the
+        // input tails — ties break on (scope, within-tail sequence).
+        let mut sm = Tracer::new(Scope::Sm(1), &TraceConfig::flight());
+        let mut bank = Tracer::new(Scope::L2Bank(0), &TraceConfig::flight());
+        let mut dram = Tracer::new(Scope::Dram(0), &TraceConfig::flight());
+        for c in [3u64, 3, 7] {
+            sm.record(Cycle(c), grant(c));
+            bank.record(Cycle(c), grant(c + 10));
+            dram.record(Cycle(c), grant(c + 20));
+        }
+        let fwd = merge_tails(&[sm.flight_tail(), bank.flight_tail(), dram.flight_tail()]);
+        let rev = merge_tails(&[dram.flight_tail(), bank.flight_tail(), sm.flight_tail()]);
+        assert_eq!(fwd, rev);
+        // Within a cycle tie, Sm < L2Bank < Dram, and a component's own
+        // events keep recording order.
+        assert_eq!(fwd[0].scope, Scope::Sm(1));
+        assert_eq!(fwd[1].scope, Scope::Sm(1));
+        assert_eq!(fwd[2].scope, Scope::L2Bank(0));
+        assert_eq!(fwd[4].scope, Scope::Dram(0));
+        assert!(fwd.windows(2).all(|w| w[0].cycle <= w[1].cycle));
     }
 }

@@ -120,6 +120,14 @@ impl IntervalSampler {
     }
 }
 
+gtsc_types::snap_fields!(IntervalSample { start, end, delta });
+gtsc_types::snap_fields!(IntervalSampler {
+    interval,
+    last,
+    prev,
+    samples,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -473,7 +473,58 @@ impl Sanitizer {
     pub fn suppressed(&self) -> u64 {
         self.shared.as_ref().map_or(0, |s| s.borrow().suppressed)
     }
+
+    /// Serializes the shared invariant core (checkpointing). Saving
+    /// through any handle captures the state seen by every scoped clone,
+    /// since they all share one core.
+    pub fn save_state(&self, w: &mut gtsc_types::snap::SnapWriter) {
+        match self.shared.as_ref() {
+            Some(s) => {
+                w.bool(true);
+                gtsc_types::snap::Snap::save(&*s.borrow(), w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Restores the shared core in place; every scoped clone observes the
+    /// restored state. The target's enablement (decided by config at
+    /// build time) must match the snapshot's.
+    ///
+    /// # Errors
+    ///
+    /// [`gtsc_types::snap::SnapshotError::Mismatch`] when one side is
+    /// enabled and the other is not, or any decode error from a damaged
+    /// payload.
+    pub fn load_state(
+        &mut self,
+        r: &mut gtsc_types::snap::SnapReader<'_>,
+    ) -> Result<(), gtsc_types::snap::SnapshotError> {
+        let enabled = r.bool()?;
+        match (enabled, self.shared.as_ref()) {
+            (true, Some(s)) => {
+                *s.borrow_mut() = gtsc_types::snap::Snap::load(r)?;
+                Ok(())
+            }
+            (false, None) => Ok(()),
+            _ => Err(gtsc_types::snap::SnapshotError::Mismatch {
+                what: "sanitizer enablement".into(),
+            }),
+        }
+    }
 }
+
+gtsc_types::snap_fields!(SanitizerCore {
+    l2_rts,
+    l2_wts,
+    tc_expires,
+    warp_ts,
+    epochs,
+    crashed_at_epoch,
+    violations,
+    suppressed,
+    checked,
+});
 
 #[cfg(test)]
 mod tests {

@@ -255,6 +255,25 @@ pub struct FaultConfig {
     pub l2_crash_window: u64,
 }
 
+// Fault injectors embed their `FaultConfig`, so checkpointing an armed
+// injector (DESIGN.md §14) needs the config itself to round-trip.
+crate::snap_fields!(FaultConfig {
+    seed,
+    noc_jitter_permille,
+    noc_jitter_max,
+    noc_reorder_permille,
+    noc_reorder_window,
+    noc_duplicate_permille,
+    noc_duplicate_lag,
+    dram_jitter_permille,
+    dram_jitter_max,
+    ts_bits_cap,
+    noc_drop_permille,
+    noc_corrupt_permille,
+    l2_crash_count,
+    l2_crash_window,
+});
+
 impl FaultConfig {
     /// The all-faults-on preset used by the fault-sweep tests: moderate
     /// NoC jitter, bounded reordering, duplicate delivery, DRAM service

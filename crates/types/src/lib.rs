@@ -21,6 +21,7 @@
 pub mod addr;
 pub mod config;
 pub mod ids;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod value;
@@ -32,6 +33,10 @@ pub use config::{
     VisibilityPolicy, WarpScheduler,
 };
 pub use ids::{BankId, CtaId, GlobalWarpId, KernelId, LaneId, SmId, WarpId};
+pub use snap::{
+    crc32, Snap, SnapReader, SnapWriter, SnapshotBuilder, SnapshotError, SnapshotFile, SNAP_MAGIC,
+    SNAP_VERSION,
+};
 pub use stats::{
     CacheStats, DramStats, LatencyHist, NocStats, SimStats, SmStats, StallKind, TransportStats,
 };

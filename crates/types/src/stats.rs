@@ -558,6 +558,94 @@ impl SimStats {
     }
 }
 
+// Snapshot encodings (DESIGN.md §14). `LatencyHist`'s impl must live in
+// this module because its fields are private; the plain counter structs
+// ride along for locality.
+impl crate::snap::Snap for LatencyHist {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        crate::snap::Snap::save(&self.buckets, w);
+        w.u64(self.sum);
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapshotError> {
+        Ok(LatencyHist {
+            buckets: crate::snap::Snap::load(r)?,
+            sum: r.u64()?,
+        })
+    }
+}
+
+crate::snap_fields!(SmStats {
+    issued,
+    mem_issued,
+    memory_stall_cycles,
+    fence_stall_cycles,
+    barrier_stall_cycles,
+    structural_stall_cycles,
+    idle_cycles,
+    active_cycles,
+    mem_latency,
+});
+
+crate::snap_fields!(CacheStats {
+    accesses,
+    hits,
+    cold_misses,
+    expired_misses,
+    blocked_on_pending_write,
+    renewals,
+    stores,
+    evictions,
+    write_stall_cycles,
+    eviction_stall_cycles,
+    ts_rollovers,
+    mshr_merges,
+    replayed_stores,
+    retries,
+});
+
+crate::snap_fields!(TransportStats {
+    delivered,
+    retransmits,
+    timeouts,
+    nacks,
+    acks,
+    dup_dropped,
+    max_backoff_hits,
+    flows_reset,
+    bank_recoveries,
+});
+
+crate::snap_fields!(NocStats {
+    packets,
+    flits,
+    control_packets,
+    data_packets,
+    total_packet_latency,
+    queue_cycles,
+});
+
+crate::snap_fields!(DramStats {
+    reads,
+    writes,
+    row_hits,
+    row_misses,
+    queue_full_events,
+});
+
+crate::snap_fields!(SimStats {
+    cycles,
+    sm,
+    l1,
+    l2,
+    noc,
+    transport,
+    dram,
+    per_sm,
+    per_l1,
+    per_l2,
+    per_dram,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

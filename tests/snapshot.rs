@@ -1,0 +1,238 @@
+//! Whole-machine snapshot determinism, end to end: checkpoint a GPU
+//! mid-kernel under active fault injection (lossy NoC + L2 bank
+//! crashes), restore it into a freshly built machine, and prove the
+//! continuation is indistinguishable — byte for byte — from a run that
+//! was never interrupted. Plus corruption handling: damaged images
+//! must produce structured [`SnapshotError`]s (never a panic) and the
+//! [`CheckpointStore`] must fall back to its previous good image.
+
+use proptest::prelude::*;
+
+use gtsc::gpu::Kernel;
+use gtsc::sim::{
+    CheckpointError, CheckpointSource, CheckpointStore, GpuSim, KernelProgress, SimBuilder,
+};
+use gtsc::types::snap::SnapshotError;
+use gtsc::types::{ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind};
+use gtsc::workloads::{Benchmark, Scale};
+
+fn faulty_config(seed: u64, drop_permille: u16) -> GpuConfig {
+    GpuConfig::test_small()
+        .with_protocol(ProtocolKind::Gtsc)
+        .with_consistency(ConsistencyModel::Rc)
+        .with_faults(FaultConfig::lossy(seed, drop_permille).with_bank_crashes(2, 400))
+}
+
+fn build(cfg: &GpuConfig) -> GpuSim {
+    SimBuilder::new(cfg.clone())
+        .try_build()
+        .expect("test config builds")
+}
+
+/// Advances in fixed slices until at least `min_cycles` have elapsed.
+/// Returns true if the kernel drained before reaching that point.
+fn advance_past(
+    sim: &mut GpuSim,
+    kernel: &dyn Kernel,
+    progress: &mut KernelProgress,
+    slice: u64,
+    min_cycles: u64,
+) -> bool {
+    while sim.now().0 < min_cycles {
+        if sim
+            .advance_kernel(kernel, progress, slice)
+            .expect("advance")
+            .is_some()
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn finish(
+    sim: &mut GpuSim,
+    kernel: &dyn Kernel,
+    progress: &mut KernelProgress,
+) -> gtsc::sim::RunReport {
+    loop {
+        if let Some(report) = sim.advance_kernel(kernel, progress, 997).expect("advance") {
+            return report;
+        }
+    }
+}
+
+/// The acceptance-criteria determinism proof: for 20 seeds, a run that
+/// is checkpointed mid-kernel under active faults and continued in a
+/// *different* simulator instance matches the uninterrupted run's
+/// stats, violations, and memory image exactly.
+#[test]
+fn twenty_seeds_mid_kernel_restore_matches_uninterrupted() {
+    for seed in 0..20u64 {
+        let bench = if seed % 2 == 0 {
+            Benchmark::Km
+        } else {
+            Benchmark::Hs
+        };
+        let kernel = bench.build(Scale::Tiny);
+        let cfg = faulty_config(seed, 50 + (seed as u16 % 4) * 10);
+
+        let mut straight = build(&cfg);
+        let reference = straight.run_kernel(&*kernel).expect("uninterrupted run");
+
+        let mut first = build(&cfg);
+        let mut progress = KernelProgress::new(&*kernel);
+        let drained = advance_past(&mut first, &*kernel, &mut progress, 97, 150);
+        assert!(
+            !drained,
+            "seed {seed}: kernel drained before the checkpoint"
+        );
+        let snapshot = first.save_snapshot(Some(&progress)).expect("snapshot");
+        drop(first); // the original machine is gone — like a killed process
+
+        let mut second = build(&cfg);
+        let restored = second
+            .restore_snapshot(&snapshot)
+            .expect("restore")
+            .expect("snapshot carried kernel progress");
+        assert_eq!(restored.dispatched(), progress.dispatched(), "seed {seed}");
+        let mut progress = restored;
+        let resumed = finish(&mut second, &*kernel, &mut progress);
+
+        assert_eq!(
+            resumed.stats, reference.stats,
+            "seed {seed}: stats diverged"
+        );
+        assert_eq!(
+            resumed.violations.len(),
+            reference.violations.len(),
+            "seed {seed}: violations diverged"
+        );
+        assert_eq!(
+            second.memory_image(),
+            straight.memory_image(),
+            "seed {seed}: memory image diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 100, ..ProptestConfig::default() })]
+
+    /// snapshot → restore → snapshot is byte-identical across random
+    /// seeds, loss rates, and checkpoint instants, with the lossy NoC
+    /// and bank-crash machinery active.
+    #[test]
+    fn snapshot_restore_snapshot_is_byte_identical(
+        seed in 0u64..1_000_000,
+        drop_permille in 0u16..120,
+        checkpoint_at in 60u64..400,
+        slice in 31u64..257,
+    ) {
+        let kernel = Benchmark::Km.build(Scale::Tiny);
+        let cfg = faulty_config(seed, drop_permille);
+        let mut sim = build(&cfg);
+        let mut progress = KernelProgress::new(&*kernel);
+        advance_past(&mut sim, &*kernel, &mut progress, slice, checkpoint_at);
+        let first = sim.save_snapshot(Some(&progress)).expect("snapshot");
+
+        let mut rebuilt = build(&cfg);
+        let restored = rebuilt.restore_snapshot(&first).expect("restore");
+        let second = rebuilt.save_snapshot(restored.as_ref()).expect("re-snapshot");
+        prop_assert_eq!(first, second);
+    }
+
+    /// Corrupting a snapshot anywhere — truncation or bit flips — must
+    /// yield a structured error, never a panic, and never a sim that
+    /// silently half-restored.
+    #[test]
+    fn corrupted_snapshots_error_cleanly(
+        seed in 0u64..10_000,
+        cut_permille in 1u32..999,
+        flip_at in 0usize..4096,
+    ) {
+        let kernel = Benchmark::Hs.build(Scale::Tiny);
+        let cfg = faulty_config(seed, 40);
+        let mut sim = build(&cfg);
+        let mut progress = KernelProgress::new(&*kernel);
+        advance_past(&mut sim, &*kernel, &mut progress, 101, 120);
+        let good = sim.save_snapshot(Some(&progress)).expect("snapshot");
+
+        // Truncation at a proportional point.
+        let cut = (good.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        let mut fresh = build(&cfg);
+        prop_assert!(fresh.restore_snapshot(&good[..cut]).is_err());
+
+        // Single bit flip.
+        let mut flipped = good.clone();
+        let i = flip_at % flipped.len();
+        flipped[i] ^= 1 << (flip_at % 8);
+        let mut fresh = build(&cfg);
+        prop_assert!(fresh.restore_snapshot(&flipped).is_err());
+
+        // The pristine bytes still restore after all that.
+        let mut fresh = build(&cfg);
+        prop_assert!(fresh.restore_snapshot(&good).is_ok());
+    }
+}
+
+/// A corrupt primary checkpoint file falls back to the previous good
+/// image; only when both are damaged does the loader report (not
+/// panic) `AllCorrupt`.
+#[test]
+fn checkpoint_store_falls_back_to_previous_good_image() {
+    let dir = std::env::temp_dir().join(format!("gtsc-snapshot-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = CheckpointStore::new(dir.join("sim.ck"));
+
+    let kernel = Benchmark::Km.build(Scale::Tiny);
+    let cfg = faulty_config(7, 60);
+    let mut sim = build(&cfg);
+    let mut progress = KernelProgress::new(&*kernel);
+
+    advance_past(&mut sim, &*kernel, &mut progress, 97, 120);
+    store
+        .save(&sim.save_snapshot(Some(&progress)).unwrap())
+        .unwrap();
+    advance_past(&mut sim, &*kernel, &mut progress, 97, 240);
+    store
+        .save(&sim.save_snapshot(Some(&progress)).unwrap())
+        .unwrap();
+
+    let parse = |bytes: &[u8]| -> Result<KernelProgress, SnapshotError> {
+        let mut fresh = build(&cfg);
+        fresh
+            .restore_snapshot(bytes)?
+            .ok_or(SnapshotError::MissingSection {
+                name: "progress".into(),
+            })
+    };
+
+    // Both images good: primary wins and reflects the later cycle.
+    let (latest, src) = store.load_latest(parse).unwrap().unwrap();
+    assert_eq!(src, CheckpointSource::Primary);
+    assert_eq!(latest.dispatched(), progress.dispatched());
+
+    // Scribble the primary: the previous image must load instead.
+    let mut bytes = std::fs::read(store.path()).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(store.path(), &bytes).unwrap();
+    let (_, src) = store.load_latest(parse).unwrap().unwrap();
+    assert_eq!(
+        src,
+        CheckpointSource::Previous,
+        "fallback to .prev expected"
+    );
+
+    // Destroy the fallback too: structured error, not a panic.
+    std::fs::write(dir.join("sim.ck.prev"), b"not a snapshot").unwrap();
+    match store.load_latest(parse) {
+        Err(CheckpointError::AllCorrupt { primary, fallback }) => {
+            assert!(primary.is_some() && fallback.is_some());
+        }
+        other => panic!("expected AllCorrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
