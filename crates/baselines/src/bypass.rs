@@ -33,7 +33,13 @@ struct StoreWaiter {
 /// use gtsc_types::{BlockAddr, Cycle, WarpId};
 ///
 /// let mut l1 = BypassL1::new(0);
-/// let acc = MemAccess { id: AccessId(1), warp: WarpId(0), kind: AccessKind::Load, block: BlockAddr(3) };
+/// let acc = MemAccess {
+///     id: AccessId(1),
+///     warp: WarpId(0),
+///     kind: AccessKind::Load,
+///     block: BlockAddr(3),
+///     span: gtsc_types::SpanId::NONE,
+/// };
 /// assert!(matches!(l1.access(acc, Cycle(0)), L1Outcome::Queued));
 /// assert!(l1.take_request().is_some(), "every access crosses the NoC");
 /// ```
@@ -90,6 +96,7 @@ impl L1Controller for BypassL1 {
                     wts: Timestamp(0),
                     warp_ts: Timestamp(0),
                     epoch: 0,
+                    span: acc.span,
                 }));
             }
             AccessKind::Store | AccessKind::Atomic => {
@@ -109,6 +116,7 @@ impl L1Controller for BypassL1 {
                     warp_ts: Timestamp(0),
                     version,
                     epoch: 0,
+                    span: acc.span,
                 };
                 self.out.push_back(if acc.kind == AccessKind::Atomic {
                     L1ToL2::Atomic(req)
@@ -203,6 +211,7 @@ mod tests {
             warp: WarpId(0),
             kind: AccessKind::Load,
             block: BlockAddr(block),
+            span: gtsc_types::SpanId::NONE,
         }
     }
 
@@ -226,6 +235,7 @@ mod tests {
             lease: LeaseInfo::None,
             version: Version(9),
             epoch: 0,
+            span: gtsc_types::SpanId::NONE,
         });
         let d1 = c.on_response(f, Cycle(10));
         assert_eq!(d1.len(), 1);
@@ -243,6 +253,7 @@ mod tests {
             warp: WarpId(2),
             kind: AccessKind::Atomic,
             block: BlockAddr(7),
+            span: gtsc_types::SpanId::NONE,
         };
         c.access(acc, Cycle(0));
         let L1ToL2::Atomic(w) = c.take_request().unwrap() else {
@@ -255,6 +266,7 @@ mod tests {
                     lease: LeaseInfo::None,
                     version: w.version,
                     epoch: 0,
+                    span: gtsc_types::SpanId::NONE,
                 },
                 prev: Version(3),
             },
@@ -274,6 +286,7 @@ mod tests {
             warp: WarpId(1),
             kind: AccessKind::Store,
             block: BlockAddr(7),
+            span: gtsc_types::SpanId::NONE,
         };
         c.access(acc, Cycle(0));
         let L1ToL2::Write(w) = c.take_request().unwrap() else {
@@ -285,6 +298,7 @@ mod tests {
                 lease: LeaseInfo::None,
                 version: w.version,
                 epoch: 0,
+                span: gtsc_types::SpanId::NONE,
             }),
             Cycle(30),
         );

@@ -104,6 +104,7 @@ impl L1Controller for NonCoherentL1 {
                             wts: Timestamp(0),
                             warp_ts: Timestamp(0),
                             epoch: 0,
+                            span: acc.span,
                         }));
                         L1Outcome::Queued
                     }
@@ -128,6 +129,7 @@ impl L1Controller for NonCoherentL1 {
                     warp_ts: Timestamp(0),
                     version,
                     epoch: 0,
+                    span: acc.span,
                 };
                 self.out.push_back(if acc.kind == AccessKind::Atomic {
                     L1ToL2::Atomic(req)
@@ -242,6 +244,7 @@ mod tests {
             warp: WarpId(0),
             kind: AccessKind::Load,
             block: BlockAddr(block),
+            span: gtsc_types::SpanId::NONE,
         }
     }
 
@@ -256,6 +259,7 @@ mod tests {
                 lease: LeaseInfo::None,
                 version: Version(9),
                 epoch: 0,
+                span: gtsc_types::SpanId::NONE,
             }),
             Cycle(10),
         );
@@ -279,6 +283,7 @@ mod tests {
                 lease: LeaseInfo::None,
                 version: Version(9),
                 epoch: 0,
+                span: gtsc_types::SpanId::NONE,
             }),
             Cycle(10),
         );
@@ -287,6 +292,7 @@ mod tests {
             warp: WarpId(1),
             kind: AccessKind::Store,
             block: BlockAddr(5),
+            span: gtsc_types::SpanId::NONE,
         };
         c.access(st, Cycle(20));
         let L1ToL2::Write(w) = c.take_request().unwrap() else {

@@ -89,7 +89,7 @@ impl PlainL2 {
             .probe_mut(block)
             .expect("caller checked residency");
         match msg {
-            L1ToL2::Read(_) => {
+            L1ToL2::Read(r) => {
                 let version = line.meta.version;
                 self.out_resp.push_back((
                     src,
@@ -98,6 +98,7 @@ impl PlainL2 {
                         lease: LeaseInfo::None,
                         version,
                         epoch: 0,
+                        span: r.span,
                     }),
                 ));
             }
@@ -111,6 +112,7 @@ impl PlainL2 {
                     lease: LeaseInfo::None,
                     version: w.version,
                     epoch: 0,
+                    span: w.span,
                 };
                 let resp = if matches!(msg, L1ToL2::Atomic(_)) {
                     L2ToL1::AtomicAck { ack, prev }
@@ -238,6 +240,7 @@ mod tests {
             wts: Timestamp(0),
             warp_ts: Timestamp(0),
             epoch: 0,
+            span: gtsc_types::SpanId::NONE,
         })
     }
 
@@ -247,6 +250,7 @@ mod tests {
             warp_ts: Timestamp(0),
             version: Version(version),
             epoch: 0,
+            span: gtsc_types::SpanId::NONE,
         })
     }
 

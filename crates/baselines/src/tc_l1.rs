@@ -173,6 +173,7 @@ impl L1Controller for TcL1 {
                             wts: Timestamp(0),
                             warp_ts: Timestamp(0),
                             epoch: 0,
+                            span: acc.span,
                         }));
                         L1Outcome::Queued
                     }
@@ -226,6 +227,7 @@ impl L1Controller for TcL1 {
                     warp_ts: Timestamp(0),
                     version,
                     epoch: 0,
+                    span: acc.span,
                 };
                 self.out.push_back(if acc.kind == AccessKind::Atomic {
                     L1ToL2::Atomic(req)
@@ -362,6 +364,7 @@ mod tests {
             warp: WarpId(warp),
             kind: AccessKind::Load,
             block: BlockAddr(block),
+            span: gtsc_types::SpanId::NONE,
         }
     }
 
@@ -371,6 +374,7 @@ mod tests {
             warp: WarpId(warp),
             kind: AccessKind::Store,
             block: BlockAddr(block),
+            span: gtsc_types::SpanId::NONE,
         }
     }
 
@@ -382,6 +386,7 @@ mod tests {
             },
             version,
             epoch: 0,
+            span: gtsc_types::SpanId::NONE,
         })
     }
 
@@ -450,6 +455,7 @@ mod tests {
                 },
                 version: w.version,
                 epoch: 0,
+                span: gtsc_types::SpanId::NONE,
             }),
             Cycle(60),
         );
@@ -499,6 +505,7 @@ mod tests {
                 },
                 version: w.version,
                 epoch: 0,
+                span: gtsc_types::SpanId::NONE,
             }),
             Cycle(10),
         );

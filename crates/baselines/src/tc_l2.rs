@@ -19,7 +19,7 @@ use gtsc_mem::{Mshr, MshrAlloc, TagArray};
 use gtsc_protocol::msg::{FillResp, L1ToL2, L2ToL1, LeaseInfo, WriteAckResp};
 use gtsc_protocol::L2Controller;
 use gtsc_trace::{EventKind, Sanitizer, Tracer, Transition};
-use gtsc_types::{BlockAddr, CacheGeometry, CacheStats, Cycle, Version};
+use gtsc_types::{BlockAddr, CacheGeometry, CacheStats, Cycle, SpanId, Version};
 
 use crate::TcMode;
 
@@ -110,7 +110,7 @@ impl TcL2 {
         }
     }
 
-    fn perform_read(&mut self, src: usize, block: BlockAddr, now: Cycle) {
+    fn perform_read(&mut self, src: usize, block: BlockAddr, span: SpanId, now: Cycle) {
         let lease = self.p.lease_cycles;
         let line = self
             .tags
@@ -137,6 +137,7 @@ impl TcL2 {
                 lease: LeaseInfo::Physical { expires },
                 version,
                 epoch: 0,
+                span,
             }),
         ));
     }
@@ -146,6 +147,7 @@ impl TcL2 {
         src: usize,
         block: BlockAddr,
         version: Version,
+        span: SpanId,
         now: Cycle,
         is_atomic: bool,
     ) {
@@ -181,6 +183,7 @@ impl TcL2 {
             lease,
             version,
             epoch: 0,
+            span,
         };
         let resp = if is_atomic {
             L2ToL1::AtomicAck { ack, prev }
@@ -223,13 +226,14 @@ impl TcL2 {
             return;
         }
         match msg {
-            L1ToL2::Read(_) => self.perform_read(src, block, now),
+            L1ToL2::Read(r) => self.perform_read(src, block, r.span, now),
             L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
                 if self.write_may_proceed(block, now) {
                     self.perform_write(
                         src,
                         block,
                         w.version,
+                        w.span,
                         now,
                         matches!(msg, L1ToL2::Atomic(_)),
                     );
@@ -288,13 +292,14 @@ impl TcL2 {
             return;
         }
         match msg {
-            L1ToL2::Read(_) => self.perform_read(src, msg.block(), now),
+            L1ToL2::Read(r) => self.perform_read(src, msg.block(), r.span, now),
             L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
                 if self.write_may_proceed(msg.block(), now) {
                     self.perform_write(
                         src,
                         msg.block(),
                         w.version,
+                        w.span,
                         now,
                         matches!(msg, L1ToL2::Atomic(_)),
                     );
@@ -364,12 +369,13 @@ impl TcL2 {
                     .pop_front();
                 self.stats.accesses += 1;
                 match msg {
-                    L1ToL2::Read(_) => self.perform_read(src, block, now),
+                    L1ToL2::Read(r) => self.perform_read(src, block, r.span, now),
                     L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
                         self.perform_write(
                             src,
                             block,
                             w.version,
+                            w.span,
                             now,
                             matches!(msg, L1ToL2::Atomic(_)),
                         );
@@ -476,6 +482,7 @@ mod tests {
             wts: Timestamp(0),
             warp_ts: Timestamp(0),
             epoch: 0,
+            span: SpanId::NONE,
         })
     }
 
@@ -485,6 +492,7 @@ mod tests {
             warp_ts: Timestamp(0),
             version: Version(version),
             epoch: 0,
+            span: SpanId::NONE,
         })
     }
 
@@ -651,6 +659,7 @@ mod tests {
                 warp_ts: Timestamp(0),
                 version: Version(9),
                 epoch: 0,
+                span: SpanId::NONE,
             }),
             Cycle(10),
         );
@@ -681,6 +690,7 @@ mod tests {
                 warp_ts: Timestamp(0),
                 version: Version(9),
                 epoch: 0,
+                span: SpanId::NONE,
             }),
             Cycle(60),
         );

@@ -10,7 +10,7 @@ use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
 use gtsc_protocol::msg::{FillResp, L1ToL2, LeaseInfo, ReadReq};
 use gtsc_protocol::{AccessId, AccessKind, L1Controller, L2Controller, MemAccess};
 use gtsc_trace::{EventKind, Sanitizer, Scope, Tracer, Transition};
-use gtsc_types::{BlockAddr, Cycle, Lease, Timestamp, TraceConfig, Version, WarpId};
+use gtsc_types::{BlockAddr, Cycle, Lease, SpanId, Timestamp, TraceConfig, Version, WarpId};
 
 fn bench_rules(c: &mut Criterion) {
     c.bench_function("rules/store_wts+extend_rts+load_ts", |b| {
@@ -31,6 +31,7 @@ fn bench_l1_hit(c: &mut Criterion) {
         warp: WarpId(0),
         kind: AccessKind::Load,
         block: BlockAddr(5),
+        span: SpanId::NONE,
     };
     l1.access(warm, Cycle(0));
     l1.take_request();
@@ -43,6 +44,7 @@ fn bench_l1_hit(c: &mut Criterion) {
             },
             version: Version(9),
             epoch: 0,
+            span: SpanId::NONE,
         }),
         Cycle(1),
     );
@@ -55,6 +57,7 @@ fn bench_l1_hit(c: &mut Criterion) {
                 warp: WarpId((id % 4) as u16),
                 kind: AccessKind::Load,
                 block: BlockAddr(5),
+                span: SpanId::NONE,
             };
             black_box(l1.access(acc, Cycle(id)))
         })
@@ -73,6 +76,7 @@ fn bench_l1_miss_roundtrip(c: &mut Criterion) {
                 warp: WarpId((id % 4) as u16),
                 kind: AccessKind::Load,
                 block,
+                span: SpanId::NONE,
             };
             l1.access(acc, Cycle(id));
             while l1.take_request().is_some() {}
@@ -85,6 +89,7 @@ fn bench_l1_miss_roundtrip(c: &mut Criterion) {
                     },
                     version: Version(1),
                     epoch: 0,
+                    span: SpanId::NONE,
                 }),
                 Cycle(id),
             );
@@ -106,6 +111,7 @@ fn bench_l2_serve(c: &mut Criterion) {
             wts: Timestamp(0),
             warp_ts: Timestamp(1),
             epoch: 0,
+            span: SpanId::NONE,
         }),
         Cycle(0),
     );
@@ -127,6 +133,7 @@ fn bench_l2_serve(c: &mut Criterion) {
                     wts: Timestamp(1),
                     warp_ts: Timestamp(cyc % 50_000),
                     epoch: 0,
+                    span: SpanId::NONE,
                 }),
                 Cycle(cyc),
             );
@@ -143,6 +150,7 @@ fn bench_tc_l1_hit(c: &mut Criterion) {
         warp: WarpId(0),
         kind: AccessKind::Load,
         block: BlockAddr(5),
+        span: SpanId::NONE,
     };
     l1.access(warm, Cycle(0));
     l1.take_request();
@@ -154,6 +162,7 @@ fn bench_tc_l1_hit(c: &mut Criterion) {
             },
             version: Version(9),
             epoch: 0,
+            span: SpanId::NONE,
         }),
         Cycle(1),
     );
@@ -166,6 +175,7 @@ fn bench_tc_l1_hit(c: &mut Criterion) {
                 warp: WarpId((id % 4) as u16),
                 kind: AccessKind::Load,
                 block: BlockAddr(5),
+                span: SpanId::NONE,
             };
             black_box(l1.access(acc, Cycle(id)))
         })
@@ -265,6 +275,7 @@ fn bench_l1_hit_sanitizer_off(c: &mut Criterion) {
         warp: WarpId(0),
         kind: AccessKind::Load,
         block: BlockAddr(5),
+        span: SpanId::NONE,
     };
     l1.access(warm, Cycle(0));
     l1.take_request();
@@ -277,6 +288,7 @@ fn bench_l1_hit_sanitizer_off(c: &mut Criterion) {
             },
             version: Version(9),
             epoch: 0,
+            span: SpanId::NONE,
         }),
         Cycle(1),
     );
@@ -289,6 +301,7 @@ fn bench_l1_hit_sanitizer_off(c: &mut Criterion) {
                 warp: WarpId((id % 4) as u16),
                 kind: AccessKind::Load,
                 block: BlockAddr(5),
+                span: SpanId::NONE,
             };
             black_box(l1.access(acc, Cycle(id)))
         })
@@ -306,6 +319,7 @@ fn bench_l1_hit_traced_off(c: &mut Criterion) {
         warp: WarpId(0),
         kind: AccessKind::Load,
         block: BlockAddr(5),
+        span: SpanId::NONE,
     };
     l1.access(warm, Cycle(0));
     l1.take_request();
@@ -318,6 +332,7 @@ fn bench_l1_hit_traced_off(c: &mut Criterion) {
             },
             version: Version(9),
             epoch: 0,
+            span: SpanId::NONE,
         }),
         Cycle(1),
     );
@@ -330,6 +345,7 @@ fn bench_l1_hit_traced_off(c: &mut Criterion) {
                 warp: WarpId((id % 4) as u16),
                 kind: AccessKind::Load,
                 block: BlockAddr(5),
+                span: SpanId::NONE,
             };
             black_box(l1.access(acc, Cycle(id)))
         })

@@ -1,0 +1,266 @@
+//! `bench_compare` — diffs two `BENCH_*.json` performance baselines.
+//!
+//! Reads two files in the `gtsc-bench-baseline-v1` schema (written by
+//! the `perf_baseline` bin), prints a per-metric delta table, and flags
+//! regressions beyond a configurable threshold. For throughput-style
+//! metrics (unit ending in `/s`) bigger is better; for latency-style
+//! metrics (everything else: `ns`, `s`, ...) smaller is better.
+//!
+//! By default the exit code is always 0 — CI runs this as a
+//! *non-blocking* signal, because single-run wall-clock numbers on
+//! shared runners are noisy. Pass `--strict` to exit non-zero on any
+//! regression beyond the threshold (for local, quiesced machines).
+//!
+//! Run: `bench_compare OLD.json NEW.json [--threshold-pct 10] [--strict]`
+//!
+//! The schema is deliberately flat (nothing deeper than two levels,
+//! plain JSON numbers), so this bin parses it with a small hand-rolled
+//! scanner instead of pulling in a JSON dependency.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bench_compare: diff two gtsc-bench-baseline-v1 JSON files
+
+usage: bench_compare OLD.json NEW.json [flags]
+
+    --threshold-pct N   flag deltas beyond N percent as regressions (default: 10)
+    --strict            exit non-zero if any metric regressed beyond the threshold
+    --help              this text
+";
+
+/// One metric row pulled out of a baseline file.
+#[derive(Debug, Clone, PartialEq)]
+struct Metric {
+    name: String,
+    value: f64,
+    unit: String,
+}
+
+/// Minimal scanner for the flat `gtsc-bench-baseline-v1` format: finds
+/// the `"metrics"` object and extracts each entry's `value` and `unit`.
+/// Returns an error on schema mismatch rather than guessing.
+fn parse_baseline(text: &str) -> Result<Vec<Metric>, String> {
+    if !text.contains("\"schema\"") || !text.contains("gtsc-bench-baseline-v1") {
+        return Err("not a gtsc-bench-baseline-v1 file (missing schema marker)".into());
+    }
+    let metrics_start = text
+        .find("\"metrics\"")
+        .ok_or("no \"metrics\" object in file")?;
+    let body = &text[metrics_start..];
+    let open = body.find('{').ok_or("malformed metrics object")?;
+    // The schema nests at most two levels under "metrics", so a simple
+    // depth counter finds the matching close brace reliably.
+    let mut depth = 0usize;
+    let mut end = open;
+    for (i, c) in body[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let inner = &body[open + 1..end];
+    let mut out = Vec::new();
+    let mut rest = inner;
+    while let Some(q0) = rest.find('"') {
+        let after = &rest[q0 + 1..];
+        let q1 = after.find('"').ok_or("unterminated metric name")?;
+        let name = &after[..q1];
+        let obj_rel = after[q1..]
+            .find('{')
+            .ok_or("metric entry is not an object")?;
+        let obj = &after[q1 + obj_rel..];
+        let obj_end = obj.find('}').ok_or("unterminated metric entry")?;
+        let entry = &obj[..obj_end];
+        let value = field_number(entry, "value")
+            .ok_or_else(|| format!("metric {name} has no numeric \"value\""))?;
+        let unit = field_string(entry, "unit").unwrap_or_default();
+        out.push(Metric {
+            name: name.to_string(),
+            value,
+            unit,
+        });
+        rest = &after[q1 + obj_rel + obj_end..];
+    }
+    if out.is_empty() {
+        return Err("metrics object is empty".into());
+    }
+    Ok(out)
+}
+
+fn field_number(entry: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = entry.find(&pat)?;
+    let after = entry[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let after = after.trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+fn field_string(entry: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = entry.find(&pat)?;
+    let after = entry[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let after = after.trim_start().strip_prefix('"')?;
+    Some(after[..after.find('"')?].to_string())
+}
+
+/// Percent change from `old` to `new`, signed so that positive always
+/// means "worse": throughput units (`*/s`) invert the sign.
+fn regression_pct(m: &Metric, old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        return 0.0;
+    }
+    let raw = (new - old) / old * 100.0;
+    if m.unit.ends_with("/s") {
+        -raw
+    } else {
+        raw
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut files = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold-pct" => {
+                let v = it.next().ok_or("--threshold-pct needs a value")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("bad value for --threshold-pct: {v}"))?;
+            }
+            "--strict" => strict = true,
+            "--help" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag: {other}\n{USAGE}"))
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return Err(format!("expected exactly two files\n{USAGE}"));
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let old = parse_baseline(&read(old_path)?).map_err(|e| format!("{old_path}: {e}"))?;
+    let new = parse_baseline(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}  verdict",
+        "metric", "old", "new", "delta%"
+    );
+    let mut regressed = Vec::new();
+    for m in &new {
+        let Some(o) = old.iter().find(|o| o.name == m.name) else {
+            println!(
+                "{:<28} {:>14} {:>14.1} {:>9}  new metric",
+                m.name, "-", m.value, "-"
+            );
+            continue;
+        };
+        let pct = regression_pct(m, o.value, m.value);
+        let verdict = if pct > threshold {
+            regressed.push(m.name.clone());
+            "REGRESSED"
+        } else if pct < -threshold {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<28} {:>14.1} {:>14.1} {:>+9.1}  {verdict}",
+            m.name, o.value, m.value, pct
+        );
+    }
+    for o in &old {
+        if !new.iter().any(|m| m.name == o.name) {
+            println!(
+                "{:<28} {:>14.1} {:>14} {:>9}  dropped",
+                o.name, o.value, "-", "-"
+            );
+        }
+    }
+    if regressed.is_empty() {
+        println!("no regressions beyond {threshold}%");
+    } else {
+        println!(
+            "{} metric(s) regressed beyond {threshold}%: {}",
+            regressed.len(),
+            regressed.join(", ")
+        );
+    }
+    Ok(strict && !regressed.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "schema": "gtsc-bench-baseline-v1",
+      "date": "2026-08-08",
+      "build": "release",
+      "host": { "os": "linux", "arch": "x86_64" },
+      "metrics": {
+        "sim_cycles_per_second": { "value": 1000.0, "unit": "cycles/s", "workload": "x", "runs": 5, "stat": "median" },
+        "ns_per_l1_hit": { "value": 400.5, "unit": "ns", "workload": "y", "runs": 5, "stat": "median" }
+      }
+    }"#;
+
+    #[test]
+    fn parses_the_v1_schema() {
+        let ms = parse_baseline(SAMPLE).expect("parses");
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].name, "sim_cycles_per_second");
+        assert_eq!(ms[0].value, 1000.0);
+        assert_eq!(ms[0].unit, "cycles/s");
+        assert_eq!(ms[1].value, 400.5);
+    }
+
+    #[test]
+    fn rejects_other_schemas() {
+        assert!(parse_baseline("{\"schema\": \"something-else\"}").is_err());
+        assert!(parse_baseline("not json at all").is_err());
+    }
+
+    #[test]
+    fn throughput_regression_sign_is_inverted() {
+        let tput = Metric {
+            name: "t".into(),
+            value: 0.0,
+            unit: "cycles/s".into(),
+        };
+        // Throughput falling 20% is a +20% regression.
+        assert!((regression_pct(&tput, 1000.0, 800.0) - 20.0).abs() < 1e-9);
+        let lat = Metric {
+            name: "l".into(),
+            value: 0.0,
+            unit: "ns".into(),
+        };
+        // Latency rising 20% is a +20% regression.
+        assert!((regression_pct(&lat, 100.0, 120.0) - 20.0).abs() < 1e-9);
+    }
+}

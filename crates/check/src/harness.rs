@@ -193,6 +193,7 @@ impl MicroGtsc {
                     warp: WarpId(0),
                     kind,
                     block: BlockAddr(block),
+                    span: gtsc_types::SpanId::NONE,
                 };
                 match self.l1s[t].access(acc, self.now) {
                     L1Outcome::Hit(c) => self.record(t, &c),

@@ -21,10 +21,12 @@ use gtsc_mem::{Mshr, MshrAlloc, TagArray};
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteReq};
 use gtsc_protocol::{
     AccessId, AccessKind, Completion, ControllerPressure, L1Controller, L1Outcome, MemAccess,
+    WaitHint,
 };
-use gtsc_trace::{EventKind, Sanitizer, Tracer, Transition};
+use gtsc_trace::span::ServeClass;
+use gtsc_trace::{EventKind, Sanitizer, SpanTracker, Tracer, Transition};
 use gtsc_types::{
-    BlockAddr, CacheGeometry, CacheStats, CombinePolicy, Cycle, Timestamp, Version,
+    BlockAddr, CacheGeometry, CacheStats, CombinePolicy, Cycle, SpanId, Timestamp, Version,
     VisibilityPolicy, WarpId,
 };
 
@@ -131,11 +133,17 @@ pub struct GtscL1 {
     warp_ts: Vec<Timestamp>,
     mshr: Mshr<Waiter>,
     /// Blocks with a `BusRd` currently in flight, with the cycle it (or
-    /// its latest retry) was sent (an MSHR entry without one is waiting
-    /// on a store ack instead). Ordered map: the retry scan in
-    /// [`GtscL1::tick`] iterates it, and the emission order must be
-    /// identical across processes for checkpoint determinism.
-    rd_inflight: BTreeMap<BlockAddr, Cycle>,
+    /// its latest retry) was sent and whether it was a renewal / expired
+    /// refetch (`wts != 0` — feeds the lease-expired wait hint; an MSHR
+    /// entry without one is waiting on a store ack instead). Ordered
+    /// map: the retry scan in [`GtscL1::tick`] iterates it, and the
+    /// emission order must be identical across processes for checkpoint
+    /// determinism.
+    rd_inflight: BTreeMap<BlockAddr, (Cycle, bool)>,
+    /// How many `rd_inflight` entries are renewals — kept in lockstep by
+    /// [`GtscL1::rd_insert`]/[`GtscL1::rd_remove`] so the per-cycle
+    /// [`GtscL1::wait_hint`] never scans the map.
+    renewals_inflight: u32,
     store_acks: BTreeMap<BlockAddr, VecDeque<StoreWaiter>>,
     /// End-to-end retry timer: requests unanswered this many cycles are
     /// re-sent. `None` (the default) disables retry — only enabled when
@@ -150,6 +158,7 @@ pub struct GtscL1 {
     stats: CacheStats,
     tracer: Tracer,
     sanitizer: Sanitizer,
+    spans: SpanTracker,
 }
 
 impl GtscL1 {
@@ -161,6 +170,7 @@ impl GtscL1 {
             warp_ts: vec![Timestamp::INIT; p.n_warps],
             mshr: Mshr::new(p.mshr_entries, p.mshr_merges),
             rd_inflight: BTreeMap::new(),
+            renewals_inflight: 0,
             store_acks: BTreeMap::new(),
             retry_timeout: None,
             out: VecDeque::new(),
@@ -169,6 +179,7 @@ impl GtscL1 {
             stats: CacheStats::default(),
             tracer: Tracer::disabled(),
             sanitizer: Sanitizer::disabled(),
+            spans: SpanTracker::disabled(),
             p,
         }
     }
@@ -235,16 +246,24 @@ impl GtscL1 {
         }
     }
 
-    fn send_read(&mut self, block: BlockAddr, wts: Timestamp, warp: WarpId, now: Cycle) {
+    fn send_read(
+        &mut self,
+        block: BlockAddr,
+        wts: Timestamp,
+        warp: WarpId,
+        span: SpanId,
+        now: Cycle,
+    ) {
         if wts != Timestamp(0) {
             self.stats.renewals += 1;
         }
-        self.rd_inflight.insert(block, now);
+        self.rd_insert(block, now, wts != Timestamp(0));
         self.out.push_back(L1ToL2::Read(ReadReq {
             block,
             wts,
             warp_ts: self.warp_ts[warp.0 as usize],
             epoch: self.epoch,
+            span,
         }));
     }
 
@@ -266,15 +285,16 @@ impl GtscL1 {
             MshrAlloc::Full => L1Outcome::Reject,
             MshrAlloc::AllocatedNew => {
                 if let Some(wts) = request_wts {
-                    self.send_read(acc.block, wts, acc.warp, now);
+                    self.send_read(acc.block, wts, acc.warp, acc.span, now);
                 }
                 L1Outcome::Queued
             }
             MshrAlloc::Merged => {
                 self.stats.mshr_merges += 1;
+                self.spans.note_merged(acc.span);
                 if self.p.combine == CombinePolicy::ForwardAll {
                     if let Some(wts) = request_wts {
-                        self.send_read(acc.block, wts, acc.warp, now);
+                        self.send_read(acc.block, wts, acc.warp, acc.span, now);
                     }
                 }
                 L1Outcome::Queued
@@ -317,7 +337,7 @@ impl GtscL1 {
                 .expect("nonempty");
             self.mshr.requeue(block, uncovered);
             if !self.rd_inflight.contains_key(&block) {
-                self.send_read(block, wts, furthest.warp, now);
+                self.send_read(block, wts, furthest.warp, SpanId::NONE, now);
             }
         }
     }
@@ -370,11 +390,33 @@ impl GtscL1 {
         }
     }
 
+    /// Tracks an in-flight read, keeping the renewal census exact even
+    /// when a retry overwrites an entry that was a renewal.
+    fn rd_insert(&mut self, block: BlockAddr, now: Cycle, renewal: bool) {
+        if let Some((_, was_renewal)) = self.rd_inflight.insert(block, (now, renewal)) {
+            if was_renewal {
+                self.renewals_inflight -= 1;
+            }
+        }
+        if renewal {
+            self.renewals_inflight += 1;
+        }
+    }
+
+    /// Retires an in-flight read (no-op when none is tracked).
+    fn rd_remove(&mut self, block: BlockAddr) {
+        if let Some((_, was_renewal)) = self.rd_inflight.remove(&block) {
+            if was_renewal {
+                self.renewals_inflight -= 1;
+            }
+        }
+    }
+
     fn retry_reads_fresh(&mut self, block: BlockAddr, now: Cycle) {
-        self.rd_inflight.remove(&block);
+        self.rd_remove(block);
         if self.mshr.contains(block) {
             let warp = WarpId(0);
-            self.send_read(block, Timestamp(0), warp, now);
+            self.send_read(block, Timestamp(0), warp, SpanId::NONE, now);
         }
     }
 
@@ -528,6 +570,8 @@ impl L1Controller for GtscL1 {
         self.warp_ts = warp_ts;
         self.mshr.load_state(r)?;
         self.rd_inflight = Snap::load(r)?;
+        self.renewals_inflight =
+            u32::try_from(self.rd_inflight.values().filter(|&&(_, r)| r).count()).unwrap_or(0);
         self.store_acks = Snap::load(r)?;
         self.retry_timeout = Snap::load(r)?;
         self.out = Snap::load(r)?;
@@ -621,6 +665,9 @@ impl L1Controller for GtscL1 {
                 if !matches!(outcome, L1Outcome::Reject) {
                     self.stats.accesses += 1;
                     self.stats.expired_misses += 1;
+                    // First serve-class report wins; an expired miss is a
+                    // refetch regardless of how the L2 answers it.
+                    self.spans.note_serve(acc.span, ServeClass::ExpiredRefetch);
                     self.tracer.record_with(now, || EventKind::ExpiredMiss {
                         block: acc.block,
                         warp_ts: warp_now.0,
@@ -653,6 +700,7 @@ impl L1Controller for GtscL1 {
                     warp_ts: self.warp_ts[acc.warp.0 as usize],
                     version,
                     epoch: self.epoch,
+                    span: acc.span,
                 };
                 self.out.push_back(if acc.kind == AccessKind::Atomic {
                     L1ToL2::Atomic(req)
@@ -686,7 +734,7 @@ impl L1Controller for GtscL1 {
         }
         match msg {
             L2ToL1::Fill(f) => {
-                self.rd_inflight.remove(&f.block);
+                self.rd_remove(f.block);
                 let LeaseInfo::Logical { wts, rts } = f.lease else {
                     unreachable!("G-TSC fills carry logical leases");
                 };
@@ -725,7 +773,7 @@ impl L1Controller for GtscL1 {
                 self.serve_waiters(f.block, wts, rts, f.version, &mut done, now);
             }
             L2ToL1::Renew { block, lease, .. } => {
-                self.rd_inflight.remove(&block);
+                self.rd_remove(block);
                 let LeaseInfo::Logical { rts, .. } = lease else {
                     unreachable!("G-TSC renewals carry logical leases");
                 };
@@ -759,7 +807,7 @@ impl L1Controller for GtscL1 {
                     Some((true, ..)) => {}
                     None => {
                         if self.mshr.contains(block) {
-                            self.send_read(block, Timestamp(0), WarpId(0), now);
+                            self.send_read(block, Timestamp(0), WarpId(0), SpanId::NONE, now);
                         }
                     }
                 }
@@ -794,7 +842,7 @@ impl L1Controller for GtscL1 {
                         // Not resident (write-no-allocate / recalled):
                         // parked readers must refetch.
                         if self.mshr.contains(a.block) && !self.rd_inflight.contains_key(&a.block) {
-                            self.send_read(a.block, Timestamp(0), WarpId(0), now);
+                            self.send_read(a.block, Timestamp(0), WarpId(0), SpanId::NONE, now);
                         }
                     }
                 }
@@ -802,7 +850,7 @@ impl L1Controller for GtscL1 {
             L2ToL1::Invalidate { block, .. } => {
                 self.tags.invalidate(block);
                 if self.mshr.contains(block) && !self.rd_inflight.contains_key(&block) {
-                    self.send_read(block, Timestamp(0), WarpId(0), now);
+                    self.send_read(block, Timestamp(0), WarpId(0), SpanId::NONE, now);
                 }
             }
         }
@@ -825,17 +873,18 @@ impl L1Controller for GtscL1 {
         let overdue: Vec<BlockAddr> = self
             .rd_inflight
             .iter()
-            .filter(|&(_, &sent)| now.0.saturating_sub(sent.0) >= timeout)
+            .filter(|&(_, &(sent, _))| now.0.saturating_sub(sent.0) >= timeout)
             .map(|(&b, _)| b)
             .collect();
         for block in overdue {
             self.stats.retries += 1;
-            self.rd_inflight.insert(block, now);
+            self.rd_insert(block, now, false);
             self.out.push_back(L1ToL2::Read(ReadReq {
                 block,
                 wts: Timestamp(0),
                 warp_ts: Timestamp::INIT,
                 epoch: self.epoch,
+                span: SpanId::NONE,
             }));
         }
         // Overdue stores re-send the identical (block, version) request:
@@ -857,6 +906,7 @@ impl L1Controller for GtscL1 {
                     warp_ts: self.warp_ts[sw.warp.0 as usize],
                     version: sw.version,
                     epoch: self.epoch,
+                    span: SpanId::NONE,
                 };
                 resend.push(if sw.kind == AccessKind::Atomic {
                     L1ToL2::Atomic(req)
@@ -907,6 +957,24 @@ impl L1Controller for GtscL1 {
     fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
         self.sanitizer = sanitizer;
     }
+
+    fn set_span_tracker(&mut self, spans: SpanTracker) {
+        self.spans = spans;
+    }
+
+    fn wait_hint(&self) -> WaitHint {
+        if self.mshr.is_full() {
+            WaitHint::MshrFull
+        } else if !self.out.is_empty() {
+            WaitHint::NocBackpressure
+        } else if self.renewals_inflight > 0 {
+            WaitHint::LeaseExpired
+        } else if !self.mshr.is_empty() || !self.store_acks.is_empty() {
+            WaitHint::Downstream
+        } else {
+            WaitHint::None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -924,6 +992,7 @@ mod tests {
             warp: WarpId(warp),
             kind: AccessKind::Load,
             block: BlockAddr(block),
+            span: SpanId::NONE,
         }
     }
 
@@ -933,6 +1002,7 @@ mod tests {
             warp: WarpId(warp),
             kind: AccessKind::Store,
             block: BlockAddr(block),
+            span: SpanId::NONE,
         }
     }
 
@@ -945,6 +1015,7 @@ mod tests {
             },
             version,
             epoch: 0,
+            span: SpanId::NONE,
         })
     }
 
@@ -1037,6 +1108,7 @@ mod tests {
                     rts: Timestamp(30),
                 },
                 epoch: 0,
+                span: SpanId::NONE,
             },
             Cycle(110),
         );
@@ -1081,6 +1153,7 @@ mod tests {
                 },
                 version: w.version,
                 epoch: 0,
+                span: SpanId::NONE,
             }),
             Cycle(80),
         );
@@ -1156,6 +1229,7 @@ mod tests {
                     rts: Timestamp(60),
                 },
                 epoch: 0,
+                span: SpanId::NONE,
             },
             Cycle(100),
         );
@@ -1214,6 +1288,7 @@ mod tests {
                 },
                 version: Version(3),
                 epoch: 1,
+                span: SpanId::NONE,
             }),
             Cycle(70),
         );
@@ -1244,6 +1319,7 @@ mod tests {
                 },
                 version: w.version,
                 epoch: 0,
+                span: SpanId::NONE,
             }),
             Cycle(40),
         );
@@ -1284,6 +1360,7 @@ mod tests {
             warp: WarpId(0),
             kind: AccessKind::Atomic,
             block: BlockAddr(5),
+            span: SpanId::NONE,
         };
         assert!(matches!(c.access(at, Cycle(40)), L1Outcome::Queued));
         let L1ToL2::Atomic(w) = c.take_request().unwrap() else {
@@ -1304,6 +1381,7 @@ mod tests {
                     },
                     version: w.version,
                     epoch: 0,
+                    span: SpanId::NONE,
                 },
                 prev: Version(9),
             },
@@ -1387,6 +1465,7 @@ mod tests {
                 },
                 version: first_store.version,
                 epoch: 0,
+                span: SpanId::NONE,
             }),
             Cycle(140),
         );
@@ -1401,6 +1480,7 @@ mod tests {
                 },
                 version: first_store.version,
                 epoch: 0,
+                span: SpanId::NONE,
             }),
             Cycle(150),
         );

@@ -13,9 +13,11 @@ use gtsc_protocol::msg::{
     Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, ReadReq, WriteAckResp, WriteReq,
 };
 use gtsc_protocol::{ControllerPressure, L2Controller};
-use gtsc_trace::{EventKind, Sanitizer, Tracer, Transition};
+use gtsc_trace::{
+    CloseReason, EventKind, HopKind, Sanitizer, ServeClass, SpanTracker, Tracer, Transition,
+};
 use gtsc_types::{
-    BlockAddr, CacheGeometry, CacheStats, Cycle, InclusionPolicy, Lease, Timestamp, Version,
+    BlockAddr, CacheGeometry, CacheStats, Cycle, InclusionPolicy, Lease, SpanId, Timestamp, Version,
 };
 
 use crate::rules::{extend_rts, fold_mem_ts, grant_rts, store_wts};
@@ -122,6 +124,10 @@ pub struct GtscL2 {
     stats: CacheStats,
     tracer: Tracer,
     sanitizer: Sanitizer,
+    /// Latency-observatory handle: sampled request spans get their L2
+    /// serve class and DRAM-wait overlay noted here. Excluded from
+    /// snapshots, like the tracer ring.
+    spans: SpanTracker,
     /// Last cycle observed on any driving call (stamps events from
     /// clock-less trait methods like `apply_reset`).
     clock: Cycle,
@@ -145,6 +151,7 @@ impl GtscL2 {
             stats: CacheStats::default(),
             tracer: Tracer::disabled(),
             sanitizer: Sanitizer::disabled(),
+            spans: SpanTracker::disabled(),
             clock: Cycle(0),
             p,
         }
@@ -265,6 +272,7 @@ impl GtscL2 {
                     // The L1 already holds this version: renewal, no data
                     // (the Section VI-C traffic saving).
                     self.stats.renewals += 1;
+                    self.spans.note_serve(r.span, ServeClass::Renewal);
                     self.tracer.record_with(self.clock, || EventKind::Renewal {
                         block,
                         rts: new_rts.0,
@@ -276,8 +284,10 @@ impl GtscL2 {
                             rts: new_rts,
                         },
                         epoch: self.epoch,
+                        span: r.span,
                     }
                 } else {
+                    self.spans.note_serve(r.span, ServeClass::Grant);
                     let meta = self.tags.peek(block).map(|l| l.meta).expect("resident");
                     self.tracer
                         .record_with(self.clock, || EventKind::LeaseGrant {
@@ -290,6 +300,7 @@ impl GtscL2 {
                         lease: self.lease_of(&meta),
                         version: meta.version,
                         epoch: self.epoch,
+                        span: r.span,
                     })
                 };
                 self.note_ts(new_rts);
@@ -336,6 +347,7 @@ impl GtscL2 {
                     lease: ack_lease,
                     version: w.version,
                     epoch: self.epoch,
+                    span: w.span,
                 };
                 let resp = if matches!(msg, L1ToL2::Atomic(_)) {
                     L2ToL1::AtomicAck { ack, prev }
@@ -359,9 +371,18 @@ impl GtscL2 {
         // Miss: both loads and stores fetch the block from DRAM first
         // (write-allocate; Figure 5's miss path).
         self.stats.cold_misses += 1;
+        let span = msg.span();
         match self.pending.register(block, PendingReq { src, msg }) {
-            MshrAlloc::AllocatedNew => self.dram_out.push_back((block, false)),
-            MshrAlloc::Merged => self.stats.mshr_merges += 1,
+            MshrAlloc::AllocatedNew => {
+                self.spans
+                    .overlay_enter(span, HopKind::DramWait, self.clock);
+                self.dram_out.push_back((block, false));
+            }
+            MshrAlloc::Merged => {
+                self.spans
+                    .overlay_enter(span, HopKind::DramWait, self.clock);
+                self.stats.mshr_merges += 1;
+            }
             MshrAlloc::Full => {
                 unreachable!("tick() admits requests only when the MSHR can take them")
             }
@@ -413,6 +434,7 @@ impl GtscL2 {
                     L2ToL1::Invalidate {
                         block: evicted.block,
                         epoch: self.epoch,
+                        span: SpanId::NONE,
                     },
                 ));
             }
@@ -509,6 +531,7 @@ impl L2Controller for GtscL2 {
         for w in self.pending.take(block) {
             // They were already counted on arrival; serve directly.
             let msg = self.sanitize(w.msg);
+            self.spans.overlay_exit(msg.span(), HopKind::DramWait, now);
             self.serve_hit(w.src, msg);
         }
         let _ = now;
@@ -563,12 +586,20 @@ impl L2Controller for GtscL2 {
         for line in self.tags.flush() {
             self.backing.insert(line.block, line.meta.version);
         }
+        // Every in-flight transaction dies with the bank: close their
+        // sampled spans so no span leaks open across the reset.
         let in_flight: Vec<BlockAddr> = self.pending.blocks().collect();
         for block in in_flight {
-            let _ = self.pending.take(block);
+            for w in self.pending.take(block) {
+                self.spans.close(w.msg.span(), CloseReason::BankReset, now);
+            }
         }
-        self.in_queue.clear();
-        self.out_resp.clear();
+        for (_, _, msg) in self.in_queue.drain(..) {
+            self.spans.close(msg.span(), CloseReason::BankReset, now);
+        }
+        for (_, resp) in self.out_resp.drain(..) {
+            self.spans.close(resp.span(), CloseReason::BankReset, now);
+        }
         self.dram_out.clear();
         // The replay filter dies with the bank. Safe only because the
         // transport resets the bank's flows in the same cycle: a store
@@ -626,6 +657,10 @@ impl L2Controller for GtscL2 {
         self.sanitizer = sanitizer;
     }
 
+    fn set_span_tracker(&mut self, spans: SpanTracker) {
+        self.spans = spans;
+    }
+
     fn memory_image(&self) -> Vec<(BlockAddr, Version)> {
         let mut img: std::collections::HashMap<BlockAddr, Version> = self.backing.clone();
         for line in self.tags.iter() {
@@ -646,6 +681,7 @@ mod tests {
             wts: Timestamp(wts),
             warp_ts: Timestamp(warp_ts),
             epoch: 0,
+            span: SpanId::NONE,
         })
     }
 
@@ -655,6 +691,7 @@ mod tests {
             warp_ts: Timestamp(warp_ts),
             version: Version(version),
             epoch: 0,
+            span: SpanId::NONE,
         })
     }
 
@@ -994,6 +1031,7 @@ mod tests {
                 warp_ts: Timestamp(1),
                 version: Version(77),
                 epoch: 0,
+                span: SpanId::NONE,
             }),
             Cycle(10),
         );
@@ -1025,6 +1063,7 @@ mod tests {
                     warp_ts: Timestamp(1),
                     version: Version(100 + i),
                     epoch: 0,
+                    span: SpanId::NONE,
                 }),
                 Cycle(i * 100),
             );
@@ -1093,6 +1132,7 @@ mod prop_tests {
                         warp_ts: Timestamp(*warp_ts),
                         version: Version(version),
                         epoch: 0,
+                        span: SpanId::NONE,
                     }),
                     now,
                 );
@@ -1107,6 +1147,7 @@ mod prop_tests {
                         wts,
                         warp_ts: Timestamp(*warp_ts),
                         epoch: 0,
+                        span: SpanId::NONE,
                     }),
                     now,
                 );

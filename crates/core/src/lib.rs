@@ -34,13 +34,13 @@
 //! ```
 //! use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
 //! use gtsc_protocol::{AccessId, AccessKind, L1Controller, L1Outcome, L2Controller, MemAccess};
-//! use gtsc_types::{BlockAddr, Cycle, WarpId};
+//! use gtsc_types::{BlockAddr, Cycle, SpanId, WarpId};
 //!
 //! let mut l1 = GtscL1::new(L1Params::default());
 //! let mut l2 = GtscL2::new(L2Params::default());
 //!
 //! // A load misses in L1 and produces a BusRd.
-//! let acc = MemAccess { id: AccessId(1), warp: WarpId(0), kind: AccessKind::Load, block: BlockAddr(5) };
+//! let acc = MemAccess { id: AccessId(1), warp: WarpId(0), kind: AccessKind::Load, block: BlockAddr(5), span: SpanId::NONE };
 //! assert!(matches!(l1.access(acc, Cycle(0)), L1Outcome::Queued));
 //! let req = l1.take_request().expect("miss sends BusRd");
 //!

@@ -5,9 +5,10 @@
 use std::collections::{HashMap, VecDeque};
 
 use gtsc_protocol::{AccessId, AccessKind, Completion, L1Controller, L1Outcome, MemAccess};
-use gtsc_trace::{EventKind, Tracer};
+use gtsc_trace::{CloseReason, EventKind, SpanTracker, Tracer};
 use gtsc_types::{
-    BlockAddr, ConsistencyModel, CtaId, Cycle, SmId, SmStats, StallKind, WarpId, WarpScheduler,
+    BlockAddr, ConsistencyModel, CtaId, Cycle, CycleReason, SmId, SmStats, SpanId, StallKind,
+    WarpId, WarpScheduler,
 };
 
 use crate::coalesce::coalesce;
@@ -115,11 +116,28 @@ pub struct Sm {
     /// Warp the GTO scheduler is currently greedy on.
     greedy_warp: Option<usize>,
     next_age: u64,
+    /// Census of `warps` slots with `active == true`, maintained at the
+    /// dispatch/retire sites (and recomputed on restore) so the
+    /// per-cycle accounting path never scans the warp table.
+    active_warps: usize,
     next_access: u64,
     /// Issue time of each in-flight access (latency accounting).
     issue_time: HashMap<AccessId, Cycle>,
     stats: SmStats,
     tracer: Tracer,
+    /// Causal-span sampling: every `1/span_rate`-th minted access (a pure
+    /// function of `span_seed` and the snapshotted access ordinal, so the
+    /// sampled set is identical across a snapshot/restore boundary) gets a
+    /// [`SpanId`] and an open span in `spans`. Volatile observability
+    /// state — like the tracer, none of this is snapshotted.
+    span_rate: u64,
+    span_seed: u64,
+    spans: SpanTracker,
+    /// Span of each in-flight sampled access (close-on-completion).
+    span_of: HashMap<AccessId, SpanId>,
+    /// Whether the most recent [`Sm::cycle`] call issued anything
+    /// (consumed by the simulator's cycle-reason accounting).
+    issued_last_cycle: bool,
 }
 
 impl std::fmt::Debug for Sm {
@@ -150,12 +168,39 @@ impl Sm {
             rr_cursor: 0,
             greedy_warp: None,
             next_age: 0,
+            active_warps: 0,
             next_access: 0,
             issue_time: HashMap::new(),
             stats: SmStats::default(),
             tracer: Tracer::disabled(),
+            span_rate: 0,
+            span_seed: 0,
+            spans: SpanTracker::disabled(),
+            span_of: HashMap::new(),
+            issued_last_cycle: false,
             p,
         }
+    }
+
+    /// Installs the shared span tracker and the sampling parameters
+    /// (`rate` of 0 disables sampling; otherwise every access whose
+    /// seeded hash lands on `0 mod rate` is traced end-to-end).
+    pub fn set_span_sampling(&mut self, rate: u64, seed: u64, spans: SpanTracker) {
+        self.span_rate = rate;
+        self.span_seed = seed;
+        self.spans = spans;
+    }
+
+    /// Whether the most recent [`Sm::cycle`] call issued at least one
+    /// micro-op (feeds the simulator's per-cycle reason accounting).
+    #[must_use]
+    pub fn issued_last_cycle(&self) -> bool {
+        self.issued_last_cycle
+    }
+
+    /// Attributes one elapsed cycle to `reason` in this SM's stats.
+    pub fn account_cycle(&mut self, reason: CycleReason) {
+        self.stats.cycle_buckets.record(reason);
     }
 
     /// Installs a configured tracer (the pipeline's warp-issue and
@@ -201,6 +246,13 @@ impl Sm {
         self.warps.iter().filter(|w| w.active).count()
     }
 
+    /// Whether any warp is resident — the short-circuit form of
+    /// [`Sm::resident_warps`]` > 0` for the per-cycle accounting path.
+    #[must_use]
+    pub fn has_resident_warps(&self) -> bool {
+        self.active_warps > 0
+    }
+
     /// Whether a CTA of `warps` warps can be dispatched here now.
     #[must_use]
     pub fn can_accept_cta(&self, warps: usize) -> bool {
@@ -244,6 +296,7 @@ impl Sm {
                     age: self.next_age,
                     ..WarpSlot::empty()
                 };
+                self.active_warps += 1;
             }
         }
         assert!(programs.next().is_none(), "capacity checked");
@@ -264,10 +317,21 @@ impl Sm {
     /// Like [`Sm::on_completion`], additionally recording the access's
     /// issue→completion latency in the stats histogram.
     pub fn on_completion_at(&mut self, c: &Completion, now: Option<Cycle>) {
-        if let (Some(t0), Some(now)) = (self.issue_time.remove(&c.id), now) {
+        let t0 = self.issue_time.remove(&c.id);
+        if let (Some(t0), Some(now)) = (t0, now) {
             self.stats.mem_latency.record(now - t0);
-        } else {
-            self.issue_time.remove(&c.id);
+        }
+        // The emptiness check keeps the spans-off hot path free of a
+        // per-completion hash lookup.
+        if !self.span_of.is_empty() {
+            if let Some(span) = self.span_of.remove(&c.id) {
+                // `now` is always present when driven by the simulator;
+                // fall back to the issue cycle so the span still closes
+                // in direct-drive unit tests.
+                if let Some(at) = now.or(t0) {
+                    self.spans.close(span, CloseReason::Completed, at);
+                }
+            }
         }
         let slot = &mut self.warps[c.warp.0 as usize];
         slot.outstanding = slot.outstanding.saturating_sub(1);
@@ -298,6 +362,7 @@ impl Sm {
             any_issued = true;
         }
         self.account_stalls(now);
+        self.issued_last_cycle = any_issued;
         if self.resident_warps() > 0 {
             if any_issued {
                 self.stats.active_cycles += 1;
@@ -314,6 +379,7 @@ impl Sm {
             if w.active && w.ops.is_empty() && w.mem_blocks.is_empty() && w.outstanding == 0 {
                 let cta_slot = w.cta_slot;
                 self.warps[i].active = false;
+                self.active_warps -= 1;
                 let cta = &mut self.ctas[cta_slot];
                 cta.warps_done += 1;
                 if cta.warps_done == cta.warps_total {
@@ -500,23 +566,40 @@ impl Sm {
             return false;
         };
         self.next_access += 1;
+        // Sampling decides at mint time from the snapshotted ordinal, so
+        // the sampled set is deterministic per seed and restore-safe.
+        // `next_access` was pre-incremented: the ordinal is never zero,
+        // so a sampled SpanId can never collide with `SpanId::NONE`.
+        let span_material = SpanId::new(self.p.id, self.next_access);
+        let span = if SpanTracker::sampled(self.span_rate, self.span_seed, span_material.0) {
+            span_material
+        } else {
+            SpanId::NONE
+        };
         let acc = MemAccess {
             id: AccessId(self.next_access),
             warp: WarpId(i as u16),
             kind: self.warps[i].mem_kind,
             block,
+            span,
         };
         match self.l1.access(acc, now) {
             L1Outcome::Hit(c) => {
                 self.warps[i].mem_blocks.pop_front();
                 self.warps[i].issued_at = now;
                 self.stats.mem_latency.record(1); // L1 hit latency
+                self.spans.open(span, now);
+                self.spans.close(span, CloseReason::Completed, now);
                 done.push(c);
                 true
             }
             L1Outcome::Queued => {
                 self.warps[i].mem_blocks.pop_front();
                 self.issue_time.insert(acc.id, now);
+                if !span.is_none() {
+                    self.spans.open(span, now);
+                    self.span_of.insert(acc.id, span);
+                }
                 self.warps[i].outstanding += 1;
                 match self.warps[i].mem_kind {
                     AccessKind::Load => self.warps[i].outstanding_reads += 1,
@@ -674,6 +757,7 @@ impl Sm {
             });
         }
         self.warps = warps;
+        self.active_warps = self.warps.iter().filter(|w| w.active).count();
         self.ctas = ctas;
         self.rr_cursor = Snap::load(r)?;
         self.greedy_warp = Snap::load(r)?;

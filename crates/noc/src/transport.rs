@@ -35,8 +35,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use gtsc_faults::{FaultStats, NocFaults, SplitMix64};
-use gtsc_trace::{merge_tails, EventKind, TraceEvent, Tracer};
-use gtsc_types::{Cycle, NocConfig, NocStats, TransportConfig, TransportStats};
+use gtsc_trace::{merge_tails, CloseReason, EventKind, SpanTracker, TraceEvent, Tracer};
+use gtsc_types::{Cycle, NocConfig, NocStats, SpanId, TransportConfig, TransportStats};
 
 use crate::Network;
 
@@ -187,6 +187,11 @@ pub struct ReliableNet<T> {
     rng: SplitMix64,
     stats: TransportStats,
     tracer: Tracer,
+    /// Latency-observatory handle plus a probe extracting the payload's
+    /// causal [`SpanId`] (a plain fn pointer keeps `ReliableNet` generic
+    /// over payloads that know nothing about spans).
+    spans: SpanTracker,
+    span_probe: Option<fn(&T) -> SpanId>,
 }
 
 impl<T: Clone> ReliableNet<T> {
@@ -207,7 +212,18 @@ impl<T: Clone> ReliableNet<T> {
             rng: SplitMix64::new(0),
             stats: TransportStats::default(),
             tracer: Tracer::disabled(),
+            spans: SpanTracker::disabled(),
+            span_probe: None,
         }
+    }
+
+    /// Installs the span tracker and the payload-to-span probe: sampled
+    /// payloads get retransmit overlays noted, and payloads discarded by
+    /// a flow reset get their spans closed with
+    /// [`CloseReason::Dropped`].
+    pub fn set_span_probe(&mut self, spans: SpanTracker, probe: fn(&T) -> SpanId) {
+        self.spans = spans;
+        self.span_probe = Some(probe);
     }
 
     /// Switches from passthrough to reliable delivery, seeding the
@@ -353,26 +369,38 @@ impl<T: Clone> ReliableNet<T> {
     /// Resets both ends of every flow *into* destination port `dst`
     /// (e.g. the request net's flows into a crashed L2 bank). Returns
     /// the number of flows that carried state.
-    pub fn reset_flows_to_dst(&mut self, dst: usize) -> usize {
+    pub fn reset_flows_to_dst(&mut self, dst: usize, now: Cycle) -> usize {
         let n_dsts = self.n_dsts;
         let flows: Vec<usize> = (0..self.tx.len()).filter(|f| f % n_dsts == dst).collect();
-        self.reset_flows(&flows)
+        self.reset_flows(&flows, now)
     }
 
     /// Resets both ends of every flow *out of* source port `src` (e.g.
     /// the response net's flows from a crashed L2 bank).
-    pub fn reset_flows_from_src(&mut self, src: usize) -> usize {
+    pub fn reset_flows_from_src(&mut self, src: usize, now: Cycle) -> usize {
         let n_dsts = self.n_dsts;
         let flows: Vec<usize> = (0..self.tx.len()).filter(|f| f / n_dsts == src).collect();
-        self.reset_flows(&flows)
+        self.reset_flows(&flows, now)
     }
 
-    fn reset_flows(&mut self, flows: &[usize]) -> usize {
+    fn reset_flows(&mut self, flows: &[usize], now: Cycle) -> usize {
         let mut touched = 0;
         for &f in flows {
             let tx = &mut self.tx[f];
             let rx = &mut self.rx[f];
             let had_state = tx.next_seq > 0 || rx.next_expected > 0 || !rx.buffer.is_empty();
+            // A flow reset is the one place the transport abandons
+            // payloads for good (everywhere else a lost segment is
+            // retransmitted), so it is the one terminal `Dropped` site.
+            if let Some(probe) = self.span_probe {
+                for sent in &tx.unacked {
+                    self.spans
+                        .close(probe(&sent.payload), CloseReason::Dropped, now);
+                }
+                for payload in rx.buffer.values() {
+                    self.spans.close(probe(payload), CloseReason::Dropped, now);
+                }
+            }
             // Generation bump: segments and control messages of the old
             // generation still in flight are discarded on arrival, so
             // the restarted sequence space can never collide with them.
@@ -489,6 +517,9 @@ impl<T: Clone> ReliableNet<T> {
         entry.deadline = now + (base << entry.retries.min(max_exp)) + jitter;
         let age = now.0.saturating_sub(entry.first_sent.0);
         let (bytes, payload) = (entry.bytes, entry.payload.clone());
+        if let Some(probe) = self.span_probe {
+            self.spans.note_retransmit(probe(&payload), now);
+        }
         self.stats.retransmits += 1;
         if !via_nack {
             self.stats.timeouts += 1;
@@ -936,7 +967,7 @@ mod tests {
         for c in 0..200u64 {
             pre.extend(net.tick(Cycle(c)));
         }
-        let touched = net.reset_flows_to_dst(1);
+        let touched = net.reset_flows_to_dst(1, Cycle(0));
         assert!(touched > 0, "flows into dst 1 carried state");
         assert!(net.transport_stats().flows_reset > 0);
         // Post-reset traffic restarts at seq 0 on a new generation and
@@ -968,7 +999,7 @@ mod tests {
         for c in 0..150u64 {
             net.tick(Cycle(c));
         }
-        net.reset_flows_from_src(1);
+        net.reset_flows_from_src(1, Cycle(0));
         for i in 50..59usize {
             net.send(1, i % 3, 64, i, Cycle(150));
         }

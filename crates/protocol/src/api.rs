@@ -9,9 +9,9 @@
 //! * `gtsc_baselines::{BypassL1, PlainL2}` — the no-L1 baseline ("BL");
 //! * `gtsc_baselines::NonCoherentL1` — "Baseline W/L1".
 
-use gtsc_trace::{Sanitizer, Tracer};
+use gtsc_trace::{Sanitizer, SpanTracker, Tracer};
 use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
-use gtsc_types::{BlockAddr, CacheStats, Cycle, Timestamp, Version, WarpId};
+use gtsc_types::{BlockAddr, CacheStats, Cycle, SpanId, Timestamp, Version, WarpId};
 
 use crate::msg::{Epoch, L1ToL2, L2ToL1};
 
@@ -48,6 +48,10 @@ pub struct MemAccess {
     pub kind: AccessKind,
     /// Block touched.
     pub block: BlockAddr,
+    /// Causal-span identity when this access was sampled by the latency
+    /// observatory; [`SpanId::NONE`] (the overwhelmingly common case)
+    /// otherwise. Controllers copy it into the requests they emit.
+    pub span: SpanId,
 }
 
 /// A finished memory access, reported by the L1 controller.
@@ -119,6 +123,26 @@ pub enum L1Outcome {
     Reject,
 }
 
+/// Why an L1 controller is currently holding up its SM, as reported by
+/// [`L1Controller::wait_hint`] for top-down cycle accounting
+/// (DESIGN.md §15). Purely observational, like
+/// [`ControllerPressure`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WaitHint {
+    /// Nothing identifiable is blocking inside the controller.
+    #[default]
+    None,
+    /// Outstanding work is dominated by a lease-expired refetch
+    /// (a G-TSC coherence miss in flight).
+    LeaseExpired,
+    /// The MSHR file is full: new misses are being rejected.
+    MshrFull,
+    /// Requests are queued toward the NoC awaiting injection.
+    NocBackpressure,
+    /// Waiting on the memory system below the NoC (L2/DRAM round trip).
+    Downstream,
+}
+
 /// A private (per-SM) cache controller.
 ///
 /// The contract with the SM pipeline:
@@ -186,6 +210,22 @@ pub trait L1Controller {
         ControllerPressure::default()
     }
 
+    /// Why the controller is holding up its SM right now, for top-down
+    /// cycle accounting. The default derives a coarse answer from
+    /// [`pressure`](L1Controller::pressure): queued requests read as
+    /// NoC backpressure, outstanding misses as a downstream wait.
+    /// Protocols with richer internal state override.
+    fn wait_hint(&self) -> WaitHint {
+        let p = self.pressure();
+        if p.out_queue > 0 {
+            WaitHint::NocBackpressure
+        } else if p.mshr > 0 || p.waiting > 0 {
+            WaitHint::Downstream
+        } else {
+            WaitHint::None
+        }
+    }
+
     /// Installs a protocol event tracer. Controllers that emit trace
     /// events override this; the default discards the tracer so plain
     /// implementations need no tracing plumbing.
@@ -205,6 +245,14 @@ pub trait L1Controller {
     /// implementations need no checking plumbing.
     fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
         let _ = sanitizer;
+    }
+
+    /// Installs a causal-span tracker (see `gtsc_trace::SpanTracker`).
+    /// Controllers that annotate spans (MSHR merges, expiry refetches)
+    /// override this; the default discards the handle — span chains
+    /// self-heal around layers that do not report.
+    fn set_span_tracker(&mut self, spans: SpanTracker) {
+        let _ = spans;
     }
 
     /// Serializes the controller's dynamic state for a whole-simulator
@@ -337,6 +385,13 @@ pub trait L2Controller {
         let _ = sanitizer;
     }
 
+    /// Installs a causal-span tracker (see `gtsc_trace::SpanTracker`).
+    /// Banks that annotate spans (serve class, DRAM waits, crash
+    /// closes) override this; the default discards the handle.
+    fn set_span_tracker(&mut self, spans: SpanTracker) {
+        let _ = spans;
+    }
+
     /// Serializes the bank's dynamic state for a whole-simulator
     /// checkpoint (DESIGN.md §14). The default declines: only banks that
     /// also implement [`load_state`](L2Controller::load_state) support
@@ -400,7 +455,8 @@ gtsc_types::snap_fields!(MemAccess {
     id,
     warp,
     kind,
-    block
+    block,
+    span
 });
 gtsc_types::snap_fields!(Completion {
     id,
@@ -488,5 +544,10 @@ mod tests {
         // Default sanitizer hooks likewise discard the handle.
         d.set_sanitizer(Sanitizer::default());
         d2.set_sanitizer(Sanitizer::default());
+        // Default span hooks discard too, and the default wait hint is
+        // derived from the (empty) pressure report.
+        d.set_span_tracker(SpanTracker::default());
+        d2.set_span_tracker(SpanTracker::default());
+        assert_eq!(d.wait_hint(), WaitHint::None);
     }
 }

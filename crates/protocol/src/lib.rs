@@ -20,7 +20,7 @@ pub mod msg;
 
 pub use api::{
     AccessId, AccessKind, Completion, ControllerPressure, L1Controller, L1Outcome, L2Controller,
-    MemAccess,
+    MemAccess, WaitHint,
 };
 pub use msg::{
     Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, MsgSizes, ReadReq, WriteAckResp, WriteReq,

@@ -14,7 +14,7 @@
 //! the write ack, and the timestamp fields simply contribute no bytes for
 //! the no-coherence baselines ([`LeaseInfo::None`]).
 
-use gtsc_types::{BlockAddr, Cycle, Timestamp, Version};
+use gtsc_types::{BlockAddr, Cycle, SpanId, Timestamp, Version};
 
 /// A timestamp-reset epoch (Section V-D).
 ///
@@ -56,6 +56,11 @@ pub struct ReadReq {
     pub warp_ts: Timestamp,
     /// Requester's epoch.
     pub epoch: Epoch,
+    /// Causal-span identity of the sampled access that produced this
+    /// request; [`SpanId::NONE`] on the unsampled fast path. Pure
+    /// instrumentation metadata — contributes zero bytes to
+    /// [`MsgSizes`] accounting (DESIGN.md §15).
+    pub span: SpanId,
 }
 
 /// Write request (`BusWr`), L1 → L2. L1 is write-through, so every store
@@ -70,6 +75,9 @@ pub struct WriteReq {
     pub version: Version,
     /// Requester's epoch.
     pub epoch: Epoch,
+    /// Causal-span identity ([`SpanId::NONE`] when unsampled); zero
+    /// wire bytes.
+    pub span: SpanId,
 }
 
 /// Fill response (`BusFill`), L2 → L1: data plus its lease.
@@ -83,6 +91,9 @@ pub struct FillResp {
     pub version: Version,
     /// Producing bank's epoch (reset signal when it advances).
     pub epoch: Epoch,
+    /// Echo of the request's causal span ([`SpanId::NONE`] when
+    /// unsampled); zero wire bytes.
+    pub span: SpanId,
 }
 
 /// Write acknowledgment (`BusWrAck`), L2 → L1.
@@ -98,6 +109,9 @@ pub struct WriteAckResp {
     pub version: Version,
     /// Producing bank's epoch.
     pub epoch: Epoch,
+    /// Echo of the request's causal span ([`SpanId::NONE`] when
+    /// unsampled); zero wire bytes.
+    pub span: SpanId,
 }
 
 /// Requests travelling the SM→L2 network.
@@ -122,6 +136,16 @@ impl L1ToL2 {
             L1ToL2::Write(w) | L1ToL2::Atomic(w) => w.block,
         }
     }
+
+    /// Causal span carried by the request ([`SpanId::NONE`] when
+    /// unsampled).
+    #[must_use]
+    pub fn span(&self) -> SpanId {
+        match self {
+            L1ToL2::Read(r) => r.span,
+            L1ToL2::Write(w) | L1ToL2::Atomic(w) => w.span,
+        }
+    }
 }
 
 /// Responses travelling the L2→SM network.
@@ -139,6 +163,8 @@ pub enum L2ToL1 {
         lease: LeaseInfo,
         /// Producing bank's epoch.
         epoch: Epoch,
+        /// Echo of the request's causal span; zero wire bytes.
+        span: SpanId,
     },
     /// Store acknowledgment.
     WriteAck(WriteAckResp),
@@ -158,6 +184,9 @@ pub enum L2ToL1 {
         block: BlockAddr,
         /// Producing bank's epoch.
         epoch: Epoch,
+        /// Causal span, when a sampled request triggered the recall;
+        /// zero wire bytes.
+        span: SpanId,
     },
 }
 
@@ -181,6 +210,18 @@ impl L2ToL1 {
             L2ToL1::Renew { epoch, .. } => *epoch,
             L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => a.epoch,
             L2ToL1::Invalidate { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Causal span echoed on the response ([`SpanId::NONE`] when
+    /// unsampled).
+    #[must_use]
+    pub fn span(&self) -> SpanId {
+        match self {
+            L2ToL1::Fill(f) => f.span,
+            L2ToL1::Renew { span, .. } => *span,
+            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => a.span,
+            L2ToL1::Invalidate { span, .. } => *span,
         }
     }
 }
@@ -294,25 +335,29 @@ gtsc_types::snap_fields!(ReadReq {
     block,
     wts,
     warp_ts,
-    epoch
+    epoch,
+    span
 });
 gtsc_types::snap_fields!(WriteReq {
     block,
     warp_ts,
     version,
-    epoch
+    epoch,
+    span
 });
 gtsc_types::snap_fields!(FillResp {
     block,
     lease,
     version,
-    epoch
+    epoch,
+    span
 });
 gtsc_types::snap_fields!(WriteAckResp {
     block,
     lease,
     version,
-    epoch
+    epoch,
+    span
 });
 
 impl Snap for L1ToL2 {
@@ -355,11 +400,13 @@ impl Snap for L2ToL1 {
                 block,
                 lease,
                 epoch,
+                span,
             } => {
                 w.u8(1);
                 block.save(w);
                 lease.save(w);
                 epoch.save(w);
+                span.save(w);
             }
             L2ToL1::WriteAck(m) => {
                 w.u8(2);
@@ -370,10 +417,11 @@ impl Snap for L2ToL1 {
                 ack.save(w);
                 prev.save(w);
             }
-            L2ToL1::Invalidate { block, epoch } => {
+            L2ToL1::Invalidate { block, epoch, span } => {
                 w.u8(4);
                 block.save(w);
                 epoch.save(w);
+                span.save(w);
             }
         }
     }
@@ -384,6 +432,7 @@ impl Snap for L2ToL1 {
                 block: Snap::load(r)?,
                 lease: Snap::load(r)?,
                 epoch: Snap::load(r)?,
+                span: Snap::load(r)?,
             }),
             2 => Ok(L2ToL1::WriteAck(Snap::load(r)?)),
             3 => Ok(L2ToL1::AtomicAck {
@@ -393,6 +442,7 @@ impl Snap for L2ToL1 {
             4 => Ok(L2ToL1::Invalidate {
                 block: Snap::load(r)?,
                 epoch: Snap::load(r)?,
+                span: Snap::load(r)?,
             }),
             other => Err(SnapshotError::Malformed {
                 context: format!("L2ToL1 tag {other}"),
@@ -425,6 +475,7 @@ mod tests {
             wts: Timestamp(0),
             warp_ts: Timestamp(1),
             epoch: 0,
+            span: SpanId::NONE,
         });
         assert_eq!(s.request_bytes(&rd), 8 + 2 + 2); // wts + warp_ts
 
@@ -433,6 +484,7 @@ mod tests {
             warp_ts: Timestamp(1),
             version: Version(1),
             epoch: 0,
+            span: SpanId::NONE,
         });
         assert_eq!(s.request_bytes(&wr), 8 + 2 + 128); // warp_ts + data
 
@@ -441,6 +493,7 @@ mod tests {
             lease: logical(),
             version: Version(1),
             epoch: 0,
+            span: SpanId::NONE,
         });
         assert_eq!(s.response_bytes(&fill), 8 + 4 + 128); // rts + wts + data
 
@@ -448,6 +501,7 @@ mod tests {
             block: BlockAddr(1),
             lease: logical(),
             epoch: 0,
+            span: SpanId::NONE,
         };
         assert_eq!(s.response_bytes(&rnw), 8 + 2); // rts only, NO data
 
@@ -456,6 +510,7 @@ mod tests {
             lease: logical(),
             version: Version(1),
             epoch: 0,
+            span: SpanId::NONE,
         });
         assert_eq!(s.response_bytes(&ack), 8 + 4); // rts + wts
     }
@@ -467,12 +522,14 @@ mod tests {
             block: BlockAddr(1),
             lease: logical(),
             epoch: 0,
+            span: SpanId::NONE,
         };
         let fill = L2ToL1::Fill(FillResp {
             block: BlockAddr(1),
             lease: logical(),
             version: Version(1),
             epoch: 0,
+            span: SpanId::NONE,
         });
         assert!(s.response_bytes(&fill) > 10 * s.response_bytes(&rnw));
     }
@@ -485,6 +542,7 @@ mod tests {
             lease: LeaseInfo::None,
             version: Version(1),
             epoch: 0,
+            span: SpanId::NONE,
         });
         assert_eq!(s.response_bytes(&fill), 8 + 128);
     }
@@ -495,6 +553,7 @@ mod tests {
             block: BlockAddr(9),
             lease: LeaseInfo::None,
             epoch: 3,
+            span: SpanId::NONE,
         };
         assert_eq!(rnw.block(), BlockAddr(9));
         assert_eq!(rnw.epoch(), 3);
@@ -503,6 +562,7 @@ mod tests {
             wts: Timestamp(0),
             warp_ts: Timestamp(1),
             epoch: 0,
+            span: SpanId::NONE,
         });
         assert_eq!(rd.block(), BlockAddr(4));
     }

@@ -17,10 +17,11 @@ use gtsc_noc::{FlowDiag, ReliableNet};
 use gtsc_protocol::msg::{Epoch, L1ToL2, L2ToL1, MsgSizes};
 use gtsc_protocol::{ControllerPressure, L2Controller};
 use gtsc_trace::{
-    merge_tails, IntervalSample, IntervalSampler, Sanitizer, Scope, TraceEvent, Tracer,
+    merge_tails, HopKind, IntervalSample, IntervalSampler, Sanitizer, Scope, SpanRecord,
+    SpanTracker, TraceEvent, Tracer,
 };
 use gtsc_types::snap::{crc32, Snap, SnapWriter, SnapshotBuilder, SnapshotError, SnapshotFile};
-use gtsc_types::{BlockAddr, CtaId, Cycle, GpuConfig, SimStats, SmId, Version};
+use gtsc_types::{BlockAddr, CtaId, Cycle, CycleReason, GpuConfig, SimStats, SmId, Version};
 
 use crate::build::{build_l1, build_l2};
 use crate::check::{Checker, Violation};
@@ -286,6 +287,15 @@ pub struct GpuSim {
     /// Root handle on the shared transition sanitizer (disabled unless
     /// `cfg.sanitize`); the L1s and L2 banks hold scoped clones.
     sanitizer: Sanitizer,
+    /// Root handle on the shared causal-span tracker (disabled unless
+    /// `cfg.trace.spans_enabled()`); every layer holds a clone. Volatile
+    /// observability state — excluded from snapshots like the tracer.
+    spans: SpanTracker,
+    /// Cycles actually stepped by this machine (the denominator of the
+    /// cycle-reason accounting invariant: every per-SM bucket set sums to
+    /// exactly this). Snapshotted, unlike the span state, because the
+    /// accounting lives in `SmStats` which is snapshotted too.
+    steps: u64,
 }
 
 /// Retained checker events above which [`Checker::compact`] runs (large
@@ -463,6 +473,22 @@ impl SimBuilder {
                 dram.set_tracer(Tracer::new(Scope::Dram(d as u16), &cfg.trace));
             }
         }
+        let spans = if cfg.trace.spans_enabled() {
+            SpanTracker::new(cfg.trace.span_cap)
+        } else {
+            SpanTracker::disabled()
+        };
+        if spans.is_enabled() {
+            for sm in sms.iter_mut() {
+                sm.set_span_sampling(cfg.trace.span_rate, cfg.trace.span_seed, spans.clone());
+                sm.l1_mut().set_span_tracker(spans.clone());
+            }
+            for bank in l2.iter_mut() {
+                bank.set_span_tracker(spans.clone());
+            }
+            req_net.set_span_probe(spans.clone(), |p: &(usize, L1ToL2)| p.1.span());
+            resp_net.set_span_probe(spans.clone(), gtsc_protocol::msg::L2ToL1::span);
+        }
         let sanitizer = if cfg.sanitize {
             Sanitizer::enabled(Scope::Sm(0))
         } else {
@@ -498,6 +524,8 @@ impl SimBuilder {
             checker: Checker::new(),
             sampler,
             sanitizer,
+            spans,
+            steps: 0,
         })
     }
 }
@@ -710,13 +738,27 @@ impl GpuSim {
                 "…and {suppressed} more sanitizer violation(s) suppressed (retention cap)"
             )));
         }
+        let stats = self.cumulative_stats();
+        // The cycle-accounting invariant rides in the same report: every
+        // SM's reason buckets must tile the stepped cycles exactly — a
+        // mismatch means a step classified a cycle twice or not at all.
+        for (i, sm) in stats.per_sm.iter().enumerate() {
+            let sum = sm.cycle_buckets.sum();
+            if sum != stats.accounted_cycles {
+                violations.push(Violation(format!(
+                    "cycle accounting broken on sm{i}: reason buckets sum to {sum} \
+                     but {} cycles were stepped",
+                    stats.accounted_cycles
+                )));
+            }
+        }
         let trace_tail = if violations.is_empty() || !self.cfg.trace.is_enabled() {
             Vec::new()
         } else {
             self.flight_tail()
         };
         RunReport {
-            stats: self.cumulative_stats(),
+            stats,
             violations,
             trace_tail,
         }
@@ -728,6 +770,7 @@ impl GpuSim {
     fn cumulative_stats(&self) -> SimStats {
         let mut stats = SimStats {
             cycles: self.now,
+            accounted_cycles: self.steps,
             ..SimStats::default()
         };
         for sm in &self.sms {
@@ -805,6 +848,21 @@ impl GpuSim {
             tails.push(d.tracer().flight_tail());
         }
         merge_tails(&tails)
+    }
+
+    /// The retained causal-span records (empty unless
+    /// [`gtsc_types::TraceConfig::spans_enabled`]). Hits open and close
+    /// in the same cycle; in-flight spans are not included.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.spans()
+    }
+
+    /// Sampled spans dropped by the retention cap (deterministic
+    /// first-N retention keeps the kept set stable across runs).
+    #[must_use]
+    pub fn spans_suppressed(&self) -> u64 {
+        self.spans.suppressed()
     }
 
     /// The interval sampler's time-series (empty unless
@@ -945,6 +1003,7 @@ impl GpuSim {
         self.bank_recoveries.save(&mut w);
         self.bank_faults.save(&mut w);
         self.sanitizer.save_state(&mut w);
+        self.steps.save(&mut w);
         b.section("sim", w.into_bytes());
 
         let mut w = SnapWriter::new();
@@ -1028,6 +1087,7 @@ impl GpuSim {
         }
         self.bank_faults = bank_faults;
         self.sanitizer.load_state(&mut r)?;
+        self.steps = Snap::load(&mut r)?;
         r.expect_end("sim section")?;
 
         let mut r = file.section("sms")?;
@@ -1117,12 +1177,14 @@ impl GpuSim {
             while let Some(req) = sm.l1_mut().take_request() {
                 let bank = req.block().bank(n_banks);
                 let bytes = self.sizes.request_bytes(&req);
+                self.spans.hop_enter(req.span(), HopKind::NocReq, now);
                 self.req_net.send(i, bank, bytes, (i, req), now);
             }
         }
 
         // 3. Request deliveries → L2 banks.
         for (bank, (src, msg)) in self.req_net.tick(now) {
+            self.spans.hop_enter(msg.span(), HopKind::L2Serve, now);
             self.l2[bank].on_request(src, msg, now);
         }
 
@@ -1163,14 +1225,15 @@ impl GpuSim {
                 .is_some_and(|f| f.due(now.0));
             if due && self.l2[b].crash(now) {
                 self.bank_recoveries += 1;
-                self.req_net.reset_flows_to_dst(b);
-                self.resp_net.reset_flows_from_src(b);
+                self.req_net.reset_flows_to_dst(b, now);
+                self.resp_net.reset_flows_from_src(b, now);
             }
         }
 
         // 5. Timestamp rollover: any overflowing bank triggers the global
         //    reset broadcast of Section V-D.
-        if self.l2.iter().any(|b| b.needs_reset()) {
+        let rollover = self.l2.iter().any(|b| b.needs_reset());
+        if rollover {
             self.epoch += 1;
             for bank in &mut self.l2 {
                 bank.apply_reset(self.epoch);
@@ -1181,6 +1244,7 @@ impl GpuSim {
         for (b, bank) in self.l2.iter_mut().enumerate() {
             while let Some((dst, msg)) = bank.take_response() {
                 let bytes = self.sizes.response_bytes(&msg);
+                self.spans.hop_enter(msg.span(), HopKind::NocResp, now);
                 self.resp_net.send(b, dst, bytes, msg, now);
             }
         }
@@ -1188,12 +1252,37 @@ impl GpuSim {
         // 7. Response deliveries → L1s; completions retire warp accesses.
         for (dst, msg) in self.resp_net.tick(now) {
             let sm = &mut self.sms[dst];
+            self.spans.hop_enter(msg.span(), HopKind::L1Fill, now);
             let done = sm.l1_mut().on_response(msg, now);
             for c in done {
                 sm.on_completion_at(&c, Some(now));
                 self.checker.on_completion(dst, &c, now);
             }
         }
+
+        // 8. Cycle-reason accounting: attribute this cycle, for every SM,
+        //    to exactly one bucket. The buckets therefore tile elapsed
+        //    time — `sum(buckets) == steps` per SM, the invariant the
+        //    sanitizer and the profile report both assert.
+        for sm in &mut self.sms {
+            let reason = if sm.issued_last_cycle() {
+                CycleReason::Issue
+            } else if rollover {
+                CycleReason::RolloverFreeze
+            } else if !sm.has_resident_warps() {
+                CycleReason::Idle
+            } else {
+                match sm.l1().wait_hint() {
+                    gtsc_protocol::WaitHint::LeaseExpired => CycleReason::LeaseExpiredWait,
+                    gtsc_protocol::WaitHint::MshrFull => CycleReason::MshrFull,
+                    gtsc_protocol::WaitHint::NocBackpressure => CycleReason::NocBackpressure,
+                    gtsc_protocol::WaitHint::Downstream => CycleReason::DramWait,
+                    gtsc_protocol::WaitHint::None => CycleReason::Idle,
+                }
+            };
+            sm.account_cycle(reason);
+        }
+        self.steps += 1;
     }
 }
 

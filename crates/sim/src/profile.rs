@@ -1,0 +1,191 @@
+//! Renderers for the latency observatory's `profile_report` output:
+//! the per-SM cycle-reason table, the flamegraph-folded dump, and the
+//! Chrome-trace duration view of sampled spans.
+//!
+//! The table and the folded dump derive *solely* from [`SimStats`] —
+//! state that rides in snapshots — so a run restored mid-kernel
+//! reproduces them byte-identically. The span view derives from the
+//! volatile span store and is offered separately (`--spans`).
+
+use gtsc_trace::{json_escape, SpanRecord};
+use gtsc_types::{CycleReason, SimStats};
+
+/// Renders the per-SM cycle-reason accounting as an aligned text table
+/// (one row per SM plus a totals row), ending with the invariant line.
+#[must_use]
+pub fn render_profile(stats: &SimStats) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>6}", "sm"));
+    for r in CycleReason::ALL {
+        out.push_str(&format!(" {:>16}", r.name()));
+    }
+    out.push_str(&format!(" {:>12}\n", "total"));
+    let mut totals = [0u64; CycleReason::ALL.len()];
+    for (i, sm) in stats.per_sm.iter().enumerate() {
+        out.push_str(&format!("{i:>6}"));
+        for (j, r) in CycleReason::ALL.into_iter().enumerate() {
+            let n = sm.cycle_buckets.get(r);
+            totals[j] += n;
+            out.push_str(&format!(" {n:>16}"));
+        }
+        out.push_str(&format!(" {:>12}\n", sm.cycle_buckets.sum()));
+    }
+    out.push_str(&format!("{:>6}", "all"));
+    let mut grand = 0u64;
+    for t in totals {
+        grand += t;
+        out.push_str(&format!(" {t:>16}"));
+    }
+    out.push_str(&format!(" {grand:>12}\n"));
+    out.push_str(&format!(
+        "accounted cycles: {} ({} SMs x {} stepped cycles)\n",
+        grand,
+        stats.per_sm.len(),
+        stats.accounted_cycles
+    ));
+    out
+}
+
+/// Renders the cycle buckets in flamegraph "folded" format — one
+/// `sm<N>;<reason> <count>` line per non-zero bucket — for piping into
+/// `flamegraph.pl` or speedscope.
+#[must_use]
+pub fn render_folded(stats: &SimStats) -> String {
+    let mut out = String::new();
+    for (i, sm) in stats.per_sm.iter().enumerate() {
+        for r in CycleReason::ALL {
+            let n = sm.cycle_buckets.get(r);
+            if n > 0 {
+                out.push_str(&format!("sm{i};{} {n}\n", r.name()));
+            }
+        }
+    }
+    out
+}
+
+/// Renders sampled spans as Chrome-trace duration events (`ph: "X"`,
+/// one row per SM under a dedicated "spans" process): chain hops as the
+/// main lane, overlays stacked above, the close reason in `args`.
+#[must_use]
+pub fn spans_to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    sep(&mut out);
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":9,\"tid\":0,\
+         \"args\":{\"name\":\"sampled spans\"}}",
+    );
+    for s in spans {
+        let tid = s.id.sm().0;
+        let reason = s.closed.map_or("open", |(_, r)| r.name());
+        for (lane, hop) in s
+            .hops
+            .iter()
+            .map(|h| (0u8, h))
+            .chain(s.overlays.iter().map(|h| (1u8, h)))
+        {
+            let Some(exit) = hop.exit else { continue };
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":9,\"tid\":{tid},\
+                 \"args\":{{\"span\":\"{}\",\"close\":\"{}\",\"lane\":{lane}}}}}",
+                hop.kind.name(),
+                hop.enter.0,
+                exit.0.saturating_sub(hop.enter.0),
+                json_escape(&s.id.to_string()),
+                reason,
+            ));
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_types::{Cycle, SmStats};
+
+    fn demo_stats() -> SimStats {
+        let mut stats = SimStats {
+            cycles: Cycle(10),
+            accounted_cycles: 10,
+            ..SimStats::default()
+        };
+        for _ in 0..2 {
+            let mut sm = SmStats::default();
+            for _ in 0..4 {
+                sm.cycle_buckets.record(CycleReason::Issue);
+            }
+            for _ in 0..6 {
+                sm.cycle_buckets.record(CycleReason::DramWait);
+            }
+            stats.per_sm.push(sm);
+        }
+        stats
+    }
+
+    #[test]
+    fn profile_table_sums_match_invariant() {
+        let text = render_profile(&demo_stats());
+        assert!(text.contains("issue"), "{text}");
+        assert!(text.contains("dram_wait"), "{text}");
+        assert!(
+            text.contains("accounted cycles: 20 (2 SMs x 10 stepped cycles)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn folded_lines_skip_zero_buckets() {
+        let folded = render_folded(&demo_stats());
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 4, "{folded}");
+        assert!(lines.contains(&"sm0;issue 4"), "{folded}");
+        assert!(lines.contains(&"sm1;dram_wait 6"), "{folded}");
+    }
+
+    #[test]
+    fn span_chrome_trace_is_balanced_json() {
+        use gtsc_trace::{CloseReason, Hop, HopKind};
+        use gtsc_types::{SmId, SpanId};
+        let span = SpanRecord {
+            id: SpanId::new(SmId(3), 7),
+            opened: Cycle(5),
+            closed: Some((Cycle(30), CloseReason::Completed)),
+            hops: vec![Hop {
+                kind: HopKind::L1,
+                enter: Cycle(5),
+                exit: Some(Cycle(30)),
+            }],
+            overlays: vec![Hop {
+                kind: HopKind::DramWait,
+                enter: Cycle(10),
+                exit: Some(Cycle(25)),
+            }],
+            serve: None,
+            mshr_merged: false,
+            retransmits: 0,
+        };
+        let json = spans_to_chrome_trace(&[span]);
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"name\":\"l1\""), "{json}");
+        assert!(json.contains("\"name\":\"dram_wait\""), "{json}");
+        assert!(json.contains("\"tid\":3"), "{json}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! `profile_report` — the latency observatory's offline reporter.
+//!
+//! Runs one benchmark kernel under the simulator and prints where every
+//! SM cycle went (the per-SM cycle-reason table whose rows sum exactly
+//! to the stepped cycles). Optional outputs: the flamegraph "folded"
+//! dump (`--folded`), the Chrome-trace view (`--chrome`, spans included
+//! when sampling is on), and the sampled-span summary (`--spans N`).
+//!
+//! The default report derives solely from [`gtsc_types::SimStats`] —
+//! state that rides in snapshots — so a run restored from a mid-kernel
+//! checkpoint reproduces it byte-identically (proved in
+//! `tests/spans.rs`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gtsc_sim::{render_folded, render_profile, spans_to_chrome_trace, GpuSim, SimBuilder};
+use gtsc_sweep::{
+    benchmark_from_name, consistency_from_name, protocol_from_name, scale_from_name, JobSpec,
+};
+use gtsc_types::ConsistencyModel;
+
+const USAGE: &str = "\
+profile_report: run one kernel and report per-SM cycle attribution
+
+usage: profile_report [flags]
+
+    --benchmark NAME    workload to run (default: bh)
+    --scale NAME        tiny | small | full (default: tiny)
+    --protocol NAME     gtsc | mesi | ... (default: gtsc)
+    --consistency NAME  sc | rc (default: rc)
+    --seed N            fault/sampling seed (default: 1)
+    --lossy-permille N  NoC flit drop rate (default: 0 = reliable)
+    --bank-crashes N    injected L2 bank crashes (default: 0)
+    --cycle-budget N    simulated-cycle timeout, 0 = unbounded (default: 0)
+    --spans N           sample 1-in-N accesses as causal spans (default: off)
+    --folded PATH       write flamegraph-folded cycle buckets to PATH
+    --chrome PATH       write a Chrome trace of the sampled spans to PATH
+    --quiet             suppress the table (exports only)
+    --help              this text
+";
+
+struct Cli {
+    spec: JobSpec,
+    span_rate: u64,
+    folded: Option<PathBuf>,
+    chrome: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad value for {flag}: {v}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        spec: JobSpec {
+            id: 0,
+            benchmark: benchmark_from_name("bh").expect("bh is a known benchmark"),
+            scale: scale_from_name("tiny").expect("tiny is a known scale"),
+            protocol: protocol_from_name("gtsc").expect("gtsc is a known protocol"),
+            consistency: ConsistencyModel::Rc,
+            seed: 1,
+            lossy_permille: 0,
+            bank_crashes: 0,
+            cycle_budget: 0,
+        },
+        span_rate: 0,
+        folded: None,
+        chrome: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--benchmark" => {
+                let v = value("--benchmark")?;
+                cli.spec.benchmark =
+                    benchmark_from_name(v).ok_or_else(|| format!("unknown benchmark: {v}"))?;
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                cli.spec.scale = scale_from_name(v).ok_or_else(|| format!("unknown scale: {v}"))?;
+            }
+            "--protocol" => {
+                let v = value("--protocol")?;
+                cli.spec.protocol =
+                    protocol_from_name(v).ok_or_else(|| format!("unknown protocol: {v}"))?;
+            }
+            "--consistency" => {
+                let v = value("--consistency")?;
+                cli.spec.consistency =
+                    consistency_from_name(v).ok_or_else(|| format!("unknown consistency: {v}"))?;
+            }
+            "--seed" => cli.spec.seed = parse_num("--seed", value("--seed")?)?,
+            "--lossy-permille" => {
+                cli.spec.lossy_permille =
+                    parse_num("--lossy-permille", value("--lossy-permille")?)?;
+            }
+            "--bank-crashes" => {
+                cli.spec.bank_crashes = parse_num("--bank-crashes", value("--bank-crashes")?)?;
+            }
+            "--cycle-budget" => {
+                cli.spec.cycle_budget = parse_num("--cycle-budget", value("--cycle-budget")?)?;
+            }
+            "--spans" => cli.span_rate = parse_num("--spans", value("--spans")?)?,
+            "--folded" => cli.folded = Some(value("--folded")?.into()),
+            "--chrome" => cli.chrome = Some(value("--chrome")?.into()),
+            "--quiet" => cli.quiet = true,
+            "--help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag: {other}\n{USAGE}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn write_file(path: &Path, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn build_sim(cli: &Cli) -> Result<GpuSim, String> {
+    let mut cfg = cli.spec.config();
+    if cli.span_rate > 0 {
+        cfg.trace = cfg.trace.with_spans(cli.span_rate, cli.spec.seed);
+    }
+    SimBuilder::new(cfg).try_build().map_err(|e| e.to_string())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cli = parse_args(args)?;
+    let mut sim = build_sim(&cli)?;
+    let kernel = cli.spec.kernel();
+    let report = sim.run_kernel(kernel.as_ref()).map_err(|e| e.to_string())?;
+    if !cli.quiet {
+        print!("{}", render_profile(&report.stats));
+    }
+    if let Some(path) = &cli.folded {
+        write_file(path, &render_folded(&report.stats))?;
+    }
+    if let Some(path) = &cli.chrome {
+        write_file(path, &spans_to_chrome_trace(&sim.spans()))?;
+    }
+    if cli.span_rate > 0 && !cli.quiet {
+        let spans = sim.spans();
+        let closed = spans.iter().filter(|s| s.closed.is_some()).count();
+        println!(
+            "spans: {} sampled, {} closed, {} suppressed by cap",
+            spans.len(),
+            closed,
+            sim.spans_suppressed()
+        );
+    }
+    for v in &report.violations {
+        eprintln!("violation: {}", v.0);
+    }
+    if report.violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} invariant violations", report.violations.len()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

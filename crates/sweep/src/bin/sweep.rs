@@ -11,12 +11,15 @@
 //! checkpointed jobs continue mid-kernel, and `aggregates.txt` comes
 //! out byte-identical to an uninterrupted run.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use gtsc_sweep::{
-    benchmark_from_name, consistency_from_name, protocol_from_name, run_sweep, scale_from_name,
-    JobSpec, SweepConfig, TransientFaultPlan,
+    benchmark_from_name, consistency_from_name, protocol_from_name, run_sweep_with_metrics,
+    scale_from_name, JobSpec, SweepConfig, SweepMetrics, TransientFaultPlan,
 };
 use gtsc_types::{ConsistencyModel, ProtocolKind};
 use gtsc_workloads::{Benchmark, Scale};
@@ -45,6 +48,8 @@ OPTIONS:
     --disk-budget BYTES     checkpoint disk budget (0 = unlimited) [default: 0]
     --mem-budget BYTES      concurrency memory budget (0 = unlimited) [default: 0]
     --fail-first J:N,...    test hook: job J's first N attempts fail transiently
+    --metrics-file PATH     write Prometheus-format service metrics to PATH after the
+                            run and on SIGUSR1 mid-run
     --quiet                 only print errors
     --help                  this text
 ";
@@ -60,6 +65,7 @@ struct Cli {
     bank_crashes: u16,
     cycle_budget: u64,
     plan: TransientFaultPlan,
+    metrics_file: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -76,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         bank_crashes: 0,
         cycle_budget: 2_000_000,
         plan: TransientFaultPlan::default(),
+        metrics_file: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -123,6 +130,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.plan = TransientFaultPlan::parse(v)
                     .ok_or_else(|| format!("bad --fail-first spec {v}"))?;
             }
+            "--metrics-file" => cli.metrics_file = Some(value("--metrics-file")?.into()),
             "--quiet" => cli.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
@@ -174,10 +182,79 @@ fn write_aggregates(dir: &Path, text: &str) -> std::io::Result<()> {
     std::fs::rename(&tmp, dir.join("aggregates.txt"))
 }
 
+/// Writes the Prometheus metrics text atomically (same tmp + fsync +
+/// rename discipline as the aggregates: a scraper never sees a torn
+/// file).
+fn write_metrics(path: &Path, metrics: &SweepMetrics) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, metrics.render_prometheus().as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Set by the raw SIGUSR1 handler; drained by the watcher thread.
+#[cfg(unix)]
+static SIGUSR1_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigusr1(_sig: i32) {
+    // Async-signal-safe: a single relaxed store, nothing else.
+    SIGUSR1_SEEN.store(true, Ordering::Relaxed);
+}
+
+/// Installs a SIGUSR1 handler plus a watcher thread that re-dumps the
+/// metrics file whenever the signal arrives (the Unix idiom for "show
+/// me your counters *now*" on a long-running service). No-op off Unix.
+fn spawn_metrics_dumper(path: &Path, metrics: &Arc<SweepMetrics>, stop: &Arc<AtomicBool>) {
+    #[cfg(unix)]
+    {
+        // Raw libc-free signal(2) registration: the workspace is
+        // offline and vendors no libc crate, and the handler is a
+        // single atomic store, so the thin FFI declaration is safe.
+        const SIGUSR1: i32 = 10;
+        unsafe extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGUSR1, on_sigusr1);
+        }
+        let path = path.to_path_buf();
+        let metrics = Arc::clone(metrics);
+        let stop = Arc::clone(stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if SIGUSR1_SEEN.swap(false, Ordering::Relaxed) {
+                    if let Err(e) = write_metrics(&path, &metrics) {
+                        eprintln!("metrics dump failed: {e}");
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (path, metrics, stop);
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let cli = parse_args(args)?;
     let specs = build_specs(&cli);
-    let outcome = run_sweep(&specs, &cli.cfg, &cli.plan).map_err(|e| e.to_string())?;
+    let metrics = Arc::new(SweepMetrics::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    if let Some(path) = &cli.metrics_file {
+        spawn_metrics_dumper(path, &metrics, &stop);
+    }
+    let outcome = run_sweep_with_metrics(&specs, &cli.cfg, &cli.plan, Some(&metrics))
+        .map_err(|e| e.to_string())?;
+    stop.store(true, Ordering::Relaxed);
+    if let Some(path) = &cli.metrics_file {
+        write_metrics(path, &metrics).map_err(|e| e.to_string())?;
+    }
     let aggregates = outcome.render_aggregates(&specs);
     write_aggregates(&cli.cfg.dir, &aggregates).map_err(|e| e.to_string())?;
     if !cli.quiet {

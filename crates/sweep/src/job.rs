@@ -264,6 +264,9 @@ pub struct JobRun {
     pub resumed_from_checkpoint: bool,
     /// Checkpoints persisted during this execution.
     pub checkpoints_written: u32,
+    /// Wall time of each persisted checkpoint write, in nanoseconds
+    /// (encode excluded) — metrics fodder, never journaled.
+    pub checkpoint_write_ns: Vec<u64>,
 }
 
 /// Runs one job to a deterministic outcome.
@@ -325,6 +328,7 @@ pub fn run_job(
     let mut since_checkpoint = 0u64;
     let mut checkpointing = store.is_some() && checkpoint_every > 0 && slice_cycles > 0;
     let mut checkpoints_written = 0u32;
+    let mut checkpoint_write_ns: Vec<u64> = Vec::new();
     loop {
         match sim.advance_kernel(&*kernel, &mut progress, slice_cycles) {
             Ok(Some(report)) => {
@@ -333,6 +337,7 @@ pub fn run_job(
                     result: finished(spec, JobOutcome::Completed, &report, &sim, String::new()),
                     resumed_from_checkpoint: resumed,
                     checkpoints_written,
+                    checkpoint_write_ns,
                 };
             }
             Ok(None) => {
@@ -343,8 +348,10 @@ pub fn run_job(
                         Ok(bytes) => {
                             if allow_checkpoint(bytes.len()) {
                                 if let Some(store) = store {
+                                    let t0 = std::time::Instant::now();
                                     if store.save(&bytes).is_ok() {
                                         checkpoints_written += 1;
+                                        checkpoint_write_ns.push(t0.elapsed().as_nanos() as u64);
                                     }
                                 }
                             }
@@ -361,6 +368,7 @@ pub fn run_job(
                     result: finished(spec, JobOutcome::CycleBudget, &report, &sim, String::new()),
                     resumed_from_checkpoint: resumed,
                     checkpoints_written,
+                    checkpoint_write_ns,
                 };
             }
             Err(e @ SimError::Stalled { .. }) => {
@@ -376,6 +384,7 @@ pub fn run_job(
                     ),
                     resumed_from_checkpoint: resumed,
                     checkpoints_written,
+                    checkpoint_write_ns,
                 };
             }
             Err(e) => {
@@ -418,6 +427,7 @@ fn finished(
 
 fn rejected(spec: &JobSpec, err: &SimError) -> JobRun {
     JobRun {
+        checkpoint_write_ns: Vec::new(),
         result: JobResult {
             id: spec.id,
             outcome: JobOutcome::Rejected,

@@ -25,6 +25,7 @@
 
 pub mod job;
 pub mod journal;
+pub mod metrics;
 pub mod service;
 
 pub use job::{
@@ -32,7 +33,8 @@ pub use job::{
     scale_name, JobOutcome, JobResult, JobRun, JobSpec,
 };
 pub use journal::{replay, Journal, Record};
+pub use metrics::SweepMetrics;
 pub use service::{
-    batch_fingerprint, run_sweep, SweepConfig, SweepError, SweepOutcome, TransientFaultPlan,
-    EST_JOB_BYTES,
+    batch_fingerprint, run_sweep, run_sweep_with_metrics, SweepConfig, SweepError, SweepOutcome,
+    TransientFaultPlan, EST_JOB_BYTES,
 };

@@ -31,13 +31,14 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gtsc_sim::CheckpointStore;
 use gtsc_types::snap::{crc32, Snap, SnapWriter};
 
 use crate::job::{run_job, JobResult, JobSpec};
 use crate::journal::{Journal, Record};
+use crate::metrics::SweepMetrics;
 
 /// Rough peak memory of one concurrently-executing job (sim + snapshot
 /// encode buffer), used to translate a memory budget into a worker
@@ -241,6 +242,9 @@ struct Shared<'a> {
     interval_doubled: AtomicBool,
     resumed: AtomicUsize,
     abandoned: AtomicUsize,
+    /// Optional metrics registry (counters + latency histograms);
+    /// metrics never influence results.
+    metrics: Option<&'a SweepMetrics>,
 }
 
 /// A poisoned lock only means another worker panicked mid-update of a
@@ -254,8 +258,14 @@ impl Shared<'_> {
     /// Journals a record; on I/O failure latches the error (first one
     /// wins) and returns false so the worker can stop.
     fn journal_append(&self, record: &Record) -> bool {
+        let t0 = Instant::now();
         match lock(&self.journal).append(record) {
-            Ok(()) => true,
+            Ok(()) => {
+                if let Some(m) = self.metrics {
+                    m.journal_fsync(t0.elapsed().as_micros() as u64);
+                }
+                true
+            }
             Err(e) => {
                 let mut slot = lock(&self.io_error);
                 if slot.is_none() {
@@ -267,6 +277,9 @@ impl Shared<'_> {
     }
 
     fn report_shed(&self, what: String) {
+        if let Some(m) = self.metrics {
+            m.shed();
+        }
         self.journal_append(&Record::Shed { what: what.clone() });
         lock(&self.shed).push(what);
     }
@@ -336,6 +349,7 @@ impl Shared<'_> {
             }
             if !self.plan.fails(spec.id, attempt) {
                 let every = self.checkpoint_every.load(Ordering::Relaxed);
+                let t0 = Instant::now();
                 let run = run_job(spec, Some(&store), self.cfg.slice_cycles, every, |size| {
                     self.allow_checkpoint(size)
                 });
@@ -347,12 +361,21 @@ impl Shared<'_> {
                 }) {
                     return false;
                 }
+                if let Some(m) = self.metrics {
+                    m.job_completed(t0.elapsed().as_millis() as u64);
+                    for ns in &run.checkpoint_write_ns {
+                        m.checkpoint_written(ns / 1_000);
+                    }
+                }
                 lock(&self.results).push(run.result);
                 return true;
             }
             // Transient failure: back off and retry, bounded.
             if attempt >= self.cfg.max_attempts {
                 self.abandoned.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics {
+                    m.job_abandoned();
+                }
                 self.report_shed(format!(
                     "job {:04} abandoned after {attempt} transient failures (will retry on next sweep run)",
                     spec.id
@@ -366,6 +389,9 @@ impl Shared<'_> {
             )
             .min(MAX_BACKOFF);
             std::thread::sleep(backoff);
+            if let Some(m) = self.metrics {
+                m.job_retried();
+            }
             attempt += 1;
         }
     }
@@ -383,6 +409,22 @@ pub fn run_sweep(
     specs: &[JobSpec],
     cfg: &SweepConfig,
     plan: &TransientFaultPlan,
+) -> Result<SweepOutcome, SweepError> {
+    run_sweep_with_metrics(specs, cfg, plan, None)
+}
+
+/// [`run_sweep`] with a [`SweepMetrics`] registry attached: workers
+/// record job wall time, checkpoint/journal latencies, retries, and
+/// sheds as they happen (so a mid-run `SIGUSR1` dump sees live values).
+///
+/// # Errors
+///
+/// Same contract as [`run_sweep`].
+pub fn run_sweep_with_metrics(
+    specs: &[JobSpec],
+    cfg: &SweepConfig,
+    plan: &TransientFaultPlan,
+    metrics: Option<&SweepMetrics>,
 ) -> Result<SweepOutcome, SweepError> {
     if specs.is_empty() {
         return Err(SweepError::InvalidBatch("no jobs".into()));
@@ -472,6 +514,7 @@ pub fn run_sweep(
         interval_doubled: AtomicBool::new(false),
         resumed: AtomicUsize::new(0),
         abandoned: AtomicUsize::new(0),
+        metrics,
     };
     if let Some(msg) = mem_shed {
         shared.report_shed(msg);

@@ -64,6 +64,20 @@ pub fn to_chrome_trace(events: &[TraceEvent], samples: &[IntervalSample]) -> Str
         sep(&mut out);
         push_meta(&mut out, pid, name);
     }
+    // One thread_name record per distinct scope, so every thread row
+    // (not just the process groups) is labelled in chrome://tracing.
+    let mut scopes: Vec<Scope> = events.iter().map(|e| e.scope).collect();
+    scopes.sort_by_key(|&s| pid_tid(s));
+    scopes.dedup();
+    for scope in scopes {
+        let (pid, tid) = pid_tid(scope);
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&scope.to_string())
+        ));
+    }
     for e in events {
         let (pid, tid) = pid_tid(e.scope);
         sep(&mut out);
@@ -177,6 +191,13 @@ mod tests {
         assert!(json.contains("\"cat\":\"lease\""), "{json}");
         assert!(json.contains("\"ph\":\"C\""), "{json}");
         assert!(json.contains("\"ipc\":0.500000"), "{json}");
+        // Every distinct scope in the events gets a thread_name row.
+        assert!(
+            json.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0"),
+            "{json}"
+        );
+        assert!(json.contains("\"args\":{\"name\":\"sm0\"}"), "{json}");
+        assert!(json.contains("\"args\":{\"name\":\"l2[1]\"}"), "{json}");
         // Balanced braces/brackets — a cheap well-formedness check on
         // top of the CI job's real JSON parser.
         for (open, close) in [('{', '}'), ('[', ']')] {

@@ -39,12 +39,14 @@ pub mod export;
 pub mod recorder;
 pub mod sampler;
 pub mod sanitize;
+pub mod span;
 
 pub use event::{EventClass, EventKind, Scope, TraceEvent};
 pub use export::{json_escape, to_chrome_trace, to_lines};
 pub use recorder::FlightRecorder;
 pub use sampler::{IntervalSample, IntervalSampler};
 pub use sanitize::{Sanitizer, Transition};
+pub use span::{CloseReason, Hop, HopKind, ServeClass, SpanRecord, SpanTracker};
 
 use gtsc_types::{Cycle, TraceConfig, TraceMode};
 

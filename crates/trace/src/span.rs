@@ -1,0 +1,705 @@
+//! Causal request spans: per-hop latency breakdown for a sampled
+//! subset of memory accesses (DESIGN.md §15).
+//!
+//! A span follows one memory access end-to-end — SM issue → L1
+//! lookup/MSHR → request NoC → L2 serve → response NoC → L1 fill →
+//! completion — by carrying a [`SpanId`] inside the protocol messages
+//! themselves. The [`SpanTracker`] is the collection point: components
+//! and the simulator loop report hop transitions against it, and it
+//! maintains the *chain invariant* that makes the data trustworthy:
+//!
+//! * [`SpanTracker::open`] starts the span inside its first hop
+//!   ([`HopKind::L1`]);
+//! * [`SpanTracker::hop_enter`] closes the currently open hop at the
+//!   same cycle it opens the next, so hops tile the span's lifetime
+//!   with no gaps and no overlaps — even if a layer fails to report;
+//! * [`SpanTracker::close`] exits the open hop at the close cycle.
+//!
+//! Consequently `sum(hop durations) == end-to-end latency` holds *by
+//! construction* for every span, on every protocol, on every path —
+//! the property `tests/spans.rs` asserts across 100 seeds.
+//!
+//! Time a request spends waiting on DRAM or being retransmitted by the
+//! reliable transport is recorded as *overlay* hops
+//! ([`HopKind::is_overlay`]): they annotate the span but are excluded
+//! from the tiling sum, because they happen *inside* chain hops
+//! (DRAM inside `L2Serve`, retransmits inside a NoC hop).
+//!
+//! Spans must terminate even when the fabric fails: payloads
+//! irrecoverably discarded by a transport flow reset close with
+//! [`CloseReason::Dropped`], and requests destroyed by an L2 bank
+//! crash close with [`CloseReason::BankReset`]. The first terminal
+//! event wins; later closes are no-ops.
+//!
+//! Like the tracer ring, span state is deliberately **excluded from
+//! snapshots**: restoring mid-kernel restarts the observatory empty,
+//! while the sampling *decision* (a pure function of seed and the
+//! snapshotted access ordinal) stays deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use gtsc_trace::span::{CloseReason, HopKind, SpanTracker};
+//! use gtsc_types::{Cycle, SmId, SpanId};
+//!
+//! let t = SpanTracker::new(16);
+//! let id = SpanId::new(SmId(0), 1);
+//! t.open(id, Cycle(10));
+//! t.hop_enter(id, HopKind::NocReq, Cycle(12));
+//! t.hop_enter(id, HopKind::L2Serve, Cycle(15));
+//! t.hop_enter(id, HopKind::NocResp, Cycle(20));
+//! t.close(id, CloseReason::Completed, Cycle(23));
+//! let spans = t.spans();
+//! assert_eq!(spans[0].end_to_end(), Some(13));
+//! assert_eq!(spans[0].hop_total(), 13); // hops tile the lifetime
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use gtsc_types::{Cycle, SpanId};
+
+/// One stop on a span's journey through the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HopKind {
+    /// In the issuing L1: lookup, MSHR wait, retry backoff.
+    L1,
+    /// Request network (L1 → L2), including transport queueing.
+    NocReq,
+    /// At the L2 bank: queueing, tag lookup, miss handling.
+    L2Serve,
+    /// Response network (L2 → L1).
+    NocResp,
+    /// Back in the L1: fill/ack processing until warp completion.
+    L1Fill,
+    /// Overlay: time the L2 spent waiting on DRAM for this request
+    /// (contained within [`HopKind::L2Serve`]).
+    DramWait,
+    /// Overlay: a reliable-transport retransmission of this span's
+    /// payload (instantaneous marker inside a NoC hop).
+    Retransmit,
+}
+
+impl HopKind {
+    /// Overlay hops annotate a span but are excluded from the chain
+    /// tiling, so they never contribute to [`SpanRecord::hop_total`].
+    #[must_use]
+    pub fn is_overlay(self) -> bool {
+        matches!(self, HopKind::DramWait | HopKind::Retransmit)
+    }
+
+    /// Stable short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HopKind::L1 => "l1",
+            HopKind::NocReq => "noc_req",
+            HopKind::L2Serve => "l2_serve",
+            HopKind::NocResp => "noc_resp",
+            HopKind::L1Fill => "l1_fill",
+            HopKind::DramWait => "dram_wait",
+            HopKind::Retransmit => "retransmit",
+        }
+    }
+}
+
+impl fmt::Display for HopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a span terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloseReason {
+    /// The access completed back at its warp.
+    Completed,
+    /// The carrying payload was irrecoverably discarded by a transport
+    /// flow reset (lossy NoC + crash recovery).
+    Dropped,
+    /// An L2 bank crash destroyed the request mid-flight.
+    BankReset,
+}
+
+impl CloseReason {
+    /// Stable short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CloseReason::Completed => "completed",
+            CloseReason::Dropped => "dropped",
+            CloseReason::BankReset => "bank_reset",
+        }
+    }
+}
+
+impl fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the L2 served the sampled request (the G-TSC-specific
+/// classification: fresh grant vs data-less renewal vs expiry refetch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeClass {
+    /// Cold fill: a fresh lease grant with data.
+    Grant,
+    /// Data-less lease renewal (the wts matched).
+    Renewal,
+    /// Refetch after the L1's lease expired (a coherence miss).
+    ExpiredRefetch,
+}
+
+impl ServeClass {
+    /// Stable short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeClass::Grant => "grant",
+            ServeClass::Renewal => "renewal",
+            ServeClass::ExpiredRefetch => "expired_refetch",
+        }
+    }
+}
+
+/// One enter/exit interval within a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Which stage of the journey.
+    pub kind: HopKind,
+    /// Cycle the span entered this hop.
+    pub enter: Cycle,
+    /// Cycle the span left it; `None` only while the span is open (or,
+    /// for overlays, until the matching exit arrives).
+    pub exit: Option<Cycle>,
+}
+
+impl Hop {
+    /// The hop's duration in cycles; `0` while still open.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.exit.map_or(0, |e| e.0.saturating_sub(self.enter.0))
+    }
+}
+
+/// The full life of one sampled access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The sampled access's identity.
+    pub id: SpanId,
+    /// Cycle the access was issued (span opened).
+    pub opened: Cycle,
+    /// Terminal cycle and reason; `None` while in flight.
+    pub closed: Option<(Cycle, CloseReason)>,
+    /// Chain hops, in order; they tile `[opened, closed]` exactly.
+    pub hops: Vec<Hop>,
+    /// Overlay hops (DRAM wait, retransmits) — excluded from tiling.
+    pub overlays: Vec<Hop>,
+    /// How the L2 served the request, when it got that far.
+    pub serve: Option<ServeClass>,
+    /// The access merged into an existing L1 MSHR entry (it never
+    /// produced its own messages; the whole span stays in `L1`).
+    pub mshr_merged: bool,
+    /// Reliable-transport retransmissions of this span's payload.
+    pub retransmits: u32,
+}
+
+impl SpanRecord {
+    /// Issue-to-terminal latency in cycles; `None` while open.
+    #[must_use]
+    pub fn end_to_end(&self) -> Option<u64> {
+        self.closed.map(|(c, _)| c.0.saturating_sub(self.opened.0))
+    }
+
+    /// Sum of chain-hop durations — equals [`SpanRecord::end_to_end`]
+    /// for every closed span, by construction.
+    #[must_use]
+    pub fn hop_total(&self) -> u64 {
+        self.hops.iter().map(Hop::duration).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpanCore {
+    cap: usize,
+    spans: Vec<SpanRecord>,
+    index: HashMap<SpanId, usize>,
+    open: usize,
+    suppressed: u64,
+}
+
+impl SpanCore {
+    fn record_mut(&mut self, id: SpanId) -> Option<&mut SpanRecord> {
+        let i = *self.index.get(&id)?;
+        Some(&mut self.spans[i])
+    }
+}
+
+/// Cheap clonable handle to the shared span store; the default handle
+/// is disabled and every operation on it is a single branch.
+///
+/// Deterministic retention: the first `cap` *opened* spans are stored,
+/// later ones are counted in [`SpanTracker::suppressed`] — no
+/// randomness, so equal seeds give equal span sets.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracker {
+    core: Option<Rc<RefCell<SpanCore>>>,
+}
+
+impl SpanTracker {
+    /// A tracker retaining at most `cap` spans.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        SpanTracker {
+            core: Some(Rc::new(RefCell::new(SpanCore {
+                cap: cap.max(1),
+                ..SpanCore::default()
+            }))),
+        }
+    }
+
+    /// A tracker that records nothing (the hot-path default).
+    #[must_use]
+    pub fn disabled() -> Self {
+        SpanTracker { core: None }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// The deterministic sampling decision for one access: sample when
+    /// the seeded hash of `material` lands in the 1-in-`rate` residue
+    /// class. Pure — the same `(rate, seed, material)` always answers
+    /// the same, which is what makes spans snapshot/restore-safe.
+    #[must_use]
+    #[inline]
+    pub fn sampled(rate: u64, seed: u64, material: u64) -> bool {
+        rate > 0 && mix64(seed ^ material).is_multiple_of(rate)
+    }
+
+    /// Opens a span at `cycle`, implicitly entering its first chain
+    /// hop ([`HopKind::L1`]). No-op for [`SpanId::NONE`], duplicate
+    /// opens, or once the retention cap is reached (counted instead).
+    #[inline]
+    pub fn open(&self, id: SpanId, cycle: Cycle) {
+        // Outlined so the disabled-tracker fast path is a single
+        // inlined branch at every call site (no LTO in this
+        // workspace, so cross-crate calls only inline via
+        // `#[inline]`).
+        if self.core.is_some() {
+            self.open_enabled(id, cycle);
+        }
+    }
+
+    fn open_enabled(&self, id: SpanId, cycle: Cycle) {
+        let Some(core) = &self.core else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut c = core.borrow_mut();
+        if c.index.contains_key(&id) {
+            return;
+        }
+        if c.spans.len() >= c.cap {
+            c.suppressed += 1;
+            return;
+        }
+        let i = c.spans.len();
+        c.spans.push(SpanRecord {
+            id,
+            opened: cycle,
+            closed: None,
+            hops: vec![Hop {
+                kind: HopKind::L1,
+                enter: cycle,
+                exit: None,
+            }],
+            overlays: Vec::new(),
+            serve: None,
+            mshr_merged: false,
+            retransmits: 0,
+        });
+        c.index.insert(id, i);
+        c.open += 1;
+    }
+
+    /// Advances the span's chain into `kind` at `cycle`: the currently
+    /// open chain hop exits at the same cycle the new one enters, so
+    /// the chain stays gap-free. Overlay kinds are rejected (use
+    /// [`SpanTracker::overlay_enter`]); closed spans ignore the call.
+    #[inline]
+    pub fn hop_enter(&self, id: SpanId, kind: HopKind, cycle: Cycle) {
+        // Outlined so the disabled-tracker fast path is a single
+        // inlined branch at every call site (no LTO in this
+        // workspace, so cross-crate calls only inline via
+        // `#[inline]`).
+        if self.core.is_some() {
+            self.hop_enter_enabled(id, kind, cycle);
+        }
+    }
+
+    fn hop_enter_enabled(&self, id: SpanId, kind: HopKind, cycle: Cycle) {
+        let Some(core) = &self.core else { return };
+        if id.is_none() || kind.is_overlay() {
+            return;
+        }
+        let mut c = core.borrow_mut();
+        let Some(rec) = c.record_mut(id) else { return };
+        if rec.closed.is_some() {
+            return;
+        }
+        if let Some(last) = rec.hops.last_mut() {
+            last.exit = Some(cycle);
+        }
+        rec.hops.push(Hop {
+            kind,
+            enter: cycle,
+            exit: None,
+        });
+    }
+
+    /// Terminates the span at `cycle`, exiting the open chain hop and
+    /// any still-open overlays. The first terminal event wins — a
+    /// later `close` (e.g. a completion racing a bank-reset sweep) is
+    /// a no-op, so spans close *exactly* once.
+    #[inline]
+    pub fn close(&self, id: SpanId, reason: CloseReason, cycle: Cycle) {
+        // Outlined so the disabled-tracker fast path is a single
+        // inlined branch at every call site (no LTO in this
+        // workspace, so cross-crate calls only inline via
+        // `#[inline]`).
+        if self.core.is_some() {
+            self.close_enabled(id, reason, cycle);
+        }
+    }
+
+    fn close_enabled(&self, id: SpanId, reason: CloseReason, cycle: Cycle) {
+        let Some(core) = &self.core else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut c = core.borrow_mut();
+        let Some(rec) = c.record_mut(id) else { return };
+        if rec.closed.is_some() {
+            return;
+        }
+        if let Some(last) = rec.hops.last_mut() {
+            if last.exit.is_none() {
+                last.exit = Some(cycle);
+            }
+        }
+        for o in &mut rec.overlays {
+            if o.exit.is_none() {
+                o.exit = Some(cycle);
+            }
+        }
+        rec.closed = Some((cycle, reason));
+        c.open -= 1;
+    }
+
+    /// Starts an overlay interval (e.g. [`HopKind::DramWait`]) without
+    /// touching the chain.
+    #[inline]
+    pub fn overlay_enter(&self, id: SpanId, kind: HopKind, cycle: Cycle) {
+        // Outlined so the disabled-tracker fast path is a single
+        // inlined branch at every call site (no LTO in this
+        // workspace, so cross-crate calls only inline via
+        // `#[inline]`).
+        if self.core.is_some() {
+            self.overlay_enter_enabled(id, kind, cycle);
+        }
+    }
+
+    fn overlay_enter_enabled(&self, id: SpanId, kind: HopKind, cycle: Cycle) {
+        let Some(core) = &self.core else { return };
+        if id.is_none() || !kind.is_overlay() {
+            return;
+        }
+        let mut c = core.borrow_mut();
+        let Some(rec) = c.record_mut(id) else { return };
+        if rec.closed.is_some() {
+            return;
+        }
+        rec.overlays.push(Hop {
+            kind,
+            enter: cycle,
+            exit: None,
+        });
+    }
+
+    /// Ends the most recent still-open overlay of `kind`.
+    #[inline]
+    pub fn overlay_exit(&self, id: SpanId, kind: HopKind, cycle: Cycle) {
+        // Outlined so the disabled-tracker fast path is a single
+        // inlined branch at every call site (no LTO in this
+        // workspace, so cross-crate calls only inline via
+        // `#[inline]`).
+        if self.core.is_some() {
+            self.overlay_exit_enabled(id, kind, cycle);
+        }
+    }
+
+    fn overlay_exit_enabled(&self, id: SpanId, kind: HopKind, cycle: Cycle) {
+        let Some(core) = &self.core else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut c = core.borrow_mut();
+        let Some(rec) = c.record_mut(id) else { return };
+        if let Some(o) = rec
+            .overlays
+            .iter_mut()
+            .rev()
+            .find(|o| o.kind == kind && o.exit.is_none())
+        {
+            o.exit = Some(cycle);
+        }
+    }
+
+    /// Marks one reliable-transport retransmission of the span's
+    /// payload (an instantaneous [`HopKind::Retransmit`] overlay).
+    #[inline]
+    pub fn note_retransmit(&self, id: SpanId, cycle: Cycle) {
+        // Outlined so the disabled-tracker fast path is a single
+        // inlined branch at every call site (no LTO in this
+        // workspace, so cross-crate calls only inline via
+        // `#[inline]`).
+        if self.core.is_some() {
+            self.note_retransmit_enabled(id, cycle);
+        }
+    }
+
+    fn note_retransmit_enabled(&self, id: SpanId, cycle: Cycle) {
+        let Some(core) = &self.core else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut c = core.borrow_mut();
+        let Some(rec) = c.record_mut(id) else { return };
+        if rec.closed.is_some() {
+            return;
+        }
+        rec.retransmits += 1;
+        rec.overlays.push(Hop {
+            kind: HopKind::Retransmit,
+            enter: cycle,
+            exit: Some(cycle),
+        });
+    }
+
+    /// Records how the L2 served this request (first report wins).
+    #[inline]
+    pub fn note_serve(&self, id: SpanId, class: ServeClass) {
+        // Outlined so the disabled-tracker fast path is a single
+        // inlined branch at every call site (no LTO in this
+        // workspace, so cross-crate calls only inline via
+        // `#[inline]`).
+        if self.core.is_some() {
+            self.note_serve_enabled(id, class);
+        }
+    }
+
+    fn note_serve_enabled(&self, id: SpanId, class: ServeClass) {
+        let Some(core) = &self.core else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut c = core.borrow_mut();
+        if let Some(rec) = c.record_mut(id) {
+            if rec.serve.is_none() {
+                rec.serve = Some(class);
+            }
+        }
+    }
+
+    /// Marks the span as merged into an existing MSHR entry.
+    #[inline]
+    pub fn note_merged(&self, id: SpanId) {
+        // Outlined so the disabled-tracker fast path is a single
+        // inlined branch at every call site (no LTO in this
+        // workspace, so cross-crate calls only inline via
+        // `#[inline]`).
+        if self.core.is_some() {
+            self.note_merged_enabled(id);
+        }
+    }
+
+    fn note_merged_enabled(&self, id: SpanId) {
+        let Some(core) = &self.core else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut c = core.borrow_mut();
+        if let Some(rec) = c.record_mut(id) {
+            rec.mshr_merged = true;
+        }
+    }
+
+    /// A copy of every retained span, in open order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.core
+            .as_ref()
+            .map_or_else(Vec::new, |c| c.borrow().spans.clone())
+    }
+
+    /// Spans opened but not yet closed.
+    #[must_use]
+    pub fn open_count(&self) -> usize {
+        self.core.as_ref().map_or(0, |c| c.borrow().open)
+    }
+
+    /// Spans dropped by the retention cap.
+    #[must_use]
+    pub fn suppressed(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.borrow().suppressed)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer used for
+/// the sampling decision.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtsc_types::SmId;
+
+    fn id(n: u64) -> SpanId {
+        SpanId::new(SmId(1), n)
+    }
+
+    #[test]
+    fn disabled_tracker_is_inert() {
+        let t = SpanTracker::disabled();
+        t.open(id(1), Cycle(0));
+        t.hop_enter(id(1), HopKind::NocReq, Cycle(1));
+        t.close(id(1), CloseReason::Completed, Cycle(2));
+        assert!(!t.is_enabled());
+        assert!(t.spans().is_empty());
+        assert_eq!(t.open_count(), 0);
+    }
+
+    #[test]
+    fn chain_tiles_lifetime() {
+        let t = SpanTracker::new(8);
+        t.open(id(1), Cycle(100));
+        t.hop_enter(id(1), HopKind::NocReq, Cycle(104));
+        t.hop_enter(id(1), HopKind::L2Serve, Cycle(110));
+        t.hop_enter(id(1), HopKind::NocResp, Cycle(130));
+        t.hop_enter(id(1), HopKind::L1Fill, Cycle(134));
+        t.close(id(1), CloseReason::Completed, Cycle(136));
+        let s = &t.spans()[0];
+        assert_eq!(s.end_to_end(), Some(36));
+        assert_eq!(s.hop_total(), 36);
+        assert_eq!(s.hops.len(), 5);
+        assert_eq!(s.hops[0].kind, HopKind::L1);
+        assert_eq!(s.hops[0].duration(), 4);
+        assert_eq!(s.hops[2].duration(), 20);
+    }
+
+    #[test]
+    fn chain_self_heals_when_layers_skip() {
+        // A merged MSHR waiter produces no messages: the span never
+        // leaves L1, yet the sum still equals end-to-end.
+        let t = SpanTracker::new(8);
+        t.open(id(1), Cycle(10));
+        t.note_merged(id(1));
+        t.close(id(1), CloseReason::Completed, Cycle(55));
+        let s = &t.spans()[0];
+        assert!(s.mshr_merged);
+        assert_eq!(s.hops.len(), 1);
+        assert_eq!(s.hop_total(), 45);
+        assert_eq!(s.end_to_end(), Some(45));
+    }
+
+    #[test]
+    fn first_terminal_event_wins() {
+        let t = SpanTracker::new(8);
+        t.open(id(1), Cycle(0));
+        t.close(id(1), CloseReason::BankReset, Cycle(7));
+        t.close(id(1), CloseReason::Completed, Cycle(9));
+        t.hop_enter(id(1), HopKind::NocResp, Cycle(9));
+        let s = &t.spans()[0];
+        assert_eq!(s.closed, Some((Cycle(7), CloseReason::BankReset)));
+        assert_eq!(s.hops.len(), 1, "post-close hops are ignored");
+        assert_eq!(t.open_count(), 0);
+    }
+
+    #[test]
+    fn overlays_do_not_count_toward_tiling() {
+        let t = SpanTracker::new(8);
+        t.open(id(1), Cycle(0));
+        t.hop_enter(id(1), HopKind::L2Serve, Cycle(5));
+        t.overlay_enter(id(1), HopKind::DramWait, Cycle(6));
+        t.overlay_exit(id(1), HopKind::DramWait, Cycle(26));
+        t.note_retransmit(id(1), Cycle(8));
+        t.close(id(1), CloseReason::Completed, Cycle(30));
+        let s = &t.spans()[0];
+        assert_eq!(s.hop_total(), 30);
+        assert_eq!(s.overlays.len(), 2);
+        assert_eq!(s.overlays[0].duration(), 20);
+        assert_eq!(s.retransmits, 1);
+    }
+
+    #[test]
+    fn open_overlays_are_closed_with_the_span() {
+        let t = SpanTracker::new(8);
+        t.open(id(1), Cycle(0));
+        t.overlay_enter(id(1), HopKind::DramWait, Cycle(3));
+        t.close(id(1), CloseReason::BankReset, Cycle(11));
+        let s = &t.spans()[0];
+        assert_eq!(s.overlays[0].exit, Some(Cycle(11)));
+    }
+
+    #[test]
+    fn cap_is_deterministic_first_n() {
+        let t = SpanTracker::new(2);
+        for n in 1..=5 {
+            t.open(id(n), Cycle(n));
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].id, id(1));
+        assert_eq!(spans[1].id, id(2));
+        assert_eq!(t.suppressed(), 3);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_seed_sensitive() {
+        let picks = |seed: u64| -> Vec<u64> {
+            (0..2000)
+                .filter(|&m| SpanTracker::sampled(16, seed, m))
+                .collect()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+        assert!(!picks(7).is_empty());
+        assert!(!SpanTracker::sampled(0, 7, 3), "rate 0 disables");
+        assert!(SpanTracker::sampled(1, 7, 3), "rate 1 samples all");
+    }
+
+    #[test]
+    fn clones_share_one_core() {
+        let t = SpanTracker::new(8);
+        let u = t.clone();
+        t.open(id(1), Cycle(0));
+        u.close(id(1), CloseReason::Dropped, Cycle(4));
+        assert_eq!(t.spans()[0].closed, Some((Cycle(4), CloseReason::Dropped)));
+    }
+}

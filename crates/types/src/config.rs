@@ -430,6 +430,19 @@ pub struct TraceConfig {
     /// When `Some((lo, hi))`, keep only events touching a block address
     /// in `lo..=hi` (events without a block always pass).
     pub block_range: Option<(u64, u64)>,
+    /// Causal-span sampling rate: sample roughly 1-in-`span_rate`
+    /// memory accesses (seeded hash, deterministic per seed); `0`
+    /// disables spans entirely (the default, zero-cost fast path).
+    /// Spans are orthogonal to `mode` — they work even with
+    /// `TraceMode::Off`.
+    pub span_rate: u64,
+    /// Seed mixed into span-sampling decisions so different seeds pick
+    /// different (but reproducible) access subsets.
+    pub span_seed: u64,
+    /// Retain at most this many completed spans (deterministic
+    /// first-opened-first-retained; later spans are counted but not
+    /// stored). Bounds observatory memory on long runs.
+    pub span_cap: usize,
 }
 
 impl Default for TraceConfig {
@@ -441,6 +454,9 @@ impl Default for TraceConfig {
             class_mask: u16::MAX,
             sm_filter: None,
             block_range: None,
+            span_rate: 0,
+            span_seed: 0,
+            span_cap: 4096,
         }
     }
 }
@@ -505,6 +521,29 @@ impl TraceConfig {
     pub fn with_flight_capacity(mut self, events: usize) -> Self {
         self.flight_capacity = events;
         self
+    }
+
+    /// Returns the config with causal-span sampling enabled: roughly
+    /// 1-in-`rate` memory accesses (deterministic per `seed`) carry a
+    /// [`crate::SpanId`] end-to-end. `rate = 0` disables spans.
+    #[must_use]
+    pub fn with_spans(mut self, rate: u64, seed: u64) -> Self {
+        self.span_rate = rate;
+        self.span_seed = seed;
+        self
+    }
+
+    /// Returns the config with the retained-span cap set.
+    #[must_use]
+    pub fn with_span_cap(mut self, cap: usize) -> Self {
+        self.span_cap = cap;
+        self
+    }
+
+    /// Whether causal-span sampling is on.
+    #[must_use]
+    pub fn spans_enabled(&self) -> bool {
+        self.span_rate > 0
     }
 }
 

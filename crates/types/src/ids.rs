@@ -51,6 +51,70 @@ impl GlobalWarpId {
     }
 }
 
+/// Identity of one *sampled* memory access, carried end-to-end inside
+/// protocol messages so the latency observatory (DESIGN.md §15) can tie
+/// together every hop a request takes. `SpanId::NONE` (the zero value,
+/// also the `Default`) marks the unsampled fast path: components test
+/// `is_none()` and skip all span work.
+///
+/// The id packs the issuing SM in the top 16 bits and that SM's access
+/// ordinal in the low 48, so ids are unique per run and deterministic
+/// per seed without any cross-SM coordination.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::{SmId, SpanId};
+/// assert!(SpanId::NONE.is_none());
+/// let s = SpanId::new(SmId(3), 42);
+/// assert!(!s.is_none());
+/// assert_eq!(s.sm(), SmId(3));
+/// assert_eq!(s.to_string(), "span3.42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "not sampled" sentinel carried by the unsampled fast path.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Builds the id for SM `sm`'s `ordinal`-th access. `ordinal` must
+    /// be nonzero (access counters in this codebase are pre-incremented)
+    /// so the packed value can never collide with [`SpanId::NONE`].
+    #[must_use]
+    pub fn new(sm: SmId, ordinal: u64) -> SpanId {
+        SpanId((sm.0 as u64) << 48 | (ordinal & ((1 << 48) - 1)))
+    }
+
+    /// True for the unsampled sentinel.
+    #[must_use]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The SM that issued the sampled access.
+    #[must_use]
+    pub fn sm(self) -> SmId {
+        SmId((self.0 >> 48) as u16)
+    }
+
+    /// The issuing SM's access ordinal.
+    #[must_use]
+    pub fn ordinal(self) -> u64 {
+        self.0 & ((1 << 48) - 1)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "span-none")
+        } else {
+            write!(f, "span{}.{}", self.sm().0, self.ordinal())
+        }
+    }
+}
+
 macro_rules! impl_display {
     ($($ty:ident => $prefix:literal),* $(,)?) => {
         $(impl fmt::Display for $ty {

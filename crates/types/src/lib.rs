@@ -32,13 +32,14 @@ pub use config::{
     NocConfig, NocTopology, PagePolicy, ProtocolKind, TraceConfig, TraceMode, TransportConfig,
     VisibilityPolicy, WarpScheduler,
 };
-pub use ids::{BankId, CtaId, GlobalWarpId, KernelId, LaneId, SmId, WarpId};
+pub use ids::{BankId, CtaId, GlobalWarpId, KernelId, LaneId, SmId, SpanId, WarpId};
 pub use snap::{
     crc32, Snap, SnapReader, SnapWriter, SnapshotBuilder, SnapshotError, SnapshotFile, SNAP_MAGIC,
     SNAP_VERSION,
 };
 pub use stats::{
-    CacheStats, DramStats, LatencyHist, NocStats, SimStats, SmStats, StallKind, TransportStats,
+    CacheStats, CycleBuckets, CycleReason, DramStats, LatencyHist, NocStats, SimStats, SmStats,
+    StallKind, TransportStats,
 };
 pub use time::{Cycle, Lease, Timestamp};
 pub use value::Version;

@@ -603,6 +603,7 @@ snap_newtype_u64!(
     crate::Addr,
     crate::BlockAddr,
     crate::Version,
+    crate::SpanId,
 );
 
 macro_rules! snap_newtype_small {

@@ -21,6 +21,122 @@ pub enum StallKind {
     Structural,
 }
 
+/// Top-down attribution of one simulated SM-cycle (DESIGN.md §15).
+///
+/// Every cycle of every SM lands in exactly one bucket, so the per-SM
+/// [`CycleBuckets`] sum exactly to the elapsed cycle count — the
+/// invariant the sanitizer and `tests/spans.rs` assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleReason {
+    /// The SM issued at least one instruction this cycle.
+    Issue,
+    /// All issuable warps were blocked behind a lease-expired refetch
+    /// (a G-TSC coherence miss in flight).
+    LeaseExpiredWait,
+    /// The L1 MSHR file was full, rejecting new misses.
+    MshrFull,
+    /// Requests were queued awaiting NoC injection bandwidth.
+    NocBackpressure,
+    /// Waiting on the memory system below the NoC (L2 miss / DRAM).
+    DramWait,
+    /// Stalled by a §V-D timestamp-rollover epoch freeze.
+    RolloverFreeze,
+    /// No resident warps (or nothing to do).
+    Idle,
+}
+
+impl CycleReason {
+    /// All reasons, in bucket-index order.
+    pub const ALL: [CycleReason; 7] = [
+        CycleReason::Issue,
+        CycleReason::LeaseExpiredWait,
+        CycleReason::MshrFull,
+        CycleReason::NocBackpressure,
+        CycleReason::DramWait,
+        CycleReason::RolloverFreeze,
+        CycleReason::Idle,
+    ];
+
+    /// Stable short name, used in folded-flamegraph and Prometheus output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleReason::Issue => "issue",
+            CycleReason::LeaseExpiredWait => "lease_expired_wait",
+            CycleReason::MshrFull => "mshr_full",
+            CycleReason::NocBackpressure => "noc_backpressure",
+            CycleReason::DramWait => "dram_wait",
+            CycleReason::RolloverFreeze => "rollover_freeze",
+            CycleReason::Idle => "idle",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CycleReason::Issue => 0,
+            CycleReason::LeaseExpiredWait => 1,
+            CycleReason::MshrFull => 2,
+            CycleReason::NocBackpressure => 3,
+            CycleReason::DramWait => 4,
+            CycleReason::RolloverFreeze => 5,
+            CycleReason::Idle => 6,
+        }
+    }
+}
+
+/// Per-[`CycleReason`] cycle counts for one SM.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_types::{CycleBuckets, CycleReason};
+/// let mut b = CycleBuckets::default();
+/// b.record(CycleReason::Issue);
+/// b.record(CycleReason::DramWait);
+/// assert_eq!(b.get(CycleReason::Issue), 1);
+/// assert_eq!(b.sum(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBuckets {
+    counts: [u64; 7],
+}
+
+impl CycleBuckets {
+    /// Attributes one cycle to `reason`.
+    pub fn record(&mut self, reason: CycleReason) {
+        self.counts[reason.index()] += 1;
+    }
+
+    /// Cycles attributed to `reason`.
+    #[must_use]
+    pub fn get(&self, reason: CycleReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Total cycles attributed — must equal elapsed cycles.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds `rhs` into `self`.
+    pub fn merge(&mut self, rhs: &CycleBuckets) {
+        for (a, b) in self.counts.iter_mut().zip(rhs.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Bucket-wise `self - rhs` (saturating), for interval deltas.
+    #[must_use]
+    pub fn diff(&self, rhs: &CycleBuckets) -> CycleBuckets {
+        let mut out = *self;
+        for (a, b) in out.counts.iter_mut().zip(rhs.counts.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        out
+    }
+}
+
 /// A log2-bucketed latency histogram (bucket *i* counts samples in
 /// `[2^i, 2^(i+1))` cycles, except bucket 0 = `[0, 2)` and the last
 /// bucket absorbs everything larger).
@@ -147,6 +263,26 @@ impl LatencyHist {
         out.sum = self.sum.saturating_sub(rhs.sum);
         out
     }
+
+    /// Raw bucket counts (bucket *i* covers `[2^i, 2^(i+1))`, bucket 0
+    /// covers `[0, 2)`), for exposition formats that need the shape.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; 20] {
+        &self.buckets
+    }
+
+    /// Exact sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Upper edge of bucket `i` as a plain integer (`2^(i+1)`), the
+    /// `le=` boundary used when rendering Prometheus histograms.
+    #[must_use]
+    pub fn bucket_upper_edge(i: usize) -> u64 {
+        1u64 << (i + 1).min(63)
+    }
 }
 
 /// Per-SM pipeline counters.
@@ -170,6 +306,9 @@ pub struct SmStats {
     pub active_cycles: u64,
     /// Histogram of memory-access latencies (issue → completion).
     pub mem_latency: LatencyHist,
+    /// Top-down attribution of every simulated cycle (DESIGN.md §15);
+    /// sums exactly to the elapsed cycle count.
+    pub cycle_buckets: CycleBuckets,
 }
 
 impl SmStats {
@@ -184,6 +323,7 @@ impl SmStats {
         self.idle_cycles += rhs.idle_cycles;
         self.active_cycles += rhs.active_cycles;
         self.mem_latency.merge(&rhs.mem_latency);
+        self.cycle_buckets.merge(&rhs.cycle_buckets);
     }
 
     /// Records one stalled warp-cycle of the given kind.
@@ -227,6 +367,7 @@ impl SmStats {
             idle_cycles: self.idle_cycles.saturating_sub(rhs.idle_cycles),
             active_cycles: self.active_cycles.saturating_sub(rhs.active_cycles),
             mem_latency: self.mem_latency.diff(&rhs.mem_latency),
+            cycle_buckets: self.cycle_buckets.diff(&rhs.cycle_buckets),
         }
     }
 }
@@ -497,6 +638,10 @@ impl DramStats {
 pub struct SimStats {
     /// Total execution time.
     pub cycles: Cycle,
+    /// Simulated steps covered by cycle accounting; every entry of
+    /// `per_sm[i].cycle_buckets` sums to exactly this value. Zero for
+    /// producers that predate cycle accounting.
+    pub accounted_cycles: u64,
     /// Merged SM pipeline counters.
     pub sm: SmStats,
     /// Merged private-L1 counters.
@@ -544,6 +689,7 @@ impl SimStats {
         }
         SimStats {
             cycles: Cycle(self.cycles.0.saturating_sub(rhs.cycles.0)),
+            accounted_cycles: self.accounted_cycles.saturating_sub(rhs.accounted_cycles),
             sm: self.sm.diff(&rhs.sm),
             l1: self.l1.diff(&rhs.l1),
             l2: self.l2.diff(&rhs.l2),
@@ -574,6 +720,17 @@ impl crate::snap::Snap for LatencyHist {
     }
 }
 
+impl crate::snap::Snap for CycleBuckets {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        crate::snap::Snap::save(&self.counts, w);
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapshotError> {
+        Ok(CycleBuckets {
+            counts: crate::snap::Snap::load(r)?,
+        })
+    }
+}
+
 crate::snap_fields!(SmStats {
     issued,
     mem_issued,
@@ -584,6 +741,7 @@ crate::snap_fields!(SmStats {
     idle_cycles,
     active_cycles,
     mem_latency,
+    cycle_buckets,
 });
 
 crate::snap_fields!(CacheStats {
@@ -634,6 +792,7 @@ crate::snap_fields!(DramStats {
 
 crate::snap_fields!(SimStats {
     cycles,
+    accounted_cycles,
     sm,
     l1,
     l2,
@@ -824,6 +983,37 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 3);
         assert!(h.percentile(1.0) >= h.percentile(0.01));
+    }
+
+    #[test]
+    fn cycle_buckets_record_merge_diff() {
+        let mut b = CycleBuckets::default();
+        for r in CycleReason::ALL {
+            b.record(r);
+        }
+        b.record(CycleReason::Issue);
+        assert_eq!(b.get(CycleReason::Issue), 2);
+        assert_eq!(b.sum(), 8);
+        let snapshot = b;
+        b.merge(&snapshot);
+        assert_eq!(b.sum(), 16);
+        let d = b.diff(&snapshot);
+        assert_eq!(d, snapshot, "diff recovers the interval");
+        assert_eq!(snapshot.diff(&b).sum(), 0, "diff saturates");
+        // Names are distinct and stable (they appear in output formats).
+        let names: std::collections::BTreeSet<_> =
+            CycleReason::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), CycleReason::ALL.len());
+    }
+
+    #[test]
+    fn latency_hist_exposes_buckets() {
+        let mut h = LatencyHist::default();
+        h.record(3); // bucket 1: [2, 4)
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.sum(), 3);
+        assert_eq!(LatencyHist::bucket_upper_edge(0), 2);
+        assert_eq!(LatencyHist::bucket_upper_edge(3), 16);
     }
 
     #[test]

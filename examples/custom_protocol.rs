@@ -77,6 +77,7 @@ impl L1Controller for EpochFlushL1 {
                             wts: Timestamp(0),
                             warp_ts: Timestamp(0),
                             epoch: 0,
+                            span: acc.span,
                         }));
                         L1Outcome::Queued
                     }
@@ -99,6 +100,7 @@ impl L1Controller for EpochFlushL1 {
                     warp_ts: Timestamp(0),
                     version,
                     epoch: 0,
+                    span: acc.span,
                 };
                 self.out.push_back(if acc.kind == AccessKind::Atomic {
                     L1ToL2::Atomic(req)

@@ -10,7 +10,9 @@ use gtsc::protocol::{
     AccessId, AccessKind, Completion, L1Controller, L1Outcome, L2Controller, MemAccess,
 };
 use gtsc::sim::{build_l1, build_l2};
-use gtsc::types::{BlockAddr, ConsistencyModel, Cycle, GpuConfig, ProtocolKind, Version, WarpId};
+use gtsc::types::{
+    BlockAddr, ConsistencyModel, Cycle, GpuConfig, ProtocolKind, SpanId, Version, WarpId,
+};
 
 /// One L1 wired to one L2 bank through delayed in-order channels, with
 /// DRAM resolved after a fixed latency.
@@ -52,6 +54,7 @@ impl Pair {
             warp: WarpId(warp),
             kind,
             block: BlockAddr(block),
+            span: SpanId::NONE,
         };
         let outcome = self.l1.access(acc, self.now);
         if let L1Outcome::Hit(c) = outcome {

@@ -19,7 +19,7 @@ use gtsc::protocol::msg::L1ToL2;
 use gtsc::protocol::{
     AccessId, AccessKind, Completion, L1Controller, L1Outcome, L2Controller, MemAccess,
 };
-use gtsc::types::{BlockAddr, Cycle, Lease, Timestamp, Version, WarpId};
+use gtsc::types::{BlockAddr, Cycle, Lease, SpanId, Timestamp, Version, WarpId};
 
 const X: BlockAddr = BlockAddr(0);
 const Y: BlockAddr = BlockAddr(1);
@@ -62,6 +62,7 @@ impl Rig {
             warp: WarpId(0),
             kind,
             block,
+            span: SpanId::NONE,
         };
         match self.l1[sm].access(acc, self.now) {
             L1Outcome::Hit(c) => return c,
@@ -178,6 +179,7 @@ fn self_assert_hit(rig: &mut Rig, sm: usize, block: BlockAddr, want: Version, ts
         warp: WarpId(0),
         kind: AccessKind::Load,
         block,
+        span: SpanId::NONE,
     };
     match rig.l1[sm].access(acc, rig.now) {
         L1Outcome::Hit(c) => {
