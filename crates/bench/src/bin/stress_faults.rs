@@ -18,9 +18,16 @@
 //! arms the reliable-transport layer. `FAULT_SEED` repros compose with
 //! it — the failure line prints the exact flag combination to replay.
 //!
-//! Exits nonzero if any run produced a checker violation, stalled, or hit
-//! the cycle limit.
+//! Every storm's flight-recorder tail is additionally swept by the
+//! happens-before race oracle's trace-tier scan
+//! ([`gtsc_check::scan_trace`]) — an ordering check independent of the
+//! online sanitizer, so a storm that perturbs timing into an ordering
+//! bug is caught even when every transition invariant still holds.
+//!
+//! Exits nonzero if any run produced a checker violation, a race-oracle
+//! finding, stalled, or hit the cycle limit.
 
+use gtsc_check::scan_trace;
 use gtsc_faults::FaultStats;
 use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
 use gtsc_sim::GpuSim;
@@ -186,7 +193,24 @@ fn run_one(
         .with_trace(TraceConfig::flight());
     let mut sim = GpuSim::new(cfg);
     let failure = match sim.run_kernel(&sc.kernel) {
-        Ok(report) if report.violations.is_empty() => None,
+        Ok(report) if report.violations.is_empty() => {
+            // Sanitizer-clean is necessary, not sufficient: sweep the
+            // flight-recorder tail with the independent ordering oracle.
+            let races = scan_trace(&report.trace_tail);
+            if races.is_clean() {
+                None
+            } else {
+                let mut why = format!(
+                    "race oracle flagged {} distinct ordering finding(s) in the trace tail:",
+                    races.findings.len()
+                );
+                for l in races.lines() {
+                    why.push_str(&format!("\n    {l}"));
+                }
+                why.push_str(&format!("\n  {}", hotspots(&report.stats)));
+                Some(why)
+            }
+        }
         Ok(report) => {
             let mut why = format!(
                 "{} violation(s): {:?}",

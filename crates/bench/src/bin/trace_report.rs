@@ -11,14 +11,19 @@
 //! `--lint` additionally runs the declarative trace lints from
 //! `gtsc-check` over the collected event log and exits nonzero on any
 //! sanitizer violation or error-severity lint finding, making this the
-//! CI sanitize-smoke as well as the worked tracing example.
+//! CI sanitize-smoke as well as the worked tracing example. `--races`
+//! runs the happens-before race oracle's trace-tier scan
+//! ([`gtsc_check::scan_trace`]) over the same log and exits nonzero on
+//! any ordering finding.
 //!
 //! Run: `cargo run --release -p gtsc-bench --bin trace_report
-//!       [-- --chrome trace.json] [-- --lines trace.txt] [-- --lint]`
+//!       [-- --chrome trace.json] [-- --lines trace.txt] [-- --lint]
+//!       [-- --races]`
 
 use std::collections::BTreeMap;
 
 use gtsc_check::lint::lint_events;
+use gtsc_check::scan_trace;
 use gtsc_sim::GpuSim;
 use gtsc_trace::to_lines;
 use gtsc_types::{ConsistencyModel, GpuConfig, ProtocolKind, TraceConfig};
@@ -122,10 +127,24 @@ fn main() {
             lint.errors(),
             lint.warnings()
         );
-        for f in &lint.findings {
-            println!("  {f}");
+        for l in lint.lines() {
+            println!("  {l}");
         }
         if lint.errors() > 0 {
+            std::process::exit(1);
+        }
+    }
+    if std::env::args().any(|a| a == "--races") {
+        let races = scan_trace(&events);
+        println!(
+            "\nrace oracle (trace tier): {} event(s) scanned, {} distinct finding(s)",
+            races.events,
+            races.findings.len()
+        );
+        for l in races.lines() {
+            println!("  {l}");
+        }
+        if !races.is_clean() {
             std::process::exit(1);
         }
     }

@@ -4,11 +4,13 @@
 //! the real `GtscL1`/`GtscL2` controllers and the operational reference
 //! model, printing per-shape schedule counts and outcome sets. Exits
 //! nonzero if any shape fails soundness (`impl ⊆ spec`), shows a
-//! forbidden outcome, misses a required outcome, or trips the
-//! transition sanitizer on any schedule.
+//! forbidden outcome, misses a required outcome, trips the transition
+//! sanitizer, or is flagged by the happens-before race oracle on any
+//! schedule. `--races` prints the oracle's verdict per shape even when
+//! clean.
 //!
 //! ```text
-//! model_check [--verbose] [--max-schedules N]
+//! model_check [--verbose] [--races] [--max-schedules N]
 //! ```
 
 use gtsc_check::litmus::{all_litmus, run_litmus};
@@ -25,6 +27,7 @@ fn arg_value(name: &str) -> Option<String> {
 
 fn main() {
     let verbose = std::env::args().any(|a| a == "--verbose");
+    let races = std::env::args().any(|a| a == "--races");
     let max_schedules = arg_value("--max-schedules").map_or(1_000_000, |v| {
         v.parse().expect("--max-schedules takes a number")
     });
@@ -43,6 +46,16 @@ fn main() {
                     "UNEXPLAINED"
                 };
                 println!("    {tag} {o:?}");
+            }
+        }
+        if races {
+            if r.race_findings.is_empty() {
+                println!("    race oracle: clean on every schedule");
+            } else {
+                println!(
+                    "    race oracle: {} distinct finding(s)",
+                    r.race_findings.len()
+                );
             }
         }
         if !r.ok() {
@@ -64,6 +77,9 @@ fn main() {
             }
             for v in &r.sanitizer_violations {
                 println!("    FAIL: {v}");
+            }
+            for f in &r.race_findings {
+                println!("    FAIL: race oracle: {f}");
             }
         }
     }

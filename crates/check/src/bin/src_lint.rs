@@ -1,21 +1,48 @@
-//! Source lints for the protocol crates (see
-//! [`gtsc_check::srclint`]): raw timestamp arithmetic outside
-//! `gtsc_core::rules`, and `unwrap()`/`panic!` in the core, simulator,
-//! and NoC crates. Exits nonzero when anything fires.
+//! Source lints for the protocol crates. The default engine is the
+//! token-level linter in [`gtsc_lint`] (span-accurate, string/comment
+//! aware, plus the determinism rules `hash-iter` / `std-time` /
+//! `unseeded-rng` / `thread-id`); `--legacy` falls back to the original
+//! line-regex engine in [`gtsc_check::srclint`] during the migration.
+//! Output format and exit codes are identical for both engines: one
+//! `file:line: [rule] snippet` line per finding, then a one-line
+//! summary; exit 1 when anything fires, 2 when a whitelisted directory
+//! cannot be scanned. `--spans` adds the column and rationale to each
+//! finding (token engine only).
 //!
 //! ```text
-//! src_lint [repo-root]      # default: current directory
+//! src_lint [--legacy] [--spans] [repo-root]   # default root: current directory
 //! ```
 
 use std::path::PathBuf;
 
 use gtsc_check::srclint::lint_sources;
+use gtsc_lint::lint_tree;
 
 fn main() {
-    let root = std::env::args()
-        .nth(1)
-        .map_or_else(|| PathBuf::from("."), PathBuf::from);
-    match lint_sources(&root) {
+    let mut legacy = false;
+    let mut spans = false;
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--legacy" => legacy = true,
+            "--spans" => spans = true,
+            _ => root = PathBuf::from(arg),
+        }
+    }
+
+    // Both engines print findings in the same `file:line: [rule] snippet`
+    // format, so CI's contract is engine-independent.
+    let rendered: Result<Vec<String>, std::io::Error> = if legacy {
+        lint_sources(&root).map(|fs| fs.iter().map(ToString::to_string).collect())
+    } else {
+        lint_tree(&root).map(|ds| {
+            ds.iter()
+                .map(|d| if spans { d.spanned() } else { d.to_string() })
+                .collect()
+        })
+    };
+
+    match rendered {
         Ok(findings) if findings.is_empty() => {
             println!("src_lint: clean");
         }

@@ -22,11 +22,15 @@
 //! Every run executes with an enabled [`Sanitizer`] shared across all
 //! components; its violations are part of the run's outcome, so a
 //! transition-invariant breach on *any* schedule fails the litmus test.
+//! Independently, every message handed over and every retired access is
+//! fed to a [`RaceOracle`], whose findings are also part of the outcome
+//! — the oracle derives ordering from message causality alone, so it
+//! cross-examines the timestamps rather than trusting them.
 
 use std::collections::BTreeMap;
 
-use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params};
-use gtsc_protocol::msg::Epoch;
+use gtsc_core::{GtscL1, GtscL2, L1Params, L2Params, ProtocolMutation};
+use gtsc_protocol::msg::{Epoch, L2ToL1, LeaseInfo};
 use gtsc_protocol::{
     AccessId, AccessKind, Completion, L1Controller, L1Outcome, L2Controller, MemAccess,
 };
@@ -35,6 +39,7 @@ use gtsc_types::{BlockAddr, Cycle, Lease, Version, WarpId};
 
 use crate::explore::Schedulable;
 use crate::litmus::Op;
+use crate::races::{RaceEventKind, RaceOracle, RaceReport, RespMeta};
 
 /// Iteration guard for one L2 serve pump; generously above the bank
 /// latency plus a rollover round.
@@ -57,6 +62,9 @@ pub struct HarnessCfg {
     /// retry racing its original. The protocol must stay idempotent
     /// under duplicated reads, stores, and their doubled responses.
     pub duplicate_serves: bool,
+    /// Seeded protocol mutant to run the controllers with (test-only;
+    /// used to validate that the race oracle actually detects bugs).
+    pub mutation: ProtocolMutation,
 }
 
 impl Default for HarnessCfg {
@@ -66,6 +74,7 @@ impl Default for HarnessCfg {
             ts_bits: 16,
             crash_after_serves: None,
             duplicate_serves: false,
+            mutation: ProtocolMutation::None,
         }
     }
 }
@@ -96,6 +105,10 @@ pub struct MicroGtsc {
     /// Whether every serve is delivered twice
     /// ([`HarnessCfg::duplicate_serves`]).
     duplicate: bool,
+    /// Independent ordering checker fed from the message stream.
+    oracle: RaceOracle,
+    /// Unique id source for oracle send/receive causality edges.
+    next_msg: u64,
 }
 
 impl MicroGtsc {
@@ -113,6 +126,7 @@ impl MicroGtsc {
                     ..L1Params::default()
                 });
                 l1.set_sanitizer(sanitizer.for_scope(Scope::Sm(t as u16)));
+                l1.set_mutation(cfg.mutation);
                 l1
             })
             .collect();
@@ -123,6 +137,7 @@ impl MicroGtsc {
             ..L2Params::default()
         });
         l2.set_sanitizer(sanitizer.for_scope(Scope::L2Bank(0)));
+        l2.set_mutation(cfg.mutation);
         let mut m = MicroGtsc {
             l1s,
             l2,
@@ -137,6 +152,8 @@ impl MicroGtsc {
             serves: 0,
             crash_after: cfg.crash_after_serves,
             duplicate: cfg.duplicate_serves,
+            oracle: RaceOracle::new(),
+            next_msg: 0,
         };
         m.auto_issue();
         m
@@ -155,6 +172,12 @@ impl MicroGtsc {
     #[must_use]
     pub fn sanitizer_violations(&self) -> Vec<String> {
         self.sanitizer.violations()
+    }
+
+    /// The race oracle's verdict over everything observed so far.
+    #[must_use]
+    pub fn race_report(&self) -> RaceReport {
+        self.oracle.report()
     }
 
     /// Load observations recorded so far (load id → label).
@@ -224,6 +247,8 @@ impl MicroGtsc {
             self.crash_after = None;
             self.now.0 += 1;
             self.l2.crash(self.now);
+            self.oracle
+                .observe(self.now, Scope::L2Bank(0), RaceEventKind::Crash);
             if self.l2.needs_reset() {
                 self.epoch += 1;
                 self.l2.apply_reset(self.epoch);
@@ -233,10 +258,31 @@ impl MicroGtsc {
             .take_request()
             .expect("outstanding thread has a queued request");
         self.now.0 += 1;
+        let sm = Scope::Sm(t as u16);
+        let msg = self.next_msg;
+        self.next_msg += 1;
+        self.oracle.observe(
+            self.now,
+            sm,
+            RaceEventKind::Send {
+                dst: Scope::L2Bank(0),
+                msg,
+            },
+        );
+        self.oracle.observe(
+            self.now,
+            Scope::L2Bank(0),
+            RaceEventKind::Recv { src: sm, msg },
+        );
         self.l2.on_request(t, req, self.now);
         if self.duplicate {
             // An end-to-end retry racing its original: the bank sees the
             // byte-identical request twice and must stay idempotent.
+            self.oracle.observe(
+                self.now,
+                Scope::L2Bank(0),
+                RaceEventKind::Recv { src: sm, msg },
+            );
             self.l2.on_request(t, req, self.now);
         }
         let mut pumped = 0u32;
@@ -258,6 +304,7 @@ impl MicroGtsc {
             let mut delivered = false;
             while let Some((dst, msg)) = self.l2.take_response() {
                 delivered = true;
+                self.observe_response(dst, msg);
                 let done = self.l1s[dst].on_response(msg, self.now);
                 for c in done {
                     self.record(dst, &c);
@@ -285,6 +332,7 @@ impl MicroGtsc {
                     self.l2.apply_reset(self.epoch);
                 }
                 while let Some((dst, msg)) = self.l2.take_response() {
+                    self.observe_response(dst, msg);
                     let done = self.l1s[dst].on_response(msg, self.now);
                     for c in done {
                         self.record(dst, &c);
@@ -295,9 +343,86 @@ impl MicroGtsc {
         self.auto_issue();
     }
 
+    /// Feeds one L2→L1 response to the oracle: a grant at the bank, a
+    /// send/receive causality edge, and an install at the consuming SM.
+    /// The oracle applies the L1's epoch-gating itself, so stale-epoch
+    /// responses dropped by the L1 are dropped here too.
+    fn observe_response(&mut self, dst: usize, resp: L2ToL1) {
+        fn logical(lease: LeaseInfo) -> Option<(u64, u64)> {
+            match lease {
+                LeaseInfo::Logical { wts, rts } => Some((wts.0, rts.0)),
+                LeaseInfo::Physical { .. } | LeaseInfo::None => None,
+            }
+        }
+        let meta = match resp {
+            L2ToL1::Fill(f) => logical(f.lease).map(|(wts, rts)| RespMeta::Fill {
+                block: f.block,
+                version: f.version.0,
+                wts,
+                rts,
+                epoch: f.epoch,
+            }),
+            L2ToL1::Renew {
+                block,
+                lease,
+                epoch,
+                ..
+            } => logical(lease).map(|(wts, rts)| RespMeta::Renew {
+                block,
+                wts,
+                rts,
+                epoch,
+            }),
+            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+                logical(a.lease).map(|(wts, rts)| RespMeta::WriteAck {
+                    block: a.block,
+                    version: a.version.0,
+                    wts,
+                    rts,
+                    epoch: a.epoch,
+                })
+            }
+            L2ToL1::Invalidate { .. } => None,
+        };
+        let Some(meta) = meta else { return };
+        let bank = Scope::L2Bank(0);
+        let sm = Scope::Sm(u16::try_from(dst).expect("SM index fits"));
+        let msg = self.next_msg;
+        self.next_msg += 1;
+        self.oracle
+            .observe(self.now, bank, RaceEventKind::Grant(meta));
+        self.oracle
+            .observe(self.now, bank, RaceEventKind::Send { dst: sm, msg });
+        self.oracle
+            .observe(self.now, sm, RaceEventKind::Recv { src: bank, msg });
+        self.oracle
+            .observe(self.now, sm, RaceEventKind::Install(meta));
+    }
+
     /// Records a completion: loads store their decoded label; any
-    /// completion clears the thread's in-flight marker.
+    /// completion clears the thread's in-flight marker. The retired
+    /// operation (with its logical serialization point) is fed to the
+    /// race oracle.
     fn record(&mut self, t: usize, c: &Completion) {
+        if let Some(ts) = c.ts {
+            let kind = if c.kind == AccessKind::Load {
+                RaceEventKind::Read {
+                    block: c.block,
+                    version: c.version.0,
+                    ts: ts.0,
+                    epoch: c.epoch,
+                }
+            } else {
+                RaceEventKind::StoreDone {
+                    block: c.block,
+                    version: c.version.0,
+                    wts: ts.0,
+                    epoch: c.epoch,
+                }
+            };
+            let sm = Scope::Sm(u16::try_from(t).expect("SM index fits"));
+            self.oracle.observe(self.now, sm, kind);
+        }
         if c.kind == AccessKind::Load {
             let label = self.decode_label(c.version);
             let id = u32::try_from(c.id.0).expect("load ids fit in u32");
@@ -326,10 +451,10 @@ impl MicroGtsc {
 }
 
 impl Schedulable for MicroGtsc {
-    /// Load observations plus any sanitizer violations — violations are
-    /// part of the outcome so an invariant breach on any schedule
-    /// surfaces in the explored set.
-    type Outcome = (BTreeMap<u32, u32>, Vec<String>);
+    /// Load observations, sanitizer violations, and race-oracle
+    /// findings — the two checkers' verdicts are part of the outcome so
+    /// a breach on any schedule surfaces in the explored set.
+    type Outcome = (BTreeMap<u32, u32>, Vec<String>, Vec<String>);
 
     fn fanout(&self) -> usize {
         self.enabled().len()
@@ -349,7 +474,11 @@ impl Schedulable for MicroGtsc {
                 self.pc[t]
             );
         }
-        (self.observed.clone(), self.sanitizer.violations())
+        (
+            self.observed.clone(),
+            self.sanitizer.violations(),
+            self.oracle.report().lines(),
+        )
     }
 }
 
@@ -373,10 +502,11 @@ mod tests {
         while m.fanout() > 0 {
             m.choose(0);
         }
-        let (obs, violations) = m.outcome();
+        let (obs, violations, races) = m.outcome();
         assert_eq!(obs.get(&1), Some(&3));
         assert_eq!(obs.get(&2), Some(&3));
         assert!(violations.is_empty(), "{violations:?}");
+        assert!(races.is_empty(), "{races:?}");
     }
 
     #[test]
@@ -387,9 +517,10 @@ mod tests {
         let r = explore_all(|| MicroGtsc::new(&progs, HarnessCfg::default()), 1_000);
         assert!(!r.truncated);
         assert_eq!(r.schedules, 2, "one store serve × one load serve");
-        let labels: Vec<u32> = r.outcomes.iter().map(|(o, _)| o[&1]).collect();
+        let labels: Vec<u32> = r.outcomes.iter().map(|(o, _, _)| o[&1]).collect();
         assert_eq!(labels, vec![0, 9]);
-        assert!(r.outcomes.iter().all(|(_, v)| v.is_empty()));
+        assert!(r.outcomes.iter().all(|(_, v, _)| v.is_empty()));
+        assert!(r.outcomes.iter().all(|(_, _, races)| races.is_empty()));
     }
 
     #[test]
@@ -404,8 +535,9 @@ mod tests {
         };
         let r = explore_all(|| MicroGtsc::new(&progs, cfg), 100_000);
         assert!(!r.truncated);
-        for (o, violations) in &r.outcomes {
+        for (o, violations, races) in &r.outcomes {
             assert!(violations.is_empty(), "{violations:?}");
+            assert!(races.is_empty(), "{races:?}");
             assert!(
                 !(o[&10] == 2 && o[&11] == 0),
                 "rollover leaked the forbidden MP outcome: {o:?}"
@@ -426,8 +558,9 @@ mod tests {
         let r = explore_all(|| MicroGtsc::new(&progs, cfg), 10_000);
         assert!(!r.truncated);
         assert!(r.schedules >= 2);
-        for (o, violations) in &r.outcomes {
+        for (o, violations, races) in &r.outcomes {
             assert!(violations.is_empty(), "{violations:?}");
+            assert!(races.is_empty(), "{races:?}");
             assert_eq!(o[&1], 3, "own store must survive the crash: {o:?}");
             assert!(o[&2] == 0 || o[&2] == 3, "{o:?}");
         }
@@ -445,8 +578,9 @@ mod tests {
         };
         let r = explore_all(|| MicroGtsc::new(&progs, cfg), 10_000);
         assert!(!r.truncated);
-        for (o, violations) in &r.outcomes {
+        for (o, violations, races) in &r.outcomes {
             assert!(violations.is_empty(), "{violations:?}");
+            assert!(races.is_empty(), "{races:?}");
             // T0 reads its own store back — or T1's later one — but can
             // never slide back to the initial value.
             assert!(o[&1] == 3 || o[&1] == 4, "{o:?}");

@@ -18,15 +18,26 @@
 //!   compared against an operational reference model of the paper's
 //!   timestamp rules. Catches ordering bugs that need a particular
 //!   interleaving the random-traffic tests never draw.
+//! * **Happens-before race oracle** ([`races`]) — an independent
+//!   ordering checker that derives happens-before from message
+//!   causality alone (vector clocks over send/receive edges, never the
+//!   protocol's own timestamps) and verifies that every load is covered
+//!   by a genuinely exclusive lease interval and that timestamp order
+//!   extends happens-before. Runs inside every litmus exploration and,
+//!   in a lenient trace-tier form ([`races::scan_trace`]), over
+//!   recorded event streams.
 //!
 //! The crate also ships two binaries: `model_check` (runs the litmus
-//! suites, including IRIW) and `src_lint` (a source-level lint keeping
-//! raw timestamp arithmetic confined to `gtsc_core::rules`).
+//! suites, including IRIW, with the race oracle attached) and
+//! `src_lint` (the AST-driven source lint from `gtsc-lint`, keeping raw
+//! timestamp arithmetic confined to `gtsc_core::rules` and simulator
+//! state deterministic).
 
 pub mod explore;
 pub mod harness;
 pub mod lint;
 pub mod litmus;
+pub mod races;
 pub mod spec;
 pub mod srclint;
 
@@ -35,5 +46,8 @@ pub use gtsc_trace::{Sanitizer, Transition};
 pub use harness::{HarnessCfg, MicroGtsc};
 pub use lint::{lint_events, Finding, LintReport, LintSpec, Severity, LINTS};
 pub use litmus::{all_litmus, run_litmus, Litmus, LitmusRun, Mode, Op};
+pub use races::{
+    scan_trace, RaceEventKind, RaceFinding, RaceOracle, RaceReport, RespMeta, MAX_RACE_FINDINGS,
+};
 pub use spec::SpecMachine;
 pub use srclint::{lint_sources, SrcFinding};

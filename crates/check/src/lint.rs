@@ -85,6 +85,11 @@ pub const LINTS: &[LintSpec] = &[
     },
 ];
 
+/// Cap on distinct findings a rendered report keeps (see
+/// [`LintReport::lines`]); matches the race oracle's cap so stuck-run
+/// logs stay bounded everywhere.
+pub const MAX_LINT_FINDINGS: usize = 256;
+
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -96,6 +101,10 @@ pub struct Finding {
     pub cycle: Cycle,
     /// Component that recorded it.
     pub scope: Scope,
+    /// Block the finding is about, when the event names one — the
+    /// dedup key for rendered reports, and structured context for
+    /// diagnosis tooling (which block, which SM/bank, which cycle).
+    pub block: Option<BlockAddr>,
     /// Human explanation with the relevant timestamps.
     pub message: String,
 }
@@ -143,6 +152,46 @@ impl LintReport {
     pub fn is_clean(&self) -> bool {
         self.errors() == 0
     }
+
+    /// Renders the findings with duplicates collapsed *before* the
+    /// [`MAX_LINT_FINDINGS`] cap: a stuck protocol repeating one
+    /// violation per access must not evict distinct findings from the
+    /// report. Findings are deduplicated by (rule, scope, block) with a
+    /// `(xN)` multiplicity on the first occurrence; distinct findings
+    /// past the cap are summarized in a final line.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        let mut index: std::collections::BTreeMap<(&str, Scope, Option<BlockAddr>), usize> =
+            std::collections::BTreeMap::new();
+        let mut kept: Vec<(&Finding, u64)> = Vec::new();
+        for f in &self.findings {
+            match index.entry((f.lint, f.scope, f.block)) {
+                std::collections::btree_map::Entry::Occupied(e) => kept[*e.get()].1 += 1,
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(kept.len());
+                    kept.push((f, 1));
+                }
+            }
+        }
+        let mut out: Vec<String> = kept
+            .iter()
+            .take(MAX_LINT_FINDINGS)
+            .map(|(f, n)| {
+                if *n > 1 {
+                    format!("{f} (x{n})")
+                } else {
+                    f.to_string()
+                }
+            })
+            .collect();
+        if kept.len() > MAX_LINT_FINDINGS {
+            out.push(format!(
+                "... {} further distinct finding(s) suppressed past the {MAX_LINT_FINDINGS}-entry cap",
+                kept.len() - MAX_LINT_FINDINGS
+            ));
+        }
+        out
+    }
 }
 
 #[derive(Debug, Default)]
@@ -174,19 +223,21 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
         findings: Vec::new(),
         scanned: events.len(),
     };
-    let mut emit = |lint: &'static str, e: &TraceEvent, message: String| {
-        let spec = LINTS
-            .iter()
-            .find(|s| s.name == lint)
-            .expect("emit uses a catalogued lint name");
-        report.findings.push(Finding {
-            lint,
-            severity: spec.severity,
-            cycle: e.cycle,
-            scope: e.scope,
-            message,
-        });
-    };
+    let mut emit =
+        |lint: &'static str, e: &TraceEvent, block: Option<BlockAddr>, message: String| {
+            let spec = LINTS
+                .iter()
+                .find(|s| s.name == lint)
+                .expect("emit uses a catalogued lint name");
+            report.findings.push(Finding {
+                lint,
+                severity: spec.severity,
+                cycle: e.cycle,
+                scope: e.scope,
+                block,
+                message,
+            });
+        };
     for e in events {
         match e.kind {
             EventKind::Hit {
@@ -199,6 +250,7 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
                     emit(
                         "load-past-rts",
                         e,
+                        Some(block),
                         format!(
                             "hit on block {block} served to warp {warp} at warp_ts \
                              {warp_ts} past the line's rts {rts}"
@@ -213,6 +265,7 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
                     emit(
                         "wts-gt-rts",
                         e,
+                        Some(block),
                         format!("lease on block {block} granted with wts {wts} > rts {rts}"),
                     );
                 }
@@ -229,6 +282,7 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
                         emit(
                             "store-before-lease-expiry",
                             e,
+                            Some(block),
                             format!(
                                 "store on block {block} committed at wts {wts} inside \
                                  the granted read lease (rts high-water {granted})"
@@ -245,6 +299,7 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
                     emit(
                         "evict-live-lease",
                         e,
+                        Some(block),
                         format!(
                             "evicted block {block} with rts {rts} still covering \
                              every local warp (max observed warp_ts {seen})"
@@ -271,6 +326,7 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
                         emit(
                             "retransmit-without-timeout",
                             e,
+                            None,
                             format!(
                                 "nack-driven retransmit of {src} -> {dst} seq {seq} with \
                                  no preceding NACK on that flow"
@@ -283,6 +339,7 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
                     emit(
                         "retransmit-without-timeout",
                         e,
+                        None,
                         format!(
                             "retransmit of {src} -> {dst} seq {seq} at age {age}, before \
                              its timeout {timeout} elapsed"
@@ -296,6 +353,7 @@ pub fn lint_events(events: &[TraceEvent]) -> LintReport {
                         emit(
                             "rollover-ordering",
                             e,
+                            None,
                             format!("rollover to epoch {epoch} after epoch {prev}"),
                         );
                     }
@@ -324,6 +382,52 @@ mod tests {
     }
     fn b(n: u64) -> BlockAddr {
         BlockAddr(n)
+    }
+
+    #[test]
+    fn lines_dedup_before_the_cap() {
+        // One repeated finding (same rule/scope/block, MAX+10 times)
+        // plus MAX+4 distinct ones: the repeats must collapse to a
+        // single counted line *before* the cap, so distinct findings
+        // survive and only the true overflow is suppressed.
+        let mut events = Vec::new();
+        for i in 0..u64::try_from(MAX_LINT_FINDINGS).unwrap() + 10 {
+            events.push(ev(
+                i,
+                Scope::Sm(0),
+                EventKind::Hit {
+                    block: b(7),
+                    warp: 0,
+                    warp_ts: 99,
+                    rts: 10,
+                },
+            ));
+        }
+        for i in 0..u64::try_from(MAX_LINT_FINDINGS).unwrap() + 4 {
+            events.push(ev(
+                1000 + i,
+                Scope::Sm(1),
+                EventKind::Hit {
+                    block: b(i),
+                    warp: 0,
+                    warp_ts: 99,
+                    rts: 10,
+                },
+            ));
+        }
+        let r = lint_events(&events);
+        let lines = r.lines();
+        assert_eq!(lines.len(), MAX_LINT_FINDINGS + 1, "cap plus summary");
+        assert!(
+            lines[0].ends_with(&format!("(x{})", MAX_LINT_FINDINGS + 10)),
+            "repeats collapse with a multiplicity: {}",
+            lines[0]
+        );
+        assert!(
+            lines.last().unwrap().contains("5 further distinct"),
+            "overflow summarized: {}",
+            lines.last().unwrap()
+        );
     }
 
     #[test]

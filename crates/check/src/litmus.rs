@@ -110,6 +110,8 @@ pub struct LitmusRun {
     pub missing_required: Vec<&'static str>,
     /// Sanitizer violations from any schedule (deduplicated).
     pub sanitizer_violations: Vec<String>,
+    /// Race-oracle findings from any schedule (deduplicated).
+    pub race_findings: Vec<String>,
 }
 
 impl LitmusRun {
@@ -121,6 +123,7 @@ impl LitmusRun {
             && self.forbidden_hits.is_empty()
             && self.missing_required.is_empty()
             && self.sanitizer_violations.is_empty()
+            && self.race_findings.is_empty()
     }
 
     /// A one-line human summary.
@@ -234,6 +237,7 @@ pub fn run_litmus(l: &Litmus, max_schedules: u64) -> LitmusRun {
     let mut impl_outcomes = BTreeSet::new();
     let mut spec_outcomes = BTreeSet::new();
     let mut sanitizer_violations = BTreeSet::new();
+    let mut race_findings = BTreeSet::new();
     let mut schedules = 0;
     let mut spec_schedules = 0;
     let mut truncated = false;
@@ -241,9 +245,10 @@ pub fn run_litmus(l: &Litmus, max_schedules: u64) -> LitmusRun {
         let r = explore_all(|| MicroGtsc::new(programs, l.cfg), max_schedules);
         truncated |= r.truncated;
         schedules += r.schedules;
-        for (obs, violations) in r.outcomes {
+        for (obs, violations, races) in r.outcomes {
             impl_outcomes.insert(obs);
             sanitizer_violations.extend(violations);
+            race_findings.extend(races);
         }
         let s = explore_all(|| SpecMachine::new(programs, l.cfg.lease), max_schedules);
         truncated |= s.truncated;
@@ -277,6 +282,7 @@ pub fn run_litmus(l: &Litmus, max_schedules: u64) -> LitmusRun {
         forbidden_hits,
         missing_required,
         sanitizer_violations: sanitizer_violations.into_iter().collect(),
+        race_findings: race_findings.into_iter().collect(),
     }
 }
 

@@ -1,0 +1,1234 @@
+//! Independent happens-before race oracle.
+//!
+//! The online [`gtsc_trace::Sanitizer`] checks *local* transition
+//! invariants (per-line monotonicity, `wts <= rts`, epoch freshness).
+//! This module checks the *global* ordering claims of the protocol, and
+//! it does so independently: happens-before is derived from **message
+//! causality only** — program order within an actor plus send/receive
+//! edges between actors — never from the protocol's own timestamp
+//! values. The timestamps under test therefore cannot vouch for
+//! themselves.
+//!
+//! Two families of checks:
+//!
+//! * **Conflicting-access coverage.** Every load must be covered by a
+//!   lease interval the bank actually granted (`read-unleased`,
+//!   `read-past-lease`, `read-before-write`), and its logical
+//!   serialization point must not overlap a later commit to the same
+//!   block (`read-overlaps-write`). A store must land logically after
+//!   every outstanding read lease (`store-inside-lease`).
+//! * **Timestamp order extends happens-before.** Commits to one block
+//!   are serialized by the bank, so their `wts` must strictly increase
+//!   in bank order (`write-write-order`); per-warp operation timestamps
+//!   must extend program order (`warp-ts-regression`); and a read may
+//!   never causally precede the commit that produced its data
+//!   (`read-from-future`, checked with vector clocks). Epoch resets
+//!   must move forward (`epoch-regression`), and a bank crash must be
+//!   followed by a bumped epoch before the bank speaks again
+//!   (`missing-epoch-bump`).
+//!
+//! # Why the obvious check would be wrong
+//!
+//! In a Tardis-style protocol, causality does **not** imply observation
+//! freshness: a read that is physically after a write may legally
+//! return the old version, because it *serializes logically earlier*
+//! inside a granted lease. A naive "commit happens-before read, so the
+//! read must see it" rule would flag correct executions. The sound
+//! formulation used here is interval-based: a read of version `v`
+//! serializes at its post-load warp timestamp `ts_R ∈ [wts_v, rts_v]`,
+//! and a violation exists iff some commit `C` to the same block has
+//! `wts_v < wts_C <= ts_R` — i.e. the lease the read relied on was not
+//! actually exclusive up to its serialization point.
+//!
+//! Findings are deduplicated by `(rule, actor, block)` with an
+//! occurrence count *before* the [`MAX_RACE_FINDINGS`] cap, so a
+//! pathological run cannot crowd distinct failure modes out of the
+//! report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gtsc_trace::{EventKind, Scope, TraceEvent};
+use gtsc_types::{BlockAddr, Cycle};
+
+/// Cap on *distinct* findings kept in a report. Duplicates of an
+/// already-reported `(rule, actor, block)` key only bump its count and
+/// never consume a slot.
+pub const MAX_RACE_FINDINGS: usize = 256;
+
+/// A vector clock over protocol actors.
+pub type VClock = BTreeMap<Scope, u64>;
+
+/// Whether `a` happens-before-or-equals `b` (componentwise `<=`).
+#[must_use]
+pub fn clock_leq(a: &VClock, b: &VClock) -> bool {
+    a.iter().all(|(s, &v)| b.get(s).copied().unwrap_or(0) >= v)
+}
+
+fn clock_join(into: &mut VClock, other: &VClock) {
+    for (s, &v) in other {
+        let e = into.entry(*s).or_insert(0);
+        if *e < v {
+            *e = v;
+        }
+    }
+}
+
+/// Timestamp content of an L2→L1 response, in raw logical-time values.
+///
+/// The oracle models the receiving L1's lease table from these, so it
+/// never has to trust the L1's own bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespMeta {
+    /// Data fill carrying a lease `[wts, rts]` for `version`.
+    Fill {
+        /// Filled block.
+        block: BlockAddr,
+        /// Data version supplied.
+        version: u64,
+        /// Write timestamp of the version.
+        wts: u64,
+        /// Lease upper bound.
+        rts: u64,
+        /// Producing bank's epoch.
+        epoch: u64,
+    },
+    /// Lease extension without data; applies to the copy whose `wts`
+    /// matches.
+    Renew {
+        /// Renewed block.
+        block: BlockAddr,
+        /// `wts` of the copy being renewed.
+        wts: u64,
+        /// New lease upper bound.
+        rts: u64,
+        /// Producing bank's epoch.
+        epoch: u64,
+    },
+    /// Store acknowledgment: `version` committed at `wts` with read
+    /// lease up to `rts`.
+    WriteAck {
+        /// Written block.
+        block: BlockAddr,
+        /// Committed version.
+        version: u64,
+        /// Assigned write timestamp.
+        wts: u64,
+        /// Lease upper bound granted to the new version.
+        rts: u64,
+        /// Producing bank's epoch.
+        epoch: u64,
+    },
+}
+
+impl RespMeta {
+    fn block(self) -> BlockAddr {
+        match self {
+            RespMeta::Fill { block, .. }
+            | RespMeta::Renew { block, .. }
+            | RespMeta::WriteAck { block, .. } => block,
+        }
+    }
+
+    fn epoch(self) -> u64 {
+        match self {
+            RespMeta::Fill { epoch, .. }
+            | RespMeta::Renew { epoch, .. }
+            | RespMeta::WriteAck { epoch, .. } => epoch,
+        }
+    }
+}
+
+/// One observation fed to the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceEventKind {
+    /// A message with unique id `msg` left the acting component for
+    /// `dst`. The sender's clock is snapshotted here.
+    Send {
+        /// Destination actor.
+        dst: Scope,
+        /// Unique message id.
+        msg: u64,
+    },
+    /// Message `msg` arrived at the acting component from `src`. Joins
+    /// the sender's snapshotted clock into the receiver's.
+    Recv {
+        /// Source actor.
+        src: Scope,
+        /// Unique message id.
+        msg: u64,
+    },
+    /// The acting bank produced a response (lease grant or store
+    /// commit). Drives the bank-side interval and ordering checks.
+    Grant(RespMeta),
+    /// The acting SM consumed a response. Drives the oracle's model of
+    /// that SM's lease table (with the L1's epoch-gating semantics:
+    /// newer epochs flush, older epochs are dropped).
+    Install(RespMeta),
+    /// A load retired at the acting SM: it read `version` of `block`,
+    /// serializing at logical time `ts` (the post-load warp timestamp).
+    Read {
+        /// Block read.
+        block: BlockAddr,
+        /// Observed data version.
+        version: u64,
+        /// Logical serialization point of the read.
+        ts: u64,
+        /// Epoch the load retired in.
+        epoch: u64,
+    },
+    /// A store retired at the acting SM with assigned `wts`.
+    StoreDone {
+        /// Block written.
+        block: BlockAddr,
+        /// Version published.
+        version: u64,
+        /// Assigned write timestamp.
+        wts: u64,
+        /// Epoch the store retired in.
+        epoch: u64,
+    },
+    /// The acting bank crashed and lost its coherence state; its next
+    /// response must carry a strictly newer epoch.
+    Crash,
+}
+
+/// One deduplicated oracle finding, with the block/actor/cycle context
+/// a post-mortem needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// Stable rule name (`read-past-lease`, `write-write-order`, ...).
+    pub rule: &'static str,
+    /// Cycle of the first occurrence.
+    pub cycle: Cycle,
+    /// Component the first occurrence happened at.
+    pub actor: Scope,
+    /// Block involved, when the rule is block-scoped.
+    pub block: Option<BlockAddr>,
+    /// Occurrences folded into this entry.
+    pub count: u64,
+    /// Human-readable detail of the first occurrence.
+    pub detail: String,
+}
+
+impl fmt::Display for RaceFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.cycle, self.actor, self.rule)?;
+        if let Some(b) = self.block {
+            write!(f, " block {b}")?;
+        }
+        write!(f, ": {}", self.detail)?;
+        if self.count > 1 {
+            write!(f, " (x{})", self.count)?;
+        }
+        Ok(())
+    }
+}
+
+/// The oracle's verdict over everything it observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Distinct findings, deduplicated by `(rule, actor, block)` and
+    /// sorted by first-occurrence cycle.
+    pub findings: Vec<RaceFinding>,
+    /// Distinct findings dropped after [`MAX_RACE_FINDINGS`] was hit.
+    pub suppressed: u64,
+    /// Events observed.
+    pub events: u64,
+}
+
+impl RaceReport {
+    /// Whether no ordering violation was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.suppressed == 0
+    }
+
+    /// The findings rendered one per line (plus a suppression note),
+    /// for embedding in an explored outcome.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.findings.iter().map(ToString::to_string).collect();
+        if self.suppressed > 0 {
+            out.push(format!(
+                "... {} further distinct finding(s) suppressed past the {MAX_RACE_FINDINGS}-entry cap",
+                self.suppressed
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "race oracle: clean ({} events)", self.events);
+        }
+        writeln!(
+            f,
+            "race oracle: {} finding(s) over {} events",
+            self.findings.len(),
+            self.events
+        )?;
+        for line in self.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dedup-before-cap accumulator shared by the online and batch passes.
+#[derive(Debug, Clone, Default)]
+struct FindingSet {
+    by_key: BTreeMap<(&'static str, Scope, Option<BlockAddr>), usize>,
+    findings: Vec<RaceFinding>,
+    suppressed: u64,
+}
+
+impl FindingSet {
+    fn push(
+        &mut self,
+        rule: &'static str,
+        cycle: Cycle,
+        actor: Scope,
+        block: Option<BlockAddr>,
+        detail: String,
+    ) {
+        let key = (rule, actor, block);
+        if let Some(&i) = self.by_key.get(&key) {
+            self.findings[i].count += 1;
+            return;
+        }
+        if self.findings.len() >= MAX_RACE_FINDINGS {
+            self.suppressed += 1;
+            return;
+        }
+        self.by_key.insert(key, self.findings.len());
+        self.findings.push(RaceFinding {
+            rule,
+            cycle,
+            actor,
+            block,
+            count: 1,
+            detail,
+        });
+    }
+}
+
+/// A committed store as the bank serialized it.
+#[derive(Debug, Clone)]
+struct Commit {
+    version: u64,
+    wts: u64,
+    cycle: Cycle,
+    clock: VClock,
+}
+
+/// Per-`(epoch, block)` bank-side state.
+#[derive(Debug, Clone, Default)]
+struct BankBlock {
+    /// Commits in bank serialization order.
+    commits: Vec<Commit>,
+    /// version → committed `wts` (replay detection).
+    by_version: BTreeMap<u64, u64>,
+    /// High-water mark of every `rts` the bank granted for this block.
+    granted_rts: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BankState {
+    epoch: u64,
+    /// Epoch at crash time, until the bank's next grant proves the bump.
+    pending_crash: Option<u64>,
+    blocks: BTreeMap<(u64, BlockAddr), BankBlock>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SmState {
+    epoch: u64,
+    /// Per-epoch warp-timestamp frontier (program order must extend
+    /// timestamp order).
+    frontier: u64,
+    /// `(block, version)` → granted `[wts, rts]`. A lenient superset of
+    /// the L1's real residency (evictions are invisible), which can
+    /// only hide bugs, never invent them.
+    leases: BTreeMap<(BlockAddr, u64), (u64, u64)>,
+}
+
+/// A retired load, queued for the batch interval checks.
+#[derive(Debug, Clone)]
+struct ReadRec {
+    version: u64,
+    ts: u64,
+    actor: Scope,
+    cycle: Cycle,
+    clock: VClock,
+}
+
+/// The happens-before race oracle. Feed it [`RaceEventKind`]s via
+/// [`RaceOracle::observe`]; collect the verdict with
+/// [`RaceOracle::report`].
+#[derive(Debug, Clone, Default)]
+pub struct RaceOracle {
+    clocks: BTreeMap<Scope, VClock>,
+    in_flight: BTreeMap<u64, VClock>,
+    sms: BTreeMap<Scope, SmState>,
+    banks: BTreeMap<Scope, BankState>,
+    reads: BTreeMap<(u64, BlockAddr), Vec<ReadRec>>,
+    findings: FindingSet,
+    events: u64,
+}
+
+impl RaceOracle {
+    /// A fresh oracle with no history.
+    #[must_use]
+    pub fn new() -> Self {
+        RaceOracle::default()
+    }
+
+    /// Feeds one observation. Online rules fire immediately; interval
+    /// rules are evaluated in [`RaceOracle::report`].
+    pub fn observe(&mut self, cycle: Cycle, actor: Scope, kind: RaceEventKind) {
+        self.events += 1;
+        // Program order: every local event ticks the actor's own
+        // component.
+        *self
+            .clocks
+            .entry(actor)
+            .or_default()
+            .entry(actor)
+            .or_insert(0) += 1;
+        match kind {
+            RaceEventKind::Send { msg, .. } => {
+                let snapshot = self.clocks.get(&actor).cloned().unwrap_or_default();
+                self.in_flight.insert(msg, snapshot);
+            }
+            RaceEventKind::Recv { src, msg } => {
+                if let Some(snapshot) = self.in_flight.get(&msg).cloned() {
+                    clock_join(self.clocks.entry(actor).or_default(), &snapshot);
+                } else {
+                    self.findings.push(
+                        "unmatched-recv",
+                        cycle,
+                        actor,
+                        None,
+                        format!("received message {msg} from {src} that was never sent"),
+                    );
+                }
+            }
+            RaceEventKind::Grant(meta) => self.on_grant(cycle, actor, meta),
+            RaceEventKind::Install(meta) => self.on_install(actor, meta),
+            RaceEventKind::Read {
+                block,
+                version,
+                ts,
+                epoch,
+            } => self.on_read(cycle, actor, block, version, ts, epoch),
+            RaceEventKind::StoreDone {
+                block, wts, epoch, ..
+            } => self.on_op_ts(cycle, actor, block, wts, epoch),
+            RaceEventKind::Crash => {
+                let bank = self.banks.entry(actor).or_default();
+                bank.pending_crash = Some(bank.epoch);
+            }
+        }
+    }
+
+    fn on_grant(&mut self, cycle: Cycle, actor: Scope, meta: RespMeta) {
+        let block = meta.block();
+        let epoch = meta.epoch();
+        let bank = self.banks.entry(actor).or_default();
+        if epoch < bank.epoch {
+            self.findings.push(
+                "epoch-regression",
+                cycle,
+                actor,
+                Some(block),
+                format!(
+                    "bank granted in epoch {epoch} after reaching epoch {}",
+                    bank.epoch
+                ),
+            );
+        } else {
+            bank.epoch = epoch;
+        }
+        if let Some(at) = bank.pending_crash.take() {
+            if epoch <= at {
+                self.findings.push(
+                    "missing-epoch-bump",
+                    cycle,
+                    actor,
+                    Some(block),
+                    format!(
+                        "first grant after a crash in epoch {at} still carries epoch {epoch}; \
+                         orphaned leases were never invalidated"
+                    ),
+                );
+            }
+        }
+        let bb = bank.blocks.entry((epoch, block)).or_default();
+        match meta {
+            RespMeta::Fill { rts, .. } | RespMeta::Renew { rts, .. } => {
+                bb.granted_rts = bb.granted_rts.max(rts);
+            }
+            RespMeta::WriteAck {
+                version, wts, rts, ..
+            } => {
+                if let Some(&w0) = bb.by_version.get(&version) {
+                    if w0 != wts {
+                        self.findings.push(
+                            "write-write-order",
+                            cycle,
+                            actor,
+                            Some(block),
+                            format!(
+                                "replayed commit of version {version} re-stamped wts {w0} as {wts}"
+                            ),
+                        );
+                    }
+                } else {
+                    if let Some(last) = bb.commits.last() {
+                        if wts <= last.wts {
+                            self.findings.push(
+                                "write-write-order",
+                                cycle,
+                                actor,
+                                Some(block),
+                                format!(
+                                    "commit wts {wts} (version {version}) not after the \
+                                     previous commit wts {} (version {})",
+                                    last.wts, last.version
+                                ),
+                            );
+                        }
+                    }
+                    if wts <= bb.granted_rts {
+                        self.findings.push(
+                            "store-inside-lease",
+                            cycle,
+                            actor,
+                            Some(block),
+                            format!(
+                                "commit wts {wts} is inside a granted read lease \
+                                 (rts high-water {})",
+                                bb.granted_rts
+                            ),
+                        );
+                    }
+                    let clock = self.clocks.get(&actor).cloned().unwrap_or_default();
+                    bank.blocks
+                        .entry((epoch, block))
+                        .or_default()
+                        .commits
+                        .push(Commit {
+                            version,
+                            wts,
+                            cycle,
+                            clock,
+                        });
+                    bank.blocks
+                        .entry((epoch, block))
+                        .or_default()
+                        .by_version
+                        .insert(version, wts);
+                }
+                let bb = bank.blocks.entry((epoch, block)).or_default();
+                bb.granted_rts = bb.granted_rts.max(rts);
+            }
+        }
+    }
+
+    fn on_install(&mut self, actor: Scope, meta: RespMeta) {
+        let epoch = meta.epoch();
+        let sm = self.sms.entry(actor).or_default();
+        if epoch > sm.epoch {
+            // The L1 flushes and rebases on first contact with a newer
+            // epoch; mirror that.
+            sm.epoch = epoch;
+            sm.frontier = 0;
+            sm.leases.clear();
+        } else if epoch < sm.epoch {
+            // Stale-epoch responses are dropped by the L1.
+            return;
+        }
+        match meta {
+            RespMeta::Fill {
+                block,
+                version,
+                wts,
+                rts,
+                ..
+            }
+            | RespMeta::WriteAck {
+                block,
+                version,
+                wts,
+                rts,
+                ..
+            } => {
+                sm.leases.insert((block, version), (wts, rts));
+            }
+            RespMeta::Renew {
+                block, wts, rts, ..
+            } => {
+                for ((b, _), lease) in &mut sm.leases {
+                    if *b == block && lease.0 == wts {
+                        lease.1 = lease.1.max(rts);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_read(
+        &mut self,
+        cycle: Cycle,
+        actor: Scope,
+        block: BlockAddr,
+        version: u64,
+        ts: u64,
+        epoch: u64,
+    ) {
+        self.on_op_ts(cycle, actor, block, ts, epoch);
+        let sm = self.sms.entry(actor).or_default();
+        match sm.leases.get(&(block, version)) {
+            None => self.findings.push(
+                "read-unleased",
+                cycle,
+                actor,
+                Some(block),
+                format!("load observed version {version} without any granted lease for it"),
+            ),
+            Some(&(wts, rts)) => {
+                if ts > rts {
+                    self.findings.push(
+                        "read-past-lease",
+                        cycle,
+                        actor,
+                        Some(block),
+                        format!(
+                            "load serialized at ts {ts}, past the granted lease \
+                             [{wts}, {rts}] of version {version}"
+                        ),
+                    );
+                }
+                if ts < wts {
+                    self.findings.push(
+                        "read-before-write",
+                        cycle,
+                        actor,
+                        Some(block),
+                        format!(
+                            "load serialized at ts {ts}, before version {version} \
+                             was written at wts {wts}"
+                        ),
+                    );
+                }
+            }
+        }
+        let clock = self.clocks.get(&actor).cloned().unwrap_or_default();
+        self.reads.entry((epoch, block)).or_default().push(ReadRec {
+            version,
+            ts,
+            actor,
+            cycle,
+            clock,
+        });
+    }
+
+    /// Shared Read/StoreDone bookkeeping: epoch sanity and the per-warp
+    /// timestamp frontier.
+    fn on_op_ts(&mut self, cycle: Cycle, actor: Scope, block: BlockAddr, ts: u64, epoch: u64) {
+        let sm = self.sms.entry(actor).or_default();
+        if epoch < sm.epoch {
+            self.findings.push(
+                "epoch-regression",
+                cycle,
+                actor,
+                Some(block),
+                format!(
+                    "operation retired in epoch {epoch} after the SM reached {}",
+                    sm.epoch
+                ),
+            );
+            return;
+        }
+        if epoch > sm.epoch {
+            sm.epoch = epoch;
+            sm.frontier = 0;
+            sm.leases.clear();
+        }
+        let sm = self.sms.entry(actor).or_default();
+        if ts < sm.frontier {
+            self.findings.push(
+                "warp-ts-regression",
+                cycle,
+                actor,
+                Some(block),
+                format!(
+                    "operation timestamp {ts} moved backwards from the warp frontier {}",
+                    sm.frontier
+                ),
+            );
+        } else {
+            sm.frontier = ts;
+        }
+    }
+
+    /// Runs the batch interval checks over everything observed and
+    /// returns the full verdict. Callable mid-run; the oracle keeps
+    /// accumulating afterwards.
+    #[must_use]
+    pub fn report(&self) -> RaceReport {
+        let mut f = self.findings.clone();
+        for ((epoch, block), reads) in &self.reads {
+            // A block is owned by exactly one bank, so at most one bank
+            // has commit history for this key.
+            let Some(bb) = self
+                .banks
+                .values()
+                .find_map(|b| b.blocks.get(&(*epoch, *block)))
+            else {
+                continue;
+            };
+            for r in reads {
+                // Versions never committed in this epoch are the
+                // epoch's base data (initial contents or rollover
+                // carry-over): they serialize from logical time 0.
+                let wts_v = bb.by_version.get(&r.version).copied().unwrap_or(0);
+                if let Some(c) = bb.commits.iter().find(|c| c.wts > wts_v && c.wts <= r.ts) {
+                    f.push(
+                        "read-overlaps-write",
+                        r.cycle,
+                        r.actor,
+                        Some(*block),
+                        format!(
+                            "load of version {} serialized at ts {}, at or after the \
+                             commit of version {} (wts {}, cycle {}) — the lease was \
+                             not exclusive",
+                            r.version, r.ts, c.version, c.wts, c.cycle
+                        ),
+                    );
+                }
+                if let Some(c) = bb.commits.iter().find(|c| c.version == r.version) {
+                    if !clock_leq(&c.clock, &r.clock) {
+                        f.push(
+                            "read-from-future",
+                            r.cycle,
+                            r.actor,
+                            Some(*block),
+                            format!(
+                                "load observed version {} without a causal path from \
+                                 its commit",
+                                r.version
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        let mut findings = f.findings;
+        findings.sort_by(|a, b| a.cycle.cmp(&b.cycle).then(a.rule.cmp(b.rule)));
+        RaceReport {
+            findings,
+            suppressed: f.suppressed,
+            events: self.events,
+        }
+    }
+}
+
+/// Offline trace-tier scan: the same ordering rules, reconstructed from
+/// a recorded [`TraceEvent`] stream (best-effort — traces may be
+/// sampled, so this tier is lenient and per-scope; the harness tier is
+/// the exhaustive one). Assumes a timestamp-coherence (G-TSC) trace.
+#[must_use]
+pub fn scan_trace(events: &[TraceEvent]) -> RaceReport {
+    let mut f = FindingSet::default();
+    let mut epochs: BTreeMap<Scope, u64> = BTreeMap::new();
+    // (bank scope, block) → (last commit wts, granted rts high-water),
+    // reset whenever the scope rolls over.
+    let mut blocks: BTreeMap<(Scope, BlockAddr), (Option<u64>, u64)> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Hit {
+                block,
+                warp_ts,
+                rts,
+                ..
+            } if matches!(e.scope, Scope::Sm(_)) && warp_ts > rts => {
+                f.push(
+                    "read-past-lease",
+                    e.cycle,
+                    e.scope,
+                    Some(block),
+                    format!("hit served at warp_ts {warp_ts} past the lease rts {rts}"),
+                );
+            }
+            EventKind::Rollover { epoch } => {
+                let cur = epochs.entry(e.scope).or_insert(0);
+                if epoch < *cur {
+                    f.push(
+                        "epoch-regression",
+                        e.cycle,
+                        e.scope,
+                        None,
+                        format!("rollover into epoch {epoch} after reaching {cur}"),
+                    );
+                } else {
+                    *cur = epoch;
+                }
+                blocks.retain(|(s, _), _| *s != e.scope);
+            }
+            EventKind::BankReset { epoch, .. } => {
+                let cur = epochs.entry(e.scope).or_insert(0);
+                if epoch <= *cur {
+                    f.push(
+                        "missing-epoch-bump",
+                        e.cycle,
+                        e.scope,
+                        None,
+                        format!("bank reset re-entered epoch {epoch} (already at {cur})"),
+                    );
+                } else {
+                    *cur = epoch;
+                }
+                blocks.retain(|(s, _), _| *s != e.scope);
+            }
+            EventKind::LeaseGrant { block, rts, .. } | EventKind::Renewal { block, rts } => {
+                if matches!(e.scope, Scope::L2Bank(_)) {
+                    let s = blocks.entry((e.scope, block)).or_default();
+                    s.1 = s.1.max(rts);
+                }
+            }
+            EventKind::StoreCommit { block, wts } => {
+                if matches!(e.scope, Scope::L2Bank(_)) {
+                    let s = blocks.entry((e.scope, block)).or_default();
+                    if let Some(w0) = s.0 {
+                        if wts <= w0 {
+                            f.push(
+                                "write-write-order",
+                                e.cycle,
+                                e.scope,
+                                Some(block),
+                                format!("commit wts {wts} not after the previous commit wts {w0}"),
+                            );
+                        }
+                    }
+                    if wts <= s.1 {
+                        f.push(
+                            "store-inside-lease",
+                            e.cycle,
+                            e.scope,
+                            Some(block),
+                            format!(
+                                "commit wts {wts} is inside a granted read lease \
+                                 (rts high-water {})",
+                                s.1
+                            ),
+                        );
+                    }
+                    s.0 = Some(s.0.unwrap_or(0).max(wts));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut findings = f.findings;
+    findings.sort_by(|a, b| a.cycle.cmp(&b.cycle).then(a.rule.cmp(b.rule)));
+    RaceReport {
+        findings,
+        suppressed: f.suppressed,
+        events: events.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SM0: Scope = Scope::Sm(0);
+    const SM1: Scope = Scope::Sm(1);
+    const BANK: Scope = Scope::L2Bank(0);
+    const B: BlockAddr = BlockAddr(7);
+
+    fn fill(version: u64, wts: u64, rts: u64, epoch: u64) -> RespMeta {
+        RespMeta::Fill {
+            block: B,
+            version,
+            wts,
+            rts,
+            epoch,
+        }
+    }
+
+    fn ack(version: u64, wts: u64, rts: u64, epoch: u64) -> RespMeta {
+        RespMeta::WriteAck {
+            block: B,
+            version,
+            wts,
+            rts,
+            epoch,
+        }
+    }
+
+    /// Grants a response at the bank and installs it at `sm`, with the
+    /// send/recv causality edge in between.
+    fn deliver(o: &mut RaceOracle, c: u64, sm: Scope, meta: RespMeta, msg: u64) {
+        o.observe(Cycle(c), BANK, RaceEventKind::Grant(meta));
+        o.observe(Cycle(c), BANK, RaceEventKind::Send { dst: sm, msg });
+        o.observe(Cycle(c + 1), sm, RaceEventKind::Recv { src: BANK, msg });
+        o.observe(Cycle(c + 1), sm, RaceEventKind::Install(meta));
+    }
+
+    fn rules(r: &RaceReport) -> Vec<&'static str> {
+        r.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn clock_join_and_leq() {
+        let mut a = VClock::new();
+        a.insert(SM0, 3);
+        let mut b = VClock::new();
+        b.insert(SM0, 2);
+        b.insert(BANK, 5);
+        assert!(!clock_leq(&a, &b));
+        clock_join(&mut b, &a);
+        assert_eq!(b[&SM0], 3);
+        assert_eq!(b[&BANK], 5);
+        assert!(clock_leq(&a, &b));
+    }
+
+    #[test]
+    fn clean_lease_read_is_clean() {
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        o.observe(
+            Cycle(2),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 0,
+                ts: 4,
+                epoch: 0,
+            },
+        );
+        // A later store lands past the lease, as the protocol requires.
+        deliver(&mut o, 3, SM1, ack(9, 11, 21, 0), 2);
+        let r = o.report();
+        assert!(r.is_clean(), "{r}");
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn read_past_lease_and_unleased_fire() {
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        o.observe(
+            Cycle(2),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 0,
+                ts: 11,
+                epoch: 0,
+            },
+        );
+        o.observe(
+            Cycle(3),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 42,
+                ts: 12,
+                epoch: 0,
+            },
+        );
+        let r = o.report();
+        assert!(rules(&r).contains(&"read-past-lease"), "{r}");
+        assert!(rules(&r).contains(&"read-unleased"), "{r}");
+    }
+
+    #[test]
+    fn store_inside_lease_fires() {
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        // Commit wts 5 lands inside the granted [0, 10] read lease.
+        deliver(&mut o, 1, SM1, ack(9, 5, 15, 0), 2);
+        let r = o.report();
+        assert!(rules(&r).contains(&"store-inside-lease"), "{r}");
+    }
+
+    #[test]
+    fn write_write_order_fires_on_non_monotone_commits() {
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, ack(1, 5, 15, 0), 1);
+        deliver(&mut o, 1, SM1, ack(2, 16, 26, 0), 2);
+        deliver(&mut o, 2, SM0, ack(3, 16, 26, 0), 3);
+        let r = o.report();
+        assert!(rules(&r).contains(&"write-write-order"), "{r}");
+    }
+
+    #[test]
+    fn read_overlaps_write_fires_via_batch_check() {
+        let mut o = RaceOracle::new();
+        // Reader leased [0, 10] for the base version...
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        // ...but a commit lands at wts 5 (already inside the lease), and
+        // the reader then serializes at ts 8 >= 5 while observing the
+        // base version.
+        deliver(&mut o, 1, SM1, ack(9, 5, 15, 0), 2);
+        o.observe(
+            Cycle(3),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 0,
+                ts: 8,
+                epoch: 0,
+            },
+        );
+        let r = o.report();
+        assert!(rules(&r).contains(&"read-overlaps-write"), "{r}");
+    }
+
+    #[test]
+    fn read_from_future_fires_without_causal_path() {
+        let mut o = RaceOracle::new();
+        // SM1's store commits at the bank, but SM0 claims to read the
+        // version with no message ever delivered to it.
+        deliver(&mut o, 0, SM1, ack(9, 11, 21, 0), 1);
+        o.observe(Cycle(1), SM0, RaceEventKind::Install(fill(9, 11, 21, 0)));
+        o.observe(
+            Cycle(2),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 9,
+                ts: 12,
+                epoch: 0,
+            },
+        );
+        let r = o.report();
+        assert!(rules(&r).contains(&"read-from-future"), "{r}");
+    }
+
+    #[test]
+    fn unmatched_recv_fires() {
+        let mut o = RaceOracle::new();
+        o.observe(Cycle(0), SM0, RaceEventKind::Recv { src: BANK, msg: 99 });
+        let r = o.report();
+        assert_eq!(rules(&r), vec!["unmatched-recv"]);
+    }
+
+    #[test]
+    fn warp_ts_regression_fires() {
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        for (c, ts) in [(2, 8), (3, 4)] {
+            o.observe(
+                Cycle(c),
+                SM0,
+                RaceEventKind::Read {
+                    block: B,
+                    version: 0,
+                    ts,
+                    epoch: 0,
+                },
+            );
+        }
+        let r = o.report();
+        assert!(rules(&r).contains(&"warp-ts-regression"), "{r}");
+    }
+
+    #[test]
+    fn crash_without_epoch_bump_fires() {
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        o.observe(Cycle(1), BANK, RaceEventKind::Crash);
+        deliver(&mut o, 2, SM0, fill(0, 0, 10, 0), 2);
+        let r = o.report();
+        assert!(rules(&r).contains(&"missing-epoch-bump"), "{r}");
+
+        // With a proper bump the same shape is clean.
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        o.observe(Cycle(1), BANK, RaceEventKind::Crash);
+        deliver(&mut o, 2, SM0, fill(0, 0, 10, 1), 2);
+        assert!(o.report().is_clean());
+    }
+
+    #[test]
+    fn epoch_reset_clears_sm_leases_and_frontier() {
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        o.observe(
+            Cycle(1),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 0,
+                ts: 9,
+                epoch: 0,
+            },
+        );
+        // Epoch 1: timestamps rebase; the old lease is gone, a fresh
+        // one is granted, and a smaller ts is fine again.
+        deliver(&mut o, 2, SM0, fill(0, 0, 10, 1), 2);
+        o.observe(
+            Cycle(3),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 0,
+                ts: 2,
+                epoch: 1,
+            },
+        );
+        let r = o.report();
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn findings_dedup_before_cap() {
+        let mut o = RaceOracle::new();
+        deliver(&mut o, 0, SM0, fill(0, 0, 10, 0), 1);
+        for c in 0..300u64 {
+            o.observe(
+                Cycle(10 + c),
+                SM0,
+                RaceEventKind::Read {
+                    block: B,
+                    version: 0,
+                    ts: 11 + c,
+                    epoch: 0,
+                },
+            );
+        }
+        let r = o.report();
+        // 300 violating reads at one (rule, actor, block) fold into a
+        // single entry with a count, far below the cap.
+        let past: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "read-past-lease")
+            .collect();
+        assert_eq!(past.len(), 1);
+        assert_eq!(past[0].count, 300);
+        assert_eq!(r.suppressed, 0);
+        assert!(past[0].to_string().contains("(x300)"), "{}", past[0]);
+    }
+
+    #[test]
+    fn distinct_findings_past_cap_are_counted_not_dropped_silently() {
+        let mut f = FindingSet::default();
+        for i in 0..(MAX_RACE_FINDINGS as u64 + 40) {
+            f.push(
+                "read-unleased",
+                Cycle(i),
+                SM0,
+                Some(BlockAddr(i)),
+                String::new(),
+            );
+        }
+        assert_eq!(f.findings.len(), MAX_RACE_FINDINGS);
+        assert_eq!(f.suppressed, 40);
+        let r = RaceReport {
+            findings: f.findings,
+            suppressed: f.suppressed,
+            events: 0,
+        };
+        assert!(!r.is_clean());
+        assert!(
+            r.lines().last().expect("has lines").contains("suppressed"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn scan_trace_flags_synthetic_violations_and_passes_clean_stream() {
+        use gtsc_trace::TraceEvent;
+        let clean = [
+            TraceEvent {
+                cycle: Cycle(1),
+                scope: BANK,
+                kind: EventKind::LeaseGrant {
+                    block: B,
+                    wts: 0,
+                    rts: 10,
+                },
+            },
+            TraceEvent {
+                cycle: Cycle(2),
+                scope: SM0,
+                kind: EventKind::Hit {
+                    block: B,
+                    warp: 0,
+                    warp_ts: 4,
+                    rts: 10,
+                },
+            },
+            TraceEvent {
+                cycle: Cycle(3),
+                scope: BANK,
+                kind: EventKind::StoreCommit { block: B, wts: 11 },
+            },
+            TraceEvent {
+                cycle: Cycle(4),
+                scope: BANK,
+                kind: EventKind::Rollover { epoch: 1 },
+            },
+            TraceEvent {
+                cycle: Cycle(5),
+                scope: BANK,
+                kind: EventKind::StoreCommit { block: B, wts: 1 },
+            },
+        ];
+        assert!(scan_trace(&clean).is_clean(), "{}", scan_trace(&clean));
+
+        let dirty = [
+            TraceEvent {
+                cycle: Cycle(1),
+                scope: BANK,
+                kind: EventKind::LeaseGrant {
+                    block: B,
+                    wts: 0,
+                    rts: 10,
+                },
+            },
+            TraceEvent {
+                cycle: Cycle(2),
+                scope: BANK,
+                kind: EventKind::StoreCommit { block: B, wts: 5 },
+            },
+            TraceEvent {
+                cycle: Cycle(3),
+                scope: BANK,
+                kind: EventKind::StoreCommit { block: B, wts: 5 },
+            },
+            TraceEvent {
+                cycle: Cycle(4),
+                scope: SM0,
+                kind: EventKind::Hit {
+                    block: B,
+                    warp: 0,
+                    warp_ts: 12,
+                    rts: 10,
+                },
+            },
+            TraceEvent {
+                cycle: Cycle(5),
+                scope: BANK,
+                kind: EventKind::BankReset { bank: 0, epoch: 0 },
+            },
+        ];
+        let r = scan_trace(&dirty);
+        for rule in [
+            "store-inside-lease",
+            "write-write-order",
+            "read-past-lease",
+            "missing-epoch-bump",
+        ] {
+            assert!(rules(&r).contains(&rule), "missing {rule} in {r}");
+        }
+    }
+}

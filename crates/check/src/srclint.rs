@@ -1,4 +1,8 @@
-//! Source-level lints over the protocol crates.
+//! Source-level lints over the protocol crates — the **legacy**
+//! line-regex engine, kept as the `src_lint --legacy` fallback and as
+//! a parity baseline while the token-level engine in `gtsc-lint`
+//! (string/comment aware, span-accurate, plus determinism rules) is
+//! the default. New rules land in `gtsc-lint`, not here.
 //!
 //! Four rules, all protecting review invariants that `rustc` cannot:
 //!

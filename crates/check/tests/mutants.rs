@@ -1,0 +1,142 @@
+//! Oracle validation against seeded protocol mutants.
+//!
+//! Each [`ProtocolMutation`] disables exactly one protocol guard in the
+//! real controllers (behind a test-only hook; production code never
+//! sets it). These tests assert the contract the race oracle claims:
+//!
+//! * every mutant is flagged on at least one exhaustively-explored
+//!   schedule of a small litmus shape, and
+//! * at least one mutant is invisible to the online transition
+//!   sanitizer on *every* schedule — the oracle catches bugs the
+//!   sanitizer structurally cannot see, because the sanitizer checks
+//!   local transition invariants while the oracle checks global
+//!   ordering against message causality.
+//!
+//! A healthy control run of every shape is included so a flag can never
+//! be a false positive of the shape itself.
+
+use gtsc_check::explore::explore_all;
+use gtsc_check::harness::{HarnessCfg, MicroGtsc};
+use gtsc_check::litmus::Op;
+use gtsc_core::ProtocolMutation;
+
+fn ld(id: u32, block: u64) -> Op {
+    Op::Load { id, block }
+}
+fn st(block: u64, label: u32) -> Op {
+    Op::Store { block, label }
+}
+
+/// Explores every schedule; returns (any schedule had a race finding
+/// matching `rule`, any schedule had a sanitizer violation).
+fn explore(progs: &[Vec<Op>], cfg: HarnessCfg, rule: &str) -> (bool, bool) {
+    let r = explore_all(|| MicroGtsc::new(progs, cfg), 200_000);
+    assert!(!r.truncated, "mutant exploration must stay exhaustive");
+    let flagged = r
+        .outcomes
+        .iter()
+        .any(|(_, _, races)| races.iter().any(|f| f.contains(rule)));
+    let sanitizer_fired = r.outcomes.iter().any(|(_, v, _)| !v.is_empty());
+    (flagged, sanitizer_fired)
+}
+
+/// A reader whose third load hits a resident-but-expired line: T1
+/// re-reads block 0 after its warp timestamp was dragged past the
+/// original lease by T0's stores.
+fn expired_hit_shape() -> Vec<Vec<Op>> {
+    vec![
+        vec![st(0, 1), st(1, 2)],
+        vec![ld(10, 0), ld(11, 1), ld(12, 0)],
+    ]
+}
+
+/// A reader leases a block, then a writer stores to it.
+fn lease_then_store_shape() -> Vec<Vec<Op>> {
+    vec![vec![st(0, 9)], vec![ld(10, 0), ld(11, 0)]]
+}
+
+/// Message passing across a bank crash (the crash lands before the
+/// second serve on every schedule).
+fn crash_shape() -> (Vec<Vec<Op>>, HarnessCfg) {
+    (
+        vec![vec![st(0, 1), st(1, 2)], vec![ld(10, 1), ld(11, 0)]],
+        HarnessCfg {
+            crash_after_serves: Some(2),
+            ..HarnessCfg::default()
+        },
+    )
+}
+
+#[test]
+fn healthy_controls_are_clean() {
+    for (progs, cfg) in [
+        (expired_hit_shape(), HarnessCfg::default()),
+        (lease_then_store_shape(), HarnessCfg::default()),
+        crash_shape(),
+    ] {
+        let r = explore_all(|| MicroGtsc::new(&progs, cfg), 200_000);
+        assert!(!r.truncated);
+        for (_, violations, races) in &r.outcomes {
+            assert!(violations.is_empty(), "{violations:?}");
+            assert!(races.is_empty(), "{races:?}");
+        }
+    }
+}
+
+/// Mutant 1: the L1 serves hits past the lease's `rts`. The sanitizer
+/// (which only checks warp-timestamp monotonicity and per-line
+/// invariants) stays silent on every schedule; the oracle flags the
+/// read serialized outside its granted interval.
+#[test]
+fn serve_read_past_rts_is_flagged_by_oracle_not_sanitizer() {
+    let cfg = HarnessCfg {
+        mutation: ProtocolMutation::ServeReadPastRts,
+        ..HarnessCfg::default()
+    };
+    let (flagged, sanitizer_fired) = explore(&expired_hit_shape(), cfg, "read-past-lease");
+    assert!(flagged, "oracle must flag the expired-lease hit");
+    assert!(
+        !sanitizer_fired,
+        "this mutant must be invisible to the sanitizer — if it became \
+         visible, the 'oracle catches what the sanitizer misses' claim \
+         needs a new witness"
+    );
+}
+
+/// Mutant 2: the L2 stamps stores with `max(wts+1, warp_ts)` instead of
+/// `max(rts+1, warp_ts)`, landing commits inside outstanding read
+/// leases. Per-block `wts` stays strictly increasing, so the sanitizer's
+/// monotonicity checks pass on every schedule; the oracle compares the
+/// commit against the granted-lease high-water mark and flags it.
+#[test]
+fn skip_lease_expiry_on_store_is_flagged_by_oracle_not_sanitizer() {
+    let cfg = HarnessCfg {
+        mutation: ProtocolMutation::SkipLeaseExpiryOnStore,
+        ..HarnessCfg::default()
+    };
+    let (flagged, sanitizer_fired) = explore(&lease_then_store_shape(), cfg, "store-inside-lease");
+    assert!(
+        flagged,
+        "oracle must flag the commit inside a granted lease"
+    );
+    assert!(
+        !sanitizer_fired,
+        "this mutant must be invisible to the sanitizer — if it became \
+         visible, the 'oracle catches what the sanitizer misses' claim \
+         needs a new witness"
+    );
+}
+
+/// Mutant 3: bank recovery keeps the old epoch, so orphaned L1 leases
+/// are never invalidated. The oracle's crash rule demands a strictly
+/// newer epoch on the bank's first post-crash grant.
+#[test]
+fn skip_epoch_bump_on_recovery_is_flagged_by_oracle() {
+    let (progs, cfg) = crash_shape();
+    let cfg = HarnessCfg {
+        mutation: ProtocolMutation::SkipEpochBumpOnRecovery,
+        ..cfg
+    };
+    let (flagged, _) = explore(&progs, cfg, "missing-epoch-bump");
+    assert!(flagged, "oracle must flag the un-bumped recovery epoch");
+}

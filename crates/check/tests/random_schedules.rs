@@ -55,8 +55,9 @@ proptest! {
     #[test]
     fn random_impl_schedule_is_within_spec(choices in proptest::collection::vec(0usize..4, 0..24)) {
         let mut m = MicroGtsc::new(&shape(), HarnessCfg::default());
-        let (observations, violations) = run_schedule(&mut m, &choices);
+        let (observations, violations, races) = run_schedule(&mut m, &choices);
         prop_assert!(violations.is_empty(), "sanitizer violations: {violations:?}");
+        prop_assert!(races.is_empty(), "race-oracle findings: {races:?}");
         prop_assert!(
             spec_outcomes().contains(&observations),
             "outcome not producible by the reference model: {observations:?}"
@@ -97,11 +98,47 @@ fn random_rollover_schedules_stay_within_spec() {
             })
             .collect();
         let mut m = MicroGtsc::new(&shape(), cfg);
-        let (observations, violations) = run_schedule(&mut m, &choices);
+        let (observations, violations, races) = run_schedule(&mut m, &choices);
         assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        assert!(races.is_empty(), "seed {seed}: {races:?}");
         assert!(
             spec.contains(&observations),
             "seed {seed}: rollover manufactured outcome {observations:?}"
         );
+    }
+}
+
+/// The race oracle stays silent across 100 seeded random schedules of
+/// the large shape, under the default, rollover, crash, and duplicate
+/// configurations — no false positives outside the exhaustive catalog.
+#[test]
+fn race_oracle_clean_on_100_random_schedules() {
+    let cfgs = [
+        HarnessCfg::default(),
+        HarnessCfg {
+            lease: 10,
+            ts_bits: 4,
+            ..HarnessCfg::default()
+        },
+        HarnessCfg {
+            crash_after_serves: Some(3),
+            ..HarnessCfg::default()
+        },
+        HarnessCfg {
+            duplicate_serves: true,
+            ..HarnessCfg::default()
+        },
+    ];
+    for seed in 0u64..100 {
+        let cfg = cfgs[(seed % 4) as usize];
+        let choices: Vec<usize> = (0u64..24)
+            .map(|i| {
+                ((seed.wrapping_mul(2_246_822_519).wrapping_add(i * 68_041)) >> 9) as usize % 4
+            })
+            .collect();
+        let mut m = MicroGtsc::new(&shape(), cfg);
+        let (_, violations, races) = run_schedule(&mut m, &choices);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        assert!(races.is_empty(), "seed {seed}: {races:?}");
     }
 }

@@ -30,6 +30,7 @@ use gtsc_types::{
     VisibilityPolicy, WarpId,
 };
 
+use crate::mutation::ProtocolMutation;
 use crate::rules::{lease_covers, load_ts, merge_rts};
 
 /// A retained pre-store copy (the `DualCopy` visibility policy).
@@ -159,6 +160,9 @@ pub struct GtscL1 {
     tracer: Tracer,
     sanitizer: Sanitizer,
     spans: SpanTracker,
+    /// Test-only protocol mutant (see [`crate::mutation`]); `None` in
+    /// production.
+    mutation: ProtocolMutation,
 }
 
 impl GtscL1 {
@@ -180,8 +184,16 @@ impl GtscL1 {
             tracer: Tracer::disabled(),
             sanitizer: Sanitizer::disabled(),
             spans: SpanTracker::disabled(),
+            mutation: ProtocolMutation::None,
             p,
         }
+    }
+
+    /// Arms a seeded protocol mutant (oracle validation only; see
+    /// [`crate::mutation`]).
+    #[doc(hidden)]
+    pub fn set_mutation(&mut self, mutation: ProtocolMutation) {
+        self.mutation = mutation;
     }
 
     /// Current timestamp of `warp` (exposed for tests and the checker).
@@ -641,7 +653,9 @@ impl L1Controller for GtscL1 {
                     }
                     return outcome;
                 }
-                if lease_covers(line.meta.rts, warp_now) {
+                if lease_covers(line.meta.rts, warp_now)
+                    || self.mutation == ProtocolMutation::ServeReadPastRts
+                {
                     self.stats.accesses += 1;
                     self.stats.hits += 1;
                     let line_rts = line.meta.rts;

@@ -20,6 +20,7 @@ use gtsc_types::{
     BlockAddr, CacheGeometry, CacheStats, Cycle, InclusionPolicy, Lease, SpanId, Timestamp, Version,
 };
 
+use crate::mutation::ProtocolMutation;
 use crate::rules::{extend_rts, fold_mem_ts, grant_rts, store_wts};
 
 /// Per-line L2 coherence state.
@@ -131,6 +132,9 @@ pub struct GtscL2 {
     /// Last cycle observed on any driving call (stamps events from
     /// clock-less trait methods like `apply_reset`).
     clock: Cycle,
+    /// Test-only protocol mutant (see [`crate::mutation`]); `None` in
+    /// production.
+    mutation: ProtocolMutation,
 }
 
 impl GtscL2 {
@@ -153,8 +157,16 @@ impl GtscL2 {
             sanitizer: Sanitizer::disabled(),
             spans: SpanTracker::disabled(),
             clock: Cycle(0),
+            mutation: ProtocolMutation::None,
             p,
         }
+    }
+
+    /// Arms a seeded protocol mutant (oracle validation only; see
+    /// [`crate::mutation`]).
+    #[doc(hidden)]
+    pub fn set_mutation(&mut self, mutation: ProtocolMutation) {
+        self.mutation = mutation;
     }
 
     /// The bank's current memory timestamp (exposed for tests and stats).
@@ -319,7 +331,15 @@ impl GtscL2 {
                 // the store (or the write half of an atomic) is simply
                 // scheduled after every outstanding lease.
                 let prev = line.meta.version;
-                let wts = store_wts(line.meta.rts, w.warp_ts);
+                let wts = if self.mutation == ProtocolMutation::SkipLeaseExpiryOnStore {
+                    // Mutant: ignore outstanding read leases; keep only
+                    // per-block monotonicity so the sanitizer's wts check
+                    // stays silent and the race oracle must catch it.
+                    // lint: allow(raw-ts-arith): deliberate broken variant of store_wts.
+                    line.meta.wts.succ().max(w.warp_ts)
+                } else {
+                    store_wts(line.meta.rts, w.warp_ts)
+                };
                 line.meta.wts = wts;
                 line.meta.rts = grant_rts(wts, lease);
                 line.meta.renew_streak = 0;
@@ -561,6 +581,13 @@ impl L2Controller for GtscL2 {
         // Section V-D: wts ← 1, rts ← lease, mem_ts ← 1; data is intact so
         // nothing is flushed. Subsequent responses carry the new epoch,
         // telling L1s to flush and reset their warp timestamps.
+        let epoch = if self.mutation == ProtocolMutation::SkipEpochBumpOnRecovery {
+            // Mutant: rebase every timestamp but stay in the old epoch, so
+            // L1s never learn their leases died with the reset.
+            self.epoch
+        } else {
+            epoch
+        };
         let lease = self.p.lease;
         for line in self.tags.iter_mut() {
             line.meta.wts = Timestamp::INIT;
@@ -588,8 +615,7 @@ impl L2Controller for GtscL2 {
         }
         // Every in-flight transaction dies with the bank: close their
         // sampled spans so no span leaks open across the reset.
-        let in_flight: Vec<BlockAddr> = self.pending.blocks().collect();
-        for block in in_flight {
+        for block in self.pending.blocks() {
             for w in self.pending.take(block) {
                 self.spans.close(w.msg.span(), CloseReason::BankReset, now);
             }
@@ -662,7 +688,13 @@ impl L2Controller for GtscL2 {
     }
 
     fn memory_image(&self) -> Vec<(BlockAddr, Version)> {
-        let mut img: std::collections::HashMap<BlockAddr, Version> = self.backing.clone();
+        // BTreeMap so the returned image is sorted by block address and
+        // never leaks the hash-keyed backing store's iteration order.
+        let mut img: std::collections::BTreeMap<BlockAddr, Version> = self
+            .backing
+            .iter() // lint: allow(hash-iter): re-keyed into a BTreeMap before anything observes the order.
+            .map(|(b, v)| (*b, *v))
+            .collect();
         for line in self.tags.iter() {
             img.insert(line.block, line.meta.version);
         }

@@ -62,7 +62,10 @@
 
 pub mod l1;
 pub mod l2;
+pub mod mutation;
 pub mod rules;
 
 pub use l1::{GtscL1, L1Params};
 pub use l2::{GtscL2, L2Params};
+#[doc(hidden)]
+pub use mutation::ProtocolMutation;

@@ -1,0 +1,36 @@
+//! Seeded protocol mutants for oracle validation.
+//!
+//! The race oracle in `gtsc-check` claims to catch coherence bugs the
+//! online sanitizer cannot see. That claim needs teeth: each variant
+//! here disables exactly one protocol guard, and the mutation tests in
+//! `crates/check/tests/mutants.rs` assert that the oracle flags every
+//! mutant on some exhaustively-explored schedule — and that the
+//! sanitizer alone stays silent on at least one of them.
+//!
+//! The hooks are `#[doc(hidden)]` and default to [`ProtocolMutation::None`]:
+//! production code never sets them, and the `None` arm compiles to the
+//! unmutated protocol (a single enum compare on the affected paths).
+
+/// Which single protocol guard to disable. Test-only; see the module
+/// docs.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolMutation {
+    /// The unmutated protocol.
+    #[default]
+    None,
+    /// The L1 serves a resident line to a warp whose timestamp is past
+    /// the line's `rts` (drops hit condition 2 of Figure 2). The warp
+    /// reads data whose lease expired — a stale read the renewal
+    /// machinery exists to prevent.
+    ServeReadPastRts,
+    /// The L2 stamps a store with `max(wts.succ(), warp_ts)` instead of
+    /// `max(rts + 1, warp_ts)` (drops the Figure 5 lease-expiry guard).
+    /// The store lands logically *inside* outstanding read leases, so a
+    /// reader can observe old data at a logical time after the write.
+    SkipLeaseExpiryOnStore,
+    /// Bank recovery keeps the old epoch instead of entering the bumped
+    /// one (drops the Section V-D epoch advance on reset). L1s never
+    /// learn their leases died with the bank's coherence state.
+    SkipEpochBumpOnRecovery,
+}

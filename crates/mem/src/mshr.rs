@@ -143,9 +143,16 @@ impl<W> Mshr<W> {
         self.entries.len() >= self.max_entries
     }
 
-    /// Iterates over outstanding blocks.
-    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
-        self.entries.keys().copied()
+    /// Outstanding blocks, sorted: the table is hash-keyed, and callers
+    /// walk this list on result-affecting paths (crash recovery drains
+    /// waiters in this order), so raw map-iteration order must never
+    /// leak out.
+    #[must_use]
+    pub fn blocks(&self) -> Vec<BlockAddr> {
+        // lint: allow(hash-iter): sorted before anything observes the order.
+        let mut blocks: Vec<BlockAddr> = self.entries.keys().copied().collect();
+        blocks.sort_unstable();
+        blocks
     }
 }
 
@@ -224,8 +231,7 @@ mod tests {
                     returned.extend(m.take(BlockAddr(*b)));
                 }
             }
-            let blocks: Vec<_> = m.blocks().collect();
-            for b in blocks {
+            for b in m.blocks() {
                 returned.extend(m.take(b));
             }
             admitted.sort_unstable();
