@@ -10,13 +10,24 @@
 //! ```
 //!
 //! Run: `cargo run --release -p gtsc-bench --bin stress_faults
-//!       [-- --seeds N] [-- --start S] [-- --drop-rate PERMILLE]`
+//!       [-- --seeds N] [-- --start S] [-- --drop-rate PERMILLE]
+//!       [-- --gpus N] [-- --fabric-drop-rate PERMILLE] [-- --partition]`
 //!
 //! `--drop-rate` switches the storm from `FaultConfig::chaos` to
 //! `FaultConfig::lossy`: flits are dropped at the given rate (and
 //! corrupted at half of it) on top of the chaos perturbations, which
 //! arms the reliable-transport layer. `FAULT_SEED` repros compose with
 //! it — the failure line prints the exact flag combination to replay.
+//!
+//! `--gpus N` (N ≥ 2) moves the sweep to the multi-GPU system: the same
+//! scenario kernels run with CTAs spread across `N` devices under a
+//! shared home node, plus a device-crash/rejoin scenario.
+//! `--fabric-drop-rate` injects seeded packet loss on the inter-GPU
+//! fabric (independent stream from the on-die `--drop-rate`), and
+//! `--partition` schedules link-down windows that sever devices from
+//! the home mid-kernel. A failing multi-GPU storm additionally mines
+//! per-device fabric hotspots from the flight-recorder tail and prints
+//! each device's stall attribution.
 //!
 //! Every storm's flight-recorder tail is additionally swept by the
 //! happens-before race oracle's trace-tier scan
@@ -30,10 +41,11 @@
 use gtsc_check::scan_trace;
 use gtsc_faults::FaultStats;
 use gtsc_gpu::{VecKernel, WarpOp, WarpProgram};
-use gtsc_sim::GpuSim;
-use gtsc_trace::{EventKind, TraceEvent};
+use gtsc_sim::{GpuSim, MultiGpuSim};
+use gtsc_trace::{EventKind, Scope, TraceEvent};
 use gtsc_types::{
-    Addr, ConsistencyModel, FaultConfig, GpuConfig, ProtocolKind, SimStats, TraceConfig,
+    Addr, ConsistencyModel, FabricConfig, FaultConfig, GpuConfig, Lease, MultiGpuConfig,
+    ProtocolKind, SimStats, TraceConfig,
 };
 use gtsc_workloads::micro;
 
@@ -64,6 +76,8 @@ struct Scenario {
     kernel: VecKernel,
     /// Some(bits) shrinks the epoch budget to force rollover storms.
     ts_bits_cap: Option<u32>,
+    /// Multi-GPU sweeps only: schedule whole-device crash/rejoin events.
+    device_crashes: bool,
 }
 
 fn scenarios() -> Vec<Scenario> {
@@ -73,32 +87,52 @@ fn scenarios() -> Vec<Scenario> {
             model: ConsistencyModel::Sc,
             kernel: micro::message_passing(3),
             ts_bits_cap: None,
+            device_crashes: false,
         },
         Scenario {
             name: "mp-rc",
             model: ConsistencyModel::Rc,
             kernel: micro::message_passing(3),
             ts_bits_cap: None,
+            device_crashes: false,
         },
         Scenario {
             name: "contend-sc",
             model: ConsistencyModel::Sc,
             kernel: contended_atomics(),
             ts_bits_cap: None,
+            device_crashes: false,
         },
         Scenario {
             name: "contend-rc",
             model: ConsistencyModel::Rc,
             kernel: contended_atomics(),
             ts_bits_cap: None,
+            device_crashes: false,
         },
         Scenario {
             name: "rollover-storm",
             model: ConsistencyModel::Sc,
             kernel: contended_atomics(),
             ts_bits_cap: Some(6),
+            device_crashes: false,
         },
     ]
+}
+
+/// The multi-GPU sweep: the single-GPU scenarios (CTAs spread across
+/// devices, so the sharing lands on the fabric) plus a whole-device
+/// crash/rejoin storm.
+fn multi_scenarios() -> Vec<Scenario> {
+    let mut all = scenarios();
+    all.push(Scenario {
+        name: "device-crash",
+        model: ConsistencyModel::Sc,
+        kernel: contended_atomics(),
+        ts_bits_cap: None,
+        device_crashes: true,
+    });
+    all
 }
 
 /// One-line per-component hotspot summary: which SM / bank saw the
@@ -236,6 +270,168 @@ fn run_one(
     (failure, sim.fault_stats())
 }
 
+/// Multi-GPU sweep knobs (`--gpus`, `--fabric-drop-rate`,
+/// `--partition`), carried into every storm and the repro line.
+#[derive(Clone, Copy)]
+struct MultiOpts {
+    gpus: usize,
+    fabric_drop: Option<u16>,
+    partition: bool,
+}
+
+impl MultiOpts {
+    /// The flag tokens a repro command needs to replay this sweep.
+    fn repro_flags(&self) -> String {
+        let mut s = format!(" --gpus {}", self.gpus);
+        if let Some(p) = self.fabric_drop {
+            s.push_str(&format!(" --fabric-drop-rate {p}"));
+        }
+        if self.partition {
+            s.push_str(" --partition");
+        }
+        s
+    }
+}
+
+/// Per-device fabric hotspots from the flight-recorder tail: the up/down
+/// fabric nets trace under `Scope::Noc(2N)` / `Scope::Noc(2N + 1)`, with
+/// the device index as the up-net source and down-net destination. This
+/// answers *which device's link* was dropping and retransmitting when
+/// the storm went wrong — the transport totals only say how much.
+fn device_fabric_hotspots(tail: &[TraceEvent], n_devices: usize) -> Option<String> {
+    let up = Scope::Noc(2 * n_devices as u16);
+    let down = Scope::Noc(2 * n_devices as u16 + 1);
+    // (retransmits, nacks, drops+corruptions) per device.
+    let mut devs = vec![(0u64, 0u64, 0u64); n_devices];
+    for e in tail {
+        let dev = match (e.scope, e.kind) {
+            (s, EventKind::Retransmit { src, dst, .. })
+            | (s, EventKind::Nack { src, dst, .. })
+            | (s, EventKind::PacketDrop { src, dst })
+            | (s, EventKind::PacketCorrupt { src, dst })
+                if s == up || s == down =>
+            {
+                usize::from(if s == up { src } else { dst })
+            }
+            _ => continue,
+        };
+        let Some(slot) = devs.get_mut(dev) else {
+            continue;
+        };
+        match e.kind {
+            EventKind::Retransmit { .. } => slot.0 += 1,
+            EventKind::Nack { .. } => slot.1 += 1,
+            _ => slot.2 += 1,
+        }
+    }
+    if devs.iter().all(|&(r, n, d)| r + n + d == 0) {
+        return None;
+    }
+    let shown: Vec<String> = devs
+        .iter()
+        .enumerate()
+        .map(|(i, (r, n, d))| format!("dev{i}={r}rtx/{n}nack/{d}drop"))
+        .collect();
+    Some(format!("fabric hotspots by device: [{}]", shown.join(" ")))
+}
+
+/// Runs one (seed, scenario) multi-GPU storm. On-die faults mirror the
+/// single-GPU sweep; the fabric gets its own seed-pure fault stream
+/// (loss, partitions, device crashes) from the multi knobs.
+fn run_one_multi(
+    seed: u64,
+    sc: &Scenario,
+    opts: MultiOpts,
+    drop_permille: Option<u16>,
+) -> (Option<String>, Option<FaultStats>) {
+    let mut faults = match drop_permille {
+        Some(p) => FaultConfig::lossy(seed, p),
+        None => FaultConfig::chaos(seed),
+    };
+    let mut fabric = FabricConfig::default();
+    if let Some(bits) = sc.ts_bits_cap {
+        faults.ts_bits_cap = bits;
+        // The rebased grant must leave rollover headroom in the shrunken
+        // timestamp budget (`MultiGpuSim::try_build` rejects it
+        // otherwise): quarter of the range, mirroring the exhaustive
+        // rollover litmus configuration.
+        fabric.grant_lease = Lease(((1u64 << bits) / 4).min(fabric.grant_lease.0));
+    }
+    if let Some(p) = opts.fabric_drop {
+        fabric = fabric.lossy(seed, p);
+    } else {
+        // Partition and crash schedules still derive from the seed even
+        // when the loss layer is off.
+        fabric.faults.seed = seed;
+    }
+    if opts.partition {
+        fabric = fabric.with_partitions(2, 3_000, 1_500);
+    }
+    if sc.device_crashes {
+        fabric = fabric.with_device_crashes(2, 2_000);
+    }
+    let cfg = MultiGpuConfig {
+        n_devices: opts.gpus,
+        gpu: GpuConfig::test_small()
+            .with_protocol(ProtocolKind::Gtsc)
+            .with_consistency(sc.model)
+            .with_faults(faults)
+            .with_trace(TraceConfig::flight()),
+        fabric,
+    };
+    let mut sim = MultiGpuSim::new(cfg);
+    let failure = match sim.run_kernel(&sc.kernel) {
+        Ok(report) if report.violations.is_empty() => {
+            let races = scan_trace(&report.trace_tail);
+            if races.is_clean() {
+                None
+            } else {
+                let mut why = format!(
+                    "race oracle flagged {} distinct ordering finding(s) in the trace tail:",
+                    races.findings.len()
+                );
+                for l in races.lines() {
+                    why.push_str(&format!("\n    {l}"));
+                }
+                Some(why)
+            }
+        }
+        Ok(report) => {
+            let mut why = format!(
+                "{} violation(s): {:?}",
+                report.violations.len(),
+                report.violations
+            );
+            let tail = &report.trace_tail;
+            if !tail.is_empty() {
+                let shown = tail.len().min(16);
+                why.push_str(&format!("\n  last {shown} trace events:"));
+                for e in &tail[tail.len() - shown..] {
+                    why.push_str(&format!("\n    {e}"));
+                }
+            }
+            why.push_str(&format!("\n  {}", hotspots(&report.stats)));
+            if let Some(t) = transport_hotspots(tail) {
+                why.push_str(&format!("\n  {t}"));
+            }
+            Some(why)
+        }
+        Err(e) => Some(format!("did not complete: {e}")),
+    };
+    // A failing multi-GPU storm gets the device-scoped post-mortem: which
+    // link was hot in the tail, and what each device was stalled on.
+    let failure = failure.map(|mut why| {
+        if let Some(h) = device_fabric_hotspots(&sim.flight_tail(), opts.gpus) {
+            why.push_str(&format!("\n  {h}"));
+        }
+        for d in sim.device_stalls() {
+            why.push_str(&format!("\n  {d}"));
+        }
+        why
+    });
+    (failure, sim.fault_stats())
+}
+
 fn arg_value(name: &str) -> Option<u64> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
@@ -265,17 +461,50 @@ fn main() {
         eprintln!("error: empty seed sweep (--seeds 0) would vacuously pass");
         std::process::exit(2);
     }
-    let drop_rate = arg_value("--drop-rate").map(|p| {
-        u16::try_from(p).unwrap_or_else(|_| {
-            eprintln!("error: --drop-rate {p} does not fit in permille (u16)");
-            std::process::exit(2);
+    let permille = |name: &str| {
+        arg_value(name).map(|p| {
+            u16::try_from(p).unwrap_or_else(|_| {
+                eprintln!("error: {name} {p} does not fit in permille (u16)");
+                std::process::exit(2);
+            })
         })
+    };
+    let drop_rate = permille("--drop-rate");
+    let multi = arg_value("--gpus").map(|n| {
+        if n < 2 {
+            eprintln!("error: --gpus {n} — the multi-GPU sweep needs at least 2 devices");
+            std::process::exit(2);
+        }
+        MultiOpts {
+            gpus: n as usize,
+            fabric_drop: permille("--fabric-drop-rate"),
+            partition: std::env::args().any(|a| a == "--partition"),
+        }
     });
-    let scenarios = scenarios();
-    let storm_kind = match drop_rate {
+    if multi.is_none()
+        && (std::env::args().any(|a| a == "--partition")
+            || permille("--fabric-drop-rate").is_some())
+    {
+        eprintln!("error: --fabric-drop-rate/--partition need --gpus N (they are fabric knobs)");
+        std::process::exit(2);
+    }
+    let scenarios = match multi {
+        Some(_) => multi_scenarios(),
+        None => scenarios(),
+    };
+    let mut storm_kind = match drop_rate {
         Some(p) => format!("lossy storms ({p} permille drop)"),
         None => "chaos storms".to_string(),
     };
+    if let Some(m) = multi {
+        storm_kind.push_str(&format!(" across {} GPUs", m.gpus));
+        if let Some(p) = m.fabric_drop {
+            storm_kind.push_str(&format!(", fabric loss {p} permille"));
+        }
+        if m.partition {
+            storm_kind.push_str(", partitions scheduled");
+        }
+    }
     println!(
         "== fault soak: {} seeds x {} scenarios = {} {storm_kind} ==",
         seeds.len(),
@@ -288,18 +517,27 @@ fn main() {
     let mut failures = Vec::new();
     for &seed in &seeds {
         for sc in &scenarios {
-            let (failure, stats) = run_one(seed, sc, drop_rate);
+            let (failure, stats) = match multi {
+                Some(opts) => run_one_multi(seed, sc, opts, drop_rate),
+                None => run_one(seed, sc, drop_rate),
+            };
             runs += 1;
             if let Some(s) = stats {
                 total.merge(&s);
             }
             if let Some(why) = failure {
                 println!("FAIL seed {seed} [{}]: {why}", sc.name);
-                let drop_flag = drop_rate
-                    .map(|p| format!(" -- --drop-rate {p}"))
+                let mut flags = drop_rate
+                    .map(|p| format!(" --drop-rate {p}"))
                     .unwrap_or_default();
+                if let Some(m) = multi {
+                    flags.push_str(&m.repro_flags());
+                }
+                if !flags.is_empty() {
+                    flags = format!(" --{flags}");
+                }
                 println!(
-                    "  repro: FAULT_SEED={seed} cargo run --release -p gtsc-bench --bin stress_faults{drop_flag}"
+                    "  repro: FAULT_SEED={seed} cargo run --release -p gtsc-bench --bin stress_faults{flags}"
                 );
                 failures.push((seed, sc.name));
             }

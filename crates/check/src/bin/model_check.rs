@@ -2,18 +2,20 @@
 //!
 //! Runs every schedule of every suite shape (including IRIW) through
 //! the real `GtscL1`/`GtscL2` controllers and the operational reference
-//! model, printing per-shape schedule counts and outcome sets. Exits
-//! nonzero if any shape fails soundness (`impl ⊆ spec`), shows a
-//! forbidden outcome, misses a required outcome, trips the transition
-//! sanitizer, or is flagged by the happens-before race oracle on any
-//! schedule. `--races` prints the oracle's verdict per shape even when
-//! clean.
+//! model, then every cross-GPU shape (threads pinned to devices under a
+//! shared home node, including IRIW-across-devices and a device-crash
+//! variant) through the hierarchical fabric harness. Prints per-shape
+//! schedule counts and outcome sets. Exits nonzero if any shape fails
+//! soundness (`impl ⊆ spec`), shows a forbidden outcome, misses a
+//! required outcome, trips the transition sanitizer, or is flagged by
+//! the happens-before race oracle on any schedule. `--races` prints the
+//! oracle's verdict per shape even when clean.
 //!
 //! ```text
 //! model_check [--verbose] [--races] [--max-schedules N]
 //! ```
 
-use gtsc_check::litmus::{all_litmus, run_litmus};
+use gtsc_check::litmus::{all_litmus, all_litmus_multi, run_litmus, run_litmus_multi, LitmusRun};
 
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -23,6 +25,56 @@ fn arg_value(name: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// Prints one run's report; returns whether it failed.
+fn report(r: &LitmusRun, verbose: bool, races: bool) -> bool {
+    println!("{}", r.summary());
+    if verbose || !r.ok() {
+        for o in &r.impl_outcomes {
+            let tag = if r.spec_outcomes.contains(o) {
+                "ok  "
+            } else {
+                "UNEXPLAINED"
+            };
+            println!("    {tag} {o:?}");
+        }
+    }
+    if races {
+        if r.race_findings.is_empty() {
+            println!("    race oracle: clean on every schedule");
+        } else {
+            println!(
+                "    race oracle: {} distinct finding(s)",
+                r.race_findings.len()
+            );
+        }
+    }
+    if r.ok() {
+        return false;
+    }
+    if r.truncated {
+        println!(
+            "    FAIL: exploration truncated at {} schedules",
+            r.schedules
+        );
+    }
+    for o in &r.unexplained {
+        println!("    FAIL: outcome not producible by the reference model: {o:?}");
+    }
+    for (name, o) in &r.forbidden_hits {
+        println!("    FAIL: forbidden outcome `{name}` observed: {o:?}");
+    }
+    for name in &r.missing_required {
+        println!("    FAIL: required outcome `{name}` never observed");
+    }
+    for v in &r.sanitizer_violations {
+        println!("    FAIL: {v}");
+    }
+    for f in &r.race_findings {
+        println!("    FAIL: race oracle: {f}");
+    }
+    true
 }
 
 fn main() {
@@ -37,51 +89,13 @@ fn main() {
     println!();
     for litmus in all_litmus() {
         let r = run_litmus(&litmus, max_schedules);
-        println!("{}", r.summary());
-        if verbose || !r.ok() {
-            for o in &r.impl_outcomes {
-                let tag = if r.spec_outcomes.contains(o) {
-                    "ok  "
-                } else {
-                    "UNEXPLAINED"
-                };
-                println!("    {tag} {o:?}");
-            }
-        }
-        if races {
-            if r.race_findings.is_empty() {
-                println!("    race oracle: clean on every schedule");
-            } else {
-                println!(
-                    "    race oracle: {} distinct finding(s)",
-                    r.race_findings.len()
-                );
-            }
-        }
-        if !r.ok() {
-            failed += 1;
-            if r.truncated {
-                println!(
-                    "    FAIL: exploration truncated at {} schedules",
-                    r.schedules
-                );
-            }
-            for o in &r.unexplained {
-                println!("    FAIL: outcome not producible by the reference model: {o:?}");
-            }
-            for (name, o) in &r.forbidden_hits {
-                println!("    FAIL: forbidden outcome `{name}` observed: {o:?}");
-            }
-            for name in &r.missing_required {
-                println!("    FAIL: required outcome `{name}` never observed");
-            }
-            for v in &r.sanitizer_violations {
-                println!("    FAIL: {v}");
-            }
-            for f in &r.race_findings {
-                println!("    FAIL: race oracle: {f}");
-            }
-        }
+        failed += usize::from(report(&r, verbose, races));
+    }
+    println!();
+    println!("cross-GPU shapes (devices under a shared home node, flat reference model):");
+    for litmus in all_litmus_multi() {
+        let r = run_litmus_multi(&litmus, max_schedules);
+        failed += usize::from(report(&r, verbose, races));
     }
     println!();
     if failed > 0 {

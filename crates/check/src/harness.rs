@@ -348,43 +348,7 @@ impl MicroGtsc {
     /// The oracle applies the L1's epoch-gating itself, so stale-epoch
     /// responses dropped by the L1 are dropped here too.
     fn observe_response(&mut self, dst: usize, resp: L2ToL1) {
-        fn logical(lease: LeaseInfo) -> Option<(u64, u64)> {
-            match lease {
-                LeaseInfo::Logical { wts, rts } => Some((wts.0, rts.0)),
-                LeaseInfo::Physical { .. } | LeaseInfo::None => None,
-            }
-        }
-        let meta = match resp {
-            L2ToL1::Fill(f) => logical(f.lease).map(|(wts, rts)| RespMeta::Fill {
-                block: f.block,
-                version: f.version.0,
-                wts,
-                rts,
-                epoch: f.epoch,
-            }),
-            L2ToL1::Renew {
-                block,
-                lease,
-                epoch,
-                ..
-            } => logical(lease).map(|(wts, rts)| RespMeta::Renew {
-                block,
-                wts,
-                rts,
-                epoch,
-            }),
-            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
-                logical(a.lease).map(|(wts, rts)| RespMeta::WriteAck {
-                    block: a.block,
-                    version: a.version.0,
-                    wts,
-                    rts,
-                    epoch: a.epoch,
-                })
-            }
-            L2ToL1::Invalidate { .. } => None,
-        };
-        let Some(meta) = meta else { return };
+        let Some(meta) = resp_meta(resp) else { return };
         let bank = Scope::L2Bank(0);
         let sm = Scope::Sm(u16::try_from(dst).expect("SM index fits"));
         let msg = self.next_msg;
@@ -447,6 +411,48 @@ impl MicroGtsc {
             "observed version {v:?} does not decode to an issued store"
         );
         self.store_labels[sm][nth - 1]
+    }
+}
+
+/// Extracts the race-oracle view of an L2→L1 (or home→device) response:
+/// the logical lease interval it carries, or `None` for responses with
+/// no timestamp content (physical-lease baselines, invalidations).
+pub(crate) fn resp_meta(resp: L2ToL1) -> Option<RespMeta> {
+    fn logical(lease: LeaseInfo) -> Option<(u64, u64)> {
+        match lease {
+            LeaseInfo::Logical { wts, rts } => Some((wts.0, rts.0)),
+            LeaseInfo::Physical { .. } | LeaseInfo::None => None,
+        }
+    }
+    match resp {
+        L2ToL1::Fill(f) => logical(f.lease).map(|(wts, rts)| RespMeta::Fill {
+            block: f.block,
+            version: f.version.0,
+            wts,
+            rts,
+            epoch: f.epoch,
+        }),
+        L2ToL1::Renew {
+            block,
+            lease,
+            epoch,
+            ..
+        } => logical(lease).map(|(wts, rts)| RespMeta::Renew {
+            block,
+            wts,
+            rts,
+            epoch,
+        }),
+        L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+            logical(a.lease).map(|(wts, rts)| RespMeta::WriteAck {
+                block: a.block,
+                version: a.version.0,
+                wts,
+                rts,
+                epoch: a.epoch,
+            })
+        }
+        L2ToL1::Invalidate { .. } => None,
     }
 }
 

@@ -17,7 +17,13 @@
 //!   programs driven through the real `GtscL1`/`GtscL2` controllers and
 //!   compared against an operational reference model of the paper's
 //!   timestamp rules. Catches ordering bugs that need a particular
-//!   interleaving the random-traffic tests never draw.
+//!   interleaving the random-traffic tests never draw. The [`multi`]
+//!   harness extends this to the multi-GPU topology: threads pinned to
+//!   devices, one `DeviceL2` per device, a shared `HomeNode`, with
+//!   cross-GPU shapes (`xmp-sc`, `xiriw-sc`, a device-crash variant)
+//!   checked against the same flat reference model — hierarchical
+//!   lease delegation must not admit anything single-level G-TSC
+//!   forbids.
 //! * **Happens-before race oracle** ([`races`]) — an independent
 //!   ordering checker that derives happens-before from message
 //!   causality alone (vector clocks over send/receive edges, never the
@@ -37,6 +43,7 @@ pub mod explore;
 pub mod harness;
 pub mod lint;
 pub mod litmus;
+pub mod multi;
 pub mod races;
 pub mod spec;
 pub mod srclint;
@@ -45,7 +52,11 @@ pub use explore::{explore_all, Explored, Schedulable};
 pub use gtsc_trace::{Sanitizer, Transition};
 pub use harness::{HarnessCfg, MicroGtsc};
 pub use lint::{lint_events, Finding, LintReport, LintSpec, Severity, LINTS};
-pub use litmus::{all_litmus, run_litmus, Litmus, LitmusRun, Mode, Op};
+pub use litmus::{
+    all_litmus, all_litmus_multi, run_litmus, run_litmus_multi, Litmus, LitmusRun, Mode,
+    MultiLitmus, Op,
+};
+pub use multi::{MicroMultiGtsc, MultiHarnessCfg};
 pub use races::{
     scan_trace, RaceEventKind, RaceFinding, RaceOracle, RaceReport, RespMeta, MAX_RACE_FINDINGS,
 };

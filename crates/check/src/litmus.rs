@@ -30,6 +30,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::explore::explore_all;
 use crate::harness::{HarnessCfg, MicroGtsc};
+use crate::multi::{MicroMultiGtsc, MultiHarnessCfg};
 use crate::spec::SpecMachine;
 
 /// One thread operation in a litmus program.
@@ -559,6 +560,180 @@ pub fn mp_retransmit_storm_sc() -> Litmus {
             ("both-early", |o| o[&10] == 0 && o[&11] == 0),
         ],
     }
+}
+
+/// A litmus shape over multiple devices joined by the inter-GPU fabric:
+/// each thread is pinned to a device, and the whole shape runs through
+/// [`MicroMultiGtsc`] (per-device `DeviceL2`s under a shared
+/// `HomeNode`). The reference model stays the *flat* [`SpecMachine`] —
+/// hierarchical delegation must not admit any outcome the single-level
+/// timestamp rules forbid, so `impl ⊆ spec` is checked against the flat
+/// model with the grant lease (the widest interval any copy can hold).
+///
+/// Multi-device shapes are SC-only: per-thread issue stays in program
+/// order, and the nondeterminism under test is the home's serialization
+/// of cross-device traffic.
+#[derive(Debug, Clone)]
+pub struct MultiLitmus {
+    /// Shape name (e.g. `xmp-sc`).
+    pub name: &'static str,
+    /// One `(device, program)` pair per thread.
+    pub threads: Vec<(u16, Vec<Op>)>,
+    /// Harness configuration (leases, timestamp width, device crash).
+    pub cfg: MultiHarnessCfg,
+    /// Outcomes that must never appear.
+    pub forbidden: Vec<OutcomePred>,
+    /// Outcomes that must appear in the implementation's explored set.
+    pub required: Vec<OutcomePred>,
+}
+
+/// Explores every schedule of a multi-device litmus on the hierarchical
+/// implementation and the flat reference model, and evaluates the same
+/// checks as [`run_litmus`].
+#[must_use]
+pub fn run_litmus_multi(l: &MultiLitmus, max_schedules: u64) -> LitmusRun {
+    let mut impl_outcomes = BTreeSet::new();
+    let mut sanitizer_violations = BTreeSet::new();
+    let mut race_findings = BTreeSet::new();
+    let r = explore_all(|| MicroMultiGtsc::new(&l.threads, l.cfg), max_schedules);
+    let mut truncated = r.truncated;
+    let schedules = r.schedules;
+    for (obs, violations, races) in r.outcomes {
+        impl_outcomes.insert(obs);
+        sanitizer_violations.extend(violations);
+        race_findings.extend(races);
+    }
+    let flat: Vec<Vec<Op>> = l.threads.iter().map(|(_, p)| p.clone()).collect();
+    let s = explore_all(
+        || SpecMachine::new(&flat, l.cfg.grant_lease.max(l.cfg.lease)),
+        max_schedules,
+    );
+    truncated |= s.truncated;
+    let spec_schedules = s.schedules;
+    let spec_outcomes = s.outcomes;
+
+    let unexplained: Vec<Outcome> = impl_outcomes.difference(&spec_outcomes).cloned().collect();
+    let mut forbidden_hits = Vec::new();
+    for (name, pred) in &l.forbidden {
+        for o in &impl_outcomes {
+            if pred(o) {
+                forbidden_hits.push((*name, o.clone()));
+            }
+        }
+    }
+    let missing_required: Vec<&'static str> = l
+        .required
+        .iter()
+        .filter(|(_, pred)| !impl_outcomes.iter().any(pred))
+        .map(|(name, _)| *name)
+        .collect();
+    LitmusRun {
+        name: l.name,
+        impl_outcomes,
+        spec_outcomes,
+        schedules,
+        spec_schedules,
+        truncated,
+        unexplained,
+        forbidden_hits,
+        missing_required,
+        sanitizer_violations: sanitizer_violations.into_iter().collect(),
+        race_findings: race_findings.into_iter().collect(),
+    }
+}
+
+/// Cross-device message passing: the writer's two stores commit at the
+/// home via device 0, the reader observes through device 1's grants.
+/// Seeing the flag without the data is forbidden — hierarchical leases
+/// must keep the SC guarantee across the fabric.
+#[must_use]
+pub fn xmp_sc() -> MultiLitmus {
+    MultiLitmus {
+        name: "xmp-sc",
+        threads: vec![
+            (0, vec![st(0, 1), st(1, 2)]),
+            (1, vec![ld(10, 1), ld(11, 0)]),
+        ],
+        cfg: MultiHarnessCfg::default(),
+        forbidden: vec![("flag-without-data", |o| o[&10] == 2 && o[&11] == 0)],
+        required: vec![
+            ("sequential", |o| o[&10] == 2 && o[&11] == 1),
+            ("both-early", |o| o[&10] == 0 && o[&11] == 0),
+        ],
+    }
+}
+
+/// Cross-device store buffering: both devices store their own block and
+/// read the other's. Both loads returning the initial value is
+/// forbidden under SC even with each thread's traffic flowing through a
+/// different device.
+#[must_use]
+pub fn xsb_sc() -> MultiLitmus {
+    MultiLitmus {
+        name: "xsb-sc",
+        threads: vec![
+            (0, vec![st(0, 1), ld(20, 1)]),
+            (1, vec![st(1, 2), ld(21, 0)]),
+        ],
+        cfg: MultiHarnessCfg::default(),
+        forbidden: vec![("both-zero", |o| o[&20] == 0 && o[&21] == 0)],
+        required: vec![("one-sided", |o| o[&20] == 2 || o[&21] == 1)],
+    }
+}
+
+/// IRIW across four devices: two writers to independent blocks, two
+/// readers observing them in opposite orders, every thread on its own
+/// device. Disagreement on the store order is forbidden — the home's
+/// timestamp serialization must look like one total order to every
+/// device, however grants are delegated.
+#[must_use]
+pub fn xiriw_sc() -> MultiLitmus {
+    MultiLitmus {
+        name: "xiriw-sc",
+        threads: vec![
+            (0, vec![st(0, 7)]),
+            (1, vec![st(1, 8)]),
+            (2, vec![ld(50, 0), ld(51, 1)]),
+            (3, vec![ld(52, 1), ld(53, 0)]),
+        ],
+        cfg: MultiHarnessCfg::default(),
+        forbidden: vec![("readers-disagree", |o| {
+            o[&50] == 7 && o[&51] == 0 && o[&52] == 8 && o[&53] == 0
+        })],
+        required: vec![("sequential", |o| {
+            o[&50] == 7 && o[&51] == 8 && o[&52] == 8 && o[&53] == 7
+        })],
+    }
+}
+
+/// Cross-device message passing across a device crash: the writer's
+/// device is wiped just before the second serve, so on many schedules
+/// its committed stores exist only at the home when the reader arrives.
+/// Recovery (global epoch bump + grant reacquisition) must neither let
+/// the forbidden MP outcome through nor manufacture any outcome the
+/// never-crashing flat model cannot produce.
+#[must_use]
+pub fn xmp_device_crash_sc() -> MultiLitmus {
+    MultiLitmus {
+        name: "xmp-crash-sc",
+        threads: vec![
+            (0, vec![st(0, 1), st(1, 2)]),
+            (1, vec![ld(10, 1), ld(11, 0)]),
+        ],
+        cfg: MultiHarnessCfg {
+            crash_device_after_serves: Some((2, 0)),
+            ..MultiHarnessCfg::default()
+        },
+        forbidden: vec![("flag-without-data", |o| o[&10] == 2 && o[&11] == 0)],
+        required: vec![("sequential", |o| o[&10] == 2 && o[&11] == 1)],
+    }
+}
+
+/// The cross-GPU suite, cheapest first (the `model_check` binary and
+/// the exhaustive tests both run it alongside [`all_litmus`]).
+#[must_use]
+pub fn all_litmus_multi() -> Vec<MultiLitmus> {
+    vec![xmp_sc(), xsb_sc(), xmp_device_crash_sc(), xiriw_sc()]
 }
 
 /// The full suite, cheapest first (the `model_check` binary and the

@@ -25,7 +25,11 @@
 //!   (`read-from-future`, checked with vector clocks). Epoch resets
 //!   must move forward (`epoch-regression`), and a bank crash must be
 //!   followed by a bumped epoch before the bank speaks again
-//!   (`missing-epoch-bump`).
+//!   (`missing-epoch-bump`). In hierarchical (multi-GPU) runs a device
+//!   acts as both lease consumer and lease producer: every lease it
+//!   hands an L1 must nest inside an inter-GPU grant it actually holds
+//!   (`lease-outside-grant`), with the held grants modelled from the
+//!   device's own install stream.
 //!
 //! # Why the obvious check would be wrong
 //!
@@ -122,7 +126,9 @@ pub enum RespMeta {
 }
 
 impl RespMeta {
-    fn block(self) -> BlockAddr {
+    /// Block the response concerns.
+    #[must_use]
+    pub fn block(self) -> BlockAddr {
         match self {
             RespMeta::Fill { block, .. }
             | RespMeta::Renew { block, .. }
@@ -130,11 +136,21 @@ impl RespMeta {
         }
     }
 
-    fn epoch(self) -> u64 {
+    /// Epoch the producing component stamped on the response.
+    #[must_use]
+    pub fn epoch(self) -> u64 {
         match self {
             RespMeta::Fill { epoch, .. }
             | RespMeta::Renew { epoch, .. }
             | RespMeta::WriteAck { epoch, .. } => epoch,
+        }
+    }
+
+    fn rts(self) -> u64 {
+        match self {
+            RespMeta::Fill { rts, .. }
+            | RespMeta::Renew { rts, .. }
+            | RespMeta::WriteAck { rts, .. } => rts,
         }
     }
 }
@@ -430,6 +446,12 @@ impl RaceOracle {
             RaceEventKind::Crash => {
                 let bank = self.banks.entry(actor).or_default();
                 bank.pending_crash = Some(bank.epoch);
+                // A crashed device also loses every inter-GPU grant it
+                // held; anything it serves before reacquiring one is a
+                // `lease-outside-grant` violation.
+                if let Some(sm) = self.sms.get_mut(&actor) {
+                    sm.leases.clear();
+                }
             }
         }
     }
@@ -437,6 +459,45 @@ impl RaceOracle {
     fn on_grant(&mut self, cycle: Cycle, actor: Scope, meta: RespMeta) {
         let block = meta.block();
         let epoch = meta.epoch();
+        // Hierarchical delegation (multi-GPU): a device may only hand
+        // out a lease that nests inside an inter-GPU grant it actually
+        // holds. Held grants are modelled from the device's own Install
+        // stream (what the home delivered to it), so the device's
+        // internal bookkeeping cannot vouch for itself.
+        if matches!(actor, Scope::Device(_)) {
+            let held = self
+                .sms
+                .get(&actor)
+                .into_iter()
+                .flat_map(|sm| sm.leases.iter())
+                .filter(|((b, _), _)| *b == block)
+                .map(|(_, &(_, grts))| grts)
+                .max();
+            let rts = meta.rts();
+            match held {
+                None => self.findings.push(
+                    "lease-outside-grant",
+                    cycle,
+                    actor,
+                    Some(block),
+                    format!(
+                        "device granted a lease with rts {rts} without holding any \
+                         inter-GPU grant for the block"
+                    ),
+                ),
+                Some(grts) if rts > grts => self.findings.push(
+                    "lease-outside-grant",
+                    cycle,
+                    actor,
+                    Some(block),
+                    format!(
+                        "device granted a lease with rts {rts}, outside its inter-GPU \
+                         grant (rts high-water {grts}) — L2-lease ⊄ device-grant"
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
         let bank = self.banks.entry(actor).or_default();
         if epoch < bank.epoch {
             self.findings.push(
@@ -682,21 +743,46 @@ impl RaceOracle {
     pub fn report(&self) -> RaceReport {
         let mut f = self.findings.clone();
         for ((epoch, block), reads) in &self.reads {
-            // A block is owned by exactly one bank, so at most one bank
-            // has commit history for this key.
-            let Some(bb) = self
-                .banks
-                .values()
-                .find_map(|b| b.blocks.get(&(*epoch, *block)))
-            else {
+            // In a flat run a block is owned by exactly one bank; in a
+            // multi-GPU run the home node *and* the forwarding device
+            // both record the same commits. Merge every bank's history
+            // for this (epoch, block), deduplicating by version and
+            // keeping the causally earliest copy (the authoritative
+            // home-side serialization — a forwarder's clock strictly
+            // contains it), so reads are checked against the full
+            // commit order and never against one component's partial
+            // view, and `read-from-future` measures the path from the
+            // true commit point rather than from a forwarder.
+            let mut by_version: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut merged: BTreeMap<u64, &Commit> = BTreeMap::new();
+            for b in self.banks.values() {
+                if let Some(bb) = b.blocks.get(&(*epoch, *block)) {
+                    for (&v, &w) in &bb.by_version {
+                        by_version.entry(v).or_insert(w);
+                    }
+                    for c in &bb.commits {
+                        merged
+                            .entry(c.version)
+                            .and_modify(|e| {
+                                if clock_leq(&c.clock, &e.clock) {
+                                    *e = c;
+                                }
+                            })
+                            .or_insert(c);
+                    }
+                }
+            }
+            if by_version.is_empty() && merged.is_empty() {
                 continue;
-            };
+            }
+            let mut commits: Vec<&Commit> = merged.into_values().collect();
+            commits.sort_by_key(|c| (c.wts, c.cycle));
             for r in reads {
                 // Versions never committed in this epoch are the
                 // epoch's base data (initial contents or rollover
                 // carry-over): they serialize from logical time 0.
-                let wts_v = bb.by_version.get(&r.version).copied().unwrap_or(0);
-                if let Some(c) = bb.commits.iter().find(|c| c.wts > wts_v && c.wts <= r.ts) {
+                let wts_v = by_version.get(&r.version).copied().unwrap_or(0);
+                if let Some(c) = commits.iter().find(|c| c.wts > wts_v && c.wts <= r.ts) {
                     f.push(
                         "read-overlaps-write",
                         r.cycle,
@@ -710,7 +796,7 @@ impl RaceOracle {
                         ),
                     );
                 }
-                if let Some(c) = bb.commits.iter().find(|c| c.version == r.version) {
+                if let Some(c) = commits.iter().find(|c| c.version == r.version) {
                     if !clock_leq(&c.clock, &r.clock) {
                         f.push(
                             "read-from-future",
@@ -1142,6 +1228,103 @@ mod tests {
             r.lines().last().expect("has lines").contains("suppressed"),
             "{r}"
         );
+    }
+
+    const DEV: Scope = Scope::Device(0);
+    const HOME: Scope = Scope::Home(0);
+
+    #[test]
+    fn device_lease_inside_grant_is_clean_and_escape_is_flagged() {
+        // The device installs an inter-GPU grant [1, 17] for the block,
+        // then hands an L1 a lease capped at the grant: clean.
+        let mut o = RaceOracle::new();
+        o.observe(Cycle(0), DEV, RaceEventKind::Install(fill(0, 1, 17, 0)));
+        o.observe(Cycle(1), DEV, RaceEventKind::Grant(fill(0, 1, 17, 0)));
+        assert!(o.report().is_clean(), "{}", o.report());
+
+        // The same grant, but the handed lease overshoots the grant's
+        // rts — the ServePastGrantRts failure mode.
+        let mut o = RaceOracle::new();
+        o.observe(Cycle(0), DEV, RaceEventKind::Install(fill(0, 1, 17, 0)));
+        o.observe(Cycle(1), DEV, RaceEventKind::Grant(fill(0, 1, 65, 0)));
+        let r = o.report();
+        assert!(rules(&r).contains(&"lease-outside-grant"), "{r}");
+    }
+
+    #[test]
+    fn device_grant_without_any_held_grant_is_flagged() {
+        let mut o = RaceOracle::new();
+        o.observe(Cycle(0), DEV, RaceEventKind::Grant(fill(0, 1, 10, 0)));
+        let r = o.report();
+        assert!(rules(&r).contains(&"lease-outside-grant"), "{r}");
+    }
+
+    #[test]
+    fn device_crash_clears_held_grants() {
+        let mut o = RaceOracle::new();
+        o.observe(Cycle(0), DEV, RaceEventKind::Install(fill(0, 1, 17, 0)));
+        o.observe(Cycle(1), DEV, RaceEventKind::Crash);
+        // Serving from the (lost) grant after the crash is a violation
+        // even though the lease would have nested before.
+        o.observe(Cycle(2), DEV, RaceEventKind::Grant(fill(0, 1, 17, 1)));
+        let r = o.report();
+        assert!(rules(&r).contains(&"lease-outside-grant"), "{r}");
+
+        // Reacquiring the grant first makes the same serve clean.
+        let mut o = RaceOracle::new();
+        o.observe(Cycle(0), DEV, RaceEventKind::Install(fill(0, 1, 17, 0)));
+        o.observe(Cycle(1), DEV, RaceEventKind::Crash);
+        o.observe(Cycle(2), DEV, RaceEventKind::Install(fill(0, 1, 17, 1)));
+        o.observe(Cycle(3), DEV, RaceEventKind::Grant(fill(0, 1, 17, 1)));
+        assert!(o.report().is_clean(), "{}", o.report());
+    }
+
+    #[test]
+    fn report_merges_commit_history_across_banks() {
+        // Multi-GPU shape: the home records the commit, the device only
+        // records the fill it forwarded (no commit history). The read
+        // overlapping the commit must still be found even though the
+        // device's BankBlock for the key has an empty commit list — the
+        // old single-bank lookup could land on the device and miss it.
+        let mut o = RaceOracle::new();
+        // Home grants the reader's fill (via the device) and commits a
+        // later store inside that lease.
+        o.observe(Cycle(0), HOME, RaceEventKind::Grant(fill(0, 0, 10, 0)));
+        o.observe(Cycle(1), DEV, RaceEventKind::Install(fill(0, 0, 10, 0)));
+        o.observe(Cycle(1), DEV, RaceEventKind::Grant(fill(0, 0, 10, 0)));
+        o.observe(Cycle(2), SM0, RaceEventKind::Install(fill(0, 0, 10, 0)));
+        o.observe(Cycle(3), HOME, RaceEventKind::Grant(ack(9, 5, 15, 0)));
+        o.observe(
+            Cycle(4),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 0,
+                ts: 8,
+                epoch: 0,
+            },
+        );
+        let r = o.report();
+        assert!(rules(&r).contains(&"read-overlaps-write"), "{r}");
+        // The clean variant — read serialized before the commit — stays
+        // clean under the merged view.
+        let mut o = RaceOracle::new();
+        o.observe(Cycle(0), HOME, RaceEventKind::Grant(fill(0, 0, 10, 0)));
+        o.observe(Cycle(1), DEV, RaceEventKind::Install(fill(0, 0, 10, 0)));
+        o.observe(Cycle(1), DEV, RaceEventKind::Grant(fill(0, 0, 10, 0)));
+        o.observe(Cycle(2), SM0, RaceEventKind::Install(fill(0, 0, 10, 0)));
+        o.observe(Cycle(3), HOME, RaceEventKind::Grant(ack(9, 11, 21, 0)));
+        o.observe(
+            Cycle(4),
+            SM0,
+            RaceEventKind::Read {
+                block: B,
+                version: 0,
+                ts: 8,
+                epoch: 0,
+            },
+        );
+        assert!(o.report().is_clean(), "{}", o.report());
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //!   timestamp math creeps in. Scanned: `crates/core/src`, minus
 //!   `rules.rs` itself.
 //! * `unwrap` / `panic` — the protocol and simulator crates
-//!   (`crates/core`, `crates/sim`, `crates/noc`) must surface errors
+//!   (`crates/core`, `crates/sim`, `crates/noc`, `crates/fabric`) must
+//!   surface errors
 //!   through results or documented invariants, not ad-hoc panics, so
 //!   the fault-injection harness can exercise error paths.
 //! * `noc-inject` — inside `crates/noc/src`, pushing directly onto a
@@ -77,6 +78,7 @@ const NO_PANIC_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/sim/src",
     "crates/noc/src",
+    "crates/fabric/src",
     "crates/sweep/src",
     "crates/types/src",
 ];

@@ -4,7 +4,7 @@
 //! reference model; a failure prints the full run summary so the
 //! offending outcome is visible in CI logs.
 
-use gtsc_check::litmus::{all_litmus, run_litmus};
+use gtsc_check::litmus::{all_litmus, all_litmus_multi, run_litmus, run_litmus_multi};
 
 /// Plenty for the current catalog (the largest shape, iriw-sc, explores
 /// 180 schedules); a new shape that blows past this should raise the cap
@@ -37,6 +37,57 @@ fn every_litmus_shape_passes_exhaustively() {
         failures.is_empty(),
         "litmus failures:\n{}",
         failures.join("\n")
+    );
+}
+
+#[test]
+fn every_cross_gpu_litmus_shape_passes_exhaustively() {
+    let mut failures = Vec::new();
+    for litmus in all_litmus_multi() {
+        let r = run_litmus_multi(&litmus, MAX_SCHEDULES);
+        assert!(
+            !r.truncated,
+            "{}: truncated at {} schedules — raise MAX_SCHEDULES deliberately",
+            r.name, r.schedules
+        );
+        if !r.ok() {
+            failures.push(format!(
+                "{}\n  unexplained: {:?}\n  forbidden hits: {:?}\n  missing required: {:?}\n  \
+                 sanitizer: {:?}\n  races: {:?}",
+                r.summary(),
+                r.unexplained,
+                r.forbidden_hits,
+                r.missing_required,
+                r.sanitizer_violations,
+                r.race_findings
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "cross-GPU litmus failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn cross_gpu_suite_covers_the_required_shapes() {
+    // Guard the catalog's breadth: MP across devices, IRIW across four
+    // devices, and a device-crash variant must all stay in the suite.
+    let suite = all_litmus_multi();
+    assert!(suite.len() >= 3, "catalog shrank to {}", suite.len());
+    assert!(suite.iter().any(|l| l.name == "xmp-sc"));
+    assert!(
+        suite
+            .iter()
+            .any(|l| l.threads.iter().map(|(d, _)| *d).max().unwrap_or(0) >= 3),
+        "no shape spans four devices any more"
+    );
+    assert!(
+        suite
+            .iter()
+            .any(|l| l.cfg.crash_device_after_serves.is_some()),
+        "no shape crashes a device mid-litmus any more"
     );
 }
 

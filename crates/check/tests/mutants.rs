@@ -18,6 +18,7 @@
 use gtsc_check::explore::explore_all;
 use gtsc_check::harness::{HarnessCfg, MicroGtsc};
 use gtsc_check::litmus::Op;
+use gtsc_check::multi::{MicroMultiGtsc, MultiHarnessCfg};
 use gtsc_core::ProtocolMutation;
 
 fn ld(id: u32, block: u64) -> Op {
@@ -124,6 +125,57 @@ fn skip_lease_expiry_on_store_is_flagged_by_oracle_not_sanitizer() {
         "this mutant must be invisible to the sanitizer — if it became \
          visible, the 'oracle catches what the sanitizer misses' claim \
          needs a new witness"
+    );
+}
+
+/// Cross-GPU shape for the delegation mutant: device L1 leases longer
+/// than the inter-GPU grant, so a healthy device must clamp every lease
+/// it hands out (`nest_rts`) while the mutant's uncapped extension
+/// escapes the grant on the very first forwarded read.
+fn delegation_shape() -> (Vec<(u16, Vec<Op>)>, MultiHarnessCfg) {
+    (
+        vec![(0, vec![st(0, 1)]), (1, vec![ld(10, 0), ld(11, 0)])],
+        MultiHarnessCfg {
+            lease: 64,
+            grant_lease: 16,
+            ..MultiHarnessCfg::default()
+        },
+    )
+}
+
+#[test]
+fn healthy_delegation_control_is_clean() {
+    let (threads, cfg) = delegation_shape();
+    let r = explore_all(|| MicroMultiGtsc::new(&threads, cfg), 200_000);
+    assert!(!r.truncated);
+    for (_, violations, races) in &r.outcomes {
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(races.is_empty(), "{races:?}");
+    }
+}
+
+/// Mutant 4 (multi-GPU): the device serves local reads with the
+/// uncapped lease extension instead of nesting it inside its inter-GPU
+/// grant, handing L1s leases the home never promised to protect. The
+/// race oracle's `lease-outside-grant` rule — which models the device's
+/// held grants from its own install stream — must flag it on some
+/// exhaustively-explored schedule.
+#[test]
+fn serve_past_grant_rts_is_flagged_by_oracle() {
+    let (threads, cfg) = delegation_shape();
+    let cfg = MultiHarnessCfg {
+        mutation: ProtocolMutation::ServePastGrantRts,
+        ..cfg
+    };
+    let r = explore_all(|| MicroMultiGtsc::new(&threads, cfg), 200_000);
+    assert!(!r.truncated, "mutant exploration must stay exhaustive");
+    let flagged = r
+        .outcomes
+        .iter()
+        .any(|(_, _, races)| races.iter().any(|f| f.contains("lease-outside-grant")));
+    assert!(
+        flagged,
+        "oracle must flag the lease escaping its inter-GPU grant"
     );
 }
 

@@ -15,6 +15,7 @@ use std::sync::OnceLock;
 use gtsc_check::explore::{explore_all, run_schedule};
 use gtsc_check::harness::{HarnessCfg, MicroGtsc};
 use gtsc_check::litmus::Op;
+use gtsc_check::multi::{MicroMultiGtsc, MultiHarnessCfg};
 use gtsc_check::spec::SpecMachine;
 use proptest::prelude::*;
 
@@ -71,6 +72,107 @@ proptest! {
         let mut a = MicroGtsc::new(&shape(), HarnessCfg::default());
         let mut b = MicroGtsc::new(&shape(), HarnessCfg::default());
         prop_assert_eq!(run_schedule(&mut a, &choices), run_schedule(&mut b, &choices));
+    }
+}
+
+/// The multi-GPU twin of [`shape`]: three threads spread over two
+/// devices contending on blocks 0 and 1 through the shared home node.
+fn multi_shape() -> Vec<(u16, Vec<Op>)> {
+    vec![
+        (0, vec![st(0, 1), st(1, 2), st(0, 3)]),
+        (1, vec![ld(10, 0), ld(11, 1), ld(12, 0)]),
+        (1, vec![ld(20, 1), st(1, 4), ld(21, 0)]),
+    ]
+}
+
+/// Reference outcomes for the multi-GPU shape: the flat spec with the
+/// effective lease (grant and L1 leases both bound read visibility).
+fn multi_spec_outcomes(cfg: MultiHarnessCfg) -> std::collections::BTreeSet<BTreeMap<u32, u32>> {
+    let flat: Vec<Vec<Op>> = multi_shape().into_iter().map(|(_, p)| p).collect();
+    let r = explore_all(
+        || SpecMachine::new(&flat, cfg.grant_lease.max(cfg.lease)),
+        1_000_000,
+    );
+    assert!(!r.truncated, "reference exploration must be exhaustive");
+    r.outcomes
+}
+
+fn multi_spec_default() -> &'static std::collections::BTreeSet<BTreeMap<u32, u32>> {
+    static SPEC: OnceLock<std::collections::BTreeSet<BTreeMap<u32, u32>>> = OnceLock::new();
+    SPEC.get_or_init(|| multi_spec_outcomes(MultiHarnessCfg::default()))
+}
+
+proptest! {
+    /// Satellite property for hierarchical delegation: on any random
+    /// serve order of the multi-GPU harness, every L2 lease handed to an
+    /// L1 nests inside a live inter-GPU grant (the race oracle's
+    /// `lease-outside-grant` rule fires otherwise), the sanitizer stays
+    /// clean, and the outcome is one the flat reference model allows.
+    #[test]
+    fn random_multi_gpu_schedule_nests_leases_and_stays_within_spec(
+        choices in proptest::collection::vec(0usize..4, 0..24),
+    ) {
+        let mut m = MicroMultiGtsc::new(&multi_shape(), MultiHarnessCfg::default());
+        let (observations, violations, races) = run_schedule(&mut m, &choices);
+        prop_assert!(violations.is_empty(), "sanitizer violations: {violations:?}");
+        prop_assert!(
+            !races.iter().any(|f| f.contains("lease-outside-grant")),
+            "an L2 lease escaped its inter-GPU grant: {races:?}"
+        );
+        prop_assert!(races.is_empty(), "race-oracle findings: {races:?}");
+        prop_assert!(
+            multi_spec_default().contains(&observations),
+            "outcome not producible by the reference model: {observations:?}"
+        );
+    }
+
+    /// Replay determinism holds for the multi-GPU harness too — the
+    /// explorer's resume/caching machinery depends on it.
+    #[test]
+    fn same_choices_same_multi_gpu_outcome(
+        choices in proptest::collection::vec(0usize..4, 0..24),
+    ) {
+        let mut a = MicroMultiGtsc::new(&multi_shape(), MultiHarnessCfg::default());
+        let mut b = MicroMultiGtsc::new(&multi_shape(), MultiHarnessCfg::default());
+        prop_assert_eq!(run_schedule(&mut a, &choices), run_schedule(&mut b, &choices));
+    }
+}
+
+/// Lease nesting holds under stress configurations as well: a short
+/// inter-GPU grant with a long L1 lease (the clamp is load-bearing on
+/// every serve), a tiny timestamp width forcing global rollovers, and a
+/// mid-run device crash. Deterministic pseudo-schedules keep failures
+/// byte-for-byte reproducible.
+#[test]
+fn multi_gpu_lease_nesting_holds_under_stress_configs() {
+    let cfgs = [
+        MultiHarnessCfg {
+            lease: 64,
+            grant_lease: 16,
+            ..MultiHarnessCfg::default()
+        },
+        MultiHarnessCfg {
+            lease: 10,
+            grant_lease: 16,
+            ts_bits: 6,
+            ..MultiHarnessCfg::default()
+        },
+        MultiHarnessCfg {
+            crash_device_after_serves: Some((3, 0)),
+            ..MultiHarnessCfg::default()
+        },
+    ];
+    for seed in 0u64..60 {
+        let cfg = cfgs[(seed % 3) as usize];
+        let choices: Vec<usize> = (0u64..24)
+            .map(|i| {
+                ((seed.wrapping_mul(2_654_435_761).wrapping_add(i * 97_453)) >> 11) as usize % 4
+            })
+            .collect();
+        let mut m = MicroMultiGtsc::new(&multi_shape(), cfg);
+        let (_, violations, races) = run_schedule(&mut m, &choices);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        assert!(races.is_empty(), "seed {seed}: {races:?}");
     }
 }
 

@@ -358,6 +358,16 @@ impl GtscL1 {
     /// resets every warp timestamp before it is consumed.
     fn enter_epoch(&mut self, epoch: Epoch, now: Cycle) {
         self.tags.flush();
+        // The flush destroyed every line's pending-store lock state. Acks
+        // still owed to the surviving waiters must not decrement (or
+        // install a lease into) whatever line is re-installed in the new
+        // epoch — a stale `locked_line` would steal a *post*-flush
+        // store's lock and expose its uncommitted data to parked loads.
+        for q in self.store_acks.values_mut() {
+            for sw in q.iter_mut() {
+                sw.locked_line = false;
+            }
+        }
         for ts in &mut self.warp_ts {
             *ts = Timestamp::INIT;
         }
@@ -863,6 +873,14 @@ impl L1Controller for GtscL1 {
             }
             L2ToL1::Invalidate { block, .. } => {
                 self.tags.invalidate(block);
+                // Same rule as the epoch flush: the invalidated line's
+                // lock state is gone, so its pending stores must not
+                // unlock a future re-install of the block.
+                if let Some(q) = self.store_acks.get_mut(&block) {
+                    for sw in q.iter_mut() {
+                        sw.locked_line = false;
+                    }
+                }
                 if self.mshr.contains(block) && !self.rd_inflight.contains_key(&block) {
                     self.send_read(block, Timestamp(0), WarpId(0), SpanId::NONE, now);
                 }
@@ -1525,5 +1543,105 @@ mod tests {
         };
         assert_ne!(wa.version, wb.version);
         assert_ne!(wa.version, Version::ZERO);
+    }
+
+    #[test]
+    fn pre_rollover_store_ack_does_not_unlock_reinstalled_line() {
+        let mut c = l1();
+        c.access(load(1, 0, 5), Cycle(0));
+        c.take_request();
+        c.on_response(fill(5, 1, 11, Version(9)), Cycle(10));
+        // Warp 0 store locks the line; its request is in flight when the
+        // epoch rolls over and the flush destroys the line (and its lock).
+        assert!(matches!(
+            c.access(store(2, 0, 5), Cycle(20)),
+            L1Outcome::Queued
+        ));
+        let L1ToL2::Write(wa) = c.take_request().unwrap() else {
+            panic!("expected Write");
+        };
+        c.on_response(
+            L2ToL1::Fill(FillResp {
+                block: BlockAddr(6),
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(1),
+                    rts: Timestamp(11),
+                },
+                version: Version(30),
+                epoch: 1,
+                span: SpanId::NONE,
+            }),
+            Cycle(30),
+        );
+        // The block is re-fetched and re-installed in the new epoch, and a
+        // warp-1 store locks the *new* line.
+        c.access(load(3, 1, 5), Cycle(40));
+        c.take_request();
+        c.on_response(
+            L2ToL1::Fill(FillResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(2),
+                    rts: Timestamp(12),
+                },
+                version: Version(40),
+                epoch: 1,
+                span: SpanId::NONE,
+            }),
+            Cycle(50),
+        );
+        assert!(matches!(
+            c.access(store(4, 1, 5), Cycle(60)),
+            L1Outcome::Queued
+        ));
+        let L1ToL2::Write(wb) = c.take_request().unwrap() else {
+            panic!("expected Write");
+        };
+        // A load parks on the locked line.
+        assert!(matches!(
+            c.access(load(5, 0, 5), Cycle(61)),
+            L1Outcome::Queued
+        ));
+        // The pre-rollover store's ack arrives, degraded into the current
+        // epoch by the home. It must not steal the new store's lock: the
+        // parked load would otherwise be served wb's uncommitted data.
+        let done = c.on_response(
+            L2ToL1::WriteAck(WriteAckResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(3),
+                    rts: Timestamp(13),
+                },
+                version: wa.version,
+                epoch: 1,
+                span: SpanId::NONE,
+            }),
+            Cycle(70),
+        );
+        assert!(
+            done.iter().all(|d| d.kind != AccessKind::Load),
+            "parked load must stay parked while wb is pending"
+        );
+        assert!(
+            matches!(c.access(load(6, 0, 5), Cycle(71)), L1Outcome::Queued),
+            "line must still be locked by the pending store"
+        );
+        // Only wb's own ack unlocks the line and serves the parked loads.
+        let done = c.on_response(
+            L2ToL1::WriteAck(WriteAckResp {
+                block: BlockAddr(5),
+                lease: LeaseInfo::Logical {
+                    wts: Timestamp(4),
+                    rts: Timestamp(14),
+                },
+                version: wb.version,
+                epoch: 1,
+                span: SpanId::NONE,
+            }),
+            Cycle(80),
+        );
+        let loads: Vec<_> = done.iter().filter(|d| d.kind == AccessKind::Load).collect();
+        assert!(!loads.is_empty(), "wb's ack serves the parked loads");
+        assert!(loads.iter().all(|l| l.version == wb.version));
     }
 }

@@ -33,4 +33,10 @@ pub enum ProtocolMutation {
     /// one (drops the Section V-D epoch advance on reset). L1s never
     /// learn their leases died with the bank's coherence state.
     SkipEpochBumpOnRecovery,
+    /// A multi-GPU device L2 grants an L1 lease *past* the `rts` of the
+    /// inter-GPU grant it holds from the home node (drops the `nest_rts`
+    /// clamp of DESIGN.md §17). An SM can then read locally at a logical
+    /// time the home node believes free of readers — a store serialized
+    /// at the home can land inside the escaped lease.
+    ServePastGrantRts,
 }

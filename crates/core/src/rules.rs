@@ -90,6 +90,40 @@ pub fn fold_mem_ts(mem_ts: Timestamp, evicted_rts: Timestamp) -> Timestamp {
     mem_ts.max(evicted_rts)
 }
 
+/// Hierarchical nesting rule (HALCONE-style multi-GPU delegation; see
+/// DESIGN.md §17): a device-local L2 may extend an L1 lease on its own
+/// authority only *inside* the inter-GPU grant it holds from the home
+/// node. The lease it would grant on-die (`extend_rts`) is therefore
+/// clamped to the grant's `rts` — every L1 lease is nested strictly
+/// inside a live device grant, so a crashed or partitioned device can
+/// never have delegated logical time it does not own.
+///
+/// # Examples
+///
+/// ```
+/// use gtsc_core::rules::nest_rts;
+/// use gtsc_types::{Lease, Timestamp};
+/// // Plenty of grant headroom: behaves exactly like extend_rts.
+/// assert_eq!(
+///     nest_rts(Timestamp(11), Timestamp(12), Lease(3), Timestamp(100)),
+///     Timestamp(15)
+/// );
+/// // Near the grant edge: the lease is clamped to the grant's rts.
+/// assert_eq!(
+///     nest_rts(Timestamp(11), Timestamp(12), Lease(3), Timestamp(13)),
+///     Timestamp(13)
+/// );
+/// ```
+#[must_use]
+pub fn nest_rts(
+    rts: Timestamp,
+    warp_ts: Timestamp,
+    lease: Lease,
+    grant_rts: Timestamp,
+) -> Timestamp {
+    extend_rts(rts, warp_ts, lease).min(grant_rts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +190,27 @@ mod tests {
             let new_rts = extend_rts(Timestamp(rts), Timestamp(warp), Lease(lease));
             prop_assert!(lease_covers(new_rts, Timestamp(warp)));
             prop_assert!(new_rts >= Timestamp(rts));
+        }
+
+        /// Containment: a nested lease never escapes the device grant,
+        /// and whenever the grant has room for the requester the nested
+        /// lease still covers it (delegation loses no liveness inside
+        /// the grant).
+        #[test]
+        fn nested_lease_stays_inside_grant(
+            rts in 0u64..1_000_000,
+            warp in 0u64..1_000_000,
+            lease in 1u64..100,
+            grant in 0u64..1_000_000,
+        ) {
+            let nested = nest_rts(Timestamp(rts), Timestamp(warp), Lease(lease), Timestamp(grant));
+            prop_assert!(nested <= Timestamp(grant), "L2 lease ⊆ device grant");
+            if warp <= grant {
+                prop_assert!(lease_covers(nested, Timestamp(warp)));
+            }
+            // With unlimited grant headroom, nesting is exactly extend_rts.
+            let free = nest_rts(Timestamp(rts), Timestamp(warp), Lease(lease), Timestamp(u64::MAX));
+            prop_assert_eq!(free, extend_rts(Timestamp(rts), Timestamp(warp), Lease(lease)));
         }
 
         /// Monotonicity: successive stores to the same block get strictly

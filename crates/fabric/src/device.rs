@@ -1,0 +1,842 @@
+//! The per-device L2: serves local L1s out of delegated inter-GPU grants.
+//!
+//! A [`DeviceL2`] holds, per block, the grant `[Gwts, Grts]` it received
+//! from the home node, and serves its local L1s *on its own authority*
+//! as long as the requesting warp's timestamp is covered (`warp_ts ≤
+//! Grts`). The lease it hands the L1 is clamped by `nest_rts` so it can
+//! never escape the grant — the `L2-lease ⊆ device-grant` invariant the
+//! sanitizer and race oracle check. A warp past the grant forces a
+//! fabric round trip that extends the grant (a data-less `Renew` when
+//! the device already holds the current version).
+//!
+//! Stores are write-through to the home: the device keeps no dirty
+//! state, so a whole-device crash loses nothing that was acknowledged.
+//! Crash recovery reuses the Section V-D machinery — the crash wipes
+//! every installed grant and in-flight transaction, then forces the
+//! global epoch bump (exactly like `GtscL2::crash`); the device rejoins
+//! empty and re-acquires grants on demand.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use gtsc_core::rules::{extend_rts, lease_covers, nest_rts};
+use gtsc_core::ProtocolMutation;
+use gtsc_protocol::msg::{Epoch, FillResp, L1ToL2, L2ToL1, LeaseInfo, ReadReq};
+use gtsc_protocol::ControllerPressure;
+use gtsc_trace::{EventKind, Sanitizer, Scope, Tracer, Transition};
+use gtsc_types::snap::{Snap, SnapReader, SnapWriter, SnapshotError};
+use gtsc_types::{BlockAddr, CacheStats, Cycle, Lease, Timestamp, Version};
+
+/// Construction parameters for [`DeviceL2`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceParams {
+    /// Lease length handed to local L1s (nested inside the grant; the
+    /// grant lease itself is the home's, longer).
+    pub lease: Lease,
+    /// Bank access latency in cycles.
+    pub latency: u64,
+    /// Requests processed per cycle.
+    pub ports: usize,
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        DeviceParams {
+            lease: Lease::default(),
+            latency: 10,
+            ports: 1,
+        }
+    }
+}
+
+/// One installed inter-GPU grant plus the local serve high-water.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DevMeta {
+    /// Write timestamp of the granted version.
+    wts: Timestamp,
+    /// Grant upper bound: no L1 lease may reach past this.
+    rts: Timestamp,
+    /// Highest `rts` served to a local L1 so far (starts at `wts`).
+    served_rts: Timestamp,
+    /// Version of the granted data.
+    version: Version,
+}
+
+gtsc_types::snap_fields!(DevMeta {
+    wts,
+    rts,
+    served_rts,
+    version,
+});
+
+/// The device-side L2 of one GPU in a multi-GPU system. Driven by the
+/// simulator like an `L2Controller` toward its local L1s, plus a fabric
+/// side: [`DeviceL2::take_fabric_request`] drains requests toward the
+/// home node and [`DeviceL2::on_fabric_response`] delivers its answers.
+#[derive(Debug)]
+pub struct DeviceL2 {
+    p: DeviceParams,
+    /// Installed grants (the device's only coherence state). BTreeMap:
+    /// snapshot bytes and iteration order must be deterministic.
+    tags: BTreeMap<BlockAddr, DevMeta>,
+    epoch: Epoch,
+    needs_reset: bool,
+    /// L1 requests become serviceable `latency` cycles after arrival.
+    in_queue: VecDeque<(Cycle, usize, L1ToL2)>,
+    /// Requests waiting to cross the fabric.
+    fabric_out: VecDeque<L1ToL2>,
+    /// Responses waiting to return to local L1s.
+    out_resp: VecDeque<(usize, L2ToL1)>,
+    /// Reads parked until a grant covering them is installed.
+    read_waiters: BTreeMap<BlockAddr, Vec<(usize, ReadReq)>>,
+    /// Stores forwarded to the home, keyed by their globally-unique
+    /// version: `(local SM, is_atomic)`.
+    write_waiters: BTreeMap<Version, (usize, bool)>,
+    stats: CacheStats,
+    tracer: Tracer,
+    sanitizer: Sanitizer,
+    clock: Cycle,
+    mutation: ProtocolMutation,
+}
+
+impl DeviceL2 {
+    /// Creates an empty device L2 (no grants installed).
+    #[must_use]
+    pub fn new(p: DeviceParams) -> Self {
+        DeviceL2 {
+            p,
+            tags: BTreeMap::new(),
+            epoch: 0,
+            needs_reset: false,
+            in_queue: VecDeque::new(),
+            fabric_out: VecDeque::new(),
+            out_resp: VecDeque::new(),
+            read_waiters: BTreeMap::new(),
+            write_waiters: BTreeMap::new(),
+            stats: CacheStats::default(),
+            tracer: Tracer::disabled(),
+            sanitizer: Sanitizer::disabled(),
+            clock: Cycle(0),
+            mutation: ProtocolMutation::None,
+        }
+    }
+
+    /// Arms a seeded protocol mutant (oracle validation only).
+    #[doc(hidden)]
+    pub fn set_mutation(&mut self, mutation: ProtocolMutation) {
+        self.mutation = mutation;
+    }
+
+    /// The device's current reset epoch.
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The installed grant for `block`, as `(wts, rts)` — test/diagnosis
+    /// accessor.
+    #[must_use]
+    pub fn installed_grant(&self, block: BlockAddr) -> Option<(Timestamp, Timestamp)> {
+        self.tags.get(&block).map(|m| (m.wts, m.rts))
+    }
+
+    /// Installs a protocol event tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracer (disabled by default).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Installs an online transition sanitizer (scoped `Scope::Device`).
+    pub fn set_sanitizer(&mut self, sanitizer: Sanitizer) {
+        self.sanitizer = sanitizer;
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether no transaction is pending inside the device L2.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.in_queue.is_empty()
+            && self.fabric_out.is_empty()
+            && self.out_resp.is_empty()
+            && self.read_waiters.values().all(Vec::is_empty)
+            && self.write_waiters.is_empty()
+    }
+
+    /// Occupancy snapshot for stall diagnosis.
+    #[must_use]
+    pub fn pressure(&self) -> ControllerPressure {
+        ControllerPressure {
+            mshr: self.read_waiters.values().map(Vec::len).sum::<usize>()
+                + self.write_waiters.len(),
+            out_queue: self.in_queue.len() + self.fabric_out.len(),
+            waiting: self.out_resp.len(),
+        }
+    }
+
+    /// Device-scoped stall attribution for the watchdog's diagnosis:
+    /// `(expired_grant_waits, cold_grant_waits, stores_awaiting_home)`.
+    /// A parked read whose block still has an installed grant is stalled
+    /// *because the inter-GPU grant expired* (the warp outran it) — a
+    /// different failure mode than a cold first acquisition.
+    #[must_use]
+    pub fn stall_attribution(&self) -> (usize, usize, usize) {
+        let (mut expired, mut cold) = (0usize, 0usize);
+        for (block, parked) in &self.read_waiters {
+            if self.tags.contains_key(block) {
+                expired += parked.len();
+            } else {
+                cold += parked.len();
+            }
+        }
+        (expired, cold, self.write_waiters.len())
+    }
+
+    /// Blocks whose parked readers outran a still-installed grant, as
+    /// `(block, grant rts)` — named in the stall diagnosis so an expired
+    /// inter-GPU grant is reported as such, not as a generic MSHR stall.
+    #[must_use]
+    pub fn expired_grant_blocks(&self) -> Vec<(BlockAddr, u64)> {
+        self.read_waiters
+            .iter()
+            .filter(|(_, parked)| !parked.is_empty())
+            .filter_map(|(block, _)| self.tags.get(block).map(|m| (*block, m.rts.0)))
+            .collect()
+    }
+
+    /// Accepts a request from local SM `src`.
+    pub fn on_request(&mut self, src: usize, msg: L1ToL2, now: Cycle) {
+        self.clock = self.clock.max(now);
+        self.in_queue.push_back((now + self.p.latency, src, msg));
+    }
+
+    /// Next response to inject into the local response network.
+    pub fn take_response(&mut self) -> Option<(usize, L2ToL1)> {
+        self.out_resp.pop_front()
+    }
+
+    /// Next request to inject into the fabric toward the home node.
+    pub fn take_fabric_request(&mut self) -> Option<L1ToL2> {
+        self.fabric_out.pop_front()
+    }
+
+    /// Serves ready L1 requests (up to `ports` per cycle).
+    pub fn tick(&mut self, now: Cycle) {
+        self.clock = self.clock.max(now);
+        for _ in 0..self.p.ports {
+            match self.in_queue.front() {
+                Some((ready, _, _)) if *ready <= now => {
+                    let (_, src, msg) = self.in_queue.pop_front().expect("front exists");
+                    self.serve(src, msg);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Whether the device wants the global Section V-D reset (set by
+    /// [`DeviceL2::crash`]; the simulator then bumps the global epoch).
+    #[must_use]
+    pub fn needs_reset(&self) -> bool {
+        self.needs_reset
+    }
+
+    /// Enters `epoch`: every installed grant belongs to the old logical
+    /// time coordinate system and is discarded (re-acquired on demand).
+    /// Parked requests survive — their fabric round trips are answered
+    /// in the new epoch — but their timestamps are in dead coordinates,
+    /// so they degrade to fresh-warp requests (Section V-D, mirroring
+    /// the home's `sanitize`). Without the degrade, a refetch would
+    /// replay a near-overflow `warp_ts` at the *new* epoch, the home
+    /// would overflow again, and the reset would livelock.
+    pub fn apply_reset(&mut self, epoch: Epoch) {
+        self.tags.clear();
+        self.epoch = epoch;
+        self.needs_reset = false;
+        self.stats.ts_rollovers += 1;
+        for parked in self.read_waiters.values_mut() {
+            for (_, r) in parked.iter_mut() {
+                r.wts = Timestamp(0);
+                r.warp_ts = Timestamp::INIT;
+                r.epoch = epoch;
+            }
+        }
+        self.tracer
+            .record_with(self.clock, || EventKind::Rollover { epoch });
+    }
+
+    /// Crashes the whole device: every grant, parked request, and queued
+    /// message vanishes. Committed data is safe at the home (stores are
+    /// write-through); in-flight L1 requests are recovered by the L1's
+    /// end-to-end retry. Recovery rides the Section V-D machinery: the
+    /// simulator sees [`DeviceL2::needs_reset`] and bumps the global
+    /// epoch, exactly as for an on-die bank crash.
+    pub fn crash(&mut self, now: Cycle) {
+        self.clock = self.clock.max(now);
+        self.tags.clear();
+        self.in_queue.clear();
+        self.fabric_out.clear();
+        self.out_resp.clear();
+        self.read_waiters.clear();
+        self.write_waiters.clear();
+        let epoch = self.epoch;
+        let dev = match self.tracer.scope() {
+            Scope::Device(d) => d,
+            _ => 0,
+        };
+        self.tracer
+            .record_with(self.clock, || EventKind::BankReset { bank: dev, epoch });
+        self.sanitizer
+            .check_with(self.clock, || Transition::DeviceCrash { epoch });
+        self.needs_reset = true;
+    }
+
+    /// Installs a grant received from the home and reports it to the
+    /// sanitizer.
+    fn install_grant(
+        &mut self,
+        block: BlockAddr,
+        wts: Timestamp,
+        rts: Timestamp,
+        version: Version,
+    ) {
+        let meta = DevMeta {
+            wts,
+            rts,
+            served_rts: wts,
+            version,
+        };
+        match self.tags.get_mut(&block) {
+            // Same version: pure grant extension, keep the serve
+            // high-water.
+            Some(m) if m.wts == wts => m.rts = m.rts.max(rts),
+            Some(m) => *m = meta,
+            None => {
+                self.tags.insert(block, meta);
+            }
+        }
+        let epoch = self.epoch;
+        self.tracer
+            .record_with(self.clock, || EventKind::LeaseGrant {
+                block,
+                wts: wts.0,
+                rts: rts.0,
+            });
+        self.sanitizer
+            .check_with(self.clock, || Transition::GrantInstall {
+                block,
+                wts,
+                rts,
+                epoch,
+            });
+    }
+
+    /// Serves a read locally from the installed grant (caller checked
+    /// coverage): the L1 lease is `nest_rts`-clamped inside the grant.
+    fn serve_local(&mut self, src: usize, r: ReadReq) {
+        let lease = self.p.lease;
+        let mutated = self.mutation == ProtocolMutation::ServePastGrantRts;
+        let meta = self.tags.get_mut(&r.block).expect("caller checked grant");
+        let new_rts = if mutated {
+            // Mutant: drop the nest_rts clamp — the lease may escape the
+            // grant, the bug the `L2-lease ⊆ device-grant` checkers catch.
+            extend_rts(meta.served_rts, r.warp_ts, lease)
+        } else {
+            nest_rts(meta.served_rts, r.warp_ts, lease, meta.rts)
+        };
+        meta.served_rts = new_rts;
+        let (wts, version) = (meta.wts, meta.version);
+        let epoch = self.epoch;
+        self.stats.hits += 1;
+        self.sanitizer
+            .check_with(self.clock, || Transition::DeviceServe {
+                block: r.block,
+                wts,
+                rts: new_rts,
+                epoch,
+            });
+        let resp = if r.wts == wts {
+            self.stats.renewals += 1;
+            self.tracer.record_with(self.clock, || EventKind::Renewal {
+                block: r.block,
+                rts: new_rts.0,
+            });
+            L2ToL1::Renew {
+                block: r.block,
+                lease: LeaseInfo::Logical { wts, rts: new_rts },
+                epoch,
+                span: r.span,
+            }
+        } else {
+            L2ToL1::Fill(FillResp {
+                block: r.block,
+                lease: LeaseInfo::Logical { wts, rts: new_rts },
+                version,
+                epoch,
+                span: r.span,
+            })
+        };
+        self.out_resp.push_back((src, resp));
+    }
+
+    /// Sends a read toward the home for `block`, renewing data-lessly
+    /// when a (too-short) grant is already installed.
+    fn forward_read(&mut self, block: BlockAddr, warp_ts: Timestamp, span: gtsc_types::SpanId) {
+        let wts = self.tags.get(&block).map_or(Timestamp(0), |m| m.wts);
+        self.fabric_out.push_back(L1ToL2::Read(ReadReq {
+            block,
+            wts,
+            warp_ts,
+            epoch: self.epoch,
+            span,
+        }));
+    }
+
+    fn serve(&mut self, src: usize, msg: L1ToL2) {
+        self.stats.accesses += 1;
+        match msg {
+            L1ToL2::Read(r) => {
+                let covered = self
+                    .tags
+                    .get(&r.block)
+                    .is_some_and(|m| lease_covers(m.rts, r.warp_ts));
+                if covered {
+                    self.serve_local(src, r);
+                    return;
+                }
+                if self.tags.contains_key(&r.block) {
+                    self.stats.expired_misses += 1;
+                } else {
+                    self.stats.cold_misses += 1;
+                    self.tracer.record_with(self.clock, || EventKind::ColdMiss {
+                        block: r.block,
+                        warp: 0,
+                    });
+                }
+                let parked = self.read_waiters.entry(r.block).or_default();
+                let first = parked.is_empty();
+                parked.push((src, r));
+                if first {
+                    self.forward_read(r.block, r.warp_ts, r.span);
+                } else {
+                    self.stats.mshr_merges += 1;
+                }
+            }
+            L1ToL2::Write(w) | L1ToL2::Atomic(w) => {
+                // Write-through: every store crosses the fabric; the
+                // home serializes and assigns its timestamp.
+                self.stats.stores += 1;
+                let atomic = matches!(msg, L1ToL2::Atomic(_));
+                self.write_waiters.insert(w.version, (src, atomic));
+                self.fabric_out.push_back(msg);
+            }
+        }
+    }
+
+    /// Serves every parked read now covered by the installed grant; if
+    /// any remain uncovered, sends one follow-up read extending the
+    /// grant to the farthest waiter.
+    fn drain_waiters(&mut self, block: BlockAddr) {
+        let Some(parked) = self.read_waiters.get_mut(&block) else {
+            return;
+        };
+        let waiting = std::mem::take(parked);
+        let mut still = Vec::new();
+        for (src, r) in waiting {
+            let covered = self
+                .tags
+                .get(&block)
+                .is_some_and(|m| lease_covers(m.rts, r.warp_ts));
+            if covered {
+                self.serve_local(src, r);
+            } else {
+                still.push((src, r));
+            }
+        }
+        if let Some(&(_, far)) = still.iter().max_by_key(|(_, r)| r.warp_ts) {
+            self.forward_read(block, far.warp_ts, far.span);
+        }
+        if still.is_empty() {
+            self.read_waiters.remove(&block);
+        } else {
+            self.read_waiters.insert(block, still);
+        }
+    }
+
+    /// Delivers a response that crossed the fabric from the home node.
+    pub fn on_fabric_response(&mut self, msg: L2ToL1, now: Cycle) {
+        self.clock = self.clock.max(now);
+        let e = msg.epoch();
+        if e > self.epoch {
+            // The home is already in a newer epoch (the simulator's
+            // global bump lands this cycle): adopt it — old grants are
+            // in dead coordinates.
+            self.apply_reset(e);
+            // apply_reset counts a rollover the simulator also counts;
+            // adoption is the same event seen from the fabric side.
+            self.stats.ts_rollovers -= 1;
+        }
+        if e < self.epoch {
+            match msg {
+                // A stale write ack still certifies that the store
+                // committed (the L1 has the same rule); it just installs
+                // no lease in the new coordinate system.
+                L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+                    if let Some((src, _)) = self.write_waiters.remove(&a.version) {
+                        self.out_resp.push_back((src, msg));
+                    }
+                }
+                // Stale grants are unusable; if readers still wait,
+                // re-ask in the current epoch.
+                L2ToL1::Fill(f) => self.refetch_if_waiting(f.block),
+                L2ToL1::Renew { block, .. } => self.refetch_if_waiting(block),
+                L2ToL1::Invalidate { .. } => {}
+            }
+            return;
+        }
+        match msg {
+            L2ToL1::Fill(f) => {
+                if let LeaseInfo::Logical { wts, rts } = f.lease {
+                    self.install_grant(f.block, wts, rts, f.version);
+                    self.drain_waiters(f.block);
+                }
+            }
+            L2ToL1::Renew { block, lease, .. } => {
+                match (self.tags.contains_key(&block), lease) {
+                    (true, LeaseInfo::Logical { wts, rts }) => {
+                        self.install_grant(block, wts, rts, Version::ZERO);
+                        self.drain_waiters(block);
+                    }
+                    // Renewed a grant the device no longer holds (lost
+                    // to a rollover in between): the data is gone, so a
+                    // full refetch is needed.
+                    _ => self.refetch_if_waiting(block),
+                }
+            }
+            L2ToL1::WriteAck(a) | L2ToL1::AtomicAck { ack: a, .. } => {
+                if let LeaseInfo::Logical { wts, rts } = a.lease {
+                    // The ack carries the fresh grant for the version
+                    // just written — install it so local readers of the
+                    // store's result need no extra fabric trip.
+                    self.install_grant(a.block, wts, rts, a.version);
+                }
+                if let Some((src, _)) = self.write_waiters.remove(&a.version) {
+                    self.out_resp.push_back((src, msg));
+                }
+                self.drain_waiters(a.block);
+            }
+            L2ToL1::Invalidate { block, .. } => {
+                self.tags.remove(&block);
+            }
+        }
+    }
+
+    fn refetch_if_waiting(&mut self, block: BlockAddr) {
+        if let Some((_, far)) = self
+            .read_waiters
+            .get(&block)
+            .and_then(|w| w.iter().max_by_key(|(_, r)| r.warp_ts))
+        {
+            let (warp_ts, span) = (far.warp_ts, far.span);
+            self.forward_read(block, warp_ts, span);
+        }
+    }
+
+    /// Serializes the device's dynamic state (DESIGN.md §14).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.tags.save(w);
+        self.epoch.save(w);
+        self.needs_reset.save(w);
+        self.in_queue.save(w);
+        self.fabric_out.save(w);
+        self.out_resp.save(w);
+        self.read_waiters.save(w);
+        self.write_waiters.save(w);
+        self.stats.save(w);
+        self.clock.save(w);
+    }
+
+    /// Restores state saved by [`DeviceL2::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Any decoding error on corrupt input.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.tags = Snap::load(r)?;
+        self.epoch = Snap::load(r)?;
+        self.needs_reset = Snap::load(r)?;
+        self.in_queue = Snap::load(r)?;
+        self.fabric_out = Snap::load(r)?;
+        self.out_resp = Snap::load(r)?;
+        self.read_waiters = Snap::load(r)?;
+        self.write_waiters = Snap::load(r)?;
+        self.stats = Snap::load(r)?;
+        self.clock = Snap::load(r)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::home::{HomeNode, HomeParams};
+    use gtsc_protocol::msg::WriteReq;
+    use gtsc_types::SpanId;
+
+    fn read(block: u64, wts: u64, warp_ts: u64) -> L1ToL2 {
+        L1ToL2::Read(ReadReq {
+            block: BlockAddr(block),
+            wts: Timestamp(wts),
+            warp_ts: Timestamp(warp_ts),
+            epoch: 0,
+            span: SpanId::NONE,
+        })
+    }
+
+    fn write(block: u64, warp_ts: u64, version: u64) -> L1ToL2 {
+        L1ToL2::Write(WriteReq {
+            block: BlockAddr(block),
+            warp_ts: Timestamp(warp_ts),
+            version: Version(version),
+            epoch: 0,
+            span: SpanId::NONE,
+        })
+    }
+
+    /// Pumps device ↔ home with zero fabric latency until both idle.
+    fn settle(dev: &mut DeviceL2, home: &mut HomeNode, start: Cycle) -> Vec<(usize, L2ToL1)> {
+        let mut out = Vec::new();
+        for c in start.0..start.0 + 2000 {
+            dev.tick(Cycle(c));
+            while let Some(req) = dev.take_fabric_request() {
+                home.on_request(0, req, Cycle(c));
+            }
+            home.tick(Cycle(c));
+            while let Some((_, resp)) = home.take_response() {
+                dev.on_fabric_response(resp, Cycle(c));
+            }
+            while let Some(r) = dev.take_response() {
+                out.push(r);
+            }
+            if dev.is_idle() && home.is_idle() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cold_read_acquires_grant_then_serves_locally() {
+        let mut dev = DeviceL2::new(DeviceParams::default());
+        let mut home = HomeNode::new(HomeParams::default());
+        dev.on_request(0, read(5, 0, 1), Cycle(0));
+        let resps = settle(&mut dev, &mut home, Cycle(0));
+        assert_eq!(resps.len(), 1);
+        let (_, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("expected fill")
+        };
+        // The L1 lease nests inside the installed grant.
+        let (gwts, grts) = dev.installed_grant(BlockAddr(5)).expect("grant installed");
+        let LeaseInfo::Logical { wts, rts } = f.lease else {
+            panic!("logical lease")
+        };
+        assert_eq!(wts, gwts);
+        assert!(rts <= grts, "lease rts {rts} escapes grant rts {grts}");
+        assert_eq!(dev.stats().cold_misses, 1);
+        // A second covered read is a pure local hit: no fabric traffic.
+        let fabric_before = home.stats().accesses;
+        dev.on_request(1, read(5, wts.0, 2), Cycle(500));
+        let resps = settle(&mut dev, &mut home, Cycle(500));
+        assert_eq!(resps.len(), 1);
+        assert!(matches!(resps[0].1, L2ToL1::Renew { .. }));
+        assert_eq!(home.stats().accesses, fabric_before, "served on-device");
+    }
+
+    #[test]
+    fn warp_past_grant_forces_fabric_renewal() {
+        let mut dev = DeviceL2::new(DeviceParams::default());
+        let mut home = HomeNode::new(HomeParams::default());
+        dev.on_request(0, read(5, 0, 1), Cycle(0));
+        settle(&mut dev, &mut home, Cycle(0));
+        let (_, grts) = dev.installed_grant(BlockAddr(5)).unwrap();
+        // A warp beyond the grant cannot be served on-device.
+        dev.on_request(0, read(5, 1, grts.0 + 10), Cycle(500));
+        let resps = settle(&mut dev, &mut home, Cycle(500));
+        assert_eq!(resps.len(), 1);
+        let (_, new_grts) = dev.installed_grant(BlockAddr(5)).unwrap();
+        assert!(new_grts > grts, "grant must have been extended");
+        assert_eq!(dev.stats().expired_misses, 1);
+        // The home renewed data-lessly (device already held the version).
+        assert_eq!(home.stats().renewals, 1);
+    }
+
+    #[test]
+    fn every_served_lease_nests_inside_live_grant() {
+        // The tentpole invariant, end to end through the sanitizer.
+        let root = Sanitizer::enabled(Scope::Sm(0));
+        let mut dev = DeviceL2::new(DeviceParams::default());
+        let mut home = HomeNode::new(HomeParams::default());
+        dev.set_sanitizer(root.for_scope(Scope::Device(0)));
+        home.set_sanitizer(root.for_scope(Scope::Home(0)));
+        for i in 0..20u64 {
+            dev.on_request(0, read(i % 3, 0, 1 + i * 7), Cycle(i * 100));
+            if i % 4 == 3 {
+                dev.on_request(1, write(i % 3, 1 + i * 7, 100 + i), Cycle(i * 100 + 50));
+            }
+        }
+        settle(&mut dev, &mut home, Cycle(0));
+        assert!(root.violations().is_empty(), "{:?}", root.violations());
+        assert!(root.checked() > 20);
+    }
+
+    #[test]
+    fn serve_past_grant_mutant_is_flagged_by_sanitizer() {
+        let root = Sanitizer::enabled(Scope::Sm(0));
+        let mut dev = DeviceL2::new(DeviceParams {
+            // L1 lease as long as the home grant: extend_rts overshoots
+            // the grant edge immediately without the nest_rts clamp.
+            lease: Lease(64),
+            ..DeviceParams::default()
+        });
+        let mut home = HomeNode::new(HomeParams::default());
+        dev.set_sanitizer(root.for_scope(Scope::Device(0)));
+        home.set_sanitizer(root.for_scope(Scope::Home(0)));
+        dev.set_mutation(ProtocolMutation::ServePastGrantRts);
+        dev.on_request(0, read(5, 0, 30), Cycle(0));
+        settle(&mut dev, &mut home, Cycle(0));
+        // A covered warp near the grant edge: the unclamped extend_rts
+        // hands the L1 a lease reaching past the grant.
+        let (_, grts) = dev.installed_grant(BlockAddr(5)).unwrap();
+        dev.on_request(1, read(5, 1, grts.0 - 1), Cycle(500));
+        settle(&mut dev, &mut home, Cycle(500));
+        let v = root.violations();
+        assert!(
+            v.iter().any(|m| m.contains("L2-lease ⊄ device-grant")),
+            "mutant must be caught: {v:?}"
+        );
+    }
+
+    #[test]
+    fn store_writes_through_and_ack_installs_grant() {
+        let mut dev = DeviceL2::new(DeviceParams::default());
+        let mut home = HomeNode::new(HomeParams::default());
+        dev.on_request(0, write(5, 1, 42), Cycle(0));
+        let resps = settle(&mut dev, &mut home, Cycle(0));
+        assert_eq!(resps.len(), 1);
+        let (_, L2ToL1::WriteAck(a)) = &resps[0] else {
+            panic!("expected ack")
+        };
+        assert_eq!(a.version, Version(42));
+        // Home is authoritative immediately.
+        assert_eq!(home.memory_image(), vec![(BlockAddr(5), Version(42))]);
+        // The ack installed the fresh grant: a local read of the stored
+        // version needs no fabric trip.
+        let before = home.stats().accesses;
+        dev.on_request(0, read(5, 0, 2), Cycle(500));
+        let resps = settle(&mut dev, &mut home, Cycle(500));
+        let (_, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("expected fill")
+        };
+        assert_eq!(f.version, Version(42));
+        assert_eq!(home.stats().accesses, before, "served from the grant");
+    }
+
+    #[test]
+    fn crash_wipes_grants_and_rejoin_reacquires() {
+        let root = Sanitizer::enabled(Scope::Sm(0));
+        let mut dev = DeviceL2::new(DeviceParams::default());
+        let mut home = HomeNode::new(HomeParams::default());
+        dev.set_sanitizer(root.for_scope(Scope::Device(0)));
+        home.set_sanitizer(root.for_scope(Scope::Home(0)));
+        dev.on_request(0, write(5, 1, 42), Cycle(0));
+        settle(&mut dev, &mut home, Cycle(0));
+        dev.crash(Cycle(100));
+        assert!(dev.needs_reset(), "crash must force the global bump");
+        assert!(dev.is_idle(), "no transaction survives the crash");
+        assert!(dev.installed_grant(BlockAddr(5)).is_none());
+        // The simulator bumps the global epoch on home and all devices.
+        home.apply_reset(1);
+        dev.apply_reset(1);
+        // Rejoin: the committed store survives at the home.
+        dev.on_request(0, read(5, 0, 1), Cycle(200));
+        let resps = settle(&mut dev, &mut home, Cycle(200));
+        let (_, L2ToL1::Fill(f)) = &resps[0] else {
+            panic!("expected fill")
+        };
+        assert_eq!(f.version, Version(42), "committed data survives");
+        assert_eq!(f.epoch, 1);
+        assert!(root.violations().is_empty(), "{:?}", root.violations());
+    }
+
+    #[test]
+    fn merged_readers_all_complete() {
+        let mut dev = DeviceL2::new(DeviceParams::default());
+        let mut home = HomeNode::new(HomeParams::default());
+        dev.on_request(0, read(5, 0, 1), Cycle(0));
+        dev.on_request(1, read(5, 0, 3), Cycle(0));
+        dev.on_request(2, read(5, 0, 9), Cycle(0));
+        let resps = settle(&mut dev, &mut home, Cycle(0));
+        assert_eq!(resps.len(), 3);
+        let mut dsts: Vec<usize> = resps.iter().map(|(d, _)| *d).collect();
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![0, 1, 2]);
+        assert!(dev.stats().mshr_merges >= 1, "readers share one grant trip");
+        assert_eq!(home.stats().accesses, 1, "one fabric round trip");
+    }
+
+    #[test]
+    fn far_waiter_forces_follow_up_grant_extension() {
+        let mut dev = DeviceL2::new(DeviceParams::default());
+        let mut home = HomeNode::new(HomeParams::default());
+        // First waiter near, second far beyond the first grant: the
+        // device must keep extending until everyone is covered.
+        dev.on_request(0, read(5, 0, 1), Cycle(0));
+        dev.on_request(1, read(5, 0, 500), Cycle(0));
+        let resps = settle(&mut dev, &mut home, Cycle(0));
+        assert_eq!(resps.len(), 2, "both readers complete");
+        let (_, grts) = dev.installed_grant(BlockAddr(5)).unwrap();
+        assert!(grts.0 >= 500, "grant covers the far waiter");
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_transaction() {
+        let mut dev = DeviceL2::new(DeviceParams::default());
+        let mut home = HomeNode::new(HomeParams::default());
+        dev.on_request(0, read(5, 0, 1), Cycle(0));
+        settle(&mut dev, &mut home, Cycle(0));
+        // Leave parked waiters and queued traffic in place.
+        dev.on_request(1, read(9, 0, 4), Cycle(100));
+        dev.on_request(0, write(7, 2, 77), Cycle(100));
+        dev.tick(Cycle(200));
+        dev.tick(Cycle(201));
+        assert!(!dev.is_idle());
+        let mut w = SnapWriter::new();
+        dev.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut copy = DeviceL2::new(DeviceParams::default());
+        let mut r = SnapReader::new(&bytes);
+        copy.load_state(&mut r).expect("restore");
+        r.expect_end("device snapshot").expect("fully consumed");
+        let mut w2 = SnapWriter::new();
+        copy.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "save -> load -> save is stable");
+        // Both replay the identical future against identical homes.
+        let mut home2 = HomeNode::new(HomeParams::default());
+        let mut wh = SnapWriter::new();
+        home.save_state(&mut wh);
+        let hb = wh.into_bytes();
+        let mut rh = SnapReader::new(&hb);
+        home2.load_state(&mut rh).expect("restore home");
+        let a = settle(&mut dev, &mut home, Cycle(300));
+        let b = settle(&mut copy, &mut home2, Cycle(300));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,52 @@
+//! Inter-GPU coherence fabric for multi-device G-TSC (DESIGN.md §17).
+//!
+//! A multi-GPU system joins N on-die G-TSC hierarchies through a
+//! timestamp-ordered fabric: each device's banked L2 becomes a
+//! [`DeviceL2`] that serves its local L1s out of *delegated* slices of
+//! logical time, and a [`HomeNode`] directory owns the master copy of
+//! every lease, exactly as the single-GPU `GtscL2` owns leases over its
+//! L1s. The delegation is strictly hierarchical:
+//!
+//! ```text
+//!   home grant   [Gwts ───────────────── Grts]      (fabric, HomeNode)
+//!   L1 lease        [wts ────── rts]               rts ≤ Grts (nest_rts)
+//! ```
+//!
+//! Every lease a device hands an L1 nests inside a live inter-GPU grant
+//! (`L2-lease ⊆ device-grant`, checked online by the sanitizer's
+//! `GrantInstall`/`DeviceServe` transitions and offline by the race
+//! oracle). Stores are write-through end to end: L1 → device → home, so
+//! the home is always authoritative and a crashed device loses no
+//! committed data.
+//!
+//! The fabric reuses the wire vocabulary of the on-die protocol —
+//! [`DevToHome`] *is* `L1ToL2` and [`HomeToDev`] *is* `L2ToL1` — so the
+//! same `MsgSizes` accounting, `Snap` encodings, and `ReliableNet`
+//! transport apply unchanged. What differs is the fault envelope: fabric
+//! links are longer-latency and lossier than the on-die NoC, and may
+//! partition outright (`gtsc_faults::LinkFaults`); whole devices may
+//! crash and rejoin. Recovery composes the existing machinery:
+//!
+//! * a device crash forces the global Section V-D epoch bump (exactly
+//!   like a bank crash), wiping all delegated grants at once;
+//! * partitions are ridden out by the transport's retransmit/backoff and
+//!   the L1's end-to-end retry;
+//! * the home's store-replay filter re-acks duplicate stores with the
+//!   original acknowledgement, so retried stores stay idempotent even
+//!   when the original ack died with a crashed device.
+
+pub mod device;
+pub mod home;
+
+pub use device::{DeviceL2, DeviceParams};
+pub use home::{HomeNode, HomeParams};
+
+use gtsc_protocol::msg::{L1ToL2, L2ToL1};
+
+/// Requests travelling device → home over the fabric. The inter-GPU
+/// vocabulary is deliberately the on-die one: a device L2 speaks to the
+/// home node exactly as an L1 speaks to an L2 bank.
+pub type DevToHome = L1ToL2;
+
+/// Responses travelling home → device over the fabric.
+pub type HomeToDev = L2ToL1;

@@ -252,11 +252,63 @@ impl BankFaults {
     }
 }
 
+/// Scheduled link-down windows for one inter-GPU fabric link: during
+/// `[starts[i], ends[i])` every packet injected on the link vanishes at
+/// the wire, modelling a fabric partition. The schedule is pure data —
+/// [`LinkFaults::down`] does not mutate, so the same injector can be
+/// consulted for the data and control directions of a flow without
+/// draw-count coupling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Window start cycles (parallel to `ends`), ascending.
+    starts: Vec<u64>,
+    /// Window end cycles (exclusive), parallel to `starts`.
+    ends: Vec<u64>,
+}
+
+impl LinkFaults {
+    /// Builds a schedule from explicit `(start, end)` windows (tests
+    /// and hand-crafted scenarios; seeded runs draw their windows via
+    /// [`FaultPlan::link_down`]).
+    #[must_use]
+    pub fn from_windows(windows: &[(u64, u64)]) -> Self {
+        LinkFaults {
+            starts: windows.iter().map(|&(s, _)| s).collect(),
+            ends: windows.iter().map(|&(_, e)| e).collect(),
+        }
+    }
+
+    /// Whether the link is inside a scheduled down window at `now`.
+    #[must_use]
+    pub fn down(&self, now: u64) -> bool {
+        self.starts
+            .iter()
+            .zip(&self.ends)
+            .any(|(&s, &e)| s <= now && now < e)
+    }
+
+    /// Number of scheduled windows.
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// The last cycle at which any window is still down, or `None` when
+    /// nothing is scheduled. Lets callers size timeouts past the longest
+    /// outage.
+    #[must_use]
+    pub fn last_end(&self) -> Option<u64> {
+        self.ends.iter().copied().max()
+    }
+}
+
 /// Factory deriving independent, reproducible injector streams from one
 /// master seed. Stream indices are caller-chosen (the simulator uses
 /// `noc(0)`/`noc(1)` for request/response data, `noc(2)`/`noc(3)` for
 /// the matching transport control channels, `dram(i)` per partition,
-/// and `bank(i)` per L2 bank) so adding components never shifts
+/// and `bank(i)` per L2 bank; the multi-GPU layer uses `fabric(i)` per
+/// fabric direction, `link_down(i)` per device link, and
+/// `device_crashes(i, …)` per device) so adding components never shifts
 /// existing streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -342,6 +394,72 @@ impl FaultPlan {
         })
     }
 
+    /// Injector for inter-GPU fabric direction `index`, or `None` when
+    /// no NoC-style fault is enabled in the plan's config. A distinct
+    /// domain keeps fabric streams decorrelated from the on-die NoC
+    /// even when both plans share one master seed.
+    #[must_use]
+    pub fn fabric(&self, index: u64) -> Option<NocFaults> {
+        let active = self.cfg.noc_jitter_permille > 0
+            || self.cfg.noc_reorder_permille > 0
+            || self.cfg.noc_duplicate_permille > 0
+            || self.cfg.noc_drop_permille > 0
+            || self.cfg.noc_corrupt_permille > 0;
+        active.then(|| NocFaults {
+            cfg: self.cfg,
+            rng: SplitMix64::new(self.stream_seed(0x4641_4252, index)),
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// Partition schedule for fabric link `index`: `count` link-down
+    /// windows of `len` cycles, starting uniformly in `[1, window]`.
+    /// Returns `None` when any knob is zero. Each link draws from its
+    /// own stream, so different links partition at different times.
+    #[must_use]
+    pub fn link_down(&self, index: u64, count: u16, window: u64, len: u64) -> Option<LinkFaults> {
+        let count = u64::from(count);
+        if count == 0 || window == 0 || len == 0 {
+            return None;
+        }
+        let mut rng = SplitMix64::new(self.stream_seed(0x4C4E_4B44, index));
+        let mut starts: Vec<u64> = (0..count).map(|_| 1 + rng.below(window)).collect();
+        starts.sort_unstable();
+        let ends = starts.iter().map(|&s| s + len).collect();
+        Some(LinkFaults { starts, ends })
+    }
+
+    /// Crash scheduler for device `index` of `n_devices`, or `None`
+    /// when device crashes are disabled. Reuses the [`BankFaults`]
+    /// schedule shape; the crash budget is split round-robin across
+    /// devices exactly like bank crashes are split across banks.
+    #[must_use]
+    pub fn device_crashes(
+        &self,
+        index: u64,
+        n_devices: u64,
+        count: u16,
+        window: u64,
+    ) -> Option<BankFaults> {
+        let count = u64::from(count);
+        if count == 0 || window == 0 || n_devices == 0 {
+            return None;
+        }
+        let mut rng = SplitMix64::new(self.stream_seed(0x4445_5643, 0));
+        let mut schedule = Vec::new();
+        for i in 0..count {
+            let cycle = 1 + rng.below(window);
+            if i % n_devices == index {
+                schedule.push(cycle);
+            }
+        }
+        schedule.sort_unstable();
+        Some(BankFaults {
+            schedule,
+            stats: FaultStats::default(),
+        })
+    }
+
     /// `ts_bits` after applying the plan's rollover-storm cap.
     #[must_use]
     pub fn effective_ts_bits(&self, ts_bits: u32) -> u32 {
@@ -369,6 +487,7 @@ gtsc_types::snap_fields!(FaultStats {
 gtsc_types::snap_fields!(NocFaults { cfg, rng, stats });
 gtsc_types::snap_fields!(DramFaults { cfg, rng, stats });
 gtsc_types::snap_fields!(BankFaults { schedule, stats });
+gtsc_types::snap_fields!(LinkFaults { starts, ends });
 
 #[cfg(test)]
 mod tests {
@@ -600,6 +719,77 @@ mod tests {
         let mut r = SnapReader::new(&bytes);
         let restored = BankFaults::load(&mut r).unwrap();
         assert_eq!(b, restored);
+    }
+
+    #[test]
+    fn fabric_streams_are_decorrelated_from_noc() {
+        let plan = FaultPlan::new(FaultConfig::lossy(11, 100));
+        let mut fab = plan.fabric(0).unwrap();
+        let mut fab2 = plan.fabric(0).unwrap();
+        let mut noc = plan.noc(0).unwrap();
+        let mut diverged = false;
+        for _ in 0..200 {
+            let f = fab.perturb();
+            assert_eq!(f, fab2.perturb(), "fabric stream replays identically");
+            diverged |= f != noc.perturb();
+        }
+        assert!(diverged, "fabric and NoC streams must differ on one seed");
+        assert!(FaultPlan::new(FaultConfig::default()).fabric(0).is_none());
+    }
+
+    #[test]
+    fn link_down_windows_cover_exactly_the_schedule() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 13,
+            ..FaultConfig::default()
+        });
+        let lf = plan.link_down(0, 3, 10_000, 250).unwrap();
+        assert_eq!(lf.windows(), 3);
+        let same = plan.link_down(0, 3, 10_000, 250).unwrap();
+        assert_eq!(lf, same, "schedule replays identically");
+        let other = plan.link_down(1, 3, 10_000, 250).unwrap();
+        assert_ne!(lf, other, "different links partition at different times");
+        // Down for exactly `count * len` cycles (windows may overlap,
+        // so at most that many).
+        let down_cycles = (0..=lf.last_end().unwrap()).filter(|&c| lf.down(c)).count();
+        assert!(down_cycles > 0 && down_cycles <= 3 * 250);
+        assert!(!lf.down(lf.last_end().unwrap()), "end is exclusive");
+        assert!(plan.link_down(0, 0, 10_000, 250).is_none());
+        assert!(plan.link_down(0, 3, 0, 250).is_none());
+        assert!(plan.link_down(0, 3, 10_000, 0).is_none());
+        assert!(LinkFaults::default().last_end().is_none());
+    }
+
+    #[test]
+    fn device_crashes_split_round_robin() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 17,
+            ..FaultConfig::default()
+        });
+        let a = plan.device_crashes(0, 2, 4, 10_000).unwrap();
+        let b = plan.device_crashes(1, 2, 4, 10_000).unwrap();
+        assert_eq!(a.pending(), 2);
+        assert_eq!(a.pending() + b.pending(), 4);
+        assert_eq!(a, plan.device_crashes(0, 2, 4, 10_000).unwrap());
+        assert!(plan.device_crashes(0, 2, 0, 10_000).is_none());
+        assert!(plan.device_crashes(0, 2, 4, 0).is_none());
+        assert!(plan.device_crashes(0, 0, 4, 10_000).is_none());
+    }
+
+    #[test]
+    fn link_faults_snapshot_round_trips() {
+        use gtsc_types::{Snap, SnapReader, SnapWriter};
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 29,
+            ..FaultConfig::default()
+        });
+        let lf = plan.link_down(2, 5, 50_000, 1_000).unwrap();
+        let mut w = SnapWriter::new();
+        lf.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = LinkFaults::load(&mut r).unwrap();
+        assert_eq!(lf, back);
     }
 
     #[test]

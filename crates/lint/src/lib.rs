@@ -16,14 +16,14 @@
 //!   `+ lease`, `max` over `wts`/`rts`/`warp_ts`/`mem_ts`) outside
 //!   `gtsc_core::rules`. Scanned: `crates/core/src` minus `rules.rs`.
 //! * `unwrap` / `panic` — ad-hoc panics in the protocol, simulator,
-//!   NoC, sweep, and types crates.
+//!   NoC, inter-GPU fabric, sweep, and types crates.
 //! * `noc-inject` — direct pushes onto NoC injection queues inside
 //!   `crates/noc/src`, bypassing reliable-transport sequencing.
 //! * `raw-network` — the raw lossy `Network` type inside
 //!   `crates/sim/src` (the simulator must use `ReliableNet`).
 //!
 //! Determinism rules, new with this engine, scanned over every
-//! simulation-state crate (`crates/{core,sim,noc,mem,gpu}/src`) —
+//! simulation-state crate (`crates/{core,sim,noc,fabric,mem,gpu}/src`) —
 //! each bans a nondeterminism source that would break bit-identical
 //! replay, the property the model checker, snapshot/restore, and the
 //! race oracle all stand on:
@@ -141,6 +141,7 @@ const NO_PANIC_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/sim/src",
     "crates/noc/src",
+    "crates/fabric/src",
     "crates/sweep/src",
     "crates/types/src",
 ];
@@ -150,6 +151,7 @@ const DETERMINISM_DIRS: &[&str] = &[
     "crates/core/src",
     "crates/sim/src",
     "crates/noc/src",
+    "crates/fabric/src",
     "crates/mem/src",
     "crates/gpu/src",
 ];

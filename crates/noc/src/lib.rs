@@ -35,7 +35,7 @@ pub use transport::{FlowDiag, ReliableNet};
 
 use std::collections::VecDeque;
 
-use gtsc_faults::{FaultStats, NocFaults};
+use gtsc_faults::{FaultStats, LinkFaults, NocFaults};
 use gtsc_trace::{EventKind, Tracer};
 use gtsc_types::{Cycle, NocConfig, NocStats, NocTopology};
 
@@ -95,6 +95,14 @@ pub struct Network<T> {
     /// Headers of corrupted packets that arrived since the last
     /// [`Network::take_corrupted`] call.
     corrupted: Vec<(usize, usize)>,
+    /// Scheduled link-down windows per `(src, dst)` flow (fabric
+    /// partitions), indexed `src * n_dsts + dst`. Empty when no
+    /// partition is scheduled (the common case — the inner `Vec` stays
+    /// unallocated). Pure schedules: reconstructed from the fault plan
+    /// at build time, not snapshotted.
+    link_faults: Vec<Option<LinkFaults>>,
+    /// Packets that vanished inside a link-down window.
+    link_dropped: u64,
     tracer: Tracer,
 }
 
@@ -124,6 +132,8 @@ impl<T> Network<T> {
             faults: None,
             flow_last: vec![0; n_srcs * n_dsts],
             corrupted: Vec::new(),
+            link_faults: Vec::new(),
+            link_dropped: 0,
             tracer: Tracer::disabled(),
         }
     }
@@ -150,6 +160,47 @@ impl<T> Network<T> {
     /// [`ReliableNet`](crate::ReliableNet) for that.
     pub fn set_faults(&mut self, faults: Option<NocFaults>) {
         self.faults = faults;
+    }
+
+    /// Installs (or clears) a scheduled link-down window set for the
+    /// `(src, dst)` flow: every packet injected on the flow while a
+    /// window is open vanishes at the wire, modelling a fabric
+    /// partition. Like packet drops, partitions starve a raw `Network`
+    /// of traffic permanently — wrap it in
+    /// [`ReliableNet`](crate::ReliableNet), whose retransmit/backoff
+    /// machinery redelivers once the window closes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn set_link_faults(&mut self, src: usize, dst: usize, faults: Option<LinkFaults>) {
+        assert!(
+            src < self.n_srcs && dst < self.n_dsts,
+            "link ({src}, {dst}) out of range"
+        );
+        if self.link_faults.is_empty() {
+            if faults.is_none() {
+                return;
+            }
+            self.link_faults = vec![None; self.n_srcs * self.n_dsts];
+        }
+        self.link_faults[src * self.n_dsts + dst] = faults;
+    }
+
+    /// Whether the `(src, dst)` link is inside a scheduled down window
+    /// at `now`.
+    #[must_use]
+    pub fn link_down(&self, src: usize, dst: usize, now: Cycle) -> bool {
+        self.link_faults
+            .get(src * self.n_dsts + dst)
+            .and_then(Option::as_ref)
+            .is_some_and(|lf| lf.down(now.0))
+    }
+
+    /// Packets that vanished inside a link-down window so far.
+    #[must_use]
+    pub fn link_dropped(&self) -> u64 {
+        self.link_dropped
     }
 
     /// Drains the headers `(src, dst)` of corrupted packets that
@@ -275,6 +326,22 @@ impl<T: Clone> Network<T> {
                 self.stats.queue_cycles += start - pkt.enqueued;
                 let done = start + inject_cycles;
                 self.port_free[src] = done;
+                // Scheduled partition: the link is down, the packet (and
+                // any duplicate a fault would have spawned) vanishes at
+                // the wire. Bandwidth was still consumed.
+                if self
+                    .link_faults
+                    .get(src * n_dsts + pkt.dst)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|lf| lf.down(start.0))
+                {
+                    self.link_dropped += 1;
+                    self.tracer.record_with(now, || EventKind::PacketDrop {
+                        src: src as u16,
+                        dst: pkt.dst as u16,
+                    });
+                    continue;
+                }
                 let mut arrives = done + wire(src, pkt.dst);
                 let mut corrupt = false;
                 if let Some(f) = &mut self.faults {
@@ -414,6 +481,9 @@ impl<T: Snap> Network<T> {
         self.faults.save(w);
         self.flow_last.save(w);
         self.corrupted.save(w);
+        // Link-down *schedules* are pure config (rebuilt from the fault
+        // plan on restore); only the drop counter is dynamic.
+        self.link_dropped.save(w);
     }
 
     /// Restores dynamic state saved by [`Network::save_state`].
@@ -430,6 +500,7 @@ impl<T: Snap> Network<T> {
         let faults: Option<NocFaults> = Snap::load(r)?;
         let flow_last: Vec<u64> = Snap::load(r)?;
         let corrupted: Vec<(usize, usize)> = Snap::load(r)?;
+        let link_dropped: u64 = Snap::load(r)?;
         if queues.len() != self.n_srcs
             || port_free.len() != self.n_srcs
             || flow_last.len() != self.n_srcs * self.n_dsts
@@ -445,6 +516,7 @@ impl<T: Snap> Network<T> {
         self.faults = faults;
         self.flow_last = flow_last;
         self.corrupted = corrupted;
+        self.link_dropped = link_dropped;
         Ok(())
     }
 }

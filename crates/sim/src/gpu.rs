@@ -86,6 +86,47 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Device-scoped slice of a [`StallDiagnosis`] in a multi-GPU run: where
+/// one device's work is stuck relative to the inter-GPU fabric. The key
+/// distinction it preserves is *expired inter-GPU grant* (a parked read
+/// whose warp outran a grant the device still holds — coherence is
+/// waiting on the home node, not on a cache resource) versus a cold
+/// first acquisition or a store awaiting its home acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeviceStall {
+    /// Device index.
+    pub device: usize,
+    /// Parked reads whose warp outran a still-installed inter-GPU grant.
+    pub expired_grant_waits: usize,
+    /// Parked reads on a block with no grant installed at all.
+    pub cold_grant_waits: usize,
+    /// Stores forwarded to the home node and not yet acknowledged.
+    pub stores_awaiting_home: usize,
+    /// The outrun grants, as `(block, grant rts)`.
+    pub expired_grants: Vec<(BlockAddr, u64)>,
+    /// Transport pressure on this device's fabric flows (both
+    /// directions), worst first.
+    pub fabric_flows: Vec<FlowDiag>,
+}
+
+impl std::fmt::Display for DeviceStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dev{}: {} read(s) stalled on expired inter-GPU grant, {} on cold grant \
+             acquisition, {} store(s) awaiting home ack",
+            self.device, self.expired_grant_waits, self.cold_grant_waits, self.stores_awaiting_home
+        )?;
+        for (block, rts) in self.expired_grants.iter().take(4) {
+            write!(f, "\n    grant expired: {block} rts {rts}")?;
+        }
+        for d in self.fabric_flows.iter().take(4) {
+            write!(f, "\n    fabric {d}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Structured explanation of a loss of forward progress, produced by the
 /// watchdog when it aborts a run via [`SimError::Stalled`]. Everything is
 /// a point-in-time snapshot taken at the abort cycle.
@@ -128,6 +169,9 @@ pub struct StallDiagnosis {
     pub epoch: Epoch,
     /// Global rollovers performed so far.
     pub ts_rollovers: u64,
+    /// Per-device fabric-facing stall attribution (empty on a
+    /// single-GPU machine, one entry per device under `MultiGpuSim`).
+    pub devices: Vec<DeviceStall>,
     /// Merged flight-recorder tail across every component, oldest first
     /// (empty unless tracing was enabled — see
     /// [`gtsc_types::TraceConfig`]).
@@ -180,6 +224,9 @@ impl std::fmt::Display for StallDiagnosis {
             "  dram: {} queued, {} in service",
             self.dram_queued, self.dram_in_flight
         )?;
+        for d in &self.devices {
+            write!(f, "\n  {d}")?;
+        }
         if !self.recent_events.is_empty() {
             let shown = self.recent_events.len().min(16);
             let tail = &self.recent_events[self.recent_events.len() - shown..];
@@ -202,20 +249,20 @@ impl std::fmt::Display for StallDiagnosis {
 pub struct KernelProgress {
     /// Identity of the kernel this progress belongs to; resuming with a
     /// different kernel is rejected.
-    kernel_name: String,
-    n_ctas: usize,
+    pub(crate) kernel_name: String,
+    pub(crate) n_ctas: usize,
     warps_per_cta: usize,
     /// Next CTA to dispatch.
-    next_cta: usize,
+    pub(crate) next_cta: usize,
     /// Round-robin dispatch cursor across SMs.
-    sm_cursor: usize,
+    pub(crate) sm_cursor: usize,
     /// Forward-progress watchdog fingerprint: moves whenever the machine
     /// does useful work (completions, issues, dispatch, retirement,
     /// transport progress). Seeded with sentinels so the first cycle of
     /// a fresh run always registers progress.
-    last_fingerprint: (u64, u64, usize, usize, u64),
+    pub(crate) last_fingerprint: (u64, u64, usize, usize, u64),
     /// Cycle at which the fingerprint last moved.
-    last_progress: Cycle,
+    pub(crate) last_progress: Cycle,
 }
 
 impl KernelProgress {
@@ -908,6 +955,7 @@ impl GpuSim {
             dram_in_flight: self.drams.iter().map(Dram::in_flight).sum(),
             epoch: self.epoch,
             ts_rollovers: self.l2.iter().map(|b| b.stats().ts_rollovers).sum(),
+            devices: Vec::new(),
             recent_events: self.flight_tail(),
         }
     }

@@ -36,10 +36,14 @@ pub mod build;
 pub mod check;
 pub mod checkpoint;
 pub mod gpu;
+pub mod multi;
 pub mod profile;
 
 pub use build::{build_l1, build_l2};
 pub use check::{Checker, LoadObservation, Violation};
 pub use checkpoint::{CheckpointError, CheckpointSource, CheckpointStore};
-pub use gpu::{GpuSim, KernelProgress, RunReport, SimBuilder, SimError, StallDiagnosis};
+pub use gpu::{
+    DeviceStall, GpuSim, KernelProgress, RunReport, SimBuilder, SimError, StallDiagnosis,
+};
+pub use multi::MultiGpuSim;
 pub use profile::{render_folded, render_profile, spans_to_chrome_trace};

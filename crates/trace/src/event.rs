@@ -73,6 +73,13 @@ pub enum Scope {
     Noc(u16),
     /// A DRAM partition.
     Dram(u16),
+    /// A multi-GPU device's L2 shard (fabric endpoint); the index is
+    /// the device id.
+    Device(u16),
+    /// The home-node directory joining the devices (index reserved for
+    /// future multi-home topologies; today always 0). Sorts after every
+    /// device so per-scope reports read devices-then-home.
+    Home(u16),
 }
 
 impl Scope {
@@ -93,6 +100,8 @@ impl gtsc_types::snap::Snap for Scope {
             Scope::L2Bank(i) => (1, *i),
             Scope::Noc(i) => (2, *i),
             Scope::Dram(i) => (3, *i),
+            Scope::Device(i) => (4, *i),
+            Scope::Home(i) => (5, *i),
         };
         w.u8(tag);
         w.u16(i);
@@ -108,6 +117,8 @@ impl gtsc_types::snap::Snap for Scope {
             1 => Ok(Scope::L2Bank(i)),
             2 => Ok(Scope::Noc(i)),
             3 => Ok(Scope::Dram(i)),
+            4 => Ok(Scope::Device(i)),
+            5 => Ok(Scope::Home(i)),
             other => Err(gtsc_types::snap::SnapshotError::Malformed {
                 context: format!("Scope tag {other}"),
             }),
@@ -123,6 +134,8 @@ impl std::fmt::Display for Scope {
             Scope::Noc(0) => write!(f, "noc.req"),
             Scope::Noc(_) => write!(f, "noc.resp"),
             Scope::Dram(i) => write!(f, "dram[{i}]"),
+            Scope::Device(i) => write!(f, "dev{i}"),
+            Scope::Home(i) => write!(f, "home{i}"),
         }
     }
 }
@@ -619,5 +632,22 @@ mod tests {
         assert_eq!(Scope::Noc(0).to_string(), "noc.req");
         assert_eq!(Scope::Noc(1).to_string(), "noc.resp");
         assert_eq!(Scope::Dram(2).to_string(), "dram[2]");
+    }
+
+    #[test]
+    fn device_and_home_scopes_render_order_and_round_trip() {
+        use gtsc_types::snap::{Snap, SnapReader, SnapWriter};
+        assert_eq!(Scope::Device(3).to_string(), "dev3");
+        assert_eq!(Scope::Home(0).to_string(), "home0");
+        assert!(Scope::Device(3).sm().is_none());
+        // Devices sort before the home node in per-scope reports.
+        assert!(Scope::Device(u16::MAX) < Scope::Home(0));
+        for s in [Scope::Device(7), Scope::Home(0)] {
+            let mut w = SnapWriter::new();
+            s.save(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(Scope::load(&mut r).unwrap(), s);
+        }
     }
 }

@@ -36,6 +36,8 @@ fn pid_tid(scope: Scope) -> (u16, u16) {
         Scope::L2Bank(i) => (2, i),
         Scope::Noc(i) => (3, i),
         Scope::Dram(i) => (4, i),
+        Scope::Device(i) => (5, i),
+        Scope::Home(i) => (6, i),
     }
 }
 
@@ -60,7 +62,14 @@ pub fn to_chrome_trace(events: &[TraceEvent], samples: &[IntervalSample]) -> Str
             out.push(',');
         }
     };
-    for (pid, name) in [(1, "SMs"), (2, "L2 banks"), (3, "NoC"), (4, "DRAM")] {
+    for (pid, name) in [
+        (1, "SMs"),
+        (2, "L2 banks"),
+        (3, "NoC"),
+        (4, "DRAM"),
+        (5, "Devices"),
+        (6, "Home"),
+    ] {
         sep(&mut out);
         push_meta(&mut out, pid, name);
     }

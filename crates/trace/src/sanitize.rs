@@ -13,7 +13,11 @@
 //!   the same epoch;
 //! * per-warp `warp_ts` monotonicity (reset only at an epoch rollover);
 //! * epoch-rollover ordering (epochs never move backwards, and evicted
-//!   leases fold into a `mem_ts` at least as large).
+//!   leases fold into a `mem_ts` at least as large);
+//! * multi-GPU hierarchical delegation: every lease a device L2 serves
+//!   on-die nests inside the inter-GPU grant it installed from the home
+//!   node (`L2-lease ⊆ device-grant`, DESIGN.md §17), and a crashed
+//!   device never serves from a pre-crash grant.
 //!
 //! Like [`crate::Tracer::record_with`], the hook costs one
 //! predicted-not-taken branch when disabled and never materialises the
@@ -114,6 +118,43 @@ pub enum Transition {
         /// The epoch the bank was in when it crashed.
         epoch: u64,
     },
+    /// Multi-GPU: a device L2 installed an inter-GPU grant `[wts, rts]`
+    /// received from the home node (fill or write ack over the fabric).
+    /// The grant is the device's delegated slice of logical time; every
+    /// lease the device serves on-die must nest inside it (DESIGN.md
+    /// §17).
+    GrantInstall {
+        /// Granted block.
+        block: BlockAddr,
+        /// Write timestamp of the granted version.
+        wts: Timestamp,
+        /// Read-timestamp upper bound of the grant.
+        rts: Timestamp,
+        /// Epoch the grant belongs to.
+        epoch: u64,
+    },
+    /// Multi-GPU: a device L2 served an L1 lease `[wts, rts]` from its
+    /// local tags on its own authority. Checked against the installed
+    /// device grant: the `L2-lease ⊆ device-grant` invariant.
+    DeviceServe {
+        /// Served block.
+        block: BlockAddr,
+        /// Write timestamp of the served version.
+        wts: Timestamp,
+        /// Read-timestamp upper bound served to the L1.
+        rts: Timestamp,
+        /// Epoch the lease belongs to.
+        epoch: u64,
+    },
+    /// Multi-GPU: a whole device crashed while at `epoch`, losing its
+    /// installed grants and local tags. Recovery re-acquires grants from
+    /// the home behind a global epoch bump, so no grant install or
+    /// device serve may be observed at this scope in `epoch` (or older)
+    /// again.
+    DeviceCrash {
+        /// The epoch the device was in when it crashed.
+        epoch: u64,
+    },
     /// TC baseline: a physical lease was granted, expiring at
     /// `expires`.
     TcLease {
@@ -152,6 +193,9 @@ struct SanitizerCore {
     /// Highest epoch at which each scope crashed ([`Transition::
     /// BankReset`]): grants/stores at or below it are violations.
     crashed_at_epoch: HashMap<Scope, u64>,
+    /// Live inter-GPU grant per (device scope, block): epoch and grant
+    /// `rts` high-water. Device-served leases must nest inside these.
+    device_grants: HashMap<(Scope, BlockAddr), (u64, Timestamp)>,
     violations: Vec<String>,
     suppressed: u64,
     checked: u64,
@@ -340,6 +384,84 @@ impl SanitizerCore {
                 let prev = self.crashed_at_epoch.get(&scope).copied().unwrap_or(0);
                 self.crashed_at_epoch.insert(scope, prev.max(epoch));
             }
+            Transition::GrantInstall {
+                block,
+                wts,
+                rts,
+                epoch,
+            } => {
+                if wts > rts {
+                    let m = format!(
+                        "device grant on block {block} has wts {} > rts {}",
+                        wts.0, rts.0
+                    );
+                    self.violate(cycle, scope, &m);
+                }
+                self.check_not_pre_crash(cycle, scope, "grant install", block, epoch);
+                // A device grant is itself a lease the home handed down:
+                // it must nest inside the home's high-water grant.
+                if let Some(&(e, hwm)) = self.l2_rts.get(&block) {
+                    if e == epoch && rts > hwm {
+                        let m = format!(
+                            "device grant on block {block} reaches rts {} beyond \
+                             any home grant (high-water {}) in epoch {epoch}",
+                            rts.0, hwm.0
+                        );
+                        self.violate(cycle, scope, &m);
+                    }
+                }
+                let g = self
+                    .device_grants
+                    .entry((scope, block))
+                    .or_insert((epoch, rts));
+                if g.0 == epoch {
+                    g.1 = g.1.max(rts);
+                } else if epoch > g.0 {
+                    *g = (epoch, rts);
+                }
+            }
+            Transition::DeviceServe {
+                block,
+                wts,
+                rts,
+                epoch,
+            } => {
+                if wts > rts {
+                    let m = format!(
+                        "device-served lease on block {block} has wts {} > rts {}",
+                        wts.0, rts.0
+                    );
+                    self.violate(cycle, scope, &m);
+                }
+                self.check_not_pre_crash(cycle, scope, "serve", block, epoch);
+                match self.device_grants.get(&(scope, block)) {
+                    Some(&(e, grant_rts)) if e == epoch => {
+                        if rts > grant_rts {
+                            let m = format!(
+                                "L2-lease ⊄ device-grant: lease on block {block} \
+                                 reaches rts {} beyond the installed grant's rts \
+                                 {} in epoch {epoch}",
+                                rts.0, grant_rts.0
+                            );
+                            self.violate(cycle, scope, &m);
+                        }
+                    }
+                    _ => {
+                        let m = format!(
+                            "L2-lease ⊄ device-grant: lease on block {block} \
+                             served with no live device grant in epoch {epoch}"
+                        );
+                        self.violate(cycle, scope, &m);
+                    }
+                }
+            }
+            Transition::DeviceCrash { epoch } => {
+                let prev = self.crashed_at_epoch.get(&scope).copied().unwrap_or(0);
+                self.crashed_at_epoch.insert(scope, prev.max(epoch));
+                // The crash loses every grant the device held; serving
+                // from a pre-crash grant after recovery must be flagged.
+                self.device_grants.retain(|(s, _), _| *s != scope);
+            }
             Transition::TcLease {
                 block,
                 now,
@@ -521,6 +643,7 @@ gtsc_types::snap_fields!(SanitizerCore {
     warp_ts,
     epochs,
     crashed_at_epoch,
+    device_grants,
     violations,
     suppressed,
     checked,
@@ -716,6 +839,120 @@ mod tests {
             epoch: 0,
         });
         assert_eq!(root.violations().len(), 2);
+    }
+
+    #[test]
+    fn device_served_lease_must_nest_inside_grant() {
+        let root = Sanitizer::enabled(Scope::Home(0));
+        let dev = root.for_scope(Scope::Device(0));
+        let other = root.for_scope(Scope::Device(1));
+        // Home grants [1, 50] to device 0.
+        root.check_with(Cycle(1), || Transition::L2Grant {
+            block: b(3),
+            wts: Timestamp(1),
+            rts: Timestamp(50),
+            epoch: 0,
+        });
+        dev.check_with(Cycle(2), || Transition::GrantInstall {
+            block: b(3),
+            wts: Timestamp(1),
+            rts: Timestamp(50),
+            epoch: 0,
+        });
+        // Serving inside the grant is fine; at the edge is fine.
+        dev.check_with(Cycle(3), || Transition::DeviceServe {
+            block: b(3),
+            wts: Timestamp(1),
+            rts: Timestamp(30),
+            epoch: 0,
+        });
+        dev.check_with(Cycle(4), || Transition::DeviceServe {
+            block: b(3),
+            wts: Timestamp(1),
+            rts: Timestamp(50),
+            epoch: 0,
+        });
+        assert!(root.violations().is_empty(), "{:?}", root.violations());
+        // Past the grant: the serve-past-grant-rts bug.
+        dev.check_with(Cycle(5), || Transition::DeviceServe {
+            block: b(3),
+            wts: Timestamp(1),
+            rts: Timestamp(51),
+            epoch: 0,
+        });
+        let v = root.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("L2-lease ⊄ device-grant"), "{v:?}");
+        // A different device holds no grant for the block at all.
+        other.check_with(Cycle(6), || Transition::DeviceServe {
+            block: b(3),
+            wts: Timestamp(1),
+            rts: Timestamp(10),
+            epoch: 0,
+        });
+        let v = root.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[1].contains("no live device grant"), "{v:?}");
+    }
+
+    #[test]
+    fn device_grant_beyond_home_grant_is_flagged() {
+        let root = Sanitizer::enabled(Scope::Home(0));
+        let dev = root.for_scope(Scope::Device(0));
+        root.check_with(Cycle(1), || Transition::L2Grant {
+            block: b(8),
+            wts: Timestamp(1),
+            rts: Timestamp(20),
+            epoch: 0,
+        });
+        dev.check_with(Cycle(2), || Transition::GrantInstall {
+            block: b(8),
+            wts: Timestamp(1),
+            rts: Timestamp(25),
+            epoch: 0,
+        });
+        let v = root.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("beyond any home grant"), "{v:?}");
+    }
+
+    #[test]
+    fn device_crash_wipes_grants_and_blocks_pre_crash_serves() {
+        let root = Sanitizer::enabled(Scope::Home(0));
+        let dev = root.for_scope(Scope::Device(2));
+        dev.check_with(Cycle(1), || Transition::GrantInstall {
+            block: b(4),
+            wts: Timestamp(1),
+            rts: Timestamp(40),
+            epoch: 0,
+        });
+        dev.check_with(Cycle(2), || Transition::DeviceCrash { epoch: 0 });
+        // Serving from the (lost) grant after the crash: two findings —
+        // the serve is pre-crash-epoch AND the grant is gone.
+        dev.check_with(Cycle(3), || Transition::DeviceServe {
+            block: b(4),
+            wts: Timestamp(1),
+            rts: Timestamp(30),
+            epoch: 0,
+        });
+        let v = root.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("must not regress across a reset"), "{v:?}");
+        assert!(v[1].contains("no live device grant"), "{v:?}");
+        // Recovery: fresh grant in the bumped epoch serves cleanly.
+        dev.check_with(Cycle(4), || Transition::GrantInstall {
+            block: b(4),
+            wts: Timestamp(0),
+            rts: Timestamp(8),
+            epoch: 1,
+        });
+        dev.check_with(Cycle(5), || Transition::DeviceServe {
+            block: b(4),
+            wts: Timestamp(0),
+            rts: Timestamp(8),
+            epoch: 1,
+        });
+        assert_eq!(root.violations().len(), 2, "{:?}", root.violations());
     }
 
     #[test]

@@ -138,6 +138,39 @@ pub struct NocConfig {
     pub control_bytes: usize,
 }
 
+impl crate::snap::Snap for NocTopology {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        match self {
+            NocTopology::Crossbar => w.u8(0),
+            NocTopology::Ring { hop_latency } => {
+                w.u8(1);
+                w.u64(*hop_latency);
+            }
+        }
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapshotError> {
+        match r.u8()? {
+            0 => Ok(NocTopology::Crossbar),
+            1 => Ok(NocTopology::Ring {
+                hop_latency: r.u64()?,
+            }),
+            t => Err(crate::snap::SnapshotError::Malformed {
+                context: format!("NocTopology tag {t}"),
+            }),
+        }
+    }
+}
+
+// The fabric config embeds link and transport parameters, so both must
+// round-trip through the snapshot codec.
+crate::snap_fields!(NocConfig {
+    topology,
+    latency,
+    flit_bytes,
+    flits_per_cycle,
+    control_bytes,
+});
+
 impl Default for NocConfig {
     fn default() -> Self {
         // 32-byte flits at 4 flits/cycle per port ≈ 128 GB/s per port at
@@ -364,6 +397,13 @@ pub struct TransportConfig {
     pub retry_timeout: u64,
 }
 
+crate::snap_fields!(TransportConfig {
+    retransmit_timeout,
+    max_backoff_exp,
+    nack_min_gap,
+    retry_timeout,
+});
+
 impl Default for TransportConfig {
     fn default() -> Self {
         TransportConfig {
@@ -544,6 +584,186 @@ impl TraceConfig {
     #[must_use]
     pub fn spans_enabled(&self) -> bool {
         self.span_rate > 0
+    }
+}
+
+/// Inter-GPU fabric parameters (device L2 ⇄ home node network).
+///
+/// The fabric reuses the on-die NoC machinery (`gtsc_noc::ReliableNet`)
+/// but is a different physical medium: NVLink-class links are an order
+/// of magnitude slower than an on-die crossbar and — unlike the on-die
+/// NoC — lossy in the fault envelopes we model (link-level CRC drops,
+/// scheduled partitions, whole-device crashes). Timeouts therefore
+/// scale up with latency, and partition/device-crash schedules live
+/// here rather than in the per-device [`FaultConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Link parameters of the inter-GPU network. Defaults to the on-die
+    /// shape with 5× the pipeline latency (~100 cycles each way).
+    pub noc: NocConfig,
+    /// Reliable-transport parameters for the fabric. Defaults scale the
+    /// on-die timeouts by the latency ratio.
+    pub transport: TransportConfig,
+    /// Logical lease length of inter-GPU grants handed from the home
+    /// node to a device L2. Device-local L2 leases are clamped inside
+    /// the grant, so this should comfortably exceed `GpuConfig::lease`.
+    pub grant_lease: Lease,
+    /// Home-node directory service latency in cycles per request.
+    pub home_latency: u64,
+    /// Fault plan applied to the fabric links (seed-pure; independent
+    /// streams from the per-device on-die plan).
+    pub faults: FaultConfig,
+    /// Number of scheduled fabric-partition events (link-down windows)
+    /// per device link over the run.
+    pub partition_count: u16,
+    /// Cycle window `[1, window]` within which partitions start
+    /// (uniformly, from the fault seed). `0` disables partitions.
+    pub partition_window: u64,
+    /// Length of each link-down window in cycles.
+    pub partition_len: u64,
+    /// Number of whole-device crash/rejoin events injected over the run.
+    pub device_crash_count: u16,
+    /// Cycle window `[1, window]` within which device crashes are
+    /// scheduled. `0` disables crashes even when the count is nonzero.
+    pub device_crash_window: u64,
+}
+
+// Multi-GPU snapshots embed the armed fabric plan (DESIGN.md §14), so
+// the config must round-trip exactly like `FaultConfig` does.
+crate::snap_fields!(FabricConfig {
+    noc,
+    transport,
+    grant_lease,
+    home_latency,
+    faults,
+    partition_count,
+    partition_window,
+    partition_len,
+    device_crash_count,
+    device_crash_window,
+});
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        let noc = NocConfig {
+            latency: 100,
+            ..NocConfig::default()
+        };
+        FabricConfig {
+            noc,
+            // Timeouts scale with the 5× slower medium; the end-to-end
+            // retry must still outlast the worst-case backoff *plus* a
+            // partition window, which `MultiGpuSim` checks at build.
+            transport: TransportConfig {
+                retransmit_timeout: 1024,
+                max_backoff_exp: 6,
+                nack_min_gap: 256,
+                retry_timeout: 16_384,
+            },
+            grant_lease: Lease(64),
+            home_latency: 20,
+            faults: FaultConfig::default(),
+            partition_count: 0,
+            partition_window: 0,
+            partition_len: 0,
+            device_crash_count: 0,
+            device_crash_window: 0,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Returns the config with fabric packet loss at `drop_permille`
+    /// (plus corruption at half that rate), seeded by `seed`. Any
+    /// nonzero rate arms the fabric's reliable transport.
+    #[must_use]
+    pub fn lossy(mut self, seed: u64, drop_permille: u16) -> Self {
+        self.faults = FaultConfig {
+            seed,
+            noc_drop_permille: drop_permille,
+            noc_corrupt_permille: drop_permille / 2,
+            ..self.faults
+        };
+        self
+    }
+
+    /// Returns the config with `count` link-down windows of `len` cycles
+    /// scheduled uniformly in `[1, window]` per device link.
+    #[must_use]
+    pub fn with_partitions(mut self, count: u16, window: u64, len: u64) -> Self {
+        self.partition_count = count;
+        self.partition_window = window;
+        self.partition_len = len;
+        self
+    }
+
+    /// Returns the config with `count` whole-device crash/rejoin events
+    /// scheduled uniformly in `[1, window]`.
+    #[must_use]
+    pub fn with_device_crashes(mut self, count: u16, window: u64) -> Self {
+        self.device_crash_count = count;
+        self.device_crash_window = window;
+        self
+    }
+
+    /// Whether partitions are scheduled.
+    #[must_use]
+    pub fn partitions_active(&self) -> bool {
+        self.partition_count > 0 && self.partition_window > 0 && self.partition_len > 0
+    }
+
+    /// Whether device crashes are scheduled.
+    #[must_use]
+    pub fn device_crashes_active(&self) -> bool {
+        self.device_crash_count > 0 && self.device_crash_window > 0
+    }
+
+    /// Whether the fabric needs its reliable-transport layer: packet
+    /// loss, a scheduled partition, or a device crash all lose traffic
+    /// that only ack/retransmit (plus L1 end-to-end retry) recovers.
+    #[must_use]
+    pub fn lossy_active(&self) -> bool {
+        self.faults.lossy_active() || self.partitions_active() || self.device_crashes_active()
+    }
+}
+
+/// Complete configuration of a multi-GPU system: `n_devices` identical
+/// GPUs (each a full [`GpuConfig`]) joined by an inter-GPU fabric to a
+/// home-node directory (HALCONE-style hierarchical timestamp coherence;
+/// see DESIGN.md §17).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiGpuConfig {
+    /// Number of GPU devices.
+    pub n_devices: usize,
+    /// Per-device configuration (shared by all devices).
+    pub gpu: GpuConfig,
+    /// Inter-GPU fabric and home-node parameters.
+    pub fabric: FabricConfig,
+}
+
+impl MultiGpuConfig {
+    /// A scaled-down `n`-device system for unit and property tests,
+    /// built on [`GpuConfig::test_small`].
+    #[must_use]
+    pub fn test_small(n_devices: usize) -> Self {
+        MultiGpuConfig {
+            n_devices,
+            gpu: GpuConfig::test_small(),
+            fabric: FabricConfig::default(),
+        }
+    }
+
+    /// Returns the config with the given fabric parameters.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Label like `G-TSC-RC x4` used in experiment output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{} x{}", self.gpu.label(), self.n_devices)
     }
 }
 
@@ -774,6 +994,7 @@ impl GpuConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snap::Snap;
 
     #[test]
     fn paper_default_matches_section_vi() {
@@ -891,6 +1112,47 @@ mod tests {
         assert!(!GpuConfig::paper_default().sanitize);
         assert!(!GpuConfig::test_small().sanitize);
         assert!(GpuConfig::test_small().with_sanitize(true).sanitize);
+    }
+
+    #[test]
+    fn fabric_default_inert_knobs_arm_transport() {
+        let f = FabricConfig::default();
+        assert!(!f.lossy_active());
+        assert!(f.noc.latency > NocConfig::default().latency);
+        assert!(f.transport.retransmit_timeout > TransportConfig::default().retransmit_timeout);
+        assert!(f.grant_lease.0 > Lease::default().0);
+        let lossy = FabricConfig::default().lossy(9, 40);
+        assert!(lossy.lossy_active());
+        assert_eq!(lossy.faults.noc_drop_permille, 40);
+        assert_eq!(lossy.faults.noc_corrupt_permille, 20);
+        assert_eq!(lossy.faults.seed, 9);
+        let part = FabricConfig::default().with_partitions(2, 10_000, 500);
+        assert!(part.partitions_active() && part.lossy_active());
+        assert!(
+            !FabricConfig::default()
+                .with_partitions(2, 0, 500)
+                .partitions_active(),
+            "a zero window schedules nothing"
+        );
+        let crashy = FabricConfig::default().with_device_crashes(1, 5_000);
+        assert!(crashy.device_crashes_active() && crashy.lossy_active());
+    }
+
+    #[test]
+    fn multi_gpu_config_labels_and_round_trip() {
+        let m = MultiGpuConfig::test_small(4);
+        assert_eq!(m.n_devices, 4);
+        assert_eq!(m.label(), "G-TSC-RC x4");
+        let f = FabricConfig::default().with_partitions(1, 1000, 100);
+        let m = m.with_fabric(f);
+        assert_eq!(m.fabric, f);
+        // The fabric config must round-trip through the snapshot codec.
+        let mut w = crate::snap::SnapWriter::new();
+        f.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        let back = FabricConfig::load(&mut r).expect("decode");
+        assert_eq!(back, f);
     }
 
     #[test]

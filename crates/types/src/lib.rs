@@ -28,9 +28,9 @@ pub mod value;
 
 pub use addr::{Addr, BlockAddr, CacheGeometry};
 pub use config::{
-    CombinePolicy, ConsistencyModel, DramConfig, FaultConfig, GpuConfig, InclusionPolicy,
-    NocConfig, NocTopology, PagePolicy, ProtocolKind, TraceConfig, TraceMode, TransportConfig,
-    VisibilityPolicy, WarpScheduler,
+    CombinePolicy, ConsistencyModel, DramConfig, FabricConfig, FaultConfig, GpuConfig,
+    InclusionPolicy, MultiGpuConfig, NocConfig, NocTopology, PagePolicy, ProtocolKind, TraceConfig,
+    TraceMode, TransportConfig, VisibilityPolicy, WarpScheduler,
 };
 pub use ids::{BankId, CtaId, GlobalWarpId, KernelId, LaneId, SmId, SpanId, WarpId};
 pub use snap::{

@@ -41,6 +41,7 @@
 //! | [`mem`] | `gtsc-mem` | tag arrays, MSHRs, DRAM timing |
 //! | [`noc`] | `gtsc-noc` | crossbar interconnect with flit accounting |
 //! | [`faults`] | `gtsc-faults` | seeded deterministic fault injection |
+//! | [`fabric`] | `gtsc-fabric` | inter-GPU fabric: device L2s + home-node directory |
 //! | [`sim`] | `gtsc-sim` | the assembled GPU + coherence checker |
 //! | [`workloads`] | `gtsc-workloads` | the twelve benchmarks + litmus kernels |
 //! | [`energy`] | `gtsc-energy` | GPUWattch-style event-energy model |
@@ -52,6 +53,7 @@
 pub use gtsc_baselines as baselines;
 pub use gtsc_core as core;
 pub use gtsc_energy as energy;
+pub use gtsc_fabric as fabric;
 pub use gtsc_faults as faults;
 pub use gtsc_gpu as gpu;
 pub use gtsc_mem as mem;
